@@ -1,0 +1,276 @@
+//! CD — the PCA-based change-detection framework of Qahtan et al.
+//! (KDD 2015), in its two divergence flavors (CD-MKL and CD-Area).
+//!
+//! Opposite philosophy to the paper (and to PCA-SPLL): project the data on
+//! the **top high-variance** principal components, estimate each
+//! component's density with a histogram, and report the *maximum*
+//! divergence across components between the reference window and a test
+//! window.
+
+use crate::pca_spll::BaselineError;
+use cc_frame::DataFrame;
+use cc_linalg::pca::{pca, PrincipalComponents};
+use cc_stats::{intersection_area, max_symmetric_kl, scott_bins, Histogram};
+
+/// Divergence flavor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CdDivergence {
+    /// Maximum symmetric KL divergence between per-component densities.
+    MaxKl,
+    /// `1 −` intersection area between per-component densities.
+    Area,
+}
+
+/// Configuration for [`ChangeDetection`].
+#[derive(Clone, Debug)]
+pub struct CdOptions {
+    /// Keep top components until this fraction of variance is explained.
+    pub variance_threshold: f64,
+    /// Divergence flavor.
+    pub divergence: CdDivergence,
+}
+
+impl Default for CdOptions {
+    fn default() -> Self {
+        CdOptions { variance_threshold: 0.99, divergence: CdDivergence::Area }
+    }
+}
+
+/// A fitted CD detector.
+#[derive(Clone, Debug)]
+pub struct ChangeDetection {
+    attributes: Vec<String>,
+    pcs: PrincipalComponents,
+    /// Retained component indices (ascending-variance indexing; these are
+    /// the top of the spectrum).
+    retained: Vec<usize>,
+    /// Reference histogram per retained component (defines shared edges).
+    reference_hists: Vec<Histogram>,
+    divergence: CdDivergence,
+}
+
+impl ChangeDetection {
+    /// Fits on a reference window.
+    ///
+    /// # Errors
+    /// Fails on empty references.
+    pub fn fit(reference: &DataFrame, opts: &CdOptions) -> Result<Self, BaselineError> {
+        let (attributes, rows) = crate::numeric_rows(reference)?;
+        if rows.is_empty() || attributes.is_empty() {
+            return Err(BaselineError::Degenerate("empty reference".into()));
+        }
+        let pcs = pca(&rows, attributes.len())
+            .map_err(|e| BaselineError::Degenerate(format!("pca failed: {e}")))?;
+        // Components ascend by variance; walk from the top down.
+        let ratios = pcs.explained_variance_ratio();
+        let mut retained = Vec::new();
+        let mut cum = 0.0;
+        for k in (0..ratios.len()).rev() {
+            retained.push(k);
+            cum += ratios[k];
+            if cum >= opts.variance_threshold {
+                break;
+            }
+        }
+        let mut reference_hists = Vec::with_capacity(retained.len());
+        for &k in &retained {
+            let proj: Vec<f64> = rows.iter().map(|r| pcs.project(r, k)).collect();
+            let bins = scott_bins(&proj);
+            reference_hists.push(Histogram::fit(&proj, bins));
+        }
+        Ok(ChangeDetection {
+            attributes,
+            pcs,
+            retained,
+            reference_hists,
+            divergence: opts.divergence,
+        })
+    }
+
+    /// Number of retained (high-variance) components.
+    pub fn retained_components(&self) -> usize {
+        self.retained.len()
+    }
+
+    /// Divergence of a window from the reference: the maximum, across
+    /// retained components, of the chosen density divergence.
+    ///
+    /// # Errors
+    /// Fails when the window lacks the reference's numeric attributes.
+    pub fn drift(&self, window: &DataFrame) -> Result<f64, BaselineError> {
+        let rows = crate::rows_for(window, &self.attributes)?;
+        if rows.is_empty() {
+            return Ok(0.0);
+        }
+        let mut worst = 0.0f64;
+        for (&k, ref_hist) in self.retained.iter().zip(&self.reference_hists) {
+            let mut win_hist = ref_hist.like();
+            for r in &rows {
+                win_hist.add(self.pcs.project(r, k));
+            }
+            let d = match self.divergence {
+                CdDivergence::MaxKl => {
+                    max_symmetric_kl(&ref_hist.smoothed_densities(), &win_hist.smoothed_densities())
+                }
+                CdDivergence::Area => {
+                    1.0 - intersection_area(&ref_hist.densities(), &win_hist.densities())
+                }
+            };
+            worst = worst.max(d);
+        }
+        Ok(worst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blob(cx: f64, cy: f64, n: usize, seed: u64) -> DataFrame {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            xs.push(cx + rng.gen_range(-1.0..1.0));
+            ys.push(cy + rng.gen_range(-1.0..1.0));
+        }
+        let mut df = DataFrame::new();
+        df.push_numeric("x", xs).unwrap();
+        df.push_numeric("y", ys).unwrap();
+        df
+    }
+
+    #[test]
+    fn mean_shift_detected_by_both_flavors() {
+        let reference = blob(0.0, 0.0, 1000, 1);
+        for div in [CdDivergence::MaxKl, CdDivergence::Area] {
+            let det = ChangeDetection::fit(
+                &reference,
+                &CdOptions { divergence: div, ..Default::default() },
+            )
+            .unwrap();
+            let same = det.drift(&blob(0.0, 0.0, 500, 2)).unwrap();
+            let moved = det.drift(&blob(4.0, 0.0, 500, 3)).unwrap();
+            assert!(moved > 4.0 * same.max(1e-6), "{div:?}: same {same}, moved {moved}");
+        }
+    }
+
+    #[test]
+    fn area_bounded_by_one() {
+        let reference = blob(0.0, 0.0, 500, 4);
+        let det = ChangeDetection::fit(&reference, &CdOptions::default()).unwrap();
+        let far = det.drift(&blob(100.0, 100.0, 300, 5)).unwrap();
+        assert!(far <= 1.0 + 1e-9);
+        assert!(far > 0.9);
+    }
+
+    #[test]
+    fn retains_high_variance_components() {
+        // Strongly anisotropic data: one dominant direction.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..800 {
+            let t: f64 = rng.gen_range(-10.0..10.0);
+            xs.push(t);
+            ys.push(0.01 * t + rng.gen_range(-0.05..0.05));
+        }
+        let mut df = DataFrame::new();
+        df.push_numeric("x", xs).unwrap();
+        df.push_numeric("y", ys).unwrap();
+        let det = ChangeDetection::fit(
+            &df,
+            &CdOptions { variance_threshold: 0.99, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(det.retained_components(), 1, "only the dominant PC is needed");
+    }
+
+    #[test]
+    fn empty_window_zero_drift() {
+        let reference = blob(0.0, 0.0, 300, 7);
+        let det = ChangeDetection::fit(&reference, &CdOptions::default()).unwrap();
+        let empty = DataFrame::new();
+        // An empty frame lacks the columns → frame error is acceptable; an
+        // empty-but-schema'd frame yields 0.
+        let mut schema_only = DataFrame::new();
+        schema_only.push_numeric("x", vec![]).unwrap();
+        schema_only.push_numeric("y", vec![]).unwrap();
+        assert_eq!(det.drift(&schema_only).unwrap(), 0.0);
+        assert!(det.drift(&empty).is_err());
+    }
+}
+
+#[cfg(test)]
+mod extra_tests {
+    use super::*;
+    use cc_frame::DataFrame;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blob(cx: f64, n: usize, seed: u64) -> DataFrame {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            xs.push(cx + rng.gen_range(-1.0..1.0));
+            ys.push(rng.gen_range(-1.0..1.0));
+        }
+        let mut df = DataFrame::new();
+        df.push_numeric("x", xs).unwrap();
+        df.push_numeric("y", ys).unwrap();
+        df
+    }
+
+    #[test]
+    fn variance_change_without_mean_shift_detected() {
+        // Same mean, 4x wider spread: the per-component densities flatten.
+        let reference = blob(0.0, 1500, 21);
+        let det = ChangeDetection::fit(&reference, &CdOptions::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..700 {
+            xs.push(rng.gen_range(-4.0..4.0));
+            ys.push(rng.gen_range(-4.0..4.0));
+        }
+        let mut wide = DataFrame::new();
+        wide.push_numeric("x", xs).unwrap();
+        wide.push_numeric("y", ys).unwrap();
+        let base = det.drift(&blob(0.0, 700, 23)).unwrap();
+        let spread = det.drift(&wide).unwrap();
+        assert!(spread > 2.0 * base.max(0.02), "base {base} vs spread {spread}");
+    }
+
+    #[test]
+    fn mkl_exceeds_or_equals_one_sided_kl() {
+        let reference = blob(0.0, 800, 24);
+        let det = ChangeDetection::fit(
+            &reference,
+            &CdOptions { divergence: CdDivergence::MaxKl, ..Default::default() },
+        )
+        .unwrap();
+        // MKL drift is non-negative and finite thanks to smoothing.
+        let d = det.drift(&blob(2.0, 400, 25)).unwrap();
+        assert!(d.is_finite() && d > 0.0);
+    }
+
+    #[test]
+    fn lower_variance_threshold_keeps_fewer_components() {
+        let reference = blob(0.0, 800, 26);
+        let strict = ChangeDetection::fit(
+            &reference,
+            &CdOptions { variance_threshold: 0.5, ..Default::default() },
+        )
+        .unwrap();
+        let loose = ChangeDetection::fit(
+            &reference,
+            &CdOptions { variance_threshold: 0.9999, ..Default::default() },
+        )
+        .unwrap();
+        assert!(strict.retained_components() <= loose.retained_components());
+        assert_eq!(loose.retained_components(), 2);
+    }
+}

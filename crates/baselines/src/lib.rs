@@ -1,0 +1,45 @@
+//! # cc-baselines
+//!
+//! The drift-detection baselines the paper compares against in §6.2:
+//!
+//! * [`PcaSpll`] — Kuncheva & Faithfull (2014): keep the **low-variance**
+//!   principal components (cumulative explained variance below a threshold),
+//!   cluster the reference window with k-means, and score a window by the
+//!   semi-parametric log-likelihood statistic (mean min-cluster Mahalanobis
+//!   distance). Shares the paper's low-variance intuition but models a
+//!   distribution and learns no disjunctive structure.
+//! * [`ChangeDetection`] (CD-MKL / CD-Area) — Qahtan et al. (2015): keep the
+//!   **high-variance** principal components, estimate per-component
+//!   densities with histograms, and report the maximum divergence across
+//!   components (max symmetric KL, or 1 − intersection area).
+//! * [`WPca`] — "weighted PCA": the paper's global ablation of CCSynth —
+//!   conformance constraints without disjunctive partitioning. Fails on
+//!   purely local drift (Fig. 6c, 4CR), which is the point.
+//!
+//! All baselines share the same two-call API: `fit(reference)` then
+//! `drift(window)`.
+
+pub mod cd;
+pub mod pca_spll;
+pub mod wpca;
+
+pub use cd::{CdDivergence, ChangeDetection};
+pub use pca_spll::PcaSpll;
+pub use wpca::WPca;
+
+use cc_frame::{DataFrame, FrameError};
+
+/// Extracts the numeric-attribute row view of a frame, in column order.
+pub(crate) fn numeric_rows(df: &DataFrame) -> Result<(Vec<String>, Vec<Vec<f64>>), FrameError> {
+    let names: Vec<String> = df.numeric_names().into_iter().map(str::to_owned).collect();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let rows = df.numeric_rows(&refs)?;
+    Ok((names, rows))
+}
+
+/// Extracts rows for a *fixed* attribute list (serving windows must be
+/// projected onto the reference's attributes).
+pub(crate) fn rows_for(df: &DataFrame, names: &[String]) -> Result<Vec<Vec<f64>>, FrameError> {
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    df.numeric_rows(&refs)
+}

@@ -1,0 +1,201 @@
+//! PCA-SPLL (Kuncheva & Faithfull, IEEE TNNLS 2014).
+//!
+//! 1. PCA on the reference window; **retain the lowest-variance components**
+//!    whose cumulative explained variance stays below a threshold (the
+//!    paper's Fig. 8 uses 25%) — low-variance components are the most
+//!    sensitive to distributional change.
+//! 2. Cluster the reference (in the reduced space) with k-means (k = 3 in
+//!    the original paper).
+//! 3. Score a window by SPLL: the mean, over its tuples, of the squared
+//!    Mahalanobis distance to the nearest cluster mean, under a shared
+//!    (regularized) covariance estimated from the reference.
+
+use cc_frame::{DataFrame, FrameError};
+use cc_linalg::pca::{pca, PrincipalComponents};
+use cc_models::KMeans;
+use cc_stats::MultivariateGaussian;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for [`PcaSpll`].
+#[derive(Clone, Debug)]
+pub struct SpllOptions {
+    /// Keep low-variance PCs while their cumulative explained variance is
+    /// below this fraction (paper setting: 0.25).
+    pub variance_threshold: f64,
+    /// k-means cluster count (original SPLL: 3).
+    pub clusters: usize,
+    /// RNG seed for k-means seeding.
+    pub seed: u64,
+}
+
+impl Default for SpllOptions {
+    fn default() -> Self {
+        SpllOptions { variance_threshold: 0.25, clusters: 3, seed: 0x5911 }
+    }
+}
+
+/// Errors from fitting the baseline.
+#[derive(Debug)]
+pub enum BaselineError {
+    /// Frame-level failure.
+    Frame(FrameError),
+    /// The reference window was empty or degenerate.
+    Degenerate(String),
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::Frame(e) => write!(f, "frame error: {e}"),
+            BaselineError::Degenerate(s) => write!(f, "degenerate reference window: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<FrameError> for BaselineError {
+    fn from(e: FrameError) -> Self {
+        BaselineError::Frame(e)
+    }
+}
+
+/// A fitted PCA-SPLL detector.
+#[derive(Clone, Debug)]
+pub struct PcaSpll {
+    attributes: Vec<String>,
+    pcs: PrincipalComponents,
+    /// Indices (into the ascending-variance component list) retained.
+    retained: Vec<usize>,
+    clusters: Vec<Vec<f64>>,
+    gaussian: MultivariateGaussian,
+}
+
+impl PcaSpll {
+    /// Fits the detector on the reference window.
+    ///
+    /// # Errors
+    /// Fails on empty references or all-degenerate covariance.
+    pub fn fit(reference: &DataFrame, opts: &SpllOptions) -> Result<Self, BaselineError> {
+        let (attributes, rows) = crate::numeric_rows(reference)?;
+        if rows.is_empty() || attributes.is_empty() {
+            return Err(BaselineError::Degenerate("empty reference".into()));
+        }
+        let pcs = pca(&rows, attributes.len())
+            .map_err(|e| BaselineError::Degenerate(format!("pca failed: {e}")))?;
+        // Retain low-variance components below the cumulative threshold
+        // (components are ascending by variance). Always keep at least one.
+        let ratios = pcs.explained_variance_ratio();
+        let mut retained = Vec::new();
+        let mut cum = 0.0;
+        for (k, r) in ratios.iter().enumerate() {
+            cum += r;
+            if cum < opts.variance_threshold || retained.is_empty() {
+                retained.push(k);
+            } else {
+                break;
+            }
+        }
+        let reduced: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| retained.iter().map(|&k| pcs.project(r, k)).collect())
+            .collect();
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let km = KMeans::fit(&reduced, opts.clusters, 100, &mut rng)
+            .ok_or_else(|| BaselineError::Degenerate("kmeans on empty data".into()))?;
+        let gaussian = MultivariateGaussian::fit(&reduced, retained.len(), 1e-6)
+            .map_err(|e| BaselineError::Degenerate(format!("covariance: {e}")))?;
+        Ok(PcaSpll { attributes, pcs, retained, clusters: km.centroids, gaussian })
+    }
+
+    /// Number of retained (low-variance) components.
+    pub fn retained_components(&self) -> usize {
+        self.retained.len()
+    }
+
+    /// SPLL drift statistic of a window (mean min-cluster squared
+    /// Mahalanobis distance in the reduced space).
+    ///
+    /// # Errors
+    /// Fails when the window lacks the reference's numeric attributes.
+    pub fn drift(&self, window: &DataFrame) -> Result<f64, BaselineError> {
+        let rows = crate::rows_for(window, &self.attributes)?;
+        if rows.is_empty() {
+            return Ok(0.0);
+        }
+        let inv = self.gaussian.inv_cov();
+        let mut total = 0.0;
+        for r in &rows {
+            let reduced: Vec<f64> =
+                self.retained.iter().map(|&k| self.pcs.project(r, k)).collect();
+            let mut best = f64::INFINITY;
+            for c in &self.clusters {
+                let d = cc_stats::mahalanobis_sq(&reduced, c, inv);
+                best = best.min(d);
+            }
+            total += best;
+        }
+        Ok(total / rows.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob_frame(cx: f64, cy: f64, corr: f64, n: usize, seed: u64) -> DataFrame {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let a: f64 = rng.gen_range(-1.0..1.0);
+            let b: f64 = rng.gen_range(-1.0..1.0);
+            xs.push(cx + a);
+            ys.push(cy + corr * a + (1.0 - corr) * b);
+        }
+        let mut df = DataFrame::new();
+        df.push_numeric("x", xs).unwrap();
+        df.push_numeric("y", ys).unwrap();
+        df
+    }
+
+    #[test]
+    fn no_drift_on_same_distribution() {
+        let reference = blob_frame(0.0, 0.0, 0.8, 800, 1);
+        let det = PcaSpll::fit(&reference, &SpllOptions::default()).unwrap();
+        let same = blob_frame(0.0, 0.0, 0.8, 400, 2);
+        let shifted = blob_frame(3.0, -3.0, 0.8, 400, 3);
+        let d_same = det.drift(&same).unwrap();
+        let d_shift = det.drift(&shifted).unwrap();
+        assert!(d_shift > 3.0 * d_same, "same {d_same} vs shifted {d_shift}");
+    }
+
+    #[test]
+    fn correlation_break_detected() {
+        // Low-variance components track the correlation structure: breaking
+        // it must register even when means stay put.
+        let reference = blob_frame(0.0, 0.0, 0.95, 800, 4);
+        let det = PcaSpll::fit(&reference, &SpllOptions::default()).unwrap();
+        let decorrelated = blob_frame(0.0, 0.0, 0.0, 400, 5);
+        let base = det.drift(&blob_frame(0.0, 0.0, 0.95, 400, 6)).unwrap();
+        let broken = det.drift(&decorrelated).unwrap();
+        assert!(broken > 2.0 * base, "base {base} vs broken {broken}");
+    }
+
+    #[test]
+    fn retains_low_variance_subset() {
+        let reference = blob_frame(0.0, 0.0, 0.9, 500, 7);
+        let det = PcaSpll::fit(&reference, &SpllOptions::default()).unwrap();
+        // 2D with strong correlation: the low-variance PC explains < 25%,
+        // so exactly one component is retained.
+        assert_eq!(det.retained_components(), 1);
+    }
+
+    #[test]
+    fn empty_reference_rejected() {
+        let df = DataFrame::new();
+        assert!(PcaSpll::fit(&df, &SpllOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! Ablations of CCSynth's design choices (beyond the paper's figures):
+//!
+//! 1. **C factor** (bounds = μ ± C·σ): paper picks C = 4 (§4.1.1). Sweep C
+//!    and report the trade-off between training false positives and
+//!    serving-drift detection strength.
+//! 2. **Importance weighting** γ = 1/log(2+σ) vs uniform: how much the
+//!    low-variance weighting helps drift tracking on the EVL streams.
+//! 3. **Disjunctive partitioning** on vs off: the local-drift story (4CR).
+//! 4. **Quadratic feature expansion**: nonlinear invariants (circle data)
+//!    invisible to the linear profile.
+
+use cc_bench::{banner, scale};
+use cc_datagen::{airlines, evl_dataset, AirlinesConfig, FlightKind};
+use cc_frame::DataFrame;
+use cc_stats::{min_max_normalize, pcc};
+use conformance::{
+    dataset_drift, expand_quadratic, expand_tuple, synthesize, DriftAggregator, SimpleConstraint,
+    SynthOptions,
+};
+
+fn ablate_c_factor() {
+    println!("\n== Ablation 1: bound width C (μ ± C·σ; paper C = 4) ==");
+    let s = scale();
+    let train =
+        airlines(&AirlinesConfig { rows: 15_000 * s, kind: FlightKind::Daytime, seed: 900 });
+    let day = airlines(&AirlinesConfig { rows: 4_000 * s, kind: FlightKind::Daytime, seed: 901 });
+    let night =
+        airlines(&AirlinesConfig { rows: 4_000 * s, kind: FlightKind::Overnight, seed: 902 });
+    println!(
+        "{:>4} {:>22} {:>22} {:>12}",
+        "C", "train violation (FP)", "daytime violation", "overnight"
+    );
+    for c in [1.0, 2.0, 4.0, 6.0, 8.0] {
+        let opts = SynthOptions {
+            c_factor: c,
+            drop_attributes: vec!["arrival_delay".into()],
+            ..Default::default()
+        };
+        let profile = synthesize(&train, &opts).expect("synthesis");
+        let vt = dataset_drift(&profile, &train, DriftAggregator::Mean).expect("eval");
+        let vd = dataset_drift(&profile, &day, DriftAggregator::Mean).expect("eval");
+        let vn = dataset_drift(&profile, &night, DriftAggregator::Mean).expect("eval");
+        println!("{c:>4} {vt:>22.4} {vd:>22.4} {vn:>12.4}");
+    }
+    println!("(small C over-fires on clean data; large C dulls detection — C = 4 balances)");
+}
+
+/// Rebuilds a simple constraint with uniform weights.
+fn uniform_weights(sc: &SimpleConstraint) -> SimpleConstraint {
+    let k = sc.conjuncts.len();
+    SimpleConstraint::new(sc.conjuncts.clone(), vec![1.0; k])
+}
+
+fn ablate_weighting() {
+    println!("\n== Ablation 2: importance weighting γ = 1/log(2+σ) vs uniform ==");
+    let s = scale();
+    let mut gamma_sum = 0.0;
+    let mut unif_sum = 0.0;
+    let streams = ["1CDT", "UG-2C-2D", "4CRE-V1", "MG-2C-2D", "2CHT"];
+    println!("{:<12} {:>12} {:>12}", "stream", "γ-weighted", "uniform");
+    for name in streams {
+        let ds = evl_dataset(name, 9, 150 * s, 910).expect("stream");
+        let profile = synthesize(&ds.windows[0], &SynthOptions::default()).expect("synthesis");
+        let mut profile_u = profile.clone();
+        if let Some(g) = profile_u.global.take() {
+            profile_u.global = Some(uniform_weights(&g));
+        }
+        for d in profile_u.disjunctive.iter_mut() {
+            for (_, case) in d.cases.iter_mut() {
+                *case = uniform_weights(case);
+            }
+        }
+        let series = |p: &conformance::ConformanceProfile| {
+            let mut v: Vec<f64> = ds
+                .windows
+                .iter()
+                .map(|w| dataset_drift(p, w, DriftAggregator::Mean).expect("eval"))
+                .collect();
+            min_max_normalize(&mut v);
+            v
+        };
+        let rho_g = pcc(&series(&profile), &ds.ground_truth);
+        let rho_u = pcc(&series(&profile_u), &ds.ground_truth);
+        gamma_sum += rho_g;
+        unif_sum += rho_u;
+        println!("{name:<12} {rho_g:>12.3} {rho_u:>12.3}");
+    }
+    println!(
+        "mean pcc: γ-weighted {:.3} vs uniform {:.3}",
+        gamma_sum / streams.len() as f64,
+        unif_sum / streams.len() as f64
+    );
+}
+
+fn ablate_partitioning() {
+    println!("\n== Ablation 3: disjunctive partitioning (the 4CR local-drift case) ==");
+    let s = scale();
+    let ds = evl_dataset("4CR", 9, 150 * s, 920).expect("stream");
+    let full = synthesize(&ds.windows[0], &SynthOptions::default()).expect("synthesis");
+    let global = synthesize(
+        &ds.windows[0],
+        &SynthOptions { partition_attributes: Some(vec![]), ..Default::default() },
+    )
+    .expect("synthesis");
+    println!("{:>7} {:>14} {:>14} {:>14}", "window", "ground truth", "disjunctive", "global");
+    for (w, window) in ds.windows.iter().enumerate() {
+        let d_full = dataset_drift(&full, window, DriftAggregator::Mean).expect("eval");
+        let d_glob = dataset_drift(&global, window, DriftAggregator::Mean).expect("eval");
+        println!("{w:>7} {:>14.3} {d_full:>14.4} {d_glob:>14.4}", ds.ground_truth[w]);
+    }
+    println!("(only the disjunctive profile sees the rotation)");
+}
+
+fn ablate_quadratic() {
+    println!("\n== Ablation 4: quadratic feature expansion (circle invariant) ==");
+    let n = 400;
+    let mut df = DataFrame::new();
+    let xs: Vec<f64> =
+        (0..n).map(|i| 5.0 * (i as f64 * std::f64::consts::TAU / n as f64).cos()).collect();
+    let ys: Vec<f64> =
+        (0..n).map(|i| 5.0 * (i as f64 * std::f64::consts::TAU / n as f64).sin()).collect();
+    df.push_numeric("x", xs).unwrap();
+    df.push_numeric("y", ys).unwrap();
+
+    let linear = synthesize(&df, &SynthOptions::default()).expect("synthesis");
+    let quad_df = expand_quadratic(&df).expect("expansion");
+    let quad = synthesize(&quad_df, &SynthOptions::default()).expect("synthesis");
+
+    println!("{:<24} {:>10} {:>10}", "serving point", "linear", "quadratic");
+    for (label, x, y) in
+        [("on circle (5, 0)", 5.0, 0.0), ("center (0, 0)", 0.0, 0.0), ("far (12, 0)", 12.0, 0.0)]
+    {
+        let vl = linear.violation(&[x, y], &[]).expect("eval");
+        let vq = quad.violation(&expand_tuple(&[x, y]), &[]).expect("eval");
+        println!("{label:<24} {vl:>10.4} {vq:>10.4}");
+    }
+    println!("(the linear profile cannot reject the circle's interior; the quadratic one can)");
+}
+
+fn main() {
+    banner("Ablations", "design-choice studies beyond the paper's figures");
+    ablate_c_factor();
+    ablate_weighting();
+    ablate_partitioning();
+    ablate_quadratic();
+}

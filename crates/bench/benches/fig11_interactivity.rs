@@ -1,0 +1,76 @@
+//! Fig. 11 (appendix): inter-activity violation heat map. Constraints are
+//! learned per activity (over all persons); the cell (a, b) is how much
+//! activity b's held-out data violates activity a's constraints.
+//!
+//! Paper's reported shape: asymmetry — mobile activities violate the
+//! sedentary activities' constraints much more than the reverse, because
+//! mobile data acts as a "safety envelope" superset of sedentary postures.
+
+use cc_bench::{banner, filter_categorical};
+use cc_datagen::{har, HarConfig, ACTIVITIES, MOBILE_ACTIVITIES, SEDENTARY_ACTIVITIES};
+use cc_frame::DataFrame;
+use conformance::{dataset_drift, synthesize, ConformanceProfile, DriftAggregator, SynthOptions};
+
+fn main() {
+    banner("Fig 11", "inter-activity constraint-violation heat map (5×5)");
+    let df = har(&HarConfig { persons: 15, samples_per_pair: 80, seed: 111 });
+
+    let mut profiles: Vec<(usize, ConformanceProfile)> = Vec::new();
+    let mut heldout: Vec<DataFrame> = Vec::new();
+    for (i, act) in ACTIVITIES.iter().enumerate() {
+        let af = filter_categorical(&df, "activity", &[act]);
+        let half = af.n_rows() / 2;
+        let train = af.take(&(0..half).collect::<Vec<_>>());
+        let held = af.take(&(half..af.n_rows()).collect::<Vec<_>>());
+        let opts = SynthOptions { partition_attributes: Some(vec![]), ..Default::default() };
+        profiles.push((i, synthesize(&train, &opts).expect("synthesis")));
+        heldout.push(held);
+    }
+
+    let n = ACTIVITIES.len();
+    let mut matrix = vec![vec![0.0; n]; n];
+    for (a, (_, profile)) in profiles.iter().enumerate() {
+        for b in 0..n {
+            matrix[a][b] =
+                dataset_drift(profile, &heldout[b], DriftAggregator::Mean).expect("eval");
+        }
+    }
+
+    print!("{:<10}", "");
+    for b in ACTIVITIES {
+        print!(" {b:>9}");
+    }
+    println!("   (column = data, row = constraints)");
+    for (a, row) in matrix.iter().enumerate() {
+        print!("{:<10}", ACTIVITIES[a]);
+        for v in row {
+            print!(" {v:>9.3}");
+        }
+        println!();
+    }
+
+    // Asymmetry: mean violation of mobile data against sedentary
+    // constraints vs the reverse.
+    let idx = |name: &str| ACTIVITIES.iter().position(|a| *a == name).expect("known");
+    let mut mobile_on_sed = 0.0;
+    let mut sed_on_mobile = 0.0;
+    let mut pairs = 0.0;
+    for s in SEDENTARY_ACTIVITIES {
+        for m in MOBILE_ACTIVITIES {
+            mobile_on_sed += matrix[idx(s)][idx(m)];
+            sed_on_mobile += matrix[idx(m)][idx(s)];
+            pairs += 1.0;
+        }
+    }
+    mobile_on_sed /= pairs;
+    sed_on_mobile /= pairs;
+    let diag: f64 = (0..n).map(|a| matrix[a][a]).sum::<f64>() / n as f64;
+
+    println!("\nmean self-violation (diagonal)             = {diag:.4}");
+    println!("mobile data on sedentary constraints (avg) = {mobile_on_sed:.4}");
+    println!("sedentary data on mobile constraints (avg) = {sed_on_mobile:.4}");
+    println!(
+        "\npaper shape check: asymmetry (mobile→sedentary ≫ reverse), low diagonal … {}",
+        if mobile_on_sed > 1.5 * sed_on_mobile && diag < 0.2 { "OK" } else { "MISMATCH" }
+    );
+}

@@ -1,0 +1,99 @@
+//! Fig. 7: inter-person drift heat map. Constraints learned from half of
+//! each person's data (disjunctive over activities); the cell (p, q) is how
+//! much person q's held-out data violates person p's constraints,
+//! activity-wise averaged. The diagonal (self-drift) must be near zero; the
+//! off-diagonal structure correlates with the generator's latent
+//! fitness/BMI distances.
+
+use cc_bench::banner;
+use cc_datagen::har::person_latents;
+use cc_datagen::{har, HarConfig};
+use cc_frame::DataFrame;
+use cc_stats::pcc;
+use conformance::{dataset_drift, synthesize, ConformanceProfile, DriftAggregator, SynthOptions};
+
+fn person_frame(df: &DataFrame, person: usize) -> DataFrame {
+    let (codes, dict) = df.categorical("person").expect("person column");
+    let code = dict.iter().position(|d| d == &format!("p{person}")).map(|i| i as u32);
+    let idx: Vec<usize> = match code {
+        Some(c) => (0..df.n_rows()).filter(|&i| codes[i] == c).collect(),
+        None => vec![],
+    };
+    df.take(&idx)
+}
+
+fn main() {
+    banner("Fig 7", "inter-person constraint-violation heat map (15×15)");
+    let persons = 15;
+    let df = har(&HarConfig { persons, samples_per_pair: 60, seed: 77 });
+
+    // Per person: train on the first half, hold out the second half.
+    let mut profiles: Vec<ConformanceProfile> = Vec::new();
+    let mut heldout: Vec<DataFrame> = Vec::new();
+    for p in 0..persons {
+        let pf = person_frame(&df, p);
+        let half = pf.n_rows() / 2;
+        let train = pf.take(&(0..half).collect::<Vec<_>>());
+        let held = pf.take(&(half..pf.n_rows()).collect::<Vec<_>>());
+        let opts = SynthOptions {
+            partition_attributes: Some(vec!["activity".into()]),
+            ..Default::default()
+        };
+        profiles.push(synthesize(&train, &opts).expect("synthesis"));
+        heldout.push(held);
+    }
+
+    // Violation matrix: row p = whose constraints, column q = whose data.
+    let mut matrix = vec![vec![0.0; persons]; persons];
+    for p in 0..persons {
+        for q in 0..persons {
+            matrix[p][q] =
+                dataset_drift(&profiles[p], &heldout[q], DriftAggregator::Mean).expect("eval");
+        }
+    }
+
+    print!("     ");
+    for q in 0..persons {
+        print!("  p{q:<3}");
+    }
+    println!();
+    for (p, row) in matrix.iter().enumerate() {
+        print!("p{p:<4}");
+        for v in row {
+            print!(" {v:>5.2}");
+        }
+        println!();
+    }
+
+    // Diagnostics matching the paper's observations.
+    let diag: f64 = (0..persons).map(|p| matrix[p][p]).sum::<f64>() / persons as f64;
+    let off: f64 = (0..persons)
+        .flat_map(|p| (0..persons).filter(move |&q| q != p).map(move |q| (p, q)))
+        .map(|(p, q)| matrix[p][q])
+        .sum::<f64>()
+        / (persons * (persons - 1)) as f64;
+    println!("\nmean self-violation (diagonal)   = {diag:.4}");
+    println!("mean cross-violation (off-diag.) = {off:.4}");
+
+    // Correlation with latent fitness/BMI distance (the paper's "hidden
+    // ground truth" remark).
+    let mut latent_d = Vec::new();
+    let mut drift_d = Vec::new();
+    for p in 0..persons {
+        for q in 0..persons {
+            if p == q {
+                continue;
+            }
+            let (f1, b1) = person_latents(p);
+            let (f2, b2) = person_latents(q);
+            latent_d.push(((f1 - f2).powi(2) + ((b1 - b2) / 14.0).powi(2)).sqrt());
+            drift_d.push(matrix[p][q]);
+        }
+    }
+    let rho = pcc(&latent_d, &drift_d);
+    println!("pcc(latent fitness/BMI distance, drift) = {rho:.3}");
+    println!(
+        "\npaper shape check: diagonal ≪ off-diagonal, latent correlation > 0 … {}",
+        if diag * 3.0 < off && rho > 0.2 { "OK" } else { "MISMATCH" }
+    );
+}

@@ -1,0 +1,99 @@
+//! Fig. 8: drift quantification on all 16 EVL benchmark streams —
+//! CCSynth vs PCA-SPLL (25% cumulative variance), CD-MKL and CD-Area —
+//! each method's normalized drift curve against the stream's ground truth.
+//!
+//! Paper's reported shape: CCSynth tracks the ground truth on every
+//! stream, including the *local-only* drifts (4CR, 4CRE-V2, FG-2C-2D)
+//! where PCA-SPLL fails; CD variants are noisier and often miss magnitude
+//! structure.
+
+use cc_baselines::cd::CdOptions;
+use cc_baselines::{CdDivergence, ChangeDetection, PcaSpll};
+use cc_bench::{banner, scale, series_row};
+use cc_datagen::{evl_dataset, EVL_NAMES};
+use cc_stats::{min_max_normalize, pcc};
+use conformance::{dataset_drift, synthesize, DriftAggregator, SynthOptions};
+
+fn main() {
+    banner("Fig 8", "EVL benchmark: CCSynth vs PCA-SPLL vs CD-MKL vs CD-Area");
+    let s = scale();
+    let n_windows = 11;
+    let points = 200 * s;
+
+    let mut pcc_sums = [0.0f64; 4]; // CC, SPLL, MKL, Area
+    let mut cc_wins = 0usize;
+
+    for name in EVL_NAMES {
+        let ds = evl_dataset(name, n_windows, points, 800).expect("known stream");
+        let reference = &ds.windows[0];
+
+        let profile = synthesize(reference, &SynthOptions::default()).expect("synthesis");
+        let spll = PcaSpll::fit(reference, &Default::default()).expect("spll fit");
+        let mkl = ChangeDetection::fit(
+            reference,
+            &CdOptions { divergence: CdDivergence::MaxKl, ..Default::default() },
+        )
+        .expect("cd fit");
+        let area = ChangeDetection::fit(
+            reference,
+            &CdOptions { divergence: CdDivergence::Area, ..Default::default() },
+        )
+        .expect("cd fit");
+
+        let mut cc = Vec::new();
+        let mut sp = Vec::new();
+        let mut mk = Vec::new();
+        let mut ar = Vec::new();
+        for w in &ds.windows {
+            cc.push(dataset_drift(&profile, w, DriftAggregator::Mean).expect("eval"));
+            sp.push(spll.drift(w).expect("eval"));
+            mk.push(mkl.drift(w).expect("eval"));
+            ar.push(area.drift(w).expect("eval"));
+        }
+        for series in [&mut cc, &mut sp, &mut mk, &mut ar] {
+            min_max_normalize(series);
+        }
+
+        let rhos = [
+            pcc(&cc, &ds.ground_truth),
+            pcc(&sp, &ds.ground_truth),
+            pcc(&mk, &ds.ground_truth),
+            pcc(&ar, &ds.ground_truth),
+        ];
+        for (sum, r) in pcc_sums.iter_mut().zip(rhos) {
+            *sum += r;
+        }
+        if rhos[0] >= rhos[1].max(rhos[2]).max(rhos[3]) - 1e-9 {
+            cc_wins += 1;
+        }
+
+        println!("\n--- {name} ---");
+        println!("{}", series_row("truth", &ds.ground_truth));
+        println!("{}  pcc={:+.2}", series_row("CC", &cc), rhos[0]);
+        println!("{}  pcc={:+.2}", series_row("PCA-SPLL", &sp), rhos[1]);
+        println!("{}  pcc={:+.2}", series_row("CD-MKL", &mk), rhos[2]);
+        println!("{}  pcc={:+.2}", series_row("CD-Area", &ar), rhos[3]);
+    }
+
+    let n = EVL_NAMES.len() as f64;
+    println!("\n===== summary (mean pcc vs ground truth over 16 streams) =====");
+    println!("CCSynth : {:+.3}", pcc_sums[0] / n);
+    println!("PCA-SPLL: {:+.3}", pcc_sums[1] / n);
+    println!("CD-MKL  : {:+.3}", pcc_sums[2] / n);
+    println!("CD-Area : {:+.3}", pcc_sums[3] / n);
+    println!("CCSynth best-or-tied on {cc_wins}/16 streams");
+    // Note: CC's curve is a hockey-stick by construction (zero violation
+    // until drift exits the 4σ conformance zone, then a steep ramp), which
+    // bounds pcc against smoothly-ramping ground truths — the paper's own
+    // Fig-8 CC curves show the same lag.
+    println!(
+        "paper shape check: CCSynth mean pcc highest and > 0.85 … {}",
+        if pcc_sums[0] >= pcc_sums[1].max(pcc_sums[2]).max(pcc_sums[3])
+            && pcc_sums[0] / n > 0.85
+        {
+            "OK"
+        } else {
+            "MISMATCH"
+        }
+    );
+}

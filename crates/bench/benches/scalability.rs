@@ -1,0 +1,87 @@
+//! §6 "Efficiency" + §4.3 complexity claims, as Criterion benchmarks:
+//!
+//! * synthesis time is **linear in the number of rows** (sweep n);
+//! * synthesis time is dominated by an O(m³) eigensolve plus O(n·m²)
+//!   accumulation (sweep m);
+//! * the Gram matrix parallelizes (serial vs crossbeam-parallel).
+
+use cc_linalg::gram::gram_parallel;
+use cc_linalg::Gram;
+use conformance::{synthesize_simple, SynthOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+/// Deterministic synthetic rows with mild cross-attribute structure.
+fn rows(n: usize, m: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            (0..m)
+                .map(|j| {
+                    let t = i as f64 * 0.013 + j as f64;
+                    (t.sin() * 10.0) + (i % (j + 2)) as f64
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn attrs(m: usize) -> Vec<String> {
+    (0..m).map(|j| format!("a{j}")).collect()
+}
+
+fn bench_rows_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("synthesis_vs_rows");
+    let m = 12;
+    let names = attrs(m);
+    for n in [2_000usize, 8_000, 32_000] {
+        let data = rows(n, m);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| synthesize_simple(data, &names, &SynthOptions::default()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_attr_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("synthesis_vs_attributes");
+    let n = 5_000;
+    for m in [4usize, 8, 16, 32] {
+        let data = rows(n, m);
+        let names = attrs(m);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &data, |b, data| {
+            b.iter(|| synthesize_simple(data, &names, &SynthOptions::default()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_gram_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gram_matrix");
+    let m = 24;
+    let data = rows(40_000, m);
+    g.throughput(Throughput::Elements(data.len() as u64));
+    g.bench_function("serial_streaming", |b| {
+        b.iter(|| {
+            let mut acc = Gram::new(m);
+            for r in &data {
+                acc.update(r);
+            }
+            acc.finish()
+        })
+    });
+    for threads in [2usize, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("parallel", threads),
+            &threads,
+            |b, &threads| b.iter(|| gram_parallel(&data, m, threads)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_rows_scaling, bench_attr_scaling, bench_gram_parallel
+}
+criterion_main!(benches);

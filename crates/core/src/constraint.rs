@@ -1,0 +1,522 @@
+//! The conformance-constraint language (§3.1) and its quantitative
+//! semantics (§3.2).
+//!
+//! Grammar (paper notation):
+//!
+//! ```text
+//! φ  := lb ≤ F(Ā) ≤ ub | ∧(φ, …, φ)          — simple constraints
+//! ψA := ∨((A=c₁)▷φ, (A=c₂)▷φ, …)             — disjunctive on attribute A
+//! Ψ  := ψA | ∧(ψA₁, ψA₂, …)                   — compound constraints
+//! Φ  := φ | Ψ
+//! ```
+//!
+//! Mapped to types: [`BoundedConstraint`] is one `lb ≤ F ≤ ub`;
+//! [`SimpleConstraint`] is a γ-weighted conjunction of bounded constraints;
+//! [`DisjunctiveConstraint`] is one `ψA`; [`ConformanceProfile`] is the full
+//! `Φ` a dataset gets: an optional global simple constraint conjoined with
+//! one disjunctive constraint per partitioning attribute.
+
+use crate::eta;
+use crate::projection::Projection;
+use cc_frame::{DataFrame, FrameError};
+use serde::{Deserialize, Serialize};
+
+/// A bounded-projection constraint `lb ≤ F(Ā) ≤ ub` with its quantitative-
+/// semantics parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BoundedConstraint {
+    /// The projection `F`.
+    pub projection: Projection,
+    /// Lower bound (μ − C·σ under the synthesizer's policy, §4.1.1).
+    pub lb: f64,
+    /// Upper bound (μ + C·σ).
+    pub ub: f64,
+    /// μ(F(D)) at synthesis time (kept for diagnostics / ExTuNe).
+    pub mean: f64,
+    /// σ(F(D)) at synthesis time (population std).
+    pub std: f64,
+    /// Scaling factor α = 1/σ(F(D)), capped for σ ≈ 0 (§3.2).
+    pub alpha: f64,
+}
+
+impl BoundedConstraint {
+    /// Quantitative semantics:
+    /// `[[lb ≤ F ≤ ub]](t) = η(α · max(0, F(t) − ub, lb − F(t)))`.
+    pub fn violation(&self, tuple: &[f64]) -> f64 {
+        let v = self.projection.evaluate(tuple);
+        let excess = (v - self.ub).max(self.lb - v).max(0.0);
+        eta(self.alpha * excess)
+    }
+
+    /// Boolean semantics: `lb ≤ F(t) ≤ ub`.
+    pub fn satisfied(&self, tuple: &[f64]) -> bool {
+        let v = self.projection.evaluate(tuple);
+        self.lb <= v && v <= self.ub
+    }
+
+    /// True when this is (numerically) an equality constraint `F(Ā) = c` —
+    /// a zero-variance projection, the strongest kind (§5).
+    pub fn is_equality(&self, eps: f64) -> bool {
+        self.std <= eps
+    }
+}
+
+/// A conjunction `∧(φ₁ … φ_K)` with importance factors γ (Σγ = 1).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SimpleConstraint {
+    /// The conjuncts.
+    pub conjuncts: Vec<BoundedConstraint>,
+    /// Importance factor per conjunct; normalized to sum 1.
+    pub weights: Vec<f64>,
+}
+
+impl SimpleConstraint {
+    /// Builds a conjunction, normalizing the weights to sum to 1.
+    ///
+    /// # Panics
+    /// Panics when lengths differ or any weight is negative.
+    pub fn new(conjuncts: Vec<BoundedConstraint>, weights: Vec<f64>) -> Self {
+        assert_eq!(conjuncts.len(), weights.len(), "one weight per conjunct");
+        assert!(weights.iter().all(|w| *w >= 0.0), "weights must be non-negative");
+        let total: f64 = weights.iter().sum();
+        let weights = if total > 0.0 {
+            weights.iter().map(|w| w / total).collect()
+        } else {
+            let k = weights.len().max(1) as f64;
+            vec![1.0 / k; weights.len()]
+        };
+        SimpleConstraint { conjuncts, weights }
+    }
+
+    /// Quantitative semantics: `Σ_k γ_k · [[φ_k]](t)`, clamped to `[0, 1]`
+    /// (the weighted sum can exceed 1 by one ulp of accumulation error).
+    pub fn violation(&self, tuple: &[f64]) -> f64 {
+        self.conjuncts
+            .iter()
+            .zip(&self.weights)
+            .map(|(c, w)| w * c.violation(tuple))
+            .sum::<f64>()
+            .clamp(0.0, 1.0)
+    }
+
+    /// Boolean semantics: every conjunct satisfied.
+    pub fn satisfied(&self, tuple: &[f64]) -> bool {
+        self.conjuncts.iter().all(|c| c.satisfied(tuple))
+    }
+
+    /// Number of conjuncts.
+    pub fn len(&self) -> usize {
+        self.conjuncts.len()
+    }
+
+    /// True when there are no conjuncts (violation is then 0 everywhere).
+    pub fn is_empty(&self) -> bool {
+        self.conjuncts.is_empty()
+    }
+
+    /// The conjuncts that are (near-)equality constraints (σ ≤ eps) — the
+    /// safety-envelope core used by TML (§5).
+    pub fn equality_constraints(&self, eps: f64) -> Vec<&BoundedConstraint> {
+        self.conjuncts.iter().filter(|c| c.is_equality(eps)).collect()
+    }
+
+    /// Per-conjunct breakdown of a tuple's violation: `(index, γ·[[φ_k]](t))`
+    /// sorted by descending contribution. The entries sum to
+    /// [`Self::violation`]; useful for debugging *which* constraint fires.
+    pub fn violation_breakdown(&self, tuple: &[f64]) -> Vec<(usize, f64)> {
+        let mut parts: Vec<(usize, f64)> = self
+            .conjuncts
+            .iter()
+            .zip(&self.weights)
+            .enumerate()
+            .map(|(k, (c, w))| (k, w * c.violation(tuple)))
+            .collect();
+        parts.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite contributions"));
+        parts
+    }
+}
+
+/// A disjunctive constraint `∨((A=c₁)▷φ₁, (A=c₂)▷φ₂, …)` switching on one
+/// categorical attribute (§3.1, §4.2).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DisjunctiveConstraint {
+    /// The switching attribute `A`.
+    pub attribute: String,
+    /// `(value, constraint)` cases, one per training partition.
+    pub cases: Vec<(String, SimpleConstraint)>,
+}
+
+impl DisjunctiveConstraint {
+    /// `simp(ψ, t)`: the simple constraint selected by the tuple's value of
+    /// the switching attribute, or `None` when the value was never seen in
+    /// training (then `[[ψ]](t) := 1`, §3.2).
+    pub fn simplify(&self, value: &str) -> Option<&SimpleConstraint> {
+        self.cases.iter().find(|(v, _)| v == value).map(|(_, c)| c)
+    }
+
+    /// Quantitative semantics for a tuple whose switching-attribute value is
+    /// `value`.
+    pub fn violation(&self, tuple: &[f64], value: &str) -> f64 {
+        match self.simplify(value) {
+            Some(c) => c.violation(tuple),
+            None => 1.0,
+        }
+    }
+}
+
+/// Errors when evaluating a profile against data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProfileError {
+    /// A numeric attribute the profile was trained on is missing.
+    MissingNumeric(String),
+    /// A categorical (switching) attribute is missing.
+    MissingCategorical(String),
+    /// Underlying frame error.
+    Frame(FrameError),
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileError::MissingNumeric(a) => write!(f, "missing numeric attribute '{a}'"),
+            ProfileError::MissingCategorical(a) => {
+                write!(f, "missing categorical attribute '{a}'")
+            }
+            ProfileError::Frame(e) => write!(f, "frame error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+/// Borrowed categorical column view `(attribute, (codes, dict))` used when
+/// resolving switching attributes against a frame.
+pub(crate) type CatColumns<'a> = Vec<(&'a str, (&'a [u32], &'a [String]))>;
+
+impl From<FrameError> for ProfileError {
+    fn from(e: FrameError) -> Self {
+        ProfileError::Frame(e)
+    }
+}
+
+/// The complete conformance constraint `Φ` learned for a dataset: an
+/// optional global simple constraint conjoined (uniform weights) with one
+/// disjunctive constraint per partitioning attribute.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ConformanceProfile {
+    /// Numeric attribute names, fixing the tuple order every projection
+    /// expects.
+    pub numeric_attributes: Vec<String>,
+    /// The global simple constraint (Algorithm 1 on the whole dataset).
+    pub global: Option<SimpleConstraint>,
+    /// Disjunctive constraints, one per categorical attribute selected by
+    /// the synthesizer.
+    pub disjunctive: Vec<DisjunctiveConstraint>,
+}
+
+impl ConformanceProfile {
+    /// Violation of a single tuple.
+    ///
+    /// * `numeric` — values aligned with [`Self::numeric_attributes`];
+    /// * `categorical` — `(attribute, value)` pairs covering at least every
+    ///   switching attribute in the profile.
+    ///
+    /// The top-level conjunction weighs its members uniformly.
+    ///
+    /// # Errors
+    /// Fails when a switching attribute is missing from `categorical`.
+    pub fn violation(
+        &self,
+        numeric: &[f64],
+        categorical: &[(&str, &str)],
+    ) -> Result<f64, ProfileError> {
+        assert_eq!(
+            numeric.len(),
+            self.numeric_attributes.len(),
+            "tuple arity does not match profile"
+        );
+        let mut total = 0.0;
+        let mut parts = 0usize;
+        if let Some(g) = &self.global {
+            total += g.violation(numeric);
+            parts += 1;
+        }
+        for d in &self.disjunctive {
+            let value = categorical
+                .iter()
+                .find(|(a, _)| *a == d.attribute)
+                .map(|(_, v)| *v)
+                .ok_or_else(|| ProfileError::MissingCategorical(d.attribute.clone()))?;
+            total += d.violation(numeric, value);
+            parts += 1;
+        }
+        if parts == 0 {
+            return Ok(0.0);
+        }
+        Ok(total / parts as f64)
+    }
+
+    /// Boolean satisfaction of a single tuple (every component satisfied;
+    /// unseen categorical values are unsatisfied).
+    ///
+    /// # Errors
+    /// Fails when a switching attribute is missing from `categorical`.
+    pub fn satisfied(
+        &self,
+        numeric: &[f64],
+        categorical: &[(&str, &str)],
+    ) -> Result<bool, ProfileError> {
+        if let Some(g) = &self.global {
+            if !g.satisfied(numeric) {
+                return Ok(false);
+            }
+        }
+        for d in &self.disjunctive {
+            let value = categorical
+                .iter()
+                .find(|(a, _)| *a == d.attribute)
+                .map(|(_, v)| *v)
+                .ok_or_else(|| ProfileError::MissingCategorical(d.attribute.clone()))?;
+            match d.simplify(value) {
+                Some(c) => {
+                    if !c.satisfied(numeric) {
+                        return Ok(false);
+                    }
+                }
+                None => return Ok(false),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Violations for every row of a dataframe (resolving attributes by
+    /// name).
+    ///
+    /// # Errors
+    /// Fails when the frame lacks any attribute the profile needs.
+    pub fn violations(&self, df: &DataFrame) -> Result<Vec<f64>, ProfileError> {
+        let numeric_cols: Vec<&[f64]> = self
+            .numeric_attributes
+            .iter()
+            .map(|a| {
+                df.numeric(a).map_err(|_| ProfileError::MissingNumeric(a.clone()))
+            })
+            .collect::<Result<_, _>>()?;
+        let cat_cols: CatColumns = self
+            .disjunctive
+            .iter()
+            .map(|d| {
+                df.categorical(&d.attribute)
+                    .map(|c| (d.attribute.as_str(), c))
+                    .map_err(|_| ProfileError::MissingCategorical(d.attribute.clone()))
+            })
+            .collect::<Result<_, _>>()?;
+
+        let n = df.n_rows();
+        let mut out = Vec::with_capacity(n);
+        let mut tuple = vec![0.0; numeric_cols.len()];
+        for i in 0..n {
+            for (slot, col) in tuple.iter_mut().zip(&numeric_cols) {
+                *slot = col[i];
+            }
+            let cats: Vec<(&str, &str)> = cat_cols
+                .iter()
+                .map(|(name, (codes, dict))| (*name, dict[codes[i] as usize].as_str()))
+                .collect();
+            out.push(self.violation(&tuple, &cats)?);
+        }
+        Ok(out)
+    }
+
+    /// Mean violation over a dataframe — the paper's dataset-level
+    /// non-conformance (§2, "Data drift").
+    ///
+    /// # Errors
+    /// Fails when the frame lacks any attribute the profile needs.
+    pub fn mean_violation(&self, df: &DataFrame) -> Result<f64, ProfileError> {
+        let v = self.violations(df)?;
+        if v.is_empty() {
+            return Ok(0.0);
+        }
+        Ok(v.iter().sum::<f64>() / v.len() as f64)
+    }
+
+    /// Total number of bounded constraints across the profile.
+    pub fn constraint_count(&self) -> usize {
+        let g = self.global.as_ref().map_or(0, SimpleConstraint::len);
+        let d: usize = self
+            .disjunctive
+            .iter()
+            .map(|d| d.cases.iter().map(|(_, c)| c.len()).sum::<usize>())
+            .sum();
+        g + d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bc(coeffs: &[f64], lb: f64, ub: f64, std: f64) -> BoundedConstraint {
+        let names = (0..coeffs.len()).map(|i| format!("a{i}")).collect();
+        BoundedConstraint {
+            projection: Projection::new(names, coeffs.to_vec()),
+            lb,
+            ub,
+            mean: (lb + ub) / 2.0,
+            std,
+            alpha: if std > 0.0 { 1.0 / std } else { 1e9 },
+        }
+    }
+
+    #[test]
+    fn bounded_violation_zero_inside() {
+        let c = bc(&[1.0], -5.0, 5.0, 3.6);
+        assert_eq!(c.violation(&[0.0]), 0.0);
+        assert_eq!(c.violation(&[5.0]), 0.0);
+        assert_eq!(c.violation(&[-5.0]), 0.0);
+        assert!(c.satisfied(&[4.9]));
+        assert!(!c.satisfied(&[5.1]));
+    }
+
+    #[test]
+    fn paper_example_4() {
+        // φ1 : −5 ≤ AT − DT − DUR ≤ 5, σ(F(D)) = 3.6, t5 → F = −1438.
+        // [[φ1]](t5) = 1 − e^(−1433/3.6) ≈ 1.
+        let names = vec!["AT".to_string(), "DT".to_string(), "DUR".to_string()];
+        let c = BoundedConstraint {
+            projection: Projection::new(names, vec![1.0, -1.0, -1.0]),
+            lb: -5.0,
+            ub: 5.0,
+            mean: -0.5,
+            std: 3.6,
+            alpha: 1.0 / 3.6,
+        };
+        let v = c.violation(&[370.0, 1350.0, 458.0]);
+        assert!((v - 1.0).abs() < 1e-9, "expected ≈1, got {v}");
+        // In-range tuples of Fig. 1 (converted to minutes).
+        let t1 = [18.0 * 60.0 + 20.0, 14.0 * 60.0 + 30.0, 230.0];
+        assert_eq!(c.violation(&t1), 0.0);
+    }
+
+    #[test]
+    fn violation_monotone_in_distance() {
+        // Lemma 5: larger standardized deviation ⇒ larger violation.
+        let c = bc(&[1.0], -1.0, 1.0, 0.5);
+        let mut prev = -1.0;
+        for i in 0..20 {
+            let v = c.violation(&[1.0 + i as f64 * 0.3]);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn equality_constraint_detection() {
+        assert!(bc(&[1.0], 0.0, 0.0, 0.0).is_equality(1e-9));
+        assert!(!bc(&[1.0], -1.0, 1.0, 0.5).is_equality(1e-9));
+    }
+
+    #[test]
+    fn simple_constraint_weighted_sum() {
+        let c1 = bc(&[1.0, 0.0], -1.0, 1.0, 1.0);
+        let c2 = bc(&[0.0, 1.0], -1.0, 1.0, 1.0);
+        let s = SimpleConstraint::new(vec![c1, c2], vec![3.0, 1.0]);
+        // Weights normalize to 0.75 / 0.25.
+        assert!((s.weights[0] - 0.75).abs() < 1e-12);
+        let t = [3.0, 0.0]; // violates only conjunct 1 by 2.0 → η(2) ≈ 0.8647
+        let expect = 0.75 * crate::eta(2.0);
+        assert!((s.violation(&t) - expect).abs() < 1e-12);
+        assert!(!s.satisfied(&t));
+        assert!(s.satisfied(&[0.0, 0.0]));
+    }
+
+    #[test]
+    fn simple_constraint_zero_weights_uniform() {
+        let c1 = bc(&[1.0], -1.0, 1.0, 1.0);
+        let s = SimpleConstraint::new(vec![c1.clone(), c1], vec![0.0, 0.0]);
+        assert!((s.weights[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_simple_constraint() {
+        let s = SimpleConstraint::default();
+        assert!(s.is_empty());
+        assert_eq!(s.violation(&[1.0]), 0.0);
+        assert!(s.satisfied(&[1.0]));
+    }
+
+    #[test]
+    fn disjunctive_switching_and_unseen_value() {
+        let tight = SimpleConstraint::new(vec![bc(&[1.0], -1.0, 1.0, 0.5)], vec![1.0]);
+        let loose = SimpleConstraint::new(vec![bc(&[1.0], -10.0, 10.0, 5.0)], vec![1.0]);
+        let d = DisjunctiveConstraint {
+            attribute: "month".into(),
+            cases: vec![("May".into(), tight), ("June".into(), loose)],
+        };
+        assert_eq!(d.violation(&[5.0], "June"), 0.0);
+        assert!(d.violation(&[5.0], "May") > 0.9);
+        // Unseen value (the paper's "August" example): violation 1.
+        assert_eq!(d.violation(&[0.0], "August"), 1.0);
+        assert!(d.simplify("August").is_none());
+    }
+
+    #[test]
+    fn profile_uniform_top_level_conjunction() {
+        let g = SimpleConstraint::new(vec![bc(&[1.0], -1.0, 1.0, 0.5)], vec![1.0]);
+        let case = SimpleConstraint::new(vec![bc(&[1.0], -2.0, 2.0, 1.0)], vec![1.0]);
+        let profile = ConformanceProfile {
+            numeric_attributes: vec!["a0".into()],
+            global: Some(g),
+            disjunctive: vec![DisjunctiveConstraint {
+                attribute: "g".into(),
+                cases: vec![("x".into(), case)],
+            }],
+        };
+        // Inside both: 0.
+        assert_eq!(profile.violation(&[0.5], &[("g", "x")]).unwrap(), 0.0);
+        // Unseen category contributes 1, global contributes 0 → 0.5.
+        let v = profile.violation(&[0.5], &[("g", "zzz")]).unwrap();
+        assert!((v - 0.5).abs() < 1e-12);
+        // Missing categorical attribute is an error.
+        assert!(matches!(
+            profile.violation(&[0.5], &[]),
+            Err(ProfileError::MissingCategorical(_))
+        ));
+        assert_eq!(profile.constraint_count(), 2);
+    }
+
+    #[test]
+    fn profile_violations_over_frame() {
+        let g = SimpleConstraint::new(vec![bc(&[1.0, -1.0], -1.0, 1.0, 0.5)], vec![1.0]);
+        let profile = ConformanceProfile {
+            numeric_attributes: vec!["a0".into(), "a1".into()],
+            global: Some(g),
+            disjunctive: vec![],
+        };
+        let mut df = DataFrame::new();
+        df.push_numeric("a0", vec![1.0, 10.0]).unwrap();
+        df.push_numeric("a1", vec![1.0, 0.0]).unwrap();
+        let v = profile.violations(&df).unwrap();
+        assert_eq!(v[0], 0.0);
+        assert!(v[1] > 0.9);
+        assert!(profile.mean_violation(&df).unwrap() > 0.4);
+        // Missing column error.
+        let bad = df.drop_column("a1").unwrap();
+        assert!(matches!(
+            profile.violations(&bad),
+            Err(ProfileError::MissingNumeric(_))
+        ));
+    }
+
+    #[test]
+    fn empty_profile_is_all_conforming() {
+        let profile = ConformanceProfile {
+            numeric_attributes: vec!["a0".into()],
+            global: None,
+            disjunctive: vec![],
+        };
+        assert_eq!(profile.violation(&[123.0], &[]).unwrap(), 0.0);
+        assert!(profile.satisfied(&[123.0], &[]).unwrap());
+    }
+}

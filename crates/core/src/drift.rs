@@ -1,0 +1,202 @@
+//! Dataset-level drift quantification (§2, §6.2).
+//!
+//! Drift of a dataset `D'` from a reference `D` is the aggregation of
+//! tuple-level violations of `D`'s conformance constraints over `D'`:
+//! (1) learn constraints for `D`, (2) evaluate violations on every tuple of
+//! `D'`, (3) aggregate. The paper aggregates by mean; max and quantile
+//! aggregators are provided for robustness studies.
+
+use crate::constraint::{ConformanceProfile, ProfileError};
+use cc_frame::DataFrame;
+
+/// How tuple-level violations are folded into one drift magnitude.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DriftAggregator {
+    /// Mean violation — the paper's choice.
+    Mean,
+    /// Maximum violation (sensitive to single outliers).
+    Max,
+    /// `p`-quantile of violations (e.g. 0.95 for robust tail drift).
+    Quantile(f64),
+}
+
+impl DriftAggregator {
+    /// Applies the aggregator to a violation vector (0 for empty input).
+    pub fn aggregate(&self, violations: &[f64]) -> f64 {
+        if violations.is_empty() {
+            return 0.0;
+        }
+        match self {
+            DriftAggregator::Mean => {
+                violations.iter().sum::<f64>() / violations.len() as f64
+            }
+            DriftAggregator::Max => violations.iter().fold(0.0f64, |m, &v| m.max(v)),
+            DriftAggregator::Quantile(p) => cc_stats::quantile(violations, *p),
+        }
+    }
+}
+
+/// Drift of `serving` with respect to the profile learned from a reference
+/// dataset.
+///
+/// # Errors
+/// Fails when the serving frame lacks attributes the profile needs.
+pub fn dataset_drift(
+    profile: &ConformanceProfile,
+    serving: &DataFrame,
+    aggregator: DriftAggregator,
+) -> Result<f64, ProfileError> {
+    let violations = profile.violations(serving)?;
+    Ok(aggregator.aggregate(&violations))
+}
+
+/// Drift magnitude of each window in a stream relative to the same
+/// reference profile (the shape plotted in the paper's Fig. 8).
+///
+/// # Errors
+/// Fails when any window lacks attributes the profile needs.
+pub fn drift_series(
+    profile: &ConformanceProfile,
+    windows: &[DataFrame],
+    aggregator: DriftAggregator,
+) -> Result<Vec<f64>, ProfileError> {
+    windows.iter().map(|w| dataset_drift(profile, w, aggregator)).collect()
+}
+
+/// A streaming drift monitor: holds a reference profile, an alert
+/// threshold calibrated from the reference's self-violation, and a history
+/// of observed window drifts. This is the deployment wrapper the paper's
+/// motivating scenarios (§1, §2) imply: "alert when the serving data stops
+/// conforming".
+#[derive(Clone, Debug)]
+pub struct DriftMonitor {
+    profile: ConformanceProfile,
+    threshold: f64,
+    aggregator: DriftAggregator,
+    history: Vec<f64>,
+}
+
+impl DriftMonitor {
+    /// Builds a monitor from a reference dataset: learns the profile's
+    /// self-violation and sets the alert threshold to
+    /// `max(multiplier × self-violation, floor)`.
+    ///
+    /// # Errors
+    /// Fails when the reference lacks profile attributes (cannot happen
+    /// when the profile was learned from it).
+    pub fn calibrate(
+        profile: ConformanceProfile,
+        reference: &DataFrame,
+        aggregator: DriftAggregator,
+        multiplier: f64,
+        floor: f64,
+    ) -> Result<Self, ProfileError> {
+        let self_violation = dataset_drift(&profile, reference, aggregator)?;
+        Ok(DriftMonitor {
+            profile,
+            threshold: (multiplier * self_violation).max(floor),
+            aggregator,
+            history: Vec::new(),
+        })
+    }
+
+    /// Scores one window, records it, and reports whether it breaches the
+    /// alert threshold.
+    ///
+    /// # Errors
+    /// Fails when the window lacks profile attributes.
+    pub fn observe(&mut self, window: &DataFrame) -> Result<(f64, bool), ProfileError> {
+        let drift = dataset_drift(&self.profile, window, self.aggregator)?;
+        self.history.push(drift);
+        Ok((drift, drift > self.threshold))
+    }
+
+    /// The calibrated alert threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// All drift magnitudes observed so far, in order.
+    pub fn history(&self) -> &[f64] {
+        &self.history
+    }
+
+    /// The underlying profile.
+    pub fn profile(&self) -> &ConformanceProfile {
+        &self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{synthesize, SynthOptions};
+
+    fn line_frame(slope: f64, offset: f64, n: usize) -> DataFrame {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64 / 10.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + offset).collect();
+        let mut df = DataFrame::new();
+        df.push_numeric("x", xs).unwrap();
+        df.push_numeric("y", ys).unwrap();
+        df
+    }
+
+    #[test]
+    fn aggregators() {
+        let v = [0.0, 0.2, 0.4, 1.0];
+        assert!((DriftAggregator::Mean.aggregate(&v) - 0.4).abs() < 1e-12);
+        assert_eq!(DriftAggregator::Max.aggregate(&v), 1.0);
+        assert!((DriftAggregator::Quantile(0.5).aggregate(&v) - 0.3).abs() < 1e-12);
+        assert_eq!(DriftAggregator::Mean.aggregate(&[]), 0.0);
+    }
+
+    #[test]
+    fn no_drift_for_same_distribution() {
+        let train = line_frame(2.0, 1.0, 300);
+        let profile = synthesize(&train, &SynthOptions::default()).unwrap();
+        let serve = line_frame(2.0, 1.0, 100);
+        let d = dataset_drift(&profile, &serve, DriftAggregator::Mean).unwrap();
+        assert!(d < 1e-6, "expected ≈0 drift, got {d}");
+    }
+
+    #[test]
+    fn drift_grows_with_deviation() {
+        let train = line_frame(2.0, 1.0, 300);
+        let profile = synthesize(&train, &SynthOptions::default()).unwrap();
+        let mut last = -1.0;
+        // Increasing slope perturbation ⇒ monotone non-decreasing drift.
+        for step in 0..5 {
+            let serve = line_frame(2.0 + step as f64 * 0.5, 1.0, 100);
+            let d = dataset_drift(&profile, &serve, DriftAggregator::Mean).unwrap();
+            assert!(d >= last - 1e-12, "drift not monotone: {d} after {last}");
+            last = d;
+        }
+        assert!(last > 0.3, "large deviation should register, got {last}");
+    }
+
+    #[test]
+    fn monitor_alerts_on_breach() {
+        let train = line_frame(2.0, 1.0, 300);
+        let profile = synthesize(&train, &SynthOptions::default()).unwrap();
+        let mut monitor =
+            DriftMonitor::calibrate(profile, &train, DriftAggregator::Mean, 5.0, 0.02).unwrap();
+        let (d0, alert0) = monitor.observe(&line_frame(2.0, 1.0, 100)).unwrap();
+        assert!(!alert0, "no alert on in-distribution window, drift {d0}");
+        let (d1, alert1) = monitor.observe(&line_frame(5.0, 1.0, 100)).unwrap();
+        assert!(alert1, "alert on drifted window, drift {d1}");
+        assert_eq!(monitor.history().len(), 2);
+        assert!(monitor.threshold() >= 0.02);
+    }
+
+    #[test]
+    fn drift_series_shape() {
+        let train = line_frame(2.0, 1.0, 300);
+        let profile = synthesize(&train, &SynthOptions::default()).unwrap();
+        let windows: Vec<DataFrame> =
+            (0..4).map(|k| line_frame(2.0 + k as f64, 1.0, 50)).collect();
+        let series = drift_series(&profile, &windows, DriftAggregator::Mean).unwrap();
+        assert_eq!(series.len(), 4);
+        assert!(series[0] < 1e-6);
+        assert!(series[3] > series[1]);
+    }
+}

@@ -1,0 +1,259 @@
+//! ExTuNe (Appendix K): explaining tuple non-conformance by attribute
+//! responsibility.
+//!
+//! For a non-conforming tuple `t` and attribute `Aᵢ`:
+//! 1. intervene on `t.Aᵢ`, replacing it with the training mean of `Aᵢ`;
+//! 2. count how many **additional** attributes must also be reverted to
+//!    their means before the tuple conforms — call it `K` (greedy: each step
+//!    reverts the attribute that lowers the violation the most);
+//! 3. responsibility of `Aᵢ` is `1/(K+1)`.
+//!
+//! Reverting *every* attribute yields the training mean point, which always
+//! conforms (a linear projection of the mean is the mean of the projection),
+//! so the loop terminates. Averaging per-tuple responsibilities over a
+//! serving set yields the aggregate bar charts of the paper's Fig. 12.
+
+use crate::constraint::{ConformanceProfile, ProfileError};
+use cc_frame::DataFrame;
+use cc_stats::mean;
+
+/// Aggregate responsibility of one attribute for a dataset's
+/// non-conformance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Responsibility {
+    /// Attribute name.
+    pub attribute: String,
+    /// Mean responsibility over the serving tuples, in `[0, 1]`.
+    pub score: f64,
+}
+
+/// Violation level below which a tuple is considered conforming during the
+/// intervention search. The quantitative semantics are continuous, so an
+/// exact zero is too strict once several conjuncts contribute tiny amounts.
+const CONFORM_EPS: f64 = 1e-3;
+
+/// Per-attribute responsibility of a single tuple's non-conformance.
+///
+/// `train_means[i]` must be the training mean of
+/// `profile.numeric_attributes[i]`. Returns one score per numeric attribute.
+/// A tuple that already conforms gets all-zero responsibilities.
+///
+/// # Errors
+/// Fails when switching attributes are missing from `categorical`.
+pub fn responsibility(
+    profile: &ConformanceProfile,
+    train_means: &[f64],
+    numeric: &[f64],
+    categorical: &[(&str, &str)],
+) -> Result<Vec<f64>, ProfileError> {
+    let m = profile.numeric_attributes.len();
+    assert_eq!(train_means.len(), m, "one training mean per numeric attribute");
+    assert_eq!(numeric.len(), m, "tuple arity mismatch");
+
+    if profile.violation(numeric, categorical)? <= CONFORM_EPS {
+        return Ok(vec![0.0; m]);
+    }
+
+    let mut scores = vec![0.0; m];
+    for i in 0..m {
+        // Step 1: intervene on attribute i.
+        let mut t = numeric.to_vec();
+        t[i] = train_means[i];
+        let mut replaced = vec![false; m];
+        replaced[i] = true;
+        let mut violation = profile.violation(&t, categorical)?;
+        let mut k = 0usize;
+        // Step 2: greedily revert additional attributes until conforming.
+        while violation > CONFORM_EPS {
+            let mut best: Option<(usize, f64)> = None;
+            for j in 0..m {
+                if replaced[j] {
+                    continue;
+                }
+                let saved = t[j];
+                t[j] = train_means[j];
+                let v = profile.violation(&t, categorical)?;
+                t[j] = saved;
+                if best.is_none_or(|(_, bv)| v < bv) {
+                    best = Some((j, v));
+                }
+            }
+            match best {
+                Some((j, v)) => {
+                    t[j] = train_means[j];
+                    replaced[j] = true;
+                    violation = v;
+                    k += 1;
+                }
+                // All attributes reverted: the mean point conforms by
+                // construction, but guard against pathological profiles
+                // (e.g. unseen categorical values force violation 1).
+                None => {
+                    k = m; // maximal dilution
+                    break;
+                }
+            }
+        }
+        scores[i] = 1.0 / (k as f64 + 1.0);
+    }
+    Ok(scores)
+}
+
+/// Aggregate (mean) responsibility of every numeric attribute for the
+/// non-conformance of a serving set, as plotted in Fig. 12: learns means
+/// from `train`, then averages per-tuple responsibilities over `serve`.
+///
+/// Returns scores sorted descending. Tuples that conform contribute zeros —
+/// matching the paper, where responsibility is an aggregate over the whole
+/// serving dataset.
+///
+/// # Errors
+/// Fails when either frame lacks attributes the profile needs.
+pub fn mean_responsibility(
+    profile: &ConformanceProfile,
+    train: &DataFrame,
+    serve: &DataFrame,
+) -> Result<Vec<Responsibility>, ProfileError> {
+    let attrs = &profile.numeric_attributes;
+    let train_means: Vec<f64> = attrs
+        .iter()
+        .map(|a| {
+            train
+                .numeric(a)
+                .map(mean)
+                .map_err(|_| ProfileError::MissingNumeric(a.clone()))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let numeric_cols: Vec<&[f64]> = attrs
+        .iter()
+        .map(|a| serve.numeric(a).map_err(|_| ProfileError::MissingNumeric(a.clone())))
+        .collect::<Result<_, _>>()?;
+    let cat_cols: crate::constraint::CatColumns = profile
+        .disjunctive
+        .iter()
+        .map(|d| {
+            serve
+                .categorical(&d.attribute)
+                .map(|c| (d.attribute.as_str(), c))
+                .map_err(|_| ProfileError::MissingCategorical(d.attribute.clone()))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let n = serve.n_rows();
+    let m = attrs.len();
+    let mut totals = vec![0.0; m];
+    let mut tuple = vec![0.0; m];
+    for i in 0..n {
+        for (slot, col) in tuple.iter_mut().zip(&numeric_cols) {
+            *slot = col[i];
+        }
+        let cats: Vec<(&str, &str)> = cat_cols
+            .iter()
+            .map(|(name, (codes, dict))| (*name, dict[codes[i] as usize].as_str()))
+            .collect();
+        let r = responsibility(profile, &train_means, &tuple, &cats)?;
+        for (t, s) in totals.iter_mut().zip(&r) {
+            *t += s;
+        }
+    }
+    let denom = n.max(1) as f64;
+    let mut out: Vec<Responsibility> = attrs
+        .iter()
+        .zip(totals)
+        .map(|(a, t)| Responsibility { attribute: a.clone(), score: t / denom })
+        .collect();
+    out.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{synthesize, SynthOptions};
+
+    /// Training: `a`, `b` independent uniforms; `c ≈ a` (one pairwise
+    /// invariant). Interventions on a single culprit attribute can then fix
+    /// a tuple, so responsibilities are discriminative (Fig-12 style data).
+    fn train_frame() -> DataFrame {
+        let n = 400;
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let mut c = Vec::new();
+        for i in 0..n {
+            let x = ((i * 37) % 100) as f64 / 100.0 - 0.5; // in [-0.5, 0.5)
+            let y = ((i * 59) % 100) as f64 / 100.0 - 0.5;
+            a.push(x);
+            b.push(y);
+            // Noise wide enough (±0.02) that a mean-intervened tuple lands
+            // back inside the c ≈ a band.
+            c.push(x + 0.02 * ((i % 3) as f64 - 1.0));
+        }
+        let mut df = DataFrame::new();
+        df.push_numeric("a", a).unwrap();
+        df.push_numeric("b", b).unwrap();
+        df.push_numeric("c", c).unwrap();
+        df
+    }
+
+    #[test]
+    fn conforming_tuple_zero_responsibility() {
+        let train = train_frame();
+        let profile = synthesize(&train, &SynthOptions::default()).unwrap();
+        let means: Vec<f64> =
+            ["a", "b", "c"].iter().map(|n| mean(train.numeric(n).unwrap())).collect();
+        let r = responsibility(&profile, &means, &[0.1, 0.1, 0.1], &[]).unwrap();
+        assert_eq!(r, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn culprit_attribute_gets_top_responsibility() {
+        let train = train_frame();
+        let profile = synthesize(&train, &SynthOptions::default()).unwrap();
+        let means: Vec<f64> =
+            ["a", "b", "c"].iter().map(|n| mean(train.numeric(n).unwrap())).collect();
+        // Break only `c` (a sits at its mean, so fixing `c` alone suffices).
+        let r = responsibility(&profile, &means, &[0.0, 0.1, 50.0], &[]).unwrap();
+        assert!(
+            r[2] >= r[0] && r[2] >= r[1],
+            "c should be most responsible: {r:?}"
+        );
+        assert!(r[2] > 0.9, "single-fix attribute gets responsibility 1: {r:?}");
+    }
+
+    #[test]
+    fn mean_responsibility_ranks_shifted_attribute() {
+        let train = train_frame();
+        let profile = synthesize(&train, &SynthOptions::default()).unwrap();
+        // Serving set where only `b` shifted massively.
+        let n = 50;
+        let mut serve = DataFrame::new();
+        serve
+            .push_numeric("a", (0..n).map(|i| ((i * 37) % 100) as f64 / 100.0 - 0.5).collect())
+            .unwrap();
+        serve.push_numeric("b", (0..n).map(|_| 25.0).collect()).unwrap();
+        serve
+            .push_numeric("c", (0..n).map(|i| ((i * 37) % 100) as f64 / 100.0 - 0.5).collect())
+            .unwrap();
+        let ranked = mean_responsibility(&profile, &train, &serve).unwrap();
+        assert_eq!(ranked.len(), 3);
+        assert_eq!(ranked[0].attribute, "b", "ranked: {ranked:?}");
+        assert!(ranked[0].score > 0.3);
+        // Scores descending.
+        for w in ranked.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn responsibilities_bounded() {
+        let train = train_frame();
+        let profile = synthesize(&train, &SynthOptions::default()).unwrap();
+        let means: Vec<f64> =
+            ["a", "b", "c"].iter().map(|n| mean(train.numeric(n).unwrap())).collect();
+        let r = responsibility(&profile, &means, &[100.0, -50.0, 3.0], &[]).unwrap();
+        for s in r {
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Nonlinear conformance constraints via explicit feature expansion
+//! (§5.1 "Modeling nonlinear constraints").
+//!
+//! The paper's framework is linear in its *features*, not its raw
+//! attributes: expanding the dataset with quadratic monomials lets the same
+//! PCA machinery discover degree-2 invariants such as `y = x²` or
+//! `x² + y² = r²`. (The paper proposes kernel-PCA for the implicit version
+//! and evaluates only the linear kernel; explicit degree-2 expansion is the
+//! direct constructive counterpart.)
+
+use cc_frame::{DataFrame, FrameError};
+
+/// Expands every numeric attribute with its square and all pairwise
+/// products: `a` → `a, a^2` and each pair `(a, b)` → `a*b`. Categorical
+/// columns pass through unchanged.
+///
+/// The number of numeric columns grows from `m` to `m + m(m+1)/2`; keep `m`
+/// modest (the synthesis is cubic in the attribute count).
+///
+/// # Errors
+/// Propagates frame errors (cannot occur for well-formed inputs).
+pub fn expand_quadratic(df: &DataFrame) -> Result<DataFrame, FrameError> {
+    let numeric = df.numeric_names();
+    let mut out = DataFrame::new();
+    // Originals (numeric then categorical, preserving evaluation order).
+    for name in &numeric {
+        out.push_numeric((*name).to_owned(), df.numeric(name)?.to_vec())?;
+    }
+    // Squares.
+    for name in &numeric {
+        let col: Vec<f64> = df.numeric(name)?.iter().map(|x| x * x).collect();
+        out.push_numeric(format!("{name}^2"), col)?;
+    }
+    // Pairwise products.
+    for (i, a) in numeric.iter().enumerate() {
+        for b in numeric.iter().skip(i + 1) {
+            let ca = df.numeric(a)?;
+            let cb = df.numeric(b)?;
+            let col: Vec<f64> = ca.iter().zip(cb).map(|(x, y)| x * y).collect();
+            out.push_numeric(format!("{a}*{b}"), col)?;
+        }
+    }
+    for name in df.categorical_names() {
+        let col = df.column(name)?.clone();
+        out.push_column(name.to_owned(), col)?;
+    }
+    Ok(out)
+}
+
+/// Expands a single tuple consistently with [`expand_quadratic`]'s column
+/// order (originals, squares, pairwise products).
+pub fn expand_tuple(tuple: &[f64]) -> Vec<f64> {
+    let m = tuple.len();
+    let mut out = Vec::with_capacity(m + m * (m + 1) / 2);
+    out.extend_from_slice(tuple);
+    out.extend(tuple.iter().map(|x| x * x));
+    for i in 0..m {
+        for j in (i + 1)..m {
+            out.push(tuple[i] * tuple[j]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{synthesize, SynthOptions};
+
+    #[test]
+    fn expansion_shapes() {
+        let mut df = DataFrame::new();
+        df.push_numeric("x", vec![1.0, 2.0]).unwrap();
+        df.push_numeric("y", vec![3.0, 4.0]).unwrap();
+        df.push_categorical("g", &["a", "b"]).unwrap();
+        let e = expand_quadratic(&df).unwrap();
+        // x, y, x^2, y^2, x*y + g
+        assert_eq!(e.numeric_names(), vec!["x", "y", "x^2", "y^2", "x*y"]);
+        assert_eq!(e.numeric("x*y").unwrap(), &[3.0, 8.0]);
+        assert_eq!(e.categorical_names(), vec!["g"]);
+    }
+
+    #[test]
+    fn tuple_expansion_consistent_with_frame() {
+        let mut df = DataFrame::new();
+        df.push_numeric("x", vec![2.0]).unwrap();
+        df.push_numeric("y", vec![5.0]).unwrap();
+        let e = expand_quadratic(&df).unwrap();
+        let names: Vec<&str> = e.numeric_names();
+        let row = e.numeric_rows(&names).unwrap()[0].clone();
+        assert_eq!(row, expand_tuple(&[2.0, 5.0]));
+    }
+
+    #[test]
+    fn discovers_parabola_invariant() {
+        // y = x² exactly: invisible to linear constraints, an equality
+        // constraint after quadratic expansion.
+        let mut df = DataFrame::new();
+        let xs: Vec<f64> = (0..200).map(|i| (i as f64 - 100.0) / 20.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x * x).collect();
+        df.push_numeric("x", xs).unwrap();
+        df.push_numeric("y", ys).unwrap();
+
+        let expanded = expand_quadratic(&df).unwrap();
+        let profile = synthesize(&expanded, &SynthOptions::default()).unwrap();
+        let g = profile.global.as_ref().unwrap();
+        assert!(
+            !g.equality_constraints(1e-6).is_empty(),
+            "y − x² = 0 should surface as an equality constraint"
+        );
+
+        // On-parabola point conforms, off-parabola violates.
+        let on = expand_tuple(&[3.0, 9.0]);
+        let off = expand_tuple(&[3.0, 20.0]);
+        let v_on = profile.violation(&on, &[]).unwrap();
+        let v_off = profile.violation(&off, &[]).unwrap();
+        assert!(v_on < 0.05, "on-parabola violation {v_on}");
+        assert!(v_off > 0.3, "off-parabola violation {v_off}");
+    }
+
+    #[test]
+    fn discovers_circle_invariant() {
+        // x² + y² = 25: a circle, classic nonlinear invariant.
+        let mut df = DataFrame::new();
+        let n = 300;
+        let xs: Vec<f64> =
+            (0..n).map(|i| 5.0 * (i as f64 * std::f64::consts::TAU / n as f64).cos()).collect();
+        let ys: Vec<f64> =
+            (0..n).map(|i| 5.0 * (i as f64 * std::f64::consts::TAU / n as f64).sin()).collect();
+        df.push_numeric("x", xs).unwrap();
+        df.push_numeric("y", ys).unwrap();
+
+        let expanded = expand_quadratic(&df).unwrap();
+        let profile = synthesize(&expanded, &SynthOptions::default()).unwrap();
+        let on = expand_tuple(&[5.0, 0.0]);
+        let inside = expand_tuple(&[0.0, 0.0]);
+        let v_on = profile.violation(&on, &[]).unwrap();
+        let v_in = profile.violation(&inside, &[]).unwrap();
+        assert!(v_on < 0.05, "on-circle violation {v_on}");
+        assert!(v_in > 0.2, "center-of-circle violation {v_in} (x²+y² = 0 ≠ 25)");
+    }
+}

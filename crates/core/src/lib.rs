@@ -1,0 +1,99 @@
+//! # conformance — Conformance Constraint Discovery (CCSynth)
+//!
+//! Rust implementation of *"Conformance Constraint Discovery: Measuring
+//! Trust in Data-Driven Systems"* (Fariha, Tiwari, Radhakrishna, Gulwani,
+//! Meliou — SIGMOD 2021).
+//!
+//! A **conformance constraint** characterizes the tuples a dataset considers
+//! "normal" through bounds on *projections* — linear combinations of the
+//! numerical attributes. The paper's central insight: **low-variance
+//! projections make strong constraints**, and the low-variance principal
+//! components of the (constant-augmented) dataset provide an optimal,
+//! mutually-uncorrelated set of them in one shot (Theorem 13).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use cc_frame::DataFrame;
+//! use conformance::{synthesize, SynthOptions};
+//!
+//! // A dataset where y ≈ 2x + 1 (a hidden invariant).
+//! let mut df = DataFrame::new();
+//! let xs: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+//! let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+//! df.push_numeric("x", xs).unwrap();
+//! df.push_numeric("y", ys).unwrap();
+//!
+//! let profile = synthesize(&df, &SynthOptions::default()).unwrap();
+//!
+//! // A conforming tuple (on the line):
+//! let ok = profile.violation(&[5.0, 11.0], &[]).unwrap();
+//! // A non-conforming tuple (far off the line):
+//! let bad = profile.violation(&[5.0, 40.0], &[]).unwrap();
+//! assert!(ok < 0.1, "on-trend tuple should conform, got {ok}");
+//! assert!(bad > 0.7, "off-trend tuple should violate, got {bad}");
+//! ```
+//!
+//! ## Module map
+//!
+//! | Module | Paper section |
+//! |---|---|
+//! | [`projection`] | §3.1 (projections) |
+//! | [`constraint`] | §3.1–3.2 (language + quantitative semantics) |
+//! | [`synth`] | §4.1 (Algorithm 1), §4.2 (compound constraints) |
+//! | [`drift`] | §2, §6.2 (dataset-level drift) |
+//! | [`tml`] | §5 (trusted machine learning, unsafe tuples) |
+//! | [`explain`] | Appendix K (ExTuNe responsibility) |
+
+pub mod constraint;
+pub mod drift;
+pub mod explain;
+pub mod features;
+pub mod impute;
+pub mod projection;
+pub mod sql;
+pub mod streaming;
+pub mod synth;
+pub mod theory;
+pub mod tree;
+pub mod tml;
+
+pub use constraint::{
+    BoundedConstraint, ConformanceProfile, DisjunctiveConstraint, ProfileError, SimpleConstraint,
+};
+pub use drift::{dataset_drift, drift_series, DriftAggregator, DriftMonitor};
+pub use explain::{responsibility, Responsibility};
+pub use features::{expand_quadratic, expand_tuple};
+pub use impute::{impute_all, impute_missing};
+pub use projection::Projection;
+pub use sql::profile_to_sql;
+pub use streaming::StreamingSynthesizer;
+pub use synth::{synthesize, synthesize_simple, SynthError, SynthOptions};
+pub use tree::{synthesize_tree, TreeOptions, TreeProfile};
+pub use tml::{select_model, SafetyEnvelope, SafetyVerdict};
+
+/// η(z) = 1 − e^(−z): the paper's normalization function mapping
+/// `[0, ∞) → [0, 1)` (§3.2). Monotone, 0 ↦ 0.
+#[inline]
+pub fn eta(z: f64) -> f64 {
+    1.0 - (-z).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eta_properties() {
+        assert_eq!(eta(0.0), 0.0);
+        assert!(eta(1e9) <= 1.0);
+        assert!((eta(1e9) - 1.0).abs() < 1e-12);
+        // Monotone.
+        let mut prev = -1.0;
+        for i in 0..100 {
+            let v = eta(i as f64 / 10.0);
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+}

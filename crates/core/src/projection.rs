@@ -1,0 +1,174 @@
+//! Projections: linear combinations of numerical attributes (§3.1).
+
+use serde::{Deserialize, Serialize};
+
+/// A projection `F(Ā) = Σ wᵢ·Aᵢ` over an ordered list of numerical
+/// attributes.
+///
+/// The coefficient vector is stored unit-normalized by the synthesizer
+/// (Algorithm 1, line 6), but the type itself does not require it — tests
+/// and the TML machinery construct arbitrary projections.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Projection {
+    /// Attribute names, defining the meaning (and order) of `coefficients`.
+    pub attributes: Vec<String>,
+    /// One coefficient per attribute.
+    pub coefficients: Vec<f64>,
+}
+
+impl Projection {
+    /// Creates a projection; panics if lengths disagree.
+    pub fn new(attributes: Vec<String>, coefficients: Vec<f64>) -> Self {
+        assert_eq!(
+            attributes.len(),
+            coefficients.len(),
+            "projection needs one coefficient per attribute"
+        );
+        Projection { attributes, coefficients }
+    }
+
+    /// Evaluates the projection on a tuple given **in the projection's
+    /// attribute order**.
+    ///
+    /// # Panics
+    /// Panics when the tuple arity differs from the attribute count.
+    #[inline]
+    pub fn evaluate(&self, tuple: &[f64]) -> f64 {
+        assert_eq!(tuple.len(), self.coefficients.len(), "tuple arity mismatch");
+        tuple.iter().zip(&self.coefficients).map(|(x, w)| x * w).sum()
+    }
+
+    /// Evaluates the projection on every row: the paper's `F(D)` sequence.
+    pub fn evaluate_all(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|r| self.evaluate(r)).collect()
+    }
+
+    /// L2 norm of the coefficient vector.
+    pub fn norm(&self) -> f64 {
+        self.coefficients.iter().map(|w| w * w).sum::<f64>().sqrt()
+    }
+
+    /// Returns a copy with unit-norm coefficients, or `None` when the
+    /// coefficient vector is numerically zero.
+    pub fn normalized(&self) -> Option<Projection> {
+        let n = self.norm();
+        if n < 1e-12 {
+            return None;
+        }
+        Some(Projection {
+            attributes: self.attributes.clone(),
+            coefficients: self.coefficients.iter().map(|w| w / n).collect(),
+        })
+    }
+
+    /// Linear combination `β₁·self + β₂·other` (Lemma 11's construction).
+    ///
+    /// # Panics
+    /// Panics when the projections are over different attribute lists.
+    pub fn combine(&self, beta1: f64, other: &Projection, beta2: f64) -> Projection {
+        assert_eq!(self.attributes, other.attributes, "combine: attribute mismatch");
+        Projection {
+            attributes: self.attributes.clone(),
+            coefficients: self
+                .coefficients
+                .iter()
+                .zip(&other.coefficients)
+                .map(|(a, b)| beta1 * a + beta2 * b)
+                .collect(),
+        }
+    }
+
+    /// Pretty arithmetic-expression rendering, e.g. `0.70*AT - 0.70*DT`.
+    pub fn expression(&self) -> String {
+        let mut s = String::new();
+        for (attr, &w) in self.attributes.iter().zip(&self.coefficients) {
+            if w.abs() < 1e-9 {
+                continue;
+            }
+            if s.is_empty() {
+                if w < 0.0 {
+                    s.push('-');
+                }
+            } else if w < 0.0 {
+                s.push_str(" - ");
+            } else {
+                s.push_str(" + ");
+            }
+            s.push_str(&format!("{:.3}*{}", w.abs(), attr));
+        }
+        if s.is_empty() {
+            s.push('0');
+        }
+        s
+    }
+}
+
+impl std::fmt::Display for Projection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.expression())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proj(coeffs: &[f64]) -> Projection {
+        let names = (0..coeffs.len()).map(|i| format!("a{i}")).collect();
+        Projection::new(names, coeffs.to_vec())
+    }
+
+    #[test]
+    fn evaluate_linear_combination() {
+        let p = proj(&[1.0, -1.0, -1.0]);
+        // The paper's AT − DT − DUR projection, Example 3/4:
+        // t5: AT=370, DT=1350, DUR=458 → −1438.
+        assert_eq!(p.evaluate(&[370.0, 1350.0, 458.0]), -1438.0);
+    }
+
+    #[test]
+    fn evaluate_all_matches_pointwise() {
+        let p = proj(&[2.0, 1.0]);
+        let rows = vec![vec![1.0, 0.0], vec![0.0, 3.0]];
+        assert_eq!(p.evaluate_all(&rows), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn normalization() {
+        let p = proj(&[3.0, 4.0]);
+        let n = p.normalized().unwrap();
+        assert!((n.norm() - 1.0).abs() < 1e-12);
+        assert!((n.coefficients[0] - 0.6).abs() < 1e-12);
+        assert!(proj(&[0.0, 0.0]).normalized().is_none());
+    }
+
+    #[test]
+    fn combine_lemma11_shape() {
+        let f1 = proj(&[1.0, 0.0]);
+        let f2 = proj(&[0.0, 1.0]);
+        // (X − Y)/√2 from Example 7.
+        let b = 1.0 / 2.0f64.sqrt();
+        let f = f1.combine(b, &f2, -b);
+        assert!((f.norm() - 1.0).abs() < 1e-12);
+        assert!((f.evaluate(&[1.0, 1.0])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expression_rendering() {
+        let p = Projection::new(
+            vec!["AT".into(), "DT".into(), "DUR".into()],
+            vec![0.7, -0.7, 0.0],
+        );
+        let e = p.expression();
+        assert!(e.contains("0.700*AT"));
+        assert!(e.contains("- 0.700*DT"));
+        assert!(!e.contains("DUR"));
+        assert_eq!(proj(&[0.0]).expression(), "0");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        proj(&[1.0, 2.0]).evaluate(&[1.0]);
+    }
+}

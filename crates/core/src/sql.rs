@@ -1,0 +1,141 @@
+//! SQL `CHECK` constraint generation (Appendix G/H: "conformance
+//! constraints can be easily enforced as SQL check constraints to prevent
+//! insertion of unsafe tuples").
+
+use crate::constraint::{BoundedConstraint, ConformanceProfile, SimpleConstraint};
+
+/// Renders a projection term as a SQL arithmetic expression over quoted
+/// column names, e.g. `0.577 * "dep_time" - 0.577 * "arr_time"`.
+fn sql_expr(c: &BoundedConstraint, precision: usize) -> String {
+    let mut s = String::new();
+    for (attr, &w) in c.projection.attributes.iter().zip(&c.projection.coefficients) {
+        if w.abs() < 1e-9 {
+            continue;
+        }
+        if s.is_empty() {
+            if w < 0.0 {
+                s.push_str("- ");
+            }
+        } else if w < 0.0 {
+            s.push_str(" - ");
+        } else {
+            s.push_str(" + ");
+        }
+        s.push_str(&format!("{:.precision$} * \"{attr}\"", w.abs()));
+    }
+    if s.is_empty() {
+        s.push('0');
+    }
+    s
+}
+
+/// Renders one simple constraint as a conjunction of SQL `BETWEEN` clauses.
+pub fn simple_to_sql(sc: &SimpleConstraint, precision: usize) -> String {
+    if sc.is_empty() {
+        return "TRUE".to_owned();
+    }
+    sc.conjuncts
+        .iter()
+        .map(|c| {
+            format!(
+                "({} BETWEEN {:.precision$} AND {:.precision$})",
+                sql_expr(c, precision),
+                c.lb,
+                c.ub
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n  AND ")
+}
+
+/// Renders the whole profile as an `ALTER TABLE … ADD CONSTRAINT … CHECK`
+/// statement. Disjunctive constraints become `CASE` switches on the
+/// categorical attribute; unseen values fail the check (closed world, as in
+/// the paper's quantitative semantics where `simp` undefined ⇒ violation 1).
+pub fn profile_to_sql(profile: &ConformanceProfile, table: &str, precision: usize) -> String {
+    let mut clauses = Vec::new();
+    if let Some(g) = &profile.global {
+        if !g.is_empty() {
+            clauses.push(simple_to_sql(g, precision));
+        }
+    }
+    for d in &profile.disjunctive {
+        let mut cases = String::from("CASE");
+        for (value, sc) in &d.cases {
+            cases.push_str(&format!(
+                "\n    WHEN \"{}\" = '{}' THEN ({})",
+                d.attribute,
+                value.replace('\'', "''"),
+                simple_to_sql(sc, precision)
+            ));
+        }
+        cases.push_str("\n    ELSE FALSE\n  END");
+        clauses.push(cases);
+    }
+    let body = if clauses.is_empty() { "TRUE".to_owned() } else { clauses.join("\n  AND ") };
+    format!(
+        "ALTER TABLE \"{table}\"\nADD CONSTRAINT \"{table}_conformance\" CHECK (\n  {body}\n);"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{synthesize, SynthOptions};
+    use cc_frame::DataFrame;
+
+    fn sample_profile() -> ConformanceProfile {
+        let mut df = DataFrame::new();
+        df.push_numeric("x", (0..100).map(|i| i as f64).collect()).unwrap();
+        df.push_numeric("y", (0..100).map(|i| 2.0 * i as f64 + 1.0).collect()).unwrap();
+        df.push_categorical(
+            "regime",
+            &(0..100).map(|i| if i % 2 == 0 { "a" } else { "b" }).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        synthesize(&df, &SynthOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn generates_check_statement() {
+        let sql = profile_to_sql(&sample_profile(), "flights", 4);
+        assert!(sql.starts_with("ALTER TABLE \"flights\""));
+        assert!(sql.contains("ADD CONSTRAINT \"flights_conformance\" CHECK ("));
+        assert!(sql.contains("BETWEEN"));
+        assert!(sql.contains("CASE"));
+        assert!(sql.contains("WHEN \"regime\" = 'a'"));
+        assert!(sql.contains("ELSE FALSE"));
+        assert!(sql.trim_end().ends_with(");"));
+    }
+
+    #[test]
+    fn quotes_single_quotes_in_values() {
+        let mut profile = sample_profile();
+        if let Some(d) = profile.disjunctive.first_mut() {
+            d.cases[0].0 = "o'brien".to_owned();
+        }
+        let sql = profile_to_sql(&profile, "t", 3);
+        assert!(sql.contains("'o''brien'"));
+    }
+
+    #[test]
+    fn empty_profile_is_true() {
+        let profile = ConformanceProfile {
+            numeric_attributes: vec!["x".into()],
+            global: None,
+            disjunctive: vec![],
+        };
+        let sql = profile_to_sql(&profile, "t", 3);
+        assert!(sql.contains("CHECK (\n  TRUE\n);"));
+        assert_eq!(simple_to_sql(&SimpleConstraint::default(), 3), "TRUE");
+    }
+
+    #[test]
+    fn expression_skips_zero_coefficients() {
+        let profile = sample_profile();
+        let g = profile.global.as_ref().unwrap();
+        let sql = simple_to_sql(g, 4);
+        // No degenerate "0.0000 * column" terms.
+        assert!(!sql.contains("0.0000 *"), "{sql}");
+    }
+}

@@ -1,0 +1,257 @@
+//! One-pass, bounded-memory synthesis (§4.3.2).
+//!
+//! The paper notes that `XᵀX` can be accumulated one tuple at a time in
+//! O(m²) memory. This module goes one step further: the mean and variance
+//! of **every projection** are recoverable from the very same augmented
+//! Gram matrix, so the entire synthesis — eigenvectors *and* bounds — needs
+//! exactly one pass over the data:
+//!
+//! ```text
+//! G = [1⃗; X]ᵀ[1⃗; X]          (augmented Gram, accumulated streaming)
+//! μ(F) = (Σᵢ F(tᵢ))/n = (w'ᵀ · G[0, 1..])/n          (first Gram row!)
+//! E[F²] = (w'ᵀ · G[1.., 1..] · w')/n
+//! σ²(F) = E[F²] − μ(F)²
+//! ```
+//!
+//! The [`StreamingSynthesizer`] therefore supports true streams (tuples
+//! arriving one at a time, never materialized), can be sharded across
+//! workers and merged (the paper's "embarrassingly parallel" claim), and
+//! produces bitwise-comparable constraints to the in-memory path.
+
+use crate::constraint::{BoundedConstraint, SimpleConstraint};
+use crate::projection::Projection;
+use crate::synth::{SynthError, SynthOptions};
+use cc_linalg::eigen::symmetric_eigen;
+use cc_linalg::{Gram, Matrix};
+
+/// Accumulates the augmented Gram matrix of a tuple stream and synthesizes
+/// a simple conformance constraint from it — one pass, O(m²) memory.
+#[derive(Clone, Debug)]
+pub struct StreamingSynthesizer {
+    attributes: Vec<String>,
+    gram: Gram,
+    /// Track per-projection value extremes is impossible without a second
+    /// pass; the σ-floor instead uses the attribute-range proxy below.
+    min_abs: Vec<f64>,
+    max_abs: Vec<f64>,
+    aug: Vec<f64>,
+}
+
+impl StreamingSynthesizer {
+    /// New synthesizer over the given numeric attributes.
+    pub fn new(attributes: Vec<String>) -> Self {
+        let m = attributes.len();
+        StreamingSynthesizer {
+            attributes,
+            gram: Gram::new(m + 1),
+            min_abs: vec![f64::INFINITY; m],
+            max_abs: vec![f64::NEG_INFINITY; m],
+            aug: {
+                let mut v = vec![0.0; m + 1];
+                v[0] = 1.0;
+                v
+            },
+        }
+    }
+
+    /// Number of tuples absorbed so far.
+    pub fn count(&self) -> usize {
+        self.gram.count()
+    }
+
+    /// Absorbs one tuple.
+    ///
+    /// # Panics
+    /// Panics when the tuple arity differs from the attribute count.
+    pub fn update(&mut self, tuple: &[f64]) {
+        assert_eq!(tuple.len(), self.attributes.len(), "tuple arity mismatch");
+        self.aug[1..].copy_from_slice(tuple);
+        self.gram.update(&self.aug);
+        for ((lo, hi), &x) in self.min_abs.iter_mut().zip(self.max_abs.iter_mut()).zip(tuple) {
+            *lo = lo.min(x);
+            *hi = hi.max(x);
+        }
+    }
+
+    /// Merges another shard's accumulator (horizontal-partition parallelism,
+    /// §4.3.2).
+    ///
+    /// # Panics
+    /// Panics when the shards profile different attribute lists.
+    pub fn merge(&mut self, other: &StreamingSynthesizer) {
+        assert_eq!(self.attributes, other.attributes, "merge: attribute mismatch");
+        self.gram.merge(&other.gram);
+        for (a, b) in self.min_abs.iter_mut().zip(&other.min_abs) {
+            *a = a.min(*b);
+        }
+        for (a, b) in self.max_abs.iter_mut().zip(&other.max_abs) {
+            *a = a.max(*b);
+        }
+    }
+
+    /// Finishes the pass: eigendecomposes the accumulated Gram matrix and
+    /// derives every projection's bounds analytically from it.
+    ///
+    /// # Errors
+    /// Propagates eigensolver failures. An empty stream yields an empty
+    /// constraint.
+    pub fn finish(&self, opts: &SynthOptions) -> Result<SimpleConstraint, SynthError> {
+        let m = self.attributes.len();
+        let n = self.gram.count();
+        if n == 0 || m == 0 {
+            return Ok(SimpleConstraint::default());
+        }
+        let g: Matrix = self.gram.finish();
+        let dec = symmetric_eigen(&g)?;
+
+        let nf = n as f64;
+        let mut conjuncts = Vec::with_capacity(m);
+        let mut gammas = Vec::with_capacity(m);
+        for k in 0..dec.len() {
+            let ev = dec.vector(k);
+            let w = &ev[1..];
+            let norm = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm < 1e-9 {
+                continue;
+            }
+            let coeffs: Vec<f64> = w.iter().map(|x| x / norm).collect();
+
+            // μ(F) from the Gram's constant row: G[0][j] = Σᵢ X[i][j-1].
+            let mean: f64 =
+                coeffs.iter().enumerate().map(|(j, c)| c * g[(0, j + 1)]).sum::<f64>() / nf;
+            // E[F²] from the data block of the Gram matrix.
+            let mut efsq = 0.0;
+            for (a, ca) in coeffs.iter().enumerate() {
+                for (b, cb) in coeffs.iter().enumerate() {
+                    efsq += ca * cb * g[(a + 1, b + 1)];
+                }
+            }
+            efsq /= nf;
+            let var = (efsq - mean * mean).max(0.0);
+            let std = var.sqrt();
+
+            // σ floor: projection value scale bounded by Σ|wⱼ|·max|xⱼ|.
+            let scale: f64 = coeffs
+                .iter()
+                .zip(self.min_abs.iter().zip(&self.max_abs))
+                .map(|(c, (lo, hi))| c.abs() * lo.abs().max(hi.abs()))
+                .sum::<f64>()
+                .max(1e-6);
+            let floor = (1e-8 * scale).max(opts.sigma_eps);
+            let sigma_eff = std.max(floor);
+            let alpha = (1.0 / sigma_eff).min(opts.alpha_cap);
+
+            conjuncts.push(BoundedConstraint {
+                projection: Projection::new(self.attributes.clone(), coeffs),
+                lb: mean - opts.c_factor * sigma_eff,
+                ub: mean + opts.c_factor * sigma_eff,
+                mean,
+                std,
+                alpha,
+            });
+            gammas.push(1.0 / (2.0 + std).ln());
+        }
+        Ok(SimpleConstraint::new(conjuncts, gammas))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::synthesize_simple;
+
+    fn rows() -> (Vec<Vec<f64>>, Vec<String>) {
+        let rows: Vec<Vec<f64>> = (0..400)
+            .map(|i| {
+                let x = i as f64 / 7.0;
+                let y = 2.0 * x + 1.0 + 0.05 * (((i * 31) % 13) as f64 - 6.0);
+                let z = ((i * 17) % 29) as f64;
+                vec![x, y, z]
+            })
+            .collect();
+        let attrs = vec!["x".to_string(), "y".to_string(), "z".to_string()];
+        (rows, attrs)
+    }
+
+    #[test]
+    fn streaming_matches_in_memory() {
+        let (rows, attrs) = rows();
+        let opts = SynthOptions::default();
+        let batch = synthesize_simple(&rows, &attrs, &opts).unwrap();
+        let mut s = StreamingSynthesizer::new(attrs);
+        for r in &rows {
+            s.update(r);
+        }
+        let stream = s.finish(&opts).unwrap();
+
+        assert_eq!(batch.len(), stream.len());
+        // Same projections (up to sign) with matching μ/σ/bounds.
+        for (b, t) in batch.conjuncts.iter().zip(&stream.conjuncts) {
+            let sign = if (b.projection.coefficients[0] - t.projection.coefficients[0]).abs()
+                < 1e-6
+            {
+                1.0
+            } else {
+                -1.0
+            };
+            for (cb, ct) in
+                b.projection.coefficients.iter().zip(&t.projection.coefficients)
+            {
+                assert!((cb - sign * ct).abs() < 1e-6, "coefficients differ");
+            }
+            assert!((b.mean - sign * t.mean).abs() < 1e-6, "means differ");
+            assert!((b.std - t.std).abs() < 1e-6, "stds differ: {} vs {}", b.std, t.std);
+        }
+        // Same violations on probe tuples.
+        for probe in [[10.0, 21.0, 5.0], [10.0, 500.0, 5.0], [0.0, 0.0, 0.0]] {
+            let vb = batch.violation(&probe);
+            let vt = stream.violation(&probe);
+            assert!((vb - vt).abs() < 1e-6, "violation mismatch: {vb} vs {vt}");
+        }
+    }
+
+    #[test]
+    fn sharded_merge_matches_single_stream() {
+        let (rows, attrs) = rows();
+        let opts = SynthOptions::default();
+
+        let mut single = StreamingSynthesizer::new(attrs.clone());
+        for r in &rows {
+            single.update(r);
+        }
+
+        // Three shards.
+        let mut shards: Vec<StreamingSynthesizer> =
+            (0..3).map(|_| StreamingSynthesizer::new(attrs.clone())).collect();
+        for (i, r) in rows.iter().enumerate() {
+            shards[i % 3].update(r);
+        }
+        let mut merged = shards.remove(0);
+        for s in &shards {
+            merged.merge(s);
+        }
+        assert_eq!(merged.count(), single.count());
+
+        let a = single.finish(&opts).unwrap();
+        let b = merged.finish(&opts).unwrap();
+        for probe in [[3.0, 7.0, 11.0], [50.0, -4.0, 2.0]] {
+            assert!((a.violation(&probe) - b.violation(&probe)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_empty_constraint() {
+        let s = StreamingSynthesizer::new(vec!["a".into()]);
+        let c = s.finish(&SynthOptions::default()).unwrap();
+        assert!(c.is_empty());
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "attribute mismatch")]
+    fn merge_rejects_different_schemas() {
+        let mut a = StreamingSynthesizer::new(vec!["x".into()]);
+        let b = StreamingSynthesizer::new(vec!["y".into()]);
+        a.merge(&b);
+    }
+}

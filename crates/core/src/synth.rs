@@ -1,0 +1,465 @@
+//! Constraint synthesis: Algorithm 1 (simple constraints, §4.1) and
+//! compound disjunctive constraints (§4.2).
+
+use crate::constraint::{
+    BoundedConstraint, ConformanceProfile, DisjunctiveConstraint, SimpleConstraint,
+};
+use crate::projection::Projection;
+use cc_frame::{DataFrame, FrameError};
+use cc_linalg::eigen::EigenError;
+use cc_linalg::pca::augmented_pca;
+use cc_stats::Summary;
+
+/// Tuning knobs for synthesis. `Default` reproduces the paper's settings.
+#[derive(Clone, Debug)]
+pub struct SynthOptions {
+    /// Bounds are `μ ± C·σ`; the paper uses C = 4 (§4.1.1).
+    pub c_factor: f64,
+    /// Partition only on categorical attributes with at most this many
+    /// distinct values; the paper uses 50 (§4.2).
+    pub max_categorical_domain: usize,
+    /// Partitions smaller than this get no per-partition constraint
+    /// (they would be rank-deficient). `0` means "auto": m + 2 for m
+    /// numeric attributes.
+    pub min_partition_size: usize,
+    /// σ below this is treated as zero (equality constraint).
+    pub sigma_eps: f64,
+    /// α when σ ≈ 0 — the paper's "large positive number" (§3.2).
+    pub alpha_cap: f64,
+    /// Also learn the global (un-partitioned) simple constraint.
+    pub include_global: bool,
+    /// Explicit partitioning attributes; `None` = every eligible
+    /// categorical attribute.
+    pub partition_attributes: Option<Vec<String>>,
+    /// Attributes to exclude entirely (e.g. the prediction target, which
+    /// the Fig-4 experiment holds out).
+    pub drop_attributes: Vec<String>,
+}
+
+impl Default for SynthOptions {
+    fn default() -> Self {
+        SynthOptions {
+            c_factor: 4.0,
+            max_categorical_domain: 50,
+            min_partition_size: 0,
+            sigma_eps: 1e-12,
+            alpha_cap: 1e9,
+            include_global: true,
+            partition_attributes: None,
+            drop_attributes: Vec::new(),
+        }
+    }
+}
+
+/// Synthesis failures.
+#[derive(Debug)]
+pub enum SynthError {
+    /// The dataset has no usable numeric attributes.
+    NoNumericAttributes,
+    /// Frame-level failure (missing column etc.).
+    Frame(FrameError),
+    /// Eigensolver failure (non-finite data).
+    Eigen(EigenError),
+}
+
+impl std::fmt::Display for SynthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthError::NoNumericAttributes => write!(f, "no numeric attributes to profile"),
+            SynthError::Frame(e) => write!(f, "frame error: {e}"),
+            SynthError::Eigen(e) => write!(f, "eigensolver error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+impl From<FrameError> for SynthError {
+    fn from(e: FrameError) -> Self {
+        SynthError::Frame(e)
+    }
+}
+
+impl From<EigenError> for SynthError {
+    fn from(e: EigenError) -> Self {
+        SynthError::Eigen(e)
+    }
+}
+
+/// Algorithm 1: synthesizes a simple (conjunctive) conformance constraint
+/// from numeric rows.
+///
+/// Steps (paper line numbers):
+/// 1. `rows` are already the numeric-only view (line 1).
+/// 2–3. Eigen-decompose `[1⃗ ; D]ᵀ[1⃗ ; D]` (lines 2–3).
+/// 5–6. Strip each eigenvector's constant coefficient and re-normalize
+///      (lines 5–6); near-zero remainders (eigenvectors aligned with the
+///      constant column) are skipped.
+/// 7. Importance factor γ_k = 1 / log(2 + σ(F_k(D))) (line 7), normalized
+///    across the kept projections (line 8).
+///
+/// Bounds are `μ ± C·σ` (§4.1.1) and α = 1/σ capped at
+/// [`SynthOptions::alpha_cap`] for σ ≈ 0.
+///
+/// # Errors
+/// Fails only on eigensolver errors (non-finite input data). Empty input
+/// yields an empty constraint.
+pub fn synthesize_simple(
+    rows: &[Vec<f64>],
+    attributes: &[String],
+    opts: &SynthOptions,
+) -> Result<SimpleConstraint, SynthError> {
+    let m = attributes.len();
+    if m == 0 || rows.is_empty() {
+        return Ok(SimpleConstraint::default());
+    }
+    let pca = augmented_pca(rows, m)?;
+
+    let mut conjuncts = Vec::with_capacity(m);
+    let mut gammas = Vec::with_capacity(m);
+    for ev in &pca.eigenvectors {
+        // Line 5: drop the constant-column coefficient.
+        let w = &ev[1..];
+        let norm = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm < 1e-9 {
+            // Eigenvector essentially aligned with the constant column:
+            // carries no projection.
+            continue;
+        }
+        let coeffs: Vec<f64> = w.iter().map(|x| x / norm).collect();
+        let projection = Projection::new(attributes.to_vec(), coeffs);
+
+        let summary = {
+            let mut s = Summary::new();
+            for r in rows {
+                s.update(projection.evaluate(r));
+            }
+            s
+        };
+        let mean = summary.mean();
+        let std = summary.std();
+        // Zero-variance projections are equality constraints (§5), but an
+        // *exactly* zero-width band amplifies the eigensolver's ~1e-10
+        // relative residuals into spurious violations. Floor σ relative to
+        // the projection's value scale: the constraint stays an equality for
+        // all practical purposes while absorbing numerical noise.
+        let scale = summary.min().abs().max(summary.max().abs()).max(1e-6);
+        let floor = (1e-8 * scale).max(opts.sigma_eps);
+        let sigma_eff = std.max(floor);
+        let alpha = (1.0 / sigma_eff).min(opts.alpha_cap);
+        let (lb, ub) =
+            (mean - opts.c_factor * sigma_eff, mean + opts.c_factor * sigma_eff);
+        conjuncts.push(BoundedConstraint { projection, lb, ub, mean, std, alpha });
+        gammas.push(1.0 / (2.0 + std).ln());
+    }
+    Ok(SimpleConstraint::new(conjuncts, gammas))
+}
+
+/// Resolves the numeric attributes a profile will be built over.
+fn numeric_attributes(df: &DataFrame, opts: &SynthOptions) -> Vec<String> {
+    df.numeric_names()
+        .into_iter()
+        .filter(|n| !opts.drop_attributes.iter().any(|d| d == n))
+        .map(str::to_owned)
+        .collect()
+}
+
+/// Categorical attributes eligible for partitioning (§4.2): small domain,
+/// at least two values, not dropped, or the explicit override list.
+fn partition_attributes(df: &DataFrame, opts: &SynthOptions) -> Vec<String> {
+    if let Some(explicit) = &opts.partition_attributes {
+        return explicit.clone();
+    }
+    df.categorical_names()
+        .into_iter()
+        .filter(|n| !opts.drop_attributes.iter().any(|d| d == n))
+        .filter(|n| {
+            df.column(n)
+                .ok()
+                .and_then(|c| c.cardinality())
+                .map(|card| card >= 2 && card <= opts.max_categorical_domain)
+                .unwrap_or(false)
+        })
+        .map(str::to_owned)
+        .collect()
+}
+
+/// Full CCSynth: learns the conformance profile of a dataset — the global
+/// simple constraint plus one disjunctive constraint per eligible
+/// categorical attribute (§4.1 + §4.2).
+///
+/// # Errors
+/// Fails when the dataset has no numeric attributes (after drops) or on
+/// eigensolver errors.
+pub fn synthesize(df: &DataFrame, opts: &SynthOptions) -> Result<ConformanceProfile, SynthError> {
+    let attrs = numeric_attributes(df, opts);
+    if attrs.is_empty() {
+        return Err(SynthError::NoNumericAttributes);
+    }
+    let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+    let rows = df.numeric_rows(&attr_refs)?;
+
+    let min_part = if opts.min_partition_size == 0 {
+        attrs.len() + 2
+    } else {
+        opts.min_partition_size
+    };
+
+    let global = if opts.include_global {
+        Some(synthesize_simple(&rows, &attrs, opts)?)
+    } else {
+        None
+    };
+
+    let mut disjunctive = Vec::new();
+    for cat in partition_attributes(df, opts) {
+        let parts = df.partition_by(&cat)?;
+        let mut cases = Vec::new();
+        for (value, indices) in parts {
+            if indices.len() < min_part {
+                continue;
+            }
+            let sub: Vec<Vec<f64>> = indices.iter().map(|&i| rows[i].clone()).collect();
+            let constraint = synthesize_simple(&sub, &attrs, opts)?;
+            if !constraint.is_empty() {
+                cases.push((value, constraint));
+            }
+        }
+        if !cases.is_empty() {
+            disjunctive.push(DisjunctiveConstraint { attribute: cat, cases });
+        }
+    }
+
+    Ok(ConformanceProfile { numeric_attributes: attrs, global, disjunctive })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_stats::{pcc, population_std};
+
+    fn frame_xy(n: usize, f: impl Fn(f64) -> f64, noise: impl Fn(usize) -> f64) -> DataFrame {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64 / 10.0).collect();
+        let ys: Vec<f64> = xs.iter().enumerate().map(|(i, &x)| f(x) + noise(i)).collect();
+        let mut df = DataFrame::new();
+        df.push_numeric("x", xs).unwrap();
+        df.push_numeric("y", ys).unwrap();
+        df
+    }
+
+    #[test]
+    fn recovers_linear_invariant_with_offset() {
+        // y = 2x + 1 exactly: must discover an equality constraint whose
+        // projection is ∝ (2, −1)/√5 (the paper's "augment with 1" trick
+        // absorbs the +1 offset).
+        let df = frame_xy(100, |x| 2.0 * x + 1.0, |_| 0.0);
+        let profile = synthesize(&df, &SynthOptions::default()).unwrap();
+        let g = profile.global.as_ref().unwrap();
+        let eq = g.equality_constraints(1e-6);
+        assert!(!eq.is_empty(), "expected an equality constraint");
+        let c = eq[0];
+        let w = &c.projection.coefficients;
+        let ratio = w[0] / w[1];
+        assert!((ratio + 2.0).abs() < 1e-4, "projection {w:?}");
+        // The bound must encode the offset: F(t) = (2x − y)/√5 = −1/√5.
+        let expect = -1.0 / 5.0f64.sqrt();
+        assert!((c.mean - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noisy_invariant_gets_narrow_bounds() {
+        let df = frame_xy(500, |x| 2.0 * x + 1.0, |i| 0.01 * (((i * 31) % 13) as f64 - 6.0));
+        let profile = synthesize(&df, &SynthOptions::default()).unwrap();
+        let g = profile.global.as_ref().unwrap();
+        // Lowest-σ conjunct should be tight (σ ≈ noise scale).
+        let min_std = g.conjuncts.iter().map(|c| c.std).fold(f64::INFINITY, f64::min);
+        assert!(min_std < 0.1, "min σ = {min_std}");
+        // Conforming on-trend tuple inside the training span (x ∈ [0, 50)).
+        assert!(profile.violation(&[30.0, 61.0], &[]).unwrap() < 0.05);
+        // Violating tuple (off-trend).
+        assert!(profile.violation(&[10.0, 100.0], &[]).unwrap() > 0.5);
+        // The conformance zone is a bounded hyperbox: extrapolating far
+        // along the trend ALSO violates (the high-variance projection's
+        // bounds), just more softly — §4.1.2's trade-off.
+        let far = profile.violation(&[500.0, 1001.0], &[]).unwrap();
+        assert!(far > 0.0 && far < 0.9, "far extrapolation is a soft violation, got {far}");
+    }
+
+    #[test]
+    fn theorem13_projections_uncorrelated() {
+        // Projections from Algorithm 1 must be pairwise uncorrelated on the
+        // (mean-centered) training data — Theorem 13(2).
+        let n = 400;
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let a = (i as f64 * 0.37).sin() * 5.0;
+                let b = (i as f64 * 0.11).cos() * 2.0;
+                vec![a, b, a + 2.0 * b + 0.001 * ((i % 7) as f64), a - b]
+            })
+            .collect();
+        // Center columns (Theorem 13's Condition 1).
+        let m = 4;
+        let mut means = vec![0.0; m];
+        for r in &rows {
+            for (s, x) in means.iter_mut().zip(r) {
+                *s += x;
+            }
+        }
+        for s in means.iter_mut() {
+            *s /= n as f64;
+        }
+        let centered: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| r.iter().zip(&means).map(|(x, mu)| x - mu).collect())
+            .collect();
+        let attrs: Vec<String> = (0..m).map(|i| format!("a{i}")).collect();
+        let sc = synthesize_simple(&centered, &attrs, &SynthOptions::default()).unwrap();
+        let series: Vec<Vec<f64>> =
+            sc.conjuncts.iter().map(|c| c.projection.evaluate_all(&centered)).collect();
+        for i in 0..series.len() {
+            for j in (i + 1)..series.len() {
+                // ρ is undefined for (near-)zero-variance projections —
+                // Theorem 13(2) concerns the nondegenerate components.
+                if sc.conjuncts[i].std < 1e-6 || sc.conjuncts[j].std < 1e-6 {
+                    continue;
+                }
+                let rho = pcc(&series[i], &series[j]);
+                assert!(rho.abs() < 1e-5, "ρ(F{i},F{j}) = {rho}");
+            }
+        }
+        // Theorem 13(1): min σ over returned projections ≤ σ of arbitrary
+        // unit-norm probes.
+        let min_std = sc.conjuncts.iter().map(|c| c.std).fold(f64::INFINITY, f64::min);
+        for probe in [
+            vec![0.5, 0.5, -0.5, 0.5],
+            vec![1.0, 0.0, 0.0, 0.0],
+            vec![0.0, std::f64::consts::FRAC_1_SQRT_2, -std::f64::consts::FRAC_1_SQRT_2, 0.0],
+        ] {
+            let p = Projection::new(attrs.clone(), probe);
+            let vals = p.evaluate_all(&centered);
+            assert!(min_std <= population_std(&vals) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn importance_weights_favor_low_variance() {
+        let df = frame_xy(300, |x| 2.0 * x + 1.0, |i| 0.01 * ((i % 5) as f64));
+        let profile = synthesize(&df, &SynthOptions::default()).unwrap();
+        let g = profile.global.as_ref().unwrap();
+        // Find min/max-σ conjuncts; the min-σ one must carry more weight.
+        let (imin, _) = g
+            .conjuncts
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.std.partial_cmp(&b.1.std).unwrap())
+            .unwrap();
+        let (imax, _) = g
+            .conjuncts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.std.partial_cmp(&b.1.std).unwrap())
+            .unwrap();
+        assert!(g.weights[imin] > g.weights[imax]);
+        let sum: f64 = g.weights.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjunctive_partitions_learned() {
+        // Two regimes keyed by a categorical: y = 2x in "a", y = -2x in "b".
+        let n = 200;
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut gs = Vec::new();
+        for i in 0..n {
+            let x = i as f64 / 10.0;
+            if i % 2 == 0 {
+                xs.push(x);
+                ys.push(2.0 * x);
+                gs.push("a");
+            } else {
+                xs.push(x);
+                ys.push(-2.0 * x);
+                gs.push("b");
+            }
+        }
+        let mut df = DataFrame::new();
+        df.push_numeric("x", xs).unwrap();
+        df.push_numeric("y", ys).unwrap();
+        df.push_categorical("regime", &gs).unwrap();
+        let profile = synthesize(&df, &SynthOptions::default()).unwrap();
+        assert_eq!(profile.disjunctive.len(), 1);
+        let d = &profile.disjunctive[0];
+        assert_eq!(d.attribute, "regime");
+        assert_eq!(d.cases.len(), 2);
+        // A tuple on regime-a's trend conforms under "a" but violates "b".
+        let t = [5.0, 10.0];
+        assert!(d.violation(&t, "a") < 0.01);
+        assert!(d.violation(&t, "b") > 0.5);
+    }
+
+    #[test]
+    fn high_cardinality_categorical_skipped() {
+        let n = 200;
+        let labels: Vec<String> = (0..n).map(|i| format!("id{i}")).collect();
+        let mut df = frame_xy(n, |x| x, |_| 0.0);
+        df.push_categorical("id", &labels).unwrap();
+        let profile = synthesize(&df, &SynthOptions::default()).unwrap();
+        assert!(profile.disjunctive.is_empty(), "id column must not partition");
+    }
+
+    #[test]
+    fn tiny_partitions_skipped() {
+        let mut df = frame_xy(100, |x| x, |_| 0.0);
+        // 99 "big" rows and 1 "rare" row.
+        let labels: Vec<&str> = (0..100).map(|i| if i == 0 { "rare" } else { "big" }).collect();
+        df.push_categorical("grp", &labels).unwrap();
+        let profile = synthesize(&df, &SynthOptions::default()).unwrap();
+        let d = &profile.disjunctive[0];
+        assert_eq!(d.cases.len(), 1);
+        assert_eq!(d.cases[0].0, "big");
+        // The rare value now behaves like an unseen value → violation 1.
+        let t = [0.0, 0.0];
+        assert_eq!(d.violation(&t, "rare"), 1.0);
+    }
+
+    #[test]
+    fn drop_attributes_respected() {
+        let mut df = frame_xy(50, |x| x, |_| 0.0);
+        df.push_numeric("target", vec![1.0; 50]).unwrap();
+        let opts = SynthOptions { drop_attributes: vec!["target".into()], ..Default::default() };
+        let profile = synthesize(&df, &opts).unwrap();
+        assert!(!profile.numeric_attributes.contains(&"target".to_string()));
+        assert_eq!(profile.numeric_attributes.len(), 2);
+    }
+
+    #[test]
+    fn no_numeric_attributes_is_error() {
+        let mut df = DataFrame::new();
+        df.push_categorical("only", &["a", "b"]).unwrap();
+        assert!(matches!(
+            synthesize(&df, &SynthOptions::default()),
+            Err(SynthError::NoNumericAttributes)
+        ));
+    }
+
+    #[test]
+    fn empty_rows_empty_constraint() {
+        let sc = synthesize_simple(&[], &["a".to_string()], &SynthOptions::default()).unwrap();
+        assert!(sc.is_empty());
+    }
+
+    #[test]
+    fn training_data_mostly_conforms() {
+        // Definition 2: |{t ∈ D | ¬Φ(t)}| ≪ |D| — with C = 4 bounds nearly
+        // all training tuples satisfy the constraint.
+        let df = frame_xy(1000, |x| 3.0 * x - 2.0, |i| ((i * 2654435761) % 1000) as f64 / 500.0 - 1.0);
+        let profile = synthesize(&df, &SynthOptions::default()).unwrap();
+        let violations = profile.violations(&df).unwrap();
+        let violating = violations.iter().filter(|&&v| v > 1e-9).count();
+        assert!(
+            violating * 100 < df.n_rows(),
+            "more than 1% of training tuples violate: {violating}"
+        );
+    }
+}

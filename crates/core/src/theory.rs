@@ -1,0 +1,209 @@
+//! Constructive versions of the paper's theory (§4.1.2): Lemma 11's
+//! projection combination and Theorem 12's iterative improvement.
+//!
+//! These are not used by the production synthesizer (Algorithm 1 gets the
+//! optimal answer in one shot — Theorem 13); they exist to *validate* the
+//! theory against the implementation and to support the ablation bench
+//! that shows iterative improvement converges toward the PCA answer.
+
+use crate::projection::Projection;
+use cc_stats::{pcc, Summary};
+
+/// Statistics of a projection over a dataset.
+#[derive(Clone, Debug)]
+pub struct ProjectionStats {
+    /// The projection.
+    pub projection: Projection,
+    /// μ(F(D)).
+    pub mean: f64,
+    /// σ(F(D)) (population).
+    pub std: f64,
+}
+
+/// Evaluates a projection's mean/σ over rows.
+pub fn stats(projection: &Projection, rows: &[Vec<f64>]) -> ProjectionStats {
+    let mut s = Summary::new();
+    for r in rows {
+        s.update(projection.evaluate(r));
+    }
+    ProjectionStats { projection: projection.clone(), mean: s.mean(), std: s.std() }
+}
+
+/// Lemma 11: given two projections with |ρ| ≥ ½ on `rows`, constructs
+/// `F = β₁F₁ + β₂F₂` with `β₁² + β₂² = 1` chosen so that
+/// `sign(ρ)·β₁·σ₁ + β₂·σ₂ = 0` (the proof's Equation 4). The result has
+/// strictly smaller variance than both inputs.
+///
+/// Returns `None` when |ρ| < ½ (the lemma's precondition) or either input
+/// is (numerically) constant.
+pub fn combine_correlated(
+    f1: &Projection,
+    f2: &Projection,
+    rows: &[Vec<f64>],
+) -> Option<ProjectionStats> {
+    let v1: Vec<f64> = rows.iter().map(|r| f1.evaluate(r)).collect();
+    let v2: Vec<f64> = rows.iter().map(|r| f2.evaluate(r)).collect();
+    let rho = pcc(&v1, &v2);
+    if rho.abs() < 0.5 {
+        return None;
+    }
+    let s1 = Summary::of(&v1).std();
+    let s2 = Summary::of(&v2).std();
+    if s1 < 1e-12 || s2 < 1e-12 {
+        return None;
+    }
+    // Solve sign(ρ)·β₁·σ₁ + β₂·σ₂ = 0 with β₁² + β₂² = 1:
+    // (β₁, β₂) ∝ (σ₂, −sign(ρ)·σ₁).
+    let norm = (s1 * s1 + s2 * s2).sqrt();
+    let beta1 = s2 / norm;
+    let beta2 = -rho.signum() * s1 / norm;
+    let combined = f1.combine(beta1, f2, beta2);
+    Some(stats(&combined, rows))
+}
+
+/// Theorem 12's iterative-improvement loop: starting from a set of
+/// projections, repeatedly replaces a |ρ| ≥ ½ pair by Lemma 11's
+/// combination until no such pair remains. Returns the final set (each with
+/// stats) — all pairwise |ρ| < ½ and none with larger σ than its ancestors.
+pub fn iterative_improvement(
+    initial: &[Projection],
+    rows: &[Vec<f64>],
+    max_rounds: usize,
+) -> Vec<ProjectionStats> {
+    let mut pool: Vec<ProjectionStats> = initial.iter().map(|p| stats(p, rows)).collect();
+    for _ in 0..max_rounds {
+        let mut best: Option<(usize, usize, ProjectionStats)> = None;
+        for i in 0..pool.len() {
+            for j in (i + 1)..pool.len() {
+                if let Some(c) =
+                    combine_correlated(&pool[i].projection, &pool[j].projection, rows)
+                {
+                    let improves = c.std < pool[i].std.min(pool[j].std) - 1e-12;
+                    if improves
+                        && best.as_ref().is_none_or(|(_, _, b)| c.std < b.std)
+                    {
+                        best = Some((i, j, c));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((i, j, c)) => {
+                // Replace the higher-σ member of the pair with the combined
+                // projection (keeping the pool size constant, like the
+                // theorem's index-set construction).
+                let victim = if pool[i].std >= pool[j].std { i } else { j };
+                pool[victim] = c;
+            }
+            None => break,
+        }
+    }
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Example 6/7's dataset, scaled up: strongly correlated X and Y.
+    fn correlated_rows() -> (Vec<Vec<f64>>, Vec<String>) {
+        let rows: Vec<Vec<f64>> = (0..300)
+            .map(|i| {
+                let x = i as f64 / 30.0;
+                let y = x + 0.1 * (((i * 17) % 7) as f64 - 3.0) / 3.0;
+                vec![x, y]
+            })
+            .collect();
+        (rows, vec!["X".to_string(), "Y".to_string()])
+    }
+
+    #[test]
+    fn lemma11_reduces_variance() {
+        let (rows, attrs) = correlated_rows();
+        let fx = Projection::new(attrs.clone(), vec![1.0, 0.0]);
+        let fy = Projection::new(attrs, vec![0.0, 1.0]);
+        let sx = stats(&fx, &rows).std;
+        let sy = stats(&fy, &rows).std;
+        let combined = combine_correlated(&fx, &fy, &rows).expect("|ρ| ≥ ½ here");
+        assert!(combined.std < sx && combined.std < sy, "σ={} !< min({sx},{sy})", combined.std);
+        // The combination should be ∝ X − Y (Example 7's direction).
+        let w = &combined.projection.coefficients;
+        assert!(w[0] * w[1] < 0.0, "expected opposite signs, got {w:?}");
+    }
+
+    #[test]
+    fn lemma11_requires_correlation() {
+        // Uncorrelated attributes: the lemma does not apply.
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![((i * 7) % 13) as f64, ((i * 11) % 17) as f64])
+            .collect();
+        let fx = Projection::new(vec!["a".into(), "b".into()], vec![1.0, 0.0]);
+        let fy = Projection::new(vec!["a".into(), "b".into()], vec![0.0, 1.0]);
+        let v1: Vec<f64> = rows.iter().map(|r| fx.evaluate(r)).collect();
+        let v2: Vec<f64> = rows.iter().map(|r| fy.evaluate(r)).collect();
+        if pcc(&v1, &v2).abs() < 0.5 {
+            assert!(combine_correlated(&fx, &fy, &rows).is_none());
+        }
+    }
+
+    #[test]
+    fn theorem12_converges_to_uncorrelated_pool() {
+        let (rows, attrs) = correlated_rows();
+        let initial = vec![
+            Projection::new(attrs.clone(), vec![1.0, 0.0]),
+            Projection::new(attrs, vec![0.0, 1.0]),
+        ];
+        let final_pool = iterative_improvement(&initial, &rows, 20);
+        assert_eq!(final_pool.len(), 2);
+        // All pairwise correlations below ½ now.
+        for i in 0..2 {
+            for j in (i + 1)..2 {
+                let vi: Vec<f64> =
+                    rows.iter().map(|r| final_pool[i].projection.evaluate(r)).collect();
+                let vj: Vec<f64> =
+                    rows.iter().map(|r| final_pool[j].projection.evaluate(r)).collect();
+                assert!(pcc(&vi, &vj).abs() < 0.5);
+            }
+        }
+        // The best σ must have improved over the initial axis projections.
+        let best = final_pool.iter().map(|p| p.std).fold(f64::INFINITY, f64::min);
+        let init_best = initial_best_std(&rows);
+        assert!(best < init_best, "no improvement: {best} vs {init_best}");
+    }
+
+    fn initial_best_std(rows: &[Vec<f64>]) -> f64 {
+        let attrs = vec!["X".to_string(), "Y".to_string()];
+        let fx = Projection::new(attrs.clone(), vec![1.0, 0.0]);
+        let fy = Projection::new(attrs, vec![0.0, 1.0]);
+        stats(&fx, rows).std.min(stats(&fy, rows).std)
+    }
+
+    #[test]
+    fn theorem13_pca_cannot_be_improved() {
+        // Run Algorithm 1, then try iterative improvement on its output:
+        // no |ρ| ≥ ½ pair should exist (the PCA projections are optimal).
+        let (rows, attrs) = correlated_rows();
+        // Center the data (Theorem 13's Condition 1).
+        let n = rows.len() as f64;
+        let mx: f64 = rows.iter().map(|r| r[0]).sum::<f64>() / n;
+        let my: f64 = rows.iter().map(|r| r[1]).sum::<f64>() / n;
+        let centered: Vec<Vec<f64>> =
+            rows.iter().map(|r| vec![r[0] - mx, r[1] - my]).collect();
+        let sc = crate::synth::synthesize_simple(
+            &centered,
+            &attrs,
+            &crate::synth::SynthOptions::default(),
+        )
+        .unwrap();
+        let projections: Vec<Projection> =
+            sc.conjuncts.iter().map(|c| c.projection.clone()).collect();
+        for i in 0..projections.len() {
+            for j in (i + 1)..projections.len() {
+                assert!(
+                    combine_correlated(&projections[i], &projections[j], &centered).is_none(),
+                    "PCA projections {i},{j} should not be improvable"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,424 @@
+//! Decision-tree-guided conformance constraints — the paper's §8 future
+//! work: *"learn conformance constraints in a decision-tree-like structure
+//! where categorical attributes will guide the splitting conditions and
+//! leaves will contain simple conformance constraints."*
+//!
+//! The flat compound constraints of §4.2 partition on every eligible
+//! categorical attribute independently. The tree instead chooses, at each
+//! node, the single attribute whose partitioning most *sharpens* the
+//! constraints (largest drop in the strongest projection's σ), and recurses
+//! — capturing nested regimes (e.g. per-(person, activity) structure) with
+//! far fewer constraints than the full cross product.
+
+use crate::constraint::SimpleConstraint;
+use crate::synth::{synthesize_simple, SynthError, SynthOptions};
+use cc_frame::{DataFrame, FrameError};
+use serde::{Deserialize, Serialize};
+
+/// Tree-synthesis knobs.
+#[derive(Clone, Debug)]
+pub struct TreeOptions {
+    /// Base synthesis options for leaves.
+    pub synth: SynthOptions,
+    /// Maximum number of splits along any root-to-leaf path.
+    pub max_depth: usize,
+    /// Minimum rows a child partition must keep to be split further.
+    pub min_partition_size: usize,
+    /// A split must shrink the weighted minimum projection σ by at least
+    /// this factor (parent σ / child σ ≥ factor) to be accepted.
+    pub min_improvement: f64,
+}
+
+impl Default for TreeOptions {
+    fn default() -> Self {
+        TreeOptions {
+            synth: SynthOptions::default(),
+            max_depth: 2,
+            min_partition_size: 20,
+            min_improvement: 1.5,
+        }
+    }
+}
+
+/// A node of the constraint tree.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum TreeNode {
+    /// Leaf: a simple conformance constraint for this partition.
+    Leaf(SimpleConstraint),
+    /// Internal split on a categorical attribute.
+    Split {
+        /// Switching attribute.
+        attribute: String,
+        /// Children per attribute value; unseen values get violation 1.
+        children: Vec<(String, TreeNode)>,
+    },
+}
+
+/// A tree-structured conformance profile.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TreeProfile {
+    /// Numeric attribute order every projection expects.
+    pub numeric_attributes: Vec<String>,
+    /// Root node.
+    pub root: TreeNode,
+}
+
+impl TreeProfile {
+    /// Violation of a tuple: descend by categorical values, evaluate the
+    /// reached leaf; an unseen categorical value yields 1 (closed world,
+    /// matching §3.2's undefined `simp`).
+    ///
+    /// # Errors
+    /// Fails when a switching attribute is missing from `categorical`.
+    pub fn violation(
+        &self,
+        numeric: &[f64],
+        categorical: &[(&str, &str)],
+    ) -> Result<f64, crate::constraint::ProfileError> {
+        let mut node = &self.root;
+        loop {
+            match node {
+                TreeNode::Leaf(sc) => return Ok(sc.violation(numeric)),
+                TreeNode::Split { attribute, children } => {
+                    let value = categorical
+                        .iter()
+                        .find(|(a, _)| a == attribute)
+                        .map(|(_, v)| *v)
+                        .ok_or_else(|| {
+                            crate::constraint::ProfileError::MissingCategorical(
+                                attribute.clone(),
+                            )
+                        })?;
+                    match children.iter().find(|(v, _)| v == value) {
+                        Some((_, child)) => node = child,
+                        None => return Ok(1.0),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Violations for every row of a frame.
+    ///
+    /// # Errors
+    /// Fails when the frame lacks needed attributes.
+    pub fn violations(
+        &self,
+        df: &DataFrame,
+    ) -> Result<Vec<f64>, crate::constraint::ProfileError> {
+        let numeric_cols: Vec<&[f64]> = self
+            .numeric_attributes
+            .iter()
+            .map(|a| {
+                df.numeric(a)
+                    .map_err(|_| crate::constraint::ProfileError::MissingNumeric(a.clone()))
+            })
+            .collect::<Result<_, _>>()?;
+        let cat_names: Vec<&str> = df.categorical_names();
+        let cat_cols: crate::constraint::CatColumns = cat_names
+            .iter()
+            .map(|n| (*n, df.categorical(n).expect("listed categorical exists")))
+            .collect();
+        let n = df.n_rows();
+        let mut out = Vec::with_capacity(n);
+        let mut tuple = vec![0.0; numeric_cols.len()];
+        for i in 0..n {
+            for (slot, col) in tuple.iter_mut().zip(&numeric_cols) {
+                *slot = col[i];
+            }
+            let cats: Vec<(&str, &str)> = cat_cols
+                .iter()
+                .map(|(name, (codes, dict))| (*name, dict[codes[i] as usize].as_str()))
+                .collect();
+            out.push(self.violation(&tuple, &cats)?);
+        }
+        Ok(out)
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        fn count(node: &TreeNode) -> usize {
+            match node {
+                TreeNode::Leaf(_) => 1,
+                TreeNode::Split { children, .. } => children.iter().map(|(_, c)| count(c)).sum(),
+            }
+        }
+        count(&self.root)
+    }
+
+    /// Depth of the tree (0 = single leaf).
+    pub fn depth(&self) -> usize {
+        fn depth(node: &TreeNode) -> usize {
+            match node {
+                TreeNode::Leaf(_) => 0,
+                TreeNode::Split { children, .. } => {
+                    1 + children.iter().map(|(_, c)| depth(c)).max().unwrap_or(0)
+                }
+            }
+        }
+        depth(&self.root)
+    }
+}
+
+/// Tree-synthesis failures.
+#[derive(Debug)]
+pub enum TreeError {
+    /// Underlying synthesis failure.
+    Synth(SynthError),
+    /// Frame failure.
+    Frame(FrameError),
+}
+
+impl std::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeError::Synth(e) => write!(f, "synthesis error: {e}"),
+            TreeError::Frame(e) => write!(f, "frame error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+impl From<SynthError> for TreeError {
+    fn from(e: SynthError) -> Self {
+        TreeError::Synth(e)
+    }
+}
+
+impl From<FrameError> for TreeError {
+    fn from(e: FrameError) -> Self {
+        TreeError::Frame(e)
+    }
+}
+
+/// Quality of a constraint set: the geometric mean of the projections' σ —
+/// proportional to the conformance-zone volume per dimension. (The minimum
+/// σ alone saturates at the noise floor on high-dimensional data, where
+/// many directions are already degenerate globally; the volume keeps
+/// rewarding splits that collapse *additional* directions.) ∞ for empty
+/// constraints.
+fn quality(sc: &SimpleConstraint) -> f64 {
+    if sc.is_empty() {
+        return f64::INFINITY;
+    }
+    let log_sum: f64 = sc.conjuncts.iter().map(|c| c.std.max(1e-9).ln()).sum();
+    (log_sum / sc.conjuncts.len() as f64).exp()
+}
+
+/// Learns a tree-structured conformance profile.
+///
+/// # Errors
+/// Fails when the frame has no numeric attributes or on eigensolver errors.
+pub fn synthesize_tree(df: &DataFrame, opts: &TreeOptions) -> Result<TreeProfile, TreeError> {
+    let attrs: Vec<String> = df
+        .numeric_names()
+        .into_iter()
+        .filter(|n| !opts.synth.drop_attributes.iter().any(|d| d == n))
+        .map(str::to_owned)
+        .collect();
+    if attrs.is_empty() {
+        return Err(TreeError::Synth(SynthError::NoNumericAttributes));
+    }
+    let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+    let rows = df.numeric_rows(&attr_refs)?;
+    let candidates: Vec<String> = df
+        .categorical_names()
+        .into_iter()
+        .filter(|n| !opts.synth.drop_attributes.iter().any(|d| d == n))
+        .filter(|n| {
+            df.column(n)
+                .ok()
+                .and_then(|c| c.cardinality())
+                .map(|card| card >= 2 && card <= opts.synth.max_categorical_domain)
+                .unwrap_or(false)
+        })
+        .map(str::to_owned)
+        .collect();
+
+    let all_indices: Vec<usize> = (0..df.n_rows()).collect();
+    let root = build(df, &rows, &attrs, &all_indices, &candidates, opts, opts.max_depth)?;
+    Ok(TreeProfile { numeric_attributes: attrs, root })
+}
+
+fn build(
+    df: &DataFrame,
+    rows: &[Vec<f64>],
+    attrs: &[String],
+    indices: &[usize],
+    candidates: &[String],
+    opts: &TreeOptions,
+    depth_left: usize,
+) -> Result<TreeNode, TreeError> {
+    let subset: Vec<Vec<f64>> = indices.iter().map(|&i| rows[i].clone()).collect();
+    let leaf = synthesize_simple(&subset, attrs, &opts.synth)?;
+    if depth_left == 0 || candidates.is_empty() || indices.len() < 2 * opts.min_partition_size {
+        return Ok(TreeNode::Leaf(leaf));
+    }
+    let parent_q = quality(&leaf);
+
+    // Pick the categorical attribute with the best weighted child quality.
+    let mut best: Option<(String, Vec<(String, Vec<usize>)>, f64)> = None;
+    for cat in candidates {
+        let (codes, dict) = match df.categorical(cat) {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        let mut groups: Vec<(String, Vec<usize>)> =
+            dict.iter().map(|v| (v.clone(), Vec::new())).collect();
+        for &i in indices {
+            groups[codes[i] as usize].1.push(i);
+        }
+        groups.retain(|(_, idx)| idx.len() >= opts.min_partition_size);
+        if groups.len() < 2 {
+            continue;
+        }
+        let covered: usize = groups.iter().map(|(_, idx)| idx.len()).sum();
+        let mut weighted_q = 0.0;
+        for (_, idx) in &groups {
+            let sub: Vec<Vec<f64>> = idx.iter().map(|&i| rows[i].clone()).collect();
+            let sc = synthesize_simple(&sub, attrs, &opts.synth)?;
+            weighted_q += quality(&sc) * idx.len() as f64 / covered as f64;
+        }
+        if best.as_ref().is_none_or(|(_, _, q)| weighted_q < *q) {
+            best = Some((cat.clone(), groups, weighted_q));
+        }
+    }
+
+    match best {
+        Some((attribute, groups, child_q))
+            if parent_q / child_q.max(1e-12) >= opts.min_improvement =>
+        {
+            let remaining: Vec<String> =
+                candidates.iter().filter(|c| **c != attribute).cloned().collect();
+            let mut children = Vec::with_capacity(groups.len());
+            for (value, idx) in groups {
+                children.push((
+                    value,
+                    build(df, rows, attrs, &idx, &remaining, opts, depth_left - 1)?,
+                ));
+            }
+            Ok(TreeNode::Split { attribute, children })
+        }
+        _ => Ok(TreeNode::Leaf(leaf)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Nested regimes: `region` moves the whole cluster (level-1 signal on
+    /// its own), `season` flips the slope inside each region (level-2
+    /// signal). Note a greedy tree cannot discover pure XOR regimes where
+    /// no single split helps alone — the generator mirrors the realistic
+    /// nested case instead.
+    fn nested_frame() -> DataFrame {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        let mut region = Vec::new();
+        let mut season = Vec::new();
+        for i in 0..800 {
+            let xx = (i % 100) as f64 / 10.0;
+            let r = if i % 2 == 0 { "north" } else { "south" };
+            let s = if (i / 2) % 2 == 0 { "summer" } else { "winter" };
+            let slope = match (r, s) {
+                ("north", "summer") => 2.0,
+                ("north", "winter") => -2.0,
+                ("south", "summer") => 4.0,
+                _ => -4.0,
+            };
+            let base_x = if r == "north" { 0.0 } else { 200.0 };
+            x.push(base_x + xx);
+            y.push(slope * xx + 0.01 * ((i % 7) as f64 - 3.0));
+            region.push(r);
+            season.push(s);
+        }
+        let mut df = DataFrame::new();
+        df.push_numeric("x", x).unwrap();
+        df.push_numeric("y", y).unwrap();
+        df.push_categorical("region", &region).unwrap();
+        df.push_categorical("season", &season).unwrap();
+        df
+    }
+
+    #[test]
+    fn learns_two_level_tree() {
+        let df = nested_frame();
+        let tree = synthesize_tree(&df, &TreeOptions::default()).unwrap();
+        assert_eq!(tree.depth(), 2, "expected splits on both attributes");
+        assert_eq!(tree.leaf_count(), 4);
+    }
+
+    #[test]
+    fn tree_violations_respect_regimes() {
+        let df = nested_frame();
+        let tree = synthesize_tree(&df, &TreeOptions::default()).unwrap();
+        // Training data conforms.
+        let v = tree.violations(&df).unwrap();
+        let bad = v.iter().filter(|&&x| x > 1e-6).count();
+        assert!(bad * 50 < df.n_rows(), "{bad} training rows violate");
+        // A north/summer-sloped tuple violates the north/winter regime.
+        let t = [5.0, 10.0]; // y = 2x
+        let ok = tree
+            .violation(&t, &[("region", "north"), ("season", "summer")])
+            .unwrap();
+        let wrong = tree
+            .violation(&t, &[("region", "north"), ("season", "winter")])
+            .unwrap();
+        assert!(ok < 0.05, "in-regime violation {ok}");
+        assert!(wrong > 0.5, "cross-regime violation {wrong}");
+        // Unseen categorical value ⇒ violation 1.
+        let unseen = tree
+            .violation(&t, &[("region", "east"), ("season", "summer")])
+            .unwrap();
+        assert_eq!(unseen, 1.0);
+    }
+
+    #[test]
+    fn no_split_without_improvement() {
+        // One global regime: the categorical is uninformative; stay a leaf.
+        let mut df = DataFrame::new();
+        let xs: Vec<f64> = (0..300).map(|i| i as f64 / 10.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        df.push_numeric("x", xs).unwrap();
+        df.push_numeric("y", ys).unwrap();
+        df.push_categorical(
+            "noise",
+            &(0..300).map(|i| if i % 2 == 0 { "a" } else { "b" }).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let tree = synthesize_tree(&df, &TreeOptions::default()).unwrap();
+        assert_eq!(tree.depth(), 0, "uninformative split must be rejected");
+        assert_eq!(tree.leaf_count(), 1);
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let df = nested_frame();
+        let opts = TreeOptions { max_depth: 1, ..Default::default() };
+        let tree = synthesize_tree(&df, &opts).unwrap();
+        assert!(tree.depth() <= 1);
+    }
+
+    #[test]
+    fn missing_switch_attribute_is_error() {
+        let df = nested_frame();
+        let tree = synthesize_tree(&df, &TreeOptions::default()).unwrap();
+        assert!(tree.violation(&[1.0, 2.0], &[]).is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let df = nested_frame();
+        let tree = synthesize_tree(&df, &TreeOptions::default()).unwrap();
+        let json = serde_json::to_string(&tree).unwrap();
+        let back: TreeProfile = serde_json::from_str(&json).unwrap();
+        let t = [5.0, 10.0];
+        let cats = [("region", "north"), ("season", "summer")];
+        assert_eq!(
+            tree.violation(&t, &cats).unwrap(),
+            back.violation(&t, &cats).unwrap()
+        );
+    }
+}

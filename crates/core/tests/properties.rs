@@ -1,0 +1,202 @@
+//! Property-based tests for the conformance-constraint semantics and the
+//! synthesis procedure: the paper's formal guarantees, checked on random
+//! datasets.
+
+use cc_frame::DataFrame;
+use conformance::{
+    synthesize, synthesize_simple, BoundedConstraint, Projection, SimpleConstraint,
+    StreamingSynthesizer, SynthOptions,
+};
+use proptest::prelude::*;
+
+/// Random small dataset: n rows × m numeric attributes with bounded values.
+fn dataset_strategy() -> impl Strategy<Value = (Vec<Vec<f64>>, usize)> {
+    (2usize..6).prop_flat_map(|m| {
+        (
+            proptest::collection::vec(
+                proptest::collection::vec(-50.0..50.0f64, m..=m),
+                5..60,
+            ),
+            Just(m),
+        )
+    })
+}
+
+fn attrs(m: usize) -> Vec<String> {
+    (0..m).map(|i| format!("a{i}")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Quantitative semantics stay in [0, 1] for any constraint and tuple.
+    #[test]
+    fn violation_is_bounded(
+        (rows, m) in dataset_strategy(),
+        probe in proptest::collection::vec(-1e6..1e6f64, 2..6),
+    ) {
+        let sc = synthesize_simple(&rows, &attrs(m), &SynthOptions::default()).unwrap();
+        let tuple: Vec<f64> = (0..m).map(|i| probe.get(i).copied().unwrap_or(0.0)).collect();
+        let v = sc.violation(&tuple);
+        prop_assert!((0.0..=1.0).contains(&v), "violation {v}");
+    }
+
+    /// Boolean and quantitative semantics agree: satisfied ⇒ violation 0,
+    /// violated ⇒ violation > 0.
+    #[test]
+    fn boolean_quantitative_agreement(
+        (rows, m) in dataset_strategy(),
+        probe in proptest::collection::vec(-1e4..1e4f64, 2..6),
+    ) {
+        let sc = synthesize_simple(&rows, &attrs(m), &SynthOptions::default()).unwrap();
+        let tuple: Vec<f64> = (0..m).map(|i| probe.get(i).copied().unwrap_or(0.0)).collect();
+        let v = sc.violation(&tuple);
+        if sc.satisfied(&tuple) {
+            prop_assert!(v.abs() < 1e-12, "satisfied but violation {v}");
+        } else {
+            prop_assert!(v > 0.0, "violated but violation 0");
+        }
+    }
+
+    /// Importance weights are a proper distribution.
+    #[test]
+    fn weights_normalized((rows, m) in dataset_strategy()) {
+        let sc = synthesize_simple(&rows, &attrs(m), &SynthOptions::default()).unwrap();
+        if !sc.is_empty() {
+            let sum: f64 = sc.weights.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(sc.weights.iter().all(|w| *w >= 0.0));
+        }
+    }
+
+    /// Definition 2: almost all training tuples satisfy the constraint
+    /// (with C = 4 bounds, every one of them does in exact arithmetic).
+    #[test]
+    fn training_tuples_conform((rows, m) in dataset_strategy()) {
+        let sc = synthesize_simple(&rows, &attrs(m), &SynthOptions::default()).unwrap();
+        let violating = rows.iter().filter(|r| sc.violation(r) > 1e-6).count();
+        prop_assert!(violating == 0, "{violating}/{} training tuples violate", rows.len());
+    }
+
+    /// Lemma 5: violation is monotone in the standardized deviation along a
+    /// projection's direction.
+    #[test]
+    fn violation_monotone_along_projection(
+        (rows, m) in dataset_strategy(),
+        steps in 1usize..8,
+    ) {
+        let sc = synthesize_simple(&rows, &attrs(m), &SynthOptions::default()).unwrap();
+        prop_assume!(!sc.is_empty());
+        let c: &BoundedConstraint = &sc.conjuncts[0];
+        // Walk outward from the projection mean along its coefficients.
+        let dir = &c.projection.coefficients;
+        let base: Vec<f64> = dir.iter().map(|w| w * c.mean).collect(); // F(base) = mean·‖w‖² = mean
+        let mut prev = -1.0;
+        for s in 0..=steps {
+            let t: Vec<f64> = base
+                .iter()
+                .zip(dir)
+                .map(|(b, w)| b + w * (s as f64) * 2.0 * (c.ub - c.lb + 1.0))
+                .collect();
+            let v = c.violation(&t);
+            prop_assert!(v >= prev - 1e-12, "not monotone: {v} after {prev}");
+            prev = v;
+        }
+    }
+
+    /// Streaming synthesis agrees with batch synthesis on violations.
+    #[test]
+    fn streaming_equals_batch(
+        (rows, m) in dataset_strategy(),
+        probe in proptest::collection::vec(-100.0..100.0f64, 2..6),
+    ) {
+        let names = attrs(m);
+        let opts = SynthOptions::default();
+        let batch = synthesize_simple(&rows, &names, &opts).unwrap();
+        let mut s = StreamingSynthesizer::new(names);
+        for r in &rows { s.update(r); }
+        let stream = s.finish(&opts).unwrap();
+        let tuple: Vec<f64> = (0..m).map(|i| probe.get(i).copied().unwrap_or(0.0)).collect();
+        let vb = batch.violation(&tuple);
+        let vs = stream.violation(&tuple);
+        prop_assert!((vb - vs).abs() < 1e-5, "batch {vb} vs stream {vs}");
+    }
+
+    /// Serde round-trip preserves violations exactly.
+    #[test]
+    fn serde_roundtrip_preserves_semantics(
+        (rows, m) in dataset_strategy(),
+        probe in proptest::collection::vec(-100.0..100.0f64, 2..6),
+    ) {
+        let sc = synthesize_simple(&rows, &attrs(m), &SynthOptions::default()).unwrap();
+        let json = serde_json::to_string(&sc).unwrap();
+        let back: SimpleConstraint = serde_json::from_str(&json).unwrap();
+        let tuple: Vec<f64> = (0..m).map(|i| probe.get(i).copied().unwrap_or(0.0)).collect();
+        prop_assert!((sc.violation(&tuple) - back.violation(&tuple)).abs() < 1e-12);
+    }
+
+    /// The violation breakdown sums to the total violation.
+    #[test]
+    fn breakdown_sums_to_total(
+        (rows, m) in dataset_strategy(),
+        probe in proptest::collection::vec(-1e4..1e4f64, 2..6),
+    ) {
+        let sc = synthesize_simple(&rows, &attrs(m), &SynthOptions::default()).unwrap();
+        let tuple: Vec<f64> = (0..m).map(|i| probe.get(i).copied().unwrap_or(0.0)).collect();
+        let total = sc.violation(&tuple);
+        let parts: f64 = sc.violation_breakdown(&tuple).iter().map(|(_, v)| v).sum();
+        prop_assert!((total - parts).abs() < 1e-9);
+    }
+
+    /// Scaling invariance of satisfaction: scaling ALL attribute values of
+    /// both training data and tuple by the same positive factor preserves
+    /// Boolean satisfaction (projections are linear; bounds scale along).
+    #[test]
+    fn scale_equivariance(
+        (rows, m) in dataset_strategy(),
+        factor in 0.1..10.0f64,
+    ) {
+        let names = attrs(m);
+        let opts = SynthOptions::default();
+        let sc1 = synthesize_simple(&rows, &names, &opts).unwrap();
+        let scaled: Vec<Vec<f64>> =
+            rows.iter().map(|r| r.iter().map(|x| x * factor).collect()).collect();
+        let sc2 = synthesize_simple(&scaled, &names, &opts).unwrap();
+        // Check on the training tuples themselves.
+        for (r, rs) in rows.iter().zip(&scaled).take(10) {
+            prop_assert_eq!(sc1.satisfied(r), sc2.satisfied(rs));
+        }
+    }
+
+    /// Profiles evaluated through a DataFrame match direct tuple evaluation.
+    #[test]
+    fn frame_and_tuple_paths_agree((rows, m) in dataset_strategy()) {
+        let names = attrs(m);
+        let mut df = DataFrame::new();
+        for (j, name) in names.iter().enumerate() {
+            df.push_numeric(name.clone(), rows.iter().map(|r| r[j]).collect()).unwrap();
+        }
+        let profile = synthesize(&df, &SynthOptions::default()).unwrap();
+        let via_frame = profile.violations(&df).unwrap();
+        for (i, r) in rows.iter().enumerate() {
+            let direct = profile.violation(r, &[]).unwrap();
+            prop_assert!((via_frame[i] - direct).abs() < 1e-12);
+        }
+    }
+}
+
+/// Non-proptest regression: a hand-built constraint's violation matches the
+/// closed form η(α·excess).
+#[test]
+fn closed_form_violation() {
+    let c = BoundedConstraint {
+        projection: Projection::new(vec!["x".into()], vec![1.0]),
+        lb: -1.0,
+        ub: 1.0,
+        mean: 0.0,
+        std: 0.5,
+        alpha: 2.0,
+    };
+    let v = c.violation(&[3.0]); // excess 2, α 2 ⇒ η(4)
+    assert!((v - (1.0 - (-4.0f64).exp())).abs() < 1e-12);
+}

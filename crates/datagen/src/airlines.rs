@@ -1,0 +1,234 @@
+//! Synthetic airlines dataset (stand-in for the 2008 airlines data \[8\]).
+//!
+//! Embedded invariants, matching the paper's Example 1 / Example 14:
+//!
+//! * **daytime flights**: `arr_time − dep_time − elapsed_time ≈ 0`
+//!   (small reporting noise);
+//! * all flights: `elapsed_time ≈ 0.12 · distance` (≈ 500 mph cruise);
+//! * **overnight flights** land after midnight, so the reported
+//!   `arr_time − dep_time − elapsed_time ≈ −1440` — they break the first
+//!   invariant exactly the way the real data does (Fig. 1's t5).
+//!
+//! The ground-truth `arrival_delay` is a linear function of duration,
+//! day-of-week and a carrier effect, **independent of the wrap-around** —
+//! so a regression model that implicitly exploits the daytime invariant
+//! degrades on overnight flights while the true delays stay moderate.
+
+use crate::common::{normal, randn};
+use cc_frame::DataFrame;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which flights to generate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlightKind {
+    /// Only daytime flights (arrival after departure, same day).
+    Daytime,
+    /// Only overnight flights (arrival past midnight; reported arrival time
+    /// is earlier than departure time).
+    Overnight,
+    /// A mixture with the given percentage (0–100) of overnight flights.
+    Mixed(u8),
+}
+
+/// Generator configuration.
+#[derive(Clone, Debug)]
+pub struct AirlinesConfig {
+    /// Number of rows.
+    pub rows: usize,
+    /// Flight mix.
+    pub kind: FlightKind,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AirlinesConfig {
+    fn default() -> Self {
+        AirlinesConfig { rows: 10_000, kind: FlightKind::Daytime, seed: 0xA1B2 }
+    }
+}
+
+const CARRIERS: [&str; 8] = ["AA", "UA", "DL", "WN", "B6", "AS", "NK", "F9"];
+const AIRPORTS: [&str; 12] =
+    ["ATL", "ORD", "DFW", "DEN", "LAX", "SFO", "SEA", "JFK", "BOS", "MIA", "PHX", "IAH"];
+
+/// Generates the airlines table with the paper's 14 attributes:
+/// `year, month, day, day_of_week, dep_time, arr_time, carrier,
+/// flight_number, elapsed_time, origin, destination, distance, diverted,
+/// arrival_delay`. Times are minutes since midnight (0–1439).
+pub fn airlines(cfg: &AirlinesConfig) -> DataFrame {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.rows;
+
+    let mut month = Vec::with_capacity(n);
+    let mut day = Vec::with_capacity(n);
+    let mut dow = Vec::with_capacity(n);
+    let mut dep = Vec::with_capacity(n);
+    let mut arr = Vec::with_capacity(n);
+    let mut carrier = Vec::with_capacity(n);
+    let mut fl_no = Vec::with_capacity(n);
+    let mut dur = Vec::with_capacity(n);
+    let mut origin = Vec::with_capacity(n);
+    let mut dest = Vec::with_capacity(n);
+    let mut dist = Vec::with_capacity(n);
+    let mut diverted = Vec::with_capacity(n);
+    let mut delay = Vec::with_capacity(n);
+
+    for _ in 0..n {
+        let overnight = match cfg.kind {
+            FlightKind::Daytime => false,
+            FlightKind::Overnight => true,
+            FlightKind::Mixed(pct) => rng.gen_range(0..100) < pct as u32,
+        };
+
+        // Distance: skewed toward short flights (paper: "shorter flights are
+        // more common"). Exponential-ish via squared uniform.
+        let u: f64 = rng.gen();
+        let distance = (150.0 + 2600.0 * u * u).round();
+        // True airborne duration ≈ 0.12 min/mile + taxi overhead + noise.
+        let true_duration =
+            (0.12 * distance + 30.0 + normal(&mut rng, 0.0, 4.0)).max(25.0).round();
+        // The REPORTED elapsed time carries extra block-time reporting noise
+        // (σ ≈ 10 min): on daytime data, AT − DT is a *cleaner* signal of
+        // the true duration than the elapsed_time column itself — exactly
+        // the coincidental relationship a learner will implicitly exploit
+        // (Example 15), and which overnight flights then break.
+        let duration = (true_duration + normal(&mut rng, 0.0, 10.0)).max(20.0).round();
+
+        // Departure time: daytime flights depart so they land before
+        // midnight; overnight flights depart late.
+        let dep_time = if overnight {
+            rng.gen_range((1440.0 - true_duration).max(18.0 * 60.0)..1439.0)
+        } else {
+            rng.gen_range(6.0 * 60.0..(1439.0 - true_duration - 10.0).max(6.0 * 60.0 + 1.0))
+        }
+        .round();
+        // The arrival stamp is accurate to a couple of minutes.
+        let noise = normal(&mut rng, 0.0, 1.5).round();
+        let arr_raw = dep_time + true_duration + noise;
+        let arr_time = if arr_raw >= 1440.0 { arr_raw - 1440.0 } else { arr_raw };
+
+        let m = rng.gen_range(1..=12u32);
+        let d = rng.gen_range(1..=28u32);
+        let w = rng.gen_range(1..=7u32);
+        let carrier_idx = rng.gen_range(0..CARRIERS.len());
+        // Ground-truth delay: true duration + weekday + carrier effects +
+        // noise; no dependence on the midnight wrap.
+        let true_delay = 0.05 * true_duration + 4.0 * ((w >= 6) as u32 as f64)
+            + 2.0 * carrier_idx as f64
+            + 8.0 * randn(&mut rng);
+
+        month.push(m as f64);
+        day.push(d as f64);
+        dow.push(w as f64);
+        dep.push(dep_time);
+        arr.push(arr_time.round());
+        carrier.push(CARRIERS[carrier_idx]);
+        fl_no.push(rng.gen_range(100..9999u32) as f64);
+        dur.push(duration);
+        let o = rng.gen_range(0..AIRPORTS.len());
+        let mut t = rng.gen_range(0..AIRPORTS.len());
+        if t == o {
+            t = (t + 1) % AIRPORTS.len();
+        }
+        origin.push(AIRPORTS[o]);
+        dest.push(AIRPORTS[t]);
+        dist.push(distance);
+        diverted.push(f64::from(rng.gen_range(0..1000u32) < 3));
+        delay.push(true_delay.round());
+    }
+
+    let mut df = DataFrame::new();
+    df.push_numeric("year", vec![2008.0; n]).expect("fresh frame");
+    df.push_numeric("month", month).expect("fresh column");
+    df.push_numeric("day", day).expect("fresh column");
+    df.push_numeric("day_of_week", dow).expect("fresh column");
+    df.push_numeric("dep_time", dep).expect("fresh column");
+    df.push_numeric("arr_time", arr).expect("fresh column");
+    df.push_categorical("carrier", &carrier).expect("fresh column");
+    df.push_numeric("flight_number", fl_no).expect("fresh column");
+    df.push_numeric("elapsed_time", dur).expect("fresh column");
+    df.push_categorical("origin", &origin).expect("fresh column");
+    df.push_categorical("destination", &dest).expect("fresh column");
+    df.push_numeric("distance", dist).expect("fresh column");
+    df.push_numeric("diverted", diverted).expect("fresh column");
+    df.push_numeric("arrival_delay", delay).expect("fresh column");
+    df
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_stats::{mean, population_std};
+
+    #[test]
+    fn daytime_satisfies_time_invariant() {
+        let df = airlines(&AirlinesConfig { rows: 2000, ..Default::default() });
+        let at = df.numeric("arr_time").unwrap();
+        let dt = df.numeric("dep_time").unwrap();
+        let dur = df.numeric("elapsed_time").unwrap();
+        let resid: Vec<f64> =
+            (0..df.n_rows()).map(|i| at[i] - dt[i] - dur[i]).collect();
+        assert!(mean(&resid).abs() < 1.0, "mean residual {}", mean(&resid));
+        assert!(population_std(&resid) < 15.0, "std {}", population_std(&resid));
+    }
+
+    #[test]
+    fn overnight_breaks_time_invariant_by_one_day() {
+        let df = airlines(&AirlinesConfig {
+            rows: 1000,
+            kind: FlightKind::Overnight,
+            seed: 7,
+        });
+        let at = df.numeric("arr_time").unwrap();
+        let dt = df.numeric("dep_time").unwrap();
+        let dur = df.numeric("elapsed_time").unwrap();
+        let resid: Vec<f64> =
+            (0..df.n_rows()).map(|i| at[i] - dt[i] - dur[i]).collect();
+        // Mean residual ≈ −1440 (one day).
+        assert!((mean(&resid) + 1440.0).abs() < 30.0, "mean residual {}", mean(&resid));
+        // Arrival earlier than departure (Fig. 1's overnight signature).
+        let earlier = (0..df.n_rows()).filter(|&i| at[i] < dt[i]).count();
+        assert!(earlier * 10 > df.n_rows() * 9);
+    }
+
+    #[test]
+    fn duration_tracks_distance() {
+        let df = airlines(&AirlinesConfig { rows: 2000, seed: 3, ..Default::default() });
+        let dis = df.numeric("distance").unwrap();
+        let dur = df.numeric("elapsed_time").unwrap();
+        let resid: Vec<f64> =
+            (0..df.n_rows()).map(|i| dur[i] - 0.12 * dis[i] - 30.0).collect();
+        assert!(population_std(&resid) < 16.0, "std {}", population_std(&resid));
+        assert!(mean(&resid).abs() < 1.0);
+    }
+
+    #[test]
+    fn mixed_fraction_respected() {
+        let df = airlines(&AirlinesConfig {
+            rows: 4000,
+            kind: FlightKind::Mixed(25),
+            seed: 11,
+        });
+        let at = df.numeric("arr_time").unwrap();
+        let dt = df.numeric("dep_time").unwrap();
+        let overnight = (0..df.n_rows()).filter(|&i| at[i] < dt[i]).count() as f64
+            / df.n_rows() as f64;
+        assert!((overnight - 0.25).abs() < 0.05, "overnight fraction {overnight}");
+    }
+
+    #[test]
+    fn schema_matches_paper() {
+        let df = airlines(&AirlinesConfig { rows: 10, ..Default::default() });
+        assert_eq!(df.n_cols(), 14);
+        assert_eq!(df.numeric_names().len(), 11);
+        assert_eq!(df.categorical_names(), vec!["carrier", "origin", "destination"]);
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let a = airlines(&AirlinesConfig { rows: 100, seed: 5, ..Default::default() });
+        let b = airlines(&AirlinesConfig { rows: 100, seed: 5, ..Default::default() });
+        assert_eq!(a.numeric("dep_time").unwrap(), b.numeric("dep_time").unwrap());
+    }
+}

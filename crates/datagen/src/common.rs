@@ -1,0 +1,62 @@
+//! Shared sampling utilities (the `rand` crate alone has no Gaussian
+//! distribution; we roll Box–Muller here rather than pulling `rand_distr`).
+
+use rand::Rng;
+
+/// One standard-normal sample via the Box–Muller transform.
+pub fn randn<R: Rng>(rng: &mut R) -> f64 {
+    // Guard against ln(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Normal sample with the given mean and standard deviation.
+pub fn normal<R: Rng>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    mean + std * randn(rng)
+}
+
+/// A point from an isotropic 2D Gaussian.
+pub fn gauss2<R: Rng>(rng: &mut R, cx: f64, cy: f64, std: f64) -> (f64, f64) {
+    (normal(rng, cx, std), normal(rng, cy, std))
+}
+
+/// A point from an isotropic d-dimensional Gaussian.
+pub fn gauss_nd<R: Rng>(rng: &mut R, center: &[f64], std: f64) -> Vec<f64> {
+    center.iter().map(|&c| normal(rng, c, std)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| randn(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn normal_scaling() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn gauss_nd_dims() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = gauss_nd(&mut rng, &[1.0, 2.0, 3.0], 0.1);
+        assert_eq!(p.len(), 3);
+        assert!((p[2] - 3.0).abs() < 1.0);
+    }
+}

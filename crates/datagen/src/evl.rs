@@ -1,0 +1,413 @@
+//! The Extreme Verification Latency benchmark (Souza et al. \[74\]):
+//! parametric re-implementations of all 16 non-stationary streams used in
+//! the paper's Fig. 8, each with an analytic ground-truth drift curve.
+//!
+//! Every stream is a sequence of time windows; each window is a dataframe
+//! with `d` numeric attributes and a categorical `class` column. Class
+//! populations are Gaussian (or gear-shaped rings for GEARS) whose centers
+//! follow the benchmark's documented trajectories: diagonal/horizontal/
+//! vertical translation, rotation (= purely *local* drift), expansion,
+//! oscillation, surrounding orbits.
+
+use crate::common::{gauss_nd, normal};
+use cc_frame::DataFrame;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// All 16 EVL stream names, in the paper's Fig. 8 order.
+pub const EVL_NAMES: [&str; 16] = [
+    "1CDT", "2CDT", "1CHT", "2CHT", "4CR", "4CRE-V1", "4CRE-V2", "5CVT", "1CSurr", "4CE1CF",
+    "UG-2C-2D", "MG-2C-2D", "FG-2C-2D", "UG-2C-3D", "UG-2C-5D", "GEARS-2C-2D",
+];
+
+/// One generated stream.
+#[derive(Clone, Debug)]
+pub struct EvlDataset {
+    /// Stream name (one of [`EVL_NAMES`]).
+    pub name: String,
+    /// Time windows, each with numeric attributes `x1..xd` and a
+    /// categorical `class`.
+    pub windows: Vec<DataFrame>,
+    /// Ground-truth drift magnitude per window, min-max normalized to
+    /// `[0, 1]` (window 0 is the reference and has drift 0).
+    pub ground_truth: Vec<f64>,
+}
+
+/// The state of one class at a moment in time: a mixture of isotropic
+/// Gaussian modes (one mode = unimodal).
+#[derive(Clone, Debug)]
+struct ClassState {
+    modes: Vec<Vec<f64>>,
+    std: f64,
+}
+
+/// Gaussian-stream description: class states as a function of t ∈ [0, 1].
+fn class_states(name: &str, t: f64) -> Option<Vec<ClassState>> {
+    let diag = std::f64::consts::FRAC_1_SQRT_2;
+    let tau = std::f64::consts::TAU;
+    let uni = |center: Vec<f64>, std: f64| ClassState { modes: vec![center], std };
+    let states = match name {
+        "1CDT" => vec![
+            uni(vec![0.0, 0.0], 0.5),
+            uni(vec![2.0 + 5.0 * t * diag, 2.0 + 5.0 * t * diag], 0.5),
+        ],
+        "2CDT" => vec![
+            uni(vec![5.0 * t * diag, 5.0 * t * diag], 0.5),
+            uni(vec![3.0 + 5.0 * t * diag, 5.0 * t * diag], 0.5),
+        ],
+        "1CHT" => vec![
+            uni(vec![0.0, 0.0], 0.5),
+            uni(vec![2.0 + 5.0 * t, 2.0], 0.5),
+        ],
+        "2CHT" => vec![
+            uni(vec![5.0 * t, 0.0], 0.5),
+            uni(vec![3.0 + 5.0 * t, 0.0], 0.5),
+        ],
+        "4CR" => {
+            // Four classes on a circle, rotating: purely local drift.
+            let r = 5.0;
+            let theta = tau * t;
+            (0..4)
+                .map(|k| {
+                    let a = theta + k as f64 * tau / 4.0;
+                    uni(vec![r * a.cos(), r * a.sin()], 0.6)
+                })
+                .collect()
+        }
+        "4CRE-V1" | "4CRE-V2" => {
+            let (speed, r1) = if name == "4CRE-V1" { (1.0, 6.0) } else { (2.0, 8.0) };
+            let r = 2.0 + (r1 - 2.0) * t;
+            let theta = tau * t * speed;
+            (0..4)
+                .map(|k| {
+                    let a = theta + k as f64 * tau / 4.0;
+                    uni(vec![r * a.cos(), r * a.sin()], 0.6)
+                })
+                .collect()
+        }
+        "5CVT" => (0..5)
+            .map(|k| uni(vec![2.5 * k as f64, 6.0 * t], 0.5))
+            .collect(),
+        "1CSurr" => {
+            // Class 1 orbits (surrounds) class 0.
+            let a = tau * t;
+            vec![
+                uni(vec![0.0, 0.0], 0.5),
+                uni(vec![4.0 * a.cos(), 4.0 * a.sin()], 0.5),
+            ]
+        }
+        "4CE1CF" => {
+            // Four classes expand outward along the diagonals; one fixed.
+            let r = 1.5 + 6.0 * t;
+            let mut v: Vec<ClassState> = (0..4)
+                .map(|k| {
+                    let a = std::f64::consts::FRAC_PI_4 + k as f64 * tau / 4.0;
+                    uni(vec![r * a.cos(), r * a.sin()], 0.6)
+                })
+                .collect();
+            v.push(uni(vec![0.0, 0.0], 0.6));
+            v
+        }
+        "UG-2C-2D" => {
+            // Two unimodal Gaussians moving through each other and back.
+            let s = 4.0 * (std::f64::consts::PI * t).sin();
+            vec![uni(vec![s, 0.0], 0.7), uni(vec![4.0 - s, 0.0], 0.7)]
+        }
+        "MG-2C-2D" => {
+            let s = 3.0 * (std::f64::consts::PI * t).sin();
+            vec![
+                ClassState { modes: vec![vec![s, 2.0], vec![s, -2.0]], std: 0.7 },
+                ClassState { modes: vec![vec![5.0 - s, 0.0]], std: 0.7 },
+            ]
+        }
+        "FG-2C-2D" => {
+            // Four Gaussians in an XOR layout, rotating about (2, 2).
+            let theta = tau * t * 0.5;
+            let rot = |x: f64, y: f64| {
+                let (dx, dy) = (x - 2.0, y - 2.0);
+                vec![
+                    2.0 + dx * theta.cos() - dy * theta.sin(),
+                    2.0 + dx * theta.sin() + dy * theta.cos(),
+                ]
+            };
+            vec![
+                ClassState { modes: vec![rot(0.0, 0.0), rot(4.0, 4.0)], std: 0.6 },
+                ClassState { modes: vec![rot(0.0, 4.0), rot(4.0, 0.0)], std: 0.6 },
+            ]
+        }
+        "UG-2C-3D" => {
+            let s = 4.0 * (std::f64::consts::PI * t).sin();
+            vec![
+                uni(vec![s, 0.0, 0.0], 0.8),
+                uni(vec![4.0 - s, 1.0, 1.0], 0.8),
+            ]
+        }
+        "UG-2C-5D" => {
+            let s = 4.0 * (std::f64::consts::PI * t).sin();
+            vec![
+                uni(vec![s, 0.0, 0.0, 0.0, 0.0], 0.9),
+                uni(vec![4.0 - s, 1.0, 0.5, 1.0, 0.5], 0.9),
+            ]
+        }
+        _ => return None,
+    };
+    Some(states)
+}
+
+/// Samples one GEARS window: two elongated (elliptical) gears with tooth
+/// bumps, counter-rotating. The ellipse makes the rotation visible to
+/// covariance-based detectors (the gears' low-variance axis turns), which
+/// is the property the benchmark's interlocking gear silhouettes have.
+fn gears_window(t: f64, points_per_class: usize, rng: &mut StdRng) -> DataFrame {
+    let teeth = 4.0;
+    let theta = std::f64::consts::PI * t; // half turn over the stream
+    let (a, b) = (3.5, 1.0); // ellipse semi-axes
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    let mut class = Vec::new();
+    for (c, (cx, dir)) in [(-5.0f64, 1.0f64), (5.0, -1.0)].iter().enumerate() {
+        let rot = dir * theta;
+        let (cos_r, sin_r) = (rot.cos(), rot.sin());
+        for _ in 0..points_per_class {
+            // Angle within a tooth sector (teeth occupy half the rim).
+            let tooth = rng.gen_range(0..teeth as u32) as f64;
+            let within: f64 = rng.gen_range(0.0..0.5);
+            let phi = (tooth + within) / teeth * std::f64::consts::TAU;
+            let bump = 1.0 + 0.15 * f64::from(within < 0.25) + normal(rng, 0.0, 0.04);
+            // Gear-local ellipse point, then rotate by the gear angle.
+            let (ex, ey) = (a * bump * phi.cos(), b * bump * phi.sin());
+            x.push(cx + ex * cos_r - ey * sin_r);
+            y.push(ex * sin_r + ey * cos_r);
+            class.push(format!("c{c}"));
+        }
+    }
+    let mut df = DataFrame::new();
+    df.push_numeric("x1", x).expect("fresh frame");
+    df.push_numeric("x2", y).expect("fresh frame");
+    df.push_categorical("class", &class).expect("fresh frame");
+    df
+}
+
+/// Generates one EVL stream.
+///
+/// Returns `None` for an unknown name. `points_per_class` points are drawn
+/// per class per window; `n_windows` windows span t ∈ [0, 1].
+pub fn evl_dataset(
+    name: &str,
+    n_windows: usize,
+    points_per_class: usize,
+    seed: u64,
+) -> Option<EvlDataset> {
+    assert!(n_windows >= 2, "need at least two windows");
+    let mut rng = StdRng::seed_from_u64(seed ^ hash_name(name));
+    let mut windows = Vec::with_capacity(n_windows);
+    let mut gt = Vec::with_capacity(n_windows);
+
+    if name == "GEARS-2C-2D" {
+        for w in 0..n_windows {
+            let t = w as f64 / (n_windows - 1) as f64;
+            windows.push(gears_window(t, points_per_class, &mut rng));
+            // Ground truth: the gear silhouette has period π (an ellipse is
+            // point-symmetric), so orientation distance is |sin θ|.
+            gt.push((std::f64::consts::PI * t).sin().abs());
+        }
+        cc_normalize(&mut gt);
+        return Some(EvlDataset { name: name.to_owned(), windows, ground_truth: gt });
+    }
+
+    // Gaussian-mixture streams.
+    let initial = class_states(name, 0.0)?;
+    let dim = initial[0].modes[0].len();
+    for w in 0..n_windows {
+        let t = w as f64 / (n_windows - 1) as f64;
+        let states = class_states(name, t).expect("name already validated");
+        let mut cols: Vec<Vec<f64>> = vec![Vec::new(); dim];
+        let mut class = Vec::new();
+        for (c, st) in states.iter().enumerate() {
+            for i in 0..points_per_class {
+                let mode = &st.modes[i % st.modes.len()];
+                let p = gauss_nd(&mut rng, mode, st.std);
+                for (col, v) in cols.iter_mut().zip(p) {
+                    col.push(v);
+                }
+                class.push(format!("c{c}"));
+            }
+        }
+        let mut df = DataFrame::new();
+        for (j, col) in cols.into_iter().enumerate() {
+            df.push_numeric(format!("x{}", j + 1), col).expect("fresh frame");
+        }
+        df.push_categorical("class", &class).expect("fresh frame");
+        windows.push(df);
+
+        // Ground truth: mean displacement of class modes from window 0,
+        // matching modes by minimum-cost assignment (a class whose two
+        // modes swap positions has NOT drifted — FG-2C-2D's half-turn).
+        let mut disp = 0.0;
+        for (st, st0) in states.iter().zip(&initial) {
+            disp += mode_displacement(&st.modes, &st0.modes);
+        }
+        gt.push(disp / states.len() as f64);
+    }
+    cc_normalize(&mut gt);
+    Some(EvlDataset { name: name.to_owned(), windows, ground_truth: gt })
+}
+
+/// Mean displacement between two mode sets under the best mode matching
+/// (brute-force assignment; mode counts here are 1 or 2).
+fn mode_displacement(now: &[Vec<f64>], initial: &[Vec<f64>]) -> f64 {
+    let d = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    };
+    match (now.len(), initial.len()) {
+        (1, 1) => d(&now[0], &initial[0]),
+        (2, 2) => {
+            let direct = d(&now[0], &initial[0]) + d(&now[1], &initial[1]);
+            let swapped = d(&now[0], &initial[1]) + d(&now[1], &initial[0]);
+            direct.min(swapped) / 2.0
+        }
+        _ => {
+            // General fallback: greedy nearest matching.
+            let mut total = 0.0;
+            for m in now {
+                total += initial.iter().map(|m0| d(m, m0)).fold(f64::INFINITY, f64::min);
+            }
+            total / now.len() as f64
+        }
+    }
+}
+
+/// Simple FNV-style hash so each stream gets a distinct RNG stream from the
+/// same user seed.
+fn hash_name(name: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn cc_normalize(v: &mut [f64]) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in v.iter() {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    let range = hi - lo;
+    for x in v.iter_mut() {
+        *x = if range > 0.0 { (*x - lo) / range } else { 0.0 };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_sixteen_generate() {
+        for name in EVL_NAMES {
+            let ds = evl_dataset(name, 5, 40, 1).unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(ds.windows.len(), 5, "{name}");
+            assert_eq!(ds.ground_truth.len(), 5, "{name}");
+            for w in &ds.windows {
+                assert!(w.n_rows() > 0);
+                assert!(w.numeric("x1").is_ok());
+                assert!(w.categorical("class").is_ok());
+            }
+            // Ground truth normalized with zero start.
+            assert_eq!(ds.ground_truth[0], 0.0, "{name}");
+            for &g in &ds.ground_truth {
+                assert!((0.0..=1.0).contains(&g), "{name}: {g}");
+            }
+        }
+        assert!(evl_dataset("NOPE", 5, 40, 1).is_none());
+    }
+
+    #[test]
+    fn dimensions_match_names() {
+        assert_eq!(
+            evl_dataset("UG-2C-3D", 3, 10, 0).unwrap().windows[0].numeric_names().len(),
+            3
+        );
+        assert_eq!(
+            evl_dataset("UG-2C-5D", 3, 10, 0).unwrap().windows[0].numeric_names().len(),
+            5
+        );
+        assert_eq!(
+            evl_dataset("4CR", 3, 10, 0).unwrap().windows[0].numeric_names().len(),
+            2
+        );
+    }
+
+    #[test]
+    fn class_counts() {
+        let ds = evl_dataset("5CVT", 3, 25, 2).unwrap();
+        let (_, dict) = ds.windows[0].categorical("class").unwrap();
+        assert_eq!(dict.len(), 5);
+        assert_eq!(ds.windows[0].n_rows(), 125);
+        let ds4 = evl_dataset("4CE1CF", 3, 10, 2).unwrap();
+        let (_, dict4) = ds4.windows[0].categorical("class").unwrap();
+        assert_eq!(dict4.len(), 5); // 4 expanding + 1 fixed
+    }
+
+    #[test]
+    fn rotation_streams_return_home() {
+        // 4CR rotates a full turn: ground truth ends back near 0.
+        let ds = evl_dataset("4CR", 9, 30, 3).unwrap();
+        let last = *ds.ground_truth.last().unwrap();
+        assert!(last < 0.05, "4CR should return to start, gt = {:?}", ds.ground_truth);
+        // Mid-way the drift is maximal.
+        let mid = ds.ground_truth[4];
+        assert!(mid > 0.9, "mid-rotation drift should be max, gt = {:?}", ds.ground_truth);
+    }
+
+    #[test]
+    fn translation_streams_monotone() {
+        for name in ["1CDT", "2CDT", "1CHT", "2CHT", "5CVT"] {
+            let ds = evl_dataset(name, 6, 30, 4).unwrap();
+            for w in ds.ground_truth.windows(2) {
+                assert!(w[1] >= w[0] - 1e-9, "{name} gt not monotone: {:?}", ds.ground_truth);
+            }
+        }
+    }
+
+    #[test]
+    fn oscillation_streams_peak_in_middle() {
+        for name in ["UG-2C-2D", "UG-2C-3D", "UG-2C-5D", "MG-2C-2D"] {
+            let ds = evl_dataset(name, 9, 30, 5).unwrap();
+            let mid = ds.ground_truth[4];
+            let last = *ds.ground_truth.last().unwrap();
+            assert!(mid > 0.9, "{name}: mid {mid}");
+            assert!(last < 0.1, "{name}: last {last}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = evl_dataset("1CDT", 4, 20, 9).unwrap();
+        let b = evl_dataset("1CDT", 4, 20, 9).unwrap();
+        assert_eq!(
+            a.windows[1].numeric("x1").unwrap(),
+            b.windows[1].numeric("x1").unwrap()
+        );
+    }
+
+    #[test]
+    fn gears_rings_centered() {
+        let ds = evl_dataset("GEARS-2C-2D", 4, 200, 6).unwrap();
+        let w = &ds.windows[0];
+        let (codes, dict) = w.categorical("class").unwrap();
+        let c0 = dict.iter().position(|d| d == "c0").unwrap() as u32;
+        let xs = w.numeric("x1").unwrap();
+        let mean_x0: f64 = codes
+            .iter()
+            .zip(xs)
+            .filter(|(c, _)| **c == c0)
+            .map(|(_, v)| v)
+            .sum::<f64>()
+            / 200.0;
+        assert!((mean_x0 + 5.0).abs() < 0.5, "gear 0 centered near x = −5, got {mean_x0}");
+    }
+}

@@ -1,0 +1,174 @@
+//! LED digit benchmark with scheduled concept drift (stand-in for the MOA
+//! LED generator \[12\], used in the paper's Fig. 12(d)).
+//!
+//! Each row encodes a digit 0–9 through 7 binary LED segments plus 17
+//! irrelevant random binary attributes. Drift: every `windows_per_phase`
+//! windows a new set of LEDs starts malfunctioning (their values invert
+//! with high probability), mirroring the paper's "at each drift, a certain
+//! set of LEDs malfunction".
+
+use cc_frame::DataFrame;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Canonical 7-segment encoding of the digits 0–9 (segments 1–7).
+pub const SEGMENTS: [[u8; 7]; 10] = [
+    [1, 1, 1, 0, 1, 1, 1], // 0
+    [0, 0, 1, 0, 0, 1, 0], // 1
+    [1, 0, 1, 1, 1, 0, 1], // 2
+    [1, 0, 1, 1, 0, 1, 1], // 3
+    [0, 1, 1, 1, 0, 1, 0], // 4
+    [1, 1, 0, 1, 0, 1, 1], // 5
+    [1, 1, 0, 1, 1, 1, 1], // 6
+    [1, 0, 1, 0, 0, 1, 0], // 7
+    [1, 1, 1, 1, 1, 1, 1], // 8
+    [1, 1, 1, 1, 0, 1, 1], // 9
+];
+
+/// Generator configuration.
+#[derive(Clone, Debug)]
+pub struct LedConfig {
+    /// Number of windows to generate (paper: 20).
+    pub n_windows: usize,
+    /// Rows per window (paper: 5000).
+    pub rows_per_window: usize,
+    /// Windows per drift phase (paper: 5, i.e. drift every 25 000 rows).
+    pub windows_per_phase: usize,
+    /// Probability a malfunctioning LED inverts on a given row.
+    pub malfunction_rate: f64,
+    /// Baseline per-segment noise (healthy LEDs flip with this rate).
+    pub noise_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LedConfig {
+    fn default() -> Self {
+        LedConfig {
+            n_windows: 20,
+            rows_per_window: 2000,
+            windows_per_phase: 5,
+            malfunction_rate: 0.8,
+            noise_rate: 0.02,
+            seed: 0x1ED,
+        }
+    }
+}
+
+/// LEDs (1-based) malfunctioning in each phase: phase 0 healthy, then the
+/// paper's observed schedule (LED 4 & 5, then LED 1 & 3, then more).
+pub fn malfunction_schedule(phase: usize) -> &'static [usize] {
+    const PHASES: [&[usize]; 4] = [&[], &[4, 5], &[1, 3], &[2, 6, 7]];
+    PHASES[phase.min(PHASES.len() - 1)]
+}
+
+/// Generates the windowed LED stream. Columns: `led1..led7`,
+/// `irrelevant1..irrelevant17` (all numeric 0/1) and the categorical
+/// `digit`.
+pub fn led_windows(cfg: &LedConfig) -> Vec<DataFrame> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut windows = Vec::with_capacity(cfg.n_windows);
+    for w in 0..cfg.n_windows {
+        let phase = w / cfg.windows_per_phase;
+        let bad = malfunction_schedule(phase);
+        let n = cfg.rows_per_window;
+        let mut leds: Vec<Vec<f64>> = vec![Vec::with_capacity(n); 7];
+        let mut irrelevant: Vec<Vec<f64>> = vec![Vec::with_capacity(n); 17];
+        let mut digits = Vec::with_capacity(n);
+        for _ in 0..n {
+            let digit = rng.gen_range(0..10usize);
+            for (s, col) in leds.iter_mut().enumerate() {
+                let mut v = SEGMENTS[digit][s];
+                let malfunctioning = bad.contains(&(s + 1));
+                let flip_p =
+                    if malfunctioning { cfg.malfunction_rate } else { cfg.noise_rate };
+                if rng.gen::<f64>() < flip_p {
+                    v = 1 - v;
+                }
+                col.push(f64::from(v));
+            }
+            for col in irrelevant.iter_mut() {
+                col.push(f64::from(rng.gen::<bool>()));
+            }
+            digits.push(digit.to_string());
+        }
+        let mut df = DataFrame::new();
+        for (s, col) in leds.into_iter().enumerate() {
+            df.push_numeric(format!("led{}", s + 1), col).expect("fresh frame");
+        }
+        for (s, col) in irrelevant.into_iter().enumerate() {
+            df.push_numeric(format!("irrelevant{}", s + 1), col).expect("fresh frame");
+        }
+        df.push_categorical("digit", &digits).expect("fresh frame");
+        windows.push(df);
+    }
+    windows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Vec<DataFrame> {
+        led_windows(&LedConfig {
+            n_windows: 10,
+            rows_per_window: 500,
+            windows_per_phase: 5,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn schema_and_counts() {
+        let ws = small();
+        assert_eq!(ws.len(), 10);
+        let w = &ws[0];
+        assert_eq!(w.numeric_names().len(), 24);
+        assert_eq!(w.categorical_names(), vec!["digit"]);
+        assert_eq!(w.n_rows(), 500);
+    }
+
+    #[test]
+    fn healthy_windows_encode_digits() {
+        let ws = small();
+        let w = &ws[0];
+        let (codes, dict) = w.categorical("digit").unwrap();
+        // For digit 8 every LED is on; check led1 is ~1 for those rows.
+        let eight = dict.iter().position(|d| d == "8").map(|i| i as u32);
+        if let Some(eight) = eight {
+            let led1 = w.numeric("led1").unwrap();
+            let rows: Vec<f64> = codes
+                .iter()
+                .zip(led1)
+                .filter(|(c, _)| **c == eight)
+                .map(|(_, v)| *v)
+                .collect();
+            let on_rate = rows.iter().sum::<f64>() / rows.len() as f64;
+            assert!(on_rate > 0.9, "led1 for digit 8 should be on, rate {on_rate}");
+        }
+    }
+
+    #[test]
+    fn malfunction_changes_led_statistics() {
+        let ws = small();
+        // Phase 1 (windows 5..10) malfunctions LEDs 4 and 5.
+        let healthy = &ws[0];
+        let broken = &ws[7];
+        let mean = |df: &DataFrame, col: &str| {
+            let v = df.numeric(col).unwrap();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        let delta4 = (mean(healthy, "led4") - mean(broken, "led4")).abs();
+        let delta1 = (mean(healthy, "led1") - mean(broken, "led1")).abs();
+        assert!(delta4 > 0.15, "led4 stats should shift: {delta4}");
+        assert!(delta1 < 0.08, "led1 stays healthy in phase 1: {delta1}");
+    }
+
+    #[test]
+    fn schedule_is_stable() {
+        assert_eq!(malfunction_schedule(0), &[] as &[usize]);
+        assert_eq!(malfunction_schedule(1), &[4, 5]);
+        assert_eq!(malfunction_schedule(2), &[1, 3]);
+        assert_eq!(malfunction_schedule(99), &[2, 6, 7]);
+    }
+}

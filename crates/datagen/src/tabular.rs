@@ -1,0 +1,256 @@
+//! Synthetic tabular datasets for the Fig-12 ExTuNe experiments:
+//! cardiovascular disease, mobile prices, house prices.
+//!
+//! Each generator produces a `(train, serve)` pair where the serving class
+//! shifts a *known* subset of attributes — the ground truth the
+//! responsibility ranking is evaluated against:
+//!
+//! * cardio: disease patients shift `ap_hi` / `ap_lo` (blood pressures)
+//!   most, plus milder weight/cholesterol shifts;
+//! * mobile: expensive phones shift `ram` most, plus battery/pixels;
+//! * house: expensive houses shift *many* attributes moderately
+//!   ("holistic", as the paper observes).
+
+use crate::common::normal;
+use cc_frame::DataFrame;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Cardiovascular-disease style data: returns `(healthy, diseased)`.
+pub fn cardio(n_each: usize, seed: u64) -> (DataFrame, DataFrame) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gen = |diseased: bool, rng: &mut StdRng| {
+        let mut age = Vec::new();
+        let mut gender = Vec::new();
+        let mut height = Vec::new();
+        let mut weight = Vec::new();
+        let mut ap_hi = Vec::new();
+        let mut ap_lo = Vec::new();
+        let mut chol = Vec::new();
+        let mut gluc = Vec::new();
+        let mut smoke = Vec::new();
+        let mut alco = Vec::new();
+        let mut active = Vec::new();
+        for _ in 0..n_each {
+            let a = normal(rng, if diseased { 57.0 } else { 50.0 }, 7.0);
+            let h = normal(rng, 168.0, 8.0);
+            let w = normal(rng, if diseased { 82.0 } else { 72.0 }, 10.0);
+            // Blood pressures: the dominant shift; hi/lo correlated.
+            let hi = normal(rng, if diseased { 165.0 } else { 120.0 }, if diseased { 18.0 } else { 9.0 });
+            let lo = hi * 0.62 + normal(rng, 3.0, 4.0);
+            age.push(a.round());
+            gender.push(if rng.gen::<bool>() { "male" } else { "female" });
+            height.push(h.round());
+            weight.push(w.round());
+            ap_hi.push(hi.round());
+            ap_lo.push(lo.round());
+            chol.push(f64::from(rng.gen_range(0..10u32) < if diseased { 5 } else { 2 }) + 1.0);
+            gluc.push(f64::from(rng.gen_range(0..10u32) < if diseased { 3 } else { 1 }) + 1.0);
+            smoke.push(f64::from(rng.gen_range(0..10u32) < 2));
+            alco.push(f64::from(rng.gen_range(0..10u32) < 1));
+            active.push(f64::from(rng.gen_range(0..10u32) < if diseased { 5 } else { 8 }));
+        }
+        let mut df = DataFrame::new();
+        df.push_numeric("age", age).expect("fresh frame");
+        df.push_categorical("gender", &gender).expect("fresh frame");
+        df.push_numeric("height", height).expect("fresh frame");
+        df.push_numeric("weight", weight).expect("fresh frame");
+        df.push_numeric("ap_hi", ap_hi).expect("fresh frame");
+        df.push_numeric("ap_lo", ap_lo).expect("fresh frame");
+        df.push_numeric("cholesterol", chol).expect("fresh frame");
+        df.push_numeric("gluc", gluc).expect("fresh frame");
+        df.push_numeric("smoke", smoke).expect("fresh frame");
+        df.push_numeric("alco", alco).expect("fresh frame");
+        df.push_numeric("active", active).expect("fresh frame");
+        df
+    };
+    let healthy = gen(false, &mut rng);
+    let diseased = gen(true, &mut rng);
+    (healthy, diseased)
+}
+
+/// Mobile-price style data: returns `(cheap, expensive)`.
+pub fn mobile(n_each: usize, seed: u64) -> (DataFrame, DataFrame) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gen = |expensive: bool, rng: &mut StdRng| {
+        let mut cols: Vec<(&str, Vec<f64>)> = vec![
+            ("battery_power", vec![]),
+            ("blue", vec![]),
+            ("clock_speed", vec![]),
+            ("dual_sim", vec![]),
+            ("int_memory", vec![]),
+            ("m_dep", vec![]),
+            ("mobile_wt", vec![]),
+            ("n_cores", vec![]),
+            ("px_height", vec![]),
+            ("px_width", vec![]),
+            ("ram", vec![]),
+            ("sc_h", vec![]),
+            ("talk_time", vec![]),
+            ("touch_screen", vec![]),
+            ("wifi", vec![]),
+        ];
+        for _ in 0..n_each {
+            // RAM: the dominant price separator.
+            let ram = normal(rng, if expensive { 3400.0 } else { 900.0 }, 350.0);
+            let battery = normal(rng, if expensive { 1500.0 } else { 1100.0 }, 250.0);
+            let pxh = normal(rng, if expensive { 1250.0 } else { 700.0 }, 280.0);
+            let pxw = pxh * 1.4 + normal(rng, 60.0, 70.0);
+            for (name, col) in cols.iter_mut() {
+                let v = match *name {
+                    "battery_power" => battery.round(),
+                    "blue" => f64::from(rng.gen::<bool>()),
+                    "clock_speed" => normal(rng, 1.6, 0.5).clamp(0.5, 3.0),
+                    "dual_sim" => f64::from(rng.gen::<bool>()),
+                    "int_memory" => normal(rng, 32.0, 15.0).clamp(2.0, 64.0).round(),
+                    "m_dep" => normal(rng, 0.5, 0.2).clamp(0.1, 1.0),
+                    "mobile_wt" => normal(rng, 140.0, 25.0).round(),
+                    "n_cores" => rng.gen_range(1..9u32) as f64,
+                    "px_height" => pxh.max(100.0).round(),
+                    "px_width" => pxw.max(200.0).round(),
+                    "ram" => ram.max(256.0).round(),
+                    "sc_h" => normal(rng, 12.0, 3.0).clamp(5.0, 19.0).round(),
+                    "talk_time" => normal(rng, 11.0, 4.0).clamp(2.0, 20.0).round(),
+                    "touch_screen" => f64::from(rng.gen::<bool>()),
+                    "wifi" => f64::from(rng.gen::<bool>()),
+                    _ => unreachable!(),
+                };
+                col.push(v);
+            }
+        }
+        let mut df = DataFrame::new();
+        for (name, col) in cols {
+            df.push_numeric(name, col).expect("fresh frame");
+        }
+        df
+    };
+    let cheap = gen(false, &mut rng);
+    let expensive = gen(true, &mut rng);
+    (cheap, expensive)
+}
+
+/// House-price style data: returns `(cheap, expensive)`; the shift is
+/// spread over many attributes ("holistic").
+pub fn house(n_each: usize, seed: u64) -> (DataFrame, DataFrame) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gen = |expensive: bool, rng: &mut StdRng| {
+        let scale = if expensive { 1.0 } else { 0.0 };
+        let mut cols: Vec<(&str, Vec<f64>)> = vec![
+            ("GrLivArea", vec![]),
+            ("OverallQual", vec![]),
+            ("1stFlrSF", vec![]),
+            ("FullBath", vec![]),
+            ("MasVnrArea", vec![]),
+            ("BsmtFinSF1", vec![]),
+            ("YearBuilt", vec![]),
+            ("2ndFlrSF", vec![]),
+            ("Fireplaces", vec![]),
+            ("ScreenPorch", vec![]),
+            ("LotArea", vec![]),
+            ("BsmtFullBath", vec![]),
+            ("TotRmsAbvGrd", vec![]),
+            ("GarageArea", vec![]),
+            ("YearRemodAdd", vec![]),
+        ];
+        for _ in 0..n_each {
+            let quality = normal(rng, 5.0 + 3.0 * scale, 0.9);
+            let area = normal(rng, 1100.0 + 1400.0 * scale, 280.0).max(500.0);
+            for (name, col) in cols.iter_mut() {
+                let v = match *name {
+                    "GrLivArea" => area.round(),
+                    "OverallQual" => quality.clamp(1.0, 10.0).round(),
+                    "1stFlrSF" => (area * 0.62 + normal(rng, 0.0, 90.0)).max(300.0).round(),
+                    "FullBath" => (1.0 + 1.4 * scale + normal(rng, 0.0, 0.5)).clamp(1.0, 4.0).round(),
+                    "MasVnrArea" => (260.0 * scale + normal(rng, 40.0, 60.0)).max(0.0).round(),
+                    "BsmtFinSF1" => (420.0 * scale + normal(rng, 250.0, 160.0)).max(0.0).round(),
+                    "YearBuilt" => normal(rng, 1955.0 + 45.0 * scale, 12.0).round(),
+                    "2ndFlrSF" => (area * 0.28 * scale + normal(rng, 60.0, 90.0)).max(0.0).round(),
+                    "Fireplaces" => (1.3 * scale + normal(rng, 0.3, 0.4)).clamp(0.0, 3.0).round(),
+                    "ScreenPorch" => (70.0 * scale + normal(rng, 10.0, 25.0)).max(0.0).round(),
+                    "LotArea" => (8500.0 + 5200.0 * scale + normal(rng, 0.0, 1800.0)).max(1500.0).round(),
+                    "BsmtFullBath" => (0.8 * scale + normal(rng, 0.2, 0.35)).clamp(0.0, 2.0).round(),
+                    "TotRmsAbvGrd" => (5.6 + 2.4 * scale + normal(rng, 0.0, 0.8)).clamp(3.0, 12.0).round(),
+                    "GarageArea" => (380.0 + 260.0 * scale + normal(rng, 0.0, 90.0)).max(0.0).round(),
+                    "YearRemodAdd" => normal(rng, 1975.0 + 27.0 * scale, 10.0).round(),
+                    _ => unreachable!(),
+                };
+                col.push(v);
+            }
+        }
+        let mut df = DataFrame::new();
+        for (name, col) in cols {
+            df.push_numeric(name, col).expect("fresh frame");
+        }
+        df
+    };
+    let cheap = gen(false, &mut rng);
+    let expensive = gen(true, &mut rng);
+    (cheap, expensive)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_stats::mean;
+
+    #[test]
+    fn cardio_shifts_blood_pressure_most() {
+        let (healthy, diseased) = cardio(2000, 1);
+        let shift = |col: &str| {
+            let h = mean(healthy.numeric(col).unwrap());
+            let d = mean(diseased.numeric(col).unwrap());
+            // Standardize the shift by the healthy std.
+            let s = cc_stats::population_std(healthy.numeric(col).unwrap()).max(1e-9);
+            ((d - h) / s).abs()
+        };
+        let ap = shift("ap_hi");
+        assert!(ap > shift("height"), "ap_hi shift dominates height");
+        assert!(ap > shift("smoke"));
+        assert!(ap > 2.0, "blood pressure strongly shifted: {ap}");
+    }
+
+    #[test]
+    fn mobile_ram_dominates() {
+        let (cheap, exp) = mobile(2000, 2);
+        let shift = |col: &str| {
+            let c = mean(cheap.numeric(col).unwrap());
+            let e = mean(exp.numeric(col).unwrap());
+            let s = cc_stats::population_std(cheap.numeric(col).unwrap()).max(1e-9);
+            ((e - c) / s).abs()
+        };
+        let ram = shift("ram");
+        for other in ["battery_power", "talk_time", "n_cores", "mobile_wt"] {
+            assert!(ram > shift(other), "ram shift must dominate {other}");
+        }
+        assert!(ram > 4.0);
+    }
+
+    #[test]
+    fn house_shift_is_holistic() {
+        let (cheap, exp) = house(2000, 3);
+        let shifted = ["GrLivArea", "OverallQual", "FullBath", "GarageArea", "TotRmsAbvGrd"]
+            .iter()
+            .filter(|col| {
+                let c = mean(cheap.numeric(col).unwrap());
+                let e = mean(exp.numeric(col).unwrap());
+                let s = cc_stats::population_std(cheap.numeric(col).unwrap()).max(1e-9);
+                ((e - c) / s).abs() > 1.0
+            })
+            .count();
+        assert!(shifted >= 4, "many attributes shift: {shifted}");
+    }
+
+    #[test]
+    fn shapes() {
+        let (a, b) = cardio(100, 0);
+        assert_eq!(a.n_rows(), 100);
+        assert_eq!(b.n_rows(), 100);
+        assert_eq!(a.names(), b.names());
+        let (c, d) = mobile(50, 0);
+        assert_eq!(c.n_cols(), 15);
+        assert_eq!(d.n_rows(), 50);
+        let (e, f) = house(50, 0);
+        assert_eq!(e.n_cols(), 15);
+        assert_eq!(f.n_cols(), 15);
+    }
+}

@@ -1,0 +1,195 @@
+//! Column storage: dense numeric vectors and dictionary-encoded categoricals.
+
+/// Discriminates the two column kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColumnType {
+    /// `f64` numeric column (participates in projections).
+    Numeric,
+    /// Dictionary-encoded categorical column (participates in partitioning).
+    Categorical,
+}
+
+/// A single column of data.
+#[derive(Clone, Debug)]
+pub enum Column {
+    /// Dense numeric values.
+    Numeric(Vec<f64>),
+    /// Dictionary-encoded categorical values: `codes[i]` indexes into
+    /// `dict`. The dictionary preserves first-seen order.
+    Categorical {
+        /// Per-row dictionary codes.
+        codes: Vec<u32>,
+        /// Distinct values, indexed by code.
+        dict: Vec<String>,
+    },
+}
+
+impl Column {
+    /// Builds a categorical column from string labels, dictionary-encoding
+    /// them in first-seen order.
+    pub fn categorical_from_labels<S: AsRef<str>>(labels: &[S]) -> Column {
+        let mut dict: Vec<String> = Vec::new();
+        let mut codes = Vec::with_capacity(labels.len());
+        for l in labels {
+            let l = l.as_ref();
+            let code = match dict.iter().position(|d| d == l) {
+                Some(i) => i as u32,
+                None => {
+                    dict.push(l.to_owned());
+                    (dict.len() - 1) as u32
+                }
+            };
+            codes.push(code);
+        }
+        Column::Categorical { codes, dict }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Numeric(v) => v.len(),
+            Column::Categorical { codes, .. } => codes.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The column's kind.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            Column::Numeric(_) => ColumnType::Numeric,
+            Column::Categorical { .. } => ColumnType::Categorical,
+        }
+    }
+
+    /// Numeric view, if numeric.
+    pub fn as_numeric(&self) -> Option<&[f64]> {
+        match self {
+            Column::Numeric(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Categorical view `(codes, dict)`, if categorical.
+    pub fn as_categorical(&self) -> Option<(&[u32], &[String])> {
+        match self {
+            Column::Categorical { codes, dict } => Some((codes, dict)),
+            _ => None,
+        }
+    }
+
+    /// Number of distinct values (dictionary size for categoricals; distinct
+    /// count for numerics is not tracked and returns `None`).
+    pub fn cardinality(&self) -> Option<usize> {
+        match self {
+            Column::Categorical { dict, .. } => Some(dict.len()),
+            Column::Numeric(_) => None,
+        }
+    }
+
+    /// Row-subset copy (used by `DataFrame::take`).
+    pub fn take(&self, indices: &[usize]) -> Column {
+        match self {
+            Column::Numeric(v) => Column::Numeric(indices.iter().map(|&i| v[i]).collect()),
+            Column::Categorical { codes, dict } => {
+                // Re-encode so the new dictionary only holds values present
+                // in the subset (keeps partition cardinality meaningful).
+                let labels: Vec<&str> =
+                    indices.iter().map(|&i| dict[codes[i] as usize].as_str()).collect();
+                Column::categorical_from_labels(&labels)
+            }
+        }
+    }
+
+    /// Appends the rows of another column of the same kind.
+    ///
+    /// # Panics
+    /// Panics when column kinds differ.
+    pub fn append(&mut self, other: &Column) {
+        match (self, other) {
+            (Column::Numeric(a), Column::Numeric(b)) => a.extend_from_slice(b),
+            (Column::Categorical { codes, dict }, Column::Categorical { codes: oc, dict: od }) => {
+                // Remap other's codes into our dictionary.
+                let mut remap = Vec::with_capacity(od.len());
+                for val in od {
+                    let code = match dict.iter().position(|d| d == val) {
+                        Some(i) => i as u32,
+                        None => {
+                            dict.push(val.clone());
+                            (dict.len() - 1) as u32
+                        }
+                    };
+                    remap.push(code);
+                }
+                codes.extend(oc.iter().map(|&c| remap[c as usize]));
+            }
+            _ => panic!("Column::append: mismatched column kinds"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dictionary_encoding_first_seen_order() {
+        let c = Column::categorical_from_labels(&["b", "a", "b", "c", "a"]);
+        let (codes, dict) = c.as_categorical().unwrap();
+        assert_eq!(dict, &["b".to_string(), "a".to_string(), "c".to_string()]);
+        assert_eq!(codes, &[0, 1, 0, 2, 1]);
+        assert_eq!(c.cardinality(), Some(3));
+    }
+
+    #[test]
+    fn take_reencodes_dictionary() {
+        let c = Column::categorical_from_labels(&["x", "y", "z", "y"]);
+        let sub = c.take(&[1, 3]);
+        let (codes, dict) = sub.as_categorical().unwrap();
+        assert_eq!(dict, &["y".to_string()]);
+        assert_eq!(codes, &[0, 0]);
+    }
+
+    #[test]
+    fn numeric_take() {
+        let c = Column::Numeric(vec![10.0, 20.0, 30.0]);
+        let sub = c.take(&[2, 0]);
+        assert_eq!(sub.as_numeric().unwrap(), &[30.0, 10.0]);
+    }
+
+    #[test]
+    fn append_numeric() {
+        let mut a = Column::Numeric(vec![1.0]);
+        a.append(&Column::Numeric(vec![2.0, 3.0]));
+        assert_eq!(a.as_numeric().unwrap(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn append_categorical_remaps() {
+        let mut a = Column::categorical_from_labels(&["x", "y"]);
+        let b = Column::categorical_from_labels(&["y", "z"]);
+        a.append(&b);
+        let (codes, dict) = a.as_categorical().unwrap();
+        assert_eq!(dict, &["x".to_string(), "y".to_string(), "z".to_string()]);
+        assert_eq!(codes, &[0, 1, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched column kinds")]
+    fn append_mismatch_panics() {
+        let mut a = Column::Numeric(vec![1.0]);
+        a.append(&Column::categorical_from_labels(&["x"]));
+    }
+
+    #[test]
+    fn column_type_and_len() {
+        let n = Column::Numeric(vec![1.0, 2.0]);
+        assert_eq!(n.column_type(), ColumnType::Numeric);
+        assert_eq!(n.len(), 2);
+        assert!(!n.is_empty());
+        assert!(Column::Numeric(vec![]).is_empty());
+    }
+}

@@ -1,0 +1,242 @@
+//! CSV read/write for [`DataFrame`].
+//!
+//! A deliberately small dialect: comma-separated, first row is the header,
+//! optional double-quote quoting (no embedded newlines), type inference per
+//! column (numeric iff every non-empty cell parses as `f64`). Good enough to
+//! round-trip every dataset in this workspace.
+
+use crate::column::Column;
+use crate::frame::{DataFrame, FrameError};
+use std::io::{self, BufRead, Write};
+
+/// Errors from CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A data row has a different number of fields than the header.
+    RaggedRow {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// Fields found.
+        got: usize,
+        /// Fields expected (header width).
+        expected: usize,
+    },
+    /// The input had no header row.
+    Empty,
+    /// Frame-level error while assembling columns.
+    Frame(FrameError),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::RaggedRow { line, got, expected } => {
+                write!(f, "line {line}: expected {expected} fields, got {got}")
+            }
+            CsvError::Empty => write!(f, "empty csv input"),
+            CsvError::Frame(e) => write!(f, "frame error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+impl From<FrameError> for CsvError {
+    fn from(e: FrameError) -> Self {
+        CsvError::Frame(e)
+    }
+}
+
+/// Splits one CSV line into fields, honoring double-quote quoting and the
+/// `""` escape inside quoted fields.
+fn split_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Quotes a field if it contains a comma, quote, or leading/trailing space.
+fn quote_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.starts_with(' ') || s.ends_with(' ') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Reads a dataframe from CSV text, inferring column types: a column is
+/// numeric iff every cell parses as `f64` (empty cells are treated as
+/// non-numeric to avoid silent NaNs).
+///
+/// # Errors
+/// Fails on I/O errors, ragged rows, or an empty input.
+pub fn read_csv<R: BufRead>(reader: R) -> Result<DataFrame, CsvError> {
+    let mut lines = reader.lines();
+    let header = match lines.next() {
+        Some(h) => split_line(&h?),
+        None => return Err(CsvError::Empty),
+    };
+    let width = header.len();
+    let mut cells: Vec<Vec<String>> = vec![Vec::new(); width];
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_line(&line);
+        if fields.len() != width {
+            return Err(CsvError::RaggedRow {
+                line: lineno + 2,
+                got: fields.len(),
+                expected: width,
+            });
+        }
+        for (col, field) in cells.iter_mut().zip(fields) {
+            col.push(field);
+        }
+    }
+    let mut df = DataFrame::new();
+    for (name, col) in header.into_iter().zip(cells) {
+        let numeric: Option<Vec<f64>> = col
+            .iter()
+            .map(|s| {
+                let t = s.trim();
+                if t.is_empty() {
+                    None
+                } else {
+                    t.parse::<f64>().ok()
+                }
+            })
+            .collect();
+        match numeric {
+            Some(values) if !col.is_empty() => df.push_column(name, Column::Numeric(values))?,
+            _ => df.push_column(name, Column::categorical_from_labels(&col))?,
+        }
+    }
+    Ok(df)
+}
+
+/// Serializes a dataframe as CSV (header + rows). Numeric cells use the
+/// shortest round-trip `f64` formatting.
+///
+/// # Errors
+/// Fails on I/O errors.
+pub fn write_csv<W: Write>(df: &DataFrame, mut w: W) -> io::Result<()> {
+    let header: Vec<String> = df.names().iter().map(|n| quote_field(n)).collect();
+    writeln!(w, "{}", header.join(","))?;
+    let n = df.n_rows();
+    for i in 0..n {
+        let mut fields = Vec::with_capacity(df.n_cols());
+        for name in df.names() {
+            let col = df.column(name).expect("column exists");
+            match col {
+                Column::Numeric(v) => fields.push(format!("{}", v[i])),
+                Column::Categorical { codes, dict } => {
+                    fields.push(quote_field(&dict[codes[i] as usize]))
+                }
+            }
+        }
+        writeln!(w, "{}", fields.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn roundtrip() {
+        let mut df = DataFrame::new();
+        df.push_numeric("x", vec![1.5, -2.0, 3.25]).unwrap();
+        df.push_categorical("label", &["alpha", "beta, with comma", "gam\"ma"]).unwrap();
+        let mut buf = Vec::new();
+        write_csv(&df, &mut buf).unwrap();
+        let back = read_csv(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(back.n_rows(), 3);
+        assert_eq!(back.numeric("x").unwrap(), &[1.5, -2.0, 3.25]);
+        let (codes, dict) = back.categorical("label").unwrap();
+        assert_eq!(dict[codes[1] as usize], "beta, with comma");
+        assert_eq!(dict[codes[2] as usize], "gam\"ma");
+    }
+
+    #[test]
+    fn type_inference() {
+        let text = "a,b,c\n1,x,2.5\n2,y,3.5\n";
+        let df = read_csv(BufReader::new(text.as_bytes())).unwrap();
+        assert!(df.numeric("a").is_ok());
+        assert!(df.categorical("b").is_ok());
+        assert!(df.numeric("c").is_ok());
+    }
+
+    #[test]
+    fn mixed_column_becomes_categorical() {
+        let text = "v\n1\nnot_a_number\n3\n";
+        let df = read_csv(BufReader::new(text.as_bytes())).unwrap();
+        assert!(df.categorical("v").is_ok());
+    }
+
+    #[test]
+    fn ragged_row_detected() {
+        let text = "a,b\n1,2\n3\n";
+        match read_csv(BufReader::new(text.as_bytes())) {
+            Err(CsvError::RaggedRow { line, got, expected }) => {
+                assert_eq!(line, 3);
+                assert_eq!(got, 1);
+                assert_eq!(expected, 2);
+            }
+            other => panic!("expected ragged row error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(matches!(read_csv(BufReader::new("".as_bytes())), Err(CsvError::Empty)));
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let text = "a\n1\n\n2\n";
+        let df = read_csv(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(df.n_rows(), 2);
+    }
+
+    #[test]
+    fn quoted_fields_parse() {
+        let text = "name,score\n\"hello, world\",3\n\"say \"\"hi\"\"\",4\n";
+        let df = read_csv(BufReader::new(text.as_bytes())).unwrap();
+        let (codes, dict) = df.categorical("name").unwrap();
+        assert_eq!(dict[codes[0] as usize], "hello, world");
+        assert_eq!(dict[codes[1] as usize], "say \"hi\"");
+    }
+}

@@ -1,0 +1,26 @@
+//! # cc-frame
+//!
+//! A minimal column-oriented dataframe, purpose-built for conformance-
+//! constraint discovery. The paper's algorithms need exactly this much of a
+//! dataframe:
+//!
+//! * **numeric columns** (`f64`) — projections are linear combinations of
+//!   these (§3.1);
+//! * **dictionary-encoded categorical columns** — compound (disjunctive)
+//!   constraints partition the data on these (§4.2);
+//! * **horizontal partitioning** by categorical value;
+//! * **row selection / filtering / splits** to build train/serve datasets;
+//! * **CSV I/O** so profiles can be learned over files.
+//!
+//! Columns are immutable once added; all transformation APIs return new
+//! frames. Row order is meaningful only for reproducibility of sampling.
+
+pub mod column;
+pub mod csv;
+pub mod frame;
+pub mod split;
+
+pub use column::{Column, ColumnType};
+pub use frame::{DataFrame, FrameError};
+pub use csv::{read_csv, write_csv, CsvError};
+pub use split::{sample_indices, shuffle_split, stratified_indices};

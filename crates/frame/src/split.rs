@@ -1,0 +1,130 @@
+//! Reproducible dataset splits and sampling.
+
+use crate::frame::DataFrame;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Shuffles row indices with the provided RNG and splits the frame into
+/// `(train, test)` with `train_fraction` of the rows in the first part.
+///
+/// # Panics
+/// Panics if `train_fraction` is outside `[0, 1]`.
+pub fn shuffle_split<R: Rng>(
+    df: &DataFrame,
+    train_fraction: f64,
+    rng: &mut R,
+) -> (DataFrame, DataFrame) {
+    assert!(
+        (0.0..=1.0).contains(&train_fraction),
+        "train_fraction must be in [0,1], got {train_fraction}"
+    );
+    let n = df.n_rows();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    let cut = (n as f64 * train_fraction).round() as usize;
+    let (a, b) = idx.split_at(cut.min(n));
+    (df.take(a), df.take(b))
+}
+
+/// Samples `k` row indices without replacement (or all rows when `k ≥ n`).
+pub fn sample_indices<R: Rng>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    idx.truncate(k.min(n));
+    idx
+}
+
+/// Returns, per value of the categorical column, up to `per_group` shuffled
+/// row indices — a stratified subsample. Groups appear in dictionary order.
+///
+/// # Errors
+/// Fails when the column is missing or non-categorical.
+pub fn stratified_indices<R: Rng>(
+    df: &DataFrame,
+    column: &str,
+    per_group: usize,
+    rng: &mut R,
+) -> Result<Vec<(String, Vec<usize>)>, crate::frame::FrameError> {
+    let parts = df.partition_by(column)?;
+    Ok(parts
+        .into_iter()
+        .map(|(label, mut idx)| {
+            idx.shuffle(rng);
+            idx.truncate(per_group);
+            (label, idx)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn frame(n: usize) -> DataFrame {
+        let mut df = DataFrame::new();
+        df.push_numeric("x", (0..n).map(|i| i as f64).collect()).unwrap();
+        df.push_categorical(
+            "g",
+            &(0..n).map(|i| if i % 3 == 0 { "a" } else { "b" }).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        df
+    }
+
+    #[test]
+    fn split_sizes() {
+        let df = frame(100);
+        let mut rng = StdRng::seed_from_u64(7);
+        let (tr, te) = shuffle_split(&df, 0.8, &mut rng);
+        assert_eq!(tr.n_rows(), 80);
+        assert_eq!(te.n_rows(), 20);
+    }
+
+    #[test]
+    fn split_is_partition() {
+        let df = frame(50);
+        let mut rng = StdRng::seed_from_u64(42);
+        let (tr, te) = shuffle_split(&df, 0.5, &mut rng);
+        let mut all: Vec<f64> = tr
+            .numeric("x")
+            .unwrap()
+            .iter()
+            .chain(te.numeric("x").unwrap())
+            .copied()
+            .collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expect: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn split_deterministic_with_seed() {
+        let df = frame(30);
+        let (a1, _) = shuffle_split(&df, 0.5, &mut StdRng::seed_from_u64(1));
+        let (a2, _) = shuffle_split(&df, 0.5, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a1.numeric("x").unwrap(), a2.numeric("x").unwrap());
+    }
+
+    #[test]
+    fn sample_indices_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = sample_indices(10, 4, &mut rng);
+        assert_eq!(s.len(), 4);
+        assert!(s.iter().all(|&i| i < 10));
+        let all = sample_indices(5, 100, &mut rng);
+        assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    fn stratified_caps_groups() {
+        let df = frame(30);
+        let mut rng = StdRng::seed_from_u64(9);
+        let groups = stratified_indices(&df, "g", 5, &mut rng).unwrap();
+        assert_eq!(groups.len(), 2);
+        for (_, idx) in &groups {
+            assert!(idx.len() <= 5);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the dataframe substrate.
+
+use cc_frame::{csv, Column, DataFrame};
+use proptest::prelude::*;
+use std::io::BufReader;
+
+/// Strategy: a frame with one numeric and one categorical column.
+fn frame_strategy() -> impl Strategy<Value = DataFrame> {
+    proptest::collection::vec((-1e6..1e6f64, 0usize..5), 1..50).prop_map(|rows| {
+        let mut df = DataFrame::new();
+        df.push_numeric("v", rows.iter().map(|(x, _)| *x).collect()).unwrap();
+        let labels: Vec<String> = rows.iter().map(|(_, g)| format!("g{g}")).collect();
+        df.push_categorical("g", &labels).unwrap();
+        df
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSV write → read round-trips numeric values and categorical labels.
+    #[test]
+    fn csv_roundtrip(df in frame_strategy()) {
+        let mut buf = Vec::new();
+        csv::write_csv(&df, &mut buf).unwrap();
+        let back = csv::read_csv(BufReader::new(buf.as_slice())).unwrap();
+        prop_assert_eq!(back.n_rows(), df.n_rows());
+        let (a, b) = (df.numeric("v").unwrap(), back.numeric("v").unwrap());
+        for (x, y) in a.iter().zip(b) {
+            // f64 Display round-trips exactly in Rust.
+            prop_assert_eq!(x, y);
+        }
+        let (codes1, dict1) = df.categorical("g").unwrap();
+        let (codes2, dict2) = back.categorical("g").unwrap();
+        for (c1, c2) in codes1.iter().zip(codes2) {
+            prop_assert_eq!(&dict1[*c1 as usize], &dict2[*c2 as usize]);
+        }
+    }
+
+    /// take(all indices) is the identity.
+    #[test]
+    fn take_identity(df in frame_strategy()) {
+        let idx: Vec<usize> = (0..df.n_rows()).collect();
+        let t = df.take(&idx);
+        prop_assert_eq!(t.n_rows(), df.n_rows());
+        prop_assert_eq!(t.numeric("v").unwrap(), df.numeric("v").unwrap());
+    }
+
+    /// Partitions are disjoint and cover all rows.
+    #[test]
+    fn partition_covers(df in frame_strategy()) {
+        let parts = df.partition_by("g").unwrap();
+        let mut seen = vec![false; df.n_rows()];
+        for (_, idx) in &parts {
+            for &i in idx {
+                prop_assert!(!seen[i], "row {i} in two partitions");
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "rows not covered");
+    }
+
+    /// vstack length and content are concatenation.
+    #[test]
+    fn vstack_concatenates(a in frame_strategy(), b in frame_strategy()) {
+        let both = a.vstack(&b).unwrap();
+        prop_assert_eq!(both.n_rows(), a.n_rows() + b.n_rows());
+        let v = both.numeric("v").unwrap();
+        prop_assert_eq!(&v[..a.n_rows()], a.numeric("v").unwrap());
+        prop_assert_eq!(&v[a.n_rows()..], b.numeric("v").unwrap());
+        // Categorical labels preserved across the remap.
+        let (codes, dict) = both.categorical("g").unwrap();
+        let (bcodes, bdict) = b.categorical("g").unwrap();
+        for (i, c) in bcodes.iter().enumerate() {
+            prop_assert_eq!(&dict[codes[a.n_rows() + i] as usize], &bdict[*c as usize]);
+        }
+    }
+
+    /// Shuffle-split partitions the rows exactly.
+    #[test]
+    fn split_partitions(df in frame_strategy(), seed in 0u64..1000, frac in 0.0..1.0f64) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let (tr, te) = cc_frame::shuffle_split(&df, frac, &mut rng);
+        prop_assert_eq!(tr.n_rows() + te.n_rows(), df.n_rows());
+        let mut all: Vec<f64> = tr.numeric("v").unwrap().to_vec();
+        all.extend_from_slice(te.numeric("v").unwrap());
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut expect: Vec<f64> = df.numeric("v").unwrap().to_vec();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(all, expect);
+    }
+
+    /// Dictionary encoding never loses or invents labels.
+    #[test]
+    fn dictionary_is_faithful(labels in proptest::collection::vec("g[0-9]{1,2}", 1..40)) {
+        let col = Column::categorical_from_labels(&labels);
+        let (codes, dict) = col.as_categorical().unwrap();
+        prop_assert_eq!(codes.len(), labels.len());
+        for (c, l) in codes.iter().zip(&labels) {
+            prop_assert_eq!(&dict[*c as usize], l);
+        }
+        // Dictionary has no duplicates.
+        for i in 0..dict.len() {
+            for j in (i+1)..dict.len() {
+                prop_assert_ne!(&dict[i], &dict[j]);
+            }
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! Algorithm 1 of the paper needs *all* eigenpairs of the (m+1)×(m+1)
+//! positive semi-definite Gram matrix `X'ᵀX'`. Jacobi is the textbook choice
+//! for small symmetric matrices: unconditionally convergent, delivers
+//! orthonormal eigenvectors directly, and is O(m³) per sweep with a handful
+//! of sweeps needed in practice — matching the paper's O(m³) complexity
+//! claim (§4.3.1, citing \[58\]).
+
+use crate::matrix::Matrix;
+
+/// Result of a symmetric eigendecomposition.
+///
+/// Invariants (property-tested in `tests/`):
+/// * `values` are sorted ascending;
+/// * `vectors.col(k)` is the unit-norm eigenvector for `values[k]`;
+/// * the eigenvector basis is orthonormal;
+/// * `A·vₖ ≈ λₖ·vₖ` for the input `A`.
+#[derive(Clone, Debug)]
+pub struct EigenDecomposition {
+    /// Eigenvalues, ascending.
+    pub values: Vec<f64>,
+    /// Eigenvectors as matrix columns, aligned with `values`.
+    pub vectors: Matrix,
+}
+
+impl EigenDecomposition {
+    /// Eigenvector for index `k` (aligned with `values[k]`) as an owned vec.
+    pub fn vector(&self, k: usize) -> Vec<f64> {
+        self.vectors.col(k)
+    }
+
+    /// Number of eigenpairs.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the decomposition is empty (0×0 input).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Maximum number of Jacobi sweeps before giving up. For well-conditioned
+/// covariance-like matrices convergence takes < 15 sweeps; 100 is a generous
+/// safety margin (hitting it indicates NaN/Inf input, which we reject).
+const MAX_SWEEPS: usize = 100;
+
+/// Eigendecomposition of a symmetric matrix using cyclic Jacobi rotations.
+///
+/// # Errors
+/// Returns `Err` when the input is not square, not (numerically) symmetric,
+/// or contains non-finite entries.
+pub fn symmetric_eigen(a: &Matrix) -> Result<EigenDecomposition, EigenError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(EigenError::NotSquare { rows: a.rows(), cols: a.cols() });
+    }
+    if a.as_slice().iter().any(|x| !x.is_finite()) {
+        return Err(EigenError::NonFinite);
+    }
+    if !a.is_symmetric(1e-8) {
+        return Err(EigenError::NotSymmetric);
+    }
+    if n == 0 {
+        return Ok(EigenDecomposition { values: vec![], vectors: Matrix::zeros(0, 0) });
+    }
+
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    // Convergence threshold relative to the matrix scale.
+    let scale: f64 = a.as_slice().iter().map(|x| x * x).sum::<f64>().sqrt().max(1.0);
+    let tol = 1e-14 * scale;
+
+    for _sweep in 0..MAX_SWEEPS {
+        let off = m.offdiag_norm();
+        if off <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= tol / (n as f64) {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                // Rotation angle (numerically stable form).
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply the rotation G(p,q,θ)ᵀ · M · G(p,q,θ).
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Extract and sort ascending by eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&i, &j| diag[i].partial_cmp(&diag[j]).expect("finite eigenvalues"));
+
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, new_col)] = v[(r, old_col)];
+        }
+    }
+    Ok(EigenDecomposition { values, vectors })
+}
+
+/// Failure modes of [`symmetric_eigen`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EigenError {
+    /// Input matrix is not square.
+    NotSquare {
+        /// Row count of the offending matrix.
+        rows: usize,
+        /// Column count of the offending matrix.
+        cols: usize,
+    },
+    /// Input matrix is not symmetric within tolerance.
+    NotSymmetric,
+    /// Input contains NaN or infinite entries.
+    NonFinite,
+}
+
+impl std::fmt::Display for EigenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EigenError::NotSquare { rows, cols } => {
+                write!(f, "eigendecomposition requires a square matrix, got {rows}x{cols}")
+            }
+            EigenError::NotSymmetric => write!(f, "matrix is not symmetric"),
+            EigenError::NonFinite => write!(f, "matrix contains non-finite entries"),
+        }
+    }
+}
+
+impl std::error::Error for EigenError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_eigenpairs(a: &Matrix, dec: &EigenDecomposition, tol: f64) {
+        let n = a.rows();
+        // A v = λ v
+        for k in 0..n {
+            let v = dec.vector(k);
+            let av = a.matvec(&v);
+            for i in 0..n {
+                assert!(
+                    (av[i] - dec.values[k] * v[i]).abs() < tol,
+                    "eigenpair {k} residual too large: {} vs {}",
+                    av[i],
+                    dec.values[k] * v[i]
+                );
+            }
+        }
+        // Orthonormality
+        for i in 0..n {
+            for j in 0..n {
+                let d = crate::vector::dot(&dec.vector(i), &dec.vector(j));
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((d - expect).abs() < 1e-9, "orthonormality failed at ({i},{j}): {d}");
+            }
+        }
+        // Sorted ascending
+        for w in dec.values.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+        // Trace preservation
+        let sum: f64 = dec.values.iter().sum();
+        assert!((sum - a.trace()).abs() < 1e-6 * (1.0 + a.trace().abs()));
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = Matrix::from_vec(3, 3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]);
+        let dec = symmetric_eigen(&a).unwrap();
+        assert!((dec.values[0] - 1.0).abs() < 1e-10);
+        assert!((dec.values[1] - 2.0).abs() < 1e-10);
+        assert!((dec.values[2] - 3.0).abs() < 1e-10);
+        check_eigenpairs(&a, &dec, 1e-9);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let dec = symmetric_eigen(&a).unwrap();
+        assert!((dec.values[0] - 1.0).abs() < 1e-10);
+        assert!((dec.values[1] - 3.0).abs() < 1e-10);
+        check_eigenpairs(&a, &dec, 1e-9);
+    }
+
+    #[test]
+    fn gram_of_correlated_data() {
+        // Strongly correlated 2D data: lowest-variance direction ≈ (1,-1)/√2.
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| {
+                let x = i as f64 / 10.0;
+                vec![x, x + 0.001 * ((i * 37) % 11) as f64]
+            })
+            .collect();
+        let x = Matrix::from_rows(&rows);
+        // Center columns first so the Gram matrix is a scaled covariance.
+        let n = rows.len() as f64;
+        let mean0: f64 = x.col(0).iter().sum::<f64>() / n;
+        let mean1: f64 = x.col(1).iter().sum::<f64>() / n;
+        let centered: Vec<Vec<f64>> =
+            rows.iter().map(|r| vec![r[0] - mean0, r[1] - mean1]).collect();
+        let g = Matrix::from_rows(&centered).gram();
+        let dec = symmetric_eigen(&g).unwrap();
+        check_eigenpairs(&g, &dec, 1e-6);
+        let v = dec.vector(0); // lowest-variance direction
+        let ratio = (v[0] / v[1]).abs();
+        assert!((ratio - 1.0).abs() < 0.05, "expected ≈(1,-1) direction, got {v:?}");
+        assert!(v[0] * v[1] < 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(matches!(
+            symmetric_eigen(&Matrix::zeros(2, 3)),
+            Err(EigenError::NotSquare { .. })
+        ));
+        let ns = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(symmetric_eigen(&ns).err(), Some(EigenError::NotSymmetric));
+        let nf = Matrix::from_vec(2, 2, vec![1.0, f64::NAN, f64::NAN, 1.0]);
+        assert_eq!(symmetric_eigen(&nf).err(), Some(EigenError::NonFinite));
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let e = symmetric_eigen(&Matrix::zeros(0, 0)).unwrap();
+        assert!(e.is_empty());
+        let one = Matrix::from_vec(1, 1, vec![5.0]);
+        let d = symmetric_eigen(&one).unwrap();
+        assert_eq!(d.len(), 1);
+        assert!((d.values[0] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_eigenvalues() {
+        // 3·I has a triple eigenvalue; any orthonormal basis is valid.
+        let mut a = Matrix::identity(4);
+        a.scale_in_place(3.0);
+        let dec = symmetric_eigen(&a).unwrap();
+        for v in &dec.values {
+            assert!((v - 3.0).abs() < 1e-10);
+        }
+        check_eigenpairs(&a, &dec, 1e-9);
+    }
+
+    #[test]
+    fn moderately_sized_random_symmetric() {
+        // Deterministic pseudo-random symmetric matrix, n = 12.
+        let n = 12;
+        let mut a = Matrix::zeros(n, n);
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for i in 0..n {
+            for j in i..n {
+                let x = next();
+                a[(i, j)] = x;
+                a[(j, i)] = x;
+            }
+        }
+        let dec = symmetric_eigen(&a).unwrap();
+        check_eigenpairs(&a, &dec, 1e-7);
+    }
+}

@@ -1,0 +1,215 @@
+//! Streaming and parallel Gram-matrix (`XᵀX`) accumulation.
+//!
+//! Section 4.3.2 of the paper: `XᵀX = Σᵢ tᵢ tᵢᵀ`, so the Gram matrix can be
+//! computed incrementally, loading one tuple at a time (O(m²) memory), or
+//! embarrassingly in parallel over horizontal partitions of the data.
+//! Both strategies are provided and are tested to agree with the naive
+//! `Xᵀ·X` product.
+
+use crate::matrix::Matrix;
+
+/// Incremental accumulator for `XᵀX`.
+///
+/// ```
+/// use cc_linalg::Gram;
+/// let mut g = Gram::new(2);
+/// g.update(&[1.0, 2.0]);
+/// g.update(&[3.0, 4.0]);
+/// let m = g.finish();
+/// assert_eq!(m[(0, 0)], 10.0); // 1*1 + 3*3
+/// assert_eq!(m[(0, 1)], 14.0); // 1*2 + 3*4
+/// ```
+#[derive(Clone, Debug)]
+pub struct Gram {
+    dim: usize,
+    count: usize,
+    /// Upper triangle (including diagonal) in packed row-major order.
+    acc: Vec<f64>,
+}
+
+impl Gram {
+    /// New accumulator for `dim`-dimensional tuples.
+    pub fn new(dim: usize) -> Self {
+        Gram { dim, count: 0, acc: vec![0.0; dim * (dim + 1) / 2] }
+    }
+
+    /// Number of tuples accumulated so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Dimensionality of the accumulated tuples.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Adds the rank-1 update `t tᵀ` for one tuple.
+    ///
+    /// # Panics
+    /// Panics if `t.len() != dim`.
+    pub fn update(&mut self, t: &[f64]) {
+        assert_eq!(t.len(), self.dim, "Gram::update: tuple dimension mismatch");
+        let mut idx = 0;
+        for a in 0..self.dim {
+            let ta = t[a];
+            for b in a..self.dim {
+                self.acc[idx] += ta * t[b];
+                idx += 1;
+            }
+        }
+        self.count += 1;
+    }
+
+    /// Merges another accumulator (the parallel reduction step).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn merge(&mut self, other: &Gram) {
+        assert_eq!(self.dim, other.dim, "Gram::merge: dimension mismatch");
+        for (a, b) in self.acc.iter_mut().zip(&other.acc) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+
+    /// Materializes the full symmetric matrix.
+    pub fn finish(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.dim, self.dim);
+        let mut idx = 0;
+        for a in 0..self.dim {
+            for b in a..self.dim {
+                m[(a, b)] = self.acc[idx];
+                m[(b, a)] = self.acc[idx];
+                idx += 1;
+            }
+        }
+        m
+    }
+}
+
+/// Computes `XᵀX` for the row-iterator `rows`, splitting the work over
+/// `threads` crossbeam scoped threads (each thread owns a private [`Gram`]
+/// accumulator; results are merged at the end).
+///
+/// `rows` is an indexable closure `(usize) -> &[f64]`-style accessor provided
+/// as a slice of rows to keep the API simple; the paper's "embarrassingly
+/// parallel" horizontal partitioning (§4.3.2) corresponds to the chunking
+/// here.
+pub fn gram_parallel(rows: &[Vec<f64>], dim: usize, threads: usize) -> Matrix {
+    assert!(threads > 0, "gram_parallel: need at least one thread");
+    if rows.is_empty() {
+        return Matrix::zeros(dim, dim);
+    }
+    let threads = threads.min(rows.len());
+    let chunk = rows.len().div_ceil(threads);
+    let partials: Vec<Gram> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = rows
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move |_| {
+                    let mut g = Gram::new(dim);
+                    for r in part {
+                        g.update(r);
+                    }
+                    g
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("gram worker panicked")).collect()
+    })
+    .expect("crossbeam scope failed");
+
+    let mut total = Gram::new(dim);
+    for p in &partials {
+        total.merge(p);
+    }
+    total.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rows() -> Vec<Vec<f64>> {
+        (0..37)
+            .map(|i| {
+                let x = i as f64;
+                vec![x, x * 0.5 - 1.0, (x * 7.0) % 3.0, 1.0]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_matches_naive() {
+        let rows = sample_rows();
+        let x = Matrix::from_rows(&rows);
+        let naive = x.transpose().matmul(&x);
+        let mut g = Gram::new(4);
+        for r in &rows {
+            g.update(r);
+        }
+        let got = g.finish();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((got[(i, j)] - naive[(i, j)]).abs() < 1e-9);
+            }
+        }
+        assert_eq!(g.count(), 37);
+    }
+
+    #[test]
+    fn parallel_matches_streaming() {
+        let rows = sample_rows();
+        let mut g = Gram::new(4);
+        for r in &rows {
+            g.update(r);
+        }
+        let seq = g.finish();
+        for threads in [1, 2, 3, 8, 64] {
+            let par = gram_parallel(&rows, 4, threads);
+            for i in 0..4 {
+                for j in 0..4 {
+                    assert!(
+                        (par[(i, j)] - seq[(i, j)]).abs() < 1e-9,
+                        "threads={threads} mismatch at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_concatenation() {
+        let rows = sample_rows();
+        let (left, right) = rows.split_at(17);
+        let mut ga = Gram::new(4);
+        for r in left {
+            ga.update(r);
+        }
+        let mut gb = Gram::new(4);
+        for r in right {
+            gb.update(r);
+        }
+        ga.merge(&gb);
+        let mut gall = Gram::new(4);
+        for r in &rows {
+            gall.update(r);
+        }
+        assert_eq!(ga.count(), gall.count());
+        let (a, b) = (ga.finish(), gall.finish());
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((a[(i, j)] - b[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_gram_is_zero() {
+        let g = Gram::new(3);
+        let m = g.finish();
+        assert_eq!(m.trace(), 0.0);
+        assert_eq!(g.count(), 0);
+        assert_eq!(gram_parallel(&[], 3, 4).trace(), 0.0);
+    }
+}

@@ -1,0 +1,349 @@
+//! Dense row-major matrix.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major `f64` matrix.
+///
+/// Sized for the workloads of this workspace: the paper's algorithm only ever
+/// materializes `m×m` matrices (Gram matrices, eigenvector bases) where `m`
+/// is the number of attributes (tens), plus transient `n×m` data matrices for
+/// tests and baselines. Row-major storage keeps per-tuple operations (the hot
+/// path in synthesis) cache-friendly.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "from_vec: buffer size mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        if rows.is_empty() {
+            return Matrix::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "from_rows: ragged rows");
+            data.extend_from_slice(r);
+        }
+        Matrix { rows: rows.len(), cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a new vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Flat row-major view of the underlying buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// Uses the classic ikj loop order so the inner loop streams over
+    /// contiguous rows of both operands.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = out.row_mut(i);
+                for (o, b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self * x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, x.len(), "matvec: dimension mismatch");
+        (0..self.rows).map(|i| crate::vector::dot(self.row(i), x)).collect()
+    }
+
+    /// `selfᵀ * x` without materializing the transpose.
+    pub fn tr_matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.rows, x.len(), "tr_matvec: dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            crate::vector::axpy(x[i], self.row(i), &mut out);
+        }
+        out
+    }
+
+    /// Gram product `selfᵀ * self` computed directly (O(n·m²)), exploiting
+    /// symmetry (only the upper triangle is computed, then mirrored).
+    pub fn gram(&self) -> Matrix {
+        let m = self.cols;
+        let mut g = Matrix::zeros(m, m);
+        for i in 0..self.rows {
+            let r = self.row(i);
+            for a in 0..m {
+                let ra = r[a];
+                if ra == 0.0 {
+                    continue;
+                }
+                for b in a..m {
+                    g[(a, b)] += ra * r[b];
+                }
+            }
+        }
+        for a in 0..m {
+            for b in 0..a {
+                g[(a, b)] = g[(b, a)];
+            }
+        }
+        g
+    }
+
+    /// Returns true when the matrix is symmetric up to `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if !crate::approx_eq(self[(i, j)], self[(j, i)], tol) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Sum of diagonal entries.
+    pub fn trace(&self) -> f64 {
+        (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Frobenius norm of the off-diagonal part (the Jacobi convergence
+    /// measure).
+    pub fn offdiag_norm(&self) -> f64 {
+        let mut s = 0.0;
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if i != j {
+                    s += self[(i, j)] * self[(i, j)];
+                }
+            }
+        }
+        s.sqrt()
+    }
+
+    /// Appends a constant column of 1s on the *left*, producing `[1⃗ ; self]`
+    /// — the augmentation Algorithm 1 applies before PCA so that additive
+    /// constants are absorbed into eigenvectors.
+    pub fn augment_ones(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols + 1);
+        for i in 0..self.rows {
+            out[(i, 0)] = 1.0;
+            out.row_mut(i)[1..].copy_from_slice(self.row(i));
+        }
+        out
+    }
+
+    /// Element-wise scaling by a constant, in place.
+    pub fn scale_in_place(&mut self, s: f64) {
+        for x in self.data.iter_mut() {
+            *x *= s;
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:10.4} ", self[(i, j)])?;
+            }
+            writeln!(f, "{}]", if self.cols > 8 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m22(a: f64, b: f64, c: f64, d: f64) -> Matrix {
+        Matrix::from_vec(2, 2, vec![a, b, c, d])
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let b = m22(5.0, 6.0, 7.0, 8.0);
+        let c = a.matmul(&b);
+        assert_eq!(c, m22(19.0, 22.0, 43.0, 50.0));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().rows(), 3);
+    }
+
+    #[test]
+    fn matvec_and_tr_matvec() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 0.0, 2.0, 0.0, 3.0, 0.0]);
+        assert_eq!(a.matvec(&[1.0, 1.0, 1.0]), vec![3.0, 3.0]);
+        assert_eq!(a.tr_matvec(&[1.0, 1.0]), vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn gram_matches_explicit_product() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0, -1.0],
+            vec![0.5, -0.5, 3.0],
+            vec![2.0, 2.0, 2.0],
+            vec![-1.0, 0.0, 1.0],
+        ]);
+        let g1 = a.gram();
+        let g2 = a.transpose().matmul(&a);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((g1[(i, j)] - g2[(i, j)]).abs() < 1e-12);
+            }
+        }
+        assert!(g1.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn augment_ones_shape_and_content() {
+        let a = Matrix::from_rows(&[vec![2.0, 3.0], vec![4.0, 5.0]]);
+        let aug = a.augment_ones();
+        assert_eq!(aug.cols(), 3);
+        assert_eq!(aug.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(aug.row(1), &[1.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn trace_and_offdiag() {
+        let a = m22(1.0, 2.0, 2.0, 3.0);
+        assert_eq!(a.trace(), 4.0);
+        assert!((a.offdiag_norm() - (8.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn col_extraction() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.col(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        assert!(m22(1.0, 2.0, 2.0, 1.0).is_symmetric(1e-12));
+        assert!(!m22(1.0, 2.0, 2.1, 1.0).is_symmetric(1e-12));
+        assert!(!Matrix::zeros(2, 3).is_symmetric(1e-12));
+    }
+}

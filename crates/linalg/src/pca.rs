@@ -1,0 +1,229 @@
+//! Principal component analysis, including the *augmented* variant used by
+//! the paper's Algorithm 1.
+//!
+//! Two entry points:
+//!
+//! * [`pca`] — classic PCA: eigendecomposition of the sample covariance of
+//!   mean-centered data. Used by the drift-detection baselines (PCA-SPLL
+//!   keeps **low**-variance components; CD keeps **high**-variance ones).
+//! * [`augmented_pca`] — Algorithm 1's trick: eigendecomposition of
+//!   `[1⃗ ; X]ᵀ[1⃗ ; X]` **without centering**; the extra constant column
+//!   absorbs additive offsets into the eigenvectors so the method works on
+//!   unnormalized data.
+
+use crate::eigen::{symmetric_eigen, EigenError};
+use crate::gram::Gram;
+
+/// The result of a (classic) PCA.
+#[derive(Clone, Debug)]
+pub struct PrincipalComponents {
+    /// Column means of the input data (the centering vector).
+    pub means: Vec<f64>,
+    /// Unit-norm principal directions, **ascending by variance**
+    /// (`components[0]` is the lowest-variance direction — the one the paper
+    /// argues is most useful).
+    pub components: Vec<Vec<f64>>,
+    /// Sample variance of the data projected on each component, aligned with
+    /// `components` (ascending).
+    pub variances: Vec<f64>,
+}
+
+impl PrincipalComponents {
+    /// Fraction of total variance explained by each component (ascending
+    /// order, aligned with `components`). Zero total variance yields zeros.
+    pub fn explained_variance_ratio(&self) -> Vec<f64> {
+        let total: f64 = self.variances.iter().sum();
+        if total <= 0.0 {
+            return vec![0.0; self.variances.len()];
+        }
+        self.variances.iter().map(|v| v / total).collect()
+    }
+
+    /// Projects a (raw, uncentered) point on component `k`, after centering.
+    pub fn project(&self, point: &[f64], k: usize) -> f64 {
+        assert_eq!(point.len(), self.means.len(), "project: dimension mismatch");
+        point
+            .iter()
+            .zip(&self.means)
+            .zip(&self.components[k])
+            .map(|((x, m), w)| (x - m) * w)
+            .sum()
+    }
+
+    /// Number of components (= input dimensionality).
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True when the decomposition carries no components.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+}
+
+/// Classic PCA over `rows` (each of dimension `dim`).
+///
+/// Returns components ascending by variance. Population variance (divide by
+/// n) is used, matching the paper's σ definition.
+///
+/// # Errors
+/// Propagates eigensolver failures (non-finite data).
+pub fn pca(rows: &[Vec<f64>], dim: usize) -> Result<PrincipalComponents, EigenError> {
+    let n = rows.len();
+    if n == 0 {
+        return Ok(PrincipalComponents {
+            means: vec![0.0; dim],
+            components: vec![],
+            variances: vec![],
+        });
+    }
+    let mut means = vec![0.0; dim];
+    for r in rows {
+        assert_eq!(r.len(), dim, "pca: row dimension mismatch");
+        for (m, x) in means.iter_mut().zip(r) {
+            *m += x;
+        }
+    }
+    for m in means.iter_mut() {
+        *m /= n as f64;
+    }
+    // Covariance via centered Gram matrix.
+    let mut g = Gram::new(dim);
+    let mut centered = vec![0.0; dim];
+    for r in rows {
+        for ((c, x), m) in centered.iter_mut().zip(r).zip(&means) {
+            *c = x - m;
+        }
+        g.update(&centered);
+    }
+    let mut cov = g.finish();
+    cov.scale_in_place(1.0 / n as f64);
+    let dec = symmetric_eigen(&cov)?;
+    let components: Vec<Vec<f64>> = (0..dec.len()).map(|k| dec.vector(k)).collect();
+    // Eigenvalues of the population covariance *are* the projected variances;
+    // clamp tiny negatives from roundoff.
+    let variances: Vec<f64> = dec.values.iter().map(|v| v.max(0.0)).collect();
+    Ok(PrincipalComponents { means, components, variances })
+}
+
+/// Result of the augmented eigen-analysis of Algorithm 1.
+#[derive(Clone, Debug)]
+pub struct AugmentedPca {
+    /// Eigenvectors of `[1⃗ ; X]ᵀ[1⃗ ; X]`, ascending by eigenvalue; each has
+    /// length `dim + 1`, index 0 being the coefficient of the constant
+    /// column.
+    pub eigenvectors: Vec<Vec<f64>>,
+    /// Eigenvalues aligned with `eigenvectors` (ascending).
+    pub eigenvalues: Vec<f64>,
+    /// Number of tuples that went into the Gram matrix.
+    pub count: usize,
+}
+
+/// Algorithm 1, lines 2–3: builds the Gram matrix of `[1⃗ ; X]` by streaming
+/// over the rows (never materializing the augmented matrix) and
+/// eigendecomposes it.
+///
+/// # Errors
+/// Propagates eigensolver failures (non-finite data).
+pub fn augmented_pca(rows: &[Vec<f64>], dim: usize) -> Result<AugmentedPca, EigenError> {
+    let mut g = Gram::new(dim + 1);
+    let mut aug = vec![0.0; dim + 1];
+    aug[0] = 1.0;
+    for r in rows {
+        assert_eq!(r.len(), dim, "augmented_pca: row dimension mismatch");
+        aug[1..].copy_from_slice(r);
+        g.update(&aug);
+    }
+    let dec = symmetric_eigen(&g.finish())?;
+    Ok(AugmentedPca {
+        eigenvectors: (0..dec.len()).map(|k| dec.vector(k)).collect(),
+        eigenvalues: dec.values,
+        count: rows.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 2D line data y = 2x + 1 with tiny jitter: lowest-variance direction
+    /// should be ⟂ to (1, 2).
+    fn line_rows() -> Vec<Vec<f64>> {
+        (0..200)
+            .map(|i| {
+                let x = i as f64 / 20.0;
+                let jitter = 1e-3 * (((i * 31) % 17) as f64 - 8.0);
+                vec![x, 2.0 * x + 1.0 + jitter]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pca_finds_low_variance_direction() {
+        let rows = line_rows();
+        let p = pca(&rows, 2).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(p.variances[0] < p.variances[1]);
+        // Lowest-variance direction ∝ (2, -1)/√5 (perpendicular to the line).
+        let v = &p.components[0];
+        let ratio = v[0] / v[1];
+        assert!((ratio + 2.0).abs() < 0.01, "unexpected direction {v:?}");
+    }
+
+    #[test]
+    fn explained_variance_sums_to_one() {
+        let p = pca(&line_rows(), 2).unwrap();
+        let r = p.explained_variance_ratio();
+        assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(r[0] < 1e-4, "low-variance component should explain ≈0");
+    }
+
+    #[test]
+    fn projection_is_centered() {
+        let rows = line_rows();
+        let p = pca(&rows, 2).unwrap();
+        // Mean projection over the training data must be ~0 on every
+        // component because projection centers first.
+        for k in 0..2 {
+            let mean_proj: f64 =
+                rows.iter().map(|r| p.project(r, k)).sum::<f64>() / rows.len() as f64;
+            assert!(mean_proj.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pca_empty_input() {
+        let p = pca(&[], 3).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(p.means.len(), 3);
+    }
+
+    #[test]
+    fn augmented_pca_absorbs_offsets() {
+        // Data on y = 2x + 1 exactly: the relation y - 2x - 1 = 0 means the
+        // vector (−1, −2, 1)/norm (constant, x, y) is a zero-eigenvalue
+        // eigenvector of [1;X]ᵀ[1;X].
+        let rows: Vec<Vec<f64>> =
+            (0..50).map(|i| vec![i as f64, 2.0 * i as f64 + 1.0]).collect();
+        let a = augmented_pca(&rows, 2).unwrap();
+        assert_eq!(a.count, 50);
+        assert!(a.eigenvalues[0].abs() < 1e-6, "expected a zero eigenvalue");
+        let v = &a.eigenvectors[0];
+        // Normalize so the y coefficient is 1: should be (-1, -2, 1).
+        let s = v[2];
+        assert!(s.abs() > 1e-9);
+        assert!((v[0] / s + 1.0).abs() < 1e-6);
+        assert!((v[1] / s + 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn augmented_pca_eigencount() {
+        let rows = line_rows();
+        let a = augmented_pca(&rows, 2).unwrap();
+        assert_eq!(a.eigenvectors.len(), 3);
+        assert_eq!(a.eigenvalues.len(), 3);
+        for w in a.eigenvalues.windows(2) {
+            assert!(w[0] <= w[1] + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Linear solvers: Cholesky (SPD systems) and partial-pivoting LU.
+//!
+//! Used by the ML substrate (normal equations for ordinary least squares)
+//! and the SPLL baseline (inverse-covariance Mahalanobis distances).
+
+use crate::matrix::Matrix;
+
+/// Errors from the solvers in this module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// Matrix is not square.
+    NotSquare,
+    /// Cholesky hit a non-positive pivot: the matrix is not positive
+    /// definite (possibly singular covariance — callers usually retry with
+    /// ridge regularization).
+    NotPositiveDefinite,
+    /// LU hit a numerically zero pivot: the matrix is singular.
+    Singular,
+    /// Right-hand side has the wrong length.
+    DimensionMismatch,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::NotSquare => write!(f, "matrix must be square"),
+            SolveError::NotPositiveDefinite => write!(f, "matrix is not positive definite"),
+            SolveError::Singular => write!(f, "matrix is singular"),
+            SolveError::DimensionMismatch => write!(f, "rhs dimension mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Lower-triangular Cholesky factor `L` with `L·Lᵀ = A`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factorizes a symmetric positive-definite matrix.
+    pub fn new(a: &Matrix) -> Result<Self, SolveError> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(SolveError::NotSquare);
+        }
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        return Err(SolveError::NotPositiveDefinite);
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Solves `A·x = b` using the factorization.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(SolveError::DimensionMismatch);
+        }
+        // Forward: L y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= self.l[(i, k)] * y[k];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        // Backward: Lᵀ x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// log(det(A)) = 2·Σ log(Lᵢᵢ) — used for Gaussian log-likelihoods.
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// The lower-triangular factor.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+}
+
+/// Solves `A·x = b` by Gaussian elimination with partial pivoting.
+///
+/// For symmetric positive-definite systems prefer [`Cholesky`]; this is the
+/// general fallback (e.g. slightly indefinite matrices after numerical
+/// noise).
+pub fn lu_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(SolveError::NotSquare);
+    }
+    if b.len() != n {
+        return Err(SolveError::DimensionMismatch);
+    }
+    let mut m = a.clone();
+    let mut x: Vec<f64> = b.to_vec();
+
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        let mut best = m[(col, col)].abs();
+        for r in (col + 1)..n {
+            let v = m[(r, col)].abs();
+            if v > best {
+                best = v;
+                pivot = r;
+            }
+        }
+        if best < crate::EPS {
+            return Err(SolveError::Singular);
+        }
+        if pivot != col {
+            for c in 0..n {
+                let tmp = m[(col, c)];
+                m[(col, c)] = m[(pivot, c)];
+                m[(pivot, c)] = tmp;
+            }
+            x.swap(col, pivot);
+        }
+        for r in (col + 1)..n {
+            let f = m[(r, col)] / m[(col, col)];
+            if f == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                m[(r, c)] -= f * m[(col, c)];
+            }
+            x[r] -= f * x[col];
+        }
+    }
+    // Back substitution.
+    for i in (0..n).rev() {
+        let mut s = x[i];
+        for c in (i + 1)..n {
+            s -= m[(i, c)] * x[c];
+        }
+        x[i] = s / m[(i, i)];
+    }
+    Ok(x)
+}
+
+/// Inverts a symmetric positive-definite matrix via Cholesky, solving for
+/// each unit vector. O(n³); fine for attribute-sized matrices.
+pub fn spd_inverse(a: &Matrix) -> Result<Matrix, SolveError> {
+    let n = a.rows();
+    let ch = Cholesky::new(a)?;
+    let mut inv = Matrix::zeros(n, n);
+    let mut e = vec![0.0; n];
+    for j in 0..n {
+        e[j] = 1.0;
+        let col = ch.solve(&e)?;
+        for i in 0..n {
+            inv[(i, j)] = col[i];
+        }
+        e[j] = 0.0;
+    }
+    Ok(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = Bᵀ B + I for a fixed B, guaranteed SPD.
+        let b = Matrix::from_vec(3, 3, vec![1.0, 2.0, 0.0, 0.0, 1.0, 1.0, 2.0, 0.0, 1.0]);
+        let mut a = b.transpose().matmul(&b);
+        for i in 0..3 {
+            a[(i, i)] += 1.0;
+        }
+        a
+    }
+
+    #[test]
+    fn cholesky_solves_spd() {
+        let a = spd3();
+        let xs = [1.0, -2.0, 0.5];
+        let b = a.matvec(&xs);
+        let ch = Cholesky::new(&a).unwrap();
+        let got = ch.solve(&b).unwrap();
+        for (g, e) in got.iter().zip(xs.iter()) {
+            assert!((g - e).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn cholesky_factor_reconstructs() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        let l = ch.factor();
+        let recon = l.matmul(&l.transpose());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((recon[(i, j)] - a[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        assert_eq!(Cholesky::new(&a).err(), Some(SolveError::NotPositiveDefinite));
+    }
+
+    #[test]
+    fn cholesky_logdet() {
+        // det(diag(2,3,4)) = 24
+        let mut a = Matrix::zeros(3, 3);
+        a[(0, 0)] = 2.0;
+        a[(1, 1)] = 3.0;
+        a[(2, 2)] = 4.0;
+        let ch = Cholesky::new(&a).unwrap();
+        assert!((ch.log_det() - 24.0f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn lu_solves_general() {
+        let a = Matrix::from_vec(3, 3, vec![0.0, 2.0, 1.0, 1.0, -1.0, 0.0, 3.0, 0.0, -2.0]);
+        let xs = [2.0, 1.0, -1.0];
+        let b = a.matvec(&xs);
+        let got = lu_solve(&a, &b).unwrap();
+        for (g, e) in got.iter().zip(xs.iter()) {
+            assert!((g - e).abs() < 1e-10, "{got:?}");
+        }
+    }
+
+    #[test]
+    fn lu_detects_singular() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(lu_solve(&a, &[1.0, 2.0]).err(), Some(SolveError::Singular));
+    }
+
+    #[test]
+    fn spd_inverse_identity() {
+        let a = spd3();
+        let inv = spd_inverse(&a).unwrap();
+        let prod = a.matmul(&inv);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[(i, j)] - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn dimension_errors() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        assert_eq!(ch.solve(&[1.0]).err(), Some(SolveError::DimensionMismatch));
+        assert_eq!(lu_solve(&a, &[1.0]).err(), Some(SolveError::DimensionMismatch));
+        assert_eq!(lu_solve(&Matrix::zeros(2, 3), &[1.0, 2.0]).err(), Some(SolveError::NotSquare));
+    }
+}

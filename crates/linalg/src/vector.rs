@@ -1,0 +1,152 @@
+//! Free functions over `&[f64]` slices.
+//!
+//! Vectors are plain slices throughout the workspace; this module provides
+//! the handful of BLAS-1 style kernels the rest of the stack needs.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// L1 norm (sum of absolute values).
+#[inline]
+pub fn norm_l1(a: &[f64]) -> f64 {
+    a.iter().map(|x| x.abs()).sum()
+}
+
+/// Infinity norm (maximum absolute value); 0 for the empty slice.
+#[inline]
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0, |m, x| m.max(x.abs()))
+}
+
+/// Scales `a` in place by `s`.
+#[inline]
+pub fn scale_in_place(a: &mut [f64], s: f64) {
+    for x in a.iter_mut() {
+        *x *= s;
+    }
+}
+
+/// Returns a normalized copy of `a` (unit L2 norm). Returns `None` when the
+/// norm is numerically zero, since the direction is then undefined.
+pub fn normalized(a: &[f64]) -> Option<Vec<f64>> {
+    let n = norm(a);
+    if n < crate::EPS {
+        return None;
+    }
+    Some(a.iter().map(|x| x / n).collect())
+}
+
+/// `y ← y + alpha * x` (the classic axpy kernel).
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Element-wise difference `a - b` as a new vector.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Element-wise sum `a + b` as a new vector.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Squared Euclidean distance between two points.
+#[inline]
+pub fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dist_sq: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance between two points.
+#[inline]
+pub fn dist(a: &[f64], b: &[f64]) -> f64 {
+    dist_sq(a, b).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn norms() {
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm_l1(&[3.0, -4.0]), 7.0);
+        assert_eq!(norm_inf(&[3.0, -4.0, 2.0]), 4.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn normalized_unit_length() {
+        let v = normalized(&[3.0, 4.0]).unwrap();
+        assert!((norm(&v) - 1.0).abs() < 1e-12);
+        assert!((v[0] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_zero_is_none() {
+        assert!(normalized(&[0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [0.5, -1.0, 2.0];
+        let s = add(&a, &b);
+        let back = sub(&s, &b);
+        for (x, y) in back.iter().zip(a.iter()) {
+            assert!((x - y).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(dist_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(dist(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn scale_in_place_works() {
+        let mut v = vec![1.0, -2.0];
+        scale_in_place(&mut v, -3.0);
+        assert_eq!(v, vec![-3.0, 6.0]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use cc_linalg::{gram::gram_parallel, symmetric_eigen, Gram, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a random data matrix as rows, n in 1..30, m in 1..7,
+/// entries in a moderate range to keep conditioning sane.
+fn rows_strategy() -> impl Strategy<Value = (Vec<Vec<f64>>, usize)> {
+    (1usize..7).prop_flat_map(|m| {
+        (
+            proptest::collection::vec(
+                proptest::collection::vec(-100.0..100.0f64, m..=m),
+                1..30,
+            ),
+            Just(m),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Streaming Gram accumulation equals the naive XᵀX product.
+    #[test]
+    fn gram_streaming_matches_naive((rows, m) in rows_strategy()) {
+        let x = Matrix::from_rows(&rows);
+        let naive = x.transpose().matmul(&x);
+        let mut g = Gram::new(m);
+        for r in &rows { g.update(r); }
+        let got = g.finish();
+        for i in 0..m {
+            for j in 0..m {
+                let scale = 1.0 + naive[(i,j)].abs();
+                prop_assert!((got[(i,j)] - naive[(i,j)]).abs() / scale < 1e-9);
+            }
+        }
+    }
+
+    /// Parallel Gram equals streaming Gram for any thread count.
+    #[test]
+    fn gram_parallel_matches((rows, m) in rows_strategy(), threads in 1usize..9) {
+        let mut g = Gram::new(m);
+        for r in &rows { g.update(r); }
+        let seq = g.finish();
+        let par = gram_parallel(&rows, m, threads);
+        for i in 0..m {
+            for j in 0..m {
+                let scale = 1.0 + seq[(i,j)].abs();
+                prop_assert!((par[(i,j)] - seq[(i,j)]).abs() / scale < 1e-9);
+            }
+        }
+    }
+
+    /// Eigendecomposition of XᵀX: residuals small, basis orthonormal,
+    /// eigenvalues non-negative and trace-preserving.
+    #[test]
+    fn eigen_invariants((rows, m) in rows_strategy()) {
+        let x = Matrix::from_rows(&rows);
+        let a = x.gram();
+        let dec = symmetric_eigen(&a).unwrap();
+        let scale = 1.0 + a.trace().abs();
+
+        // Sorted ascending, PSD eigenvalues (up to roundoff).
+        for w in dec.values.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-9 * scale);
+        }
+        for &v in &dec.values {
+            prop_assert!(v > -1e-7 * scale, "negative eigenvalue {v}");
+        }
+        // Trace preservation.
+        let sum: f64 = dec.values.iter().sum();
+        prop_assert!((sum - a.trace()).abs() / scale < 1e-7);
+
+        // Residuals and orthonormality.
+        for k in 0..dec.len() {
+            let v = dec.vector(k);
+            let av = a.matvec(&v);
+            for i in 0..m {
+                prop_assert!((av[i] - dec.values[k]*v[i]).abs() / scale < 1e-6,
+                    "residual too large at pair {k}, row {i}");
+            }
+            for l in 0..dec.len() {
+                let d = cc_linalg::vector::dot(&v, &dec.vector(l));
+                let expect = if k == l { 1.0 } else { 0.0 };
+                prop_assert!((d - expect).abs() < 1e-8);
+            }
+        }
+    }
+
+    /// Cholesky solve + multiply round-trips on SPD matrices XᵀX + I.
+    #[test]
+    fn cholesky_roundtrip((rows, m) in rows_strategy(), seedv in proptest::collection::vec(-10.0..10.0f64, 1..7)) {
+        let x = Matrix::from_rows(&rows);
+        let mut a = x.gram();
+        for i in 0..m { a[(i,i)] += 1.0; } // ensure SPD
+        let xs: Vec<f64> = (0..m).map(|i| seedv.get(i).copied().unwrap_or(1.0)).collect();
+        let b = a.matvec(&xs);
+        let ch = cc_linalg::solve::Cholesky::new(&a).unwrap();
+        let got = ch.solve(&b).unwrap();
+        for (g, e) in got.iter().zip(&xs) {
+            prop_assert!((g - e).abs() < 1e-6 * (1.0 + e.abs()));
+        }
+    }
+
+    /// PCA components of any dataset form an orthonormal set and variances
+    /// are non-negative ascending.
+    #[test]
+    fn pca_invariants((rows, m) in rows_strategy()) {
+        let p = cc_linalg::pca(&rows, m).unwrap();
+        for w in p.variances.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-9);
+        }
+        for v in &p.variances {
+            prop_assert!(*v >= 0.0);
+        }
+        for i in 0..p.len() {
+            for j in 0..p.len() {
+                let d = cc_linalg::vector::dot(&p.components[i], &p.components[j]);
+                let expect = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((d - expect).abs() < 1e-8);
+            }
+        }
+    }
+}

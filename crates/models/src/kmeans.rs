@@ -1,0 +1,184 @@
+//! Lloyd's k-means with k-means++ seeding.
+//!
+//! Used by the PCA-SPLL baseline, which clusters the reference window and
+//! scores serving tuples by their distance to the nearest cluster mean.
+
+use cc_linalg::vector::dist_sq;
+use rand::Rng;
+
+/// A fitted k-means model.
+#[derive(Clone, Debug)]
+pub struct KMeans {
+    /// Cluster centroids.
+    pub centroids: Vec<Vec<f64>>,
+}
+
+impl KMeans {
+    /// Fits `k` clusters on `rows` (k-means++ init, at most `max_iter`
+    /// Lloyd iterations, converges early when assignments stop changing).
+    ///
+    /// `k` is clamped to the number of rows. Returns `None` for empty input.
+    pub fn fit<R: Rng>(rows: &[Vec<f64>], k: usize, max_iter: usize, rng: &mut R) -> Option<Self> {
+        if rows.is_empty() || k == 0 {
+            return None;
+        }
+        let k = k.min(rows.len());
+        let mut centroids = kmeanspp_init(rows, k, rng);
+        let mut assignment = vec![usize::MAX; rows.len()];
+
+        for _ in 0..max_iter {
+            let mut changed = false;
+            for (i, r) in rows.iter().enumerate() {
+                let a = nearest(&centroids, r).0;
+                if assignment[i] != a {
+                    assignment[i] = a;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            // Recompute centroids.
+            let dim = rows[0].len();
+            let mut sums = vec![vec![0.0; dim]; k];
+            let mut counts = vec![0usize; k];
+            for (r, &a) in rows.iter().zip(&assignment) {
+                counts[a] += 1;
+                for (s, x) in sums[a].iter_mut().zip(r) {
+                    *s += x;
+                }
+            }
+            for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+                if count > 0 {
+                    for (ci, s) in c.iter_mut().zip(sum) {
+                        *ci = s / count as f64;
+                    }
+                }
+                // Empty clusters keep their previous centroid.
+            }
+        }
+        Some(KMeans { centroids })
+    }
+
+    /// Index and squared distance of the nearest centroid.
+    pub fn nearest(&self, x: &[f64]) -> (usize, f64) {
+        nearest(&self.centroids, x)
+    }
+
+    /// Cluster index for a point.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        self.nearest(x).0
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+}
+
+fn nearest(centroids: &[Vec<f64>], x: &[f64]) -> (usize, f64) {
+    let mut best = (0, f64::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = dist_sq(c, x);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+/// k-means++ seeding: first centroid uniform, then proportional to squared
+/// distance from the nearest chosen centroid.
+fn kmeanspp_init<R: Rng>(rows: &[Vec<f64>], k: usize, rng: &mut R) -> Vec<Vec<f64>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(rows[rng.gen_range(0..rows.len())].clone());
+    let mut d2: Vec<f64> = rows.iter().map(|r| dist_sq(r, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All points coincide with existing centroids; pick uniformly.
+            rows[rng.gen_range(0..rows.len())].clone()
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = rows.len() - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            rows[chosen].clone()
+        };
+        for (d, r) in d2.iter_mut().zip(rows) {
+            *d = d.min(dist_sq(r, &next));
+        }
+        centroids.push(next);
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn three_blobs() -> Vec<Vec<f64>> {
+        let centers = [(0.0, 0.0), (20.0, 0.0), (0.0, 20.0)];
+        let mut rows = Vec::new();
+        for &(cx, cy) in &centers {
+            for i in 0..50 {
+                let dx = ((i * 37) % 100) as f64 / 100.0 - 0.5;
+                let dy = ((i * 59) % 100) as f64 / 100.0 - 0.5;
+                rows.push(vec![cx + dx, cy + dy]);
+            }
+        }
+        rows
+    }
+
+    #[test]
+    fn recovers_blob_centers() {
+        let rows = three_blobs();
+        let mut rng = StdRng::seed_from_u64(17);
+        let km = KMeans::fit(&rows, 3, 100, &mut rng).unwrap();
+        let mut found = [false; 3];
+        for c in &km.centroids {
+            for (i, &(cx, cy)) in [(0.0, 0.0), (20.0, 0.0), (0.0, 20.0)].iter().enumerate() {
+                if (c[0] - cx).abs() < 1.0 && (c[1] - cy).abs() < 1.0 {
+                    found[i] = true;
+                }
+            }
+        }
+        assert!(found.iter().all(|&f| f), "centroids: {:?}", km.centroids);
+    }
+
+    #[test]
+    fn predict_assigns_to_nearest() {
+        let rows = three_blobs();
+        let mut rng = StdRng::seed_from_u64(5);
+        let km = KMeans::fit(&rows, 3, 100, &mut rng).unwrap();
+        let c = km.predict(&[19.5, 0.2]);
+        assert!((km.centroids[c][0] - 20.0).abs() < 1.0);
+        let (_, d2) = km.nearest(&[19.5, 0.2]);
+        assert!(d2 < 2.0);
+    }
+
+    #[test]
+    fn k_clamped_and_edge_cases() {
+        let rows = vec![vec![1.0], vec![2.0]];
+        let mut rng = StdRng::seed_from_u64(1);
+        let km = KMeans::fit(&rows, 10, 10, &mut rng).unwrap();
+        assert_eq!(km.k(), 2);
+        assert!(KMeans::fit(&[], 3, 10, &mut rng).is_none());
+        assert!(KMeans::fit(&rows, 0, 10, &mut rng).is_none());
+    }
+
+    #[test]
+    fn identical_points_do_not_crash() {
+        let rows = vec![vec![5.0, 5.0]; 20];
+        let mut rng = StdRng::seed_from_u64(9);
+        let km = KMeans::fit(&rows, 3, 10, &mut rng).unwrap();
+        assert_eq!(km.predict(&[5.0, 5.0]), km.predict(&[5.0, 5.0]));
+    }
+}

@@ -1,0 +1,28 @@
+//! # cc-models
+//!
+//! The machine-learning substrate for the trusted-ML experiments:
+//!
+//! * [`LinearRegression`] — ordinary least squares via normal equations
+//!   (with automatic ridge escalation on singular designs). The Fig-4/Fig-5
+//!   experiments train this on the airlines data.
+//! * [`TotalLeastSquares`] — orthogonal regression via the lowest-variance
+//!   principal component; the paper contrasts it with conformance
+//!   constraints (it finds only *one* low-variance projection).
+//! * [`LogisticRegression`] — multiclass softmax classifier (batch gradient
+//!   descent, internal standardization). The Fig-6 HAR experiments train
+//!   this to identify persons.
+//! * [`KMeans`] — Lloyd's algorithm with k-means++ seeding; the SPLL drift
+//!   baseline clusters the reference window with it.
+//! * [`metrics`] — MAE, RMSE, accuracy, confusion counts.
+
+pub mod kmeans;
+pub mod linreg;
+pub mod logreg;
+pub mod metrics;
+pub mod tls;
+
+pub use kmeans::KMeans;
+pub use linreg::LinearRegression;
+pub use logreg::LogisticRegression;
+pub use metrics::{absolute_errors, accuracy, confusion_matrix, mae, rmse};
+pub use tls::TotalLeastSquares;

@@ -1,0 +1,164 @@
+//! Ordinary least squares linear regression via the normal equations.
+
+use cc_linalg::solve::Cholesky;
+use cc_linalg::Gram;
+
+/// A fitted linear regression `ŷ = w·x + b`.
+#[derive(Clone, Debug)]
+pub struct LinearRegression {
+    /// Per-feature weights.
+    pub weights: Vec<f64>,
+    /// Intercept.
+    pub intercept: f64,
+}
+
+/// Fitting failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// No training rows were provided.
+    EmptyTrainingSet,
+    /// The design matrix stayed singular even after ridge escalation.
+    Singular,
+    /// Rows and targets differ in length.
+    LengthMismatch,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::EmptyTrainingSet => write!(f, "empty training set"),
+            FitError::Singular => write!(f, "singular design matrix"),
+            FitError::LengthMismatch => write!(f, "rows/targets length mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+impl LinearRegression {
+    /// Fits by solving `(X'ᵀX' + λI)·w = X'ᵀy` with `X' = [1 | X]`.
+    /// Starts with `ridge` (0 is fine) and escalates ×10 up to a few times
+    /// when the system is numerically singular (collinear features).
+    ///
+    /// # Errors
+    /// Fails on an empty training set, mismatched lengths, or a design
+    /// matrix that stays singular after escalation.
+    pub fn fit(rows: &[Vec<f64>], targets: &[f64], ridge: f64) -> Result<Self, FitError> {
+        if rows.is_empty() {
+            return Err(FitError::EmptyTrainingSet);
+        }
+        if rows.len() != targets.len() {
+            return Err(FitError::LengthMismatch);
+        }
+        let m = rows[0].len();
+        // Accumulate X'ᵀX' and X'ᵀy streaming.
+        let mut gram = Gram::new(m + 1);
+        let mut xty = vec![0.0; m + 1];
+        let mut aug = vec![0.0; m + 1];
+        aug[0] = 1.0;
+        for (r, &y) in rows.iter().zip(targets) {
+            aug[1..].copy_from_slice(r);
+            gram.update(&aug);
+            for (acc, &x) in xty.iter_mut().zip(&aug) {
+                *acc += x * y;
+            }
+        }
+        let base = gram.finish();
+        let mut lambda = ridge.max(0.0);
+        for _ in 0..8 {
+            let mut a = base.clone();
+            if lambda > 0.0 {
+                for i in 0..=m {
+                    a[(i, i)] += lambda;
+                }
+            }
+            if let Ok(ch) = Cholesky::new(&a) {
+                if let Ok(w) = ch.solve(&xty) {
+                    if w.iter().all(|x| x.is_finite()) {
+                        return Ok(LinearRegression {
+                            intercept: w[0],
+                            weights: w[1..].to_vec(),
+                        });
+                    }
+                }
+            }
+            lambda = if lambda == 0.0 { 1e-8 } else { lambda * 10.0 };
+        }
+        Err(FitError::Singular)
+    }
+
+    /// Predicts one tuple.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "feature arity mismatch");
+        self.intercept + x.iter().zip(&self.weights).map(|(a, w)| a * w).sum::<f64>()
+    }
+
+    /// Predicts a batch.
+    pub fn predict_all(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_linear_recovery() {
+        // y = 3x₀ − 2x₁ + 5.
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![(i % 17) as f64, ((i * 7) % 23) as f64])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 5.0).collect();
+        let lr = LinearRegression::fit(&rows, &y, 0.0).unwrap();
+        assert!((lr.weights[0] - 3.0).abs() < 1e-8);
+        assert!((lr.weights[1] + 2.0).abs() < 1e-8);
+        assert!((lr.intercept - 5.0).abs() < 1e-7);
+        assert!((lr.predict(&[100.0, -50.0]) - (300.0 + 100.0 + 5.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noisy_fit_close() {
+        let rows: Vec<Vec<f64>> = (0..500).map(|i| vec![i as f64 / 10.0]).collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| 2.0 * r[0] + 1.0 + 0.1 * (((i * 31) % 7) as f64 - 3.0))
+            .collect();
+        let lr = LinearRegression::fit(&rows, &y, 0.0).unwrap();
+        assert!((lr.weights[0] - 2.0).abs() < 0.01);
+        assert!((lr.intercept - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn collinear_features_ridge_escalation() {
+        // x₁ = 2·x₀ exactly: XᵀX singular; ridge must kick in.
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0] * 4.0).collect();
+        let lr = LinearRegression::fit(&rows, &y, 0.0).unwrap();
+        // Predictions still correct even though individual weights are not
+        // identified.
+        let pred = lr.predict(&[10.0, 20.0]);
+        assert!((pred - 40.0).abs() < 0.1, "got {pred}");
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(LinearRegression::fit(&[], &[], 0.0).err(), Some(FitError::EmptyTrainingSet));
+        assert_eq!(
+            LinearRegression::fit(&[vec![1.0]], &[1.0, 2.0], 0.0).err(),
+            Some(FitError::LengthMismatch)
+        );
+    }
+
+    #[test]
+    fn predict_all_matches_pointwise() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0]).collect();
+        let lr = LinearRegression::fit(&rows, &y, 0.0).unwrap();
+        let preds = lr.predict_all(&rows);
+        for (p, r) in preds.iter().zip(&rows) {
+            assert!((p - lr.predict(r)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Multiclass softmax logistic regression trained by batch gradient
+//! descent, with internal feature standardization.
+
+use crate::linreg::FitError;
+
+/// Training hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct LogRegOptions {
+    /// Gradient-descent epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// L2 penalty on weights (not the bias).
+    pub l2: f64,
+}
+
+impl Default for LogRegOptions {
+    fn default() -> Self {
+        LogRegOptions { epochs: 200, learning_rate: 0.5, l2: 1e-4 }
+    }
+}
+
+/// A fitted multiclass softmax classifier.
+#[derive(Clone, Debug)]
+pub struct LogisticRegression {
+    /// `weights[c]` are the per-feature weights of class `c` (in
+    /// standardized feature space).
+    weights: Vec<Vec<f64>>,
+    /// Per-class bias.
+    biases: Vec<f64>,
+    /// Feature means (standardization).
+    means: Vec<f64>,
+    /// Feature stds (standardization; ≥ tiny).
+    stds: Vec<f64>,
+    n_classes: usize,
+}
+
+impl LogisticRegression {
+    /// Fits on `rows` with integer class `labels` in `0..n_classes`.
+    ///
+    /// # Errors
+    /// Fails on empty input or mismatched lengths.
+    ///
+    /// # Panics
+    /// Panics if a label is out of range.
+    pub fn fit(
+        rows: &[Vec<f64>],
+        labels: &[usize],
+        n_classes: usize,
+        opts: &LogRegOptions,
+    ) -> Result<Self, FitError> {
+        if rows.is_empty() {
+            return Err(FitError::EmptyTrainingSet);
+        }
+        if rows.len() != labels.len() {
+            return Err(FitError::LengthMismatch);
+        }
+        assert!(labels.iter().all(|&l| l < n_classes), "label out of range");
+        let n = rows.len();
+        let m = rows[0].len();
+
+        // Standardize features.
+        let mut means = vec![0.0; m];
+        for r in rows {
+            for (s, x) in means.iter_mut().zip(r) {
+                *s += x;
+            }
+        }
+        for s in means.iter_mut() {
+            *s /= n as f64;
+        }
+        let mut vars = vec![0.0; m];
+        for r in rows {
+            for ((v, x), mu) in vars.iter_mut().zip(r).zip(&means) {
+                *v += (x - mu) * (x - mu);
+            }
+        }
+        let stds: Vec<f64> = vars.iter().map(|v| (v / n as f64).sqrt().max(1e-9)).collect();
+        let std_rows: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .zip(&means)
+                    .zip(&stds)
+                    .map(|((x, mu), sd)| (x - mu) / sd)
+                    .collect()
+            })
+            .collect();
+
+        let mut weights = vec![vec![0.0; m]; n_classes];
+        let mut biases = vec![0.0; n_classes];
+        let lr = opts.learning_rate;
+        let mut probs = vec![0.0; n_classes];
+        let mut grad_w = vec![vec![0.0; m]; n_classes];
+        let mut grad_b = vec![0.0; n_classes];
+
+        for _epoch in 0..opts.epochs {
+            for g in grad_w.iter_mut() {
+                g.iter_mut().for_each(|x| *x = 0.0);
+            }
+            grad_b.iter_mut().for_each(|x| *x = 0.0);
+
+            for (r, &label) in std_rows.iter().zip(labels) {
+                softmax_into(&weights, &biases, r, &mut probs);
+                for c in 0..n_classes {
+                    let err = probs[c] - if c == label { 1.0 } else { 0.0 };
+                    grad_b[c] += err;
+                    for (gw, &x) in grad_w[c].iter_mut().zip(r) {
+                        *gw += err * x;
+                    }
+                }
+            }
+            let scale = lr / n as f64;
+            for c in 0..n_classes {
+                biases[c] -= scale * grad_b[c];
+                for (w, g) in weights[c].iter_mut().zip(&grad_w[c]) {
+                    *w -= scale * (g + opts.l2 * *w * n as f64);
+                }
+            }
+        }
+        Ok(LogisticRegression { weights, biases, means, stds, n_classes })
+    }
+
+    /// Class probabilities for one tuple.
+    pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.means.len(), "feature arity mismatch");
+        let std_x: Vec<f64> = x
+            .iter()
+            .zip(&self.means)
+            .zip(&self.stds)
+            .map(|((v, mu), sd)| (v - mu) / sd)
+            .collect();
+        let mut probs = vec![0.0; self.n_classes];
+        softmax_into(&self.weights, &self.biases, &std_x, &mut probs);
+        probs
+    }
+
+    /// Most probable class for one tuple.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        let probs = self.predict_proba(x);
+        probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probabilities"))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Batch prediction.
+    pub fn predict_all(&self, rows: &[Vec<f64>]) -> Vec<usize> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+/// Numerically stable softmax of the per-class logits into `out`.
+fn softmax_into(weights: &[Vec<f64>], biases: &[f64], x: &[f64], out: &mut [f64]) {
+    let mut max_logit = f64::NEG_INFINITY;
+    for (c, (w, b)) in weights.iter().zip(biases).enumerate() {
+        let logit = b + w.iter().zip(x).map(|(wi, xi)| wi * xi).sum::<f64>();
+        out[c] = logit;
+        max_logit = max_logit.max(logit);
+    }
+    let mut total = 0.0;
+    for o in out.iter_mut() {
+        *o = (*o - max_logit).exp();
+        total += *o;
+    }
+    for o in out.iter_mut() {
+        *o /= total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+
+    /// Three well-separated 2D blobs.
+    fn blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let centers = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)];
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for i in 0..60 {
+                let dx = ((i * 37) % 100) as f64 / 100.0 - 0.5;
+                let dy = ((i * 59) % 100) as f64 / 100.0 - 0.5;
+                rows.push(vec![cx + dx, cy + dy]);
+                labels.push(c);
+            }
+        }
+        (rows, labels)
+    }
+
+    #[test]
+    fn separable_blobs_high_accuracy() {
+        let (rows, labels) = blobs();
+        let model =
+            LogisticRegression::fit(&rows, &labels, 3, &LogRegOptions::default()).unwrap();
+        let preds = model.predict_all(&rows);
+        assert!(accuracy(&preds, &labels) > 0.99);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let (rows, labels) = blobs();
+        let model =
+            LogisticRegression::fit(&rows, &labels, 3, &LogRegOptions::default()).unwrap();
+        let p = model.predict_proba(&[5.0, 5.0]);
+        assert_eq!(p.len(), 3);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn binary_decision_boundary() {
+        // 1D: class 0 below 0, class 1 above 10.
+        let rows: Vec<Vec<f64>> =
+            (0..40).map(|i| vec![if i < 20 { i as f64 / 10.0 } else { 10.0 + (i - 20) as f64 / 10.0 }]).collect();
+        let labels: Vec<usize> = (0..40).map(|i| usize::from(i >= 20)).collect();
+        let model =
+            LogisticRegression::fit(&rows, &labels, 2, &LogRegOptions::default()).unwrap();
+        assert_eq!(model.predict(&[0.5]), 0);
+        assert_eq!(model.predict(&[11.0]), 1);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(
+            LogisticRegression::fit(&[], &[], 2, &LogRegOptions::default()),
+            Err(FitError::EmptyTrainingSet)
+        ));
+        assert!(matches!(
+            LogisticRegression::fit(&[vec![1.0]], &[0, 1], 2, &LogRegOptions::default()),
+            Err(FitError::LengthMismatch)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn out_of_range_label_panics() {
+        let _ = LogisticRegression::fit(&[vec![1.0]], &[5], 2, &LogRegOptions::default());
+    }
+
+    #[test]
+    fn constant_feature_does_not_explode() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 7.0]).collect();
+        let labels: Vec<usize> = (0..20).map(|i| usize::from(i >= 10)).collect();
+        let model =
+            LogisticRegression::fit(&rows, &labels, 2, &LogRegOptions::default()).unwrap();
+        let p = model.predict_proba(&[5.0, 7.0]);
+        assert!(p.iter().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,102 @@
+//! Evaluation metrics for the TML experiments.
+
+/// Mean absolute error (the paper's Fig-4 regression metric).
+///
+/// # Panics
+/// Panics on length mismatch; returns 0 for empty input.
+pub fn mae(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "mae: length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    predictions.iter().zip(targets).map(|(p, t)| (p - t).abs()).sum::<f64>()
+        / predictions.len() as f64
+}
+
+/// Root mean squared error.
+///
+/// # Panics
+/// Panics on length mismatch; returns 0 for empty input.
+pub fn rmse(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "rmse: length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    (predictions.iter().zip(targets).map(|(p, t)| (p - t) * (p - t)).sum::<f64>()
+        / predictions.len() as f64)
+        .sqrt()
+}
+
+/// Classification accuracy (the Fig-6 metric, via accuracy-drop).
+///
+/// # Panics
+/// Panics on length mismatch; returns 0 for empty input.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "accuracy: length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    predictions.iter().zip(labels).filter(|(p, l)| p == l).count() as f64
+        / predictions.len() as f64
+}
+
+/// `counts[actual][predicted]` confusion matrix over `n_classes`.
+///
+/// # Panics
+/// Panics on length mismatch or out-of-range classes.
+pub fn confusion_matrix(
+    predictions: &[usize],
+    labels: &[usize],
+    n_classes: usize,
+) -> Vec<Vec<usize>> {
+    assert_eq!(predictions.len(), labels.len(), "confusion: length mismatch");
+    let mut m = vec![vec![0usize; n_classes]; n_classes];
+    for (&p, &l) in predictions.iter().zip(labels) {
+        assert!(p < n_classes && l < n_classes, "class out of range");
+        m[l][p] += 1;
+    }
+    m
+}
+
+/// Per-tuple absolute errors (the Fig-5 series).
+pub fn absolute_errors(predictions: &[f64], targets: &[f64]) -> Vec<f64> {
+    assert_eq!(predictions.len(), targets.len(), "absolute_errors: length mismatch");
+    predictions.iter().zip(targets).map(|(p, t)| (p - t).abs()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_rmse_known() {
+        let p = [1.0, 2.0, 3.0];
+        let t = [2.0, 2.0, 5.0];
+        assert!((mae(&p, &t) - 1.0).abs() < 1e-12);
+        assert!((rmse(&p, &t) - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(mae(&[], &[]), 0.0);
+        assert_eq!(rmse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn accuracy_known() {
+        assert_eq!(accuracy(&[0, 1, 1, 0], &[0, 1, 0, 0]), 0.75);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let m = confusion_matrix(&[0, 1, 1, 2], &[0, 1, 2, 2], 3);
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[2][1], 1);
+        assert_eq!(m[2][2], 1);
+        let total: usize = m.iter().flatten().sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn abs_errors() {
+        assert_eq!(absolute_errors(&[1.0, 5.0], &[3.0, 5.0]), vec![2.0, 0.0]);
+    }
+}

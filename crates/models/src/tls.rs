@@ -1,0 +1,155 @@
+//! Total least squares (orthogonal regression).
+//!
+//! TLS finds the single lowest-variance linear relation among *all*
+//! attributes (predictors and target alike) — the lowest-variance principal
+//! component of the joint data. The paper positions it as a partial
+//! solution: it yields exactly one projection, whereas conformance
+//! constraints keep the whole spectrum (§1 "Learning techniques",
+//! Appendix L).
+
+use cc_linalg::pca::pca;
+
+/// A fitted TLS relation `Σ wᵢ·xᵢ + w_y·y ≈ c` rearranged into a predictor
+/// `ŷ = (c − Σ wᵢ·xᵢ)/w_y`.
+#[derive(Clone, Debug)]
+pub struct TotalLeastSquares {
+    /// Coefficients over the predictor attributes.
+    pub x_coeffs: Vec<f64>,
+    /// Coefficient of the target attribute.
+    pub y_coeff: f64,
+    /// The constant `c` (projection value at the joint mean).
+    pub constant: f64,
+    /// Standard deviation of the relation on the training data (the
+    /// residual scale — 0 for an exact linear relation).
+    pub residual_std: f64,
+}
+
+/// TLS fitting failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TlsError {
+    /// No training rows.
+    EmptyTrainingSet,
+    /// Rows and targets differ in length.
+    LengthMismatch,
+    /// The lowest-variance direction is orthogonal to the target, so the
+    /// relation cannot be solved for `y`.
+    TargetFree,
+    /// Eigensolver failure.
+    Eigen(cc_linalg::eigen::EigenError),
+}
+
+impl std::fmt::Display for TlsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TlsError::EmptyTrainingSet => write!(f, "empty training set"),
+            TlsError::LengthMismatch => write!(f, "rows/targets length mismatch"),
+            TlsError::TargetFree => write!(f, "lowest-variance relation does not involve y"),
+            TlsError::Eigen(e) => write!(f, "eigensolver error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TlsError {}
+
+impl TotalLeastSquares {
+    /// Fits the orthogonal regression of `targets` on `rows`.
+    ///
+    /// # Errors
+    /// See [`TlsError`].
+    pub fn fit(rows: &[Vec<f64>], targets: &[f64]) -> Result<Self, TlsError> {
+        if rows.is_empty() {
+            return Err(TlsError::EmptyTrainingSet);
+        }
+        if rows.len() != targets.len() {
+            return Err(TlsError::LengthMismatch);
+        }
+        let m = rows[0].len();
+        let joint: Vec<Vec<f64>> = rows
+            .iter()
+            .zip(targets)
+            .map(|(r, &y)| {
+                let mut v = r.clone();
+                v.push(y);
+                v
+            })
+            .collect();
+        let p = pca(&joint, m + 1).map_err(TlsError::Eigen)?;
+        let dir = &p.components[0]; // lowest-variance direction
+        let y_coeff = dir[m];
+        if y_coeff.abs() < 1e-9 {
+            return Err(TlsError::TargetFree);
+        }
+        // Relation: dir · (t − mean) ≈ 0 ⇒ dir·t ≈ dir·mean =: c.
+        let constant: f64 = dir.iter().zip(&p.means).map(|(w, mu)| w * mu).sum();
+        Ok(TotalLeastSquares {
+            x_coeffs: dir[..m].to_vec(),
+            y_coeff,
+            constant,
+            residual_std: p.variances[0].sqrt(),
+        })
+    }
+
+    /// Predicts `y` for a predictor tuple by solving the relation.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.x_coeffs.len(), "feature arity mismatch");
+        let partial: f64 = x.iter().zip(&self.x_coeffs).map(|(a, w)| a * w).sum();
+        (self.constant - partial) / self.y_coeff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_relation_recovered() {
+        // y = 3x − 7, x spread widely.
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] - 7.0).collect();
+        let tls = TotalLeastSquares::fit(&rows, &y).unwrap();
+        assert!(tls.residual_std < 1e-6);
+        assert!((tls.predict(&[10.0]) - 23.0).abs() < 1e-6);
+        assert!((tls.predict(&[200.0]) - 593.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn noise_in_x_handled_symmetrically() {
+        // TLS is the right model when BOTH x and y carry observation noise.
+        let n = 2000;
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let t = i as f64 / 100.0;
+                let nx = 0.05 * (((i * 31) % 19) as f64 - 9.0) / 9.0;
+                vec![t + nx]
+            })
+            .collect();
+        let y: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 / 100.0;
+                let ny = 0.05 * (((i * 47) % 23) as f64 - 11.0) / 11.0;
+                2.0 * t + ny
+            })
+            .collect();
+        let tls = TotalLeastSquares::fit(&rows, &y).unwrap();
+        let slope = -tls.x_coeffs[0] / tls.y_coeff;
+        assert!((slope - 2.0).abs() < 0.01, "slope {slope}");
+    }
+
+    #[test]
+    fn target_free_relation_detected() {
+        // x₀ = x₁ exactly while y is independent noise: the lowest-variance
+        // relation is x₀ − x₁ = 0 which does not involve y.
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, i as f64]).collect();
+        let y: Vec<f64> = (0..100).map(|i| ((i * 37) % 100) as f64).collect();
+        assert_eq!(TotalLeastSquares::fit(&rows, &y).err(), Some(TlsError::TargetFree));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(TotalLeastSquares::fit(&[], &[]).err(), Some(TlsError::EmptyTrainingSet));
+        assert_eq!(
+            TotalLeastSquares::fit(&[vec![1.0]], &[1.0, 2.0]).err(),
+            Some(TlsError::LengthMismatch)
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the ML substrate.
+
+use cc_models::{accuracy, mae, KMeans, LinearRegression};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// OLS recovers an exact linear model whenever the design has enough
+    /// spread (weights within tolerance, predictions exact).
+    #[test]
+    fn ols_recovers_exact_models(
+        w0 in -10.0..10.0f64,
+        w1 in -10.0..10.0f64,
+        b in -100.0..100.0f64,
+        n in 10usize..60,
+    ) {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![i as f64, ((i * 7) % 13) as f64])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| w0 * r[0] + w1 * r[1] + b).collect();
+        let lr = LinearRegression::fit(&rows, &y, 0.0).unwrap();
+        for (r, t) in rows.iter().zip(&y) {
+            let scale = 1.0 + t.abs();
+            prop_assert!((lr.predict(r) - t).abs() / scale < 1e-6);
+        }
+    }
+
+    /// OLS predictions are translation-equivariant in the target:
+    /// fitting y + c shifts every prediction by c.
+    #[test]
+    fn ols_target_translation(c in -100.0..100.0f64) {
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = rows.iter().enumerate()
+            .map(|(i, r)| 2.0 * r[0] + ((i % 5) as f64))
+            .collect();
+        let y2: Vec<f64> = y.iter().map(|v| v + c).collect();
+        let m1 = LinearRegression::fit(&rows, &y, 0.0).unwrap();
+        let m2 = LinearRegression::fit(&rows, &y2, 0.0).unwrap();
+        for r in &rows {
+            prop_assert!((m2.predict(r) - m1.predict(r) - c).abs() < 1e-6);
+        }
+    }
+
+    /// MAE is non-negative, zero iff predictions equal targets, and
+    /// symmetric under argument swap.
+    #[test]
+    fn mae_axioms(
+        p in proptest::collection::vec(-100.0..100.0f64, 1..30),
+        delta in proptest::collection::vec(-10.0..10.0f64, 1..30),
+    ) {
+        let n = p.len().min(delta.len());
+        let p = &p[..n];
+        let t: Vec<f64> = p.iter().zip(&delta[..n]).map(|(a, d)| a + d).collect();
+        let m = mae(p, &t);
+        prop_assert!(m >= 0.0);
+        prop_assert!((mae(p, &t) - mae(&t, p)).abs() < 1e-12);
+        prop_assert!(mae(p, p).abs() < 1e-12);
+    }
+
+    /// Accuracy is the complement of the error rate and bounded.
+    #[test]
+    fn accuracy_bounds(labels in proptest::collection::vec(0usize..4, 1..50)) {
+        let preds: Vec<usize> = labels.iter().map(|l| (l + 1) % 4).collect();
+        prop_assert_eq!(accuracy(&labels, &labels), 1.0);
+        prop_assert_eq!(accuracy(&preds, &labels), 0.0);
+    }
+
+    /// K-means never loses points: every point's nearest centroid is one of
+    /// the k returned, and total inertia never exceeds the single-centroid
+    /// inertia.
+    #[test]
+    fn kmeans_inertia_improves(seed in 0u64..500) {
+        let rows: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![(i % 3) as f64 * 10.0 + (i % 7) as f64 * 0.1, (i % 2) as f64])
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let km = KMeans::fit(&rows, 3, 50, &mut rng).unwrap();
+        prop_assert!(km.k() <= 3);
+        let inertia: f64 = rows.iter().map(|r| km.nearest(r).1).sum();
+        // Single-centroid baseline: the mean.
+        let dim = rows[0].len();
+        let mut mean = vec![0.0; dim];
+        for r in &rows {
+            for (m, x) in mean.iter_mut().zip(r) { *m += x; }
+        }
+        for m in mean.iter_mut() { *m /= rows.len() as f64; }
+        let single: f64 = rows
+            .iter()
+            .map(|r| cc_linalg::vector::dist_sq(r, &mean))
+            .sum();
+        prop_assert!(inertia <= single + 1e-9, "inertia {inertia} > single {single}");
+    }
+}

@@ -1,0 +1,323 @@
+//! Descriptive statistics.
+//!
+//! All variances/standard deviations are **population** statistics (divide
+//! by n), matching the paper's σ(F(D)) definition (Example 4 computes
+//! σ({0, −5, 5, −2}) = 3.6, which is the population value).
+
+/// Single-pass mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable for the long streams the synthesis pipeline sees.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    n: usize,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Summary { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Builds a summary over a slice in one pass.
+    pub fn of(values: &[f64]) -> Self {
+        let mut s = Summary::new();
+        for &v in values {
+            s.update(v);
+        }
+        s
+    }
+
+    /// Adds one observation.
+    pub fn update(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another summary (parallel-reduction step; Chan et al.).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Count of observations.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// Arithmetic mean (0 for an empty summary).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (divide by n; 0 for an empty summary).
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).max(0.0)
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (+∞ when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (−∞ when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Mean of a slice (0 when empty).
+pub fn mean(values: &[f64]) -> f64 {
+    Summary::of(values).mean()
+}
+
+/// Population variance of a slice.
+pub fn population_variance(values: &[f64]) -> f64 {
+    Summary::of(values).variance()
+}
+
+/// Population standard deviation of a slice.
+pub fn population_std(values: &[f64]) -> f64 {
+    Summary::of(values).std()
+}
+
+/// Pearson correlation coefficient between two equal-length slices.
+///
+/// This is the paper's ρ_{F1,F2} (§4.1.2) when applied to projection outputs.
+/// Returns 0 when either side has zero variance (correlation undefined —
+/// by convention uncorrelated, matching the use in Theorem 12/13 where
+/// zero-variance projections are handled separately).
+pub fn pcc(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pcc: length mismatch");
+    let n = a.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let (ma, mb) = (mean(a), mean(b));
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        let dx = x - ma;
+        let dy = y - mb;
+        cov += dx * dy;
+        va += dx * dx;
+        vb += dy * dy;
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        return 0.0;
+    }
+    (cov / (va.sqrt() * vb.sqrt())).clamp(-1.0, 1.0)
+}
+
+/// `p`-quantile (0 ≤ p ≤ 1) by linear interpolation over a sorted copy.
+pub fn quantile(values: &[f64], p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "quantile: p must be in [0,1]");
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let idx = p * (sorted.len() - 1) as f64;
+    let lo = idx.floor() as usize;
+    let hi = idx.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = idx - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Min-max normalizes a series into `[0,1]` in place; a constant series maps
+/// to all zeros. Used by the Fig-8 harness, which (like the paper)
+/// normalizes each method's drift magnitudes before plotting.
+pub fn min_max_normalize(values: &mut [f64]) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in values.iter() {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let range = hi - lo;
+    for v in values.iter_mut() {
+        *v = if range > 0.0 { (*v - lo) / range } else { 0.0 };
+    }
+}
+
+/// Area under the ROC curve of `score` as a detector of `positive` labels:
+/// the probability a random positive outscores a random negative (ties
+/// count ½). Returns 0.5 when either class is empty.
+///
+/// Used to quantify how well violation scores separate unsafe tuples.
+pub fn roc_auc(scores: &[f64], positive: &[bool]) -> f64 {
+    assert_eq!(scores.len(), positive.len(), "roc_auc: length mismatch");
+    let mut pairs: Vec<(f64, bool)> =
+        scores.iter().copied().zip(positive.iter().copied()).collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"));
+    let n_pos = positive.iter().filter(|&&p| p).count();
+    let n_neg = positive.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Rank-sum (Mann–Whitney) with midranks for ties.
+    let mut rank_sum_pos = 0.0;
+    let mut i = 0;
+    while i < pairs.len() {
+        let mut j = i;
+        while j < pairs.len() && pairs[j].0 == pairs[i].0 {
+            j += 1;
+        }
+        let midrank = (i + j + 1) as f64 / 2.0; // average of 1-based ranks i+1..j
+        for p in &pairs[i..j] {
+            if p.1 {
+                rank_sum_pos += midrank;
+            }
+        }
+        i = j;
+    }
+    (rank_sum_pos - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0) / (n_pos as f64 * n_neg as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_perfect_separation() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [false, false, true, true];
+        assert!((roc_auc(&scores, &labels) - 1.0).abs() < 1e-12);
+        let inverted = [true, true, false, false];
+        assert!(roc_auc(&scores, &inverted).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [true, false, true, false];
+        assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-12);
+        assert_eq!(roc_auc(&[1.0, 2.0], &[true, true]), 0.5);
+    }
+
+    #[test]
+    fn auc_partial() {
+        // One inversion among 2 pos × 2 neg pairs: AUC = 3/4.
+        let scores = [0.1, 0.8, 0.3, 0.9];
+        let labels = [false, false, true, true];
+        assert!((roc_auc(&scores, &labels) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_example_4_std() {
+        // σ({0, −5, 5, −2}) ≈ 3.6 in the paper (population std).
+        let s = population_std(&[0.0, -5.0, 5.0, -2.0]);
+        assert!((s - 3.6).abs() < 0.05, "got {s}");
+    }
+
+    #[test]
+    fn summary_basics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        assert!((s.variance() - 1.25).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+    }
+
+    #[test]
+    fn empty_summary_is_sane() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let a = [1.0, 5.0, -3.0, 2.0];
+        let b = [10.0, 0.0, 4.0];
+        let mut sa = Summary::of(&a);
+        let sb = Summary::of(&b);
+        sa.merge(&sb);
+        let all: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+        let sall = Summary::of(&all);
+        assert_eq!(sa.count(), sall.count());
+        assert!((sa.mean() - sall.mean()).abs() < 1e-12);
+        assert!((sa.variance() - sall.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pcc_perfect_and_anti() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pcc(&x, &y) - 1.0).abs() < 1e-12);
+        let z = [8.0, 6.0, 4.0, 2.0];
+        assert!((pcc(&x, &z) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pcc_zero_variance_is_zero() {
+        assert_eq!(pcc(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn pcc_uncorrelated() {
+        let x = [1.0, -1.0, 1.0, -1.0];
+        let y = [1.0, 1.0, -1.0, -1.0];
+        assert!(pcc(&x, &y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 5.0);
+        assert_eq!(quantile(&v, 0.5), 3.0);
+        assert!((quantile(&v, 0.25) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minmax_normalize() {
+        let mut v = vec![2.0, 4.0, 6.0];
+        min_max_normalize(&mut v);
+        assert_eq!(v, vec![0.0, 0.5, 1.0]);
+        let mut c = vec![3.0, 3.0];
+        min_max_normalize(&mut c);
+        assert_eq!(c, vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Divergence measures between discrete densities.
+//!
+//! These implement the two divergence options of the CD baseline
+//! (Qahtan et al., KDD 2015): maximum symmetric KL divergence (CD-MKL) and
+//! the complement of the intersection area of two density curves (CD-Area).
+
+/// Kullback–Leibler divergence `KL(p ‖ q)` between two discrete densities.
+///
+/// Bins where `p = 0` contribute nothing; bins where `q = 0` but `p > 0`
+/// would be infinite, so callers should pass smoothed densities
+/// ([`crate::Histogram::smoothed_densities`]).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "kl_divergence: length mismatch");
+    let mut kl = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi > 0.0 {
+            if qi > 0.0 {
+                kl += pi * (pi / qi).ln();
+            } else {
+                return f64::INFINITY;
+            }
+        }
+    }
+    kl.max(0.0)
+}
+
+/// Symmetric KL: `max(KL(p‖q), KL(q‖p))` — the "Maximum KL" divergence of
+/// CD-MKL.
+pub fn max_symmetric_kl(p: &[f64], q: &[f64]) -> f64 {
+    kl_divergence(p, q).max(kl_divergence(q, p))
+}
+
+/// Intersection area of two discrete densities: `Σ min(pᵢ, qᵢ)` ∈ [0, 1]
+/// for proper densities. CD-Area uses `1 − intersection` as the divergence.
+pub fn intersection_area(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "intersection_area: length mismatch");
+    p.iter().zip(q).map(|(&a, &b)| a.min(b)).sum()
+}
+
+/// Total-variation distance `½ Σ |pᵢ − qᵢ|` — equals `1 − intersection`
+/// for proper densities; exposed for tests and alternative baselines.
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "total_variation: length mismatch");
+    0.5 * p.iter().zip(q).map(|(&a, &b)| (a - b).abs()).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kl_identical_is_zero() {
+        let p = [0.25, 0.25, 0.5];
+        assert!(kl_divergence(&p, &p).abs() < 1e-15);
+        assert!(max_symmetric_kl(&p, &p).abs() < 1e-15);
+    }
+
+    #[test]
+    fn kl_known_value() {
+        // KL([1,0] || [0.5,0.5]) = ln 2.
+        let p = [1.0, 0.0];
+        let q = [0.5, 0.5];
+        assert!((kl_divergence(&p, &q) - (2.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_infinite_when_unsupported() {
+        assert!(kl_divergence(&[0.5, 0.5], &[1.0, 0.0]).is_infinite());
+    }
+
+    #[test]
+    fn symmetric_kl_is_symmetric() {
+        let p = [0.7, 0.2, 0.1];
+        let q = [0.2, 0.3, 0.5];
+        assert_eq!(max_symmetric_kl(&p, &q), max_symmetric_kl(&q, &p));
+        assert!(max_symmetric_kl(&p, &q) >= kl_divergence(&p, &q));
+    }
+
+    #[test]
+    fn intersection_bounds() {
+        let p = [0.5, 0.5, 0.0];
+        let q = [0.0, 0.5, 0.5];
+        assert!((intersection_area(&p, &q) - 0.5).abs() < 1e-15);
+        assert!((intersection_area(&p, &p) - 1.0).abs() < 1e-15);
+        let disjoint = intersection_area(&[1.0, 0.0], &[0.0, 1.0]);
+        assert_eq!(disjoint, 0.0);
+    }
+
+    #[test]
+    fn tv_complements_intersection() {
+        let p = [0.6, 0.3, 0.1];
+        let q = [0.1, 0.3, 0.6];
+        let tv = total_variation(&p, &q);
+        let inter = intersection_area(&p, &q);
+        assert!((tv - (1.0 - inter)).abs() < 1e-12);
+    }
+}

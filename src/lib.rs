@@ -1,0 +1,53 @@
+//! # ccsynth — Conformance Constraint Discovery
+//!
+//! Facade crate for the full CCSynth stack, a Rust reproduction of
+//! *"Conformance Constraint Discovery: Measuring Trust in Data-Driven
+//! Systems"* (Fariha, Tiwari, Radhakrishna, Gulwani, Meliou — SIGMOD 2021).
+//!
+//! Re-exports the whole workspace so downstream users need a single
+//! dependency:
+//!
+//! * [`conformance`] — the core: constraint language, quantitative
+//!   semantics, PCA-based synthesis, drift, trusted-ML, explanations;
+//! * [`frame`] — the minimal dataframe the stack operates on;
+//! * [`linalg`] / [`stats`] — numeric substrates;
+//! * [`models`] — regression/classification models for the TML experiments;
+//! * [`baselines`] — PCA-SPLL, CD-MKL/CD-Area, W-PCA drift baselines;
+//! * [`datagen`] — synthetic versions of every dataset in the paper.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ccsynth::prelude::*;
+//!
+//! // Profile a dataset with a hidden invariant…
+//! let mut df = DataFrame::new();
+//! df.push_numeric("dep", (0..200).map(|i| 300.0 + i as f64).collect()).unwrap();
+//! df.push_numeric("dur", (0..200).map(|i| 60.0 + (i % 50) as f64).collect()).unwrap();
+//! df.push_numeric("arr", (0..200).map(|i| 300.0 + i as f64 + 60.0 + (i % 50) as f64).collect()).unwrap();
+//! let profile = synthesize(&df, &SynthOptions::default()).unwrap();
+//!
+//! // …and use it as a trust oracle on serving tuples.
+//! let envelope = SafetyEnvelope::new(profile, 0.1);
+//! let good = envelope.check(&[400.0, 80.0, 480.0], &[]).unwrap();
+//! let bad = envelope.check(&[400.0, 80.0, 1000.0], &[]).unwrap();
+//! assert!(!good.is_unsafe);
+//! assert!(bad.is_unsafe);
+//! ```
+
+pub use cc_baselines as baselines;
+pub use cc_datagen as datagen;
+pub use cc_frame as frame;
+pub use cc_linalg as linalg;
+pub use cc_models as models;
+pub use cc_stats as stats;
+pub use conformance;
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use cc_frame::{read_csv, write_csv, DataFrame};
+    pub use conformance::{
+        dataset_drift, synthesize, synthesize_simple, ConformanceProfile, DriftAggregator,
+        Projection, SafetyEnvelope, SimpleConstraint, SynthOptions,
+    };
+}

@@ -1,0 +1,184 @@
+//! `ccsynth` — command-line interface to conformance-constraint discovery.
+//!
+//! ```text
+//! ccsynth profile <data.csv> -o <profile.json> [--drop <col>]...
+//! ccsynth check   <profile.json> <data.csv> [--threshold <t>]
+//! ccsynth drift   <profile.json> <data.csv>
+//! ccsynth explain <profile.json> <train.csv> <serve.csv> [--sample <n>]
+//! ccsynth sql     <profile.json> <table_name>
+//! ```
+//!
+//! Profiles are stored as JSON and are portable across machines.
+
+use ccsynth::conformance::explain::mean_responsibility;
+use ccsynth::conformance::{
+    dataset_drift, profile_to_sql, synthesize, ConformanceProfile, DriftAggregator,
+    SafetyEnvelope, SynthOptions,
+};
+use ccsynth::frame::{read_csv, DataFrame};
+use std::fs::File;
+use std::io::{BufReader, Write};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  ccsynth profile <data.csv> -o <profile.json> [--drop <col>]...\n  \
+         ccsynth check   <profile.json> <data.csv> [--threshold <t>]\n  \
+         ccsynth drift   <profile.json> <data.csv>\n  \
+         ccsynth explain <profile.json> <train.csv> <serve.csv> [--sample <n>]\n  \
+         ccsynth sql     <profile.json> <table_name>"
+    );
+    ExitCode::from(2)
+}
+
+fn load_csv(path: &str) -> Result<DataFrame, String> {
+    let f = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    read_csv(BufReader::new(f)).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn load_profile(path: &str) -> Result<ConformanceProfile, String> {
+    let f = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    serde_json::from_reader(BufReader::new(f))
+        .map_err(|e| format!("cannot parse profile {path}: {e}"))
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let mut data_path = None;
+    let mut out_path = None;
+    let mut drops = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" => out_path = it.next().cloned(),
+            "--drop" => drops.push(it.next().cloned().ok_or("--drop needs a column")?),
+            other => data_path = Some(other.to_owned()),
+        }
+    }
+    let data_path = data_path.ok_or("missing <data.csv>")?;
+    let out_path = out_path.ok_or("missing -o <profile.json>")?;
+    let df = load_csv(&data_path)?;
+    let opts = SynthOptions { drop_attributes: drops, ..Default::default() };
+    let profile = synthesize(&df, &opts).map_err(|e| format!("synthesis failed: {e}"))?;
+    let json = serde_json::to_string_pretty(&profile).map_err(|e| e.to_string())?;
+    let mut f = File::create(&out_path).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    f.write_all(json.as_bytes()).map_err(|e| e.to_string())?;
+    println!(
+        "profiled {} rows × {} attributes → {} constraints → {out_path}",
+        df.n_rows(),
+        profile.numeric_attributes.len(),
+        profile.constraint_count()
+    );
+    Ok(())
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let mut threshold = 0.1;
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--threshold needs a number in [0,1]")?
+            }
+            other => paths.push(other.to_owned()),
+        }
+    }
+    let [profile_path, data_path] = paths.as_slice() else {
+        return Err("check needs <profile.json> <data.csv>".into());
+    };
+    let profile = load_profile(profile_path)?;
+    let df = load_csv(data_path)?;
+    let envelope = SafetyEnvelope::new(profile, threshold);
+    let verdicts = envelope.check_all(&df).map_err(|e| e.to_string())?;
+    let n_unsafe = verdicts.iter().filter(|v| v.is_unsafe).count();
+    let mean: f64 =
+        verdicts.iter().map(|v| v.violation).sum::<f64>() / verdicts.len().max(1) as f64;
+    let max = verdicts.iter().map(|v| v.violation).fold(0.0f64, f64::max);
+    println!("rows:            {}", verdicts.len());
+    println!("mean violation:  {mean:.4}");
+    println!("max violation:   {max:.4}");
+    println!("unsafe (> {threshold}): {n_unsafe} ({:.1}%)", 100.0 * n_unsafe as f64 / verdicts.len().max(1) as f64);
+    Ok(())
+}
+
+fn cmd_drift(args: &[String]) -> Result<(), String> {
+    let [profile_path, data_path] = args else {
+        return Err("drift needs <profile.json> <data.csv>".into());
+    };
+    let profile = load_profile(profile_path)?;
+    let df = load_csv(data_path)?;
+    for (name, agg) in [
+        ("mean", DriftAggregator::Mean),
+        ("p95", DriftAggregator::Quantile(0.95)),
+        ("max", DriftAggregator::Max),
+    ] {
+        let d = dataset_drift(&profile, &df, agg).map_err(|e| e.to_string())?;
+        println!("{name:<5} drift: {d:.4}");
+    }
+    Ok(())
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let mut sample = 200usize;
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--sample" => {
+                sample = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--sample needs a positive integer")?
+            }
+            other => paths.push(other.to_owned()),
+        }
+    }
+    let [profile_path, train_path, serve_path] = paths.as_slice() else {
+        return Err("explain needs <profile.json> <train.csv> <serve.csv>".into());
+    };
+    let profile = load_profile(profile_path)?;
+    let train = load_csv(train_path)?;
+    let serve = load_csv(serve_path)?;
+    let sub = serve.take(&(0..sample.min(serve.n_rows())).collect::<Vec<_>>());
+    let ranked = mean_responsibility(&profile, &train, &sub).map_err(|e| e.to_string())?;
+    println!("{:<20} responsibility", "attribute");
+    for r in ranked {
+        let bar = "#".repeat((r.score * 40.0).round() as usize);
+        println!("{:<20} {:.3}  {bar}", r.attribute, r.score);
+    }
+    Ok(())
+}
+
+fn cmd_sql(args: &[String]) -> Result<(), String> {
+    let [profile_path, table] = args else {
+        return Err("sql needs <profile.json> <table_name>".into());
+    };
+    let profile = load_profile(profile_path)?;
+    println!("{}", profile_to_sql(&profile, table, 6));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage();
+    };
+    let result = match cmd.as_str() {
+        "profile" => cmd_profile(rest),
+        "check" => cmd_check(rest),
+        "drift" => cmd_drift(rest),
+        "explain" => cmd_explain(rest),
+        "sql" => cmd_sql(rest),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
