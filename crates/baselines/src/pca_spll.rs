@@ -97,10 +97,8 @@ impl PcaSpll {
                 break;
             }
         }
-        let reduced: Vec<Vec<f64>> = rows
-            .iter()
-            .map(|r| retained.iter().map(|&k| pcs.project(r, k)).collect())
-            .collect();
+        let reduced: Vec<Vec<f64>> =
+            rows.iter().map(|r| retained.iter().map(|&k| pcs.project(r, k)).collect()).collect();
         let mut rng = StdRng::seed_from_u64(opts.seed);
         let km = KMeans::fit(&reduced, opts.clusters, 100, &mut rng)
             .ok_or_else(|| BaselineError::Degenerate("kmeans on empty data".into()))?;
@@ -127,8 +125,7 @@ impl PcaSpll {
         let inv = self.gaussian.inv_cov();
         let mut total = 0.0;
         for r in &rows {
-            let reduced: Vec<f64> =
-                self.retained.iter().map(|&k| self.pcs.project(r, k)).collect();
+            let reduced: Vec<f64> = self.retained.iter().map(|&k| self.pcs.project(r, k)).collect();
             let mut best = f64::INFINITY;
             for c in &self.clusters {
                 let d = cc_stats::mahalanobis_sq(&reduced, c, inv);

@@ -69,11 +69,8 @@ fn main() {
     // Serving set B: break the speed invariant only — keep AT = DT + DUR
     // but rescale distance (e.g. data now reported in km, not miles).
     let km = {
-        let mut df = airlines(&AirlinesConfig {
-            rows: 5_000 * s,
-            kind: FlightKind::Daytime,
-            seed: 302,
-        });
+        let mut df =
+            airlines(&AirlinesConfig { rows: 5_000 * s, kind: FlightKind::Daytime, seed: 302 });
         let scaled: Vec<f64> =
             df.numeric("distance").expect("col").iter().map(|d| d * 1.609).collect();
         df = df.drop_column("distance").expect("col");
@@ -82,11 +79,8 @@ fn main() {
     };
     let km_rows = rows(&km);
 
-    let day = rows(&airlines(&AirlinesConfig {
-        rows: 5_000 * s,
-        kind: FlightKind::Daytime,
-        seed: 303,
-    }));
+    let day =
+        rows(&airlines(&AirlinesConfig { rows: 5_000 * s, kind: FlightKind::Daytime, seed: 303 }));
 
     // Serving set C: corrupt along the SECOND-lowest-variance direction —
     // orthogonal to the TLS projection but inside the invariant subspace.
@@ -103,10 +97,8 @@ fn main() {
     let w: Vec<f64> = w2.iter().zip(t).map(|(a, b)| a - proj * b).collect();
     let wnorm: f64 = w.iter().map(|x| x * x).sum::<f64>().sqrt();
     let w: Vec<f64> = w.iter().map(|x| x / wnorm).collect();
-    let ortho_rows: Vec<Vec<f64>> = day
-        .iter()
-        .map(|r| r.iter().zip(&w).map(|(x, wi)| x + 200.0 * wi).collect())
-        .collect();
+    let ortho_rows: Vec<Vec<f64>> =
+        day.iter().map(|r| r.iter().zip(&w).map(|(x, wi)| x + 200.0 * wi).collect()).collect();
 
     println!("{:<34} {:>12} {:>14}", "serving set", "full CC", "TLS-single");
     for (label, data) in [

@@ -49,14 +49,9 @@ fn main() {
     let b = (g11 * b2 - g12 * b1) / det;
 
     // Residual outside span{e2, e3}.
-    let recon: Vec<f64> = e2
-        .coefficients
-        .iter()
-        .zip(&e3.coefficients)
-        .map(|(x, y)| a * x + b * y)
-        .collect();
-    let resid: f64 =
-        f.iter().zip(&recon).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+    let recon: Vec<f64> =
+        e2.coefficients.iter().zip(&e3.coefficients).map(|(x, y)| a * x + b * y).collect();
+    let resid: f64 = f.iter().zip(&recon).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
 
     println!("\ndecomposition onto the interpretable invariants:");
     println!("  F ≈ {a:+.3}·(AT − DT − DUR)/√3  {b:+.3}·(DUR − 0.12·DIS)/‖·‖");

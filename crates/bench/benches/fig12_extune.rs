@@ -42,11 +42,8 @@ fn main() {
 
     // (d) LED drift windows.
     println!("\n--- (d) LED stream: drift + top responsible LEDs per window ---");
-    let windows = led_windows(&LedConfig {
-        n_windows: 20,
-        rows_per_window: 1000 * s,
-        ..Default::default()
-    });
+    let windows =
+        led_windows(&LedConfig { n_windows: 20, rows_per_window: 1000 * s, ..Default::default() });
     let train = &windows[0];
     let profile = synthesize(train, &SynthOptions::default()).expect("synthesis");
     println!(
@@ -67,18 +64,12 @@ fn main() {
             .collect();
         let phase = w / 5;
         let scheduled = malfunction_schedule(phase);
-        let sched_str = if scheduled.is_empty() {
-            "none".to_owned()
-        } else {
-            format!("{scheduled:?}")
-        };
+        let sched_str =
+            if scheduled.is_empty() { "none".to_owned() } else { format!("{scheduled:?}") };
         if !scheduled.is_empty() && v > 0.01 {
             drift_windows += 1;
             // Did the top responsible LEDs include a scheduled one?
-            if top
-                .iter()
-                .any(|t| scheduled.iter().any(|l| t == &format!("led{l}")))
-            {
+            if top.iter().any(|t| scheduled.iter().any(|l| t == &format!("led{l}"))) {
                 schedule_hits += 1;
             }
         }

@@ -7,16 +7,13 @@
 
 use cc_bench::{banner, scale};
 use cc_datagen::{airlines, AirlinesConfig, FlightKind};
-use cc_models::{mae, LinearRegression};
 use cc_frame::DataFrame;
+use cc_models::{mae, LinearRegression};
 use conformance::{dataset_drift, synthesize, DriftAggregator, SynthOptions};
 
 fn regression_io(df: &DataFrame) -> (Vec<Vec<f64>>, Vec<f64>) {
-    let covariates: Vec<&str> = df
-        .numeric_names()
-        .into_iter()
-        .filter(|n| *n != "arrival_delay")
-        .collect();
+    let covariates: Vec<&str> =
+        df.numeric_names().into_iter().filter(|n| *n != "arrival_delay").collect();
     (
         df.numeric_rows(&covariates).expect("columns exist"),
         df.numeric("arrival_delay").expect("target exists").to_vec(),
@@ -26,8 +23,7 @@ fn regression_io(df: &DataFrame) -> (Vec<Vec<f64>>, Vec<f64>) {
 fn main() {
     banner("Fig 4", "TML on airlines: violation is a proxy for regression error");
     let s = scale();
-    let train =
-        airlines(&AirlinesConfig { rows: 40_000 * s, kind: FlightKind::Daytime, seed: 41 });
+    let train = airlines(&AirlinesConfig { rows: 40_000 * s, kind: FlightKind::Daytime, seed: 41 });
     let splits: Vec<(&str, DataFrame)> = vec![
         ("Train", train.clone()),
         (
@@ -36,11 +32,7 @@ fn main() {
         ),
         (
             "Overnight",
-            airlines(&AirlinesConfig {
-                rows: 8_000 * s,
-                kind: FlightKind::Overnight,
-                seed: 43,
-            }),
+            airlines(&AirlinesConfig { rows: 8_000 * s, kind: FlightKind::Overnight, seed: 43 }),
         ),
         (
             "Mixed",
@@ -49,10 +41,7 @@ fn main() {
     ];
 
     // Constraints learned on Train, excluding the target attribute `delay`.
-    let opts = SynthOptions {
-        drop_attributes: vec!["arrival_delay".into()],
-        ..Default::default()
-    };
+    let opts = SynthOptions { drop_attributes: vec!["arrival_delay".into()], ..Default::default() };
     let t0 = std::time::Instant::now();
     let profile = synthesize(&train, &opts).expect("synthesis succeeds");
     let synth_ms = t0.elapsed().as_millis();
@@ -69,8 +58,7 @@ fn main() {
     let mut violations = Vec::new();
     let mut maes = Vec::new();
     for (_, df) in &splits {
-        violations
-            .push(100.0 * dataset_drift(&profile, df, DriftAggregator::Mean).expect("eval"));
+        violations.push(100.0 * dataset_drift(&profile, df, DriftAggregator::Mean).expect("eval"));
         let (x, y) = regression_io(df);
         maes.push(mae(&model.predict_all(&x), &y));
     }

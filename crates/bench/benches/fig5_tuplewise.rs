@@ -15,11 +15,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn regression_io(df: &DataFrame) -> (Vec<Vec<f64>>, Vec<f64>) {
-    let covariates: Vec<&str> = df
-        .numeric_names()
-        .into_iter()
-        .filter(|n| *n != "arrival_delay")
-        .collect();
+    let covariates: Vec<&str> =
+        df.numeric_names().into_iter().filter(|n| *n != "arrival_delay").collect();
     (
         df.numeric_rows(&covariates).expect("columns exist"),
         df.numeric("arrival_delay").expect("target exists").to_vec(),
@@ -29,15 +26,11 @@ fn regression_io(df: &DataFrame) -> (Vec<Vec<f64>>, Vec<f64>) {
 fn main() {
     banner("Fig 5", "violation vs per-tuple absolute regression error (Mixed)");
     let s = scale();
-    let train =
-        airlines(&AirlinesConfig { rows: 30_000 * s, kind: FlightKind::Daytime, seed: 51 });
+    let train = airlines(&AirlinesConfig { rows: 30_000 * s, kind: FlightKind::Daytime, seed: 51 });
     let mixed =
         airlines(&AirlinesConfig { rows: 10_000 * s, kind: FlightKind::Mixed(30), seed: 52 });
 
-    let opts = SynthOptions {
-        drop_attributes: vec!["arrival_delay".into()],
-        ..Default::default()
-    };
+    let opts = SynthOptions { drop_attributes: vec!["arrival_delay".into()], ..Default::default() };
     let profile = synthesize(&train, &opts).expect("synthesis succeeds");
     let (x_train, y_train) = regression_io(&train);
     let model = LinearRegression::fit(&x_train, &y_train, 1e-6).expect("fit succeeds");
@@ -58,8 +51,7 @@ fn main() {
     for d in 0..10 {
         let lo = d * order.len() / 10;
         let hi = (d + 1) * order.len() / 10;
-        let mv: f64 =
-            order[lo..hi].iter().map(|&i| violations[i]).sum::<f64>() / (hi - lo) as f64;
+        let mv: f64 = order[lo..hi].iter().map(|&i| violations[i]).sum::<f64>() / (hi - lo) as f64;
         let me: f64 = order[lo..hi].iter().map(|&i| errors[i]).sum::<f64>() / (hi - lo) as f64;
         println!("{:>7} {mv:>15.4} {me:>18.2}", d + 1);
     }
@@ -77,16 +69,8 @@ fn main() {
     // False positives/negatives at the paper's qualitative thresholds.
     let med_err = cc_stats::quantile(&errors, 0.5);
     let high_err = 3.0 * med_err;
-    let fp = violations
-        .iter()
-        .zip(&errors)
-        .filter(|(v, e)| **v > 0.5 && **e < high_err)
-        .count();
-    let fnn = violations
-        .iter()
-        .zip(&errors)
-        .filter(|(v, e)| **v < 0.1 && **e > high_err)
-        .count();
+    let fp = violations.iter().zip(&errors).filter(|(v, e)| **v > 0.5 && **e < high_err).count();
+    let fnn = violations.iter().zip(&errors).filter(|(v, e)| **v < 0.1 && **e > high_err).count();
     println!("high-violation tuples with LOW error (false positives): {fp}");
     println!("low-violation tuples with HIGH error (false negatives): {fnn}");
     println!(

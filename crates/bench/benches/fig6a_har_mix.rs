@@ -5,8 +5,8 @@
 use cc_bench::{all_numeric_rows, banner, filter_categorical, scale};
 use cc_datagen::{har, HarConfig, MOBILE_ACTIVITIES, SEDENTARY_ACTIVITIES};
 use cc_frame::DataFrame;
-use cc_models::logreg::{LogRegOptions, LogisticRegression};
 use cc_models::accuracy;
+use cc_models::logreg::{LogRegOptions, LogisticRegression};
 use cc_stats::pcc;
 use conformance::{dataset_drift, synthesize, DriftAggregator, SynthOptions};
 
@@ -26,11 +26,7 @@ fn main() {
     let mut mean_drop = vec![0.0; 9];
 
     for rep in 0..repeats {
-        let df = har(&HarConfig {
-            persons,
-            samples_per_pair: 60,
-            seed: 600 + rep as u64,
-        });
+        let df = har(&HarConfig { persons, samples_per_pair: 60, seed: 600 + rep as u64 });
         let sedentary = filter_categorical(&df, "activity", &SEDENTARY_ACTIVITIES);
         let mobile = filter_categorical(&df, "activity", &MOBILE_ACTIVITIES);
         let half = sedentary.n_rows() / 2;

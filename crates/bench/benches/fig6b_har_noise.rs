@@ -7,8 +7,8 @@
 use cc_bench::{all_numeric_rows, banner, filter_categorical, scale};
 use cc_datagen::{har, HarConfig, MOBILE_ACTIVITIES, SEDENTARY_ACTIVITIES};
 use cc_frame::DataFrame;
-use cc_models::logreg::{LogRegOptions, LogisticRegression};
 use cc_models::accuracy;
+use cc_models::logreg::{LogRegOptions, LogisticRegression};
 use cc_stats::pcc;
 use conformance::{dataset_drift, synthesize, DriftAggregator, SynthOptions};
 
@@ -42,8 +42,7 @@ fn main() {
                 .vstack(&noise_pool.take(&(0..n_noise).collect::<Vec<_>>()))
                 .expect("same schema");
 
-            let opts =
-                SynthOptions { partition_attributes: Some(vec![]), ..Default::default() };
+            let opts = SynthOptions { partition_attributes: Some(vec![]), ..Default::default() };
             let profile = synthesize(&train, &opts).expect("synthesis succeeds");
             let model = LogisticRegression::fit(
                 &all_numeric_rows(&train),
@@ -53,14 +52,10 @@ fn main() {
             )
             .expect("classifier trains");
 
-            let base_acc = accuracy(
-                &model.predict_all(&all_numeric_rows(&train)),
-                &person_labels(&train),
-            );
-            let acc = accuracy(
-                &model.predict_all(&all_numeric_rows(&serve)),
-                &person_labels(&serve),
-            );
+            let base_acc =
+                accuracy(&model.predict_all(&all_numeric_rows(&train)), &person_labels(&train));
+            let acc =
+                accuracy(&model.predict_all(&all_numeric_rows(&serve)), &person_labels(&serve));
             let v = dataset_drift(&profile, &serve, DriftAggregator::Mean).expect("eval");
             mean_viol[i] += v / repeats as f64;
             mean_drop[i] += (base_acc - acc) / repeats as f64;

@@ -47,9 +47,8 @@ fn main() {
         let wpca = WPca::fit(&initial).expect("wpca fit");
         for (i, &k) in ks.iter().enumerate() {
             let drifted = snapshot(&df, persons, k);
-            cc_mean[i] +=
-                dataset_drift(&profile, &drifted, DriftAggregator::Mean).expect("eval")
-                    / repeats as f64;
+            cc_mean[i] += dataset_drift(&profile, &drifted, DriftAggregator::Mean).expect("eval")
+                / repeats as f64;
             wp_mean[i] += wpca.drift(&drifted).expect("eval") / repeats as f64;
         }
     }

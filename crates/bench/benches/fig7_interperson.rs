@@ -79,6 +79,9 @@ fn main() {
     // ground truth" remark).
     let mut latent_d = Vec::new();
     let mut drift_d = Vec::new();
+    // Indices double as person ids for `person_latents`; an iterator-based
+    // form would obscure the (p, q) pairing.
+    #[allow(clippy::needless_range_loop)]
     for p in 0..persons {
         for q in 0..persons {
             if p == q {

@@ -88,9 +88,7 @@ fn main() {
     // Fig-8 CC curves show the same lag.
     println!(
         "paper shape check: CCSynth mean pcc highest and > 0.85 … {}",
-        if pcc_sums[0] >= pcc_sums[1].max(pcc_sums[2]).max(pcc_sums[3])
-            && pcc_sums[0] / n > 0.85
-        {
+        if pcc_sums[0] >= pcc_sums[1].max(pcc_sums[2]).max(pcc_sums[3]) && pcc_sums[0] / n > 0.85 {
             "OK"
         } else {
             "MISMATCH"

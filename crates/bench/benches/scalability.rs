@@ -1,14 +1,20 @@
-//! §6 "Efficiency" + §4.3 complexity claims, as Criterion benchmarks:
+//! §6 "Efficiency" + §4.3 complexity claims, as a plain timing harness
+//! (`cargo bench -p cc_bench --bench scalability`):
 //!
 //! * synthesis time is **linear in the number of rows** (sweep n);
 //! * synthesis time is dominated by an O(m³) eigensolve plus O(n·m²)
 //!   accumulation (sweep m);
-//! * the Gram matrix parallelizes (serial vs crossbeam-parallel).
+//! * the Gram matrix parallelizes (serial vs std::thread-parallel).
+//!
+//! No external benchmark framework: the offline build has no criterion, so
+//! each case reports the median of a few wall-clock repetitions.
 
+use cc_bench::banner;
 use cc_linalg::gram::gram_parallel;
 use cc_linalg::Gram;
 use conformance::{synthesize_simple, SynthOptions};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
 
 /// Deterministic synthetic rows with mild cross-attribute structure.
 fn rows(n: usize, m: usize) -> Vec<Vec<f64>> {
@@ -28,60 +34,67 @@ fn attrs(m: usize) -> Vec<String> {
     (0..m).map(|j| format!("a{j}")).collect()
 }
 
-fn bench_rows_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("synthesis_vs_rows");
+/// Median wall-clock seconds of `reps` runs of `f`.
+fn time_median<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn bench_rows_scaling() {
+    banner("scalability/rows", "synthesis time vs row count (m = 12)");
     let m = 12;
     let names = attrs(m);
     for n in [2_000usize, 8_000, 32_000] {
         let data = rows(n, m);
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
-            b.iter(|| synthesize_simple(data, &names, &SynthOptions::default()).unwrap())
-        });
+        let secs =
+            time_median(5, || synthesize_simple(&data, &names, &SynthOptions::default()).unwrap());
+        println!("n = {n:>6}: {:8.2} ms  ({:.1} Melem/s)", secs * 1e3, n as f64 / secs / 1e6);
     }
-    g.finish();
 }
 
-fn bench_attr_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("synthesis_vs_attributes");
+fn bench_attr_scaling() {
+    banner("scalability/attrs", "synthesis time vs attribute count (n = 5000)");
     let n = 5_000;
     for m in [4usize, 8, 16, 32] {
         let data = rows(n, m);
         let names = attrs(m);
-        g.bench_with_input(BenchmarkId::from_parameter(m), &data, |b, data| {
-            b.iter(|| synthesize_simple(data, &names, &SynthOptions::default()).unwrap())
-        });
+        let secs =
+            time_median(5, || synthesize_simple(&data, &names, &SynthOptions::default()).unwrap());
+        println!("m = {m:>3}: {:8.2} ms", secs * 1e3);
     }
-    g.finish();
 }
 
-fn bench_gram_parallel(c: &mut Criterion) {
-    let mut g = c.benchmark_group("gram_matrix");
+fn bench_gram_parallel() {
+    banner("scalability/gram", "Gram accumulation: serial vs parallel (40k × 24)");
     let m = 24;
     let data = rows(40_000, m);
-    g.throughput(Throughput::Elements(data.len() as u64));
-    g.bench_function("serial_streaming", |b| {
-        b.iter(|| {
-            let mut acc = Gram::new(m);
-            for r in &data {
-                acc.update(r);
-            }
-            acc.finish()
-        })
+    let serial = time_median(5, || {
+        let mut acc = Gram::new(m);
+        for r in &data {
+            acc.update(r);
+        }
+        acc.finish()
     });
+    println!("serial streaming: {:8.2} ms", serial * 1e3);
     for threads in [2usize, 4, 8] {
-        g.bench_with_input(
-            BenchmarkId::new("parallel", threads),
-            &threads,
-            |b, &threads| b.iter(|| gram_parallel(&data, m, threads)),
+        let secs = time_median(5, || gram_parallel(&data, m, threads));
+        println!(
+            "parallel ×{threads}:      {:8.2} ms  (speedup {:.2}×)",
+            secs * 1e3,
+            serial / secs
         );
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_rows_scaling, bench_attr_scaling, bench_gram_parallel
+fn main() {
+    bench_rows_scaling();
+    bench_attr_scaling();
+    bench_gram_parallel();
 }
-criterion_main!(benches);

@@ -1,0 +1,158 @@
+//! Sequential vs sharded synthesis on a large synthetic frame.
+//!
+//! ```text
+//! cargo run --release -p cc_bench --bin bench_synth [rows] [shard counts...]
+//! ```
+//!
+//! Times `conformance::synthesize` against `synthesize_parallel` on a
+//! 1M-row (default) frame with hidden linear invariants and a partitioning
+//! categorical, checks the sharded profiles against the sequential one
+//! (the engine guarantees bit-identity), and writes the measurements to
+//! `BENCH_synth.json` for the performance trajectory.
+
+use cc_frame::DataFrame;
+use conformance::{synthesize, synthesize_parallel, ConformanceProfile, SynthOptions};
+use serde_json::Value;
+use std::time::Instant;
+
+/// Deterministic frame: 8 numeric channels (two exact invariants, mild
+/// noise elsewhere) plus a 4-value categorical regime column.
+fn build_frame(n: usize) -> DataFrame {
+    let mut cols: Vec<Vec<f64>> = (0..8).map(|_| Vec::with_capacity(n)).collect();
+    let mut regime = Vec::with_capacity(n);
+    const REGIMES: [&str; 4] = ["north", "south", "east", "west"];
+    for i in 0..n {
+        let t = i as f64 * 0.001;
+        let noise = (((i * 2654435761) % 1000) as f64 / 500.0) - 1.0;
+        let r = i % 4;
+        let slope = 1.0 + r as f64;
+        let a = t.sin() * 40.0 + noise;
+        let b = (t * 0.37).cos() * 25.0;
+        cols[0].push(a);
+        cols[1].push(b);
+        cols[2].push(a + 2.0 * b + 1.0); // exact invariant
+        cols[3].push(slope * a - b); // per-regime invariant
+        cols[4].push(noise * 10.0);
+        cols[5].push(t % 97.0);
+        cols[6].push((a - b) * 0.5 + noise);
+        cols[7].push(3.0 * t - 2.0 * noise);
+        regime.push(REGIMES[r]);
+    }
+    let mut df = DataFrame::new();
+    for (j, col) in cols.into_iter().enumerate() {
+        df.push_numeric(format!("c{j}"), col).expect("fresh column");
+    }
+    df.push_categorical("regime", &regime).expect("fresh column");
+    df
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    xs[xs.len() / 2]
+}
+
+/// Largest |Δ| across all projection coefficients and bounds of two
+/// profiles (0.0 expected: the engine is bit-deterministic across shards).
+fn max_profile_delta(a: &ConformanceProfile, b: &ConformanceProfile) -> f64 {
+    let mut worst: f64 = 0.0;
+    let collect = |p: &ConformanceProfile| {
+        let mut cs = Vec::new();
+        if let Some(g) = &p.global {
+            cs.extend(g.conjuncts.clone());
+        }
+        for d in &p.disjunctive {
+            for (_, c) in &d.cases {
+                cs.extend(c.conjuncts.clone());
+            }
+        }
+        cs
+    };
+    let (ca, cb) = (collect(a), collect(b));
+    assert_eq!(ca.len(), cb.len(), "profile shapes differ");
+    for (x, y) in ca.iter().zip(&cb) {
+        for (wa, wb) in x.projection.coefficients.iter().zip(&y.projection.coefficients) {
+            worst = worst.max((wa - wb).abs());
+        }
+        worst = worst.max((x.lb - y.lb).abs()).max((x.ub - y.ub).abs());
+    }
+    worst
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let rows: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1_000_000);
+    let shard_counts: Vec<usize> = {
+        let explicit: Vec<usize> = args.filter_map(|s| s.parse().ok()).collect();
+        if explicit.is_empty() {
+            vec![2, 4, 8]
+        } else {
+            explicit
+        }
+    };
+    let reps = 3;
+    let opts = SynthOptions::default();
+
+    println!("building {rows}-row frame…");
+    let t0 = Instant::now();
+    let df = build_frame(rows);
+    println!("built in {:.2}s", t0.elapsed().as_secs_f64());
+
+    let sequential_s = median(
+        (0..reps)
+            .map(|_| {
+                let t = Instant::now();
+                let _ = synthesize(&df, &opts).expect("synthesis");
+                t.elapsed().as_secs_f64()
+            })
+            .collect(),
+    );
+    let baseline = synthesize(&df, &opts).expect("synthesis");
+    println!(
+        "sequential: {:.3}s  ({:.2} Mrows/s, {} constraints)",
+        sequential_s,
+        rows as f64 / sequential_s / 1e6,
+        baseline.constraint_count()
+    );
+
+    let mut shard_results = Vec::new();
+    for &shards in &shard_counts {
+        let secs = median(
+            (0..reps)
+                .map(|_| {
+                    let t = Instant::now();
+                    let _ = synthesize_parallel(&df, &opts, shards).expect("synthesis");
+                    t.elapsed().as_secs_f64()
+                })
+                .collect(),
+        );
+        let profile = synthesize_parallel(&df, &opts, shards).expect("synthesis");
+        let delta = max_profile_delta(&baseline, &profile);
+        assert!(delta <= 1e-9, "sharded profile diverged: {delta}");
+        println!(
+            "{shards:>2} shards:  {:.3}s  (speedup {:.2}×, max |Δ| = {delta:.1e})",
+            secs,
+            sequential_s / secs
+        );
+        shard_results.push(Value::Object(vec![
+            ("shards".into(), Value::Number(shards as f64)),
+            ("seconds".into(), Value::Number(secs)),
+            ("speedup".into(), Value::Number(sequential_s / secs)),
+            ("max_abs_delta".into(), Value::Number(delta)),
+        ]));
+    }
+
+    let report = Value::Object(vec![
+        ("benchmark".into(), Value::String("synth_sequential_vs_sharded".into())),
+        ("rows".into(), Value::Number(rows as f64)),
+        ("numeric_attributes".into(), Value::Number(8.0)),
+        ("partition_values".into(), Value::Number(4.0)),
+        ("repetitions".into(), Value::Number(reps as f64)),
+        ("constraints".into(), Value::Number(baseline.constraint_count() as f64)),
+        ("sequential_seconds".into(), Value::Number(sequential_s)),
+        ("sharded".into(), Value::Array(shard_results)),
+    ]);
+    let path = "BENCH_synth.json";
+    std::fs::write(path, serde_json::to_string_pretty(&report).expect("serialize"))
+        .expect("write BENCH_synth.json");
+    println!("wrote {path}");
+}

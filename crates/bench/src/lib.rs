@@ -29,10 +29,8 @@ pub fn banner(id: &str, title: &str) {
 /// Formats a normalized series as a compact sparkline-ish row.
 pub fn series_row(label: &str, series: &[f64]) -> String {
     const GLYPHS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
-    let cells: String = series
-        .iter()
-        .map(|&v| GLYPHS[((v.clamp(0.0, 1.0)) * 8.0).round() as usize])
-        .collect();
+    let cells: String =
+        series.iter().map(|&v| GLYPHS[((v.clamp(0.0, 1.0)) * 8.0).round() as usize]).collect();
     let nums: Vec<String> = series.iter().map(|v| format!("{v:.2}")).collect();
     format!("{label:<10} |{cells}|  [{}]", nums.join(", "))
 }

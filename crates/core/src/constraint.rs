@@ -289,18 +289,16 @@ impl ConformanceProfile {
         Ok(true)
     }
 
-    /// Violations for every row of a dataframe (resolving attributes by
-    /// name).
-    ///
-    /// # Errors
-    /// Fails when the frame lacks any attribute the profile needs.
-    pub fn violations(&self, df: &DataFrame) -> Result<Vec<f64>, ProfileError> {
+    /// Resolves the numeric and categorical columns this profile evaluates
+    /// against, by name.
+    fn evaluation_columns<'a>(
+        &'a self,
+        df: &'a DataFrame,
+    ) -> Result<(Vec<&'a [f64]>, CatColumns<'a>), ProfileError> {
         let numeric_cols: Vec<&[f64]> = self
             .numeric_attributes
             .iter()
-            .map(|a| {
-                df.numeric(a).map_err(|_| ProfileError::MissingNumeric(a.clone()))
-            })
+            .map(|a| df.numeric(a).map_err(|_| ProfileError::MissingNumeric(a.clone())))
             .collect::<Result<_, _>>()?;
         let cat_cols: CatColumns = self
             .disjunctive
@@ -311,19 +309,79 @@ impl ConformanceProfile {
                     .map_err(|_| ProfileError::MissingCategorical(d.attribute.clone()))
             })
             .collect::<Result<_, _>>()?;
+        Ok((numeric_cols, cat_cols))
+    }
 
-        let n = df.n_rows();
-        let mut out = Vec::with_capacity(n);
+    /// Violations for the row range `rows` given pre-resolved columns.
+    fn violations_range(
+        &self,
+        numeric_cols: &[&[f64]],
+        cat_cols: &CatColumns<'_>,
+        rows: std::ops::Range<usize>,
+    ) -> Result<Vec<f64>, ProfileError> {
+        let mut out = Vec::with_capacity(rows.len());
         let mut tuple = vec![0.0; numeric_cols.len()];
-        for i in 0..n {
-            for (slot, col) in tuple.iter_mut().zip(&numeric_cols) {
+        let mut cats: Vec<(&str, &str)> = Vec::with_capacity(cat_cols.len());
+        for i in rows {
+            for (slot, col) in tuple.iter_mut().zip(numeric_cols) {
                 *slot = col[i];
             }
-            let cats: Vec<(&str, &str)> = cat_cols
-                .iter()
-                .map(|(name, (codes, dict))| (*name, dict[codes[i] as usize].as_str()))
-                .collect();
+            cats.clear();
+            cats.extend(
+                cat_cols
+                    .iter()
+                    .map(|(name, (codes, dict))| (*name, dict[codes[i] as usize].as_str())),
+            );
             out.push(self.violation(&tuple, &cats)?);
+        }
+        Ok(out)
+    }
+
+    /// Violations for every row of a dataframe (resolving attributes by
+    /// name).
+    ///
+    /// # Errors
+    /// Fails when the frame lacks any attribute the profile needs.
+    pub fn violations(&self, df: &DataFrame) -> Result<Vec<f64>, ProfileError> {
+        let (numeric_cols, cat_cols) = self.evaluation_columns(df)?;
+        self.violations_range(&numeric_cols, &cat_cols, 0..df.n_rows())
+    }
+
+    /// [`Self::violations`] with the rows split over `n_threads` scoped
+    /// threads. Row-level violations are independent, so the result is
+    /// identical to the sequential path for every thread count.
+    ///
+    /// # Errors
+    /// Fails when the frame lacks any attribute the profile needs.
+    ///
+    /// # Panics
+    /// Panics when `n_threads` is zero.
+    pub fn violations_parallel(
+        &self,
+        df: &DataFrame,
+        n_threads: usize,
+    ) -> Result<Vec<f64>, ProfileError> {
+        assert!(n_threads > 0, "violations_parallel: need at least one thread");
+        let n = df.n_rows();
+        if n_threads == 1 || n < 2 * n_threads {
+            return self.violations(df);
+        }
+        let (numeric_cols, cat_cols) = self.evaluation_columns(df)?;
+        let chunk = n.div_ceil(n_threads);
+        let parts: Vec<Result<Vec<f64>, ProfileError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .step_by(chunk)
+                .map(|start| {
+                    let range = start..(start + chunk).min(n);
+                    let (numeric_cols, cat_cols) = (&numeric_cols, &cat_cols);
+                    scope.spawn(move || self.violations_range(numeric_cols, cat_cols, range))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("violation worker panicked")).collect()
+        });
+        let mut out = Vec::with_capacity(n);
+        for part in parts {
+            out.extend(part?);
         }
         Ok(out)
     }
@@ -479,10 +537,7 @@ mod tests {
         let v = profile.violation(&[0.5], &[("g", "zzz")]).unwrap();
         assert!((v - 0.5).abs() < 1e-12);
         // Missing categorical attribute is an error.
-        assert!(matches!(
-            profile.violation(&[0.5], &[]),
-            Err(ProfileError::MissingCategorical(_))
-        ));
+        assert!(matches!(profile.violation(&[0.5], &[]), Err(ProfileError::MissingCategorical(_))));
         assert_eq!(profile.constraint_count(), 2);
     }
 
@@ -503,10 +558,7 @@ mod tests {
         assert!(profile.mean_violation(&df).unwrap() > 0.4);
         // Missing column error.
         let bad = df.drop_column("a1").unwrap();
-        assert!(matches!(
-            profile.violations(&bad),
-            Err(ProfileError::MissingNumeric(_))
-        ));
+        assert!(matches!(profile.violations(&bad), Err(ProfileError::MissingNumeric(_))));
     }
 
     #[test]

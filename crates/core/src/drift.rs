@@ -27,9 +27,7 @@ impl DriftAggregator {
             return 0.0;
         }
         match self {
-            DriftAggregator::Mean => {
-                violations.iter().sum::<f64>() / violations.len() as f64
-            }
+            DriftAggregator::Mean => violations.iter().sum::<f64>() / violations.len() as f64,
             DriftAggregator::Max => violations.iter().fold(0.0f64, |m, &v| m.max(v)),
             DriftAggregator::Quantile(p) => cc_stats::quantile(violations, *p),
         }
@@ -47,6 +45,23 @@ pub fn dataset_drift(
     aggregator: DriftAggregator,
 ) -> Result<f64, ProfileError> {
     let violations = profile.violations(serving)?;
+    Ok(aggregator.aggregate(&violations))
+}
+
+/// [`dataset_drift`] with violation evaluation sharded over `n_threads`
+/// scoped threads — the serving-side counterpart of
+/// [`crate::synthesize_parallel`] for monitoring large windows. Identical
+/// result for every thread count.
+///
+/// # Errors
+/// Fails when the serving frame lacks attributes the profile needs.
+pub fn dataset_drift_parallel(
+    profile: &ConformanceProfile,
+    serving: &DataFrame,
+    aggregator: DriftAggregator,
+    n_threads: usize,
+) -> Result<f64, ProfileError> {
+    let violations = profile.violations_parallel(serving, n_threads)?;
     Ok(aggregator.aggregate(&violations))
 }
 
@@ -189,11 +204,23 @@ mod tests {
     }
 
     #[test]
+    fn parallel_drift_identical_to_sequential() {
+        let train = line_frame(2.0, 1.0, 500);
+        let profile = synthesize(&train, &SynthOptions::default()).unwrap();
+        let serve = line_frame(2.3, 1.0, 333);
+        let seq = dataset_drift(&profile, &serve, DriftAggregator::Mean).unwrap();
+        for threads in [1, 2, 3, 8] {
+            let par =
+                dataset_drift_parallel(&profile, &serve, DriftAggregator::Mean, threads).unwrap();
+            assert_eq!(seq.to_bits(), par.to_bits(), "threads = {threads}");
+        }
+    }
+
+    #[test]
     fn drift_series_shape() {
         let train = line_frame(2.0, 1.0, 300);
         let profile = synthesize(&train, &SynthOptions::default()).unwrap();
-        let windows: Vec<DataFrame> =
-            (0..4).map(|k| line_frame(2.0 + k as f64, 1.0, 50)).collect();
+        let windows: Vec<DataFrame> = (0..4).map(|k| line_frame(2.0 + k as f64, 1.0, 50)).collect();
         let series = drift_series(&profile, &windows, DriftAggregator::Mean).unwrap();
         assert_eq!(series.len(), 4);
         assert!(series[0] < 1e-6);

@@ -1,0 +1,282 @@
+//! The unified sufficient-statistics synthesis engine.
+//!
+//! Every synthesis path in this crate — batch ([`crate::synthesize`]),
+//! sharded-parallel ([`crate::synthesize_parallel`]), and streaming
+//! ([`crate::StreamingSynthesizer`]) — reduces to the same three steps:
+//!
+//! 1. accumulate one [`SufficientStats`] for the whole dataset plus one
+//!    per `(partition attribute, value)` pair, in fixed-size row blocks
+//!    ([`BLOCK_ROWS`]) merged in block order;
+//! 2. eigendecompose each accumulator's augmented Gram matrix
+//!    (Algorithm 1, lines 2–3);
+//! 3. derive every projection's μ/σ/bounds analytically from the same
+//!    statistics (§4.3.2 — no second pass over the data).
+//!
+//! Because step 1 is a deterministic fold over deterministic per-block
+//! partials, all three paths produce **bit-identical** profiles for the
+//! same data, and an N-shard run is exactly the sequential run with the
+//! block computations executed concurrently.
+
+use crate::constraint::{
+    BoundedConstraint, ConformanceProfile, DisjunctiveConstraint, SimpleConstraint,
+};
+use crate::projection::Projection;
+use crate::synth::{SynthError, SynthOptions};
+use cc_frame::NumericView;
+use cc_linalg::{SufficientStats, BLOCK_ROWS};
+use std::ops::Range;
+
+/// Accumulated statistics for one partitioning (categorical) attribute:
+/// one [`SufficientStats`] per dictionary code.
+#[derive(Clone, Debug)]
+pub(crate) struct PartitionStats {
+    /// The switching attribute.
+    pub attribute: String,
+    /// Value labels, indexed by code.
+    pub labels: Vec<String>,
+    /// Per-code statistics, aligned with `labels`.
+    pub stats: Vec<SufficientStats>,
+}
+
+impl PartitionStats {
+    fn new(attribute: String, labels: Vec<String>, dim: usize) -> Self {
+        let stats = labels.iter().map(|_| SufficientStats::new(dim)).collect();
+        PartitionStats { attribute, labels, stats }
+    }
+
+    /// Code for `label`, appending a fresh accumulator for labels not seen
+    /// before (linear scan — callers on per-tuple hot paths should keep
+    /// their own label index and only call this on misses).
+    pub(crate) fn code_for(&mut self, label: &str, dim: usize) -> usize {
+        match self.labels.iter().position(|l| l == label) {
+            Some(c) => c,
+            None => {
+                self.labels.push(label.to_owned());
+                self.stats.push(SufficientStats::new(dim));
+                self.labels.len() - 1
+            }
+        }
+    }
+}
+
+/// The engine's accumulated state: global + per-partition statistics over
+/// a fixed numeric-attribute list.
+#[derive(Clone, Debug)]
+pub(crate) struct EngineState {
+    /// Numeric attribute names (tuple order).
+    pub attrs: Vec<String>,
+    /// Whole-dataset statistics.
+    pub global: SufficientStats,
+    /// One entry per partitioning attribute.
+    pub partitions: Vec<PartitionStats>,
+}
+
+impl EngineState {
+    pub(crate) fn with_partitions(
+        attrs: Vec<String>,
+        partitions: Vec<(String, Vec<String>)>,
+    ) -> Self {
+        let dim = attrs.len();
+        let partitions = partitions
+            .into_iter()
+            .map(|(attribute, labels)| PartitionStats::new(attribute, labels, dim))
+            .collect();
+        EngineState { attrs, global: SufficientStats::new(dim), partitions }
+    }
+
+    /// Merges a block's partials in the canonical order: global first, then
+    /// each partition's codes ascending. Every path MUST fold blocks
+    /// through this method (and only in block order) to preserve the
+    /// bit-determinism contract.
+    pub(crate) fn absorb_block(&mut self, block: &EngineState) {
+        self.global.merge(&block.global);
+        for (mine, theirs) in self.partitions.iter_mut().zip(&block.partitions) {
+            debug_assert_eq!(mine.attribute, theirs.attribute);
+            for (m, t) in mine.stats.iter_mut().zip(&theirs.stats) {
+                m.merge(t);
+            }
+        }
+    }
+
+    /// Merges a peer accumulator value-by-value (used by
+    /// `StreamingSynthesizer::merge`, where the peer's label dictionary may
+    /// differ). Unlike [`Self::absorb_block`] this aligns partitions by
+    /// label, appending labels this side has not seen.
+    pub(crate) fn absorb_unaligned(&mut self, other: &EngineState) {
+        assert_eq!(self.attrs, other.attrs, "merge: attribute mismatch");
+        assert_eq!(
+            self.partitions.len(),
+            other.partitions.len(),
+            "merge: partition-attribute mismatch"
+        );
+        self.global.merge(&other.global);
+        let dim = self.attrs.len();
+        for (mine, theirs) in self.partitions.iter_mut().zip(&other.partitions) {
+            assert_eq!(mine.attribute, theirs.attribute, "merge: partition-attribute mismatch");
+            for (label, stats) in theirs.labels.iter().zip(&theirs.stats) {
+                let code = mine.code_for(label, dim);
+                mine.stats[code].merge(stats);
+            }
+        }
+    }
+
+    /// Finishes the pass: eigendecomposes every accumulator and assembles
+    /// the conformance profile.
+    pub(crate) fn finish(
+        &self,
+        opts: &SynthOptions,
+        min_partition_rows: usize,
+    ) -> Result<ConformanceProfile, SynthError> {
+        let global = if opts.include_global {
+            Some(simple_from_stats(&self.global, &self.attrs, opts)?)
+        } else {
+            None
+        };
+        let mut disjunctive = Vec::new();
+        for part in &self.partitions {
+            let mut cases = Vec::new();
+            for (label, stats) in part.labels.iter().zip(&part.stats) {
+                if stats.count() < min_partition_rows {
+                    continue;
+                }
+                let constraint = simple_from_stats(stats, &self.attrs, opts)?;
+                if !constraint.is_empty() {
+                    cases.push((label.clone(), constraint));
+                }
+            }
+            if !cases.is_empty() {
+                disjunctive
+                    .push(DisjunctiveConstraint { attribute: part.attribute.clone(), cases });
+            }
+        }
+        Ok(ConformanceProfile { numeric_attributes: self.attrs.clone(), global, disjunctive })
+    }
+}
+
+/// Algorithm 1's constraint derivation, run entirely off sufficient
+/// statistics: eigenvectors from the (reconstructed) augmented Gram
+/// matrix; each kept projection's μ from `wᵀμ`, σ from `wᵀMw/n`, and
+/// σ-floor scale from the attribute ranges — one pass over the data total.
+pub(crate) fn simple_from_stats(
+    stats: &SufficientStats,
+    attributes: &[String],
+    opts: &SynthOptions,
+) -> Result<SimpleConstraint, SynthError> {
+    let m = attributes.len();
+    if m == 0 || stats.is_empty() {
+        return Ok(SimpleConstraint::default());
+    }
+    let dec = stats.eigen()?;
+
+    let mut conjuncts = Vec::with_capacity(m);
+    let mut gammas = Vec::with_capacity(m);
+    for k in 0..dec.len() {
+        let ev = dec.vector(k);
+        // Line 5: drop the constant-column coefficient.
+        let w = &ev[1..];
+        let norm = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm < 1e-9 {
+            // Eigenvector essentially aligned with the constant column:
+            // carries no projection.
+            continue;
+        }
+        let coeffs: Vec<f64> = w.iter().map(|x| x / norm).collect();
+
+        let mean = stats.projection_mean(&coeffs);
+        let std = stats.projection_variance(&coeffs).sqrt();
+        // Zero-variance projections are equality constraints (§5), but an
+        // *exactly* zero-width band amplifies the eigensolver's ~1e-10
+        // relative residuals into spurious violations. Floor σ relative to
+        // the attribute-range proxy Σ|wⱼ|·max|xⱼ|: the constraint stays an
+        // equality for all practical purposes while absorbing numerical
+        // noise. (Deliberate change from the seed's batch path, which
+        // floored on the projection's own value range — that requires the
+        // materialized projection values, which a one-pass engine never
+        // has. The proxy upper-bounds the value range, so equality bands
+        // widen with attribute magnitude: tolerances scale with the data.)
+        let scale = stats.projection_scale(&coeffs).max(1e-6);
+        let floor = (1e-8 * scale).max(opts.sigma_eps);
+        let sigma_eff = std.max(floor);
+        let alpha = (1.0 / sigma_eff).min(opts.alpha_cap);
+        conjuncts.push(BoundedConstraint {
+            projection: Projection::new(attributes.to_vec(), coeffs),
+            lb: mean - opts.c_factor * sigma_eff,
+            ub: mean + opts.c_factor * sigma_eff,
+            mean,
+            std,
+            alpha,
+        });
+        // Line 7: importance factor γ_k = 1 / log(2 + σ).
+        gammas.push(1.0 / (2.0 + std).ln());
+    }
+    Ok(SimpleConstraint::new(conjuncts, gammas))
+}
+
+/// Borrowed per-row inputs of one block computation: the numeric view plus
+/// each partition attribute's code column.
+pub(crate) struct BlockInput<'a> {
+    pub view: &'a NumericView<'a>,
+    /// `(attribute, codes, labels)` per partitioning attribute.
+    pub cats: &'a [(String, &'a [u32], Vec<String>)],
+}
+
+/// Computes one block's partial statistics (rows `range`), independent of
+/// every other block — the unit of parallelism.
+pub(crate) fn compute_block(input: &BlockInput<'_>, range: Range<usize>) -> EngineState {
+    let attrs = Vec::new(); // attribute names are irrelevant inside a block
+    let dim = input.view.dim();
+    let mut state = EngineState {
+        attrs,
+        global: SufficientStats::new(dim),
+        partitions: input
+            .cats
+            .iter()
+            .map(|(attribute, _, labels)| {
+                PartitionStats::new(attribute.clone(), labels.clone(), dim)
+            })
+            .collect(),
+    };
+    let mut buf = vec![0.0; dim];
+    for i in range {
+        input.view.fill_row(i, &mut buf);
+        state.global.update(&buf);
+        for (part, (_, codes, _)) in state.partitions.iter_mut().zip(input.cats) {
+            part.stats[codes[i] as usize].update(&buf);
+        }
+    }
+    state
+}
+
+/// Accumulates all blocks of `input` into `main`, computing blocks with
+/// `n_shards` worker threads (1 = inline) but always folding in block
+/// order, so the result is bit-identical for every shard count.
+pub(crate) fn accumulate_blocks(main: &mut EngineState, input: &BlockInput<'_>, n_shards: usize) {
+    let ranges = input.view.chunks(BLOCK_ROWS);
+    if n_shards <= 1 || ranges.len() <= 1 {
+        for range in ranges {
+            let block = compute_block(input, range);
+            main.absorb_block(&block);
+        }
+        return;
+    }
+    let n_shards = n_shards.min(ranges.len());
+    let mut blocks: Vec<Option<EngineState>> = vec![None; ranges.len()];
+    std::thread::scope(|scope| {
+        let mut slots: &mut [Option<EngineState>] = &mut blocks;
+        // Stripe contiguous runs of blocks across shards; each worker owns
+        // a disjoint slice of the result vector.
+        let per_shard = ranges.len().div_ceil(n_shards);
+        for range_chunk in ranges.chunks(per_shard) {
+            let (mine, rest) = slots.split_at_mut(range_chunk.len());
+            slots = rest;
+            scope.spawn(move || {
+                for (slot, range) in mine.iter_mut().zip(range_chunk) {
+                    *slot = Some(compute_block(input, range.clone()));
+                }
+            });
+        }
+    });
+    for block in blocks {
+        main.absorb_block(&block.expect("all blocks computed"));
+    }
+}

@@ -117,12 +117,7 @@ pub fn mean_responsibility(
     let attrs = &profile.numeric_attributes;
     let train_means: Vec<f64> = attrs
         .iter()
-        .map(|a| {
-            train
-                .numeric(a)
-                .map(mean)
-                .map_err(|_| ProfileError::MissingNumeric(a.clone()))
-        })
+        .map(|a| train.numeric(a).map(mean).map_err(|_| ProfileError::MissingNumeric(a.clone())))
         .collect::<Result<_, _>>()?;
 
     let numeric_cols: Vec<&[f64]> = attrs
@@ -214,10 +209,7 @@ mod tests {
             ["a", "b", "c"].iter().map(|n| mean(train.numeric(n).unwrap())).collect();
         // Break only `c` (a sits at its mean, so fixing `c` alone suffices).
         let r = responsibility(&profile, &means, &[0.0, 0.1, 50.0], &[]).unwrap();
-        assert!(
-            r[2] >= r[0] && r[2] >= r[1],
-            "c should be most responsible: {r:?}"
-        );
+        assert!(r[2] >= r[0] && r[2] >= r[1], "c should be most responsible: {r:?}");
         assert!(r[2] > 0.9, "single-fix attribute gets responsibility 1: {r:?}");
     }
 

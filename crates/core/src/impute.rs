@@ -79,10 +79,7 @@ pub fn impute_all(sc: &SimpleConstraint, tuple: &[f64], rounds: usize) -> Vec<f6
     }
     // Restore NaN where no constraint ever constrained the attribute.
     for &i in &missing {
-        let touched = sc
-            .conjuncts
-            .iter()
-            .any(|c| c.projection.coefficients[i].abs() > 1e-12);
+        let touched = sc.conjuncts.iter().any(|c| c.projection.coefficients[i].abs() > 1e-12);
         if !touched {
             t[i] = f64::NAN;
         }
@@ -146,10 +143,7 @@ mod tests {
         use crate::constraint::BoundedConstraint;
         use crate::projection::Projection;
         let c = BoundedConstraint {
-            projection: Projection::new(
-                vec!["a".into(), "b".into()],
-                vec![1.0, 0.0],
-            ),
+            projection: Projection::new(vec!["a".into(), "b".into()], vec![1.0, 0.0]),
             lb: -1.0,
             ub: 1.0,
             mean: 0.0,

@@ -34,19 +34,45 @@
 //! assert!(bad > 0.7, "off-trend tuple should violate, got {bad}");
 //! ```
 //!
+//! ## The unified sufficient-statistics flow
+//!
+//! Since §4.3.2 everything synthesis needs derives from the augmented Gram
+//! matrix, every synthesis surface in this crate is a thin shell over one
+//! internal engine (`engine`, crate-private) built on
+//! [`cc_linalg::SufficientStats`] — a mergeable accumulator of
+//! `(n, μ, centered co-moments, per-attribute min/max)`:
+//!
+//! ```text
+//!  synthesize ───────────┐        tuples, in fixed row blocks
+//!  synthesize_parallel ──┼──► SufficientStats ──► eigen ──► profile
+//!  StreamingSynthesizer ─┘        (global + one per partition value)
+//! ```
+//!
+//! Accumulation happens in fixed-size row blocks folded in block order, so
+//! the three paths are **bit-identical** on the same data:
+//! [`synthesize_parallel`] only changes which thread computes each block,
+//! and [`StreamingSynthesizer`] replays the same block boundaries one
+//! tuple at a time (compound/partitioned constraints included, via
+//! [`StreamingSynthesizer::with_partitions`]). Serving-side evaluation
+//! shards the same way ([`ConformanceProfile::violations_parallel`],
+//! [`dataset_drift_parallel`]).
+//!
 //! ## Module map
 //!
 //! | Module | Paper section |
 //! |---|---|
 //! | [`projection`] | §3.1 (projections) |
 //! | [`constraint`] | §3.1–3.2 (language + quantitative semantics) |
-//! | [`synth`] | §4.1 (Algorithm 1), §4.2 (compound constraints) |
-//! | [`drift`] | §2, §6.2 (dataset-level drift) |
+//! | [`synth`] | §4.1 (Algorithm 1), §4.2 (compound constraints), §4.3.2 (sharded parallelism) |
+//! | [`streaming`] | §4.3.2 (one-pass / mergeable synthesis) |
+//! | [`drift`] | §2, §6.2 (dataset-level drift, parallel evaluation) |
 //! | [`tml`] | §5 (trusted machine learning, unsafe tuples) |
 //! | [`explain`] | Appendix K (ExTuNe responsibility) |
+//! | [`tree`] | §8 (decision-tree-guided constraints, future work) |
 
 pub mod constraint;
 pub mod drift;
+mod engine;
 pub mod explain;
 pub mod features;
 pub mod impute;
@@ -55,22 +81,24 @@ pub mod sql;
 pub mod streaming;
 pub mod synth;
 pub mod theory;
-pub mod tree;
 pub mod tml;
+pub mod tree;
 
 pub use constraint::{
     BoundedConstraint, ConformanceProfile, DisjunctiveConstraint, ProfileError, SimpleConstraint,
 };
-pub use drift::{dataset_drift, drift_series, DriftAggregator, DriftMonitor};
+pub use drift::{
+    dataset_drift, dataset_drift_parallel, drift_series, DriftAggregator, DriftMonitor,
+};
 pub use explain::{responsibility, Responsibility};
 pub use features::{expand_quadratic, expand_tuple};
 pub use impute::{impute_all, impute_missing};
 pub use projection::Projection;
 pub use sql::profile_to_sql;
 pub use streaming::StreamingSynthesizer;
-pub use synth::{synthesize, synthesize_simple, SynthError, SynthOptions};
-pub use tree::{synthesize_tree, TreeOptions, TreeProfile};
+pub use synth::{synthesize, synthesize_parallel, synthesize_simple, SynthError, SynthOptions};
 pub use tml::{select_model, SafetyEnvelope, SafetyVerdict};
+pub use tree::{synthesize_tree, TreeOptions, TreeProfile};
 
 /// η(z) = 1 − e^(−z): the paper's normalization function mapping
 /// `[0, ∞) → [0, 1)` (§3.2). Monotone, 0 ↦ 0.

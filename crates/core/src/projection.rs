@@ -155,10 +155,7 @@ mod tests {
 
     #[test]
     fn expression_rendering() {
-        let p = Projection::new(
-            vec!["AT".into(), "DT".into(), "DUR".into()],
-            vec![0.7, -0.7, 0.0],
-        );
+        let p = Projection::new(vec!["AT".into(), "DT".into(), "DUR".into()], vec![0.7, -0.7, 0.0]);
         let e = p.expression();
         assert!(e.contains("0.700*AT"));
         assert!(e.contains("- 0.700*DT"));

@@ -73,9 +73,7 @@ pub fn profile_to_sql(profile: &ConformanceProfile, table: &str, precision: usiz
         clauses.push(cases);
     }
     let body = if clauses.is_empty() { "TRUE".to_owned() } else { clauses.join("\n  AND ") };
-    format!(
-        "ALTER TABLE \"{table}\"\nADD CONSTRAINT \"{table}_conformance\" CHECK (\n  {body}\n);"
-    )
+    format!("ALTER TABLE \"{table}\"\nADD CONSTRAINT \"{table}_conformance\" CHECK (\n  {body}\n);")
 }
 
 #[cfg(test)]

@@ -1,157 +1,229 @@
 //! One-pass, bounded-memory synthesis (§4.3.2).
 //!
 //! The paper notes that `XᵀX` can be accumulated one tuple at a time in
-//! O(m²) memory. This module goes one step further: the mean and variance
-//! of **every projection** are recoverable from the very same augmented
-//! Gram matrix, so the entire synthesis — eigenvectors *and* bounds — needs
-//! exactly one pass over the data:
-//!
-//! ```text
-//! G = [1⃗; X]ᵀ[1⃗; X]          (augmented Gram, accumulated streaming)
-//! μ(F) = (Σᵢ F(tᵢ))/n = (w'ᵀ · G[0, 1..])/n          (first Gram row!)
-//! E[F²] = (w'ᵀ · G[1.., 1..] · w')/n
-//! σ²(F) = E[F²] − μ(F)²
-//! ```
-//!
-//! The [`StreamingSynthesizer`] therefore supports true streams (tuples
-//! arriving one at a time, never materialized), can be sharded across
-//! workers and merged (the paper's "embarrassingly parallel" claim), and
-//! produces bitwise-comparable constraints to the in-memory path.
+//! O(m²) memory. This module exposes that as a true streaming surface over
+//! the same sufficient-statistics engine the batch path runs on
+//! ([`crate::engine`]): tuples arrive one at a time (never materialized),
+//! shards can be [`merge`](StreamingSynthesizer::merge)d, and — because
+//! the engine buffers tuples into the same fixed-size blocks and folds
+//! them in the same order — a stream replaying a frame's rows produces a
+//! profile **bit-identical** to batch [`crate::synthesize`] on that frame,
+//! compound (partitioned, §4.2) constraints included.
 
-use crate::constraint::{BoundedConstraint, SimpleConstraint};
-use crate::projection::Projection;
-use crate::synth::{SynthError, SynthOptions};
-use cc_linalg::eigen::symmetric_eigen;
-use cc_linalg::{Gram, Matrix};
+use crate::constraint::{ConformanceProfile, SimpleConstraint};
+use crate::engine::{simple_from_stats, EngineState};
+use crate::synth::{min_partition_rows, SynthError, SynthOptions};
+use cc_linalg::{SufficientStats, BLOCK_ROWS};
+use std::collections::HashMap;
 
-/// Accumulates the augmented Gram matrix of a tuple stream and synthesizes
-/// a simple conformance constraint from it — one pass, O(m²) memory.
+/// Streaming accumulator for conformance-constraint synthesis — one pass,
+/// O(m² + |partitions|·m²) memory, no tuple retention.
+///
+/// Supports the full profile language: the global simple constraint plus
+/// one disjunctive constraint per partitioning attribute declared at
+/// construction ([`Self::with_partitions`]).
 #[derive(Clone, Debug)]
 pub struct StreamingSynthesizer {
-    attributes: Vec<String>,
-    gram: Gram,
-    /// Track per-projection value extremes is impossible without a second
-    /// pass; the σ-floor instead uses the attribute-range proxy below.
-    min_abs: Vec<f64>,
-    max_abs: Vec<f64>,
-    aug: Vec<f64>,
+    /// Folded statistics (complete blocks only).
+    main: EngineState,
+    /// The in-progress block, folded into `main` every [`BLOCK_ROWS`]
+    /// tuples — mirroring the batch engine's block boundaries exactly.
+    block: EngineState,
+    /// Per partition attribute, `label → code` for O(1) hot-path lookup
+    /// (the label `Vec`s in `main.partitions` stay the source of truth for
+    /// code order).
+    label_index: Vec<HashMap<String, usize>>,
+    /// Tuples in the current block.
+    block_rows: usize,
 }
 
 impl StreamingSynthesizer {
-    /// New synthesizer over the given numeric attributes.
+    /// New synthesizer over the given numeric attributes (global simple
+    /// constraint only).
     pub fn new(attributes: Vec<String>) -> Self {
-        let m = attributes.len();
+        Self::with_partitions(attributes, Vec::new())
+    }
+
+    /// New synthesizer that additionally learns one disjunctive constraint
+    /// per attribute in `partition_attributes`, closing the batch/streaming
+    /// feature gap for compound constraints (§4.2). Partition values are
+    /// discovered from the stream in arrival order.
+    pub fn with_partitions(attributes: Vec<String>, partition_attributes: Vec<String>) -> Self {
+        let spec: Vec<(String, Vec<String>)> =
+            partition_attributes.into_iter().map(|a| (a, Vec::new())).collect();
         StreamingSynthesizer {
-            attributes,
-            gram: Gram::new(m + 1),
-            min_abs: vec![f64::INFINITY; m],
-            max_abs: vec![f64::NEG_INFINITY; m],
-            aug: {
-                let mut v = vec![0.0; m + 1];
-                v[0] = 1.0;
-                v
-            },
+            main: EngineState::with_partitions(attributes.clone(), spec.clone()),
+            block: EngineState::with_partitions(attributes, spec.clone()),
+            label_index: spec.iter().map(|_| HashMap::new()).collect(),
+            block_rows: 0,
         }
+    }
+
+    /// The numeric attributes this synthesizer profiles, in tuple order.
+    pub fn attributes(&self) -> &[String] {
+        &self.main.attrs
+    }
+
+    /// The partitioning attributes declared at construction.
+    pub fn partition_attributes(&self) -> Vec<&str> {
+        self.main.partitions.iter().map(|p| p.attribute.as_str()).collect()
     }
 
     /// Number of tuples absorbed so far.
     pub fn count(&self) -> usize {
-        self.gram.count()
+        self.main.global.count() + self.block.global.count()
     }
 
-    /// Absorbs one tuple.
+    /// Absorbs one tuple (no partition attributes).
     ///
     /// # Panics
-    /// Panics when the tuple arity differs from the attribute count.
+    /// Panics when the tuple arity differs from the attribute count, or
+    /// when partition attributes were declared (their values are required:
+    /// use [`Self::update_with`]).
     pub fn update(&mut self, tuple: &[f64]) {
-        assert_eq!(tuple.len(), self.attributes.len(), "tuple arity mismatch");
-        self.aug[1..].copy_from_slice(tuple);
-        self.gram.update(&self.aug);
-        for ((lo, hi), &x) in self.min_abs.iter_mut().zip(self.max_abs.iter_mut()).zip(tuple) {
-            *lo = lo.min(x);
-            *hi = hi.max(x);
-        }
+        assert!(
+            self.main.partitions.is_empty(),
+            "update: synthesizer declares partition attributes; use update_with"
+        );
+        self.update_with(tuple, &[]);
     }
 
-    /// Merges another shard's accumulator (horizontal-partition parallelism,
-    /// §4.3.2).
+    /// Absorbs one tuple together with its categorical values, which must
+    /// cover every declared partition attribute.
     ///
     /// # Panics
-    /// Panics when the shards profile different attribute lists.
-    pub fn merge(&mut self, other: &StreamingSynthesizer) {
-        assert_eq!(self.attributes, other.attributes, "merge: attribute mismatch");
-        self.gram.merge(&other.gram);
-        for (a, b) in self.min_abs.iter_mut().zip(&other.min_abs) {
-            *a = a.min(*b);
+    /// Panics when the tuple arity differs from the attribute count or a
+    /// declared partition attribute is missing from `categorical`.
+    pub fn update_with(&mut self, tuple: &[f64], categorical: &[(&str, &str)]) {
+        assert_eq!(
+            tuple.len(),
+            self.main.attrs.len(),
+            "StreamingSynthesizer::update: tuple arity mismatch"
+        );
+        self.block.global.update(tuple);
+        let dim = self.main.attrs.len();
+        for ((block_part, main_part), index) in self
+            .block
+            .partitions
+            .iter_mut()
+            .zip(self.main.partitions.iter_mut())
+            .zip(self.label_index.iter_mut())
+        {
+            let value = categorical
+                .iter()
+                .find(|(a, _)| *a == block_part.attribute)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "update_with: missing value for partition attribute '{}'",
+                        block_part.attribute
+                    )
+                });
+            // Dictionary codes are assigned in arrival order — the same
+            // first-appearance order a frame's dictionary encoding uses, so
+            // streaming and batch agree code-for-code. The hash index keeps
+            // the per-tuple lookup O(1) even for wide dictionaries.
+            let code = match index.get(value) {
+                Some(&c) => c,
+                None => {
+                    let c = main_part.code_for(value, dim);
+                    index.insert(value.to_owned(), c);
+                    c
+                }
+            };
+            while block_part.stats.len() < main_part.labels.len() {
+                block_part.labels.push(main_part.labels[block_part.stats.len()].clone());
+                block_part.stats.push(SufficientStats::new(dim));
+            }
+            block_part.stats[code].update(tuple);
         }
-        for (a, b) in self.max_abs.iter_mut().zip(&other.max_abs) {
-            *a = a.max(*b);
+        self.block_rows += 1;
+        if self.block_rows == BLOCK_ROWS {
+            self.flush_block();
         }
     }
 
-    /// Finishes the pass: eigendecomposes the accumulated Gram matrix and
-    /// derives every projection's bounds analytically from it.
+    /// Folds the pending block into the main accumulator (same canonical
+    /// order as the batch engine).
+    fn flush_block(&mut self) {
+        if self.block_rows == 0 {
+            return;
+        }
+        self.main.absorb_block(&self.block);
+        for (block_part, main_part) in self.block.partitions.iter_mut().zip(&self.main.partitions) {
+            for s in block_part.stats.iter_mut() {
+                *s = SufficientStats::new(self.main.attrs.len());
+            }
+            debug_assert!(block_part.labels.len() <= main_part.labels.len());
+        }
+        self.block.global = SufficientStats::new(self.main.attrs.len());
+        self.block_rows = 0;
+    }
+
+    /// Merges another shard's accumulator (horizontal-partition
+    /// parallelism, §4.3.2). Partition dictionaries are unioned by label.
+    ///
+    /// Statistics merge exactly; the concatenation is equivalent to a
+    /// single stream up to floating-point rounding (block boundaries
+    /// differ), so violations agree to ~1e-12 — use one stream when
+    /// bit-identity with batch matters.
+    ///
+    /// # Panics
+    /// Panics when the shards profile different attribute lists or
+    /// different partition-attribute sets.
+    pub fn merge(&mut self, other: &StreamingSynthesizer) {
+        assert_eq!(self.main.attrs, other.main.attrs, "merge: attribute mismatch");
+        self.flush_block();
+        let mut theirs = other.main.clone();
+        theirs.absorb_block(&other.block);
+        self.main.absorb_unaligned(&theirs);
+    }
+
+    /// Finishes the pass for the global simple constraint only (the
+    /// original streaming surface; partition accumulators are untouched
+    /// and the synthesizer can keep absorbing tuples afterwards).
     ///
     /// # Errors
-    /// Propagates eigensolver failures. An empty stream yields an empty
-    /// constraint.
+    /// [`SynthError::InsufficientData`] for streams of fewer than two
+    /// tuples — bounds from a single tuple would be degenerate (the
+    /// attribute-range σ-floor is still ±∞-free but carries no
+    /// information). Propagates eigensolver failures.
     pub fn finish(&self, opts: &SynthOptions) -> Result<SimpleConstraint, SynthError> {
-        let m = self.attributes.len();
-        let n = self.gram.count();
-        if n == 0 || m == 0 {
-            return Ok(SimpleConstraint::default());
+        let total = self.total_state();
+        Self::require_rows(total.global.count())?;
+        simple_from_stats(&total.global, &total.attrs, opts)
+    }
+
+    /// Finishes the pass for the **full profile**: global simple constraint
+    /// plus one disjunctive constraint per declared partition attribute —
+    /// identical to batch [`crate::synthesize`] on the same tuples in the
+    /// same order.
+    ///
+    /// # Errors
+    /// [`SynthError::InsufficientData`] for streams of fewer than two
+    /// tuples; eigensolver failures.
+    pub fn finish_profile(&self, opts: &SynthOptions) -> Result<ConformanceProfile, SynthError> {
+        let total = self.total_state();
+        Self::require_rows(total.global.count())?;
+        total.finish(opts, min_partition_rows(opts, total.attrs.len()))
+    }
+
+    fn require_rows(rows: usize) -> Result<(), SynthError> {
+        if rows < 2 {
+            return Err(SynthError::InsufficientData { rows, needed: 2 });
         }
-        let g: Matrix = self.gram.finish();
-        let dec = symmetric_eigen(&g)?;
+        Ok(())
+    }
 
-        let nf = n as f64;
-        let mut conjuncts = Vec::with_capacity(m);
-        let mut gammas = Vec::with_capacity(m);
-        for k in 0..dec.len() {
-            let ev = dec.vector(k);
-            let w = &ev[1..];
-            let norm = w.iter().map(|x| x * x).sum::<f64>().sqrt();
-            if norm < 1e-9 {
-                continue;
-            }
-            let coeffs: Vec<f64> = w.iter().map(|x| x / norm).collect();
-
-            // μ(F) from the Gram's constant row: G[0][j] = Σᵢ X[i][j-1].
-            let mean: f64 =
-                coeffs.iter().enumerate().map(|(j, c)| c * g[(0, j + 1)]).sum::<f64>() / nf;
-            // E[F²] from the data block of the Gram matrix.
-            let mut efsq = 0.0;
-            for (a, ca) in coeffs.iter().enumerate() {
-                for (b, cb) in coeffs.iter().enumerate() {
-                    efsq += ca * cb * g[(a + 1, b + 1)];
-                }
-            }
-            efsq /= nf;
-            let var = (efsq - mean * mean).max(0.0);
-            let std = var.sqrt();
-
-            // σ floor: projection value scale bounded by Σ|wⱼ|·max|xⱼ|.
-            let scale: f64 = coeffs
-                .iter()
-                .zip(self.min_abs.iter().zip(&self.max_abs))
-                .map(|(c, (lo, hi))| c.abs() * lo.abs().max(hi.abs()))
-                .sum::<f64>()
-                .max(1e-6);
-            let floor = (1e-8 * scale).max(opts.sigma_eps);
-            let sigma_eff = std.max(floor);
-            let alpha = (1.0 / sigma_eff).min(opts.alpha_cap);
-
-            conjuncts.push(BoundedConstraint {
-                projection: Projection::new(self.attributes.clone(), coeffs),
-                lb: mean - opts.c_factor * sigma_eff,
-                ub: mean + opts.c_factor * sigma_eff,
-                mean,
-                std,
-                alpha,
-            });
-            gammas.push(1.0 / (2.0 + std).ln());
+    /// Main state with the pending block folded in (clone-based so `finish`
+    /// can stay `&self` and the stream can continue afterwards).
+    fn total_state(&self) -> EngineState {
+        if self.block_rows == 0 {
+            return self.main.clone();
         }
-        Ok(SimpleConstraint::new(conjuncts, gammas))
+        let mut total = self.main.clone();
+        total.absorb_block(&self.block);
+        total
     }
 }
 
@@ -174,7 +246,7 @@ mod tests {
     }
 
     #[test]
-    fn streaming_matches_in_memory() {
+    fn streaming_matches_in_memory_bitwise() {
         let (rows, attrs) = rows();
         let opts = SynthOptions::default();
         let batch = synthesize_simple(&rows, &attrs, &opts).unwrap();
@@ -185,28 +257,16 @@ mod tests {
         let stream = s.finish(&opts).unwrap();
 
         assert_eq!(batch.len(), stream.len());
-        // Same projections (up to sign) with matching μ/σ/bounds.
+        // Same engine, same blocks ⇒ identical constraints, not just close.
         for (b, t) in batch.conjuncts.iter().zip(&stream.conjuncts) {
-            let sign = if (b.projection.coefficients[0] - t.projection.coefficients[0]).abs()
-                < 1e-6
-            {
-                1.0
-            } else {
-                -1.0
-            };
-            for (cb, ct) in
-                b.projection.coefficients.iter().zip(&t.projection.coefficients)
-            {
-                assert!((cb - sign * ct).abs() < 1e-6, "coefficients differ");
-            }
-            assert!((b.mean - sign * t.mean).abs() < 1e-6, "means differ");
-            assert!((b.std - t.std).abs() < 1e-6, "stds differ: {} vs {}", b.std, t.std);
+            assert_eq!(b.projection.coefficients, t.projection.coefficients);
+            assert_eq!(b.mean.to_bits(), t.mean.to_bits());
+            assert_eq!(b.std.to_bits(), t.std.to_bits());
+            assert_eq!(b.lb.to_bits(), t.lb.to_bits());
+            assert_eq!(b.ub.to_bits(), t.ub.to_bits());
         }
-        // Same violations on probe tuples.
         for probe in [[10.0, 21.0, 5.0], [10.0, 500.0, 5.0], [0.0, 0.0, 0.0]] {
-            let vb = batch.violation(&probe);
-            let vt = stream.violation(&probe);
-            assert!((vb - vt).abs() < 1e-6, "violation mismatch: {vb} vs {vt}");
+            assert_eq!(batch.violation(&probe).to_bits(), stream.violation(&probe).to_bits());
         }
     }
 
@@ -220,7 +280,7 @@ mod tests {
             single.update(r);
         }
 
-        // Three shards.
+        // Three shards, round-robin.
         let mut shards: Vec<StreamingSynthesizer> =
             (0..3).map(|_| StreamingSynthesizer::new(attrs.clone())).collect();
         for (i, r) in rows.iter().enumerate() {
@@ -240,11 +300,57 @@ mod tests {
     }
 
     #[test]
-    fn empty_stream_is_empty_constraint() {
-        let s = StreamingSynthesizer::new(vec!["a".into()]);
-        let c = s.finish(&SynthOptions::default()).unwrap();
-        assert!(c.is_empty());
-        assert_eq!(s.count(), 0);
+    fn compound_constraints_from_stream() {
+        // Two regimes keyed by a categorical: y = 2x in "a", y = -2x in "b".
+        let attrs = vec!["x".to_string(), "y".to_string()];
+        let mut s = StreamingSynthesizer::with_partitions(attrs, vec!["regime".to_string()]);
+        for i in 0..200 {
+            let x = i as f64 / 10.0;
+            if i % 2 == 0 {
+                s.update_with(&[x, 2.0 * x], &[("regime", "a")]);
+            } else {
+                s.update_with(&[x, -2.0 * x], &[("regime", "b")]);
+            }
+        }
+        let profile = s.finish_profile(&SynthOptions::default()).unwrap();
+        assert_eq!(profile.disjunctive.len(), 1);
+        let d = &profile.disjunctive[0];
+        assert_eq!(d.attribute, "regime");
+        assert_eq!(d.cases.len(), 2);
+        let t = [5.0, 10.0];
+        assert!(d.violation(&t, "a") < 0.01);
+        assert!(d.violation(&t, "b") > 0.5);
+        // Unseen value ⇒ violation 1 (§3.2).
+        assert_eq!(d.violation(&t, "zzz"), 1.0);
+    }
+
+    #[test]
+    fn tiny_streams_are_typed_errors() {
+        let opts = SynthOptions::default();
+        let empty = StreamingSynthesizer::new(vec!["a".into()]);
+        assert!(matches!(
+            empty.finish(&opts),
+            Err(SynthError::InsufficientData { rows: 0, needed: 2 })
+        ));
+        assert_eq!(empty.count(), 0);
+
+        let mut one = StreamingSynthesizer::new(vec!["a".into()]);
+        one.update(&[1.0]);
+        assert!(matches!(
+            one.finish(&opts),
+            Err(SynthError::InsufficientData { rows: 1, needed: 2 })
+        ));
+        assert!(matches!(
+            one.finish_profile(&opts),
+            Err(SynthError::InsufficientData { rows: 1, needed: 2 })
+        ));
+
+        // Two tuples are enough — and yield finite bounds everywhere.
+        let mut two = StreamingSynthesizer::new(vec!["a".into()]);
+        two.update(&[1.0]);
+        two.update(&[2.0]);
+        let sc = two.finish(&opts).unwrap();
+        assert!(sc.conjuncts.iter().all(|c| c.lb.is_finite() && c.ub.is_finite()));
     }
 
     #[test]
@@ -253,5 +359,24 @@ mod tests {
         let mut a = StreamingSynthesizer::new(vec!["x".into()]);
         let b = StreamingSynthesizer::new(vec!["y".into()]);
         a.merge(&b);
+    }
+
+    #[test]
+    fn stream_continues_after_finish() {
+        let (rows, attrs) = rows();
+        let opts = SynthOptions::default();
+        let mut s = StreamingSynthesizer::new(attrs);
+        for r in &rows[..200] {
+            s.update(r);
+        }
+        let first = s.finish(&opts).unwrap();
+        for r in &rows[200..] {
+            s.update(r);
+        }
+        let second = s.finish(&opts).unwrap();
+        assert_eq!(s.count(), rows.len());
+        // More data tightens (or keeps) the noisy projection's σ estimate;
+        // both must be usable constraints.
+        assert!(!first.is_empty() && !second.is_empty());
     }
 }

@@ -1,14 +1,18 @@
 //! Constraint synthesis: Algorithm 1 (simple constraints, §4.1) and
-//! compound disjunctive constraints (§4.2).
+//! compound disjunctive constraints (§4.2), unified on the mergeable
+//! sufficient-statistics engine of [`crate::engine`] (§4.3.2).
+//!
+//! All entry points — [`synthesize`], [`synthesize_parallel`],
+//! [`synthesize_simple`], and the streaming path in
+//! [`crate::streaming`] — accumulate the same [`cc_linalg::SufficientStats`]
+//! in the same fixed-size row blocks and derive constraints from them
+//! identically, so batch ≡ streaming ≡ sharded *bit-for-bit*.
 
-use crate::constraint::{
-    BoundedConstraint, ConformanceProfile, DisjunctiveConstraint, SimpleConstraint,
-};
-use crate::projection::Projection;
+use crate::constraint::{ConformanceProfile, SimpleConstraint};
+use crate::engine::{accumulate_blocks, simple_from_stats, BlockInput, EngineState};
 use cc_frame::{DataFrame, FrameError};
 use cc_linalg::eigen::EigenError;
-use cc_linalg::pca::augmented_pca;
-use cc_stats::Summary;
+use cc_linalg::{SufficientStats, BLOCK_ROWS};
 
 /// Tuning knobs for synthesis. `Default` reproduces the paper's settings.
 #[derive(Clone, Debug)]
@@ -56,6 +60,15 @@ impl Default for SynthOptions {
 pub enum SynthError {
     /// The dataset has no usable numeric attributes.
     NoNumericAttributes,
+    /// Too few tuples to derive meaningful bounds (streaming synthesis
+    /// refuses to emit constraints from fewer than two tuples rather than
+    /// returning degenerate ±∞ ranges).
+    InsufficientData {
+        /// Tuples seen.
+        rows: usize,
+        /// Minimum required.
+        needed: usize,
+    },
     /// Frame-level failure (missing column etc.).
     Frame(FrameError),
     /// Eigensolver failure (non-finite data).
@@ -66,6 +79,9 @@ impl std::fmt::Display for SynthError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SynthError::NoNumericAttributes => write!(f, "no numeric attributes to profile"),
+            SynthError::InsufficientData { rows, needed } => {
+                write!(f, "insufficient data: {rows} tuple(s) seen, at least {needed} required")
+            }
             SynthError::Frame(e) => write!(f, "frame error: {e}"),
             SynthError::Eigen(e) => write!(f, "eigensolver error: {e}"),
         }
@@ -90,13 +106,14 @@ impl From<EigenError> for SynthError {
 /// from numeric rows.
 ///
 /// Steps (paper line numbers):
-/// 1. `rows` are already the numeric-only view (line 1).
-/// 2–3. Eigen-decompose `[1⃗ ; D]ᵀ[1⃗ ; D]` (lines 2–3).
-/// 5–6. Strip each eigenvector's constant coefficient and re-normalize
-///      (lines 5–6); near-zero remainders (eigenvectors aligned with the
-///      constant column) are skipped.
-/// 7. Importance factor γ_k = 1 / log(2 + σ(F_k(D))) (line 7), normalized
-///    across the kept projections (line 8).
+///
+/// - `rows` are already the numeric-only view (line 1);
+/// - eigen-decompose `[1⃗ ; D]ᵀ[1⃗ ; D]` (lines 2–3);
+/// - strip each eigenvector's constant coefficient and re-normalize
+///   (lines 5–6); near-zero remainders (eigenvectors aligned with the
+///   constant column) are skipped;
+/// - importance factor γ_k = 1 / log(2 + σ(F_k(D))) (line 7), normalized
+///   across the kept projections (line 8).
 ///
 /// Bounds are `μ ± C·σ` (§4.1.1) and α = 1/σ capped at
 /// [`SynthOptions::alpha_cap`] for σ ≈ 0.
@@ -113,46 +130,14 @@ pub fn synthesize_simple(
     if m == 0 || rows.is_empty() {
         return Ok(SimpleConstraint::default());
     }
-    let pca = augmented_pca(rows, m)?;
-
-    let mut conjuncts = Vec::with_capacity(m);
-    let mut gammas = Vec::with_capacity(m);
-    for ev in &pca.eigenvectors {
-        // Line 5: drop the constant-column coefficient.
-        let w = &ev[1..];
-        let norm = w.iter().map(|x| x * x).sum::<f64>().sqrt();
-        if norm < 1e-9 {
-            // Eigenvector essentially aligned with the constant column:
-            // carries no projection.
-            continue;
-        }
-        let coeffs: Vec<f64> = w.iter().map(|x| x / norm).collect();
-        let projection = Projection::new(attributes.to_vec(), coeffs);
-
-        let summary = {
-            let mut s = Summary::new();
-            for r in rows {
-                s.update(projection.evaluate(r));
-            }
-            s
-        };
-        let mean = summary.mean();
-        let std = summary.std();
-        // Zero-variance projections are equality constraints (§5), but an
-        // *exactly* zero-width band amplifies the eigensolver's ~1e-10
-        // relative residuals into spurious violations. Floor σ relative to
-        // the projection's value scale: the constraint stays an equality for
-        // all practical purposes while absorbing numerical noise.
-        let scale = summary.min().abs().max(summary.max().abs()).max(1e-6);
-        let floor = (1e-8 * scale).max(opts.sigma_eps);
-        let sigma_eff = std.max(floor);
-        let alpha = (1.0 / sigma_eff).min(opts.alpha_cap);
-        let (lb, ub) =
-            (mean - opts.c_factor * sigma_eff, mean + opts.c_factor * sigma_eff);
-        conjuncts.push(BoundedConstraint { projection, lb, ub, mean, std, alpha });
-        gammas.push(1.0 / (2.0 + std).ln());
+    // Blocked accumulation (merged in block order) so this materialized-row
+    // path reproduces the streaming/sharded paths bit-for-bit.
+    let mut stats = SufficientStats::new(m);
+    for chunk in rows.chunks(BLOCK_ROWS) {
+        let block = SufficientStats::from_rows(chunk, m);
+        stats.merge(&block);
     }
-    Ok(SimpleConstraint::new(conjuncts, gammas))
+    simple_from_stats(&stats, attributes, opts)
 }
 
 /// Resolves the numeric attributes a profile will be built over.
@@ -184,58 +169,86 @@ fn partition_attributes(df: &DataFrame, opts: &SynthOptions) -> Vec<String> {
         .collect()
 }
 
-/// Full CCSynth: learns the conformance profile of a dataset — the global
-/// simple constraint plus one disjunctive constraint per eligible
-/// categorical attribute (§4.1 + §4.2).
-///
-/// # Errors
-/// Fails when the dataset has no numeric attributes (after drops) or on
-/// eigensolver errors.
-pub fn synthesize(df: &DataFrame, opts: &SynthOptions) -> Result<ConformanceProfile, SynthError> {
+/// Effective minimum partition size: explicit, or the auto rule `m + 2`.
+pub(crate) fn min_partition_rows(opts: &SynthOptions, n_attrs: usize) -> usize {
+    if opts.min_partition_size == 0 {
+        n_attrs + 2
+    } else {
+        opts.min_partition_size
+    }
+}
+
+/// Shared implementation of [`synthesize`] / [`synthesize_parallel`]: one
+/// pass over the frame accumulating global + per-partition sufficient
+/// statistics (no sub-frame materialization), block computations spread
+/// over `n_shards` threads, then one eigendecomposition per accumulator.
+fn synthesize_with_shards(
+    df: &DataFrame,
+    opts: &SynthOptions,
+    n_shards: usize,
+) -> Result<ConformanceProfile, SynthError> {
     let attrs = numeric_attributes(df, opts);
     if attrs.is_empty() {
         return Err(SynthError::NoNumericAttributes);
     }
     let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
-    let rows = df.numeric_rows(&attr_refs)?;
+    let view = df.numeric_view(&attr_refs)?;
 
-    let min_part = if opts.min_partition_size == 0 {
-        attrs.len() + 2
-    } else {
-        opts.min_partition_size
-    };
-
-    let global = if opts.include_global {
-        Some(synthesize_simple(&rows, &attrs, opts)?)
-    } else {
-        None
-    };
-
-    let mut disjunctive = Vec::new();
+    // Resolve each partitioning attribute's code column + dictionary.
+    let mut cats = Vec::new();
     for cat in partition_attributes(df, opts) {
-        let parts = df.partition_by(&cat)?;
-        let mut cases = Vec::new();
-        for (value, indices) in parts {
-            if indices.len() < min_part {
-                continue;
-            }
-            let sub: Vec<Vec<f64>> = indices.iter().map(|&i| rows[i].clone()).collect();
-            let constraint = synthesize_simple(&sub, &attrs, opts)?;
-            if !constraint.is_empty() {
-                cases.push((value, constraint));
-            }
-        }
-        if !cases.is_empty() {
-            disjunctive.push(DisjunctiveConstraint { attribute: cat, cases });
-        }
+        let (codes, dict) = df.categorical(&cat)?;
+        cats.push((cat, codes, dict.to_vec()));
     }
 
-    Ok(ConformanceProfile { numeric_attributes: attrs, global, disjunctive })
+    let mut state = EngineState::with_partitions(
+        attrs.clone(),
+        cats.iter().map(|(name, _, labels)| (name.clone(), labels.clone())).collect(),
+    );
+    let input = BlockInput { view: &view, cats: &cats };
+    accumulate_blocks(&mut state, &input, n_shards);
+    state.finish(opts, min_partition_rows(opts, attrs.len()))
+}
+
+/// Full CCSynth: learns the conformance profile of a dataset — the global
+/// simple constraint plus one disjunctive constraint per eligible
+/// categorical attribute (§4.1 + §4.2) — in a single pass over the frame.
+///
+/// # Errors
+/// Fails when the dataset has no numeric attributes (after drops) or on
+/// eigensolver errors.
+pub fn synthesize(df: &DataFrame, opts: &SynthOptions) -> Result<ConformanceProfile, SynthError> {
+    synthesize_with_shards(df, opts, 1)
+}
+
+/// [`synthesize`] with the statistics accumulation sharded over
+/// `n_shards` scoped threads (§4.3.2's "embarrassingly parallel"
+/// horizontal partitioning).
+///
+/// Shard boundaries are aligned to the engine's fixed row blocks and the
+/// partial statistics are merged in block order, so the result is
+/// **bit-identical** to the sequential [`synthesize`] for every shard
+/// count — parallelism changes wall-clock time, never the profile.
+///
+/// # Errors
+/// Fails when the dataset has no numeric attributes (after drops) or on
+/// eigensolver errors.
+///
+/// # Panics
+/// Panics when `n_shards` is zero.
+pub fn synthesize_parallel(
+    df: &DataFrame,
+    opts: &SynthOptions,
+    n_shards: usize,
+) -> Result<ConformanceProfile, SynthError> {
+    assert!(n_shards > 0, "synthesize_parallel: need at least one shard");
+    synthesize_with_shards(df, opts, n_shards)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::projection::Projection;
     use cc_stats::{pcc, population_std};
 
     fn frame_xy(n: usize, f: impl Fn(f64) -> f64, noise: impl Fn(usize) -> f64) -> DataFrame {
@@ -308,10 +321,8 @@ mod tests {
         for s in means.iter_mut() {
             *s /= n as f64;
         }
-        let centered: Vec<Vec<f64>> = rows
-            .iter()
-            .map(|r| r.iter().zip(&means).map(|(x, mu)| x - mu).collect())
-            .collect();
+        let centered: Vec<Vec<f64>> =
+            rows.iter().map(|r| r.iter().zip(&means).map(|(x, mu)| x - mu).collect()).collect();
         let attrs: Vec<String> = (0..m).map(|i| format!("a{i}")).collect();
         let sc = synthesize_simple(&centered, &attrs, &SynthOptions::default()).unwrap();
         let series: Vec<Vec<f64>> =
@@ -433,6 +444,99 @@ mod tests {
         assert_eq!(profile.numeric_attributes.len(), 2);
     }
 
+    /// Asserts two profiles are bit-identical (projections, bounds,
+    /// weights, partition structure).
+    fn assert_profiles_identical(a: &ConformanceProfile, b: &ConformanceProfile) {
+        assert_eq!(a.numeric_attributes, b.numeric_attributes);
+        let (ga, gb) = (a.global.as_ref(), b.global.as_ref());
+        assert_eq!(ga.is_some(), gb.is_some());
+        if let (Some(ga), Some(gb)) = (ga, gb) {
+            assert_simple_identical(ga, gb);
+        }
+        assert_eq!(a.disjunctive.len(), b.disjunctive.len());
+        for (da, db) in a.disjunctive.iter().zip(&b.disjunctive) {
+            assert_eq!(da.attribute, db.attribute);
+            assert_eq!(da.cases.len(), db.cases.len());
+            for ((va, ca), (vb, cb)) in da.cases.iter().zip(&db.cases) {
+                assert_eq!(va, vb);
+                assert_simple_identical(ca, cb);
+            }
+        }
+    }
+
+    fn assert_simple_identical(a: &SimpleConstraint, b: &SimpleConstraint) {
+        assert_eq!(a.len(), b.len());
+        for ((ca, cb), (wa, wb)) in
+            a.conjuncts.iter().zip(&b.conjuncts).zip(a.weights.iter().zip(&b.weights))
+        {
+            assert_eq!(wa.to_bits(), wb.to_bits());
+            assert_eq!(ca.projection.coefficients, cb.projection.coefficients);
+            for (x, y) in [(ca.lb, cb.lb), (ca.ub, cb.ub), (ca.mean, cb.mean), (ca.std, cb.std)] {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    /// A multi-block frame (> BLOCK_ROWS rows) with a partitioning
+    /// categorical, exercising the sharded merge path for real.
+    fn big_partitioned_frame(n: usize) -> DataFrame {
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        let mut gs = Vec::with_capacity(n);
+        for i in 0..n {
+            let x = i as f64 / 50.0;
+            let noise = 0.02 * (((i * 37) % 17) as f64 - 8.0);
+            if i % 3 == 0 {
+                xs.push(x);
+                ys.push(3.0 * x - 2.0 + noise);
+                gs.push("up");
+            } else {
+                xs.push(x);
+                ys.push(-1.5 * x + 4.0 + noise);
+                gs.push("down");
+            }
+        }
+        let mut df = DataFrame::new();
+        df.push_numeric("x", xs).unwrap();
+        df.push_numeric("y", ys).unwrap();
+        df.push_categorical("trend", &gs).unwrap();
+        df
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let df = big_partitioned_frame(3 * cc_linalg::BLOCK_ROWS + 123);
+        let opts = SynthOptions::default();
+        let seq = synthesize(&df, &opts).unwrap();
+        assert_eq!(seq.disjunctive.len(), 1, "partition constraint expected");
+        for shards in [1usize, 2, 3, 4, 7, 16] {
+            let par = synthesize_parallel(&df, &opts, shards).unwrap();
+            assert_profiles_identical(&seq, &par);
+        }
+    }
+
+    #[test]
+    fn streaming_profile_matches_batch_bitwise() {
+        let df = big_partitioned_frame(cc_linalg::BLOCK_ROWS + 777);
+        let opts = SynthOptions::default();
+        let batch = synthesize(&df, &opts).unwrap();
+
+        let attrs: Vec<String> = vec!["x".into(), "y".into()];
+        let mut s = crate::streaming::StreamingSynthesizer::with_partitions(
+            attrs,
+            vec!["trend".to_string()],
+        );
+        let (codes, dict) = df.categorical("trend").unwrap();
+        let xs = df.numeric("x").unwrap();
+        let ys = df.numeric("y").unwrap();
+        for i in 0..df.n_rows() {
+            let label = dict[codes[i] as usize].as_str();
+            s.update_with(&[xs[i], ys[i]], &[("trend", label)]);
+        }
+        let streamed = s.finish_profile(&opts).unwrap();
+        assert_profiles_identical(&batch, &streamed);
+    }
+
     #[test]
     fn no_numeric_attributes_is_error() {
         let mut df = DataFrame::new();
@@ -453,7 +557,8 @@ mod tests {
     fn training_data_mostly_conforms() {
         // Definition 2: |{t ∈ D | ¬Φ(t)}| ≪ |D| — with C = 4 bounds nearly
         // all training tuples satisfy the constraint.
-        let df = frame_xy(1000, |x| 3.0 * x - 2.0, |i| ((i * 2654435761) % 1000) as f64 / 500.0 - 1.0);
+        let df =
+            frame_xy(1000, |x| 3.0 * x - 2.0, |i| ((i * 2654435761) % 1000) as f64 / 500.0 - 1.0);
         let profile = synthesize(&df, &SynthOptions::default()).unwrap();
         let violations = profile.violations(&df).unwrap();
         let violating = violations.iter().filter(|&&v| v > 1e-9).count();

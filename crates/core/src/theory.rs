@@ -75,13 +75,10 @@ pub fn iterative_improvement(
         let mut best: Option<(usize, usize, ProjectionStats)> = None;
         for i in 0..pool.len() {
             for j in (i + 1)..pool.len() {
-                if let Some(c) =
-                    combine_correlated(&pool[i].projection, &pool[j].projection, rows)
+                if let Some(c) = combine_correlated(&pool[i].projection, &pool[j].projection, rows)
                 {
                     let improves = c.std < pool[i].std.min(pool[j].std) - 1e-12;
-                    if improves
-                        && best.as_ref().is_none_or(|(_, _, b)| c.std < b.std)
-                    {
+                    if improves && best.as_ref().is_none_or(|(_, _, b)| c.std < b.std) {
                         best = Some((i, j, c));
                     }
                 }
@@ -134,9 +131,8 @@ mod tests {
     #[test]
     fn lemma11_requires_correlation() {
         // Uncorrelated attributes: the lemma does not apply.
-        let rows: Vec<Vec<f64>> = (0..200)
-            .map(|i| vec![((i * 7) % 13) as f64, ((i * 11) % 17) as f64])
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..200).map(|i| vec![((i * 7) % 13) as f64, ((i * 11) % 17) as f64]).collect();
         let fx = Projection::new(vec!["a".into(), "b".into()], vec![1.0, 0.0]);
         let fy = Projection::new(vec!["a".into(), "b".into()], vec![0.0, 1.0]);
         let v1: Vec<f64> = rows.iter().map(|r| fx.evaluate(r)).collect();
@@ -187,8 +183,7 @@ mod tests {
         let n = rows.len() as f64;
         let mx: f64 = rows.iter().map(|r| r[0]).sum::<f64>() / n;
         let my: f64 = rows.iter().map(|r| r[1]).sum::<f64>() / n;
-        let centered: Vec<Vec<f64>> =
-            rows.iter().map(|r| vec![r[0] - mx, r[1] - my]).collect();
+        let centered: Vec<Vec<f64>> = rows.iter().map(|r| vec![r[0] - mx, r[1] - my]).collect();
         let sc = crate::synth::synthesize_simple(
             &centered,
             &attrs,

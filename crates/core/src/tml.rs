@@ -112,11 +112,7 @@ pub fn select_model(
 /// Soundness (no false positives) holds under the theorem's side conditions:
 /// the constraint is *relevant* to the model class, the annotated dataset is
 /// *nontrivial*, and some model in the class fits the data.
-pub fn unsafe_by_equality(
-    equalities: &[&BoundedConstraint],
-    tuple: &[f64],
-    tol: f64,
-) -> bool {
+pub fn unsafe_by_equality(equalities: &[&BoundedConstraint], tuple: &[f64], tol: f64) -> bool {
     equalities.iter().any(|c| {
         let v = c.projection.evaluate(tuple);
         (v - c.mean).abs() > tol

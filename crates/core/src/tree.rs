@@ -85,10 +85,8 @@ impl TreeProfile {
                         .find(|(a, _)| a == attribute)
                         .map(|(_, v)| *v)
                         .ok_or_else(|| {
-                            crate::constraint::ProfileError::MissingCategorical(
-                                attribute.clone(),
-                            )
-                        })?;
+                        crate::constraint::ProfileError::MissingCategorical(attribute.clone())
+                    })?;
                     match children.iter().find(|(v, _)| v == value) {
                         Some((_, child)) => node = child,
                         None => return Ok(1.0),
@@ -102,10 +100,7 @@ impl TreeProfile {
     ///
     /// # Errors
     /// Fails when the frame lacks needed attributes.
-    pub fn violations(
-        &self,
-        df: &DataFrame,
-    ) -> Result<Vec<f64>, crate::constraint::ProfileError> {
+    pub fn violations(&self, df: &DataFrame) -> Result<Vec<f64>, crate::constraint::ProfileError> {
         let numeric_cols: Vec<&[f64]> = self
             .numeric_attributes
             .iter()
@@ -257,8 +252,10 @@ fn build(
     }
     let parent_q = quality(&leaf);
 
-    // Pick the categorical attribute with the best weighted child quality.
-    let mut best: Option<(String, Vec<(String, Vec<usize>)>, f64)> = None;
+    // Pick the categorical attribute with the best weighted child quality:
+    // `(attribute, label → row indices, weighted σ-quality)`.
+    type Split = (String, Vec<(String, Vec<usize>)>, f64);
+    let mut best: Option<Split> = None;
     for cat in candidates {
         let (codes, dict) = match df.categorical(cat) {
             Ok(c) => c,
@@ -293,10 +290,8 @@ fn build(
                 candidates.iter().filter(|c| **c != attribute).cloned().collect();
             let mut children = Vec::with_capacity(groups.len());
             for (value, idx) in groups {
-                children.push((
-                    value,
-                    build(df, rows, attrs, &idx, &remaining, opts, depth_left - 1)?,
-                ));
+                children
+                    .push((value, build(df, rows, attrs, &idx, &remaining, opts, depth_left - 1)?));
             }
             Ok(TreeNode::Split { attribute, children })
         }
@@ -360,18 +355,12 @@ mod tests {
         assert!(bad * 50 < df.n_rows(), "{bad} training rows violate");
         // A north/summer-sloped tuple violates the north/winter regime.
         let t = [5.0, 10.0]; // y = 2x
-        let ok = tree
-            .violation(&t, &[("region", "north"), ("season", "summer")])
-            .unwrap();
-        let wrong = tree
-            .violation(&t, &[("region", "north"), ("season", "winter")])
-            .unwrap();
+        let ok = tree.violation(&t, &[("region", "north"), ("season", "summer")]).unwrap();
+        let wrong = tree.violation(&t, &[("region", "north"), ("season", "winter")]).unwrap();
         assert!(ok < 0.05, "in-regime violation {ok}");
         assert!(wrong > 0.5, "cross-regime violation {wrong}");
         // Unseen categorical value ⇒ violation 1.
-        let unseen = tree
-            .violation(&t, &[("region", "east"), ("season", "summer")])
-            .unwrap();
+        let unseen = tree.violation(&t, &[("region", "east"), ("season", "summer")]).unwrap();
         assert_eq!(unseen, 1.0);
     }
 
@@ -416,9 +405,6 @@ mod tests {
         let back: TreeProfile = serde_json::from_str(&json).unwrap();
         let t = [5.0, 10.0];
         let cats = [("region", "north"), ("season", "summer")];
-        assert_eq!(
-            tree.violation(&t, &cats).unwrap(),
-            back.violation(&t, &cats).unwrap()
-        );
+        assert_eq!(tree.violation(&t, &cats).unwrap(), back.violation(&t, &cats).unwrap());
     }
 }

@@ -13,10 +13,7 @@ use proptest::prelude::*;
 fn dataset_strategy() -> impl Strategy<Value = (Vec<Vec<f64>>, usize)> {
     (2usize..6).prop_flat_map(|m| {
         (
-            proptest::collection::vec(
-                proptest::collection::vec(-50.0..50.0f64, m..=m),
-                5..60,
-            ),
+            proptest::collection::vec(proptest::collection::vec(-50.0..50.0f64, m..=m), 5..60),
             Just(m),
         )
     })

@@ -86,8 +86,7 @@ pub fn airlines(cfg: &AirlinesConfig) -> DataFrame {
         let u: f64 = rng.gen();
         let distance = (150.0 + 2600.0 * u * u).round();
         // True airborne duration ≈ 0.12 min/mile + taxi overhead + noise.
-        let true_duration =
-            (0.12 * distance + 30.0 + normal(&mut rng, 0.0, 4.0)).max(25.0).round();
+        let true_duration = (0.12 * distance + 30.0 + normal(&mut rng, 0.0, 4.0)).max(25.0).round();
         // The REPORTED elapsed time carries extra block-time reporting noise
         // (σ ≈ 10 min): on daytime data, AT − DT is a *cleaner* signal of
         // the true duration than the elapsed_time column itself — exactly
@@ -114,7 +113,8 @@ pub fn airlines(cfg: &AirlinesConfig) -> DataFrame {
         let carrier_idx = rng.gen_range(0..CARRIERS.len());
         // Ground-truth delay: true duration + weekday + carrier effects +
         // noise; no dependence on the midnight wrap.
-        let true_delay = 0.05 * true_duration + 4.0 * ((w >= 6) as u32 as f64)
+        let true_delay = 0.05 * true_duration
+            + 4.0 * ((w >= 6) as u32 as f64)
             + 2.0 * carrier_idx as f64
             + 8.0 * randn(&mut rng);
 
@@ -167,24 +167,18 @@ mod tests {
         let at = df.numeric("arr_time").unwrap();
         let dt = df.numeric("dep_time").unwrap();
         let dur = df.numeric("elapsed_time").unwrap();
-        let resid: Vec<f64> =
-            (0..df.n_rows()).map(|i| at[i] - dt[i] - dur[i]).collect();
+        let resid: Vec<f64> = (0..df.n_rows()).map(|i| at[i] - dt[i] - dur[i]).collect();
         assert!(mean(&resid).abs() < 1.0, "mean residual {}", mean(&resid));
         assert!(population_std(&resid) < 15.0, "std {}", population_std(&resid));
     }
 
     #[test]
     fn overnight_breaks_time_invariant_by_one_day() {
-        let df = airlines(&AirlinesConfig {
-            rows: 1000,
-            kind: FlightKind::Overnight,
-            seed: 7,
-        });
+        let df = airlines(&AirlinesConfig { rows: 1000, kind: FlightKind::Overnight, seed: 7 });
         let at = df.numeric("arr_time").unwrap();
         let dt = df.numeric("dep_time").unwrap();
         let dur = df.numeric("elapsed_time").unwrap();
-        let resid: Vec<f64> =
-            (0..df.n_rows()).map(|i| at[i] - dt[i] - dur[i]).collect();
+        let resid: Vec<f64> = (0..df.n_rows()).map(|i| at[i] - dt[i] - dur[i]).collect();
         // Mean residual ≈ −1440 (one day).
         assert!((mean(&resid) + 1440.0).abs() < 30.0, "mean residual {}", mean(&resid));
         // Arrival earlier than departure (Fig. 1's overnight signature).
@@ -197,23 +191,18 @@ mod tests {
         let df = airlines(&AirlinesConfig { rows: 2000, seed: 3, ..Default::default() });
         let dis = df.numeric("distance").unwrap();
         let dur = df.numeric("elapsed_time").unwrap();
-        let resid: Vec<f64> =
-            (0..df.n_rows()).map(|i| dur[i] - 0.12 * dis[i] - 30.0).collect();
+        let resid: Vec<f64> = (0..df.n_rows()).map(|i| dur[i] - 0.12 * dis[i] - 30.0).collect();
         assert!(population_std(&resid) < 16.0, "std {}", population_std(&resid));
         assert!(mean(&resid).abs() < 1.0);
     }
 
     #[test]
     fn mixed_fraction_respected() {
-        let df = airlines(&AirlinesConfig {
-            rows: 4000,
-            kind: FlightKind::Mixed(25),
-            seed: 11,
-        });
+        let df = airlines(&AirlinesConfig { rows: 4000, kind: FlightKind::Mixed(25), seed: 11 });
         let at = df.numeric("arr_time").unwrap();
         let dt = df.numeric("dep_time").unwrap();
-        let overnight = (0..df.n_rows()).filter(|&i| at[i] < dt[i]).count() as f64
-            / df.n_rows() as f64;
+        let overnight =
+            (0..df.n_rows()).filter(|&i| at[i] < dt[i]).count() as f64 / df.n_rows() as f64;
         assert!((overnight - 0.25).abs() < 0.05, "overnight fraction {overnight}");
     }
 

@@ -16,8 +16,22 @@ use rand::{Rng, SeedableRng};
 
 /// All 16 EVL stream names, in the paper's Fig. 8 order.
 pub const EVL_NAMES: [&str; 16] = [
-    "1CDT", "2CDT", "1CHT", "2CHT", "4CR", "4CRE-V1", "4CRE-V2", "5CVT", "1CSurr", "4CE1CF",
-    "UG-2C-2D", "MG-2C-2D", "FG-2C-2D", "UG-2C-3D", "UG-2C-5D", "GEARS-2C-2D",
+    "1CDT",
+    "2CDT",
+    "1CHT",
+    "2CHT",
+    "4CR",
+    "4CRE-V1",
+    "4CRE-V2",
+    "5CVT",
+    "1CSurr",
+    "4CE1CF",
+    "UG-2C-2D",
+    "MG-2C-2D",
+    "FG-2C-2D",
+    "UG-2C-3D",
+    "UG-2C-5D",
+    "GEARS-2C-2D",
 ];
 
 /// One generated stream.
@@ -55,14 +69,8 @@ fn class_states(name: &str, t: f64) -> Option<Vec<ClassState>> {
             uni(vec![5.0 * t * diag, 5.0 * t * diag], 0.5),
             uni(vec![3.0 + 5.0 * t * diag, 5.0 * t * diag], 0.5),
         ],
-        "1CHT" => vec![
-            uni(vec![0.0, 0.0], 0.5),
-            uni(vec![2.0 + 5.0 * t, 2.0], 0.5),
-        ],
-        "2CHT" => vec![
-            uni(vec![5.0 * t, 0.0], 0.5),
-            uni(vec![3.0 + 5.0 * t, 0.0], 0.5),
-        ],
+        "1CHT" => vec![uni(vec![0.0, 0.0], 0.5), uni(vec![2.0 + 5.0 * t, 2.0], 0.5)],
+        "2CHT" => vec![uni(vec![5.0 * t, 0.0], 0.5), uni(vec![3.0 + 5.0 * t, 0.0], 0.5)],
         "4CR" => {
             // Four classes on a circle, rotating: purely local drift.
             let r = 5.0;
@@ -85,16 +93,11 @@ fn class_states(name: &str, t: f64) -> Option<Vec<ClassState>> {
                 })
                 .collect()
         }
-        "5CVT" => (0..5)
-            .map(|k| uni(vec![2.5 * k as f64, 6.0 * t], 0.5))
-            .collect(),
+        "5CVT" => (0..5).map(|k| uni(vec![2.5 * k as f64, 6.0 * t], 0.5)).collect(),
         "1CSurr" => {
             // Class 1 orbits (surrounds) class 0.
             let a = tau * t;
-            vec![
-                uni(vec![0.0, 0.0], 0.5),
-                uni(vec![4.0 * a.cos(), 4.0 * a.sin()], 0.5),
-            ]
+            vec![uni(vec![0.0, 0.0], 0.5), uni(vec![4.0 * a.cos(), 4.0 * a.sin()], 0.5)]
         }
         "4CE1CF" => {
             // Four classes expand outward along the diagonals; one fixed.
@@ -137,17 +140,11 @@ fn class_states(name: &str, t: f64) -> Option<Vec<ClassState>> {
         }
         "UG-2C-3D" => {
             let s = 4.0 * (std::f64::consts::PI * t).sin();
-            vec![
-                uni(vec![s, 0.0, 0.0], 0.8),
-                uni(vec![4.0 - s, 1.0, 1.0], 0.8),
-            ]
+            vec![uni(vec![s, 0.0, 0.0], 0.8), uni(vec![4.0 - s, 1.0, 1.0], 0.8)]
         }
         "UG-2C-5D" => {
             let s = 4.0 * (std::f64::consts::PI * t).sin();
-            vec![
-                uni(vec![s, 0.0, 0.0, 0.0, 0.0], 0.9),
-                uni(vec![4.0 - s, 1.0, 0.5, 1.0, 0.5], 0.9),
-            ]
+            vec![uni(vec![s, 0.0, 0.0, 0.0, 0.0], 0.9), uni(vec![4.0 - s, 1.0, 0.5, 1.0, 0.5], 0.9)]
         }
         _ => return None,
     };
@@ -327,18 +324,9 @@ mod tests {
 
     #[test]
     fn dimensions_match_names() {
-        assert_eq!(
-            evl_dataset("UG-2C-3D", 3, 10, 0).unwrap().windows[0].numeric_names().len(),
-            3
-        );
-        assert_eq!(
-            evl_dataset("UG-2C-5D", 3, 10, 0).unwrap().windows[0].numeric_names().len(),
-            5
-        );
-        assert_eq!(
-            evl_dataset("4CR", 3, 10, 0).unwrap().windows[0].numeric_names().len(),
-            2
-        );
+        assert_eq!(evl_dataset("UG-2C-3D", 3, 10, 0).unwrap().windows[0].numeric_names().len(), 3);
+        assert_eq!(evl_dataset("UG-2C-5D", 3, 10, 0).unwrap().windows[0].numeric_names().len(), 5);
+        assert_eq!(evl_dataset("4CR", 3, 10, 0).unwrap().windows[0].numeric_names().len(), 2);
     }
 
     #[test]
@@ -388,10 +376,7 @@ mod tests {
     fn deterministic_given_seed() {
         let a = evl_dataset("1CDT", 4, 20, 9).unwrap();
         let b = evl_dataset("1CDT", 4, 20, 9).unwrap();
-        assert_eq!(
-            a.windows[1].numeric("x1").unwrap(),
-            b.windows[1].numeric("x1").unwrap()
-        );
+        assert_eq!(a.windows[1].numeric("x1").unwrap(), b.windows[1].numeric("x1").unwrap());
     }
 
     #[test]
@@ -401,13 +386,8 @@ mod tests {
         let (codes, dict) = w.categorical("class").unwrap();
         let c0 = dict.iter().position(|d| d == "c0").unwrap() as u32;
         let xs = w.numeric("x1").unwrap();
-        let mean_x0: f64 = codes
-            .iter()
-            .zip(xs)
-            .filter(|(c, _)| **c == c0)
-            .map(|(_, v)| v)
-            .sum::<f64>()
-            / 200.0;
+        let mean_x0: f64 =
+            codes.iter().zip(xs).filter(|(c, _)| **c == c0).map(|(_, v)| v).sum::<f64>() / 200.0;
         assert!((mean_x0 + 5.0).abs() < 0.5, "gear 0 centered near x = −5, got {mean_x0}");
     }
 }

@@ -108,7 +108,8 @@ fn loadings(act: usize, ch: usize) -> (f64, f64) {
 /// Person-specific offset for channel `ch`.
 fn person_offset(person: usize, ch: usize, fit: f64, bmi: f64) -> f64 {
     let c = ch as f64;
-    0.15 * (bmi - 26.0) * ((c * 0.37).sin()) / 7.0 + 0.8 * fit * ((c * 0.91).cos()) / 4.0
+    0.15 * (bmi - 26.0) * ((c * 0.37).sin()) / 7.0
+        + 0.8 * fit * ((c * 0.91).cos()) / 4.0
         + 0.05 * (((person * 13 + ch * 7) % 11) as f64 - 5.0) / 5.0
 }
 
@@ -118,7 +119,7 @@ pub fn har(cfg: &HarConfig) -> DataFrame {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let names = channel_names();
     let total = cfg.persons * ACTIVITIES.len() * cfg.samples_per_pair;
-    let mut channels: Vec<Vec<f64>> = vec![Vec::with_capacity(total); N_CHANNELS];
+    let mut channels: Vec<Vec<f64>> = (0..N_CHANNELS).map(|_| Vec::with_capacity(total)).collect();
     let mut activity_col = Vec::with_capacity(total);
     let mut person_col = Vec::with_capacity(total);
 
@@ -186,18 +187,10 @@ mod tests {
         let running = dict.iter().position(|d| d == "running").unwrap() as u32;
         let lying = dict.iter().position(|d| d == "lying").unwrap() as u32;
         let ch = df.numeric("acc_head_x").unwrap();
-        let run_vals: Vec<f64> = codes
-            .iter()
-            .zip(ch)
-            .filter(|(c, _)| **c == running)
-            .map(|(_, v)| *v)
-            .collect();
-        let lie_vals: Vec<f64> = codes
-            .iter()
-            .zip(ch)
-            .filter(|(c, _)| **c == lying)
-            .map(|(_, v)| *v)
-            .collect();
+        let run_vals: Vec<f64> =
+            codes.iter().zip(ch).filter(|(c, _)| **c == running).map(|(_, v)| *v).collect();
+        let lie_vals: Vec<f64> =
+            codes.iter().zip(ch).filter(|(c, _)| **c == lying).map(|(_, v)| *v).collect();
         assert!(population_std(&run_vals) > 2.0 * population_std(&lie_vals));
     }
 
@@ -210,9 +203,8 @@ mod tests {
         let (pcodes, pdict) = df.categorical("person").unwrap();
         let act = adict.iter().position(|d| d == "running").unwrap() as u32;
         let per = pdict.iter().position(|d| d == "p0").unwrap() as u32;
-        let rows: Vec<usize> = (0..df.n_rows())
-            .filter(|&i| acodes[i] == act && pcodes[i] == per)
-            .collect();
+        let rows: Vec<usize> =
+            (0..df.n_rows()).filter(|&i| acodes[i] == act && pcodes[i] == per).collect();
         let c0 = df.numeric("acc_head_x").unwrap();
         let c1 = df.numeric("gyro_waist_z").unwrap();
         let a: Vec<f64> = rows.iter().map(|&i| c0[i]).collect();

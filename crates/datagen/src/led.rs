@@ -72,16 +72,15 @@ pub fn led_windows(cfg: &LedConfig) -> Vec<DataFrame> {
         let phase = w / cfg.windows_per_phase;
         let bad = malfunction_schedule(phase);
         let n = cfg.rows_per_window;
-        let mut leds: Vec<Vec<f64>> = vec![Vec::with_capacity(n); 7];
-        let mut irrelevant: Vec<Vec<f64>> = vec![Vec::with_capacity(n); 17];
+        let mut leds: Vec<Vec<f64>> = (0..7).map(|_| Vec::with_capacity(n)).collect();
+        let mut irrelevant: Vec<Vec<f64>> = (0..17).map(|_| Vec::with_capacity(n)).collect();
         let mut digits = Vec::with_capacity(n);
         for _ in 0..n {
             let digit = rng.gen_range(0..10usize);
             for (s, col) in leds.iter_mut().enumerate() {
                 let mut v = SEGMENTS[digit][s];
                 let malfunctioning = bad.contains(&(s + 1));
-                let flip_p =
-                    if malfunctioning { cfg.malfunction_rate } else { cfg.noise_rate };
+                let flip_p = if malfunctioning { cfg.malfunction_rate } else { cfg.noise_rate };
                 if rng.gen::<f64>() < flip_p {
                     v = 1 - v;
                 }
@@ -137,12 +136,8 @@ mod tests {
         let eight = dict.iter().position(|d| d == "8").map(|i| i as u32);
         if let Some(eight) = eight {
             let led1 = w.numeric("led1").unwrap();
-            let rows: Vec<f64> = codes
-                .iter()
-                .zip(led1)
-                .filter(|(c, _)| **c == eight)
-                .map(|(_, v)| *v)
-                .collect();
+            let rows: Vec<f64> =
+                codes.iter().zip(led1).filter(|(c, _)| **c == eight).map(|(_, v)| *v).collect();
             let on_rate = rows.iter().sum::<f64>() / rows.len() as f64;
             assert!(on_rate > 0.9, "led1 for digit 8 should be on, rate {on_rate}");
         }

@@ -36,7 +36,11 @@ pub fn cardio(n_each: usize, seed: u64) -> (DataFrame, DataFrame) {
             let h = normal(rng, 168.0, 8.0);
             let w = normal(rng, if diseased { 82.0 } else { 72.0 }, 10.0);
             // Blood pressures: the dominant shift; hi/lo correlated.
-            let hi = normal(rng, if diseased { 165.0 } else { 120.0 }, if diseased { 18.0 } else { 9.0 });
+            let hi = normal(
+                rng,
+                if diseased { 165.0 } else { 120.0 },
+                if diseased { 18.0 } else { 9.0 },
+            );
             let lo = hi * 0.62 + normal(rng, 3.0, 4.0);
             age.push(a.round());
             gender.push(if rng.gen::<bool>() { "male" } else { "female" });
@@ -160,17 +164,27 @@ pub fn house(n_each: usize, seed: u64) -> (DataFrame, DataFrame) {
                     "GrLivArea" => area.round(),
                     "OverallQual" => quality.clamp(1.0, 10.0).round(),
                     "1stFlrSF" => (area * 0.62 + normal(rng, 0.0, 90.0)).max(300.0).round(),
-                    "FullBath" => (1.0 + 1.4 * scale + normal(rng, 0.0, 0.5)).clamp(1.0, 4.0).round(),
+                    "FullBath" => {
+                        (1.0 + 1.4 * scale + normal(rng, 0.0, 0.5)).clamp(1.0, 4.0).round()
+                    }
                     "MasVnrArea" => (260.0 * scale + normal(rng, 40.0, 60.0)).max(0.0).round(),
                     "BsmtFinSF1" => (420.0 * scale + normal(rng, 250.0, 160.0)).max(0.0).round(),
                     "YearBuilt" => normal(rng, 1955.0 + 45.0 * scale, 12.0).round(),
                     "2ndFlrSF" => (area * 0.28 * scale + normal(rng, 60.0, 90.0)).max(0.0).round(),
                     "Fireplaces" => (1.3 * scale + normal(rng, 0.3, 0.4)).clamp(0.0, 3.0).round(),
                     "ScreenPorch" => (70.0 * scale + normal(rng, 10.0, 25.0)).max(0.0).round(),
-                    "LotArea" => (8500.0 + 5200.0 * scale + normal(rng, 0.0, 1800.0)).max(1500.0).round(),
-                    "BsmtFullBath" => (0.8 * scale + normal(rng, 0.2, 0.35)).clamp(0.0, 2.0).round(),
-                    "TotRmsAbvGrd" => (5.6 + 2.4 * scale + normal(rng, 0.0, 0.8)).clamp(3.0, 12.0).round(),
-                    "GarageArea" => (380.0 + 260.0 * scale + normal(rng, 0.0, 90.0)).max(0.0).round(),
+                    "LotArea" => {
+                        (8500.0 + 5200.0 * scale + normal(rng, 0.0, 1800.0)).max(1500.0).round()
+                    }
+                    "BsmtFullBath" => {
+                        (0.8 * scale + normal(rng, 0.2, 0.35)).clamp(0.0, 2.0).round()
+                    }
+                    "TotRmsAbvGrd" => {
+                        (5.6 + 2.4 * scale + normal(rng, 0.0, 0.8)).clamp(3.0, 12.0).round()
+                    }
+                    "GarageArea" => {
+                        (380.0 + 260.0 * scale + normal(rng, 0.0, 90.0)).max(0.0).round()
+                    }
                     "YearRemodAdd" => normal(rng, 1975.0 + 27.0 * scale, 10.0).round(),
                     _ => unreachable!(),
                 };

@@ -181,8 +181,7 @@ impl DataFrame {
     /// # Errors
     /// Fails when any named column is missing or non-numeric.
     pub fn numeric_rows(&self, names: &[&str]) -> Result<Vec<Vec<f64>>, FrameError> {
-        let cols: Vec<&[f64]> =
-            names.iter().map(|n| self.numeric(n)).collect::<Result<_, _>>()?;
+        let cols: Vec<&[f64]> = names.iter().map(|n| self.numeric(n)).collect::<Result<_, _>>()?;
         let n = self.n_rows();
         let mut rows = Vec::with_capacity(n);
         for i in 0..n {
@@ -197,6 +196,20 @@ impl DataFrame {
     /// Fails when any named column is missing or non-numeric.
     pub fn numeric_row(&self, names: &[&str], i: usize) -> Result<Vec<f64>, FrameError> {
         names.iter().map(|n| self.numeric(n).map(|c| c[i])).collect()
+    }
+
+    /// Zero-copy row view over the named numeric columns — the iteration
+    /// surface the synthesis engine consumes. Unlike [`Self::numeric_rows`]
+    /// it materializes nothing: rows are read straight out of the column
+    /// storage, and [`NumericView::chunks`] exposes the aligned row-range
+    /// chunking that sharded synthesis parallelizes over.
+    ///
+    /// # Errors
+    /// Fails when any named column is missing or non-numeric.
+    pub fn numeric_view<'a>(&'a self, names: &[&str]) -> Result<NumericView<'a>, FrameError> {
+        let cols: Vec<&'a [f64]> =
+            names.iter().map(|n| self.numeric(n)).collect::<Result<_, _>>()?;
+        Ok(NumericView { n_rows: self.n_rows(), cols })
     }
 
     /// Row-subset copy.
@@ -219,9 +232,7 @@ impl DataFrame {
     /// # Errors
     /// Fails when the column does not exist.
     pub fn drop_column(&self, name: &str) -> Result<DataFrame, FrameError> {
-        let i = self
-            .column_index(name)
-            .ok_or_else(|| FrameError::NoSuchColumn(name.to_owned()))?;
+        let i = self.column_index(name).ok_or_else(|| FrameError::NoSuchColumn(name.to_owned()))?;
         let mut names = self.names.clone();
         let mut columns = self.columns.clone();
         names.remove(i);
@@ -241,10 +252,7 @@ impl DataFrame {
         for (i, &c) in codes.iter().enumerate() {
             buckets.entry(c).or_default().push(i);
         }
-        Ok(buckets
-            .into_iter()
-            .map(|(code, idx)| (dict[code as usize].clone(), idx))
-            .collect())
+        Ok(buckets.into_iter().map(|(code, idx)| (dict[code as usize].clone(), idx)).collect())
     }
 
     /// Vertically concatenates another frame with the same schema (names,
@@ -273,6 +281,56 @@ impl DataFrame {
     }
 }
 
+/// Borrowed row-oriented view over a set of numeric columns.
+///
+/// Created by [`DataFrame::numeric_view`]. Row `i` is
+/// `[col0[i], col1[i], …]`; [`Self::fill_row`] writes it into a caller
+/// buffer so tight loops allocate nothing.
+#[derive(Clone, Debug)]
+pub struct NumericView<'a> {
+    n_rows: usize,
+    cols: Vec<&'a [f64]>,
+}
+
+impl NumericView<'_> {
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns (the tuple arity).
+    pub fn dim(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Writes row `i` into `buf`.
+    ///
+    /// # Panics
+    /// Panics when `buf.len() != dim()` or `i` is out of range.
+    #[inline]
+    pub fn fill_row(&self, i: usize, buf: &mut [f64]) {
+        assert_eq!(buf.len(), self.cols.len(), "fill_row: buffer arity mismatch");
+        for (slot, col) in buf.iter_mut().zip(&self.cols) {
+            *slot = col[i];
+        }
+    }
+
+    /// Materializes row `i`.
+    pub fn row(&self, i: usize) -> Vec<f64> {
+        self.cols.iter().map(|c| c[i]).collect()
+    }
+
+    /// Row-index ranges of at most `chunk_rows` rows, in order. The last
+    /// chunk may be short. `chunk_rows` must be positive.
+    pub fn chunks(&self, chunk_rows: usize) -> Vec<std::ops::Range<usize>> {
+        assert!(chunk_rows > 0, "chunks: chunk_rows must be positive");
+        (0..self.n_rows)
+            .step_by(chunk_rows)
+            .map(|start| start..(start + chunk_rows).min(self.n_rows))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,10 +355,7 @@ mod tests {
     #[test]
     fn duplicate_and_mismatch_rejected() {
         let mut df = sample();
-        assert!(matches!(
-            df.push_numeric("x", vec![0.0; 4]),
-            Err(FrameError::DuplicateColumn(_))
-        ));
+        assert!(matches!(df.push_numeric("x", vec![0.0; 4]), Err(FrameError::DuplicateColumn(_))));
         assert!(matches!(
             df.push_numeric("z", vec![0.0; 3]),
             Err(FrameError::LengthMismatch { .. })
@@ -314,6 +369,33 @@ mod tests {
         assert_eq!(rows[2], vec![3.0, 30.0]);
         let r = df.numeric_row(&["y"], 1).unwrap();
         assert_eq!(r, vec![20.0]);
+    }
+
+    #[test]
+    fn zero_copy_view_matches_materialized() {
+        let df = sample();
+        let view = df.numeric_view(&["y", "x"]).unwrap();
+        assert_eq!(view.n_rows(), 4);
+        assert_eq!(view.dim(), 2);
+        let mut buf = [0.0; 2];
+        for i in 0..view.n_rows() {
+            view.fill_row(i, &mut buf);
+            assert_eq!(buf.to_vec(), view.row(i));
+            assert_eq!(buf[0], df.numeric("y").unwrap()[i]);
+            assert_eq!(buf[1], df.numeric("x").unwrap()[i]);
+        }
+        assert!(df.numeric_view(&["x", "g"]).is_err());
+        assert!(df.numeric_view(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn view_chunks_cover_rows() {
+        let df = sample();
+        let view = df.numeric_view(&["x"]).unwrap();
+        let chunks = view.chunks(3);
+        assert_eq!(chunks, vec![0..3, 3..4]);
+        let all = view.chunks(100);
+        assert_eq!(all, vec![0..4]);
     }
 
     #[test]

@@ -21,6 +21,6 @@ pub mod frame;
 pub mod split;
 
 pub use column::{Column, ColumnType};
-pub use frame::{DataFrame, FrameError};
 pub use csv::{read_csv, write_csv, CsvError};
+pub use frame::{DataFrame, FrameError, NumericView};
 pub use split::{sample_indices, shuffle_split, stratified_indices};

@@ -87,13 +87,8 @@ mod tests {
         let df = frame(50);
         let mut rng = StdRng::seed_from_u64(42);
         let (tr, te) = shuffle_split(&df, 0.5, &mut rng);
-        let mut all: Vec<f64> = tr
-            .numeric("x")
-            .unwrap()
-            .iter()
-            .chain(te.numeric("x").unwrap())
-            .copied()
-            .collect();
+        let mut all: Vec<f64> =
+            tr.numeric("x").unwrap().iter().chain(te.numeric("x").unwrap()).copied().collect();
         all.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let expect: Vec<f64> = (0..50).map(|i| i as f64).collect();
         assert_eq!(all, expect);

@@ -248,10 +248,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_inputs() {
-        assert!(matches!(
-            symmetric_eigen(&Matrix::zeros(2, 3)),
-            Err(EigenError::NotSquare { .. })
-        ));
+        assert!(matches!(symmetric_eigen(&Matrix::zeros(2, 3)), Err(EigenError::NotSquare { .. })));
         let ns = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
         assert_eq!(symmetric_eigen(&ns).err(), Some(EigenError::NotSymmetric));
         let nf = Matrix::from_vec(2, 2, vec![1.0, f64::NAN, f64::NAN, 1.0]);

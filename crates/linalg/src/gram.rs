@@ -52,8 +52,8 @@ impl Gram {
         let mut idx = 0;
         for a in 0..self.dim {
             let ta = t[a];
-            for b in a..self.dim {
-                self.acc[idx] += ta * t[b];
+            for &tb in &t[a..] {
+                self.acc[idx] += ta * tb;
                 idx += 1;
             }
         }
@@ -87,14 +87,12 @@ impl Gram {
     }
 }
 
-/// Computes `XᵀX` for the row-iterator `rows`, splitting the work over
-/// `threads` crossbeam scoped threads (each thread owns a private [`Gram`]
-/// accumulator; results are merged at the end).
+/// Computes `XᵀX` for `rows`, splitting the work over `threads` scoped
+/// threads (each thread owns a private [`Gram`] accumulator; results are
+/// merged at the end).
 ///
-/// `rows` is an indexable closure `(usize) -> &[f64]`-style accessor provided
-/// as a slice of rows to keep the API simple; the paper's "embarrassingly
-/// parallel" horizontal partitioning (§4.3.2) corresponds to the chunking
-/// here.
+/// The paper's "embarrassingly parallel" horizontal partitioning (§4.3.2)
+/// corresponds to the chunking here.
 pub fn gram_parallel(rows: &[Vec<f64>], dim: usize, threads: usize) -> Matrix {
     assert!(threads > 0, "gram_parallel: need at least one thread");
     if rows.is_empty() {
@@ -102,11 +100,11 @@ pub fn gram_parallel(rows: &[Vec<f64>], dim: usize, threads: usize) -> Matrix {
     }
     let threads = threads.min(rows.len());
     let chunk = rows.len().div_ceil(threads);
-    let partials: Vec<Gram> = crossbeam::thread::scope(|scope| {
+    let partials: Vec<Gram> = std::thread::scope(|scope| {
         let handles: Vec<_> = rows
             .chunks(chunk)
             .map(|part| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut g = Gram::new(dim);
                     for r in part {
                         g.update(r);
@@ -116,8 +114,7 @@ pub fn gram_parallel(rows: &[Vec<f64>], dim: usize, threads: usize) -> Matrix {
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("gram worker panicked")).collect()
-    })
-    .expect("crossbeam scope failed");
+    });
 
     let mut total = Gram::new(dim);
     for p in &partials {

@@ -27,12 +27,14 @@ pub mod gram;
 pub mod matrix;
 pub mod pca;
 pub mod solve;
+pub mod stats;
 pub mod vector;
 
 pub use eigen::{symmetric_eigen, EigenDecomposition};
 pub use gram::Gram;
 pub use matrix::Matrix;
 pub use pca::{augmented_pca, pca, PrincipalComponents};
+pub use stats::{SufficientStats, BLOCK_ROWS};
 
 /// Tolerance used across the crate when deciding that a floating-point value
 /// is "numerically zero" (e.g. a zero eigenvalue, a zero pivot).

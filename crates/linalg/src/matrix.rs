@@ -143,8 +143,8 @@ impl Matrix {
     pub fn tr_matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(self.rows, x.len(), "tr_matvec: dimension mismatch");
         let mut out = vec![0.0; self.cols];
-        for i in 0..self.rows {
-            crate::vector::axpy(x[i], self.row(i), &mut out);
+        for (i, &xi) in x.iter().enumerate() {
+            crate::vector::axpy(xi, self.row(i), &mut out);
         }
         out
     }

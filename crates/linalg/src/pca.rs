@@ -42,12 +42,7 @@ impl PrincipalComponents {
     /// Projects a (raw, uncentered) point on component `k`, after centering.
     pub fn project(&self, point: &[f64], k: usize) -> f64 {
         assert_eq!(point.len(), self.means.len(), "project: dimension mismatch");
-        point
-            .iter()
-            .zip(&self.means)
-            .zip(&self.components[k])
-            .map(|((x, m), w)| (x - m) * w)
-            .sum()
+        point.iter().zip(&self.means).zip(&self.components[k]).map(|((x, m), w)| (x - m) * w).sum()
     }
 
     /// Number of components (= input dimensionality).
@@ -203,8 +198,7 @@ mod tests {
         // Data on y = 2x + 1 exactly: the relation y - 2x - 1 = 0 means the
         // vector (−1, −2, 1)/norm (constant, x, y) is a zero-eigenvalue
         // eigenvector of [1;X]ᵀ[1;X].
-        let rows: Vec<Vec<f64>> =
-            (0..50).map(|i| vec![i as f64, 2.0 * i as f64 + 1.0]).collect();
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, 2.0 * i as f64 + 1.0]).collect();
         let a = augmented_pca(&rows, 2).unwrap();
         assert_eq!(a.count, 50);
         assert!(a.eigenvalues[0].abs() < 1e-6, "expected a zero eigenvalue");

@@ -1,0 +1,457 @@
+//! Mergeable sufficient statistics for conformance-constraint synthesis.
+//!
+//! §4.3.2 of the paper observes that the entire synthesis — eigenvectors
+//! *and* per-projection bounds — derives from the augmented Gram matrix
+//! `[1⃗;X]ᵀ[1⃗;X]`, which decomposes over horizontal partitions of the data
+//! and is therefore "embarrassingly parallel". [`SufficientStats`] is the
+//! one accumulator every synthesis path (batch, streaming, partitioned,
+//! sharded) in this workspace now runs on.
+//!
+//! ## Representation: centered, not raw
+//!
+//! Internally the type does **not** store the raw Gram matrix. It tracks
+//! the algebraically equivalent triple
+//!
+//! ```text
+//! n,   μ = (Σᵢ tᵢ)/n,   M = Σᵢ (tᵢ − μ)(tᵢ − μ)ᵀ     (+ per-attribute min/max)
+//! ```
+//!
+//! updated by Welford's recurrence and merged by the Chan et al. pairwise
+//! rule, with Kahan compensation on the co-moment entries. The raw Gram
+//! matrix is recovered exactly as `G[0,0] = n`, `G[0,j] = n·μⱼ`,
+//! `G[i,j] = M[i,j] + n·μᵢμⱼ` — see [`SufficientStats::augmented_gram`] —
+//! so nothing is lost. What is *gained* is numerical stability: projection
+//! variances come from `wᵀMw` directly instead of the catastrophic
+//! cancellation `E[F²] − μ(F)²` that the raw-Gram formulation suffers when
+//! a projection is (nearly) invariant — precisely the projections the
+//! paper cares most about.
+//!
+//! ## Determinism contract
+//!
+//! `update` and `merge` are pure floating-point folds: accumulating the
+//! same tuples in the same order, with the same merge tree, yields
+//! bit-identical statistics. The synthesis layer exploits this by fixing a
+//! block size ([`BLOCK_ROWS`]) and a linear merge order, making sequential,
+//! streaming, and N-way sharded synthesis produce *identical* constraints
+//! (not merely close ones).
+
+use crate::eigen::{symmetric_eigen, EigenDecomposition, EigenError};
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Row-block granularity shared by every synthesis path.
+///
+/// Accumulation happens in blocks of this many tuples; per-block partial
+/// statistics are merged in block order. Because shard boundaries are
+/// always aligned to this granularity, an N-shard parallel run replays the
+/// exact merge sequence of the sequential run and produces bit-identical
+/// results.
+pub const BLOCK_ROWS: usize = 4096;
+
+/// Mergeable sufficient statistics of a tuple set: count, mean vector,
+/// centered co-moment matrix (packed upper triangle, Kahan-compensated),
+/// and per-attribute min/max.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SufficientStats {
+    dim: usize,
+    count: usize,
+    mean: Vec<f64>,
+    /// Packed upper triangle (row-major, diagonal included) of
+    /// `M = Σ (t−μ)(t−μ)ᵀ`.
+    comoment: Vec<f64>,
+    /// Kahan compensation terms for `comoment`.
+    comp: Vec<f64>,
+    min: Vec<f64>,
+    max: Vec<f64>,
+}
+
+#[inline]
+fn packed_len(dim: usize) -> usize {
+    dim * (dim + 1) / 2
+}
+
+/// Index of `(a, b)` with `a ≤ b` in the packed upper triangle.
+#[inline]
+fn packed_idx(dim: usize, a: usize, b: usize) -> usize {
+    debug_assert!(a <= b && b < dim);
+    a * dim - a * (a + 1) / 2 + b
+}
+
+#[inline]
+fn kahan_add(acc: &mut f64, comp: &mut f64, x: f64) {
+    let y = x - *comp;
+    let t = *acc + y;
+    *comp = (t - *acc) - y;
+    *acc = t;
+}
+
+impl SufficientStats {
+    /// Empty statistics over `dim` numeric attributes.
+    pub fn new(dim: usize) -> Self {
+        SufficientStats {
+            dim,
+            count: 0,
+            mean: vec![0.0; dim],
+            comoment: vec![0.0; packed_len(dim)],
+            comp: vec![0.0; packed_len(dim)],
+            min: vec![f64::INFINITY; dim],
+            max: vec![f64::NEG_INFINITY; dim],
+        }
+    }
+
+    /// Statistics of a row slice (tuples in `rows` order).
+    pub fn from_rows(rows: &[Vec<f64>], dim: usize) -> Self {
+        let mut s = SufficientStats::new(dim);
+        for r in rows {
+            s.update(r);
+        }
+        s
+    }
+
+    /// Number of accumulated tuples.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Attribute dimensionality (excluding the implicit constant column).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// True when no tuples have been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of each attribute (zeros when empty).
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Per-attribute minimum (`+∞` when empty).
+    pub fn attribute_min(&self) -> &[f64] {
+        &self.min
+    }
+
+    /// Per-attribute maximum (`−∞` when empty).
+    pub fn attribute_max(&self) -> &[f64] {
+        &self.max
+    }
+
+    /// Absorbs one tuple (Welford's recurrence).
+    ///
+    /// # Panics
+    /// Panics when the tuple arity differs from `dim`.
+    pub fn update(&mut self, tuple: &[f64]) {
+        assert_eq!(tuple.len(), self.dim, "SufficientStats::update: arity mismatch");
+        self.count += 1;
+        let n = self.count as f64;
+        for (mu, x) in self.mean.iter_mut().zip(tuple) {
+            *mu += (x - *mu) / n;
+        }
+        // M += δ·δ2ᵀ where δ = t − μ_old and δ2 = t − μ_new. Since
+        // δ = δ2 · n/(n−1), both residuals come from the updated mean
+        // without storing the old one. n = 1 contributes nothing (δ2 = 0).
+        if self.count > 1 {
+            let blowup = n / (n - 1.0);
+            let mut idx = 0;
+            for a in 0..self.dim {
+                let da = (tuple[a] - self.mean[a]) * blowup;
+                for (x, mu) in tuple[a..].iter().zip(&self.mean[a..]) {
+                    let d2b = x - mu;
+                    kahan_add(&mut self.comoment[idx], &mut self.comp[idx], da * d2b);
+                    idx += 1;
+                }
+            }
+        }
+        for ((lo, hi), x) in self.min.iter_mut().zip(self.max.iter_mut()).zip(tuple) {
+            *lo = lo.min(*x);
+            *hi = hi.max(*x);
+        }
+    }
+
+    /// Merges another accumulator (Chan et al. pairwise combination).
+    /// Associative and order-independent up to floating-point rounding;
+    /// bit-deterministic for a fixed merge order.
+    ///
+    /// # Panics
+    /// Panics on dimensionality mismatch.
+    pub fn merge(&mut self, other: &SufficientStats) {
+        assert_eq!(self.dim, other.dim, "SufficientStats::merge: dimension mismatch");
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let na = self.count as f64;
+        let nb = other.count as f64;
+        let n = na + nb;
+        let mut delta = vec![0.0; self.dim];
+        for (d, (mb, ma)) in delta.iter_mut().zip(other.mean.iter().zip(&self.mean)) {
+            *d = mb - ma;
+        }
+        let mut idx = 0;
+        for a in 0..self.dim {
+            for b in a..self.dim {
+                kahan_add(&mut self.comoment[idx], &mut self.comp[idx], other.comoment[idx]);
+                kahan_add(&mut self.comoment[idx], &mut self.comp[idx], -other.comp[idx]);
+                kahan_add(
+                    &mut self.comoment[idx],
+                    &mut self.comp[idx],
+                    delta[a] * delta[b] * na * nb / n,
+                );
+                idx += 1;
+            }
+        }
+        for (ma, d) in self.mean.iter_mut().zip(&delta) {
+            *ma += d * nb / n;
+        }
+        for (lo, o) in self.min.iter_mut().zip(&other.min) {
+            *lo = lo.min(*o);
+        }
+        for (hi, o) in self.max.iter_mut().zip(&other.max) {
+            *hi = hi.max(*o);
+        }
+        self.count += other.count;
+    }
+
+    /// Entry `(a, b)` of the centered co-moment matrix `M`.
+    pub fn comoment(&self, a: usize, b: usize) -> f64 {
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.comoment[packed_idx(self.dim, a, b)]
+    }
+
+    /// Reconstructs the augmented Gram matrix `[1⃗;X]ᵀ[1⃗;X]` of shape
+    /// `(dim+1) × (dim+1)` (index 0 is the constant column).
+    pub fn augmented_gram(&self) -> Matrix {
+        let m = self.dim;
+        let n = self.count as f64;
+        let mut g = Matrix::zeros(m + 1, m + 1);
+        g[(0, 0)] = n;
+        for j in 0..m {
+            let s = n * self.mean[j];
+            g[(0, j + 1)] = s;
+            g[(j + 1, 0)] = s;
+        }
+        for a in 0..m {
+            for b in a..m {
+                let v = self.comoment(a, b) + n * self.mean[a] * self.mean[b];
+                g[(a + 1, b + 1)] = v;
+                g[(b + 1, a + 1)] = v;
+            }
+        }
+        g
+    }
+
+    /// Eigendecomposition of the augmented Gram matrix (Algorithm 1,
+    /// lines 2–3).
+    ///
+    /// # Errors
+    /// Propagates eigensolver failures (non-finite data).
+    pub fn eigen(&self) -> Result<EigenDecomposition, EigenError> {
+        symmetric_eigen(&self.augmented_gram())
+    }
+
+    /// Mean of the projection `w·t` over the accumulated tuples
+    /// (`w` indexes data attributes, not the constant column).
+    ///
+    /// # Panics
+    /// Panics when `w.len() != dim`.
+    pub fn projection_mean(&self, w: &[f64]) -> f64 {
+        assert_eq!(w.len(), self.dim, "projection_mean: arity mismatch");
+        w.iter().zip(&self.mean).map(|(c, mu)| c * mu).sum()
+    }
+
+    /// Population variance of the projection `w·t`: `wᵀMw / n`.
+    /// Zero when fewer than two tuples have been accumulated.
+    ///
+    /// # Panics
+    /// Panics when `w.len() != dim`.
+    pub fn projection_variance(&self, w: &[f64]) -> f64 {
+        assert_eq!(w.len(), self.dim, "projection_variance: arity mismatch");
+        if self.count < 2 {
+            return 0.0;
+        }
+        let mut quad = 0.0;
+        for a in 0..self.dim {
+            // Diagonal term once, off-diagonal terms twice (symmetry).
+            quad += w[a] * w[a] * self.comoment(a, a);
+            for b in (a + 1)..self.dim {
+                quad += 2.0 * w[a] * w[b] * self.comoment(a, b);
+            }
+        }
+        (quad / self.count as f64).max(0.0)
+    }
+
+    /// A scale proxy for the projection `w·t`: `Σⱼ |wⱼ|·max(|minⱼ|, |maxⱼ|)`.
+    /// Used by the synthesizer to floor σ for (near-)equality constraints.
+    /// Zero when empty.
+    ///
+    /// # Panics
+    /// Panics when `w.len() != dim`.
+    pub fn projection_scale(&self, w: &[f64]) -> f64 {
+        assert_eq!(w.len(), self.dim, "projection_scale: arity mismatch");
+        if self.count == 0 {
+            return 0.0;
+        }
+        w.iter()
+            .zip(self.min.iter().zip(&self.max))
+            .map(|(c, (lo, hi))| c.abs() * lo.abs().max(hi.abs()))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rows(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let x = i as f64 / 7.0;
+                vec![x, 2.0 * x + 1.0 + ((i * 31) % 13) as f64 * 0.05, ((i * 17) % 29) as f64]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gram_matches_naive() {
+        let rows = sample_rows(137);
+        let s = SufficientStats::from_rows(&rows, 3);
+        let g = s.augmented_gram();
+        // Naive [1;X]ᵀ[1;X].
+        let mut naive = Matrix::zeros(4, 4);
+        for r in &rows {
+            let aug = [1.0, r[0], r[1], r[2]];
+            for a in 0..4 {
+                for b in 0..4 {
+                    naive[(a, b)] += aug[a] * aug[b];
+                }
+            }
+        }
+        for a in 0..4 {
+            for b in 0..4 {
+                let scale = 1.0 + naive[(a, b)].abs();
+                assert!(
+                    (g[(a, b)] - naive[(a, b)]).abs() / scale < 1e-12,
+                    "G[{a},{b}] = {} vs naive {}",
+                    g[(a, b)],
+                    naive[(a, b)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn projection_moments_match_direct() {
+        let rows = sample_rows(200);
+        let s = SufficientStats::from_rows(&rows, 3);
+        let w = [0.6, -0.7, 0.2];
+        let vals: Vec<f64> =
+            rows.iter().map(|r| r.iter().zip(&w).map(|(x, c)| x * c).sum()).collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
+        assert!((s.projection_mean(&w) - mean).abs() < 1e-10);
+        assert!((s.projection_variance(&w) - var).abs() / (1.0 + var) < 1e-10);
+    }
+
+    #[test]
+    fn variance_of_exact_invariant_is_tiny() {
+        // y = 2x + 1 exactly: the projection (2, −1)/√5 has zero variance.
+        // The centered representation must keep it ≈ 0 (raw-Gram
+        // cancellation would give ~1e-8 here).
+        let rows: Vec<Vec<f64>> =
+            (0..10_000).map(|i| vec![i as f64, 2.0 * i as f64 + 1.0]).collect();
+        let s = SufficientStats::from_rows(&rows, 2);
+        let w = [2.0 / 5.0f64.sqrt(), -1.0 / 5.0f64.sqrt()];
+        let var = s.projection_variance(&w);
+        assert!(var < 1e-12, "variance {var}");
+    }
+
+    #[test]
+    fn merge_matches_single_pass() {
+        let rows = sample_rows(1000);
+        let whole = SufficientStats::from_rows(&rows, 3);
+        for cut in [1, 9, 500, 999] {
+            let mut left = SufficientStats::from_rows(&rows[..cut], 3);
+            let right = SufficientStats::from_rows(&rows[cut..], 3);
+            left.merge(&right);
+            assert_eq!(left.count(), whole.count());
+            for j in 0..3 {
+                assert!((left.mean()[j] - whole.mean()[j]).abs() < 1e-12);
+                assert_eq!(left.attribute_min()[j], whole.attribute_min()[j]);
+                assert_eq!(left.attribute_max()[j], whole.attribute_max()[j]);
+            }
+            for a in 0..3 {
+                for b in a..3 {
+                    // Cross-moments near zero cancel heavily; 1e-11 relative
+                    // is the realistic fp agreement (contract is 1e-9).
+                    let scale = 1.0 + whole.comoment(a, b).abs();
+                    assert!(
+                        (left.comoment(a, b) - whole.comoment(a, b)).abs() / scale < 1e-11,
+                        "cut {cut}: M[{a},{b}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_empty_is_identity() {
+        let rows = sample_rows(300);
+        let a = SufficientStats::from_rows(&rows[..100], 3);
+        let b = SufficientStats::from_rows(&rows[100..200], 3);
+        let c = SufficientStats::from_rows(&rows[200..], 3);
+
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+
+        for x in 0..3 {
+            for y in x..3 {
+                let scale = 1.0 + ab_c.comoment(x, y).abs();
+                assert!((ab_c.comoment(x, y) - a_bc.comoment(x, y)).abs() / scale < 1e-12);
+            }
+        }
+
+        let mut with_empty = a.clone();
+        with_empty.merge(&SufficientStats::new(3));
+        assert_eq!(with_empty.count(), a.count());
+        let mut from_empty = SufficientStats::new(3);
+        from_empty.merge(&a);
+        assert_eq!(from_empty.count(), a.count());
+        assert_eq!(from_empty.mean(), a.mean());
+    }
+
+    #[test]
+    fn empty_stats_shape() {
+        let s = SufficientStats::new(2);
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        let g = s.augmented_gram();
+        assert_eq!(g.trace(), 0.0);
+        assert_eq!(s.projection_variance(&[1.0, 0.0]), 0.0);
+        assert_eq!(s.projection_scale(&[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = SufficientStats::from_rows(&sample_rows(50), 3);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: SufficientStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.count(), s.count());
+        assert_eq!(back.mean(), s.mean());
+        for a in 0..3 {
+            for b in a..3 {
+                assert_eq!(back.comoment(a, b), s.comoment(a, b));
+            }
+        }
+    }
+}

@@ -8,10 +8,7 @@ use proptest::prelude::*;
 fn rows_strategy() -> impl Strategy<Value = (Vec<Vec<f64>>, usize)> {
     (1usize..7).prop_flat_map(|m| {
         (
-            proptest::collection::vec(
-                proptest::collection::vec(-100.0..100.0f64, m..=m),
-                1..30,
-            ),
+            proptest::collection::vec(proptest::collection::vec(-100.0..100.0f64, m..=m), 1..30),
             Just(m),
         )
     })

@@ -75,10 +75,7 @@ impl LinearRegression {
             if let Ok(ch) = Cholesky::new(&a) {
                 if let Ok(w) = ch.solve(&xty) {
                     if w.iter().all(|x| x.is_finite()) {
-                        return Ok(LinearRegression {
-                            intercept: w[0],
-                            weights: w[1..].to_vec(),
-                        });
+                        return Ok(LinearRegression { intercept: w[0], weights: w[1..].to_vec() });
                     }
                 }
             }
@@ -106,9 +103,8 @@ mod tests {
     #[test]
     fn exact_linear_recovery() {
         // y = 3x₀ − 2x₁ + 5.
-        let rows: Vec<Vec<f64>> = (0..100)
-            .map(|i| vec![(i % 17) as f64, ((i * 7) % 23) as f64])
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..100).map(|i| vec![(i % 17) as f64, ((i * 7) % 23) as f64]).collect();
         let y: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 5.0).collect();
         let lr = LinearRegression::fit(&rows, &y, 0.0).unwrap();
         assert!((lr.weights[0] - 3.0).abs() < 1e-8);

@@ -78,13 +78,7 @@ impl LogisticRegression {
         let stds: Vec<f64> = vars.iter().map(|v| (v / n as f64).sqrt().max(1e-9)).collect();
         let std_rows: Vec<Vec<f64>> = rows
             .iter()
-            .map(|r| {
-                r.iter()
-                    .zip(&means)
-                    .zip(&stds)
-                    .map(|((x, mu), sd)| (x - mu) / sd)
-                    .collect()
-            })
+            .map(|r| r.iter().zip(&means).zip(&stds).map(|((x, mu), sd)| (x - mu) / sd).collect())
             .collect();
 
         let mut weights = vec![vec![0.0; m]; n_classes];
@@ -124,12 +118,8 @@ impl LogisticRegression {
     /// Class probabilities for one tuple.
     pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.means.len(), "feature arity mismatch");
-        let std_x: Vec<f64> = x
-            .iter()
-            .zip(&self.means)
-            .zip(&self.stds)
-            .map(|((v, mu), sd)| (v - mu) / sd)
-            .collect();
+        let std_x: Vec<f64> =
+            x.iter().zip(&self.means).zip(&self.stds).map(|((v, mu), sd)| (v - mu) / sd).collect();
         let mut probs = vec![0.0; self.n_classes];
         softmax_into(&self.weights, &self.biases, &std_x, &mut probs);
         probs
@@ -199,8 +189,7 @@ mod tests {
     #[test]
     fn separable_blobs_high_accuracy() {
         let (rows, labels) = blobs();
-        let model =
-            LogisticRegression::fit(&rows, &labels, 3, &LogRegOptions::default()).unwrap();
+        let model = LogisticRegression::fit(&rows, &labels, 3, &LogRegOptions::default()).unwrap();
         let preds = model.predict_all(&rows);
         assert!(accuracy(&preds, &labels) > 0.99);
     }
@@ -208,8 +197,7 @@ mod tests {
     #[test]
     fn probabilities_sum_to_one() {
         let (rows, labels) = blobs();
-        let model =
-            LogisticRegression::fit(&rows, &labels, 3, &LogRegOptions::default()).unwrap();
+        let model = LogisticRegression::fit(&rows, &labels, 3, &LogRegOptions::default()).unwrap();
         let p = model.predict_proba(&[5.0, 5.0]);
         assert_eq!(p.len(), 3);
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
@@ -219,11 +207,11 @@ mod tests {
     #[test]
     fn binary_decision_boundary() {
         // 1D: class 0 below 0, class 1 above 10.
-        let rows: Vec<Vec<f64>> =
-            (0..40).map(|i| vec![if i < 20 { i as f64 / 10.0 } else { 10.0 + (i - 20) as f64 / 10.0 }]).collect();
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![if i < 20 { i as f64 / 10.0 } else { 10.0 + (i - 20) as f64 / 10.0 }])
+            .collect();
         let labels: Vec<usize> = (0..40).map(|i| usize::from(i >= 20)).collect();
-        let model =
-            LogisticRegression::fit(&rows, &labels, 2, &LogRegOptions::default()).unwrap();
+        let model = LogisticRegression::fit(&rows, &labels, 2, &LogRegOptions::default()).unwrap();
         assert_eq!(model.predict(&[0.5]), 0);
         assert_eq!(model.predict(&[11.0]), 1);
     }
@@ -250,8 +238,7 @@ mod tests {
     fn constant_feature_does_not_explode() {
         let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 7.0]).collect();
         let labels: Vec<usize> = (0..20).map(|i| usize::from(i >= 10)).collect();
-        let model =
-            LogisticRegression::fit(&rows, &labels, 2, &LogRegOptions::default()).unwrap();
+        let model = LogisticRegression::fit(&rows, &labels, 2, &LogRegOptions::default()).unwrap();
         let p = model.predict_proba(&[5.0, 7.0]);
         assert!(p.iter().all(|x| x.is_finite()));
     }

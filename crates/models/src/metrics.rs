@@ -36,8 +36,7 @@ pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
     if predictions.is_empty() {
         return 0.0;
     }
-    predictions.iter().zip(labels).filter(|(p, l)| p == l).count() as f64
-        / predictions.len() as f64
+    predictions.iter().zip(labels).filter(|(p, l)| p == l).count() as f64 / predictions.len() as f64
 }
 
 /// `counts[actual][predicted]` confusion matrix over `n_classes`.

@@ -12,8 +12,7 @@ pub mod histogram;
 pub mod multivariate;
 
 pub use describe::{
-    mean, min_max_normalize, pcc, population_std, population_variance, quantile, roc_auc,
-    Summary,
+    mean, min_max_normalize, pcc, population_std, population_variance, quantile, roc_auc, Summary,
 };
 pub use divergence::{intersection_area, kl_divergence, max_symmetric_kl, total_variation};
 pub use histogram::{scott_bins, Histogram};

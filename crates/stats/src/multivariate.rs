@@ -70,12 +70,7 @@ impl MultivariateGaussian {
             }
             match (spd_inverse(&c), cc_linalg::solve::Cholesky::new(&c)) {
                 (Ok(inv_cov), Ok(ch)) => {
-                    return Ok(MultivariateGaussian {
-                        mean,
-                        inv_cov,
-                        log_det: ch.log_det(),
-                        dim,
-                    })
+                    return Ok(MultivariateGaussian { mean, inv_cov, log_det: ch.log_det(), dim })
                 }
                 _ => reg *= 10.0,
             }

@@ -24,8 +24,7 @@ fn main() {
     );
 
     // Alert threshold: 5× the reference's self-violation (≈ noise floor).
-    let self_violation =
-        dataset_drift(&profile, reference, DriftAggregator::Mean).unwrap();
+    let self_violation = dataset_drift(&profile, reference, DriftAggregator::Mean).unwrap();
     let threshold = (5.0 * self_violation).max(0.05);
 
     println!("{:>7} {:>12} {:>13} {:>7}", "window", "drift", "ground truth", "alert");

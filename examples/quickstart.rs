@@ -30,10 +30,7 @@ fn main() {
     let global = profile.global.as_ref().unwrap();
     println!("Learned {} bounded-projection constraints:", global.len());
     for (c, w) in global.conjuncts.iter().zip(&global.weights) {
-        println!(
-            "  γ={:.3}  σ={:>9.3}   {:.2} ≤ {} ≤ {:.2}",
-            w, c.std, c.lb, c.projection, c.ub
-        );
+        println!("  γ={:.3}  σ={:>9.3}   {:.2} ≤ {} ≤ {:.2}", w, c.std, c.lb, c.projection, c.ub);
     }
 
     // 2. Score serving tuples. The violation ∈ [0,1] quantifies trust:

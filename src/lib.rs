@@ -46,8 +46,10 @@ pub use conformance;
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use cc_frame::{read_csv, write_csv, DataFrame};
+    pub use cc_linalg::SufficientStats;
     pub use conformance::{
-        dataset_drift, synthesize, synthesize_simple, ConformanceProfile, DriftAggregator,
-        Projection, SafetyEnvelope, SimpleConstraint, SynthOptions,
+        dataset_drift, dataset_drift_parallel, synthesize, synthesize_parallel, synthesize_simple,
+        ConformanceProfile, DriftAggregator, Projection, SafetyEnvelope, SimpleConstraint,
+        StreamingSynthesizer, SynthOptions,
     };
 }

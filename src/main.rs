@@ -1,19 +1,22 @@
 //! `ccsynth` — command-line interface to conformance-constraint discovery.
 //!
 //! ```text
-//! ccsynth profile <data.csv> -o <profile.json> [--drop <col>]...
+//! ccsynth profile <data.csv> -o <profile.json> [--drop <col>]... [--shards <n>]
 //! ccsynth check   <profile.json> <data.csv> [--threshold <t>]
-//! ccsynth drift   <profile.json> <data.csv>
+//! ccsynth drift   <profile.json> <data.csv> [--threads <n>]
 //! ccsynth explain <profile.json> <train.csv> <serve.csv> [--sample <n>]
 //! ccsynth sql     <profile.json> <table_name>
 //! ```
 //!
 //! Profiles are stored as JSON and are portable across machines.
+//! `--shards`/`--threads` spread the work over scoped threads; the paper's
+//! synthesis is embarrassingly parallel (§4.3.2) and the sharded result is
+//! bit-identical to the sequential one.
 
 use ccsynth::conformance::explain::mean_responsibility;
 use ccsynth::conformance::{
-    dataset_drift, profile_to_sql, synthesize, ConformanceProfile, DriftAggregator,
-    SafetyEnvelope, SynthOptions,
+    dataset_drift_parallel, profile_to_sql, synthesize_parallel, ConformanceProfile,
+    DriftAggregator, SafetyEnvelope, SynthOptions,
 };
 use ccsynth::frame::{read_csv, DataFrame};
 use std::fs::File;
@@ -22,13 +25,21 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  ccsynth profile <data.csv> -o <profile.json> [--drop <col>]...\n  \
+        "usage:\n  ccsynth profile <data.csv> -o <profile.json> [--drop <col>]... [--shards <n>]\n  \
          ccsynth check   <profile.json> <data.csv> [--threshold <t>]\n  \
-         ccsynth drift   <profile.json> <data.csv>\n  \
+         ccsynth drift   <profile.json> <data.csv> [--threads <n>]\n  \
          ccsynth explain <profile.json> <train.csv> <serve.csv> [--sample <n>]\n  \
          ccsynth sql     <profile.json> <table_name>"
     );
     ExitCode::from(2)
+}
+
+/// Parses a `--flag <positive integer>` value.
+fn parse_count(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<usize, String> {
+    it.next()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n: &usize| n >= 1)
+        .ok_or_else(|| format!("{flag} needs a positive integer"))
 }
 
 fn load_csv(path: &str) -> Result<DataFrame, String> {
@@ -46,11 +57,13 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     let mut data_path = None;
     let mut out_path = None;
     let mut drops = Vec::new();
+    let mut shards = 1usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "-o" => out_path = it.next().cloned(),
             "--drop" => drops.push(it.next().cloned().ok_or("--drop needs a column")?),
+            "--shards" => shards = parse_count(&mut it, "--shards")?,
             other => data_path = Some(other.to_owned()),
         }
     }
@@ -58,14 +71,17 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     let out_path = out_path.ok_or("missing -o <profile.json>")?;
     let df = load_csv(&data_path)?;
     let opts = SynthOptions { drop_attributes: drops, ..Default::default() };
-    let profile = synthesize(&df, &opts).map_err(|e| format!("synthesis failed: {e}"))?;
+    let profile =
+        synthesize_parallel(&df, &opts, shards).map_err(|e| format!("synthesis failed: {e}"))?;
     let json = serde_json::to_string_pretty(&profile).map_err(|e| e.to_string())?;
     let mut f = File::create(&out_path).map_err(|e| format!("cannot write {out_path}: {e}"))?;
     f.write_all(json.as_bytes()).map_err(|e| e.to_string())?;
     println!(
-        "profiled {} rows × {} attributes → {} constraints → {out_path}",
+        "profiled {} rows × {} attributes ({} shard{}) → {} constraints → {out_path}",
         df.n_rows(),
         profile.numeric_attributes.len(),
+        shards,
+        if shards == 1 { "" } else { "s" },
         profile.constraint_count()
     );
     Ok(())
@@ -100,12 +116,24 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
     println!("rows:            {}", verdicts.len());
     println!("mean violation:  {mean:.4}");
     println!("max violation:   {max:.4}");
-    println!("unsafe (> {threshold}): {n_unsafe} ({:.1}%)", 100.0 * n_unsafe as f64 / verdicts.len().max(1) as f64);
+    println!(
+        "unsafe (> {threshold}): {n_unsafe} ({:.1}%)",
+        100.0 * n_unsafe as f64 / verdicts.len().max(1) as f64
+    );
     Ok(())
 }
 
 fn cmd_drift(args: &[String]) -> Result<(), String> {
-    let [profile_path, data_path] = args else {
+    let mut threads = 1usize;
+    let mut paths = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => threads = parse_count(&mut it, "--threads")?,
+            other => paths.push(other.to_owned()),
+        }
+    }
+    let [profile_path, data_path] = paths.as_slice() else {
         return Err("drift needs <profile.json> <data.csv>".into());
     };
     let profile = load_profile(profile_path)?;
@@ -115,7 +143,7 @@ fn cmd_drift(args: &[String]) -> Result<(), String> {
         ("p95", DriftAggregator::Quantile(0.95)),
         ("max", DriftAggregator::Max),
     ] {
-        let d = dataset_drift(&profile, &df, agg).map_err(|e| e.to_string())?;
+        let d = dataset_drift_parallel(&profile, &df, agg, threads).map_err(|e| e.to_string())?;
         println!("{name:<5} drift: {d:.4}");
     }
     Ok(())
@@ -161,7 +189,27 @@ fn cmd_sql(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Restores the default SIGPIPE disposition so `ccsynth … | head` exits
+/// quietly like other Unix tools instead of panicking on a closed pipe
+/// (Rust's runtime ignores SIGPIPE by default, turning EPIPE into a
+/// `println!` panic).
+#[cfg(unix)]
+fn reset_sigpipe() {
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGPIPE: i32 = 13;
+    const SIG_DFL: usize = 0;
+    unsafe {
+        signal(SIGPIPE, SIG_DFL);
+    }
+}
+
+#[cfg(not(unix))]
+fn reset_sigpipe() {}
+
 fn main() -> ExitCode {
+    reset_sigpipe();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         return usage();

@@ -7,11 +7,8 @@ use ccsynth::models::{mae, LinearRegression};
 use ccsynth::prelude::*;
 
 fn regression_io(df: &DataFrame) -> (Vec<Vec<f64>>, Vec<f64>) {
-    let covariates: Vec<&str> = df
-        .numeric_names()
-        .into_iter()
-        .filter(|n| *n != "arrival_delay")
-        .collect();
+    let covariates: Vec<&str> =
+        df.numeric_names().into_iter().filter(|n| *n != "arrival_delay").collect();
     (df.numeric_rows(&covariates).unwrap(), df.numeric("arrival_delay").unwrap().to_vec())
 }
 
@@ -21,10 +18,7 @@ fn airlines_tml_pipeline() {
     let day = airlines(&AirlinesConfig { rows: 2000, kind: FlightKind::Daytime, seed: 2 });
     let night = airlines(&AirlinesConfig { rows: 2000, kind: FlightKind::Overnight, seed: 3 });
 
-    let opts = SynthOptions {
-        drop_attributes: vec!["arrival_delay".into()],
-        ..Default::default()
-    };
+    let opts = SynthOptions { drop_attributes: vec!["arrival_delay".into()], ..Default::default() };
     let profile = synthesize(&train, &opts).unwrap();
 
     // Violations: train ≈ day ≪ night (the Fig-4 table's first row).
@@ -51,10 +45,7 @@ fn airlines_tml_pipeline() {
 #[test]
 fn profile_persists_through_json() {
     let train = airlines(&AirlinesConfig { rows: 2000, kind: FlightKind::Daytime, seed: 5 });
-    let opts = SynthOptions {
-        drop_attributes: vec!["arrival_delay".into()],
-        ..Default::default()
-    };
+    let opts = SynthOptions { drop_attributes: vec!["arrival_delay".into()], ..Default::default() };
     let profile = synthesize(&train, &opts).unwrap();
     let json = serde_json::to_string(&profile).unwrap();
     let back: ConformanceProfile = serde_json::from_str(&json).unwrap();
@@ -71,17 +62,11 @@ fn profile_persists_through_json() {
 #[test]
 fn envelope_flags_mixture_proportionally() {
     let train = airlines(&AirlinesConfig { rows: 6000, kind: FlightKind::Daytime, seed: 7 });
-    let opts = SynthOptions {
-        drop_attributes: vec!["arrival_delay".into()],
-        ..Default::default()
-    };
+    let opts = SynthOptions { drop_attributes: vec!["arrival_delay".into()], ..Default::default() };
     let profile = synthesize(&train, &opts).unwrap();
     let envelope = SafetyEnvelope::new(profile, 0.3);
 
     let mixed = airlines(&AirlinesConfig { rows: 3000, kind: FlightKind::Mixed(40), seed: 8 });
     let fraction = envelope.unsafe_fraction(&mixed).unwrap();
-    assert!(
-        (fraction - 0.4).abs() < 0.06,
-        "≈40% of the mixture should be flagged, got {fraction}"
-    );
+    assert!((fraction - 0.4).abs() < 0.06, "≈40% of the mixture should be flagged, got {fraction}");
 }

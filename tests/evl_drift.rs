@@ -29,10 +29,7 @@ fn ccsynth_tracks_ground_truth_on_all_streams() {
             weak.push((name.to_owned(), rho));
         }
     }
-    assert!(
-        weak.is_empty(),
-        "CCSynth should track ground truth on every stream; weak: {weak:?}"
-    );
+    assert!(weak.is_empty(), "CCSynth should track ground truth on every stream; weak: {weak:?}");
 }
 
 #[test]
@@ -47,10 +44,7 @@ fn local_drift_4cr_defeats_global_baselines() {
     // CD on the union distribution: barely moves at the quarter turn.
     let cd = ChangeDetection::fit(
         reference,
-        &ccsynth::baselines::cd::CdOptions {
-            divergence: CdDivergence::Area,
-            ..Default::default()
-        },
+        &ccsynth::baselines::cd::CdOptions { divergence: CdDivergence::Area, ..Default::default() },
     )
     .unwrap();
     let cd_q = cd.drift(quarter).unwrap();

@@ -89,10 +89,7 @@ fn imputation_recovers_flight_arrivals() {
 
 #[test]
 fn model_selection_distinguishes_day_and_night_regimes() {
-    let opts = SynthOptions {
-        drop_attributes: vec!["arrival_delay".into()],
-        ..Default::default()
-    };
+    let opts = SynthOptions { drop_attributes: vec!["arrival_delay".into()], ..Default::default() };
     let p_day = synthesize(
         &airlines(&AirlinesConfig { rows: 4000, kind: FlightKind::Daytime, seed: 67 }),
         &opts,
@@ -103,8 +100,7 @@ fn model_selection_distinguishes_day_and_night_regimes() {
         &opts,
     )
     .unwrap();
-    let serving =
-        airlines(&AirlinesConfig { rows: 800, kind: FlightKind::Overnight, seed: 69 });
+    let serving = airlines(&AirlinesConfig { rows: 800, kind: FlightKind::Overnight, seed: 69 });
     let (idx, v) = select_model(&[p_day, p_night], &serving).unwrap().unwrap();
     assert_eq!(idx, 1, "the overnight-trained profile should be selected");
     assert!(v < 0.1);

@@ -3,8 +3,8 @@
 //! leaks into a sedentary serving stream.
 
 use ccsynth::datagen::{har, HarConfig, MOBILE_ACTIVITIES, SEDENTARY_ACTIVITIES};
-use ccsynth::models::logreg::{LogRegOptions, LogisticRegression};
 use ccsynth::models::accuracy;
+use ccsynth::models::logreg::{LogRegOptions, LogisticRegression};
 use ccsynth::prelude::*;
 use ccsynth::stats::pcc;
 
@@ -16,8 +16,7 @@ fn split_by_activity(df: &DataFrame, wanted: &[&str]) -> DataFrame {
         .filter(|(_, d)| wanted.contains(&d.as_str()))
         .map(|(i, _)| i as u32)
         .collect();
-    let idx: Vec<usize> =
-        (0..df.n_rows()).filter(|&i| keep.contains(&codes[i])).collect();
+    let idx: Vec<usize> = (0..df.n_rows()).filter(|&i| keep.contains(&codes[i])).collect();
     df.take(&idx)
 }
 
@@ -51,7 +50,8 @@ fn violation_tracks_accuracy_drop() {
         &LogRegOptions { epochs: 120, ..Default::default() },
     )
     .unwrap();
-    let base_acc = accuracy(&model.predict_all(&channel_rows(&sedentary)), &person_labels(&sedentary));
+    let base_acc =
+        accuracy(&model.predict_all(&channel_rows(&sedentary)), &person_labels(&sedentary));
     assert!(base_acc > 0.8, "sedentary classifier should work, acc {base_acc}");
 
     // Mix increasing fractions of mobile data into the serving stream.
@@ -84,10 +84,8 @@ fn violation_tracks_accuracy_drop() {
 fn disjunctive_profile_knows_who_does_what() {
     let df = har(&HarConfig { persons: 4, samples_per_pair: 60, seed: 9 });
     // Profile partitioned by activity.
-    let opts = SynthOptions {
-        partition_attributes: Some(vec!["activity".into()]),
-        ..Default::default()
-    };
+    let opts =
+        SynthOptions { partition_attributes: Some(vec!["activity".into()]), ..Default::default() };
     let profile = synthesize(&df, &opts).unwrap();
     assert_eq!(profile.disjunctive.len(), 1);
     assert_eq!(profile.disjunctive[0].cases.len(), 5);

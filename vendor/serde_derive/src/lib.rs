@@ -1,0 +1,387 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Derives the `Serialize` / `Deserialize` traits of the in-workspace
+//! `serde` shim (a `Value`-tree data model, not real serde's visitors).
+//! Written against raw `proc_macro` because `syn`/`quote` are unavailable
+//! in this offline build environment.
+//!
+//! Supported shapes — exactly what this workspace declares:
+//!
+//! * structs with named fields;
+//! * enums whose variants are unit, 1-tuple, or struct-like
+//!   (externally tagged: `"Variant"` / `{"Variant": …}`).
+//!
+//! Generics are intentionally unsupported (no workspace type needs them);
+//! deriving on a generic type fails with a clear compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: name only (types are never needed — the generated
+/// code lets trait resolution find the field type's impl).
+type Fields = Vec<String>;
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant; payload is the arity.
+    Tuple(usize),
+    Struct(Fields),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+/// Skips attributes (`#[...]` / `#![...]`) and visibility (`pub`,
+/// `pub(...)`) at the cursor.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1;
+                if let Some(TokenTree::Punct(p2)) = tokens.get(i) {
+                    if p2.as_char() == '!' {
+                        i += 1;
+                    }
+                }
+                // The bracketed attribute body.
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Parses `struct Name { fields }` / `enum Name { variants }` from a
+/// derive input token stream.
+fn parse(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected struct/enum, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic types are not supported (type {name})");
+        }
+    }
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(_) => i += 1,
+            None => panic!(
+                "serde_derive shim: {name} has no braced body (tuple/unit structs unsupported)"
+            ),
+        }
+    };
+    let body_tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+
+    let shape = match kw.as_str() {
+        "struct" => Shape::Struct(parse_named_fields(&body_tokens, &name)),
+        "enum" => Shape::Enum(parse_variants(&body_tokens, &name)),
+        other => panic!("serde_derive shim: cannot derive for '{other} {name}'"),
+    };
+    Parsed { name, shape }
+}
+
+/// Parses `name: Type, ...` from a struct (or struct-variant) body.
+fn parse_named_fields(tokens: &[TokenTree], ctx: &str) -> Fields {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(tokens, i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            if i >= tokens.len() {
+                break;
+            }
+            panic!("serde_derive shim: expected field name in {ctx}, found {:?}", tokens.get(i));
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                panic!("serde_derive shim: expected ':' after field in {ctx}, found {other:?}")
+            }
+        }
+        // Skip the type: consume until a top-level ','. Only angle brackets
+        // nest inside the flat token stream (parens/brackets/braces arrive
+        // pre-grouped), so track '<'/'>' depth; '->' never appears in field
+        // types this workspace uses (no fn-pointer fields).
+        let mut depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Parses enum variants: `Name`, `Name(T)`, or `Name { fields }`.
+fn parse_variants(tokens: &[TokenTree], ctx: &str) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(tokens, i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            if i >= tokens.len() {
+                break;
+            }
+            panic!("serde_derive shim: expected variant in {ctx}, found {:?}", tokens.get(i));
+        };
+        let name = id.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                // Count top-level commas to get the arity.
+                let mut arity = 1usize;
+                let mut depth = 0i32;
+                for t in &inner {
+                    if let TokenTree::Punct(p) = t {
+                        match p.as_char() {
+                            '<' => depth += 1,
+                            '>' => depth -= 1,
+                            ',' if depth == 0 => arity += 1,
+                            _ => {}
+                        }
+                    }
+                }
+                if inner.is_empty() {
+                    arity = 0;
+                }
+                i += 1;
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let fields = parse_named_fields(&inner, &format!("{ctx}::{name}"));
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        while let Some(t) = tokens.get(i) {
+            if let TokenTree::Punct(p) = t {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let Parsed { name, shape } = parse(input);
+    let body = match &shape {
+        Shape::Struct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "pairs.push((\"{f}\".to_string(), \
+                         serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut pairs: Vec<(String, serde::Value)> = Vec::new();\n\
+                 {pushes}\n\
+                 serde::Value::Object(pairs)"
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            format!("{name}::{vn} => serde::Value::String(\"{vn}\".to_string()),\n")
+                        }
+                        VariantKind::Tuple(arity) => {
+                            let binds: Vec<String> = (0..*arity).map(|k| format!("x{k}")).collect();
+                            let payload = if *arity == 1 {
+                                "serde::Serialize::to_value(x0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("serde::Value::Array(vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vn}({}) => serde::Value::Object(vec![(\
+                                 \"{vn}\".to_string(), {payload})]),\n",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => serde::Value::Object(vec![(\
+                                 \"{vn}\".to_string(), \
+                                 serde::Value::Object(vec![{}]))]),\n",
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let out = format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n{body}\n}}\n\
+         }}"
+    );
+    out.parse().expect("serde_derive shim: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let Parsed { name, shape } = parse(input);
+    let body = match &shape {
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: serde::Deserialize::from_value(v.field(\"{f}\")?)?"))
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => return Ok({name}::{0}),\n", v.name))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(arity) => {
+                            let expr = if *arity == 1 {
+                                format!(
+                                    "return Ok({name}::{vn}(\
+                                     serde::Deserialize::from_value(payload)?));"
+                                )
+                            } else {
+                                let gets: Vec<String> = (0..*arity)
+                                    .map(|k| {
+                                        format!(
+                                            "serde::Deserialize::from_value(\
+                                             items.get({k}).unwrap_or(&serde::NULL))?"
+                                        )
+                                    })
+                                    .collect();
+                                format!(
+                                    "if let serde::Value::Array(items) = payload {{\n\
+                                         return Ok({name}::{vn}({}));\n\
+                                     }} else {{\n\
+                                         return Err(serde::DeError::custom(\
+                                         \"variant {vn}: expected array payload\"));\n\
+                                     }}",
+                                    gets.join(", ")
+                                )
+                            };
+                            Some(format!("\"{vn}\" => {{ {expr} }}\n"))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: serde::Deserialize::from_value(\
+                                         payload.field(\"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ return Ok({name}::{vn} {{ {} }}); }}\n",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     serde::Value::String(s) => {{\n\
+                         match s.as_str() {{\n{unit_arms}\
+                             other => Err(serde::DeError::custom(format!(\
+                             \"unknown variant '{{other}}' of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+                         let (tag, payload) = &pairs[0];\n\
+                         match tag.as_str() {{\n{tagged_arms}\
+                             other => return Err(serde::DeError::custom(format!(\
+                             \"unknown variant '{{other}}' of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => Err(serde::DeError::custom(format!(\
+                     \"expected {name} (string or 1-key object), found {{}}\", other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    let out = format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(v: &serde::Value) -> Result<{name}, serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    );
+    out.parse().expect("serde_derive shim: generated invalid Deserialize impl")
+}

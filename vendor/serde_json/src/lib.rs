@@ -1,0 +1,407 @@
+//! Offline shim for `serde_json`.
+//!
+//! Renders and parses the in-workspace `serde` shim's [`Value`] tree as
+//! JSON. Covers the workspace's API surface: [`to_string`],
+//! [`to_string_pretty`], [`to_writer`], [`from_str`], [`from_reader`].
+//!
+//! Numbers serialize through Rust's shortest-round-trip `f64` formatting,
+//! so profiles survive write → read bit-exactly. Non-finite floats render
+//! as `null` (JSON has no inf/NaN), matching real serde_json.
+
+use serde::{DeError, Deserialize, Serialize};
+
+/// The JSON value tree (the serde shim's `Value`, re-exported under the
+/// `serde_json::Value` path that real serde_json gives it — code written
+/// against this shim stays source-compatible with the real crates).
+pub use serde::Value;
+
+/// Serialization/parse failure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writing.
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn number_into(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n == 0.0 && n.is_sign_negative() {
+        out.push_str("-0");
+    } else if n == n.trunc() && n.abs() < 9.007_199_254_740_992e15 {
+        // Integral values in the exact-i64 window print without a fraction.
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, level: usize) {
+    let (nl, pad, pad_close, colon) = match indent {
+        Some(w) => ("\n", " ".repeat(w * (level + 1)), " ".repeat(w * level), ": "),
+        None => ("", String::new(), String::new(), ":"),
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => number_into(*n, out),
+        Value::String(s) => escape_into(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                write_value(item, out, indent, level + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad_close);
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                escape_into(k, out);
+                out.push_str(colon);
+                write_value(val, out, indent, level + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad_close);
+            out.push('}');
+        }
+    }
+}
+
+/// Compact JSON for any serializable value.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Pretty-printed (2-space indent) JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Writes compact JSON into any `io::Write`.
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    let s = to_string(value)?;
+    writer.write_all(s.as_bytes()).map_err(|e| Error::new(e.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, msg: &str) -> Error {
+        Error::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => {
+                if self.eat_keyword("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b't') => {
+                if self.eat_keyword("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b'f') => {
+                if self.eat_keyword("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(self.err("expected ',' or ']'")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.expect(b':')?;
+                    let val = self.parse_value()?;
+                    pairs.push((key, val));
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(pairs));
+                        }
+                        _ => return Err(self.err("expected ',' or '}'")),
+                    }
+                }
+            }
+            Some(_) => self.parse_number(),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.err("unterminated string"));
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(&e) = self.bytes.get(self.pos) else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by this
+                            // writer; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (input came from &str, so
+                    // boundaries are valid).
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        s.parse::<f64>().map(Value::Number).map_err(|_| self.err("invalid number"))
+    }
+}
+
+/// Parses a JSON string into any deserializable type.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser::new(s);
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(T::from_value(&v)?)
+}
+
+/// Reads all of `reader` and parses it as JSON.
+pub fn from_reader<R: std::io::Read, T: Deserialize>(mut reader: R) -> Result<T, Error> {
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf).map_err(|e| Error::new(e.to_string()))?;
+    from_str(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_value_tree() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::String("π ≈ \"3\"\n".into())),
+            ("xs".into(), Value::Array(vec![Value::Number(1.5), Value::Number(-3.0)])),
+            ("flag".into(), Value::Bool(true)),
+            ("none".into(), Value::Null),
+        ]);
+        for json in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            let back: Value = from_str(&json).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn f64_roundtrips_exactly() {
+        for x in [0.1f64, 1.0 / 3.0, 1e-308, 6.02214076e23, -0.0, 12345.0] {
+            let json = to_string(&x).unwrap();
+            let back: f64 = from_str(&json).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} via {json}");
+        }
+    }
+
+    #[test]
+    fn non_finite_is_null() {
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        let back: Option<f64> = from_str("null").unwrap();
+        assert!(back.is_none());
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+    }
+}
