@@ -225,7 +225,25 @@ impl ConformanceProfile {
     ///
     /// # Errors
     /// Fails when a switching attribute is missing from `categorical`.
+    ///
+    /// # Panics
+    /// Panics when the tuple arity or any projection's arity disagrees
+    /// with the profile (the per-tuple check inside
+    /// [`Projection::evaluate`] is debug-only; this public single-tuple
+    /// entry point validates in release builds too, so a corrupt profile
+    /// cannot silently truncate dot products).
     pub fn violation(
+        &self,
+        numeric: &[f64],
+        categorical: &[(&str, &str)],
+    ) -> Result<f64, ProfileError> {
+        self.validate_arity();
+        self.violation_prevalidated(numeric, categorical)
+    }
+
+    /// [`Self::violation`] for callers that already ran
+    /// [`Self::validate_arity`] once (the interpreted row loop).
+    fn violation_prevalidated(
         &self,
         numeric: &[f64],
         categorical: &[(&str, &str)],
@@ -261,11 +279,15 @@ impl ConformanceProfile {
     ///
     /// # Errors
     /// Fails when a switching attribute is missing from `categorical`.
+    ///
+    /// # Panics
+    /// Panics on arity mismatches (see [`Self::violation`]).
     pub fn satisfied(
         &self,
         numeric: &[f64],
         categorical: &[(&str, &str)],
     ) -> Result<bool, ProfileError> {
+        self.validate_arity();
         if let Some(g) = &self.global {
             if !g.satisfied(numeric) {
                 return Ok(false);
@@ -287,6 +309,39 @@ impl ConformanceProfile {
             }
         }
         Ok(true)
+    }
+
+    /// Validates, once, that every projection in the profile has one
+    /// coefficient per numeric attribute — the check
+    /// [`Projection::evaluate`] used to repeat on every tuple of the hot
+    /// loop (it keeps a debug assertion).
+    ///
+    /// # Panics
+    /// Panics on a malformed profile.
+    pub fn validate_arity(&self) {
+        let m = self.numeric_attributes.len();
+        // Allocation-free on the success path: this runs per call on the
+        // single-tuple serving surfaces, so the context strings are only
+        // formatted inside the (never-taken) failure branch.
+        let check = |sc: &SimpleConstraint, attribute: &str, value: &str| {
+            for c in &sc.conjuncts {
+                assert_eq!(
+                    c.projection.coefficients.len(),
+                    m,
+                    "profile arity mismatch in {attribute}{}{value}: projection over {} coefficients, {m} attributes",
+                    if value.is_empty() { "" } else { "=" },
+                    c.projection.coefficients.len()
+                );
+            }
+        };
+        if let Some(g) = &self.global {
+            check(g, "<global>", "");
+        }
+        for d in &self.disjunctive {
+            for (value, c) in &d.cases {
+                check(c, &d.attribute, value);
+            }
+        }
     }
 
     /// Resolves the numeric and categorical columns this profile evaluates
@@ -332,17 +387,34 @@ impl ConformanceProfile {
                     .iter()
                     .map(|(name, (codes, dict))| (*name, dict[codes[i] as usize].as_str())),
             );
-            out.push(self.violation(&tuple, &cats)?);
+            out.push(self.violation_prevalidated(&tuple, &cats)?);
         }
         Ok(out)
     }
 
-    /// Violations for every row of a dataframe (resolving attributes by
-    /// name).
+    /// Violations for every row of a dataframe.
+    ///
+    /// Compiles the profile into a [`crate::CompiledProfile`] serving plan
+    /// and evaluates through the blocked kernel (bit-identical to the
+    /// interpreted reference, [`Self::violations_interpreted`]). Callers
+    /// evaluating the same profile against many frames should compile once
+    /// themselves and reuse the plan.
     ///
     /// # Errors
     /// Fails when the frame lacks any attribute the profile needs.
     pub fn violations(&self, df: &DataFrame) -> Result<Vec<f64>, ProfileError> {
+        crate::CompiledProfile::compile(self).violations(df)
+    }
+
+    /// The interpreted, row-at-a-time evaluation path — the reference
+    /// oracle the compiled engine is tested bit-identical against
+    /// (`tests/eval_equivalence.rs`). Prefer [`Self::violations`] (or a
+    /// reused [`crate::CompiledProfile`]) everywhere else.
+    ///
+    /// # Errors
+    /// Fails when the frame lacks any attribute the profile needs.
+    pub fn violations_interpreted(&self, df: &DataFrame) -> Result<Vec<f64>, ProfileError> {
+        self.validate_arity();
         let (numeric_cols, cat_cols) = self.evaluation_columns(df)?;
         self.violations_range(&numeric_cols, &cat_cols, 0..df.n_rows())
     }
@@ -361,42 +433,19 @@ impl ConformanceProfile {
         df: &DataFrame,
         n_threads: usize,
     ) -> Result<Vec<f64>, ProfileError> {
-        assert!(n_threads > 0, "violations_parallel: need at least one thread");
-        let n = df.n_rows();
-        if n_threads == 1 || n < 2 * n_threads {
-            return self.violations(df);
-        }
-        let (numeric_cols, cat_cols) = self.evaluation_columns(df)?;
-        let chunk = n.div_ceil(n_threads);
-        let parts: Vec<Result<Vec<f64>, ProfileError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..n)
-                .step_by(chunk)
-                .map(|start| {
-                    let range = start..(start + chunk).min(n);
-                    let (numeric_cols, cat_cols) = (&numeric_cols, &cat_cols);
-                    scope.spawn(move || self.violations_range(numeric_cols, cat_cols, range))
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("violation worker panicked")).collect()
-        });
-        let mut out = Vec::with_capacity(n);
-        for part in parts {
-            out.extend(part?);
-        }
-        Ok(out)
+        crate::CompiledProfile::compile(self).violations_parallel(df, n_threads)
     }
 
     /// Mean violation over a dataframe — the paper's dataset-level
-    /// non-conformance (§2, "Data drift").
+    /// non-conformance (§2, "Data drift"). Streams the aggregate through
+    /// the compiled plan: no `O(n)` violation vector is materialized, and
+    /// the running left-to-right sum keeps the result bit-identical to
+    /// `violations(df).iter().sum::<f64>() / n`.
     ///
     /// # Errors
     /// Fails when the frame lacks any attribute the profile needs.
     pub fn mean_violation(&self, df: &DataFrame) -> Result<f64, ProfileError> {
-        let v = self.violations(df)?;
-        if v.is_empty() {
-            return Ok(0.0);
-        }
-        Ok(v.iter().sum::<f64>() / v.len() as f64)
+        crate::CompiledProfile::compile(self).mean_violation(df)
     }
 
     /// Total number of bounded constraints across the profile.

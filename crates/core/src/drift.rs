@@ -6,6 +6,7 @@
 //! `D'`, (3) aggregate. The paper aggregates by mean; max and quantile
 //! aggregators are provided for robustness studies.
 
+use crate::compiled::CompiledProfile;
 use crate::constraint::{ConformanceProfile, ProfileError};
 use cc_frame::DataFrame;
 
@@ -32,10 +33,39 @@ impl DriftAggregator {
             DriftAggregator::Quantile(p) => cc_stats::quantile(violations, *p),
         }
     }
+
+    /// Applies the aggregator to a compiled plan's violations over a
+    /// frame, streaming for `Mean` and `Max` (no `O(n)` vector; the
+    /// running fold visits rows left to right, bit-identical to
+    /// [`Self::aggregate`] on the materialized vector). `Quantile` needs
+    /// the full sorted sample and still materializes.
+    ///
+    /// # Errors
+    /// Fails when the frame lacks attributes the plan needs.
+    pub fn aggregate_compiled(
+        &self,
+        plan: &CompiledProfile,
+        serving: &DataFrame,
+    ) -> Result<f64, ProfileError> {
+        match self {
+            DriftAggregator::Mean => plan.mean_violation(serving),
+            DriftAggregator::Max => {
+                // Same fold as `aggregate`: starts at 0.0, so an empty
+                // frame yields 0.0 without tracking emptiness.
+                let mut max = 0.0f64;
+                plan.for_each_violation(serving, |v| max = max.max(v))?;
+                Ok(max)
+            }
+            DriftAggregator::Quantile(_) => Ok(self.aggregate(&plan.violations(serving)?)),
+        }
+    }
 }
 
 /// Drift of `serving` with respect to the profile learned from a reference
-/// dataset.
+/// dataset. Compiles the profile once; callers scoring many windows
+/// should compile once themselves ([`CompiledProfile::compile`], or
+/// [`DriftMonitor`] which caches the plan) and use
+/// [`DriftAggregator::aggregate_compiled`].
 ///
 /// # Errors
 /// Fails when the serving frame lacks attributes the profile needs.
@@ -44,14 +74,15 @@ pub fn dataset_drift(
     serving: &DataFrame,
     aggregator: DriftAggregator,
 ) -> Result<f64, ProfileError> {
-    let violations = profile.violations(serving)?;
-    Ok(aggregator.aggregate(&violations))
+    aggregator.aggregate_compiled(&CompiledProfile::compile(profile), serving)
 }
 
 /// [`dataset_drift`] with violation evaluation sharded over `n_threads`
 /// scoped threads — the serving-side counterpart of
 /// [`crate::synthesize_parallel`] for monitoring large windows. Identical
-/// result for every thread count.
+/// result for every thread count (the parallel path materializes the
+/// violation vector and aggregates it whole, so even the fold order
+/// matches the sequential path bit for bit).
 ///
 /// # Errors
 /// Fails when the serving frame lacks attributes the profile needs.
@@ -61,12 +92,17 @@ pub fn dataset_drift_parallel(
     aggregator: DriftAggregator,
     n_threads: usize,
 ) -> Result<f64, ProfileError> {
-    let violations = profile.violations_parallel(serving, n_threads)?;
+    if n_threads <= 1 {
+        return dataset_drift(profile, serving, aggregator);
+    }
+    let plan = CompiledProfile::compile(profile);
+    let violations = plan.violations_parallel(serving, n_threads)?;
     Ok(aggregator.aggregate(&violations))
 }
 
 /// Drift magnitude of each window in a stream relative to the same
-/// reference profile (the shape plotted in the paper's Fig. 8).
+/// reference profile (the shape plotted in the paper's Fig. 8). The
+/// profile is compiled once and the plan reused across all windows.
 ///
 /// # Errors
 /// Fails when any window lacks attributes the profile needs.
@@ -75,7 +111,8 @@ pub fn drift_series(
     windows: &[DataFrame],
     aggregator: DriftAggregator,
 ) -> Result<Vec<f64>, ProfileError> {
-    windows.iter().map(|w| dataset_drift(profile, w, aggregator)).collect()
+    let plan = CompiledProfile::compile(profile);
+    windows.iter().map(|w| aggregator.aggregate_compiled(&plan, w)).collect()
 }
 
 /// A streaming drift monitor: holds a reference profile, an alert
@@ -86,14 +123,19 @@ pub fn drift_series(
 #[derive(Clone, Debug)]
 pub struct DriftMonitor {
     profile: ConformanceProfile,
+    /// The serving plan, compiled once at calibration and reused by every
+    /// [`Self::observe`] — the monitor never re-resolves columns or
+    /// recompiles per window.
+    plan: CompiledProfile,
     threshold: f64,
     aggregator: DriftAggregator,
     history: Vec<f64>,
 }
 
 impl DriftMonitor {
-    /// Builds a monitor from a reference dataset: learns the profile's
-    /// self-violation and sets the alert threshold to
+    /// Builds a monitor from a reference dataset: compiles the profile's
+    /// serving plan (once, cached for the monitor's lifetime), learns the
+    /// profile's self-violation, and sets the alert threshold to
     /// `max(multiplier × self-violation, floor)`.
     ///
     /// # Errors
@@ -106,22 +148,24 @@ impl DriftMonitor {
         multiplier: f64,
         floor: f64,
     ) -> Result<Self, ProfileError> {
-        let self_violation = dataset_drift(&profile, reference, aggregator)?;
+        let plan = CompiledProfile::compile(&profile);
+        let self_violation = aggregator.aggregate_compiled(&plan, reference)?;
         Ok(DriftMonitor {
             profile,
+            plan,
             threshold: (multiplier * self_violation).max(floor),
             aggregator,
             history: Vec::new(),
         })
     }
 
-    /// Scores one window, records it, and reports whether it breaches the
-    /// alert threshold.
+    /// Scores one window with the cached plan, records it, and reports
+    /// whether it breaches the alert threshold.
     ///
     /// # Errors
     /// Fails when the window lacks profile attributes.
     pub fn observe(&mut self, window: &DataFrame) -> Result<(f64, bool), ProfileError> {
-        let drift = dataset_drift(&self.profile, window, self.aggregator)?;
+        let drift = self.aggregator.aggregate_compiled(&self.plan, window)?;
         self.history.push(drift);
         Ok((drift, drift > self.threshold))
     }
@@ -139,6 +183,11 @@ impl DriftMonitor {
     /// The underlying profile.
     pub fn profile(&self) -> &ConformanceProfile {
         &self.profile
+    }
+
+    /// The cached serving plan.
+    pub fn plan(&self) -> &CompiledProfile {
+        &self.plan
     }
 }
 
@@ -214,6 +263,29 @@ mod tests {
                 dataset_drift_parallel(&profile, &serve, DriftAggregator::Mean, threads).unwrap();
             assert_eq!(seq.to_bits(), par.to_bits(), "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn monitor_compiles_once() {
+        let train = line_frame(2.0, 1.0, 300);
+        let profile = synthesize(&train, &SynthOptions::default()).unwrap();
+        let before = crate::compiled::thread_compile_count();
+        let mut monitor =
+            DriftMonitor::calibrate(profile, &train, DriftAggregator::Mean, 5.0, 0.02).unwrap();
+        assert_eq!(
+            crate::compiled::thread_compile_count(),
+            before + 1,
+            "calibrate compiles the plan exactly once"
+        );
+        for step in 0..5 {
+            monitor.observe(&line_frame(2.0 + step as f64 * 0.3, 1.0, 80)).unwrap();
+        }
+        assert_eq!(
+            crate::compiled::thread_compile_count(),
+            before + 1,
+            "observe must reuse the cached plan, not recompile per window"
+        );
+        assert_eq!(monitor.plan().attributes(), monitor.profile().numeric_attributes.as_slice());
     }
 
     #[test]

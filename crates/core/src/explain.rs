@@ -13,6 +13,7 @@
 //! so the loop terminates. Averaging per-tuple responsibilities over a
 //! serving set yields the aggregate bar charts of the paper's Fig. 12.
 
+use crate::compiled::CompiledProfile;
 use crate::constraint::{ConformanceProfile, ProfileError};
 use cc_frame::DataFrame;
 use cc_stats::mean;
@@ -24,6 +25,17 @@ pub struct Responsibility {
     /// Attribute name.
     pub attribute: String,
     /// Mean responsibility over the serving tuples, in `[0, 1]`.
+    pub score: f64,
+}
+
+/// Mean γ-weighted contribution of one bounded constraint to a serving
+/// set's non-conformance (the frame-level analogue of
+/// [`crate::SimpleConstraint::violation_breakdown`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConstraintContribution {
+    /// `<global>` or `attribute=value`, plus the projection expression.
+    pub label: String,
+    /// Mean weighted contribution over the serving rows.
     pub score: f64,
 }
 
@@ -46,12 +58,28 @@ pub fn responsibility(
     numeric: &[f64],
     categorical: &[(&str, &str)],
 ) -> Result<Vec<f64>, ProfileError> {
-    let m = profile.numeric_attributes.len();
+    let plan = CompiledProfile::compile(profile);
+    let cases = plan.resolve_cases(categorical)?;
+    Ok(responsibility_resolved(&plan, &cases, train_means, numeric))
+}
+
+/// [`responsibility`] against a pre-compiled plan with pre-resolved
+/// disjunctive cases. The intervention search only perturbs numeric
+/// attributes, so the case selection is resolved once per tuple and every
+/// probe evaluation is a pure arithmetic pass over the plan — no name
+/// resolution, no string matching.
+fn responsibility_resolved(
+    plan: &CompiledProfile,
+    cases: &[Option<usize>],
+    train_means: &[f64],
+    numeric: &[f64],
+) -> Vec<f64> {
+    let m = plan.attributes().len();
     assert_eq!(train_means.len(), m, "one training mean per numeric attribute");
     assert_eq!(numeric.len(), m, "tuple arity mismatch");
 
-    if profile.violation(numeric, categorical)? <= CONFORM_EPS {
-        return Ok(vec![0.0; m]);
+    if plan.violation_resolved(numeric, cases) <= CONFORM_EPS {
+        return vec![0.0; m];
     }
 
     let mut scores = vec![0.0; m];
@@ -61,7 +89,7 @@ pub fn responsibility(
         t[i] = train_means[i];
         let mut replaced = vec![false; m];
         replaced[i] = true;
-        let mut violation = profile.violation(&t, categorical)?;
+        let mut violation = plan.violation_resolved(&t, cases);
         let mut k = 0usize;
         // Step 2: greedily revert additional attributes until conforming.
         while violation > CONFORM_EPS {
@@ -72,7 +100,7 @@ pub fn responsibility(
                 }
                 let saved = t[j];
                 t[j] = train_means[j];
-                let v = profile.violation(&t, categorical)?;
+                let v = plan.violation_resolved(&t, cases);
                 t[j] = saved;
                 if best.is_none_or(|(_, bv)| v < bv) {
                     best = Some((j, v));
@@ -96,7 +124,7 @@ pub fn responsibility(
         }
         scores[i] = 1.0 / (k as f64 + 1.0);
     }
-    Ok(scores)
+    scores
 }
 
 /// Aggregate (mean) responsibility of every numeric attribute for the
@@ -120,34 +148,28 @@ pub fn mean_responsibility(
         .map(|a| train.numeric(a).map(mean).map_err(|_| ProfileError::MissingNumeric(a.clone())))
         .collect::<Result<_, _>>()?;
 
+    // Compile once; partition cases resolve through the frame's
+    // dictionary-code tables, never by per-row string matching.
+    let plan = CompiledProfile::compile(profile);
     let numeric_cols: Vec<&[f64]> = attrs
         .iter()
         .map(|a| serve.numeric(a).map_err(|_| ProfileError::MissingNumeric(a.clone())))
         .collect::<Result<_, _>>()?;
-    let cat_cols: crate::constraint::CatColumns = profile
-        .disjunctive
-        .iter()
-        .map(|d| {
-            serve
-                .categorical(&d.attribute)
-                .map(|c| (d.attribute.as_str(), c))
-                .map_err(|_| ProfileError::MissingCategorical(d.attribute.clone()))
-        })
-        .collect::<Result<_, _>>()?;
+    let frame_cases = plan.resolve_frame_cases(serve)?;
 
     let n = serve.n_rows();
     let m = attrs.len();
     let mut totals = vec![0.0; m];
     let mut tuple = vec![0.0; m];
+    let mut cases = vec![None; frame_cases.len()];
     for i in 0..n {
         for (slot, col) in tuple.iter_mut().zip(&numeric_cols) {
             *slot = col[i];
         }
-        let cats: Vec<(&str, &str)> = cat_cols
-            .iter()
-            .map(|(name, (codes, dict))| (*name, dict[codes[i] as usize].as_str()))
-            .collect();
-        let r = responsibility(profile, &train_means, &tuple, &cats)?;
+        for (slot, per_row) in cases.iter_mut().zip(&frame_cases) {
+            *slot = per_row[i];
+        }
+        let r = responsibility_resolved(&plan, &cases, &train_means, &tuple);
         for (t, s) in totals.iter_mut().zip(&r) {
             *t += s;
         }
@@ -157,6 +179,42 @@ pub fn mean_responsibility(
         .iter()
         .zip(totals)
         .map(|(a, t)| Responsibility { attribute: a.clone(), score: t / denom })
+        .collect();
+    out.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
+    Ok(out)
+}
+
+/// Mean γ-weighted contribution of every bounded constraint in the
+/// profile to a serving set's non-conformance, sorted descending — which
+/// constraints fire, aggregated over the whole frame. Runs in the
+/// compiled plan's per-constraint output mode
+/// ([`CompiledProfile::mean_constraint_contributions`]): one blocked pass,
+/// no per-row materialization.
+///
+/// # Errors
+/// Fails when the frame lacks attributes the profile needs.
+pub fn profile_breakdown(
+    profile: &ConformanceProfile,
+    serve: &DataFrame,
+) -> Result<Vec<ConstraintContribution>, ProfileError> {
+    let plan = CompiledProfile::compile(profile);
+    breakdown_from_plan(&plan, serve)
+}
+
+/// [`profile_breakdown`] against an already-compiled plan.
+///
+/// # Errors
+/// Fails when the frame lacks attributes the plan needs.
+pub fn breakdown_from_plan(
+    plan: &CompiledProfile,
+    serve: &DataFrame,
+) -> Result<Vec<ConstraintContribution>, ProfileError> {
+    let scores = plan.mean_constraint_contributions(serve)?;
+    let mut out: Vec<ConstraintContribution> = plan
+        .constraint_labels()
+        .into_iter()
+        .zip(scores)
+        .map(|(label, score)| ConstraintContribution { label, score })
         .collect();
     out.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
     Ok(out)

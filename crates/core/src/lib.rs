@@ -57,19 +57,33 @@
 //! shards the same way ([`ConformanceProfile::violations_parallel`],
 //! [`dataset_drift_parallel`]).
 //!
+//! ## Compile-once / evaluate-many serving
+//!
+//! Discovery runs rarely; *evaluation* sits inline in inference and
+//! monitoring. The [`compiled`] module lowers a profile once into a flat
+//! [`CompiledProfile`] plan — dense coefficient matrix, parallel
+//! `lb/ub/α/γ` arrays, dictionary-code → case-index partition tables —
+//! evaluated in fixed row blocks through `cc_linalg`'s blocked kernel,
+//! **bit-identical** to the interpreted reference path
+//! ([`ConformanceProfile::violations_interpreted`]). Every serving
+//! surface (violations, drift, the safety envelope, ExTuNe) routes
+//! through it; long-lived monitors ([`DriftMonitor`]) cache the plan.
+//!
 //! ## Module map
 //!
 //! | Module | Paper section |
 //! |---|---|
 //! | [`projection`] | §3.1 (projections) |
 //! | [`constraint`] | §3.1–3.2 (language + quantitative semantics) |
+//! | [`compiled`] | §2, Fig. 11 (compiled serving engine: compile once, evaluate many) |
 //! | [`synth`] | §4.1 (Algorithm 1), §4.2 (compound constraints), §4.3.2 (sharded parallelism) |
 //! | [`streaming`] | §4.3.2 (one-pass / mergeable synthesis) |
 //! | [`drift`] | §2, §6.2 (dataset-level drift, parallel evaluation) |
 //! | [`tml`] | §5 (trusted machine learning, unsafe tuples) |
-//! | [`explain`] | Appendix K (ExTuNe responsibility) |
+//! | [`explain`] | Appendix K (ExTuNe responsibility, per-constraint breakdown) |
 //! | [`tree`] | §8 (decision-tree-guided constraints, future work) |
 
+pub mod compiled;
 pub mod constraint;
 pub mod drift;
 mod engine;
@@ -84,13 +98,17 @@ pub mod theory;
 pub mod tml;
 pub mod tree;
 
+pub use compiled::{CompiledProfile, EVAL_BLOCK_ROWS};
 pub use constraint::{
     BoundedConstraint, ConformanceProfile, DisjunctiveConstraint, ProfileError, SimpleConstraint,
 };
 pub use drift::{
     dataset_drift, dataset_drift_parallel, drift_series, DriftAggregator, DriftMonitor,
 };
-pub use explain::{responsibility, Responsibility};
+pub use explain::{
+    breakdown_from_plan, mean_responsibility, profile_breakdown, responsibility,
+    ConstraintContribution, Responsibility,
+};
 pub use features::{expand_quadratic, expand_tuple};
 pub use impute::{impute_all, impute_missing};
 pub use projection::Projection;

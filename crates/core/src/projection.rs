@@ -30,11 +30,18 @@ impl Projection {
     /// Evaluates the projection on a tuple given **in the projection's
     /// attribute order**.
     ///
+    /// The arity check is a debug assertion: hot loops validate arity once
+    /// at plan/column-resolution time
+    /// ([`crate::ConformanceProfile::validate_arity`],
+    /// [`crate::CompiledProfile::compile`]) and this inner loop is
+    /// unchecked by construction in release builds.
+    ///
     /// # Panics
-    /// Panics when the tuple arity differs from the attribute count.
+    /// Panics in debug builds when the tuple arity differs from the
+    /// attribute count.
     #[inline]
     pub fn evaluate(&self, tuple: &[f64]) -> f64 {
-        assert_eq!(tuple.len(), self.coefficients.len(), "tuple arity mismatch");
+        debug_assert_eq!(tuple.len(), self.coefficients.len(), "tuple arity mismatch");
         tuple.iter().zip(&self.coefficients).map(|(x, w)| x * w).sum()
     }
 
@@ -164,8 +171,9 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "arity mismatch")]
-    fn arity_mismatch_panics() {
+    fn arity_mismatch_panics_in_debug() {
         proj(&[1.0, 2.0]).evaluate(&[1.0]);
     }
 }

@@ -29,6 +29,13 @@ pub struct SafetyVerdict {
 /// exceeds `threshold` fall outside the safety envelope \[80\] and are flagged
 /// unsafe. Requires **no access to the model or its predictions** — only the
 /// predictor attributes (the paper's headline setting).
+///
+/// The batch surfaces compile the serving plan per call — cheap relative
+/// to any real batch, but a guard on a per-tuple hot path should compile
+/// once itself ([`crate::CompiledProfile::compile`] on
+/// [`Self::profile`]) and evaluate through the plan directly. The
+/// envelope stays (de)serializable, which a cached plan field would
+/// break.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SafetyEnvelope {
     /// The learned profile of the training data.
@@ -57,7 +64,8 @@ impl SafetyEnvelope {
         Ok(SafetyVerdict { violation, is_unsafe: violation > self.threshold })
     }
 
-    /// Verdicts for every row of a frame.
+    /// Verdicts for every row of a frame, through the compiled serving
+    /// plan ([`crate::CompiledProfile`]).
     ///
     /// # Errors
     /// Fails when the frame lacks attributes the profile needs.
@@ -70,16 +78,44 @@ impl SafetyEnvelope {
             .collect())
     }
 
-    /// Fraction of rows flagged unsafe.
+    /// [`Self::check_all`] with evaluation sharded over `n_threads` scoped
+    /// threads — the guard surface for serving-scale batches. Identical
+    /// verdicts for every thread count.
+    ///
+    /// # Errors
+    /// Fails when the frame lacks attributes the profile needs.
+    pub fn check_all_parallel(
+        &self,
+        df: &DataFrame,
+        n_threads: usize,
+    ) -> Result<Vec<SafetyVerdict>, ProfileError> {
+        Ok(self
+            .profile
+            .violations_parallel(df, n_threads)?
+            .into_iter()
+            .map(|violation| SafetyVerdict { violation, is_unsafe: violation > self.threshold })
+            .collect())
+    }
+
+    /// Fraction of rows flagged unsafe, streamed through the compiled
+    /// plan — counts breaches without materializing the verdict vector.
     ///
     /// # Errors
     /// Fails when the frame lacks attributes the profile needs.
     pub fn unsafe_fraction(&self, df: &DataFrame) -> Result<f64, ProfileError> {
-        let verdicts = self.check_all(df)?;
-        if verdicts.is_empty() {
+        let plan = crate::CompiledProfile::compile(&self.profile);
+        let mut rows = 0usize;
+        let mut breaches = 0usize;
+        plan.for_each_violation(df, |v| {
+            rows += 1;
+            if v > self.threshold {
+                breaches += 1;
+            }
+        })?;
+        if rows == 0 {
             return Ok(0.0);
         }
-        Ok(verdicts.iter().filter(|v| v.is_unsafe).count() as f64 / verdicts.len() as f64)
+        Ok(breaches as f64 / rows as f64)
     }
 }
 

@@ -70,11 +70,63 @@ impl TreeProfile {
     ///
     /// # Errors
     /// Fails when a switching attribute is missing from `categorical`.
+    ///
+    /// # Panics
+    /// Panics when the tuple arity or any leaf projection's arity
+    /// disagrees with [`Self::numeric_attributes`] — the inner-loop check
+    /// in [`crate::Projection::evaluate`] is debug-only, so this public
+    /// entry point validates in release builds too (a corrupt serialized
+    /// tree must not silently truncate dot products).
     pub fn violation(
         &self,
         numeric: &[f64],
         categorical: &[(&str, &str)],
     ) -> Result<f64, crate::constraint::ProfileError> {
+        self.validate_arity();
+        self.violation_prevalidated(numeric, categorical)
+    }
+
+    /// Validates, once, that every leaf projection has one coefficient
+    /// per numeric attribute (mirrors
+    /// [`crate::ConformanceProfile::validate_arity`]).
+    ///
+    /// # Panics
+    /// Panics on a malformed tree.
+    pub fn validate_arity(&self) {
+        fn walk(node: &TreeNode, m: usize) {
+            match node {
+                TreeNode::Leaf(sc) => {
+                    for c in &sc.conjuncts {
+                        assert_eq!(
+                            c.projection.coefficients.len(),
+                            m,
+                            "tree profile arity mismatch: projection over {} coefficients, {m} attributes",
+                            c.projection.coefficients.len()
+                        );
+                    }
+                }
+                TreeNode::Split { children, .. } => {
+                    for (_, child) in children {
+                        walk(child, m);
+                    }
+                }
+            }
+        }
+        walk(&self.root, self.numeric_attributes.len());
+    }
+
+    /// [`Self::violation`] for callers that already ran
+    /// [`Self::validate_arity`] once (the frame row loop).
+    fn violation_prevalidated(
+        &self,
+        numeric: &[f64],
+        categorical: &[(&str, &str)],
+    ) -> Result<f64, crate::constraint::ProfileError> {
+        assert_eq!(
+            numeric.len(),
+            self.numeric_attributes.len(),
+            "tuple arity does not match tree profile"
+        );
         let mut node = &self.root;
         loop {
             match node {
@@ -101,6 +153,7 @@ impl TreeProfile {
     /// # Errors
     /// Fails when the frame lacks needed attributes.
     pub fn violations(&self, df: &DataFrame) -> Result<Vec<f64>, crate::constraint::ProfileError> {
+        self.validate_arity();
         let numeric_cols: Vec<&[f64]> = self
             .numeric_attributes
             .iter()
@@ -125,7 +178,7 @@ impl TreeProfile {
                 .iter()
                 .map(|(name, (codes, dict))| (*name, dict[codes[i] as usize].as_str()))
                 .collect();
-            out.push(self.violation(&tuple, &cats)?);
+            out.push(self.violation_prevalidated(&tuple, &cats)?);
         }
         Ok(out)
     }

@@ -1,0 +1,189 @@
+//! Blocked matrix–vector kernel for constraint serving.
+//!
+//! Serving-time constraint evaluation reduces to one small GEMM per row
+//! block: `k` projection rows (constraints × attribute coefficients)
+//! applied to a structure-of-arrays block of `b` tuples. [`block_matvec`]
+//! computes all `k·b` projection values with the attribute loop outermost
+//! and the row loop innermost, so
+//!
+//! 1. the inner loop is a contiguous fused multiply–add sweep the compiler
+//!    auto-vectorizes (independent accumulators per row), and
+//! 2. every output value accumulates its terms **in ascending attribute
+//!    order**, making each result bit-identical to the scalar
+//!    left-to-right dot product (`(((0 + x₀w₀) + x₁w₁) + …)`) the
+//!    interpreted reference path computes per tuple.
+//!
+//! Property 2 is a hard contract: the compiled serving engine in the
+//! `conformance` crate asserts bit-equality against the interpreted
+//! oracle, so this kernel must never reassociate the accumulation (no
+//! pairwise/tree reductions, no skipping zero coefficients — `0·∞` and
+//! signed zeros must flow through exactly as the scalar path sees them).
+//! SIMD is fine — packing *independent* accumulator chains into one
+//! vector register leaves every chain's scalar IEEE semantics intact —
+//! but **fused multiply–add is not**: FMA skips the intermediate
+//! rounding, so the `fma` target feature must never be enabled here. On
+//! x86-64 a runtime-dispatched AVX variant (4 lanes instead of the SSE2
+//! baseline's 2) is used when the CPU supports it.
+
+/// Computes `out[c·b + i] = Σ_j coeffs[c·m + j] · block[j·b + i]` for
+/// `c < k`, `i < b` — `k` constraint rows over an SoA block of `b` tuples
+/// with `m` attributes.
+///
+/// `coeffs` is row-major `k × m`; `block` is column-major within the block
+/// (attribute `j` occupies `block[j·b..(j+1)·b]`, the layout
+/// `cc_frame::NumericView::gather_chunk` produces); `out` must hold
+/// `k · b` elements and is fully overwritten.
+///
+/// Terms accumulate in ascending `j`, so each output is bit-identical to
+/// the left-to-right scalar dot product of the same operands.
+///
+/// # Panics
+/// Panics when a buffer length disagrees with `k`, `m`, `b`.
+pub fn block_matvec(coeffs: &[f64], k: usize, m: usize, block: &[f64], b: usize, out: &mut [f64]) {
+    assert_eq!(coeffs.len(), k * m, "block_matvec: coefficient buffer mismatch");
+    assert_eq!(block.len(), m * b, "block_matvec: block buffer mismatch");
+    assert_eq!(out.len(), k * b, "block_matvec: output buffer mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if avx_available() {
+        // SAFETY: the AVX feature was verified at runtime; the function
+        // body is plain Rust (no intrinsics) and merely compiled with
+        // 4-lane f64 vectors enabled.
+        unsafe {
+            return block_matvec_avx(coeffs, k, m, block, b, out);
+        }
+    }
+    block_matvec_generic(coeffs, k, m, block, b, out);
+}
+
+/// Runtime AVX check, done once.
+#[cfg(target_arch = "x86_64")]
+fn avx_available() -> bool {
+    use std::sync::OnceLock;
+    static AVX: OnceLock<bool> = OnceLock::new();
+    *AVX.get_or_init(|| std::arch::is_x86_feature_detected!("avx"))
+}
+
+/// [`block_matvec_generic`] compiled with AVX enabled (4 f64 lanes). The
+/// `fma` feature is deliberately NOT enabled: fused multiply–add skips
+/// the intermediate rounding and would break bit-identity with the
+/// scalar reference path.
+///
+/// # Safety
+/// The caller must have verified AVX support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn block_matvec_avx(
+    coeffs: &[f64],
+    k: usize,
+    m: usize,
+    block: &[f64],
+    b: usize,
+    out: &mut [f64],
+) {
+    block_matvec_generic(coeffs, k, m, block, b, out);
+}
+
+/// Portable kernel body (monomorphized per target feature set by its
+/// callers).
+///
+/// Register tiling: [`TILE`] output accumulators live across the whole
+/// attribute loop, so each output element is written exactly once and the
+/// inner loop never re-reads partial sums from memory (the naive axpy
+/// order pays a load+store per element per attribute). The accumulator
+/// chains are independent — they vectorize — while each individual chain
+/// still folds its terms in ascending `j`. Do NOT special-case w == 0.0
+/// anywhere: the scalar oracle multiplies through, and 0·∞ = NaN must
+/// match.
+#[inline(always)]
+fn block_matvec_generic(
+    coeffs: &[f64],
+    k: usize,
+    m: usize,
+    block: &[f64],
+    b: usize,
+    out: &mut [f64],
+) {
+    const TILE: usize = 8;
+    for c in 0..k {
+        let row = &coeffs[c * m..(c + 1) * m];
+        let out_row = &mut out[c * b..(c + 1) * b];
+        let mut tiles = out_row.chunks_exact_mut(TILE);
+        let mut i = 0;
+        for tile in &mut tiles {
+            let mut acc = [0.0f64; TILE];
+            for (j, &w) in row.iter().enumerate() {
+                let x = &block[j * b + i..j * b + i + TILE];
+                for (a, &xv) in acc.iter_mut().zip(x) {
+                    *a += w * xv;
+                }
+            }
+            tile.copy_from_slice(&acc);
+            i += TILE;
+        }
+        for (t, a) in tiles.into_remainder().iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (j, &w) in row.iter().enumerate() {
+                acc += w * block[j * b + i + t];
+            }
+            *a = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scalar left-to-right dot product — the reference accumulation order.
+    fn scalar_dot(tuple: &[f64], coeffs: &[f64]) -> f64 {
+        tuple.iter().zip(coeffs).map(|(x, w)| x * w).sum()
+    }
+
+    #[test]
+    fn matches_scalar_dot_bitwise() {
+        let (k, m, b) = (3, 4, 5);
+        let coeffs: Vec<f64> = (0..k * m)
+            .map(|i| (i as f64 * 0.7371 - 3.0) * 1.0e3_f64.powi((i % 3) as i32 - 1))
+            .collect();
+        let block: Vec<f64> = (0..m * b).map(|i| (i as f64).sin() * 1e4).collect();
+        let mut out = vec![f64::NAN; k * b];
+        block_matvec(&coeffs, k, m, &block, b, &mut out);
+        for c in 0..k {
+            for i in 0..b {
+                let tuple: Vec<f64> = (0..m).map(|j| block[j * b + i]).collect();
+                let expect = scalar_dot(&tuple, &coeffs[c * m..(c + 1) * m]);
+                assert_eq!(out[c * b + i].to_bits(), expect.to_bits(), "c={c} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_coefficient_times_infinity_is_nan_like_scalar() {
+        // w = 0 must not be skipped: 0 · ∞ = NaN in both paths.
+        let coeffs = vec![0.0, 1.0];
+        let block = vec![f64::INFINITY, 2.0]; // one row, two attributes
+        let mut out = vec![0.0; 1];
+        block_matvec(&coeffs, 1, 2, &block, 1, &mut out);
+        let expect = scalar_dot(&[f64::INFINITY, 2.0], &coeffs);
+        assert!(out[0].is_nan());
+        assert_eq!(out[0].is_nan(), expect.is_nan());
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        // k = 0: nothing written.
+        block_matvec(&[], 0, 3, &[1.0, 2.0, 3.0], 1, &mut []);
+        // m = 0: outputs are the empty sum, 0.0.
+        let mut out = vec![f64::NAN; 4];
+        block_matvec(&[], 2, 0, &[], 2, &mut out);
+        assert_eq!(out, vec![0.0; 4]);
+        // b = 0: nothing to do.
+        block_matvec(&[1.0], 1, 1, &[], 0, &mut []);
+    }
+
+    #[test]
+    #[should_panic(expected = "output buffer mismatch")]
+    fn rejects_wrong_output_size() {
+        block_matvec(&[1.0], 1, 1, &[1.0], 1, &mut [0.0, 0.0]);
+    }
+}

@@ -8,7 +8,9 @@
 //! dependency:
 //!
 //! * [`conformance`] — the core: constraint language, quantitative
-//!   semantics, PCA-based synthesis, drift, trusted-ML, explanations;
+//!   semantics, PCA-based synthesis, the compiled serving engine
+//!   (`CompiledProfile`: compile once, evaluate many), drift, trusted-ML,
+//!   explanations;
 //! * [`frame`] — the minimal dataframe the stack operates on;
 //! * [`linalg`] / [`stats`] — numeric substrates;
 //! * [`models`] — regression/classification models for the TML experiments;
@@ -49,7 +51,7 @@ pub mod prelude {
     pub use cc_linalg::SufficientStats;
     pub use conformance::{
         dataset_drift, dataset_drift_parallel, synthesize, synthesize_parallel, synthesize_simple,
-        ConformanceProfile, DriftAggregator, Projection, SafetyEnvelope, SimpleConstraint,
-        StreamingSynthesizer, SynthOptions,
+        CompiledProfile, ConformanceProfile, DriftAggregator, DriftMonitor, Projection,
+        SafetyEnvelope, SimpleConstraint, StreamingSynthesizer, SynthOptions,
     };
 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! ccsynth profile <data.csv> -o <profile.json> [--drop <col>]... [--shards <n>]
-//! ccsynth check   <profile.json> <data.csv> [--threshold <t>]
+//! ccsynth check   <profile.json> <data.csv> [--threshold <t>] [--threads <n>] [--top <k>] [--dump]
 //! ccsynth drift   <profile.json> <data.csv> [--threads <n>]
 //! ccsynth explain <profile.json> <train.csv> <serve.csv> [--sample <n>]
 //! ccsynth sql     <profile.json> <table_name>
@@ -11,12 +11,15 @@
 //! Profiles are stored as JSON and are portable across machines.
 //! `--shards`/`--threads` spread the work over scoped threads; the paper's
 //! synthesis is embarrassingly parallel (§4.3.2) and the sharded result is
-//! bit-identical to the sequential one.
+//! bit-identical to the sequential one. `check` compiles the profile into
+//! the vectorized serving plan once and then scores tuples through it:
+//! `--top <k>` prints the worst offender rows plus the most-violated
+//! constraints, `--dump` emits per-tuple violations as CSV.
 
 use ccsynth::conformance::explain::mean_responsibility;
 use ccsynth::conformance::{
-    dataset_drift_parallel, profile_to_sql, synthesize_parallel, ConformanceProfile,
-    DriftAggregator, SafetyEnvelope, SynthOptions,
+    breakdown_from_plan, dataset_drift_parallel, profile_to_sql, synthesize_parallel,
+    CompiledProfile, ConformanceProfile, DriftAggregator, SynthOptions,
 };
 use ccsynth::frame::{read_csv, DataFrame};
 use std::fs::File;
@@ -26,7 +29,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  ccsynth profile <data.csv> -o <profile.json> [--drop <col>]... [--shards <n>]\n  \
-         ccsynth check   <profile.json> <data.csv> [--threshold <t>]\n  \
+         ccsynth check   <profile.json> <data.csv> [--threshold <t>] [--threads <n>] [--top <k>] [--dump]\n  \
          ccsynth drift   <profile.json> <data.csv> [--threads <n>]\n  \
          ccsynth explain <profile.json> <train.csv> <serve.csv> [--sample <n>]\n  \
          ccsynth sql     <profile.json> <table_name>"
@@ -89,6 +92,9 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
 
 fn cmd_check(args: &[String]) -> Result<(), String> {
     let mut threshold = 0.1;
+    let mut threads = 1usize;
+    let mut top = 0usize;
+    let mut dump = false;
     let mut paths = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -97,8 +103,12 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
                 threshold = it
                     .next()
                     .and_then(|s| s.parse().ok())
+                    .filter(|t: &f64| (0.0..=1.0).contains(t))
                     .ok_or("--threshold needs a number in [0,1]")?
             }
+            "--threads" => threads = parse_count(&mut it, "--threads")?,
+            "--top" => top = parse_count(&mut it, "--top")?,
+            "--dump" => dump = true,
             other => paths.push(other.to_owned()),
         }
     }
@@ -107,19 +117,54 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
     };
     let profile = load_profile(profile_path)?;
     let df = load_csv(data_path)?;
-    let envelope = SafetyEnvelope::new(profile, threshold);
-    let verdicts = envelope.check_all(&df).map_err(|e| e.to_string())?;
-    let n_unsafe = verdicts.iter().filter(|v| v.is_unsafe).count();
-    let mean: f64 =
-        verdicts.iter().map(|v| v.violation).sum::<f64>() / verdicts.len().max(1) as f64;
-    let max = verdicts.iter().map(|v| v.violation).fold(0.0f64, f64::max);
-    println!("rows:            {}", verdicts.len());
+    // Compile once, evaluate the whole frame through the blocked serving
+    // engine (sharded over --threads).
+    let plan = CompiledProfile::compile(&profile);
+    let violations = plan.violations_parallel(&df, threads).map_err(|e| e.to_string())?;
+    if dump {
+        // One buffered writer, not a flushed syscall per row.
+        let stdout = std::io::stdout();
+        let mut w = std::io::BufWriter::new(stdout.lock());
+        writeln!(w, "row,violation").map_err(|e| e.to_string())?;
+        for (i, v) in violations.iter().enumerate() {
+            writeln!(w, "{i},{v}").map_err(|e| e.to_string())?;
+        }
+        return Ok(());
+    }
+    let n = violations.len();
+    let n_unsafe = violations.iter().filter(|&&v| v > threshold).count();
+    let mean: f64 = violations.iter().sum::<f64>() / n.max(1) as f64;
+    let max = violations.iter().fold(0.0f64, |m, &v| m.max(v));
+    println!("rows:            {n}");
+    println!("constraints:     {}", plan.constraint_count());
     println!("mean violation:  {mean:.4}");
     println!("max violation:   {max:.4}");
     println!(
         "unsafe (> {threshold}): {n_unsafe} ({:.1}%)",
-        100.0 * n_unsafe as f64 / verdicts.len().max(1) as f64
+        100.0 * n_unsafe as f64 / n.max(1) as f64
     );
+    if top > 0 {
+        // Select the k worst rows in O(n), then order just that prefix.
+        let top = top.min(n);
+        let mut order: Vec<usize> = (0..n).collect();
+        let desc =
+            |&a: &usize, &b: &usize| violations[b].partial_cmp(&violations[a]).expect("finite");
+        if top < n {
+            order.select_nth_unstable_by(top - 1, desc);
+        }
+        order.truncate(top);
+        order.sort_by(desc);
+        println!("\ntop {top} offenders:");
+        println!("{:<10} violation", "row");
+        for &i in &order {
+            println!("{i:<10} {:.4}", violations[i]);
+        }
+        let breakdown = breakdown_from_plan(&plan, &df).map_err(|e| e.to_string())?;
+        println!("\nmost-violated constraints (mean weighted contribution):");
+        for c in breakdown.iter().take(top) {
+            println!("  {:.4}  {}", c.score, c.label);
+        }
+    }
     Ok(())
 }
 

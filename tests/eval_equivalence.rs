@@ -1,0 +1,245 @@
+//! The compiled serving engine's hard invariant: `CompiledProfile`
+//! evaluation is **bit-identical** to the interpreted reference path
+//! (`ConformanceProfile::violations_interpreted`) — across random
+//! profiles (global and partitioned/compound), unseen partition values,
+//! thread counts, block-boundary row counts (n = 0, 1, B−1, B, B+1), and
+//! the streaming mean aggregate.
+
+use ccsynth::conformance::compiled::EVAL_BLOCK_ROWS;
+use ccsynth::conformance::{
+    dataset_drift, dataset_drift_parallel, BoundedConstraint, DisjunctiveConstraint,
+    SimpleConstraint,
+};
+use ccsynth::frame::DataFrame;
+use ccsynth::prelude::*;
+use proptest::prelude::*;
+
+/// Small deterministic generator (splitmix-style) so a whole scenario —
+/// profile and frame — derives from one proptest-drawn seed.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    /// Uniform in `[0, bound)`.
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (self.next() as f64 / (1u64 << 53) as f64) * (hi - lo)
+    }
+}
+
+fn random_simple(g: &mut Gen, m: usize, conjuncts: usize) -> SimpleConstraint {
+    let mut cs = Vec::with_capacity(conjuncts);
+    let mut ws = Vec::with_capacity(conjuncts);
+    for _ in 0..conjuncts {
+        let attrs: Vec<String> = (0..m).map(|j| format!("a{j}")).collect();
+        let coeffs: Vec<f64> = (0..m).map(|_| g.f64(-2.0, 2.0)).collect();
+        let center = g.f64(-10.0, 10.0);
+        let half_width = g.f64(0.0, 8.0);
+        let std = g.f64(0.0, 3.0);
+        cs.push(BoundedConstraint {
+            projection: Projection::new(attrs, coeffs),
+            lb: center - half_width,
+            ub: center + half_width,
+            mean: center,
+            std,
+            alpha: g.f64(0.01, 50.0),
+        });
+        ws.push(g.f64(0.0, 2.0));
+    }
+    SimpleConstraint::new(cs, ws)
+}
+
+/// A random profile: optional global constraint plus up to two
+/// disjunctive (compound) constraints with 1–3 cases each.
+fn random_profile(g: &mut Gen, m: usize) -> ConformanceProfile {
+    let with_global = g.below(4) != 0; // mostly present
+    let n_disj = g.below(3);
+    let global = if with_global {
+        let conjuncts = g.below(4);
+        Some(random_simple(g, m, conjuncts))
+    } else {
+        None
+    };
+    let mut disjunctive = Vec::with_capacity(n_disj);
+    for d in 0..n_disj {
+        let n_cases = 1 + g.below(3);
+        let mut cases = Vec::with_capacity(n_cases);
+        for ci in 0..n_cases {
+            let conjuncts = g.below(3) + 1;
+            cases.push((format!("v{ci}"), random_simple(g, m, conjuncts)));
+        }
+        disjunctive.push(DisjunctiveConstraint { attribute: format!("g{d}"), cases });
+    }
+    ConformanceProfile {
+        numeric_attributes: (0..m).map(|j| format!("a{j}")).collect(),
+        global,
+        disjunctive,
+    }
+}
+
+/// A random frame carrying the profile's attributes: `n` rows of mostly
+/// moderate values with occasional extreme outliers (drives the η branch
+/// and the [0, 1] clamp), and categorical labels that include `v3` —
+/// never a training case, so the unseen-value ⇒ 1 path is exercised.
+fn random_frame(g: &mut Gen, profile: &ConformanceProfile, n: usize) -> DataFrame {
+    let mut df = DataFrame::new();
+    for a in &profile.numeric_attributes {
+        let col: Vec<f64> = (0..n)
+            .map(|_| if g.below(50) == 0 { g.f64(-1.0, 1.0) * 1e300 } else { g.f64(-30.0, 30.0) })
+            .collect();
+        df.push_numeric(a.clone(), col).unwrap();
+    }
+    for d in &profile.disjunctive {
+        let labels: Vec<String> = (0..n).map(|_| format!("v{}", g.below(4))).collect();
+        df.push_categorical(d.attribute.clone(), &labels).unwrap();
+    }
+    df
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: lengths differ");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: row {i}: {x} vs {y}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Compiled ≡ interpreted, bitwise, over random profiles and frames —
+    /// row counts straddling every block boundary, all thread counts.
+    #[test]
+    fn compiled_matches_interpreted(seed in 0u64..u64::MAX, m in 1usize..4, kind in 0usize..6) {
+        let mut g = Gen(seed);
+        let profile = random_profile(&mut g, m);
+        let n = match kind {
+            0 => 0,
+            1 => 1,
+            2 => EVAL_BLOCK_ROWS - 1,
+            3 => EVAL_BLOCK_ROWS,
+            4 => EVAL_BLOCK_ROWS + 1,
+            _ => 2 + g.below(700),
+        };
+        let df = random_frame(&mut g, &profile, n);
+
+        let interpreted = profile.violations_interpreted(&df).unwrap();
+        let plan = CompiledProfile::compile(&profile);
+        let compiled = plan.violations(&df).unwrap();
+        assert_bits_eq(&interpreted, &compiled, "sequential");
+
+        for threads in [1, 2, 3, 5] {
+            let par = plan.violations_parallel(&df, threads).unwrap();
+            assert_bits_eq(&interpreted, &par, &format!("{threads} threads"));
+        }
+
+        // The streaming mean is the same left-to-right fold as summing
+        // the materialized vector.
+        let expect = if interpreted.is_empty() {
+            0.0
+        } else {
+            interpreted.iter().sum::<f64>() / interpreted.len() as f64
+        };
+        prop_assert_eq!(plan.mean_violation(&df).unwrap().to_bits(), expect.to_bits());
+    }
+
+    /// The re-routed public surfaces agree with the oracle too: the
+    /// profile methods compile internally, and drift (the mean/max
+    /// streaming aggregates included) matches aggregation over the
+    /// interpreted vector.
+    #[test]
+    fn rerouted_surfaces_match_oracle(seed in 0u64..u64::MAX, m in 1usize..4) {
+        let mut g = Gen(seed);
+        let profile = random_profile(&mut g, m);
+        let n = 2 + g.below(900);
+        let df = random_frame(&mut g, &profile, n);
+
+        let interpreted = profile.violations_interpreted(&df).unwrap();
+        assert_bits_eq(&interpreted, &profile.violations(&df).unwrap(), "violations");
+        assert_bits_eq(&interpreted, &profile.violations_parallel(&df, 3).unwrap(), "parallel");
+
+        for agg in [DriftAggregator::Mean, DriftAggregator::Max, DriftAggregator::Quantile(0.9)] {
+            let expect = agg.aggregate(&interpreted);
+            let seq = dataset_drift(&profile, &df, agg).unwrap();
+            let par = dataset_drift_parallel(&profile, &df, agg, 4).unwrap();
+            prop_assert_eq!(seq.to_bits(), expect.to_bits());
+            prop_assert_eq!(par.to_bits(), expect.to_bits());
+        }
+    }
+}
+
+/// Synthesized (not hand-built) profiles, partitioned training data, and
+/// serving frames that include values unseen in training — end to end on
+/// the paper-style pipeline.
+#[test]
+fn synthesized_partitioned_profile_is_bit_identical() {
+    let n = 3 * EVAL_BLOCK_ROWS + 17;
+    let mut g = Gen(0xC0FFEE);
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    let mut z = Vec::with_capacity(n);
+    let mut regime = Vec::with_capacity(n);
+    for i in 0..n {
+        let r = i % 3;
+        let xv = g.f64(-20.0, 20.0);
+        let yv = g.f64(-5.0, 5.0);
+        x.push(xv);
+        y.push(yv);
+        z.push((r as f64 + 1.0) * xv - yv);
+        regime.push(["low", "mid", "high"][r].to_string());
+    }
+    let mut train = DataFrame::new();
+    train.push_numeric("x", x).unwrap();
+    train.push_numeric("y", y).unwrap();
+    train.push_numeric("z", z).unwrap();
+    train.push_categorical("regime", &regime).unwrap();
+
+    let profile = synthesize(&train, &SynthOptions::default()).unwrap();
+    assert!(!profile.disjunctive.is_empty(), "expected a compound profile");
+    let plan = CompiledProfile::compile(&profile);
+
+    // Serving window with drifted values and an unseen regime label.
+    let mut serve = train.take(&(0..EVAL_BLOCK_ROWS + 3).collect::<Vec<_>>());
+    serve = serve.drop_column("regime").unwrap();
+    let labels: Vec<String> =
+        (0..serve.n_rows()).map(|i| ["low", "mid", "alien"][i % 3].to_string()).collect();
+    serve.push_categorical("regime", &labels).unwrap();
+
+    let interpreted = profile.violations_interpreted(&serve).unwrap();
+    assert_bits_eq(&interpreted, &plan.violations(&serve).unwrap(), "synthesized serve");
+    for threads in [2, 4] {
+        assert_bits_eq(
+            &interpreted,
+            &plan.violations_parallel(&serve, threads).unwrap(),
+            "synthesized parallel",
+        );
+    }
+    // Unseen labels must register: every third row carries "alien".
+    assert!(plan.violations(&serve).unwrap()[2] > 0.0);
+}
+
+/// The single-tuple resolved path (ExTuNe's workhorse) agrees with the
+/// interpreted single-tuple semantics.
+#[test]
+fn resolved_tuple_matches_interpreted() {
+    let mut g = Gen(42);
+    let profile = random_profile(&mut g, 3);
+    let plan = CompiledProfile::compile(&profile);
+    for trial in 0..200 {
+        let tuple: Vec<f64> = (0..3).map(|_| g.f64(-40.0, 40.0)).collect();
+        let label = format!("v{}", trial % 4);
+        let cats: Vec<(&str, &str)> =
+            profile.disjunctive.iter().map(|d| (d.attribute.as_str(), label.as_str())).collect();
+        let interpreted = profile.violation(&tuple, &cats).unwrap();
+        let cases = plan.resolve_cases(&cats).unwrap();
+        let compiled = plan.violation_resolved(&tuple, &cases);
+        assert_eq!(interpreted.to_bits(), compiled.to_bits(), "trial {trial}");
+    }
+}
