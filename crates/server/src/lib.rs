@@ -1,0 +1,57 @@
+//! # cc_server — the conformance serving daemon
+//!
+//! A long-running HTTP service in front of the compiled serving engine:
+//! the paper frames conformance constraints as a *trust layer for
+//! deployed data-driven systems* (§1, §2), and a trust layer has to
+//! answer check / explain / drift queries online, not per-process. This
+//! crate is that layer, **dependency-free**: the workspace is
+//! offline/vendored, so the HTTP/1.1 protocol ([`http`]), the worker
+//! pool ([`server`]), and the Prometheus exposition ([`metrics`]) are
+//! all built directly on `std::net` + `std::thread`.
+//!
+//! ```text
+//!            ┌──────────────────────────────────────────────┐
+//!  TCP ──►   │ acceptor ─► queue ─► workers (keep-alive     │
+//!            │   loops: RequestParser ─► route ─► Response) │
+//!            │                 │                            │
+//!            │                 ▼ pinned Arc<Snapshot>       │
+//!            │ ProfileRegistry: dir of profile JSON ─►      │
+//!            │   ConformanceProfile ─► CompiledProfile      │
+//!            │   (compiled once, hot-swapped atomically)    │
+//!            └──────────────────────────────────────────────┘
+//! ```
+//!
+//! The registry ([`registry`]) loads `ccsynth profile --out`-style JSON
+//! files, lowers each to its [`conformance::CompiledProfile`] once, and
+//! publishes immutable snapshots behind `RwLock<Arc<…>>` — `POST
+//! /v1/reload` swaps profiles atomically under live traffic without
+//! disturbing in-flight requests. Violations served over HTTP are
+//! **bit-identical** to direct [`conformance::CompiledProfile::violations`]
+//! calls: the vendored JSON layer formats `f64`s shortest-round-trip, and
+//! the loopback equivalence test pins the property end to end.
+//!
+//! ## Embedding
+//!
+//! ```no_run
+//! use cc_server::{ProfileRegistry, Server, ServerConfig};
+//!
+//! let registry = ProfileRegistry::from_dir("profiles").unwrap();
+//! let handle = Server::start(ServerConfig::default(), registry).unwrap();
+//! println!("listening on http://{}", handle.addr());
+//! // … traffic …
+//! handle.shutdown(); // graceful: in-flight requests complete
+//! ```
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+
+pub use client::{ClientResponse, HttpClient};
+pub use http::{ParseError, Request, RequestParser, Response, MAX_HEADER_BYTES};
+pub use metrics::{Endpoint, Metrics};
+pub use registry::{ProfileEntry, ProfileRegistry, Snapshot};
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,294 @@
+//! Server metrics with a Prometheus text exposition (`GET /metrics`).
+//!
+//! Counters are plain atomics, bumped per request with relaxed ordering
+//! (exactness across concurrent scrapes is not a requirement; never
+//! losing increments is). Request latency lands in a
+//! [`cc_stats::Histogram`] over `log₁₀(seconds)` — log-spaced buckets
+//! span 10µs…10s with quarter-decade resolution, which equal-width bins
+//! over seconds could not do — rendered as a standard cumulative
+//! Prometheus histogram. The last bin is treated as the overflow bucket
+//! (`+Inf` only), so a pathological 30s request is never reported under a
+//! finite `le`.
+
+use cc_stats::Histogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The fixed endpoint set, used to label request counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `GET /healthz`
+    Healthz,
+    /// `GET /v1/profiles`
+    Profiles,
+    /// `POST /v1/check`
+    Check,
+    /// `POST /v1/explain`
+    Explain,
+    /// `POST /v1/drift`
+    Drift,
+    /// `POST /v1/reload`
+    Reload,
+    /// `GET /metrics`
+    Metrics,
+    /// Anything else (404s, parse failures, …).
+    Other,
+}
+
+const ENDPOINTS: [Endpoint; 8] = [
+    Endpoint::Healthz,
+    Endpoint::Profiles,
+    Endpoint::Check,
+    Endpoint::Explain,
+    Endpoint::Drift,
+    Endpoint::Reload,
+    Endpoint::Metrics,
+    Endpoint::Other,
+];
+
+impl Endpoint {
+    fn label(self) -> &'static str {
+        match self {
+            Endpoint::Healthz => "/healthz",
+            Endpoint::Profiles => "/v1/profiles",
+            Endpoint::Check => "/v1/check",
+            Endpoint::Explain => "/v1/explain",
+            Endpoint::Drift => "/v1/drift",
+            Endpoint::Reload => "/v1/reload",
+            Endpoint::Metrics => "/metrics",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        ENDPOINTS.iter().position(|e| *e == self).expect("endpoint in table")
+    }
+}
+
+/// `log₁₀(seconds)` of the first latency bucket edge (10µs).
+const LAT_LOG_LO: f64 = -5.0;
+/// `log₁₀(seconds)` of the histogram ceiling (10s).
+const LAT_LOG_HI: f64 = 1.0;
+/// Latency bins: quarter-decade resolution across 6 decades.
+const LAT_BINS: usize = 24;
+
+/// Latency histogram plus the exact sum/count Prometheus expects.
+struct Latency {
+    hist: Histogram,
+    sum_seconds: f64,
+    count: u64,
+}
+
+/// All server metrics.
+pub struct Metrics {
+    started: Instant,
+    /// `requests[endpoint][status class]`, classes `2xx / 4xx / 5xx`.
+    requests: [[AtomicU64; 3]; ENDPOINTS.len()],
+    rows_checked: AtomicU64,
+    connections_accepted: AtomicU64,
+    latency: Mutex<Latency>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh, all-zero metrics anchored at "now".
+    pub fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            requests: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+            rows_checked: AtomicU64::new(0),
+            connections_accepted: AtomicU64::new(0),
+            latency: Mutex::new(Latency {
+                hist: Histogram::new(LAT_LOG_LO, LAT_LOG_HI, LAT_BINS),
+                sum_seconds: 0.0,
+                count: 0,
+            }),
+        }
+    }
+
+    /// Records one finished request.
+    pub fn record_request(&self, endpoint: Endpoint, status: u16, seconds: f64) {
+        let class = match status {
+            200..=299 => 0,
+            500..=599 => 2,
+            _ => 1,
+        };
+        self.requests[endpoint.index()][class].fetch_add(1, Ordering::Relaxed);
+        let mut lat = self.latency.lock().expect("metrics lock never poisoned");
+        lat.hist.add(seconds.max(1e-9).log10());
+        lat.sum_seconds += seconds;
+        lat.count += 1;
+    }
+
+    /// Adds to the cumulative count of rows scored through `/v1/check` /
+    /// `/v1/drift` / `/v1/explain`.
+    pub fn add_rows_checked(&self, rows: usize) {
+        self.rows_checked.fetch_add(rows as u64, Ordering::Relaxed);
+    }
+
+    /// Records one accepted connection.
+    pub fn record_connection(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the Prometheus text exposition. Registry-scoped series
+    /// (profile count, generation, per-profile compile counts) are passed
+    /// in by the caller, which owns the registry.
+    pub fn render_prometheus(
+        &self,
+        profiles: usize,
+        generation: u64,
+        compile_counts: &[(String, u64)],
+    ) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str(
+            "# HELP cc_server_requests_total Requests served, by endpoint and status class.\n",
+        );
+        out.push_str("# TYPE cc_server_requests_total counter\n");
+        for e in ENDPOINTS {
+            for (class, label) in ["2xx", "4xx", "5xx"].iter().enumerate() {
+                let n = self.requests[e.index()][class].load(Ordering::Relaxed);
+                if n > 0 {
+                    out.push_str(&format!(
+                        "cc_server_requests_total{{endpoint=\"{}\",code=\"{label}\"}} {n}\n",
+                        e.label()
+                    ));
+                }
+            }
+        }
+        {
+            let lat = self.latency.lock().expect("metrics lock never poisoned");
+            out.push_str("# HELP cc_server_request_duration_seconds Request latency.\n");
+            out.push_str("# TYPE cc_server_request_duration_seconds histogram\n");
+            let counts = lat.hist.counts();
+            let width = (LAT_LOG_HI - LAT_LOG_LO) / LAT_BINS as f64;
+            let mut cumulative = 0u64;
+            // The final bin is the overflow bucket: everything at or past
+            // the last finite edge reports only under `+Inf`.
+            for (i, &c) in counts.iter().enumerate().take(LAT_BINS - 1) {
+                cumulative += c;
+                let le = 10f64.powf(LAT_LOG_LO + width * (i + 1) as f64);
+                out.push_str(&format!(
+                    "cc_server_request_duration_seconds_bucket{{le=\"{le:.6}\"}} {cumulative}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "cc_server_request_duration_seconds_bucket{{le=\"+Inf\"}} {}\n",
+                lat.count
+            ));
+            out.push_str(&format!("cc_server_request_duration_seconds_sum {}\n", lat.sum_seconds));
+            out.push_str(&format!("cc_server_request_duration_seconds_count {}\n", lat.count));
+        }
+        out.push_str(
+            "# HELP cc_server_rows_checked_total Tuples scored through the serving endpoints.\n",
+        );
+        out.push_str("# TYPE cc_server_rows_checked_total counter\n");
+        out.push_str(&format!(
+            "cc_server_rows_checked_total {}\n",
+            self.rows_checked.load(Ordering::Relaxed)
+        ));
+        out.push_str("# HELP cc_server_connections_accepted_total TCP connections accepted.\n");
+        out.push_str("# TYPE cc_server_connections_accepted_total counter\n");
+        out.push_str(&format!(
+            "cc_server_connections_accepted_total {}\n",
+            self.connections_accepted.load(Ordering::Relaxed)
+        ));
+        out.push_str("# HELP cc_server_profile_compiles_total Plan compilations per profile, across all (re)loads.\n");
+        out.push_str("# TYPE cc_server_profile_compiles_total counter\n");
+        for (name, n) in compile_counts {
+            out.push_str(&format!(
+                "cc_server_profile_compiles_total{{profile=\"{}\"}} {n}\n",
+                escape_label(name)
+            ));
+        }
+        out.push_str("# HELP cc_server_profiles Profiles in the published registry snapshot.\n");
+        out.push_str("# TYPE cc_server_profiles gauge\n");
+        out.push_str(&format!("cc_server_profiles {profiles}\n"));
+        out.push_str("# HELP cc_server_registry_generation Registry reload generation.\n");
+        out.push_str("# TYPE cc_server_registry_generation gauge\n");
+        out.push_str(&format!("cc_server_registry_generation {generation}\n"));
+        out.push_str("# HELP cc_server_uptime_seconds Time since server start.\n");
+        out.push_str("# TYPE cc_server_uptime_seconds gauge\n");
+        out.push_str(&format!(
+            "cc_server_uptime_seconds {:.3}\n",
+            self.started.elapsed().as_secs_f64()
+        ));
+        out
+    }
+}
+
+/// Escapes a Prometheus label value (`\` → `\\`, `"` → `\"`, newline →
+/// `\n`). Profile names come from arbitrary file stems; one unescaped
+/// quote would invalidate the entire exposition and lose every metric.
+fn escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_values_escaped() {
+        let m = Metrics::new();
+        let text = m.render_prometheus(1, 1, &[("we\"ird\\name\n".into(), 1)]);
+        assert!(
+            text.contains("cc_server_profile_compiles_total{profile=\"we\\\"ird\\\\name\\n\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn exposition_shape() {
+        let m = Metrics::new();
+        m.record_request(Endpoint::Check, 200, 0.004);
+        m.record_request(Endpoint::Check, 404, 0.0001);
+        m.record_request(Endpoint::Metrics, 200, 30.0); // overflow bucket
+        m.add_rows_checked(1234);
+        m.record_connection();
+        let text = m.render_prometheus(2, 3, &[("alpha".into(), 2)]);
+        assert!(text.contains("cc_server_requests_total{endpoint=\"/v1/check\",code=\"2xx\"} 1"));
+        assert!(text.contains("cc_server_requests_total{endpoint=\"/v1/check\",code=\"4xx\"} 1"));
+        assert!(text.contains("cc_server_rows_checked_total 1234"));
+        assert!(text.contains("cc_server_connections_accepted_total 1"));
+        assert!(text.contains("cc_server_profile_compiles_total{profile=\"alpha\"} 2"));
+        assert!(text.contains("cc_server_profiles 2"));
+        assert!(text.contains("cc_server_registry_generation 3"));
+        assert!(text.contains("cc_server_request_duration_seconds_count 3"));
+        assert!(text.contains("cc_server_request_duration_seconds_bucket{le=\"+Inf\"} 3"));
+        // Cumulative buckets are monotone and the 30s outlier only shows
+        // under +Inf: the largest finite bucket holds 2.
+        let last_finite = text
+            .lines()
+            .rfind(|l| l.starts_with("cc_server_request_duration_seconds_bucket{le=\"1"))
+            .unwrap();
+        assert!(last_finite.ends_with(" 2"), "{last_finite}");
+    }
+
+    #[test]
+    fn status_classes() {
+        let m = Metrics::new();
+        for status in [200, 204, 400, 404, 431, 500, 503] {
+            m.record_request(Endpoint::Other, status, 0.001);
+        }
+        let text = m.render_prometheus(0, 0, &[]);
+        assert!(text.contains("endpoint=\"other\",code=\"2xx\"} 2"));
+        assert!(text.contains("endpoint=\"other\",code=\"4xx\"} 3"));
+        assert!(text.contains("endpoint=\"other\",code=\"5xx\"} 2"));
+    }
+}

@@ -1,0 +1,398 @@
+//! The hot-swappable profile registry.
+//!
+//! Profiles arrive as serde-serialized [`ConformanceProfile`] JSON files
+//! (what `ccsynth profile --out` writes). The registry loads every file,
+//! lowers each profile to its [`CompiledProfile`] **once**, and publishes
+//! the result as an immutable [`Snapshot`] behind `RwLock<Arc<…>>`:
+//!
+//! * request handlers take the read lock just long enough to clone the
+//!   `Arc` — evaluation runs entirely against that pinned snapshot, so a
+//!   concurrent reload never invalidates an in-flight request;
+//! * [`ProfileRegistry::reload`] builds the **entire** next snapshot
+//!   outside any lock (file reads, JSON parsing, plan compilation), then
+//!   swaps the `Arc` under a brief write lock. Reload is atomic: if any
+//!   file fails to load, the old snapshot stays published untouched.
+
+use conformance::{CompiledProfile, ConformanceProfile};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// One served profile: the raw profile (for introspection), its compiled
+/// serving plan, and its name (the file stem).
+#[derive(Debug)]
+pub struct ProfileEntry {
+    /// Registry name (file stem of the source JSON).
+    pub name: String,
+    /// Source path the entry was loaded from.
+    pub path: PathBuf,
+    /// The profile as loaded.
+    pub profile: ConformanceProfile,
+    /// The serving plan, compiled once at load.
+    pub plan: CompiledProfile,
+}
+
+/// An immutable, atomically-published view of the registry.
+#[derive(Debug, Default)]
+pub struct Snapshot {
+    /// Entries sorted by name.
+    entries: Vec<Arc<ProfileEntry>>,
+    /// Monotone reload generation (1 = initial load).
+    generation: u64,
+}
+
+impl Snapshot {
+    /// Looks a profile up by name. With exactly one profile loaded,
+    /// `None` selects it — single-profile deployments then never need to
+    /// name it in requests.
+    pub fn select(&self, name: Option<&str>) -> Option<&Arc<ProfileEntry>> {
+        match name {
+            Some(n) => self.entries.iter().find(|e| e.name == n),
+            None if self.entries.len() == 1 => self.entries.first(),
+            None => None,
+        }
+    }
+
+    /// All entries, sorted by name.
+    pub fn entries(&self) -> &[Arc<ProfileEntry>] {
+        &self.entries
+    }
+
+    /// The reload generation this snapshot was published at.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+/// Where the registry's profile files come from.
+#[derive(Clone, Debug)]
+enum Source {
+    /// Every `*.json` directly inside a directory (rescanned per reload,
+    /// so dropping a new file in and reloading serves it).
+    Dir(PathBuf),
+    /// An explicit file list.
+    Files(Vec<PathBuf>),
+}
+
+/// The registry: a source of profile files plus the currently-published
+/// snapshot.
+#[derive(Debug)]
+pub struct ProfileRegistry {
+    source: Source,
+    snapshot: RwLock<Arc<Snapshot>>,
+    generation: AtomicU64,
+    /// Serializes [`Self::reload`] end to end (scan → build → publish).
+    /// Without it, two concurrent reloads could publish out of
+    /// generation order, leaving a stale file set live. Readers never
+    /// touch this lock — requests stay wait-free against `snapshot`.
+    reload_serial: std::sync::Mutex<()>,
+    /// Cumulative per-profile compile counts across all loads (for
+    /// `/metrics`): compiling happens once per profile per (re)load, so
+    /// this is exactly "how many times did a reload rebuild this plan".
+    compiles: RwLock<BTreeMap<String, u64>>,
+}
+
+impl ProfileRegistry {
+    /// Loads every `*.json` directly inside `dir`.
+    ///
+    /// # Errors
+    /// Fails when the directory is unreadable or any profile file fails
+    /// to parse (the registry never starts half-loaded).
+    pub fn from_dir(dir: impl Into<PathBuf>) -> Result<Self, String> {
+        Self::new(Source::Dir(dir.into()))
+    }
+
+    /// Loads an explicit list of profile files.
+    ///
+    /// # Errors
+    /// Fails when any file fails to load or two files share a stem.
+    pub fn from_files(files: Vec<PathBuf>) -> Result<Self, String> {
+        Self::new(Source::Files(files))
+    }
+
+    fn new(source: Source) -> Result<Self, String> {
+        let registry = ProfileRegistry {
+            source,
+            snapshot: RwLock::new(Arc::new(Snapshot::default())),
+            generation: AtomicU64::new(0),
+            reload_serial: std::sync::Mutex::new(()),
+            compiles: RwLock::new(BTreeMap::new()),
+        };
+        registry.reload()?;
+        Ok(registry)
+    }
+
+    /// The currently-published snapshot. Cheap (`Arc` clone under a read
+    /// lock); callers evaluate against the clone, unaffected by reloads.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.snapshot.read().expect("registry lock never poisoned").clone()
+    }
+
+    /// Rebuilds the snapshot from the source and swaps it in atomically.
+    /// In-flight requests keep the snapshot they pinned; new requests see
+    /// the new one. On any error the published snapshot is left untouched.
+    ///
+    /// # Errors
+    /// Fails when the source is unreadable, any profile fails to parse,
+    /// or two files share a stem.
+    pub fn reload(&self) -> Result<Arc<Snapshot>, String> {
+        // One reload at a time, end to end: the generation a reload
+        // takes and the order it publishes in must agree, or a slower
+        // concurrent reload could overwrite a newer snapshot. Poison is
+        // recoverable here — a reload that panicked published nothing
+        // (the snapshot only swaps as its final step), so the next
+        // reload starts from clean state.
+        let _serial = self.reload_serial.lock().unwrap_or_else(|p| p.into_inner());
+        let files = match &self.source {
+            Source::Dir(dir) => {
+                let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+                    .map_err(|e| format!("cannot read profile dir {}: {e}", dir.display()))?
+                    .filter_map(|entry| entry.ok().map(|e| e.path()))
+                    .filter(|p| p.is_file() && p.extension().is_some_and(|x| x == "json"))
+                    .collect();
+                files.sort();
+                files
+            }
+            Source::Files(files) => files.clone(),
+        };
+        let mut entries = Vec::with_capacity(files.len());
+        for path in files {
+            entries.push(Arc::new(load_entry(&path)?));
+        }
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        if let Some(w) = entries.windows(2).find(|w| w[0].name == w[1].name) {
+            return Err(format!("duplicate profile name '{}'", w[0].name));
+        }
+        let generation = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
+        {
+            let mut compiles = self.compiles.write().expect("registry lock never poisoned");
+            for e in &entries {
+                *compiles.entry(e.name.clone()).or_insert(0) += 1;
+            }
+        }
+        let snapshot = Arc::new(Snapshot { entries, generation });
+        *self.snapshot.write().expect("registry lock never poisoned") = snapshot.clone();
+        Ok(snapshot)
+    }
+
+    /// Cumulative `(profile, compile count)` pairs across all loads,
+    /// sorted by name.
+    pub fn compile_counts(&self) -> Vec<(String, u64)> {
+        let compiles = self.compiles.read().expect("registry lock never poisoned");
+        compiles.iter().map(|(n, &c)| (n.clone(), c)).collect()
+    }
+}
+
+/// Reads + parses + validates + compiles one profile file.
+fn load_entry(path: &Path) -> Result<ProfileEntry, String> {
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .filter(|s| !s.is_empty())
+        .ok_or_else(|| format!("profile file {} has no usable stem", path.display()))?
+        .to_owned();
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read profile {}: {e}", path.display()))?;
+    let profile: ConformanceProfile = serde_json::from_str(&json)
+        .map_err(|e| format!("cannot parse profile {}: {e}", path.display()))?;
+    validate_arity(&profile).map_err(|e| format!("malformed profile {}: {e}", path.display()))?;
+    let plan = CompiledProfile::compile(&profile);
+    Ok(ProfileEntry { name, path: path.to_owned(), profile, plan })
+}
+
+/// Rejects profiles whose shape disagrees with itself: projection arity
+/// vs the attribute list, and conjunct vs weight counts.
+/// `CompiledProfile::compile` treats bad arity as a programming error
+/// and panics, and its conjuncts/weights zip would silently drop
+/// unweighted conjuncts — correct assumptions for in-process profiles,
+/// but these come from user-editable files, so the registry must turn
+/// both into a reload rejection (a panic here would also poison the
+/// reload serialization).
+fn validate_arity(profile: &ConformanceProfile) -> Result<(), String> {
+    let m = profile.numeric_attributes.len();
+    let check = |sc: &conformance::SimpleConstraint, what: &str| {
+        if sc.conjuncts.len() != sc.weights.len() {
+            return Err(format!(
+                "{what}: {} conjuncts but {} weights",
+                sc.conjuncts.len(),
+                sc.weights.len()
+            ));
+        }
+        for c in &sc.conjuncts {
+            let got = c.projection.coefficients.len();
+            if got != m {
+                return Err(format!(
+                    "{what}: projection has {got} coefficients for {m} attributes"
+                ));
+            }
+        }
+        Ok(())
+    };
+    if let Some(g) = &profile.global {
+        check(g, "global constraint")?;
+    }
+    for d in &profile.disjunctive {
+        for (value, sc) in &d.cases {
+            check(sc, &format!("case {}={value}", d.attribute))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_frame::DataFrame;
+    use conformance::{synthesize, SynthOptions};
+
+    fn write_profile(dir: &Path, name: &str, slope: f64) -> PathBuf {
+        let xs: Vec<f64> = (0..200).map(|i| i as f64 / 10.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + 1.0).collect();
+        let mut df = DataFrame::new();
+        df.push_numeric("x", xs).unwrap();
+        df.push_numeric("y", ys).unwrap();
+        let profile = synthesize(&df, &SynthOptions::default()).unwrap();
+        let path = dir.join(format!("{name}.json"));
+        std::fs::write(&path, serde_json::to_string_pretty(&profile).unwrap()).unwrap();
+        path
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cc_server_registry_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn load_select_and_reload() {
+        let dir = temp_dir("basic");
+        write_profile(&dir, "alpha", 2.0);
+        let registry = ProfileRegistry::from_dir(&dir).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.generation(), 1);
+        assert_eq!(snap.entries().len(), 1);
+        // Single profile: selectable anonymously and by name.
+        assert!(snap.select(None).is_some());
+        assert_eq!(snap.select(Some("alpha")).unwrap().name, "alpha");
+        assert!(snap.select(Some("beta")).is_none());
+
+        // Drop a second profile in; reload picks it up; anonymous select
+        // now refuses to guess.
+        write_profile(&dir, "beta", 3.0);
+        let snap2 = registry.reload().unwrap();
+        assert_eq!(snap2.generation(), 2);
+        assert_eq!(snap2.entries().len(), 2);
+        assert!(snap2.select(None).is_none());
+        // The pinned old snapshot is untouched.
+        assert_eq!(snap.entries().len(), 1);
+        // Compile counts: alpha twice (two loads), beta once.
+        assert_eq!(
+            registry.compile_counts(),
+            vec![("alpha".to_owned(), 2), ("beta".to_owned(), 1)]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_reload_keeps_old_snapshot() {
+        let dir = temp_dir("atomic");
+        write_profile(&dir, "alpha", 2.0);
+        let registry = ProfileRegistry::from_dir(&dir).unwrap();
+        std::fs::write(dir.join("broken.json"), "{not json").unwrap();
+        assert!(registry.reload().is_err());
+        let snap = registry.snapshot();
+        assert_eq!(snap.generation(), 1, "failed reload must not publish");
+        assert_eq!(snap.entries().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_arity_rejects_reload_without_breaking_it() {
+        use conformance::{BoundedConstraint, Projection, SimpleConstraint};
+        let dir = temp_dir("arity");
+        write_profile(&dir, "alpha", 2.0);
+        let registry = ProfileRegistry::from_dir(&dir).unwrap();
+        // Parses fine as JSON + schema, but the projection arity (1)
+        // disagrees with the attribute count (2) — the shape that would
+        // panic CompiledProfile::compile.
+        let bad = ConformanceProfile {
+            numeric_attributes: vec!["x".into(), "y".into()],
+            global: Some(SimpleConstraint::new(
+                vec![BoundedConstraint {
+                    projection: Projection::new(vec!["x".into()], vec![1.0]),
+                    lb: -1.0,
+                    ub: 1.0,
+                    mean: 0.0,
+                    std: 1.0,
+                    alpha: 1.0,
+                }],
+                vec![1.0],
+            )),
+            disjunctive: vec![],
+        };
+        std::fs::write(dir.join("bad.json"), serde_json::to_string_pretty(&bad).unwrap()).unwrap();
+        let err = registry.reload().unwrap_err();
+        assert!(err.contains("malformed profile"), "{err}");
+        assert_eq!(registry.snapshot().generation(), 1, "old snapshot stays");
+
+        // A conjuncts/weights mismatch (deserialization bypasses the
+        // normalizing constructor) must also reject, not silently drop
+        // constraints in the compiled plan's zip.
+        let unweighted = ConformanceProfile {
+            numeric_attributes: vec!["x".into()],
+            global: Some(SimpleConstraint {
+                conjuncts: vec![BoundedConstraint {
+                    projection: Projection::new(vec!["x".into()], vec![1.0]),
+                    lb: -1.0,
+                    ub: 1.0,
+                    mean: 0.0,
+                    std: 1.0,
+                    alpha: 1.0,
+                }],
+                weights: vec![],
+            }),
+            disjunctive: vec![],
+        };
+        std::fs::write(dir.join("bad.json"), serde_json::to_string_pretty(&unweighted).unwrap())
+            .unwrap();
+        let err = registry.reload().unwrap_err();
+        assert!(err.contains("1 conjuncts but 0 weights"), "{err}");
+
+        // Reload is not wedged: removing the file makes it work again.
+        std::fs::remove_file(dir.join("bad.json")).unwrap();
+        assert_eq!(registry.reload().unwrap().generation(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_reloads_publish_monotonically() {
+        let dir = temp_dir("race");
+        write_profile(&dir, "alpha", 2.0);
+        let registry = ProfileRegistry::from_dir(&dir).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..5 {
+                        registry.reload().unwrap();
+                    }
+                });
+            }
+        });
+        // 1 initial load + 20 reloads; the *published* snapshot must be
+        // the newest one, never a stale racer.
+        assert_eq!(registry.snapshot().generation(), 21);
+        assert_eq!(registry.compile_counts(), vec![("alpha".to_owned(), 21)]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn startup_fails_on_bad_file() {
+        let dir = temp_dir("badstart");
+        std::fs::write(dir.join("broken.json"), "[1, 2").unwrap();
+        assert!(ProfileRegistry::from_dir(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,326 @@
+//! The TCP layer: listener, fixed worker thread pool, connection loop,
+//! graceful shutdown.
+//!
+//! One acceptor thread pushes accepted connections onto a bounded queue
+//! (overflow beyond [`MAX_PENDING_CONNECTIONS`] is answered `503` and
+//! closed, never buffered without limit); `workers` threads pop and
+//! drive connections through the incremental parser → router → response
+//! cycle. Keep-alive connections do not pin workers: after each
+//! response, if other connections are waiting, the connection is
+//! **requeued** behind them (unless it has pipelined bytes in flight),
+//! so N persistent clients round-robin with everyone else instead of
+//! starving the pool. Everything is `std` — threads, `Mutex` +
+//! `Condvar`, blocking sockets with read timeouts (the timeout doubles
+//! as the shutdown poll, so no connection can pin a worker forever).
+//!
+//! Shutdown ([`ServerHandle::shutdown`]) is graceful by construction:
+//! the flag flips, the acceptor is unblocked by a wake-up connection and
+//! stops accepting, workers finish the request they are writing (the
+//! response is forced `connection: close`), drain any already-accepted
+//! queued connections, and only then exit — no in-flight request is
+//! dropped.
+
+use crate::http::{RequestParser, Response};
+use crate::metrics::{Endpoint, Metrics};
+use crate::registry::ProfileRegistry;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks an ephemeral port (the bound address
+    /// is on [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads (each drives one connection at a time).
+    pub workers: usize,
+    /// Per-request body ceiling in bytes.
+    pub max_body_bytes: usize,
+    /// How long an idle keep-alive connection is held before closing.
+    pub keep_alive: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            max_body_bytes: crate::http::DEFAULT_MAX_BODY_BYTES,
+            keep_alive: Duration::from_secs(5),
+        }
+    }
+}
+
+/// State shared by the acceptor, the workers, and the handle.
+struct Shared {
+    registry: ProfileRegistry,
+    metrics: Metrics,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    queue: Mutex<VecDeque<TcpStream>>,
+    work_ready: Condvar,
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`Self::shutdown`] for a graceful stop (tests and the CLI both
+/// do).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: std::thread::JoinHandle<()>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// The server: bind + spawn. All state lives in the returned handle.
+pub struct Server;
+
+impl Server {
+    /// Binds `config.addr` and starts the acceptor + worker threads
+    /// serving `registry`.
+    ///
+    /// # Errors
+    /// Fails when the address cannot be bound.
+    pub fn start(config: ServerConfig, registry: ProfileRegistry) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            registry,
+            metrics: Metrics::new(),
+            config,
+            shutdown: AtomicBool::new(false),
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+        });
+        let acceptor = {
+            let shared = shared.clone();
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        let workers = (0..workers)
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Ok(ServerHandle { addr, shared, acceptor, workers })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The profile registry (e.g. to trigger reloads in-process).
+    pub fn registry(&self) -> &ProfileRegistry {
+        &self.shared.registry
+    }
+
+    /// The server metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Graceful shutdown: stop accepting, let in-flight requests finish,
+    /// drain queued connections, join every thread.
+    pub fn shutdown(self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.work_ready.notify_all();
+        // Unblock the acceptor's blocking `accept` with a throwaway
+        // connection; harmless if the acceptor already exited. A
+        // wildcard bind is not connectable on every platform — aim the
+        // wake-up at loopback on the bound port instead.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                std::net::IpAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+                std::net::IpAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+            });
+        }
+        let _ = TcpStream::connect(wake);
+        let _ = self.acceptor.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Cap on accepted-but-unserved connections. Beyond it the acceptor
+/// answers `503` and closes instead of queueing without bound.
+pub const MAX_PENDING_CONNECTIONS: usize = 1024;
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let accepted = listener.accept();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match accepted {
+            Ok((mut stream, _)) => {
+                shared.metrics.record_connection();
+                let mut queue = shared.queue.lock().expect("server lock never poisoned");
+                if queue.len() >= MAX_PENDING_CONNECTIONS {
+                    drop(queue);
+                    // Shed load with an answer, not a silent hang.
+                    let _ = stream
+                        .write_all(&Response::error(503, "server is at capacity").serialize(false));
+                    shared.metrics.record_request(Endpoint::Other, 503, 0.0);
+                    continue;
+                }
+                queue.push_back(stream);
+                drop(queue);
+                shared.work_ready.notify_one();
+            }
+            // Transient accept errors (EMFILE, aborted handshakes):
+            // back off briefly instead of spinning.
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().expect("server lock never poisoned");
+            loop {
+                if let Some(s) = queue.pop_front() {
+                    break Some(s);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (q, _) = shared
+                    .work_ready
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .expect("server lock never poisoned");
+                queue = q;
+            }
+        };
+        match stream {
+            Some(s) => serve_connection(s, shared),
+            None => return,
+        }
+    }
+}
+
+/// Read timeout on connection sockets — the cadence at which idle
+/// connections notice shutdown and the keep-alive clock.
+const READ_TICK: Duration = Duration::from_millis(200);
+
+/// Ceiling on how long a response write may block on a client that has
+/// stopped reading — past it, the connection is dropped so no worker is
+/// pinned by a full send buffer.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Ceiling on how long one request may take to *arrive* in full. Bounds
+/// the slow-trickle client (one byte per tick resets the idle clock but
+/// not this one): past it, `408` and close.
+const REQUEST_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Drives one connection: feed → parse → route → respond, until close /
+/// idle timeout / request deadline / terminal parse error / shutdown.
+fn serve_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let mut parser = RequestParser::new(shared.config.max_body_bytes);
+    let mut read_buf = [0u8; 16 * 1024];
+    let mut last_activity = Instant::now();
+    // Set while a request is partially buffered; enforces REQUEST_DEADLINE.
+    let mut request_started: Option<Instant> = None;
+    loop {
+        // Drain every already-buffered request first (pipelining), then
+        // read more.
+        match parser.try_next() {
+            Ok(Some(req)) => {
+                request_started = None;
+                let started = Instant::now();
+                let shutting_down = shared.shutdown.load(Ordering::SeqCst);
+                // A handler panic must not kill the worker: answer 500
+                // and keep serving other connections.
+                let (endpoint, response) = catch_unwind(AssertUnwindSafe(|| {
+                    crate::api::route(&req, &shared.registry, &shared.metrics)
+                }))
+                .unwrap_or_else(|_| (Endpoint::Other, Response::error(500, "handler panicked")));
+                let keep_alive = !req.close && !shutting_down;
+                let ok = stream.write_all(&response.serialize(keep_alive)).is_ok();
+                shared.metrics.record_request(
+                    endpoint,
+                    response.status,
+                    started.elapsed().as_secs_f64(),
+                );
+                if !keep_alive || !ok {
+                    return;
+                }
+                // Fairness: a persistent keep-alive client must not pin
+                // this worker while other connections wait. With no
+                // pipelined bytes buffered, the connection can be parked
+                // at the back of the queue and picked up fresh later.
+                if parser.is_empty() {
+                    let mut queue = shared.queue.lock().expect("server lock never poisoned");
+                    if !queue.is_empty() {
+                        queue.push_back(stream);
+                        drop(queue);
+                        shared.work_ready.notify_one();
+                        return;
+                    }
+                }
+                last_activity = Instant::now();
+                continue;
+            }
+            Ok(None) => {
+                // No complete request buffered. Shutdown drops the
+                // connection here — only fully-received requests are
+                // "in flight" — and a partially-received request is
+                // held to REQUEST_DEADLINE regardless of how steadily
+                // the client trickles bytes (each read resets the idle
+                // clock, but never this one).
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                match (&mut request_started, parser.is_empty()) {
+                    (slot @ None, false) => *slot = Some(Instant::now()),
+                    (Some(t), false) if t.elapsed() >= REQUEST_DEADLINE => {
+                        let _ = stream.write_all(
+                            &Response::error(408, "request took too long to arrive")
+                                .serialize(false),
+                        );
+                        shared.metrics.record_request(Endpoint::Other, 408, 0.0);
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            Err(e) => {
+                // Terminal framing error: report and close.
+                let _ = stream.write_all(&Response::error(e.status(), e.reason()).serialize(false));
+                shared.metrics.record_request(Endpoint::Other, e.status(), 0.0);
+                return;
+            }
+        }
+        match stream.read(&mut read_buf) {
+            // EOF: clean close between requests, abrupt disconnect
+            // mid-request — either way the connection is done.
+            Ok(0) => return,
+            Ok(n) => {
+                parser.feed(&read_buf[..n]);
+                last_activity = Instant::now();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if last_activity.elapsed() >= shared.config.keep_alive {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}

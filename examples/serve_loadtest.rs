@@ -1,0 +1,122 @@
+//! The full serving lifecycle, in-process: synthesize a profile, persist
+//! it into a registry directory, start the `cc_server` daemon on an
+//! ephemeral port, drive it with concurrent keep-alive clients, hot-swap
+//! the profile under load, and shut down gracefully.
+//!
+//! Run with: `cargo run --release --example serve_loadtest`
+
+use ccsynth::prelude::*;
+use ccsynth::server::{HttpClient, ProfileRegistry, Server, ServerConfig};
+use serde_json::Value;
+use std::time::Instant;
+
+/// A dataset whose hidden invariant is `arr = dep + dur` (the paper's
+/// running flight example), with `phase` shifting the invariant so the
+/// swapped-in profile is observably different.
+fn flights(n: usize, phase: f64) -> DataFrame {
+    let dep: Vec<f64> = (0..n).map(|i| 300.0 + (i % 720) as f64).collect();
+    let dur: Vec<f64> = (0..n).map(|i| 60.0 + ((i * 17) % 50) as f64).collect();
+    let arr: Vec<f64> = dep.iter().zip(&dur).map(|(d, u)| d + u + phase).collect();
+    let mut df = DataFrame::new();
+    df.push_numeric("dep", dep).unwrap();
+    df.push_numeric("dur", dur).unwrap();
+    df.push_numeric("arr", arr).unwrap();
+    df
+}
+
+fn write_profile(dir: &std::path::Path, profile: &ConformanceProfile) {
+    std::fs::write(dir.join("flights.json"), serde_json::to_string_pretty(profile).unwrap())
+        .unwrap();
+}
+
+fn main() {
+    // 1. Synthesize and persist the profile the daemon will serve.
+    let train = flights(20_000, 0.0);
+    let profile = synthesize(&train, &SynthOptions::default()).unwrap();
+    let dir = std::env::temp_dir().join(format!("serve_loadtest_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    write_profile(&dir, &profile);
+
+    // 2. Start the daemon (ephemeral port, 2 workers).
+    let registry = ProfileRegistry::from_dir(&dir).unwrap();
+    let config = ServerConfig { addr: "127.0.0.1:0".to_owned(), workers: 2, ..Default::default() };
+    let handle = Server::start(config, registry).unwrap();
+    println!(
+        "daemon on http://{} serving {} constraints",
+        handle.addr(),
+        profile.constraint_count()
+    );
+
+    // 3. Load: 2 keep-alive connections × 40 batches of 1 000 tuples.
+    let addr = handle.addr();
+    let body = serde_json::to_string(&ccsynth::server::json::columns_body(&flights(1_000, 0.0)))
+        .unwrap()
+        .into_bytes();
+    let started = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut client = HttpClient::connect(addr).unwrap();
+                    (0..40)
+                        .map(|_| {
+                            let t = Instant::now();
+                            let resp = client.request("POST", "/v1/check", &body).unwrap();
+                            assert_eq!(resp.status, 200);
+                            t.elapsed().as_secs_f64()
+                        })
+                        .collect::<Vec<f64>>()
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    });
+    let secs = started.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!(
+        "80 000 tuples checked in {secs:.2}s ({:.0} rows/s; batch p50 {:.2}ms, p99 {:.2}ms)",
+        80_000.0 / secs,
+        latencies[latencies.len() / 2] * 1e3,
+        latencies[(latencies.len() - 1) * 99 / 100] * 1e3,
+    );
+
+    // 4. Hot-swap: retrain on shifted data, overwrite the file, reload.
+    let mut client = HttpClient::connect(addr).unwrap();
+    let before = client.request("POST", "/v1/check", &body).unwrap();
+    let shifted = synthesize(&flights(20_000, 500.0), &SynthOptions::default()).unwrap();
+    write_profile(&dir, &shifted);
+    let reload = client.request("POST", "/v1/reload", b"").unwrap();
+    println!("reload → {} {}", reload.status, reload.text());
+    let after = client.request("POST", "/v1/check", &body).unwrap();
+    println!(
+        "same batch, mean violation before swap vs after: {} vs {}",
+        extract(&before.json().unwrap(), "mean"),
+        extract(&after.json().unwrap(), "mean"),
+    );
+
+    // 5. Scrape metrics, then stop gracefully.
+    let metrics = client.get("/metrics").unwrap();
+    let line = |p: &str| {
+        metrics.text().lines().find(|l| l.starts_with(p)).unwrap_or("(missing)").to_owned()
+    };
+    println!("{}", line("cc_server_rows_checked_total"));
+    println!("{}", line("cc_server_registry_generation"));
+    handle.shutdown();
+    println!("daemon shut down cleanly");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn extract(v: &Value, key: &str) -> f64 {
+    match v {
+        Value::Object(pairs) => pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| match v {
+                Value::Number(n) => *n,
+                _ => f64::NAN,
+            })
+            .unwrap_or(f64::NAN),
+        _ => f64::NAN,
+    }
+}

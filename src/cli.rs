@@ -1,0 +1,246 @@
+//! Flag parsing for the `ccsynth` binary.
+//!
+//! Every subcommand used to hand-roll the same `while let Some(a) =
+//! it.next()` loop with slightly different error strings; this module is
+//! that loop, once. A subcommand declares its flags ([`Flag`]), calls
+//! [`parse`], and reads typed values back with uniform error messages
+//! (`"--shards needs a positive integer"`) and uniform `--help` handling:
+//!
+//! * `--help` / `-h` anywhere → [`CliError::Help`] → the binary prints
+//!   the subcommand's usage and exits **0**;
+//! * any parse/validation failure → [`CliError::Usage`] → the binary
+//!   prints `error: …` plus usage and exits **2**;
+//! * failures of the work itself → [`CliError::Runtime`] → `error: …`
+//!   without the usage noise, exit **1**.
+
+use std::fmt;
+
+/// How a flag consumes arguments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FlagKind {
+    /// `--flag <value>`, last occurrence wins.
+    Value,
+    /// `--flag <value>`, repeatable, all occurrences kept.
+    Multi,
+    /// Bare `--flag`.
+    Switch,
+}
+
+/// One declared flag (a name, an optional short/legacy alias, a kind).
+#[derive(Clone, Copy, Debug)]
+pub struct Flag {
+    name: &'static str,
+    alias: Option<&'static str>,
+    kind: FlagKind,
+}
+
+impl Flag {
+    /// A `--flag <value>` flag (last occurrence wins).
+    pub const fn value(name: &'static str) -> Self {
+        Flag { name, alias: None, kind: FlagKind::Value }
+    }
+
+    /// A repeatable `--flag <value>` flag.
+    pub const fn multi(name: &'static str) -> Self {
+        Flag { name, alias: None, kind: FlagKind::Multi }
+    }
+
+    /// A boolean `--flag` switch.
+    pub const fn switch(name: &'static str) -> Self {
+        Flag { name, alias: None, kind: FlagKind::Switch }
+    }
+
+    /// Adds a short or legacy alias (e.g. `-o` for `--out`).
+    pub const fn alias(mut self, alias: &'static str) -> Self {
+        self.alias = Some(alias);
+        self
+    }
+}
+
+/// Parse failure, runtime failure, or an explicit help request — each
+/// with its own exit-code contract.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CliError {
+    /// `--help` / `-h` was given: print usage, exit 0.
+    Help,
+    /// The command line itself is wrong: print `error: <msg>` + usage,
+    /// exit 2.
+    Usage(String),
+    /// The command line was fine but the work failed (missing file,
+    /// malformed data, bind failure…): print `error: <msg>` alone —
+    /// usage text would only bury it — and exit 1.
+    Runtime(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Help => write!(f, "help requested"),
+            CliError::Usage(m) | CliError::Runtime(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parsed arguments: positionals in order plus flag occurrences.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Parsed {
+    positionals: Vec<String>,
+    values: Vec<(&'static str, String)>,
+    switches: Vec<&'static str>,
+}
+
+/// Parses `args` against the declared `flags`.
+///
+/// # Errors
+/// [`CliError::Help`] on `--help`/`-h`; [`CliError::Usage`] on unknown
+/// flags or a value flag at the end of the line.
+pub fn parse(args: &[String], flags: &[Flag]) -> Result<Parsed, CliError> {
+    let mut out = Parsed::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--help" || a == "-h" {
+            return Err(CliError::Help);
+        }
+        let spec = flags.iter().find(|f| f.name == a || f.alias == Some(a.as_str()));
+        match spec {
+            Some(f) => match f.kind {
+                FlagKind::Switch => out.switches.push(f.name),
+                FlagKind::Value | FlagKind::Multi => {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| CliError::Usage(format!("{} needs a value", f.name)))?;
+                    out.values.push((f.name, v.clone()));
+                }
+            },
+            None if a.starts_with('-') && a.len() > 1 => {
+                return Err(CliError::Usage(format!("unknown flag '{a}'")));
+            }
+            None => out.positionals.push(a.clone()),
+        }
+    }
+    Ok(out)
+}
+
+impl Parsed {
+    /// The positional arguments, in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// Last value of a `--flag <value>` flag.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.values.iter().rev().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// All values of a repeatable flag, in order.
+    pub fn values(&self, name: &str) -> Vec<String> {
+        self.values.iter().filter(|(n, _)| *n == name).map(|(_, v)| v.clone()).collect()
+    }
+
+    /// Whether a switch was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.contains(&name)
+    }
+
+    /// A positive-integer flag (`--shards 4`), or `default` when absent.
+    ///
+    /// # Errors
+    /// `"--flag needs a positive integer"` on a non-parse or zero value.
+    pub fn count_or(&self, name: &str, default: usize) -> Result<usize, CliError> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .ok()
+                .filter(|&n: &usize| n >= 1)
+                .ok_or_else(|| CliError::Usage(format!("{name} needs a positive integer"))),
+        }
+    }
+
+    /// An `f64`-in-`[lo, hi]` flag, or `default` when absent.
+    ///
+    /// # Errors
+    /// `"--flag needs a number in [lo, hi]"` outside the range.
+    pub fn f64_in_or(&self, name: &str, lo: f64, hi: f64, default: f64) -> Result<f64, CliError> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => {
+                v.parse().ok().filter(|t: &f64| (lo..=hi).contains(t)).ok_or_else(|| {
+                    CliError::Usage(format!("{name} needs a number in [{lo}, {hi}]"))
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    const FLAGS: &[Flag] = &[
+        Flag::value("--out").alias("-o"),
+        Flag::multi("--drop"),
+        Flag::value("--shards"),
+        Flag::value("--threshold"),
+        Flag::switch("--dump"),
+    ];
+
+    #[test]
+    fn positionals_flags_and_aliases() {
+        let p = parse(
+            &argv(&["data.csv", "-o", "p.json", "--drop", "a", "--drop", "b", "--dump"]),
+            FLAGS,
+        )
+        .unwrap();
+        assert_eq!(p.positionals(), ["data.csv"]);
+        assert_eq!(p.value("--out"), Some("p.json"), "-o is an alias of --out");
+        assert_eq!(p.values("--drop"), ["a", "b"]);
+        assert!(p.has("--dump"));
+        assert!(!p.has("--other"));
+    }
+
+    #[test]
+    fn last_value_wins() {
+        let p = parse(&argv(&["--out", "a.json", "--out", "b.json"]), FLAGS).unwrap();
+        assert_eq!(p.value("--out"), Some("b.json"));
+    }
+
+    #[test]
+    fn help_and_errors() {
+        assert_eq!(parse(&argv(&["x", "--help"]), FLAGS), Err(CliError::Help));
+        assert_eq!(parse(&argv(&["-h"]), FLAGS), Err(CliError::Help));
+        assert_eq!(
+            parse(&argv(&["--bogus"]), FLAGS),
+            Err(CliError::Usage("unknown flag '--bogus'".into()))
+        );
+        assert_eq!(
+            parse(&argv(&["--out"]), FLAGS),
+            Err(CliError::Usage("--out needs a value".into()))
+        );
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let p = parse(&argv(&["--shards", "4", "--threshold", "0.25"]), FLAGS).unwrap();
+        assert_eq!(p.count_or("--shards", 1), Ok(4));
+        assert_eq!(p.count_or("--missing", 7), Ok(7));
+        assert_eq!(p.f64_in_or("--threshold", 0.0, 1.0, 0.1), Ok(0.25));
+
+        let zero = parse(&argv(&["--shards", "0"]), FLAGS).unwrap();
+        assert_eq!(
+            zero.count_or("--shards", 1),
+            Err(CliError::Usage("--shards needs a positive integer".into()))
+        );
+        let oor = parse(&argv(&["--threshold", "1.5"]), FLAGS).unwrap();
+        assert_eq!(
+            oor.f64_in_or("--threshold", 0.0, 1.0, 0.1),
+            Err(CliError::Usage("--threshold needs a number in [0, 1]".into()))
+        );
+    }
+}

@@ -15,7 +15,10 @@
 //! * [`linalg`] / [`stats`] — numeric substrates;
 //! * [`models`] — regression/classification models for the TML experiments;
 //! * [`baselines`] — PCA-SPLL, CD-MKL/CD-Area, W-PCA drift baselines;
-//! * [`datagen`] — synthetic versions of every dataset in the paper.
+//! * [`datagen`] — synthetic versions of every dataset in the paper;
+//! * [`server`] — the `cc_server` serving daemon: `std::net` HTTP/1.1,
+//!   hot-swappable profile registry, check/explain/drift endpoints,
+//!   Prometheus metrics (CLI: `ccsynth serve`).
 //!
 //! ## Quickstart
 //!
@@ -37,11 +40,14 @@
 //! assert!(bad.is_unsafe);
 //! ```
 
+pub mod cli;
+
 pub use cc_baselines as baselines;
 pub use cc_datagen as datagen;
 pub use cc_frame as frame;
 pub use cc_linalg as linalg;
 pub use cc_models as models;
+pub use cc_server as server;
 pub use cc_stats as stats;
 pub use conformance;
 

@@ -1,48 +1,93 @@
 //! `ccsynth` — command-line interface to conformance-constraint discovery.
 //!
 //! ```text
-//! ccsynth profile <data.csv> -o <profile.json> [--drop <col>]... [--shards <n>]
-//! ccsynth check   <profile.json> <data.csv> [--threshold <t>] [--threads <n>] [--top <k>] [--dump]
-//! ccsynth drift   <profile.json> <data.csv> [--threads <n>]
+//! ccsynth profile <data.csv> --out <profile.json> [--drop <col>]... [--shards <n>]
+//! ccsynth check   <data.csv> --profile <profile.json> [--threshold <t>] [--threads <n>] [--top <k>] [--dump]
+//! ccsynth drift   <data.csv> --profile <profile.json> [--threads <n>]
 //! ccsynth explain <profile.json> <train.csv> <serve.csv> [--sample <n>]
 //! ccsynth sql     <profile.json> <table_name>
+//! ccsynth serve   [--dir <profiles-dir>] [--profile <file>]... [--addr <host:port>] [--workers <n>]
 //! ```
 //!
-//! Profiles are stored as JSON and are portable across machines.
-//! `--shards`/`--threads` spread the work over scoped threads; the paper's
-//! synthesis is embarrassingly parallel (§4.3.2) and the sharded result is
-//! bit-identical to the sequential one. `check` compiles the profile into
-//! the vectorized serving plan once and then scores tuples through it:
-//! `--top <k>` prints the worst offender rows plus the most-violated
-//! constraints, `--dump` emits per-tuple violations as CSV.
+//! Profiles are stored as JSON, portable across machines, and round-trip
+//! **bit-exactly** (shortest-round-trip `f64` formatting): `profile --out`
+//! writes the file once, and `check` / `drift` / `serve` evaluate it
+//! without ever re-synthesizing. `check`/`drift` also accept the profile
+//! as a leading positional (`ccsynth check <profile.json> <data.csv>`),
+//! the original spelling. `serve` starts the `cc_server` daemon over a
+//! directory of profiles and hot-reloads them on `POST /v1/reload`.
+//!
+//! Every subcommand takes `--help` (exit 0); usage errors exit 2;
+//! runtime failures (missing files, malformed data) exit 1.
 
+use ccsynth::cli::{parse, CliError, Flag, Parsed};
 use ccsynth::conformance::explain::mean_responsibility;
 use ccsynth::conformance::{
-    breakdown_from_plan, dataset_drift_parallel, profile_to_sql, synthesize_parallel,
+    breakdown_from_plan, dataset_drift_parallel, profile_to_sql, synthesize_parallel, top_k_desc,
     CompiledProfile, ConformanceProfile, DriftAggregator, SynthOptions,
 };
 use ccsynth::frame::{read_csv, DataFrame};
+use ccsynth::server::{ProfileRegistry, Server, ServerConfig};
 use std::fs::File;
 use std::io::{BufReader, Write};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage:\n  ccsynth profile <data.csv> -o <profile.json> [--drop <col>]... [--shards <n>]\n  \
-         ccsynth check   <profile.json> <data.csv> [--threshold <t>] [--threads <n>] [--top <k>] [--dump]\n  \
-         ccsynth drift   <profile.json> <data.csv> [--threads <n>]\n  \
-         ccsynth explain <profile.json> <train.csv> <serve.csv> [--sample <n>]\n  \
-         ccsynth sql     <profile.json> <table_name>"
-    );
-    ExitCode::from(2)
-}
+const USAGE: &str = "usage:
+  ccsynth profile <data.csv> --out <profile.json> [--drop <col>]... [--shards <n>]
+  ccsynth check   <data.csv> --profile <profile.json> [--threshold <t>] [--threads <n>] [--top <k>] [--dump]
+  ccsynth drift   <data.csv> --profile <profile.json> [--threads <n>]
+  ccsynth explain <profile.json> <train.csv> <serve.csv> [--sample <n>]
+  ccsynth sql     <profile.json> <table_name>
+  ccsynth serve   [--dir <profiles-dir>] [--profile <file>]... [--addr <host:port>] [--workers <n>] [--max-body-mb <n>]";
 
-/// Parses a `--flag <positive integer>` value.
-fn parse_count(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<usize, String> {
-    it.next()
-        .and_then(|s| s.parse().ok())
-        .filter(|&n: &usize| n >= 1)
-        .ok_or_else(|| format!("{flag} needs a positive integer"))
+/// Per-subcommand usage lines (printed on `--help` and usage errors).
+fn usage_of(cmd: &str) -> &'static str {
+    match cmd {
+        "profile" => {
+            "usage: ccsynth profile <data.csv> --out <profile.json> [--drop <col>]... [--shards <n>]\n
+Synthesizes a conformance profile from a CSV and writes it as JSON
+(loadable by check/drift/serve and by the cc_server registry).
+  --out <file>    output path for the profile JSON (alias: -o)
+  --drop <col>    exclude a column from synthesis (repeatable)
+  --shards <n>    synthesis shards (bit-identical to sequential)"
+        }
+        "check" => {
+            "usage: ccsynth check <data.csv> --profile <profile.json> [--threshold <t>] [--threads <n>] [--top <k>] [--dump]\n
+Scores every tuple through the compiled serving plan.
+  --profile <f>   profile JSON written by `ccsynth profile --out`
+                  (may also be given as a leading positional)
+  --threshold <t> unsafe cutoff in [0,1] (default 0.1)
+  --threads <n>   evaluation threads
+  --top <k>       print the k worst rows + most-violated constraints
+  --dump          emit per-tuple violations as CSV"
+        }
+        "drift" => {
+            "usage: ccsynth drift <data.csv> --profile <profile.json> [--threads <n>]\n
+Mean / p95 / max drift of a dataset against a stored profile.
+  --profile <f>   profile JSON (may also be a leading positional)
+  --threads <n>   evaluation threads"
+        }
+        "explain" => {
+            "usage: ccsynth explain <profile.json> <train.csv> <serve.csv> [--sample <n>]\n
+ExTuNe: ranks attributes by responsibility for non-conformance.
+  --sample <n>    serving tuples to explain (default 200)"
+        }
+        "sql" => "usage: ccsynth sql <profile.json> <table_name>\n\nRenders the profile as a SQL CHECK-style guard for a table.",
+        "serve" => {
+            "usage: ccsynth serve [--dir <profiles-dir>] [--profile <file>]... [--addr <host:port>] [--workers <n>] [--max-body-mb <n>]\n
+Starts the cc_server daemon over a directory (or explicit files) of
+profile JSON. Endpoints: POST /v1/check, /v1/explain, /v1/drift,
+/v1/reload; GET /v1/profiles, /healthz, /metrics. SIGINT/SIGTERM shut
+down gracefully (in-flight requests complete).
+  --dir <d>         serve every *.json in d (default: profiles/)
+  --profile <f>     serve an explicit profile file (repeatable)
+  --addr <a>        bind address (default 127.0.0.1:8642; port 0 = ephemeral)
+  --workers <n>     worker threads (default 4)
+  --max-body-mb <n> request body limit in MiB (default 32)"
+        }
+        _ => USAGE,
+    }
 }
 
 fn load_csv(path: &str) -> Result<DataFrame, String> {
@@ -56,29 +101,39 @@ fn load_profile(path: &str) -> Result<ConformanceProfile, String> {
         .map_err(|e| format!("cannot parse profile {path}: {e}"))
 }
 
-fn cmd_profile(args: &[String]) -> Result<(), String> {
-    let mut data_path = None;
-    let mut out_path = None;
-    let mut drops = Vec::new();
-    let mut shards = 1usize;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "-o" => out_path = it.next().cloned(),
-            "--drop" => drops.push(it.next().cloned().ok_or("--drop needs a column")?),
-            "--shards" => shards = parse_count(&mut it, "--shards")?,
-            other => data_path = Some(other.to_owned()),
-        }
+/// Resolves the `(profile path, data path)` pair for `check`/`drift`:
+/// either `--profile <f> <data.csv>` or the legacy positional form
+/// `<profile.json> <data.csv>`.
+fn profile_and_data(p: &Parsed, cmd: &str) -> Result<(String, String), CliError> {
+    match (p.value("--profile"), p.positionals()) {
+        (Some(profile), [data]) => Ok((profile.to_owned(), data.clone())),
+        (None, [profile, data]) => Ok((profile.clone(), data.clone())),
+        _ => Err(CliError::Usage(format!(
+            "{cmd} needs <data.csv> plus --profile <profile.json> (or both as positionals)"
+        ))),
     }
-    let data_path = data_path.ok_or("missing <data.csv>")?;
-    let out_path = out_path.ok_or("missing -o <profile.json>")?;
-    let df = load_csv(&data_path)?;
-    let opts = SynthOptions { drop_attributes: drops, ..Default::default() };
-    let profile =
-        synthesize_parallel(&df, &opts, shards).map_err(|e| format!("synthesis failed: {e}"))?;
-    let json = serde_json::to_string_pretty(&profile).map_err(|e| e.to_string())?;
-    let mut f = File::create(&out_path).map_err(|e| format!("cannot write {out_path}: {e}"))?;
-    f.write_all(json.as_bytes()).map_err(|e| e.to_string())?;
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), CliError> {
+    let flags = [Flag::value("--out").alias("-o"), Flag::multi("--drop"), Flag::value("--shards")];
+    let p = parse(args, &flags)?;
+    let [data_path] = p.positionals() else {
+        return Err(CliError::Usage("profile needs exactly one <data.csv>".into()));
+    };
+    let out_path = p
+        .value("--out")
+        .ok_or_else(|| CliError::Usage("profile needs --out <profile.json>".into()))?
+        .to_owned();
+    let shards = p.count_or("--shards", 1)?;
+    let df = load_csv(data_path).map_err(CliError::Runtime)?;
+    let opts = SynthOptions { drop_attributes: p.values("--drop"), ..Default::default() };
+    let profile = synthesize_parallel(&df, &opts, shards)
+        .map_err(|e| CliError::Runtime(format!("synthesis failed: {e}")))?;
+    let json =
+        serde_json::to_string_pretty(&profile).map_err(|e| CliError::Runtime(e.to_string()))?;
+    let mut f = File::create(&out_path)
+        .map_err(|e| CliError::Runtime(format!("cannot write {out_path}: {e}")))?;
+    f.write_all(json.as_bytes()).map_err(|e| CliError::Runtime(e.to_string()))?;
     println!(
         "profiled {} rows × {} attributes ({} shard{}) → {} constraints → {out_path}",
         df.n_rows(),
@@ -90,46 +145,38 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_check(args: &[String]) -> Result<(), String> {
-    let mut threshold = 0.1;
-    let mut threads = 1usize;
-    let mut top = 0usize;
-    let mut dump = false;
-    let mut paths = Vec::new();
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--threshold" => {
-                threshold = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .filter(|t: &f64| (0.0..=1.0).contains(t))
-                    .ok_or("--threshold needs a number in [0,1]")?
-            }
-            "--threads" => threads = parse_count(&mut it, "--threads")?,
-            "--top" => top = parse_count(&mut it, "--top")?,
-            "--dump" => dump = true,
-            other => paths.push(other.to_owned()),
-        }
-    }
-    let [profile_path, data_path] = paths.as_slice() else {
-        return Err("check needs <profile.json> <data.csv>".into());
-    };
-    let profile = load_profile(profile_path)?;
-    let df = load_csv(data_path)?;
+fn cmd_check(args: &[String]) -> Result<(), CliError> {
+    let flags = [
+        Flag::value("--profile"),
+        Flag::value("--threshold"),
+        Flag::value("--threads"),
+        Flag::value("--top"),
+        Flag::switch("--dump"),
+    ];
+    let p = parse(args, &flags)?;
+    let (profile_path, data_path) = profile_and_data(&p, "check")?;
+    let threshold = p.f64_in_or("--threshold", 0.0, 1.0, 0.1)?;
+    let threads = p.count_or("--threads", 1)?;
+    let top = p.count_or("--top", 0)?;
+    let profile = load_profile(&profile_path).map_err(CliError::Runtime)?;
+    let df = load_csv(&data_path).map_err(CliError::Runtime)?;
     // Compile once, evaluate the whole frame through the blocked serving
     // engine (sharded over --threads).
     let plan = CompiledProfile::compile(&profile);
-    let violations = plan.violations_parallel(&df, threads).map_err(|e| e.to_string())?;
-    if dump {
+    let violations =
+        plan.violations_parallel(&df, threads).map_err(|e| CliError::Runtime(e.to_string()))?;
+    if p.has("--dump") {
         // One buffered writer, not a flushed syscall per row.
         let stdout = std::io::stdout();
         let mut w = std::io::BufWriter::new(stdout.lock());
-        writeln!(w, "row,violation").map_err(|e| e.to_string())?;
-        for (i, v) in violations.iter().enumerate() {
-            writeln!(w, "{i},{v}").map_err(|e| e.to_string())?;
-        }
-        return Ok(());
+        let mut dump = || -> std::io::Result<()> {
+            writeln!(w, "row,violation")?;
+            for (i, v) in violations.iter().enumerate() {
+                writeln!(w, "{i},{v}")?;
+            }
+            Ok(())
+        };
+        return dump().map_err(|e| CliError::Runtime(e.to_string()));
     }
     let n = violations.len();
     let n_unsafe = violations.iter().filter(|&&v| v > threshold).count();
@@ -144,22 +191,16 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
         100.0 * n_unsafe as f64 / n.max(1) as f64
     );
     if top > 0 {
-        // Select the k worst rows in O(n), then order just that prefix.
-        let top = top.min(n);
-        let mut order: Vec<usize> = (0..n).collect();
-        let desc =
-            |&a: &usize, &b: &usize| violations[b].partial_cmp(&violations[a]).expect("finite");
-        if top < n {
-            order.select_nth_unstable_by(top - 1, desc);
-        }
-        order.truncate(top);
-        order.sort_by(desc);
+        // The shared O(n)-select ranking (same as the daemon's ?top=K).
+        let order = top_k_desc(&violations, top);
+        let top = order.len();
         println!("\ntop {top} offenders:");
         println!("{:<10} violation", "row");
         for &i in &order {
             println!("{i:<10} {:.4}", violations[i]);
         }
-        let breakdown = breakdown_from_plan(&plan, &df).map_err(|e| e.to_string())?;
+        let breakdown =
+            breakdown_from_plan(&plan, &df).map_err(|e| CliError::Runtime(e.to_string()))?;
         println!("\nmost-violated constraints (mean weighted contribution):");
         for c in breakdown.iter().take(top) {
             println!("  {:.4}  {}", c.score, c.label);
@@ -168,55 +209,38 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_drift(args: &[String]) -> Result<(), String> {
-    let mut threads = 1usize;
-    let mut paths = Vec::new();
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--threads" => threads = parse_count(&mut it, "--threads")?,
-            other => paths.push(other.to_owned()),
-        }
-    }
-    let [profile_path, data_path] = paths.as_slice() else {
-        return Err("drift needs <profile.json> <data.csv>".into());
-    };
-    let profile = load_profile(profile_path)?;
-    let df = load_csv(data_path)?;
+fn cmd_drift(args: &[String]) -> Result<(), CliError> {
+    let flags = [Flag::value("--profile"), Flag::value("--threads")];
+    let p = parse(args, &flags)?;
+    let (profile_path, data_path) = profile_and_data(&p, "drift")?;
+    let threads = p.count_or("--threads", 1)?;
+    let profile = load_profile(&profile_path).map_err(CliError::Runtime)?;
+    let df = load_csv(&data_path).map_err(CliError::Runtime)?;
     for (name, agg) in [
         ("mean", DriftAggregator::Mean),
         ("p95", DriftAggregator::Quantile(0.95)),
         ("max", DriftAggregator::Max),
     ] {
-        let d = dataset_drift_parallel(&profile, &df, agg, threads).map_err(|e| e.to_string())?;
+        let d = dataset_drift_parallel(&profile, &df, agg, threads)
+            .map_err(|e| CliError::Runtime(e.to_string()))?;
         println!("{name:<5} drift: {d:.4}");
     }
     Ok(())
 }
 
-fn cmd_explain(args: &[String]) -> Result<(), String> {
-    let mut sample = 200usize;
-    let mut paths = Vec::new();
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--sample" => {
-                sample = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or("--sample needs a positive integer")?
-            }
-            other => paths.push(other.to_owned()),
-        }
-    }
-    let [profile_path, train_path, serve_path] = paths.as_slice() else {
-        return Err("explain needs <profile.json> <train.csv> <serve.csv>".into());
+fn cmd_explain(args: &[String]) -> Result<(), CliError> {
+    let flags = [Flag::value("--sample")];
+    let p = parse(args, &flags)?;
+    let sample = p.count_or("--sample", 200)?;
+    let [profile_path, train_path, serve_path] = p.positionals() else {
+        return Err(CliError::Usage("explain needs <profile.json> <train.csv> <serve.csv>".into()));
     };
-    let profile = load_profile(profile_path)?;
-    let train = load_csv(train_path)?;
-    let serve = load_csv(serve_path)?;
+    let profile = load_profile(profile_path).map_err(CliError::Runtime)?;
+    let train = load_csv(train_path).map_err(CliError::Runtime)?;
+    let serve = load_csv(serve_path).map_err(CliError::Runtime)?;
     let sub = serve.take(&(0..sample.min(serve.n_rows())).collect::<Vec<_>>());
-    let ranked = mean_responsibility(&profile, &train, &sub).map_err(|e| e.to_string())?;
+    let ranked = mean_responsibility(&profile, &train, &sub)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
     println!("{:<20} responsibility", "attribute");
     for r in ranked {
         let bar = "#".repeat((r.score * 40.0).round() as usize);
@@ -225,12 +249,95 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_sql(args: &[String]) -> Result<(), String> {
-    let [profile_path, table] = args else {
-        return Err("sql needs <profile.json> <table_name>".into());
+fn cmd_sql(args: &[String]) -> Result<(), CliError> {
+    let p = parse(args, &[])?;
+    let [profile_path, table] = p.positionals() else {
+        return Err(CliError::Usage("sql needs <profile.json> <table_name>".into()));
     };
-    let profile = load_profile(profile_path)?;
+    let profile = load_profile(profile_path).map_err(CliError::Runtime)?;
     println!("{}", profile_to_sql(&profile, table, 6));
+    Ok(())
+}
+
+/// Set by the SIGINT/SIGTERM handler; polled by `cmd_serve`'s main loop.
+static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_shutdown_handler() {
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN_REQUESTED.store(true, Ordering::SeqCst);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_shutdown_handler() {}
+
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let flags = [
+        Flag::value("--dir"),
+        Flag::multi("--profile"),
+        Flag::value("--addr"),
+        Flag::value("--workers"),
+        Flag::value("--max-body-mb"),
+    ];
+    let p = parse(args, &flags)?;
+    if !p.positionals().is_empty() {
+        return Err(CliError::Usage(format!(
+            "serve takes no positionals (got '{}')",
+            p.positionals()[0]
+        )));
+    }
+    let files = p.values("--profile");
+    let registry = if files.is_empty() {
+        ProfileRegistry::from_dir(p.value("--dir").unwrap_or("profiles"))
+    } else if p.value("--dir").is_some() {
+        return Err(CliError::Usage("give either --dir or --profile files, not both".into()));
+    } else {
+        ProfileRegistry::from_files(files.iter().map(Into::into).collect())
+    }
+    .map_err(CliError::Runtime)?;
+
+    let max_body_bytes = p
+        .count_or("--max-body-mb", 32)?
+        .checked_mul(1024 * 1024)
+        .ok_or_else(|| CliError::Usage("--max-body-mb is too large".into()))?;
+    let config = ServerConfig {
+        addr: p.value("--addr").unwrap_or("127.0.0.1:8642").to_owned(),
+        workers: p.count_or("--workers", 4)?,
+        max_body_bytes,
+        ..ServerConfig::default()
+    };
+    let workers = config.workers;
+    let handle = Server::start(config, registry)
+        .map_err(|e| CliError::Runtime(format!("cannot bind: {e}")))?;
+    let snap = handle.registry().snapshot();
+    println!(
+        "cc_server listening on http://{} ({} profile{}, {workers} workers)",
+        handle.addr(),
+        snap.entries().len(),
+        if snap.entries().len() == 1 { "" } else { "s" },
+    );
+    for e in snap.entries() {
+        println!("  profile '{}': {} constraints", e.name, e.plan.constraint_count());
+    }
+    // Line-buffered stdout under a pipe would hold these back forever.
+    let _ = std::io::stdout().flush();
+    install_shutdown_handler();
+    while !SHUTDOWN_REQUESTED.load(Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    println!("signal received, shutting down…");
+    handle.shutdown();
+    println!("cc_server shut down cleanly");
     Ok(())
 }
 
@@ -257,7 +364,8 @@ fn main() -> ExitCode {
     reset_sigpipe();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
-        return usage();
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
     };
     let result = match cmd.as_str() {
         "profile" => cmd_profile(rest),
@@ -265,11 +373,27 @@ fn main() -> ExitCode {
         "drift" => cmd_drift(rest),
         "explain" => cmd_explain(rest),
         "sql" => cmd_sql(rest),
-        _ => return usage(),
+        "serve" => cmd_serve(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        _ => {
+            eprintln!("error: unknown command '{cmd}'\n{USAGE}");
+            return ExitCode::from(2);
+        }
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(CliError::Help) => {
+            println!("{}", usage_of(cmd));
+            ExitCode::SUCCESS
+        }
+        Err(CliError::Usage(e)) => {
+            eprintln!("error: {e}\n{}", usage_of(cmd));
+            ExitCode::from(2)
+        }
+        Err(CliError::Runtime(e)) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }

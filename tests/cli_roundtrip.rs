@@ -1,0 +1,194 @@
+//! CLI round-trip persistence: `profile --out` writes a JSON file that
+//! `check --profile` / `drift --profile` evaluate **bit-identically** to
+//! in-process synthesis + evaluation — no re-synthesis, no drift in the
+//! persisted representation. Also pins the binary's exit-code contract:
+//! `--help` exits 0, usage errors exit 2.
+
+use ccsynth::conformance::{synthesize, CompiledProfile, SynthOptions};
+use ccsynth::frame::{write_csv, DataFrame};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ccsynth"))
+}
+
+fn run(args: &[&str]) -> Output {
+    bin().args(args).output().expect("ccsynth runs")
+}
+
+fn stdout_of(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "command failed: {}\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout.clone()).expect("utf-8 stdout")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ccsynth_cli_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Deterministic frame with an exact invariant and a regime column.
+fn frame(n: usize) -> DataFrame {
+    const REGIMES: [&str; 3] = ["a", "b", "c"];
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    let mut z = Vec::new();
+    let mut regime = Vec::new();
+    for i in 0..n {
+        let r = i % 3;
+        let xv = (i as f64 * 0.37).sin() * 20.0;
+        let yv = ((i * 13) % 41) as f64 - 20.0;
+        x.push(xv);
+        y.push(yv);
+        z.push(xv + (r as f64 + 1.0) * yv);
+        regime.push(REGIMES[r]);
+    }
+    let mut df = DataFrame::new();
+    df.push_numeric("x", x).unwrap();
+    df.push_numeric("y", y).unwrap();
+    df.push_numeric("z", z).unwrap();
+    df.push_categorical("regime", &regime).unwrap();
+    df
+}
+
+fn write_frame(df: &DataFrame, path: &Path) {
+    let mut f = std::fs::File::create(path).unwrap();
+    write_csv(df, &mut f).unwrap();
+}
+
+#[test]
+fn profile_out_then_check_is_bit_identical() {
+    let dir = temp_dir("roundtrip");
+    let train_csv = dir.join("train.csv");
+    let serve_csv = dir.join("serve.csv");
+    let profile_json = dir.join("profile.json");
+    write_frame(&frame(600), &train_csv);
+    write_frame(&frame(173), &serve_csv);
+
+    // CLI: synthesize + persist.
+    let out =
+        run(&["profile", train_csv.to_str().unwrap(), "--out", profile_json.to_str().unwrap()]);
+    assert!(stdout_of(&out).contains("constraints"));
+
+    // The persisted profile must round-trip bit-exactly: loading the CSV
+    // the same way and re-serializing the parsed profile reproduces the
+    // direct synthesis byte for byte.
+    let train = {
+        let f = std::fs::File::open(&train_csv).unwrap();
+        ccsynth::frame::read_csv(std::io::BufReader::new(f)).unwrap()
+    };
+    let direct = synthesize(&train, &SynthOptions::default()).unwrap();
+    let loaded: ccsynth::conformance::ConformanceProfile =
+        serde_json::from_str(&std::fs::read_to_string(&profile_json).unwrap()).unwrap();
+    assert_eq!(
+        serde_json::to_string(&loaded).unwrap(),
+        serde_json::to_string(&direct).unwrap(),
+        "persisted profile diverges from direct synthesis"
+    );
+
+    // CLI check --profile --dump vs the library path, bit for bit.
+    let serve = {
+        let f = std::fs::File::open(&serve_csv).unwrap();
+        ccsynth::frame::read_csv(std::io::BufReader::new(f)).unwrap()
+    };
+    let expect = CompiledProfile::compile(&direct).violations(&serve).unwrap();
+    let dump = stdout_of(&run(&[
+        "check",
+        serve_csv.to_str().unwrap(),
+        "--profile",
+        profile_json.to_str().unwrap(),
+        "--dump",
+    ]));
+    let got: Vec<f64> = dump
+        .lines()
+        .skip(1) // header
+        .map(|l| l.split_once(',').unwrap().1.parse().unwrap())
+        .collect();
+    assert_eq!(got.len(), expect.len());
+    for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+        assert_eq!(g.to_bits(), e.to_bits(), "row {i}: CLI {g} vs library {e}");
+    }
+
+    // Legacy positional spelling still works and agrees.
+    let legacy = stdout_of(&run(&[
+        "check",
+        profile_json.to_str().unwrap(),
+        serve_csv.to_str().unwrap(),
+        "--dump",
+    ]));
+    assert_eq!(legacy, dump);
+
+    // drift --profile runs against the persisted file too.
+    let drift = stdout_of(&run(&[
+        "drift",
+        serve_csv.to_str().unwrap(),
+        "--profile",
+        profile_json.to_str().unwrap(),
+    ]));
+    assert!(drift.contains("mean"));
+    assert!(drift.contains("p95"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn help_and_usage_exit_codes() {
+    // --help on every subcommand (and bare help) exits 0 and prints usage.
+    for args in [
+        vec!["--help"],
+        vec!["help"],
+        vec!["profile", "--help"],
+        vec!["check", "-h"],
+        vec!["drift", "--help"],
+        vec!["explain", "--help"],
+        vec!["sql", "--help"],
+        vec!["serve", "--help"],
+    ] {
+        let out = run(&args);
+        assert_eq!(out.status.code(), Some(0), "{args:?}");
+        assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"), "{args:?}");
+    }
+    // Usage errors exit 2 with `error:` + usage on stderr.
+    for args in [
+        vec![],
+        vec!["bogus"],
+        vec!["check"],
+        vec!["profile", "x.csv"],
+        vec!["check", "a", "b", "--threads", "0"],
+        vec!["check", "a", "b", "--threshold", "1.5"],
+        vec!["drift", "--unknown-flag"],
+        vec!["serve", "stray-positional"],
+    ] {
+        let out = run(&args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("usage:"), "{args:?}: {err}");
+    }
+    // A specific, consistent message shape.
+    let out = run(&["check", "a.csv", "b.csv", "--threads", "0"]);
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--threads needs a positive integer"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Runtime failures (well-formed command line, work fails) exit 1
+    // with the error alone — no usage text burying it.
+    for args in [
+        vec!["check", "no-such.csv", "--profile", "no-such.json"],
+        vec!["profile", "no-such.csv", "--out", "/tmp/x.json"],
+        vec!["serve", "--dir", "no-such-dir"],
+    ] {
+        let out = run(&args);
+        assert_eq!(out.status.code(), Some(1), "{args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("error:"), "{args:?}: {err}");
+        assert!(!err.contains("usage:"), "runtime error must not dump usage: {err}");
+    }
+}
