@@ -9,6 +9,7 @@
 use crate::compiled::CompiledProfile;
 use crate::constraint::{ConformanceProfile, ProfileError};
 use cc_frame::DataFrame;
+use std::collections::VecDeque;
 
 /// How tuple-level violations are folded into one drift magnitude.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -115,11 +116,18 @@ pub fn drift_series(
     windows.iter().map(|w| aggregator.aggregate_compiled(&plan, w)).collect()
 }
 
+/// Default cap on a [`DriftMonitor`]'s retained drift history.
+pub const DEFAULT_HISTORY_CAP: usize = 4096;
+
 /// A streaming drift monitor: holds a reference profile, an alert
-/// threshold calibrated from the reference's self-violation, and a history
-/// of observed window drifts. This is the deployment wrapper the paper's
-/// motivating scenarios (§1, §2) imply: "alert when the serving data stops
-/// conforming".
+/// threshold calibrated from the reference's self-violation, and a
+/// **bounded** history of observed window drifts (a monitor that runs for
+/// months must not grow without bound; see [`Self::with_history_cap`]).
+/// This is the deployment wrapper the paper's motivating scenarios
+/// (§1, §2) imply: "alert when the serving data stops conforming". For
+/// tuple-level ingest, sliding windows, change-point detection, and
+/// auto-resynthesis, use the `cc_monitor` crate's `OnlineMonitor`, which
+/// supersedes this type for online deployments.
 #[derive(Clone, Debug)]
 pub struct DriftMonitor {
     profile: ConformanceProfile,
@@ -129,7 +137,12 @@ pub struct DriftMonitor {
     plan: CompiledProfile,
     threshold: f64,
     aggregator: DriftAggregator,
-    history: Vec<f64>,
+    /// Retained drift ring, newest last, at most `history_cap` entries
+    /// (deque, so retiring the oldest entry is O(1), not a memmove).
+    history: VecDeque<f64>,
+    history_cap: usize,
+    /// Windows observed over the monitor's lifetime (≥ retained count).
+    observed: u64,
 }
 
 impl DriftMonitor {
@@ -155,18 +168,39 @@ impl DriftMonitor {
             plan,
             threshold: (multiplier * self_violation).max(floor),
             aggregator,
-            history: Vec::new(),
+            history: VecDeque::new(),
+            history_cap: DEFAULT_HISTORY_CAP,
+            observed: 0,
         })
     }
 
-    /// Scores one window with the cached plan, records it, and reports
-    /// whether it breaches the alert threshold.
+    /// Replaces the history cap (default [`DEFAULT_HISTORY_CAP`]); a
+    /// history already over the new cap is trimmed from the oldest end.
+    ///
+    /// # Panics
+    /// Panics when `cap` is zero.
+    pub fn with_history_cap(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "with_history_cap: cap must be positive");
+        self.history_cap = cap;
+        while self.history.len() > cap {
+            self.history.pop_front();
+        }
+        self
+    }
+
+    /// Scores one window with the cached plan, records it (retiring the
+    /// oldest entry when the history ring is full), and reports whether
+    /// it breaches the alert threshold.
     ///
     /// # Errors
     /// Fails when the window lacks profile attributes.
     pub fn observe(&mut self, window: &DataFrame) -> Result<(f64, bool), ProfileError> {
         let drift = self.aggregator.aggregate_compiled(&self.plan, window)?;
-        self.history.push(drift);
+        if self.history.len() == self.history_cap {
+            self.history.pop_front();
+        }
+        self.history.push_back(drift);
+        self.observed += 1;
         Ok((drift, drift > self.threshold))
     }
 
@@ -175,9 +209,21 @@ impl DriftMonitor {
         self.threshold
     }
 
-    /// All drift magnitudes observed so far, in order.
-    pub fn history(&self) -> &[f64] {
-        &self.history
+    /// The retained drift magnitudes, oldest first — at most
+    /// [`Self::history_len`] ≤ the cap; older windows have been retired.
+    pub fn history(&self) -> impl ExactSizeIterator<Item = f64> + '_ {
+        self.history.iter().copied()
+    }
+
+    /// Retained history length (≤ the configured cap).
+    pub fn history_len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Windows observed over the monitor's lifetime, including windows
+    /// whose drift has been retired from the bounded history.
+    pub fn observed(&self) -> u64 {
+        self.observed
     }
 
     /// The underlying profile.
@@ -249,7 +295,31 @@ mod tests {
         let (d1, alert1) = monitor.observe(&line_frame(5.0, 1.0, 100)).unwrap();
         assert!(alert1, "alert on drifted window, drift {d1}");
         assert_eq!(monitor.history().len(), 2);
+        assert_eq!(monitor.history_len(), 2);
         assert!(monitor.threshold() >= 0.02);
+    }
+
+    #[test]
+    fn history_is_bounded_by_the_cap() {
+        let train = line_frame(2.0, 1.0, 300);
+        let profile = synthesize(&train, &SynthOptions::default()).unwrap();
+        let mut monitor =
+            DriftMonitor::calibrate(profile, &train, DriftAggregator::Mean, 5.0, 0.02)
+                .unwrap()
+                .with_history_cap(4);
+        let windows: Vec<DataFrame> =
+            (0..7).map(|k| line_frame(2.0 + k as f64 * 0.1, 1.0, 40)).collect();
+        let mut drifts = Vec::new();
+        for w in &windows {
+            drifts.push(monitor.observe(w).unwrap().0);
+        }
+        // Ring keeps the newest 4 in order; lifetime count keeps all 7.
+        assert_eq!(monitor.history_len(), 4);
+        assert_eq!(monitor.observed(), 7);
+        assert_eq!(monitor.history().collect::<Vec<_>>(), drifts[3..]);
+        // Shrinking the cap trims from the oldest end.
+        let monitor = monitor.with_history_cap(2);
+        assert_eq!(monitor.history().collect::<Vec<_>>(), drifts[5..]);
     }
 
     #[test]

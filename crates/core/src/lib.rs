@@ -77,11 +77,18 @@
 //! | [`constraint`] | §3.1–3.2 (language + quantitative semantics) |
 //! | [`compiled`] | §2, Fig. 11 (compiled serving engine: compile once, evaluate many) |
 //! | [`synth`] | §4.1 (Algorithm 1), §4.2 (compound constraints), §4.3.2 (sharded parallelism) |
-//! | [`streaming`] | §4.3.2 (one-pass / mergeable synthesis) |
-//! | [`drift`] | §2, §6.2 (dataset-level drift, parallel evaluation) |
+//! | [`streaming`] | §4.3.2 (one-pass / mergeable synthesis; block absorption for resynthesis) |
+//! | [`drift`] | §2, §6.2 (dataset-level drift, parallel evaluation, bounded-history [`DriftMonitor`]) |
 //! | [`tml`] | §5 (trusted machine learning, unsafe tuples) |
 //! | [`explain`] | Appendix K (ExTuNe responsibility, per-constraint breakdown) |
 //! | [`tree`] | §8 (decision-tree-guided constraints, future work) |
+//!
+//! Online deployments — tuple-at-a-time ingest, tumbling/sliding windows,
+//! change-point detection on the drift series, and auto-resynthesis of
+//! candidate profiles — live in the `cc_monitor` crate, which builds on
+//! [`drift`] (compiled-plan scoring), [`streaming`]
+//! ([`StreamingSynthesizer::absorb_stats`]), and
+//! [`cc_linalg::SufficientStats`]'s ring-merge helpers.
 
 pub mod compiled;
 pub mod constraint;
@@ -104,6 +111,7 @@ pub use constraint::{
 };
 pub use drift::{
     dataset_drift, dataset_drift_parallel, drift_series, DriftAggregator, DriftMonitor,
+    DEFAULT_HISTORY_CAP,
 };
 pub use explain::{
     breakdown_from_plan, mean_responsibility, mean_responsibility_from_plan, profile_breakdown,

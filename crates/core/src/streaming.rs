@@ -179,6 +179,32 @@ impl StreamingSynthesizer {
         self.main.absorb_unaligned(&theirs);
     }
 
+    /// Absorbs a pre-accumulated statistics block — the resynthesis path
+    /// online monitors use: they hold per-window [`SufficientStats`]
+    /// rather than tuples, and a candidate profile is synthesized by
+    /// folding those blocks (oldest first) into a fresh synthesizer and
+    /// calling [`Self::finish_profile`]. Equivalent to having streamed
+    /// the block's tuples up to floating-point rounding of the merge.
+    ///
+    /// # Panics
+    /// Panics when the block's dimensionality differs from the attribute
+    /// count, or when partition attributes were declared (pre-accumulated
+    /// blocks carry no categorical values, so a partitioned pass cannot
+    /// absorb them).
+    pub fn absorb_stats(&mut self, stats: &SufficientStats) {
+        assert!(
+            self.main.partitions.is_empty(),
+            "absorb_stats: partitioned synthesizer cannot absorb pre-accumulated blocks"
+        );
+        assert_eq!(
+            stats.dim(),
+            self.main.attrs.len(),
+            "absorb_stats: block dimensionality mismatch"
+        );
+        self.flush_block();
+        self.main.global.merge(stats);
+    }
+
     /// Finishes the pass for the global simple constraint only (the
     /// original streaming surface; partition accumulators are untouched
     /// and the synthesizer can keep absorbing tuples afterwards).
@@ -351,6 +377,33 @@ mod tests {
         two.update(&[2.0]);
         let sc = two.finish(&opts).unwrap();
         assert!(sc.conjuncts.iter().all(|c| c.lb.is_finite() && c.ub.is_finite()));
+    }
+
+    #[test]
+    fn absorb_stats_matches_streamed_tuples() {
+        let (rows, attrs) = rows();
+        let opts = SynthOptions::default();
+        let mut streamed = StreamingSynthesizer::new(attrs.clone());
+        for r in &rows {
+            streamed.update(r);
+        }
+        // Same tuples as two pre-accumulated blocks.
+        let mut from_blocks = StreamingSynthesizer::new(attrs);
+        from_blocks.absorb_stats(&SufficientStats::from_rows(&rows[..250], 3));
+        from_blocks.absorb_stats(&SufficientStats::from_rows(&rows[250..], 3));
+        assert_eq!(from_blocks.count(), streamed.count());
+        let a = streamed.finish(&opts).unwrap();
+        let b = from_blocks.finish(&opts).unwrap();
+        for probe in [[3.0, 7.0, 11.0], [50.0, -4.0, 2.0]] {
+            assert!((a.violation(&probe) - b.violation(&probe)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "partitioned synthesizer")]
+    fn absorb_stats_rejects_partitioned_pass() {
+        let mut s = StreamingSynthesizer::with_partitions(vec!["x".into()], vec!["regime".into()]);
+        s.absorb_stats(&SufficientStats::new(1));
     }
 
     #[test]

@@ -57,8 +57,10 @@ impl From<FrameError> for CsvError {
 }
 
 /// Splits one CSV line into fields, honoring double-quote quoting and the
-/// `""` escape inside quoted fields.
-fn split_line(line: &str) -> Vec<String> {
+/// `""` escape inside quoted fields. Public so line-at-a-time consumers
+/// (the CLI's streaming `monitor` tail) parse records exactly the way
+/// [`read_csv`] does.
+pub fn split_line(line: &str) -> Vec<String> {
     let mut fields = Vec::new();
     let mut cur = String::new();
     let mut in_quotes = false;

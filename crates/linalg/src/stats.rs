@@ -285,6 +285,85 @@ impl SufficientStats {
         (quad / self.count as f64).max(0.0)
     }
 
+    /// The canonical in-order fold of a sequence of accumulators: an
+    /// empty accumulator merged with each element, oldest first. This is
+    /// the **ring merge** helper every windowed consumer (the monitor's
+    /// block ring, sharded synthesis re-merges) routes through, so "merge
+    /// these blocks from scratch" is one well-defined operation: two
+    /// calls over the same blocks in the same order are bit-identical.
+    pub fn merged<'a, I>(dim: usize, blocks: I) -> Self
+    where
+        I: IntoIterator<Item = &'a SufficientStats>,
+    {
+        let mut acc = SufficientStats::new(dim);
+        for b in blocks {
+            acc.merge(b);
+        }
+        acc
+    }
+
+    /// Subtractive inverse of [`Self::merge`]: removes a previously-merged
+    /// accumulator, algebraically inverting the Chan combination for
+    /// `count`, `mean`, and the co-moments.
+    ///
+    /// **Deliberately not used on any retire path.** Two caveats make
+    /// drop-and-re-merge (see [`Self::merged`]) the correct way to retire
+    /// a block from a window, and this helper exists to document and test
+    /// exactly why:
+    ///
+    /// * floating-point subtraction re-introduces the cancellation the
+    ///   centered representation avoids — repeated unmerges drift away
+    ///   from the re-merged truth (bounded, but **not bit-identical**);
+    /// * per-attribute min/max are not invertible: the bounds keep the
+    ///   retired block's extremes (conservative, never too tight).
+    ///
+    /// # Panics
+    /// Panics on dimensionality mismatch or when `other` holds more
+    /// tuples than `self`.
+    pub fn unmerge(&mut self, other: &SufficientStats) {
+        assert_eq!(self.dim, other.dim, "SufficientStats::unmerge: dimension mismatch");
+        assert!(
+            other.count <= self.count,
+            "SufficientStats::unmerge: removing {} tuples from {}",
+            other.count,
+            self.count
+        );
+        if other.count == 0 {
+            return;
+        }
+        if other.count == self.count {
+            // Keep min/max (conservative); everything else resets.
+            self.count = 0;
+            self.mean.fill(0.0);
+            self.comoment.fill(0.0);
+            self.comp.fill(0.0);
+            return;
+        }
+        let n = self.count as f64;
+        let nb = other.count as f64;
+        let na = n - nb;
+        // Invert the mean combination: μ_a = (n·μ − n_b·μ_b) / n_a.
+        let mut mean_a = vec![0.0; self.dim];
+        for (ma, (m, mb)) in mean_a.iter_mut().zip(self.mean.iter().zip(&other.mean)) {
+            *ma = (n * m - nb * mb) / na;
+        }
+        // Invert the co-moment combination:
+        // M_a = M − M_b − δδᵀ·n_a·n_b/n with δ = μ_b − μ_a.
+        let mut idx = 0;
+        for a in 0..self.dim {
+            let da = other.mean[a] - mean_a[a];
+            for (mb, ma) in other.mean[a..].iter().zip(&mean_a[a..]) {
+                let db = mb - ma;
+                kahan_add(&mut self.comoment[idx], &mut self.comp[idx], -other.comoment[idx]);
+                kahan_add(&mut self.comoment[idx], &mut self.comp[idx], other.comp[idx]);
+                kahan_add(&mut self.comoment[idx], &mut self.comp[idx], -(da * db * na * nb / n));
+                idx += 1;
+            }
+        }
+        self.mean = mean_a;
+        self.count -= other.count;
+    }
+
     /// A scale proxy for the projection `w·t`: `Σⱼ |wⱼ|·max(|minⱼ|, |maxⱼ|)`.
     /// Used by the synthesizer to floor σ for (near-)equality constraints.
     /// Zero when empty.
@@ -428,6 +507,86 @@ mod tests {
         from_empty.merge(&a);
         assert_eq!(from_empty.count(), a.count());
         assert_eq!(from_empty.mean(), a.mean());
+    }
+
+    #[test]
+    fn merged_is_the_canonical_fold() {
+        let rows = sample_rows(700);
+        let blocks: Vec<SufficientStats> =
+            rows.chunks(150).map(|c| SufficientStats::from_rows(c, 3)).collect();
+        // merged ≡ hand-rolled left fold, bit for bit.
+        let by_hand = {
+            let mut acc = SufficientStats::new(3);
+            for b in &blocks {
+                acc.merge(b);
+            }
+            acc
+        };
+        let canon = SufficientStats::merged(3, &blocks);
+        assert_eq!(canon.count(), by_hand.count());
+        assert_eq!(canon.mean(), by_hand.mean());
+        for a in 0..3 {
+            for b in a..3 {
+                assert_eq!(canon.comoment(a, b).to_bits(), by_hand.comoment(a, b).to_bits());
+            }
+        }
+        // Retire-and-re-merge ≡ merging the retained blocks from scratch:
+        // the property the monitor's window ring is built on.
+        let retained = SufficientStats::merged(3, &blocks[1..]);
+        let again = SufficientStats::merged(3, &blocks[1..]);
+        assert_eq!(retained.mean(), again.mean());
+        assert_eq!(retained.comoment(0, 2).to_bits(), again.comoment(0, 2).to_bits());
+        assert_eq!(SufficientStats::merged(3, []).count(), 0);
+    }
+
+    #[test]
+    fn unmerge_inverts_merge_approximately() {
+        let rows = sample_rows(600);
+        let a = SufficientStats::from_rows(&rows[..400], 3);
+        let b = SufficientStats::from_rows(&rows[400..], 3);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        ab.unmerge(&b);
+        assert_eq!(ab.count(), a.count());
+        for j in 0..3 {
+            assert!((ab.mean()[j] - a.mean()[j]).abs() < 1e-10, "mean[{j}]");
+        }
+        for x in 0..3 {
+            for y in x..3 {
+                let scale = 1.0 + a.comoment(x, y).abs();
+                assert!(
+                    (ab.comoment(x, y) - a.comoment(x, y)).abs() / scale < 1e-9,
+                    "M[{x},{y}]: {} vs {}",
+                    ab.comoment(x, y),
+                    a.comoment(x, y)
+                );
+            }
+        }
+        // …but only approximately: min/max keep the removed block's
+        // extremes, which is exactly why retire paths re-merge instead.
+        assert!(ab.attribute_max()[2] >= a.attribute_max()[2]);
+
+        // Removing everything resets the moments but keeps conservative
+        // bounds; removing an empty accumulator is the identity.
+        let mut all = a.clone();
+        let a2 = a.clone();
+        all.unmerge(&a2);
+        assert_eq!(all.count(), 0);
+        assert_eq!(all.projection_variance(&[1.0, 0.0, 0.0]), 0.0);
+        let mut same = a.clone();
+        same.unmerge(&SufficientStats::new(3));
+        assert_eq!(same.count(), a.count());
+        assert_eq!(same.mean(), a.mean());
+    }
+
+    #[test]
+    #[should_panic(expected = "unmerge")]
+    fn unmerge_rejects_oversized_removal() {
+        let rows = sample_rows(10);
+        let small = SufficientStats::from_rows(&rows[..3], 3);
+        let big = SufficientStats::from_rows(&rows, 3);
+        let mut s = small;
+        s.unmerge(&big);
     }
 
     #[test]

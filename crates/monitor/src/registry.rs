@@ -1,0 +1,166 @@
+//! Named-monitor registry glue.
+//!
+//! A serving daemon (or any embedding) runs many monitors — one per
+//! stream — keyed by name. [`MonitorSet`] is that map, with the locking
+//! conventions the rest of the workspace uses: lookups take a brief read
+//! lock and clone an `Arc`; each monitor serializes its own ingest behind
+//! its own `Mutex` so two streams never contend with each other; and
+//! poisoned locks are recovered (a panic mid-ingest on one monitor must
+//! not take down every other stream).
+
+use crate::monitor::OnlineMonitor;
+use crate::report::MonitorStatus;
+use crate::MonitorError;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// A shared, named set of monitors.
+#[derive(Debug, Default)]
+pub struct MonitorSet {
+    inner: RwLock<BTreeMap<String, Arc<Mutex<OnlineMonitor>>>>,
+}
+
+/// Recovers a poisoned monitor lock: the monitor's state is a collection
+/// of counters and accumulators that stay internally consistent between
+/// row updates, so continuing after a panic is safe (at worst one row of
+/// one window is lost).
+pub fn lock_monitor(m: &Mutex<OnlineMonitor>) -> std::sync::MutexGuard<'_, OnlineMonitor> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+impl MonitorSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        MonitorSet::default()
+    }
+
+    /// Looks a monitor up by name.
+    pub fn get(&self, name: &str) -> Option<Arc<Mutex<OnlineMonitor>>> {
+        self.read().get(name).cloned()
+    }
+
+    /// Returns the named monitor, creating it with `init` when absent.
+    /// The boolean reports whether this call created it. `init` runs
+    /// outside any lock held by other monitors' ingest paths (it holds
+    /// only the map's write lock), and its error leaves the set
+    /// unchanged.
+    ///
+    /// # Errors
+    /// Propagates `init`'s error when the monitor has to be created.
+    pub fn get_or_create(
+        &self,
+        name: &str,
+        init: impl FnOnce() -> Result<OnlineMonitor, MonitorError>,
+    ) -> Result<(Arc<Mutex<OnlineMonitor>>, bool), MonitorError> {
+        if let Some(existing) = self.get(name) {
+            return Ok((existing, false));
+        }
+        let mut map = self.write();
+        // Re-check under the write lock (another creator may have won).
+        if let Some(existing) = map.get(name) {
+            return Ok((existing.clone(), false));
+        }
+        let created = Arc::new(Mutex::new(init()?));
+        map.insert(name.to_owned(), created.clone());
+        Ok((created, true))
+    }
+
+    /// Removes a monitor; reports whether it existed.
+    pub fn remove(&self, name: &str) -> bool {
+        self.write().remove(name).is_some()
+    }
+
+    /// Monitor names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.read().keys().cloned().collect()
+    }
+
+    /// `(name, status)` snapshots of every monitor, sorted by name.
+    pub fn statuses(&self) -> Vec<(String, MonitorStatus)> {
+        // Clone the Arcs out first: status-taking locks each monitor
+        // briefly and must not hold the map lock while doing so.
+        let monitors: Vec<(String, Arc<Mutex<OnlineMonitor>>)> =
+            self.read().iter().map(|(n, m)| (n.clone(), m.clone())).collect();
+        monitors.into_iter().map(|(n, m)| (n, lock_monitor(&m).status())).collect()
+    }
+
+    /// Number of registered monitors.
+    pub fn len(&self) -> usize {
+        self.read().len()
+    }
+
+    /// True when no monitors are registered.
+    pub fn is_empty(&self) -> bool {
+        self.read().is_empty()
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, BTreeMap<String, Arc<Mutex<OnlineMonitor>>>> {
+        self.inner.read().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn write(
+        &self,
+    ) -> std::sync::RwLockWriteGuard<'_, BTreeMap<String, Arc<Mutex<OnlineMonitor>>>> {
+        self.inner.write().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::MonitorConfig;
+    use cc_frame::DataFrame;
+    use conformance::{synthesize, SynthOptions};
+
+    fn monitor() -> Result<OnlineMonitor, MonitorError> {
+        let mut df = DataFrame::new();
+        let xs: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        df.push_numeric("x", xs).unwrap();
+        df.push_numeric("y", ys).unwrap();
+        let profile = synthesize(&df, &SynthOptions::default()).unwrap();
+        OnlineMonitor::new(profile, MonitorConfig::default())
+    }
+
+    #[test]
+    fn create_lookup_remove() {
+        let set = MonitorSet::new();
+        assert!(set.is_empty());
+        assert!(set.get("a").is_none());
+        let (_, created) = set.get_or_create("a", monitor).unwrap();
+        assert!(created);
+        let (_, created_again) = set.get_or_create("a", || panic!("must not re-create")).unwrap();
+        assert!(!created_again);
+        assert_eq!(set.names(), vec!["a".to_owned()]);
+        assert_eq!(set.len(), 1);
+        let statuses = set.statuses();
+        assert_eq!(statuses.len(), 1);
+        assert_eq!(statuses[0].0, "a");
+        assert_eq!(statuses[0].1.rows_ingested, 0);
+        assert!(set.remove("a"));
+        assert!(!set.remove("a"));
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn failed_init_leaves_the_set_unchanged() {
+        let set = MonitorSet::new();
+        let err = set.get_or_create("bad", || Err(MonitorError::Config("nope".into())));
+        assert!(err.is_err());
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn concurrent_create_yields_one_monitor() {
+        let set = Arc::new(MonitorSet::new());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let set = set.clone();
+                scope.spawn(move || {
+                    set.get_or_create("shared", monitor).unwrap();
+                });
+            }
+        });
+        assert_eq!(set.len(), 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Serializable monitoring reports — the wire/CLI surface.
+//!
+//! Everything here derives `Serialize` against the workspace serde shim,
+//! so `cc_server`'s `/v1/monitor` endpoint and the CLI's `monitor`
+//! subcommand render the exact same structures (non-finite floats — e.g.
+//! `last_drift` before the first close — serialize as JSON `null`).
+
+use serde::Serialize;
+
+/// Where a closed window sits in the monitor's lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum WindowPhase {
+    /// Still collecting the reference sample; detectors not yet armed.
+    Calibrating,
+    /// Armed, no alarm.
+    Ok,
+    /// Armed and the detector statistic breached its threshold.
+    Alarm,
+}
+
+/// One closed window's verdict.
+#[derive(Clone, Debug, Serialize)]
+pub struct WindowReport {
+    /// Close index since the monitor (or its current profile generation)
+    /// started.
+    pub index: u64,
+    /// First stream row of the window.
+    pub start_row: u64,
+    /// Rows in the window.
+    pub rows: usize,
+    /// The window's drift under the configured aggregator.
+    pub drift: f64,
+    /// Lifecycle phase at this close.
+    pub phase: WindowPhase,
+    /// Detector statistic after this window (NaN while calibrating).
+    pub stat: f64,
+    /// Detector threshold (NaN while calibrating).
+    pub threshold: f64,
+    /// Whether this close produced a resynthesis proposal.
+    pub proposed: bool,
+}
+
+/// What one `ingest` call did.
+#[derive(Clone, Debug, Serialize)]
+pub struct IngestReport {
+    /// Rows absorbed by this call.
+    pub rows: usize,
+    /// Windows that closed during this call, in close order.
+    pub windows: Vec<WindowReport>,
+    /// Whether the monitor is currently alarming (consecutive alarmed
+    /// windows ≥ 1) after this call.
+    pub alarm: bool,
+}
+
+/// A full monitor snapshot (the `/v1/monitor` payload).
+#[derive(Clone, Debug, Serialize)]
+pub struct MonitorStatus {
+    /// Rows per window.
+    pub window: usize,
+    /// Rows between window closes.
+    pub stride: usize,
+    /// Detector kind (canonical spelling).
+    pub detector: String,
+    /// Drift aggregator (`mean` or `max`).
+    pub aggregator: String,
+    /// Rows ingested over the monitor's lifetime.
+    pub rows_ingested: u64,
+    /// Windows closed over the monitor's lifetime.
+    pub windows_closed: u64,
+    /// Rows buffered past the most recent window close.
+    pub window_lag: u64,
+    /// Whether the detector is armed (reference sample complete).
+    pub calibrated: bool,
+    /// Reference mean drift (NaN until calibrated).
+    pub baseline_mean: f64,
+    /// Floored reference drift σ (NaN until calibrated).
+    pub baseline_std: f64,
+    /// Most recent window drift (NaN before the first close).
+    pub last_drift: f64,
+    /// EWMA-smoothed drift level (NaN until calibrated).
+    pub smoothed_drift: f64,
+    /// Whether the newest window alarmed.
+    pub alarm: bool,
+    /// Current run of consecutive alarmed windows.
+    pub consecutive_alarms: u64,
+    /// Alarmed windows over the monitor's lifetime.
+    pub alarms_total: u64,
+    /// Resynthesis proposals produced over the monitor's lifetime.
+    pub proposals_total: u64,
+    /// Generation of the pending proposal (absent when none).
+    pub proposal_generation: Option<u64>,
+    /// Resynthesis attempts that failed (degenerate recent data).
+    pub resynth_errors: u64,
+    /// Profile generation currently monitored (1 = as constructed;
+    /// bumped by adopting a proposal).
+    pub generation: u64,
+    /// Sealed statistics blocks currently retained for resynthesis.
+    pub tiles: usize,
+    /// Total rows across the retained blocks.
+    pub tile_rows: usize,
+    /// Drift-history entries retained (≤ the configured cap).
+    pub history_len: usize,
+}

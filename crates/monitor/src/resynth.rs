@@ -1,0 +1,101 @@
+//! Auto-resynthesis: turning the ring's recent statistics into a
+//! candidate profile.
+//!
+//! On sustained alarm the monitor does **not** silently swap its profile
+//! — it synthesizes a *candidate* from the retained non-overlapping
+//! blocks (via [`StreamingSynthesizer::absorb_stats`] +
+//! [`StreamingSynthesizer::finish_profile`], the same engine every other
+//! synthesis path runs on) and surfaces it as a [`ProposedProfile`]. A
+//! human (or an explicit `adopt_proposal` call) promotes it.
+//!
+//! Candidates carry the **global** simple constraint only: the ring holds
+//! numeric sufficient statistics, not categorical values, so partitioned
+//! (disjunctive) constraints need a full offline resynthesis pass.
+
+use crate::ring::StatsRing;
+use conformance::{ConformanceProfile, StreamingSynthesizer, SynthError, SynthOptions};
+use serde::Serialize;
+
+/// A candidate profile synthesized from the recent stream, awaiting
+/// adoption.
+#[derive(Clone, Debug, Serialize)]
+pub struct ProposedProfile {
+    /// The profile generation this proposal would become if adopted.
+    pub generation: u64,
+    /// The candidate (global constraint only — see the module docs).
+    pub profile: ConformanceProfile,
+    /// Ring blocks the candidate was synthesized from.
+    pub tiles: usize,
+    /// Total rows behind the candidate.
+    pub rows: usize,
+    /// Window close (lifetime index) that triggered the proposal.
+    pub at_window: u64,
+}
+
+/// Synthesizes a candidate from the ring's retained blocks (oldest
+/// first).
+///
+/// # Errors
+/// [`SynthError::InsufficientData`] when the ring holds fewer than
+/// `min_rows` (or 2) tuples; propagates eigensolver failures on
+/// degenerate data.
+pub fn propose(
+    ring: &StatsRing,
+    attributes: &[String],
+    opts: &SynthOptions,
+    min_rows: usize,
+) -> Result<(ConformanceProfile, usize), SynthError> {
+    let rows = ring.rows();
+    let needed = min_rows.max(2);
+    if rows < needed {
+        return Err(SynthError::InsufficientData { rows, needed });
+    }
+    let mut synth = StreamingSynthesizer::new(attributes.to_vec());
+    for block in ring.iter() {
+        synth.absorb_stats(block);
+    }
+    Ok((synth.finish_profile(opts)?, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_linalg::SufficientStats;
+
+    fn line_rows(n: usize, offset: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|j| {
+                let x = (j + offset) as f64 / 10.0;
+                vec![x, 2.0 * x + 1.0]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn proposal_learns_the_recent_invariant() {
+        let attrs = vec!["x".to_string(), "y".to_string()];
+        let mut ring = StatsRing::new(2, 4);
+        for b in 0..4 {
+            ring.push(SufficientStats::from_rows(&line_rows(50, b * 50), 2));
+        }
+        let (profile, rows) = propose(&ring, &attrs, &SynthOptions::default(), 2).unwrap();
+        assert_eq!(rows, 200);
+        assert!(profile.disjunctive.is_empty());
+        // On-trend tuple conforms, off-trend violates.
+        let ok = profile.violation(&[5.0, 11.0], &[]).unwrap();
+        let bad = profile.violation(&[5.0, 40.0], &[]).unwrap();
+        assert!(ok < 0.1, "on-trend violation {ok}");
+        assert!(bad > 0.5, "off-trend violation {bad}");
+    }
+
+    #[test]
+    fn too_little_data_is_a_typed_error() {
+        let attrs = vec!["x".to_string(), "y".to_string()];
+        let mut ring = StatsRing::new(2, 4);
+        ring.push(SufficientStats::from_rows(&line_rows(3, 0), 2));
+        match propose(&ring, &attrs, &SynthOptions::default(), 64) {
+            Err(SynthError::InsufficientData { rows: 3, needed: 64 }) => {}
+            other => panic!("expected InsufficientData, got {other:?}"),
+        }
+    }
+}

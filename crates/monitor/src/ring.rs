@@ -1,0 +1,150 @@
+//! The bounded ring of sealed statistics blocks backing auto-resynthesis.
+//!
+//! Every `window/stride`-th closed window tiles the stream exactly (no
+//! overlap, no gap — see [`crate::windows::WindowSpec`]), and those tiles'
+//! [`SufficientStats`] land here. The ring is bounded: pushing past
+//! capacity **retires** the oldest block, and the merged view is always
+//! produced by **re-merging** the retained blocks oldest-first through
+//! [`SufficientStats::merged`] — never by subtractively removing the
+//! retired block from a running total. `SufficientStats::unmerge` exists
+//! and is algebraically exact, but floating-point subtraction drifts from
+//! the re-merged truth and min/max cannot be un-merged at all; re-merge
+//! makes retire-and-merge **bit-identical to merging the retained blocks
+//! from scratch**, which is the property the proptests pin.
+
+use cc_linalg::SufficientStats;
+use std::collections::VecDeque;
+
+/// A bounded FIFO of sealed statistics blocks (newest last).
+#[derive(Clone, Debug)]
+pub struct StatsRing {
+    dim: usize,
+    cap: usize,
+    blocks: VecDeque<SufficientStats>,
+    retired: u64,
+}
+
+impl StatsRing {
+    /// Empty ring over `dim`-attribute blocks, retaining at most `cap`.
+    ///
+    /// # Panics
+    /// Panics when `cap` is zero.
+    pub fn new(dim: usize, cap: usize) -> Self {
+        assert!(cap > 0, "StatsRing::new: cap must be positive");
+        StatsRing { dim, cap, blocks: VecDeque::with_capacity(cap), retired: 0 }
+    }
+
+    /// Seals a block into the ring, retiring the oldest when full.
+    ///
+    /// # Panics
+    /// Panics on dimensionality mismatch.
+    pub fn push(&mut self, stats: SufficientStats) {
+        assert_eq!(stats.dim(), self.dim, "StatsRing::push: dimension mismatch");
+        if self.blocks.len() == self.cap {
+            self.blocks.pop_front();
+            self.retired += 1;
+        }
+        self.blocks.push_back(stats);
+    }
+
+    /// The canonical merged view of the retained blocks, oldest first —
+    /// bit-identical to [`SufficientStats::merged`] over the same blocks
+    /// regardless of how many retires preceded it.
+    pub fn merged(&self) -> SufficientStats {
+        SufficientStats::merged(self.dim, self.blocks.iter())
+    }
+
+    /// Retained blocks, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &SufficientStats> {
+        self.blocks.iter()
+    }
+
+    /// Retained block count (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when no blocks are retained.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Capacity (blocks retained before retiring starts).
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Blocks retired over the ring's lifetime.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Total tuples across the retained blocks.
+    pub fn rows(&self) -> usize {
+        self.blocks.iter().map(SufficientStats::count).sum()
+    }
+
+    /// Drops every retained block (lifetime retire count is kept).
+    pub fn clear(&mut self) {
+        self.retired += self.blocks.len() as u64;
+        self.blocks.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(seed: usize, rows: usize) -> SufficientStats {
+        let data: Vec<Vec<f64>> = (0..rows)
+            .map(|i| vec![(seed * 31 + i) as f64 * 0.5, (seed * 7 + i * i) as f64 - 3.0])
+            .collect();
+        SufficientStats::from_rows(&data, 2)
+    }
+
+    #[test]
+    fn retire_and_remerge_is_bit_identical_to_from_scratch() {
+        let blocks: Vec<SufficientStats> = (0..7).map(|s| block(s, 5 + s)).collect();
+        let mut ring = StatsRing::new(2, 3);
+        for b in &blocks {
+            ring.push(b.clone());
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.retired(), 4);
+        assert_eq!(ring.rows(), blocks[4..].iter().map(SufficientStats::count).sum::<usize>());
+        let via_ring = ring.merged();
+        let from_scratch = SufficientStats::merged(2, &blocks[4..]);
+        assert_eq!(via_ring.count(), from_scratch.count());
+        for j in 0..2 {
+            assert_eq!(via_ring.mean()[j].to_bits(), from_scratch.mean()[j].to_bits());
+        }
+        for a in 0..2 {
+            for b in a..2 {
+                assert_eq!(
+                    via_ring.comoment(a, b).to_bits(),
+                    from_scratch.comoment(a, b).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_clear() {
+        let mut ring = StatsRing::new(2, 4);
+        assert!(ring.is_empty());
+        assert_eq!(ring.merged().count(), 0);
+        ring.push(block(1, 4));
+        ring.push(block(2, 4));
+        assert_eq!(ring.len(), 2);
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.retired(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn rejects_wrong_dimension() {
+        let mut ring = StatsRing::new(3, 2);
+        ring.push(SufficientStats::new(2));
+    }
+}

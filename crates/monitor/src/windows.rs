@@ -1,0 +1,305 @@
+//! Tumbling and sliding windows over a tuple stream.
+//!
+//! [`WindowSpec`] names the geometry (`window` rows per window, a close
+//! every `stride` rows; `stride == window` is tumbling, `stride < window`
+//! sliding). [`SlidingStats`] is the accumulator machinery: one open
+//! [`SufficientStats`] + drift accumulator per in-flight window, each
+//! updated tuple-at-a-time in arrival order from a fresh accumulator — so
+//! a closed window's statistics are **bit-identical** to
+//! [`SufficientStats::from_rows`] on that window's row slice, and its
+//! drift sum/max are bit-identical to the corresponding
+//! `DriftAggregator` fold over the window's violation slice. No tuple is
+//! retained: memory is `O((window/stride) · m²)` regardless of stream
+//! length.
+
+use crate::MonitorError;
+use cc_linalg::SufficientStats;
+use std::collections::VecDeque;
+use std::ops::Range;
+
+/// Window geometry: `window` rows per window, one window closing every
+/// `stride` rows. Constructed via [`WindowSpec::new`] /
+/// [`WindowSpec::tumbling`], which enforce `1 ≤ stride ≤ window` and
+/// `window % stride == 0` (windows align to stride boundaries, so every
+/// `window/stride`-th closed window tiles the stream exactly — the
+/// non-overlapping blocks the resynthesis ring collects).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WindowSpec {
+    window: usize,
+    stride: usize,
+}
+
+impl WindowSpec {
+    /// A sliding-window spec.
+    ///
+    /// # Errors
+    /// Rejects `window == 0`, `stride == 0`, `stride > window`, and
+    /// `window % stride != 0`.
+    pub fn new(window: usize, stride: usize) -> Result<Self, MonitorError> {
+        if window == 0 {
+            return Err(MonitorError::Config("window must be positive".into()));
+        }
+        if stride == 0 {
+            return Err(MonitorError::Config("stride must be positive".into()));
+        }
+        if stride > window {
+            return Err(MonitorError::Config(format!(
+                "stride ({stride}) cannot exceed window ({window})"
+            )));
+        }
+        if !window.is_multiple_of(stride) {
+            return Err(MonitorError::Config(format!(
+                "window ({window}) must be a multiple of stride ({stride})"
+            )));
+        }
+        Ok(WindowSpec { window, stride })
+    }
+
+    /// A tumbling-window spec (`stride == window`).
+    ///
+    /// # Errors
+    /// Rejects `window == 0`.
+    pub fn tumbling(window: usize) -> Result<Self, MonitorError> {
+        WindowSpec::new(window, window)
+    }
+
+    /// Rows per window.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Rows between consecutive window closes.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// How many windows are open at once (`window / stride`); also the
+    /// period, in closed windows, of the non-overlapping tiling.
+    pub fn overlap(&self) -> usize {
+        self.window / self.stride
+    }
+
+    /// Row ranges of every *complete* window over a series of `n` rows,
+    /// in close order — the iterator the CLI's windowed `drift` mode and
+    /// the monitor's reference calibration both reuse.
+    pub fn ranges(&self, n: usize) -> impl Iterator<Item = Range<usize>> + '_ {
+        let (window, stride) = (self.window, self.stride);
+        (0..).map(move |i| i * stride..i * stride + window).take_while(move |r| r.end <= n)
+    }
+}
+
+/// One closed window: its row span, per-tuple-accumulated statistics, and
+/// drift folds.
+#[derive(Clone, Debug)]
+pub struct ClosedWindow {
+    /// Close index (0-based): window `i` spans rows
+    /// `[i·stride, i·stride + window)`.
+    pub index: u64,
+    /// First row of the window (stream offset).
+    pub start_row: u64,
+    /// Rows in the window (always `spec.window()`).
+    pub rows: usize,
+    /// `SufficientStats` of the window's tuples — bit-identical to
+    /// [`SufficientStats::from_rows`] on the window slice (per-tuple
+    /// Welford from a fresh accumulator, arrival order, no merges).
+    pub stats: SufficientStats,
+    /// Plain left-fold sum of the window's scores — bit-identical to
+    /// `scores.iter().sum::<f64>()` over the window slice (the
+    /// `DriftAggregator::Mean` numerator).
+    pub score_sum: f64,
+    /// `max` fold of the window's scores from `0.0` — bit-identical to
+    /// the `DriftAggregator::Max` fold.
+    pub score_max: f64,
+}
+
+/// Per-open-window accumulator.
+#[derive(Clone, Debug)]
+struct OpenWindow {
+    start_row: u64,
+    rows: usize,
+    stats: SufficientStats,
+    score_sum: f64,
+    score_max: f64,
+}
+
+/// The sliding accumulator: every in-flight window's statistics, updated
+/// one tuple at a time. See the module docs for the bit-identity
+/// contract.
+#[derive(Clone, Debug)]
+pub struct SlidingStats {
+    spec: WindowSpec,
+    dim: usize,
+    rows_seen: u64,
+    closed: u64,
+    open: VecDeque<OpenWindow>,
+}
+
+impl SlidingStats {
+    /// Fresh accumulator over `dim`-attribute tuples.
+    pub fn new(spec: WindowSpec, dim: usize) -> Self {
+        SlidingStats { spec, dim, rows_seen: 0, closed: 0, open: VecDeque::new() }
+    }
+
+    /// The window geometry.
+    pub fn spec(&self) -> WindowSpec {
+        self.spec
+    }
+
+    /// Tuples absorbed so far.
+    pub fn rows_seen(&self) -> u64 {
+        self.rows_seen
+    }
+
+    /// Windows closed so far.
+    pub fn closed(&self) -> u64 {
+        self.closed
+    }
+
+    /// Rows ingested past the most recent window close (the stream's
+    /// "window lag": how much data is buffered toward the next close).
+    /// Before the first close this counts from the stream start, so it
+    /// ranges up to `window`; afterwards it stays below `stride`.
+    pub fn lag(&self) -> u64 {
+        if self.closed == 0 {
+            return self.rows_seen;
+        }
+        let last_close_end = (self.closed - 1) * self.spec.stride as u64 + self.spec.window as u64;
+        self.rows_seen - last_close_end
+    }
+
+    /// Absorbs one tuple and its score (e.g. the tuple's conformance
+    /// violation), returning the window that closed on this row, if any
+    /// (at most one window closes per row).
+    ///
+    /// # Panics
+    /// Panics when the tuple arity differs from the accumulator's `dim`.
+    pub fn push(&mut self, tuple: &[f64], score: f64) -> Option<ClosedWindow> {
+        assert_eq!(tuple.len(), self.dim, "SlidingStats::push: tuple arity mismatch");
+        // A new window opens on every stride boundary.
+        if self.rows_seen.is_multiple_of(self.spec.stride as u64) {
+            self.open.push_back(OpenWindow {
+                start_row: self.rows_seen,
+                rows: 0,
+                stats: SufficientStats::new(self.dim),
+                score_sum: 0.0,
+                score_max: 0.0,
+            });
+        }
+        for w in self.open.iter_mut() {
+            w.stats.update(tuple);
+            w.score_sum += score;
+            w.score_max = w.score_max.max(score);
+            w.rows += 1;
+        }
+        self.rows_seen += 1;
+        // Only the oldest open window can be full.
+        if self.open.front().is_some_and(|w| w.rows == self.spec.window) {
+            let w = self.open.pop_front().expect("front window exists");
+            let index = self.closed;
+            self.closed += 1;
+            return Some(ClosedWindow {
+                index,
+                start_row: w.start_row,
+                rows: w.rows,
+                stats: w.stats,
+                score_sum: w.score_sum,
+                score_max: w.score_max,
+            });
+        }
+        None
+    }
+
+    /// Drops every open window (used when the monitored profile is
+    /// swapped: half-filled windows scored by the old plan must not leak
+    /// into the new one's drift series).
+    pub fn reset(&mut self) {
+        self.open.clear();
+        // Re-anchor stride boundaries at the current row so the next
+        // window starts fresh.
+        self.rows_seen = 0;
+        self.closed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_validation() {
+        assert!(WindowSpec::new(8, 4).is_ok());
+        assert!(WindowSpec::new(8, 8).is_ok());
+        assert!(WindowSpec::tumbling(1).is_ok());
+        for (w, s) in [(0, 1), (4, 0), (4, 8), (8, 3)] {
+            assert!(WindowSpec::new(w, s).is_err(), "({w}, {s}) should be rejected");
+        }
+        let spec = WindowSpec::new(12, 4).unwrap();
+        assert_eq!((spec.window(), spec.stride(), spec.overlap()), (12, 4, 3));
+    }
+
+    #[test]
+    fn ranges_cover_complete_windows_only() {
+        let spec = WindowSpec::new(4, 2).unwrap();
+        let got: Vec<_> = spec.ranges(9).collect();
+        assert_eq!(got, vec![0..4, 2..6, 4..8]);
+        assert_eq!(spec.ranges(3).count(), 0);
+        assert_eq!(spec.ranges(4).count(), 1);
+        let tumbling = WindowSpec::tumbling(3).unwrap();
+        let got: Vec<_> = tumbling.ranges(10).collect();
+        assert_eq!(got, vec![0..3, 3..6, 6..9]);
+    }
+
+    #[test]
+    fn closed_windows_match_from_rows_bitwise() {
+        let spec = WindowSpec::new(6, 2).unwrap();
+        let rows: Vec<Vec<f64>> =
+            (0..20).map(|i| vec![i as f64 * 0.7, (i * i) as f64 - 3.0]).collect();
+        let scores: Vec<f64> = (0..20).map(|i| (i as f64 * 0.31).sin().abs()).collect();
+        let mut acc = SlidingStats::new(spec, 2);
+        let mut closes = Vec::new();
+        for (r, &s) in rows.iter().zip(&scores) {
+            if let Some(c) = acc.push(r, s) {
+                closes.push(c);
+            }
+        }
+        let expected: Vec<Range<usize>> = spec.ranges(rows.len()).collect();
+        assert_eq!(closes.len(), expected.len());
+        for (c, range) in closes.iter().zip(&expected) {
+            assert_eq!(c.start_row as usize, range.start);
+            let oracle = SufficientStats::from_rows(&rows[range.clone()], 2);
+            assert_eq!(c.stats.count(), oracle.count());
+            for j in 0..2 {
+                assert_eq!(c.stats.mean()[j].to_bits(), oracle.mean()[j].to_bits());
+                assert_eq!(
+                    c.stats.attribute_min()[j].to_bits(),
+                    oracle.attribute_min()[j].to_bits()
+                );
+            }
+            for a in 0..2 {
+                for b in a..2 {
+                    assert_eq!(c.stats.comoment(a, b).to_bits(), oracle.comoment(a, b).to_bits());
+                }
+            }
+            let sum: f64 = scores[range.clone()].iter().sum();
+            let max = scores[range.clone()].iter().fold(0.0f64, |m, &v| m.max(v));
+            assert_eq!(c.score_sum.to_bits(), sum.to_bits());
+            assert_eq!(c.score_max.to_bits(), max.to_bits());
+        }
+    }
+
+    #[test]
+    fn lag_tracks_rows_since_last_close() {
+        let spec = WindowSpec::new(4, 2).unwrap();
+        let mut acc = SlidingStats::new(spec, 1);
+        let mut lags = Vec::new();
+        for i in 0..8 {
+            acc.push(&[i as f64], 0.0);
+            lags.push(acc.lag());
+        }
+        // Closes at rows 3, 5, 7 (0-based): lag resets to 0 there.
+        assert_eq!(lags, vec![1, 2, 3, 0, 1, 0, 1, 0]);
+        acc.reset();
+        assert_eq!(acc.lag(), 0);
+        assert_eq!(acc.closed(), 0);
+    }
+}

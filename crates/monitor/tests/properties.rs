@@ -1,0 +1,174 @@
+//! Property tests for the monitor's bit-identity contracts.
+//!
+//! 1. A closed sliding window's statistics are **bit-identical** to
+//!    [`SufficientStats::from_rows`] on the same window slice (per-tuple
+//!    accumulation from a fresh accumulator, arrival order, no merges) —
+//!    across window/stride/block-size combos and stream lengths
+//!    including n ∈ {0, 1, B−1, B, B+1}.
+//! 2. Window drift folds are bit-identical to the corresponding
+//!    `DriftAggregator` folds over the materialized score slice.
+//! 3. The resynthesis ring's retire-and-re-merge is bit-identical to
+//!    merging the retained blocks from scratch.
+
+use cc_linalg::SufficientStats;
+use cc_monitor::{SlidingStats, StatsRing, WindowSpec};
+use proptest::prelude::*;
+use proptest::TestCaseError;
+
+fn assert_stats_bit_identical(
+    got: &SufficientStats,
+    want: &SufficientStats,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(got.count(), want.count());
+    prop_assert_eq!(got.dim(), want.dim());
+    for j in 0..got.dim() {
+        prop_assert_eq!(got.mean()[j].to_bits(), want.mean()[j].to_bits());
+        prop_assert_eq!(got.attribute_min()[j].to_bits(), want.attribute_min()[j].to_bits());
+        prop_assert_eq!(got.attribute_max()[j].to_bits(), want.attribute_max()[j].to_bits());
+    }
+    for a in 0..got.dim() {
+        for b in a..got.dim() {
+            prop_assert_eq!(got.comoment(a, b).to_bits(), want.comoment(a, b).to_bits());
+        }
+    }
+    Ok(())
+}
+
+/// Strategy: window geometry (stride 1..6, overlap 1..4 ⇒ window ≤ 24),
+/// dimensionality 1..4, and a stream of rows + scores. Stream lengths
+/// concentrate around the window size so the n ∈ {0, 1, B−1, B, B+1}
+/// edge cases all occur (see `edge_lengths` for the pinned ones).
+fn stream_strategy() -> impl Strategy<Value = (usize, usize, Vec<Vec<f64>>, Vec<f64>)> {
+    (1usize..=6, 1usize..=4, 1usize..=4).prop_flat_map(|(stride, overlap, dim)| {
+        let window = stride * overlap;
+        (0usize..=3 * window + 2).prop_flat_map(move |n| {
+            (
+                Just(window),
+                Just(stride),
+                proptest::collection::vec(
+                    proptest::collection::vec(-100.0..100.0f64, dim..=dim),
+                    n..=n,
+                ),
+                proptest::collection::vec(0.0..1.0f64, n..=n),
+            )
+        })
+    })
+}
+
+/// Runs the sliding accumulator over a stream, returning every close.
+fn run(
+    window: usize,
+    stride: usize,
+    rows: &[Vec<f64>],
+    scores: &[f64],
+) -> (WindowSpec, Vec<cc_monitor::ClosedWindow>) {
+    let spec = WindowSpec::new(window, stride).expect("valid spec by construction");
+    let dim = rows.first().map_or(1, Vec::len);
+    let mut acc = SlidingStats::new(spec, dim);
+    let mut closes = Vec::new();
+    for (r, &s) in rows.iter().zip(scores) {
+        if let Some(c) = acc.push(r, s) {
+            closes.push(c);
+        }
+    }
+    (spec, closes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Closed-window statistics ≡ `from_rows` on the window slice,
+    /// bit for bit, and the close sequence matches the window iterator.
+    #[test]
+    fn sliding_windows_match_from_rows_bitwise(
+        (window, stride, rows, scores) in stream_strategy()
+    ) {
+        let dim = rows.first().map_or(1, Vec::len);
+        let (spec, closes) = run(window, stride, &rows, &scores);
+        let expected: Vec<_> = spec.ranges(rows.len()).collect();
+        prop_assert_eq!(closes.len(), expected.len());
+        for (c, range) in closes.iter().zip(&expected) {
+            prop_assert_eq!(c.start_row as usize, range.start);
+            prop_assert_eq!(c.rows, range.len());
+            let oracle = SufficientStats::from_rows(&rows[range.clone()], dim);
+            assert_stats_bit_identical(&c.stats, &oracle)?;
+        }
+    }
+
+    /// Window drift folds ≡ the `DriftAggregator` folds over the
+    /// materialized score slice (sum for Mean's numerator, max-from-zero
+    /// for Max), bit for bit.
+    #[test]
+    fn window_drift_folds_match_aggregators_bitwise(
+        (window, stride, rows, scores) in stream_strategy()
+    ) {
+        let (spec, closes) = run(window, stride, &rows, &scores);
+        for (c, range) in closes.iter().zip(spec.ranges(rows.len())) {
+            let slice = &scores[range];
+            let sum: f64 = slice.iter().sum();
+            let max = slice.iter().fold(0.0f64, |m, &v| m.max(v));
+            prop_assert_eq!(c.score_sum.to_bits(), sum.to_bits());
+            prop_assert_eq!(c.score_max.to_bits(), max.to_bits());
+            // And therefore the mean drift equals DriftAggregator::Mean.
+            let mean = conformance::DriftAggregator::Mean.aggregate(slice);
+            prop_assert_eq!((c.score_sum / c.rows as f64).to_bits(), mean.to_bits());
+        }
+    }
+
+    /// Ring retire-and-re-merge ≡ merging the retained blocks from
+    /// scratch, bit for bit, for every capacity.
+    #[test]
+    fn ring_remerge_matches_from_scratch_bitwise(
+        (window, stride, rows, scores) in stream_strategy(),
+        cap in 1usize..=5,
+    ) {
+        let dim = rows.first().map_or(1, Vec::len);
+        let (spec, closes) = run(window, stride, &rows, &scores);
+        let mut ring = StatsRing::new(dim, cap);
+        // Non-overlapping tiles: every overlap-th close.
+        let tiles: Vec<&cc_monitor::ClosedWindow> =
+            closes.iter().filter(|c| c.index % spec.overlap() as u64 == 0).collect();
+        for t in &tiles {
+            ring.push(t.stats.clone());
+        }
+        let retained_start = tiles.len().saturating_sub(cap);
+        let from_scratch = SufficientStats::merged(
+            dim,
+            tiles[retained_start..].iter().map(|t| &t.stats),
+        );
+        assert_stats_bit_identical(&ring.merged(), &from_scratch)?;
+        prop_assert_eq!(ring.retired(), retained_start as u64);
+        // Tiles partition the covered prefix: their row total is exact.
+        prop_assert_eq!(
+            tiles.iter().map(|t| t.stats.count()).sum::<usize>(),
+            tiles.len() * window
+        );
+    }
+}
+
+/// The pinned edge lengths from the issue: n ∈ {0, 1, B−1, B, B+1} for a
+/// window of B rows, tumbling and sliding.
+#[test]
+fn edge_lengths_close_exactly_the_complete_windows() {
+    for (window, stride) in [(4, 4), (4, 2), (4, 1), (1, 1)] {
+        for n in [0usize, 1, window - 1, window, window + 1] {
+            let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 * 1.5 - 2.0]).collect();
+            let scores: Vec<f64> = (0..n).map(|i| i as f64 * 0.125).collect();
+            let (spec, closes) = run(window, stride, &rows, &scores);
+            let expected: Vec<_> = spec.ranges(n).collect();
+            assert_eq!(
+                closes.len(),
+                expected.len(),
+                "window {window} stride {stride} n {n}: close count"
+            );
+            for (c, range) in closes.iter().zip(&expected) {
+                let oracle = SufficientStats::from_rows(&rows[range.clone()], 1);
+                assert_eq!(c.stats.count(), oracle.count());
+                assert_eq!(c.stats.mean()[0].to_bits(), oracle.mean()[0].to_bits());
+                assert_eq!(c.stats.comoment(0, 0).to_bits(), oracle.comoment(0, 0).to_bits());
+                let sum: f64 = scores[range.clone()].iter().sum();
+                assert_eq!(c.score_sum.to_bits(), sum.to_bits());
+            }
+        }
+    }
+}

@@ -7,6 +7,9 @@
 //! | `POST /v1/check` | batch violations (`?top=K` offenders) |
 //! | `POST /v1/explain` | per-constraint breakdown + ExTuNe responsibility |
 //! | `POST /v1/drift` | mean / p95 / max drift of a batch |
+//! | `POST /v1/ingest` | route a columnar batch into a named online monitor |
+//! | `GET /v1/monitor` | monitor snapshots: window stats, alarm state, proposals |
+//! | `DELETE /v1/monitor` | drop a named monitor |
 //! | `POST /v1/reload` | atomically re-publish the profile registry |
 //! | `GET /metrics` | Prometheus text exposition |
 //!
@@ -22,31 +25,50 @@ use crate::json::{self, frame_from_columns, num_array, obj, string};
 use crate::metrics::{Endpoint, Metrics};
 use crate::registry::{ProfileEntry, ProfileRegistry, Snapshot};
 use cc_frame::DataFrame;
+use cc_monitor::{
+    lock_monitor, DetectorKind, MonitorConfig, MonitorSet, MonitorStatus, OnlineMonitor, WindowSpec,
+};
 use conformance::{mean_responsibility_from_plan, DriftAggregator};
+use serde::Serialize;
 use serde_json::Value;
 use std::sync::Arc;
 
 /// Routes one request. Never panics outward on bad input — every failure
 /// maps to a 4xx/5xx response (the connection loop additionally catches
 /// panics and answers 500).
-pub fn route(req: &Request, registry: &ProfileRegistry, metrics: &Metrics) -> (Endpoint, Response) {
+pub fn route(
+    req: &Request,
+    registry: &ProfileRegistry,
+    monitors: &MonitorSet,
+    metrics: &Metrics,
+) -> (Endpoint, Response) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => (Endpoint::Healthz, healthz(registry)),
         ("GET", "/v1/profiles") => (Endpoint::Profiles, profiles(registry)),
         ("POST", "/v1/check") => (Endpoint::Check, with_batch(req, registry, metrics, check)),
         ("POST", "/v1/explain") => (Endpoint::Explain, with_batch(req, registry, metrics, explain)),
         ("POST", "/v1/drift") => (Endpoint::Drift, with_batch(req, registry, metrics, drift)),
+        ("POST", "/v1/ingest") => (Endpoint::Ingest, ingest(req, registry, monitors, metrics)),
+        ("GET", "/v1/monitor") => (Endpoint::Monitor, monitor_status(req, monitors)),
+        ("DELETE", "/v1/monitor") => (Endpoint::Monitor, monitor_delete(req, monitors)),
         ("POST", "/v1/reload") => (Endpoint::Reload, reload(registry)),
-        ("GET", "/metrics") => (Endpoint::Metrics, metrics_text(registry, metrics)),
+        ("GET", "/metrics") => (Endpoint::Metrics, metrics_text(registry, monitors, metrics)),
         (_, "/healthz" | "/v1/profiles" | "/metrics") => {
             (Endpoint::Other, Response::error(405, "use GET for this endpoint"))
         }
-        (_, "/v1/check" | "/v1/explain" | "/v1/drift" | "/v1/reload") => {
+        (_, "/v1/monitor") => {
+            (Endpoint::Other, Response::error(405, "use GET or DELETE for this endpoint"))
+        }
+        (_, "/v1/check" | "/v1/explain" | "/v1/drift" | "/v1/reload" | "/v1/ingest") => {
             (Endpoint::Other, Response::error(405, "use POST for this endpoint"))
         }
         _ => (Endpoint::Other, Response::error(404, "no such endpoint")),
     }
 }
+
+/// Ceiling on concurrently registered monitors — client-named state must
+/// not grow without bound (see `ingest`).
+pub const MAX_MONITORS: usize = 256;
 
 fn healthz(registry: &ProfileRegistry) -> Response {
     let snap = registry.snapshot();
@@ -91,16 +113,213 @@ fn reload(registry: &ProfileRegistry) -> Response {
     }
 }
 
-fn metrics_text(registry: &ProfileRegistry, metrics: &Metrics) -> Response {
+fn metrics_text(registry: &ProfileRegistry, monitors: &MonitorSet, metrics: &Metrics) -> Response {
     let snap = registry.snapshot();
+    let monitor_series: Vec<crate::metrics::MonitorSeries> = monitors
+        .statuses()
+        .into_iter()
+        .map(|(name, s)| crate::metrics::MonitorSeries {
+            name,
+            rows_ingested: s.rows_ingested,
+            windows_closed: s.windows_closed,
+            window_lag: s.window_lag,
+            alarms_total: s.alarms_total,
+            proposals_total: s.proposals_total,
+            alarm: s.alarm,
+        })
+        .collect();
     Response::text(
         200,
         metrics.render_prometheus(
             snap.entries().len(),
             snap.generation(),
             &registry.compile_counts(),
+            &monitor_series,
         ),
     )
+}
+
+/// `POST /v1/ingest`: routes a columnar batch into a named online
+/// monitor. The monitor is created on first use, bound to the resolved
+/// profile (the `profile` query/body field, or the snapshot's single
+/// profile) with the requested window geometry:
+///
+/// ```json
+/// {"monitor": "orders", "columns": {…}, "profile": "alpha",
+///  "window": 512, "stride": 256, "detector": "cusum",
+///  "calibrate": 8, "patience": 3, "aggregator": "mean"}
+/// ```
+///
+/// Geometry/detector fields only matter on the creating call; later
+/// calls ingest into the existing monitor as-is. The response carries a
+/// report for every window the batch closed plus the full status
+/// snapshot (alarm state, proposed-profile generation, …).
+fn ingest(
+    req: &Request,
+    registry: &ProfileRegistry,
+    monitors: &MonitorSet,
+    metrics: &Metrics,
+) -> Response {
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => return Response::error(400, "body is not UTF-8"),
+    };
+    let body: Value = match serde_json::from_str(text) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &format!("body is not valid JSON: {e}")),
+    };
+    let name = match req
+        .query_param("monitor")
+        .or_else(|| json::get(&body, "monitor").and_then(json::as_str))
+    {
+        Some(n) if !n.is_empty() => n.to_owned(),
+        _ => return Response::error(400, "body needs a 'monitor' name"),
+    };
+    let Some(columns) = json::get(&body, "columns") else {
+        return Response::error(400, "body needs a 'columns' object");
+    };
+    let frame = match frame_from_columns(columns) {
+        Ok(f) => f,
+        Err(e) => return Response::error(400, &e),
+    };
+    let (monitor, created) = match monitors.get(&name) {
+        Some(m) => (m, false),
+        None => {
+            // First use: resolve the profile and build the monitor.
+            // Monitor names come from untrusted clients and each monitor
+            // holds real state (a compiled plan, open windows, a resynth
+            // ring), so creation is capped — the same resource-exhaustion
+            // posture as the accept-queue/body limits.
+            if monitors.len() >= MAX_MONITORS {
+                return Response::error(
+                    409,
+                    &format!(
+                        "monitor registry is full ({MAX_MONITORS}); DELETE /v1/monitor?monitor=… to free one"
+                    ),
+                );
+            }
+            let snap: Arc<Snapshot> = registry.snapshot();
+            let profile_name = req
+                .query_param("profile")
+                .or_else(|| json::get(&body, "profile").and_then(json::as_str));
+            let Some(entry) = snap.select(profile_name) else {
+                let msg = match profile_name {
+                    Some(n) => format!("no profile named '{n}'"),
+                    None => {
+                        format!("{} profiles loaded; name one via 'profile'", snap.entries().len())
+                    }
+                };
+                return Response::error(404, &msg);
+            };
+            let cfg = match monitor_config_from(&body) {
+                Ok(c) => c,
+                Err(e) => return Response::error(400, &e),
+            };
+            let profile = entry.profile.clone();
+            // The `created` flag comes from get_or_create itself: a
+            // concurrent creator may win the race, and only one response
+            // may claim the creation (the loser's config was discarded).
+            match monitors.get_or_create(&name, || OnlineMonitor::new(profile, cfg)) {
+                Ok((m, created)) => (m, created),
+                Err(e) => return Response::error(400, &e.to_string()),
+            }
+        }
+    };
+    let mut guard = lock_monitor(&monitor);
+    match guard.ingest(&frame) {
+        Ok(report) => {
+            metrics.add_rows_checked(report.rows);
+            let status = guard.status();
+            drop(guard);
+            Response::json(&obj(vec![
+                ("monitor", string(&name)),
+                ("created", Value::Bool(created)),
+                ("rows", Value::Number(report.rows as f64)),
+                ("windows", report.windows.to_value()),
+                ("alarm", Value::Bool(report.alarm)),
+                ("status", status.to_value()),
+            ]))
+        }
+        Err(e) => Response::error(400, &e.to_string()),
+    }
+}
+
+/// Builds a [`MonitorConfig`] from the ingest request body's optional
+/// fields, on top of the crate defaults.
+fn monitor_config_from(body: &Value) -> Result<MonitorConfig, String> {
+    let mut cfg = MonitorConfig::default();
+    let window = match json::get(body, "window").map(json::as_usize) {
+        None => cfg.spec.window(),
+        Some(Some(w)) => w,
+        Some(None) => return Err("'window' must be a non-negative integer".into()),
+    };
+    let stride = match json::get(body, "stride").map(json::as_usize) {
+        None => window,
+        Some(Some(s)) => s,
+        Some(None) => return Err("'stride' must be a non-negative integer".into()),
+    };
+    cfg.spec = WindowSpec::new(window, stride).map_err(|e| e.to_string())?;
+    if let Some(v) = json::get(body, "detector") {
+        let spelled = json::as_str(v).unwrap_or("");
+        cfg.detector = DetectorKind::parse(spelled)
+            .ok_or_else(|| format!("unknown detector '{spelled}' (ewma, cusum, page-hinkley)"))?;
+    }
+    if let Some(v) = json::get(body, "aggregator") {
+        cfg.aggregator = match json::as_str(v) {
+            Some("mean") => DriftAggregator::Mean,
+            Some("max") => DriftAggregator::Max,
+            other => {
+                return Err(format!("unknown aggregator {other:?} (mean, max)"));
+            }
+        };
+    }
+    if let Some(v) = json::get(body, "calibrate") {
+        cfg.calibration_windows =
+            json::as_usize(v).ok_or("'calibrate' must be a non-negative integer")?;
+    }
+    if let Some(v) = json::get(body, "patience") {
+        cfg.patience = json::as_usize(v).ok_or("'patience' must be a non-negative integer")?;
+    }
+    Ok(cfg)
+}
+
+/// `DELETE /v1/monitor?monitor=name`: drops a monitor (and frees its
+/// slot under [`MAX_MONITORS`]). 404 when absent.
+fn monitor_delete(req: &Request, monitors: &MonitorSet) -> Response {
+    let Some(name) = req.query_param("monitor") else {
+        return Response::error(400, "name the monitor via ?monitor=");
+    };
+    if !monitors.remove(name) {
+        return Response::error(404, &format!("no monitor named '{name}'"));
+    }
+    Response::json(&obj(vec![
+        ("deleted", string(name)),
+        ("monitors", Value::Number(monitors.len() as f64)),
+    ]))
+}
+
+/// `GET /v1/monitor`: status snapshots. `?monitor=name` selects one
+/// (404 when absent); otherwise every monitor is listed.
+fn monitor_status(req: &Request, monitors: &MonitorSet) -> Response {
+    let entry = |name: &str, status: &MonitorStatus| {
+        let mut v = status.to_value();
+        if let Value::Object(pairs) = &mut v {
+            pairs.insert(0, ("monitor".to_owned(), string(name)));
+        }
+        v
+    };
+    if let Some(name) = req.query_param("monitor") {
+        let Some(m) = monitors.get(name) else {
+            return Response::error(404, &format!("no monitor named '{name}'"));
+        };
+        let status = lock_monitor(&m).status();
+        return Response::json(&entry(name, &status));
+    }
+    let list: Vec<Value> = monitors.statuses().iter().map(|(n, s)| entry(n, s)).collect();
+    Response::json(&obj(vec![
+        ("monitors", Value::Array(list)),
+        ("count", Value::Number(monitors.len() as f64)),
+    ]))
 }
 
 /// A parsed batch request: the resolved profile entry, the batch frame,

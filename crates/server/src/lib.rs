@@ -50,8 +50,9 @@ pub mod metrics;
 pub mod registry;
 pub mod server;
 
+pub use cc_monitor::MonitorSet;
 pub use client::{ClientResponse, HttpClient};
 pub use http::{ParseError, Request, RequestParser, Response, MAX_HEADER_BYTES};
-pub use metrics::{Endpoint, Metrics};
+pub use metrics::{Endpoint, Metrics, MonitorSeries};
 pub use registry::{ProfileEntry, ProfileRegistry, Snapshot};
 pub use server::{Server, ServerConfig, ServerHandle};

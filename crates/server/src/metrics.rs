@@ -30,19 +30,25 @@ pub enum Endpoint {
     Drift,
     /// `POST /v1/reload`
     Reload,
+    /// `POST /v1/ingest`
+    Ingest,
+    /// `GET /v1/monitor`
+    Monitor,
     /// `GET /metrics`
     Metrics,
     /// Anything else (404s, parse failures, …).
     Other,
 }
 
-const ENDPOINTS: [Endpoint; 8] = [
+const ENDPOINTS: [Endpoint; 10] = [
     Endpoint::Healthz,
     Endpoint::Profiles,
     Endpoint::Check,
     Endpoint::Explain,
     Endpoint::Drift,
     Endpoint::Reload,
+    Endpoint::Ingest,
+    Endpoint::Monitor,
     Endpoint::Metrics,
     Endpoint::Other,
 ];
@@ -56,6 +62,8 @@ impl Endpoint {
             Endpoint::Explain => "/v1/explain",
             Endpoint::Drift => "/v1/drift",
             Endpoint::Reload => "/v1/reload",
+            Endpoint::Ingest => "/v1/ingest",
+            Endpoint::Monitor => "/v1/monitor",
             Endpoint::Metrics => "/metrics",
             Endpoint::Other => "other",
         }
@@ -78,6 +86,27 @@ struct Latency {
     hist: Histogram,
     sum_seconds: f64,
     count: u64,
+}
+
+/// One monitor's scrape-time series, collected from the monitor registry
+/// by the caller of [`Metrics::render_prometheus`] (the metrics object
+/// itself holds no monitor state — monitors own their counters).
+#[derive(Clone, Debug)]
+pub struct MonitorSeries {
+    /// Monitor name (label value; escaped on render).
+    pub name: String,
+    /// Rows ingested over the monitor's lifetime.
+    pub rows_ingested: u64,
+    /// Windows closed over the monitor's lifetime.
+    pub windows_closed: u64,
+    /// Rows buffered past the most recent window close.
+    pub window_lag: u64,
+    /// Alarmed windows over the monitor's lifetime.
+    pub alarms_total: u64,
+    /// Resynthesis proposals over the monitor's lifetime.
+    pub proposals_total: u64,
+    /// Whether the monitor is currently alarming.
+    pub alarm: bool,
 }
 
 /// All server metrics.
@@ -145,6 +174,7 @@ impl Metrics {
         profiles: usize,
         generation: u64,
         compile_counts: &[(String, u64)],
+        monitors: &[MonitorSeries],
     ) -> String {
         let mut out = String::with_capacity(2048);
         out.push_str(
@@ -207,6 +237,30 @@ impl Metrics {
                 escape_label(name)
             ));
         }
+        out.push_str("# HELP cc_server_monitors Online monitors registered.\n");
+        out.push_str("# TYPE cc_server_monitors gauge\n");
+        out.push_str(&format!("cc_server_monitors {}\n", monitors.len()));
+        if !monitors.is_empty() {
+            type SeriesSpec = (&'static str, &'static str, fn(&MonitorSeries) -> u64);
+            let series: [SeriesSpec; 6] = [
+                ("cc_server_monitor_rows_ingested_total", "counter", |m| m.rows_ingested),
+                ("cc_server_monitor_windows_closed_total", "counter", |m| m.windows_closed),
+                ("cc_server_monitor_alarms_total", "counter", |m| m.alarms_total),
+                ("cc_server_monitor_resynth_proposals_total", "counter", |m| m.proposals_total),
+                ("cc_server_monitor_window_lag_rows", "gauge", |m| m.window_lag),
+                ("cc_server_monitor_alarm", "gauge", |m| u64::from(m.alarm)),
+            ];
+            for (metric, kind, value) in series {
+                out.push_str(&format!("# TYPE {metric} {kind}\n"));
+                for m in monitors {
+                    out.push_str(&format!(
+                        "{metric}{{monitor=\"{}\"}} {}\n",
+                        escape_label(&m.name),
+                        value(m)
+                    ));
+                }
+            }
+        }
         out.push_str("# HELP cc_server_profiles Profiles in the published registry snapshot.\n");
         out.push_str("# TYPE cc_server_profiles gauge\n");
         out.push_str(&format!("cc_server_profiles {profiles}\n"));
@@ -246,7 +300,7 @@ mod tests {
     #[test]
     fn label_values_escaped() {
         let m = Metrics::new();
-        let text = m.render_prometheus(1, 1, &[("we\"ird\\name\n".into(), 1)]);
+        let text = m.render_prometheus(1, 1, &[("we\"ird\\name\n".into(), 1)], &[]);
         assert!(
             text.contains("cc_server_profile_compiles_total{profile=\"we\\\"ird\\\\name\\n\"} 1"),
             "{text}"
@@ -261,7 +315,7 @@ mod tests {
         m.record_request(Endpoint::Metrics, 200, 30.0); // overflow bucket
         m.add_rows_checked(1234);
         m.record_connection();
-        let text = m.render_prometheus(2, 3, &[("alpha".into(), 2)]);
+        let text = m.render_prometheus(2, 3, &[("alpha".into(), 2)], &[]);
         assert!(text.contains("cc_server_requests_total{endpoint=\"/v1/check\",code=\"2xx\"} 1"));
         assert!(text.contains("cc_server_requests_total{endpoint=\"/v1/check\",code=\"4xx\"} 1"));
         assert!(text.contains("cc_server_rows_checked_total 1234"));
@@ -286,7 +340,7 @@ mod tests {
         for status in [200, 204, 400, 404, 431, 500, 503] {
             m.record_request(Endpoint::Other, status, 0.001);
         }
-        let text = m.render_prometheus(0, 0, &[]);
+        let text = m.render_prometheus(0, 0, &[], &[]);
         assert!(text.contains("endpoint=\"other\",code=\"2xx\"} 2"));
         assert!(text.contains("endpoint=\"other\",code=\"4xx\"} 3"));
         assert!(text.contains("endpoint=\"other\",code=\"5xx\"} 2"));

@@ -23,6 +23,7 @@
 use crate::http::{RequestParser, Response};
 use crate::metrics::{Endpoint, Metrics};
 use crate::registry::ProfileRegistry;
+use cc_monitor::MonitorSet;
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -59,6 +60,7 @@ impl Default for ServerConfig {
 /// State shared by the acceptor, the workers, and the handle.
 struct Shared {
     registry: ProfileRegistry,
+    monitors: MonitorSet,
     metrics: Metrics,
     config: ServerConfig,
     shutdown: AtomicBool,
@@ -91,6 +93,7 @@ impl Server {
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             registry,
+            monitors: MonitorSet::new(),
             metrics: Metrics::new(),
             config,
             shutdown: AtomicBool::new(false),
@@ -120,6 +123,11 @@ impl ServerHandle {
     /// The profile registry (e.g. to trigger reloads in-process).
     pub fn registry(&self) -> &ProfileRegistry {
         &self.shared.registry
+    }
+
+    /// The online-monitor registry (`/v1/ingest` streams land here).
+    pub fn monitors(&self) -> &MonitorSet {
+        &self.shared.monitors
     }
 
     /// The server metrics.
@@ -245,7 +253,7 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
                 // A handler panic must not kill the worker: answer 500
                 // and keep serving other connections.
                 let (endpoint, response) = catch_unwind(AssertUnwindSafe(|| {
-                    crate::api::route(&req, &shared.registry, &shared.metrics)
+                    crate::api::route(&req, &shared.registry, &shared.monitors, &shared.metrics)
                 }))
                 .unwrap_or_else(|_| (Endpoint::Other, Response::error(500, "handler panicked")));
                 let keep_alive = !req.close && !shutting_down;

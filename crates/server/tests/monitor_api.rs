@@ -1,0 +1,249 @@
+//! `/v1/ingest` → `/v1/monitor` integration: a named monitor is created
+//! on first ingest, stays quiet on stationary traffic, alarms on a
+//! sustained shift, surfaces a resynthesis proposal, and shows up in the
+//! Prometheus exposition — all over the real HTTP loopback path.
+
+mod common;
+
+use cc_server::json::{as_f64, get as field};
+use cc_server::HttpClient;
+use serde_json::Value;
+
+fn as_bool(v: &Value) -> Option<bool> {
+    match v {
+        Value::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+/// An ingest body: the frame's columns plus monitor parameters.
+fn ingest_body(frame: &cc_frame::DataFrame, extra: &[(&str, Value)]) -> Value {
+    let Value::Object(mut pairs) = common::columns_body(frame) else {
+        panic!("columns_body is an object")
+    };
+    for (k, v) in extra {
+        pairs.push(((*k).to_owned(), v.clone()));
+    }
+    Value::Object(pairs)
+}
+
+#[test]
+fn ingest_monitor_alarm_roundtrip() {
+    let dir = common::temp_dir("monitor_api");
+    let profile = common::regime_profile(900, 0.0);
+    common::write_profile(&dir, "main", &profile);
+    let handle = common::start_server(&dir, 2);
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+
+    let params = [
+        ("monitor", Value::String("orders".into())),
+        ("window", Value::Number(100.0)),
+        ("detector", Value::String("cusum".into())),
+        ("calibrate", Value::Number(3.0)),
+        ("patience", Value::Number(2.0)),
+    ];
+
+    // Stationary traffic: creation + calibration + quiet armed windows.
+    for i in 0..7 {
+        let frame = common::regime_frame(100, 0.0);
+        let resp = client.post_json("/v1/ingest", &ingest_body(&frame, &params)).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        let v = resp.json().unwrap();
+        assert_eq!(as_bool(field(&v, "created").unwrap()), Some(i == 0), "call {i}");
+        assert_eq!(as_f64(field(&v, "rows").unwrap()), Some(100.0));
+        assert_eq!(as_bool(field(&v, "alarm").unwrap()), Some(false), "stationary call {i}");
+        let Some(Value::Array(windows)) = field(&v, "windows") else { panic!("windows") };
+        assert_eq!(windows.len(), 1, "one tumbling window per 100-row batch");
+    }
+
+    // Status (single-monitor form: fields at top level, name injected).
+    let resp = client.get("/v1/monitor?monitor=orders").unwrap();
+    assert_eq!(resp.status, 200);
+    let s = resp.json().unwrap();
+    assert_eq!(field(&s, "monitor").and_then(cc_server::json::as_str), Some("orders"));
+    assert_eq!(field(&s, "calibrated").and_then(as_bool), Some(true));
+    assert_eq!(as_f64(field(&s, "rows_ingested").unwrap()), Some(700.0));
+    assert_eq!(as_f64(field(&s, "windows_closed").unwrap()), Some(7.0));
+    assert_eq!(as_f64(field(&s, "alarms_total").unwrap()), Some(0.0));
+
+    // A sustained shift: the bias perturbs the learned invariant.
+    let mut alarmed = false;
+    let mut proposal_generation = None;
+    for _ in 0..6 {
+        let frame = common::regime_frame(100, 60.0);
+        let resp = client.post_json("/v1/ingest", &ingest_body(&frame, &params)).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        let v = resp.json().unwrap();
+        if as_bool(field(&v, "alarm").unwrap()) == Some(true) {
+            alarmed = true;
+        }
+        let s = field(&v, "status").unwrap();
+        if let Some(g) = field(s, "proposal_generation").and_then(as_f64) {
+            proposal_generation = Some(g);
+            break;
+        }
+    }
+    assert!(alarmed, "sustained shift must alarm");
+    assert_eq!(proposal_generation, Some(2.0), "patience 2 ⇒ a generation-2 proposal");
+
+    // The full listing carries the monitor too.
+    let resp = client.get("/v1/monitor").unwrap();
+    let list = resp.json().unwrap();
+    assert_eq!(as_f64(field(&list, "count").unwrap()), Some(1.0));
+    let Some(Value::Array(monitors)) = field(&list, "monitors") else { panic!("monitors") };
+    assert_eq!(field(&monitors[0], "monitor").and_then(cc_server::json::as_str), Some("orders"));
+    assert_eq!(field(&monitors[0], "alarm").and_then(as_bool), Some(true));
+
+    // Prometheus exposition exports the monitor series.
+    let text = client.get("/metrics").unwrap().text().to_owned();
+    assert!(text.contains("cc_server_monitors 1"), "{text}");
+    assert!(text.contains("cc_server_monitor_rows_ingested_total{monitor=\"orders\"}"), "{text}");
+    assert!(text.contains("cc_server_monitor_alarm{monitor=\"orders\"} 1"), "{text}");
+    assert!(
+        text.contains("cc_server_monitor_resynth_proposals_total{monitor=\"orders\"} 1"),
+        "{text}"
+    );
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ingest_rejects_bad_requests() {
+    let dir = common::temp_dir("monitor_api_bad");
+    common::write_profile(&dir, "main", &common::regime_profile(600, 0.0));
+    let handle = common::start_server(&dir, 1);
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+    let frame = common::regime_frame(10, 0.0);
+
+    // No monitor name.
+    let resp = client.post_json("/v1/ingest", &ingest_body(&frame, &[])).unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.text().contains("monitor"), "{}", resp.text());
+
+    // Invalid geometry (stride > window).
+    let resp = client
+        .post_json(
+            "/v1/ingest",
+            &ingest_body(
+                &frame,
+                &[
+                    ("monitor", Value::String("bad".into())),
+                    ("window", Value::Number(10.0)),
+                    ("stride", Value::Number(20.0)),
+                ],
+            ),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.text().contains("stride"), "{}", resp.text());
+
+    // Unknown detector.
+    let resp = client
+        .post_json(
+            "/v1/ingest",
+            &ingest_body(
+                &frame,
+                &[
+                    ("monitor", Value::String("bad".into())),
+                    ("detector", Value::String("magic".into())),
+                ],
+            ),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.text().contains("detector"), "{}", resp.text());
+
+    // Unknown profile.
+    let resp = client
+        .post_json(
+            "/v1/ingest",
+            &ingest_body(
+                &frame,
+                &[
+                    ("monitor", Value::String("bad".into())),
+                    ("profile", Value::String("nope".into())),
+                ],
+            ),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 404);
+
+    // Nothing was created by the failed attempts.
+    let resp = client.get("/v1/monitor").unwrap();
+    assert_eq!(as_f64(field(&resp.json().unwrap(), "count").unwrap()), Some(0.0));
+
+    // Unknown monitor lookup is a 404; wrong methods are 405s.
+    assert_eq!(client.get("/v1/monitor?monitor=ghost").unwrap().status, 404);
+    assert_eq!(client.get("/v1/ingest").unwrap().status, 405);
+    assert_eq!(client.post_json("/v1/monitor", &Value::Object(vec![])).unwrap().status, 405);
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn monitor_delete_frees_the_slot() {
+    let dir = common::temp_dir("monitor_api_delete");
+    common::write_profile(&dir, "main", &common::regime_profile(600, 0.0));
+    let handle = common::start_server(&dir, 1);
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+    let frame = common::regime_frame(10, 0.0);
+
+    let resp = client
+        .post_json("/v1/ingest", &ingest_body(&frame, &[("monitor", Value::String("tmp".into()))]))
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert_eq!(handle.monitors().len(), 1);
+
+    // DELETE needs a name, drops the monitor once, then 404s.
+    let resp = client.request("DELETE", "/v1/monitor", b"").unwrap();
+    assert_eq!(resp.status, 400);
+    let resp = client.request("DELETE", "/v1/monitor?monitor=tmp", b"").unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert_eq!(
+        field(&resp.json().unwrap(), "deleted").and_then(cc_server::json::as_str),
+        Some("tmp")
+    );
+    assert_eq!(handle.monitors().len(), 0);
+    assert_eq!(client.request("DELETE", "/v1/monitor?monitor=tmp", b"").unwrap().status, 404);
+
+    // Re-ingesting under the freed name re-creates from scratch.
+    let resp = client
+        .post_json("/v1/ingest", &ingest_body(&frame, &[("monitor", Value::String("tmp".into()))]))
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    assert_eq!(as_bool(field(&resp.json().unwrap(), "created").unwrap()), Some(true));
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ingest_windows_match_library_drift_bitwise() {
+    // The drift each HTTP-closed window reports must be bit-identical to
+    // DriftAggregator::Mean over the library plan's violations on the
+    // same rows (JSON is shortest-round-trip in both directions).
+    let dir = common::temp_dir("monitor_api_bitid");
+    let profile = common::regime_profile(900, 0.0);
+    common::write_profile(&dir, "main", &profile);
+    let handle = common::start_server(&dir, 1);
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+    let plan = conformance::CompiledProfile::compile(&profile);
+
+    let params = [("monitor", Value::String("bits".into())), ("window", Value::Number(128.0))];
+    for step in 0..3 {
+        let frame = common::regime_frame(128, step as f64 * 2.0);
+        let resp = client.post_json("/v1/ingest", &ingest_body(&frame, &params)).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        let v = resp.json().unwrap();
+        let Some(Value::Array(windows)) = field(&v, "windows") else { panic!("windows") };
+        assert_eq!(windows.len(), 1);
+        let got = field(&windows[0], "drift").and_then(as_f64).unwrap();
+        let want = conformance::DriftAggregator::Mean.aggregate(&plan.violations(&frame).unwrap());
+        assert_eq!(got.to_bits(), want.to_bits(), "window {step}");
+    }
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -16,9 +16,14 @@
 //! * [`models`] — regression/classification models for the TML experiments;
 //! * [`baselines`] — PCA-SPLL, CD-MKL/CD-Area, W-PCA drift baselines;
 //! * [`datagen`] — synthetic versions of every dataset in the paper;
+//! * [`monitor`] — online windowed conformance monitoring: streaming
+//!   ingest over tumbling/sliding windows, EWMA/CUSUM/Page–Hinkley
+//!   change-point detection on the drift series, auto-resynthesis
+//!   proposals (CLI: `ccsynth monitor`);
 //! * [`server`] — the `cc_server` serving daemon: `std::net` HTTP/1.1,
 //!   hot-swappable profile registry, check/explain/drift endpoints,
-//!   Prometheus metrics (CLI: `ccsynth serve`).
+//!   online monitors (`/v1/ingest`, `/v1/monitor`), Prometheus metrics
+//!   (CLI: `ccsynth serve`).
 //!
 //! ## Quickstart
 //!
@@ -47,6 +52,7 @@ pub use cc_datagen as datagen;
 pub use cc_frame as frame;
 pub use cc_linalg as linalg;
 pub use cc_models as models;
+pub use cc_monitor as monitor;
 pub use cc_server as server;
 pub use cc_stats as stats;
 pub use conformance;
@@ -55,6 +61,7 @@ pub use conformance;
 pub mod prelude {
     pub use cc_frame::{read_csv, write_csv, DataFrame};
     pub use cc_linalg::SufficientStats;
+    pub use cc_monitor::{DetectorKind, MonitorConfig, OnlineMonitor, WindowSpec};
     pub use conformance::{
         dataset_drift, dataset_drift_parallel, synthesize, synthesize_parallel, synthesize_simple,
         CompiledProfile, ConformanceProfile, DriftAggregator, DriftMonitor, Projection,

@@ -3,7 +3,8 @@
 //! ```text
 //! ccsynth profile <data.csv> --out <profile.json> [--drop <col>]... [--shards <n>]
 //! ccsynth check   <data.csv> --profile <profile.json> [--threshold <t>] [--threads <n>] [--top <k>] [--dump]
-//! ccsynth drift   <data.csv> --profile <profile.json> [--threads <n>]
+//! ccsynth drift   <data.csv> --profile <profile.json> [--threads <n>] [--window <n> [--stride <s>]]
+//! ccsynth monitor <data.csv|-> --profile <profile.json> [--window <n>] [--stride <s>] [--detector <d>] [--calibrate <k>]
 //! ccsynth explain <profile.json> <train.csv> <serve.csv> [--sample <n>]
 //! ccsynth sql     <profile.json> <table_name>
 //! ccsynth serve   [--dir <profiles-dir>] [--profile <file>]... [--addr <host:port>] [--workers <n>]
@@ -27,6 +28,7 @@ use ccsynth::conformance::{
     CompiledProfile, ConformanceProfile, DriftAggregator, SynthOptions,
 };
 use ccsynth::frame::{read_csv, DataFrame};
+use ccsynth::monitor::{DetectorKind, MonitorConfig, OnlineMonitor, WindowSpec};
 use ccsynth::server::{ProfileRegistry, Server, ServerConfig};
 use std::fs::File;
 use std::io::{BufReader, Write};
@@ -36,7 +38,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 const USAGE: &str = "usage:
   ccsynth profile <data.csv> --out <profile.json> [--drop <col>]... [--shards <n>]
   ccsynth check   <data.csv> --profile <profile.json> [--threshold <t>] [--threads <n>] [--top <k>] [--dump]
-  ccsynth drift   <data.csv> --profile <profile.json> [--threads <n>]
+  ccsynth drift   <data.csv> --profile <profile.json> [--threads <n>] [--window <n> [--stride <s>]]
+  ccsynth monitor <data.csv|-> --profile <profile.json> [--window <n>] [--stride <s>] [--detector <d>] [--calibrate <k>] [--patience <p>] [--propose-out <f>]
   ccsynth explain <profile.json> <train.csv> <serve.csv> [--sample <n>]
   ccsynth sql     <profile.json> <table_name>
   ccsynth serve   [--dir <profiles-dir>] [--profile <file>]... [--addr <host:port>] [--workers <n>] [--max-body-mb <n>]";
@@ -63,10 +66,28 @@ Scores every tuple through the compiled serving plan.
   --dump          emit per-tuple violations as CSV"
         }
         "drift" => {
-            "usage: ccsynth drift <data.csv> --profile <profile.json> [--threads <n>]\n
+            "usage: ccsynth drift <data.csv> --profile <profile.json> [--threads <n>] [--window <n> [--stride <s>]]\n
 Mean / p95 / max drift of a dataset against a stored profile.
+With --window, emits the windowed drift series instead (one line per
+complete window; --stride must divide --window, default --window).
   --profile <f>   profile JSON (may also be a leading positional)
-  --threads <n>   evaluation threads"
+  --threads <n>   evaluation threads
+  --window <n>    windowed series mode: rows per window
+  --stride <s>    rows between window starts (requires --window)"
+        }
+        "monitor" => {
+            "usage: ccsynth monitor <data.csv|-> --profile <profile.json> [--window <n>] [--stride <s>] [--detector <d>] [--calibrate <k>] [--patience <p>] [--propose-out <f>]\n
+Online conformance monitoring: tails CSV tuples from a file or stdin
+('-'), scores each through the compiled profile, closes tumbling or
+sliding windows, runs change-point detection on the drift series, and
+proposes a resynthesized profile on sustained alarm.
+  --profile <f>     profile JSON written by `ccsynth profile --out`
+  --window <n>      rows per window (default 512)
+  --stride <s>      rows between closes; must divide --window (default --window)
+  --detector <d>    ewma | cusum | page-hinkley (default cusum)
+  --calibrate <k>   windows forming the detector baseline (default 8)
+  --patience <p>    consecutive alarmed windows before proposing (default 3)
+  --propose-out <f> write the pending proposed profile JSON at exit"
         }
         "explain" => {
             "usage: ccsynth explain <profile.json> <train.csv> <serve.csv> [--sample <n>]\n
@@ -78,8 +99,9 @@ ExTuNe: ranks attributes by responsibility for non-conformance.
             "usage: ccsynth serve [--dir <profiles-dir>] [--profile <file>]... [--addr <host:port>] [--workers <n>] [--max-body-mb <n>]\n
 Starts the cc_server daemon over a directory (or explicit files) of
 profile JSON. Endpoints: POST /v1/check, /v1/explain, /v1/drift,
-/v1/reload; GET /v1/profiles, /healthz, /metrics. SIGINT/SIGTERM shut
-down gracefully (in-flight requests complete).
+/v1/ingest, /v1/reload; GET /v1/profiles, /v1/monitor, /healthz,
+/metrics; DELETE /v1/monitor. SIGINT/SIGTERM shut down gracefully
+(in-flight requests complete).
   --dir <d>         serve every *.json in d (default: profiles/)
   --profile <f>     serve an explicit profile file (repeatable)
   --addr <a>        bind address (default 127.0.0.1:8642; port 0 = ephemeral)
@@ -210,12 +232,33 @@ fn cmd_check(args: &[String]) -> Result<(), CliError> {
 }
 
 fn cmd_drift(args: &[String]) -> Result<(), CliError> {
-    let flags = [Flag::value("--profile"), Flag::value("--threads")];
+    let flags = [
+        Flag::value("--profile"),
+        Flag::value("--threads"),
+        Flag::value("--window"),
+        Flag::value("--stride"),
+    ];
     let p = parse(args, &flags)?;
     let (profile_path, data_path) = profile_and_data(&p, "drift")?;
     let threads = p.count_or("--threads", 1)?;
+    // Validate the window geometry before touching any file: usage
+    // errors must exit 2 regardless of whether the paths exist.
+    let windowed = match p.value("--window") {
+        Some(_) => {
+            let window = p.count_or("--window", 512)?;
+            let stride = p.count_or("--stride", window)?;
+            Some(WindowSpec::new(window, stride).map_err(|e| CliError::Usage(e.to_string()))?)
+        }
+        None if p.value("--stride").is_some() => {
+            return Err(CliError::Usage("--stride requires --window".into()));
+        }
+        None => None,
+    };
     let profile = load_profile(&profile_path).map_err(CliError::Runtime)?;
     let df = load_csv(&data_path).map_err(CliError::Runtime)?;
+    if let Some(spec) = windowed {
+        return drift_series_mode(spec, threads, &profile, &df);
+    }
     for (name, agg) in [
         ("mean", DriftAggregator::Mean),
         ("p95", DriftAggregator::Quantile(0.95)),
@@ -224,6 +267,236 @@ fn cmd_drift(args: &[String]) -> Result<(), CliError> {
         let d = dataset_drift_parallel(&profile, &df, agg, threads)
             .map_err(|e| CliError::Runtime(e.to_string()))?;
         println!("{name:<5} drift: {d:.4}");
+    }
+    Ok(())
+}
+
+/// `drift --window N [--stride S]`: the windowed drift series over the
+/// dataset, one line per complete window, through the monitor's window
+/// iterator ([`WindowSpec::ranges`]) and a single compiled evaluation
+/// pass.
+fn drift_series_mode(
+    spec: WindowSpec,
+    threads: usize,
+    profile: &ConformanceProfile,
+    df: &DataFrame,
+) -> Result<(), CliError> {
+    let plan = CompiledProfile::compile(profile);
+    let violations =
+        plan.violations_parallel(df, threads).map_err(|e| CliError::Runtime(e.to_string()))?;
+    println!("{:>7} {:>12} {:>10} {:>10} {:>10}", "window", "rows", "mean", "p95", "max");
+    let mut windows = 0usize;
+    for (i, range) in spec.ranges(df.n_rows()).enumerate() {
+        let slice = &violations[range.clone()];
+        let mean = DriftAggregator::Mean.aggregate(slice);
+        let p95 = DriftAggregator::Quantile(0.95).aggregate(slice);
+        let max = DriftAggregator::Max.aggregate(slice);
+        println!(
+            "{i:>7} {:>12} {mean:>10.4} {p95:>10.4} {max:>10.4}",
+            format!("{}..{}", range.start, range.end)
+        );
+        windows += 1;
+    }
+    if windows == 0 {
+        println!("(no complete window: {} rows < window {})", df.n_rows(), spec.window());
+    }
+    Ok(())
+}
+
+/// Streaming CSV reader for `ccsynth monitor`: parses lines with the
+/// same record splitting as [`read_csv`], but types columns from the
+/// profile (attributes the plan evaluates are numeric; everything else
+/// categorical) so chunked reads can't flip types mid-stream.
+struct CsvTail<R: std::io::BufRead> {
+    reader: R,
+    header: Vec<String>,
+    numeric: Vec<bool>,
+    line_no: usize,
+}
+
+impl<R: std::io::BufRead> CsvTail<R> {
+    fn open(mut reader: R, numeric_attributes: &[String]) -> Result<Self, String> {
+        let mut first = String::new();
+        if reader.read_line(&mut first).map_err(|e| e.to_string())? == 0 {
+            return Err("empty csv input".into());
+        }
+        let header: Vec<String> =
+            ccsynth::frame::csv::split_line(first.trim_end_matches(['\r', '\n']));
+        let numeric = header.iter().map(|h| numeric_attributes.contains(h)).collect();
+        for a in numeric_attributes {
+            if !header.contains(a) {
+                return Err(format!("csv lacks profile attribute '{a}'"));
+            }
+        }
+        Ok(CsvTail { reader, header, numeric, line_no: 1 })
+    }
+
+    /// Reads up to `max_rows` records into a typed frame; `None` at EOF.
+    fn next_chunk(&mut self, max_rows: usize) -> Result<Option<DataFrame>, String> {
+        let mut cells: Vec<Vec<String>> = vec![Vec::new(); self.header.len()];
+        // Absolute file line of each record, so parse errors point at
+        // the real line, not a chunk-relative offset.
+        let mut record_lines = Vec::new();
+        let mut line = String::new();
+        while record_lines.len() < max_rows {
+            line.clear();
+            if self.reader.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+                break;
+            }
+            self.line_no += 1;
+            let trimmed = line.trim_end_matches(['\r', '\n']);
+            if trimmed.is_empty() {
+                continue;
+            }
+            let fields = ccsynth::frame::csv::split_line(trimmed);
+            if fields.len() != self.header.len() {
+                return Err(format!(
+                    "line {}: expected {} fields, got {}",
+                    self.line_no,
+                    self.header.len(),
+                    fields.len()
+                ));
+            }
+            for (col, field) in cells.iter_mut().zip(fields) {
+                col.push(field);
+            }
+            record_lines.push(self.line_no);
+        }
+        if record_lines.is_empty() {
+            return Ok(None);
+        }
+        let mut df = DataFrame::new();
+        for ((name, col), &is_numeric) in self.header.iter().zip(cells).zip(&self.numeric) {
+            if is_numeric {
+                let mut vals = Vec::with_capacity(col.len());
+                for (s, line_no) in col.iter().zip(&record_lines) {
+                    let t = s.trim();
+                    if t.is_empty() {
+                        vals.push(f64::NAN);
+                    } else {
+                        vals.push(t.parse().map_err(|_| {
+                            format!("line {line_no}: column '{name}': '{t}' is not numeric")
+                        })?);
+                    }
+                }
+                df.push_numeric(name.clone(), vals).map_err(|e| e.to_string())?;
+            } else {
+                df.push_categorical(name.clone(), &col).map_err(|e| e.to_string())?;
+            }
+        }
+        Ok(Some(df))
+    }
+}
+
+fn cmd_monitor(args: &[String]) -> Result<(), CliError> {
+    let flags = [
+        Flag::value("--profile"),
+        Flag::value("--window"),
+        Flag::value("--stride"),
+        Flag::value("--detector"),
+        Flag::value("--calibrate"),
+        Flag::value("--patience"),
+        Flag::value("--propose-out"),
+    ];
+    let p = parse(args, &flags)?;
+    let [data_path] = p.positionals() else {
+        return Err(CliError::Usage("monitor needs exactly one <data.csv> (or '-')".into()));
+    };
+    let profile_path = p
+        .value("--profile")
+        .ok_or_else(|| CliError::Usage("monitor needs --profile <profile.json>".into()))?
+        .to_owned();
+    let window = p.count_or("--window", 512)?;
+    let stride = p.count_or("--stride", window)?;
+    let spec = WindowSpec::new(window, stride).map_err(|e| CliError::Usage(e.to_string()))?;
+    let detector = match p.value("--detector") {
+        None => DetectorKind::Cusum,
+        Some(d) => DetectorKind::parse(d).ok_or_else(|| {
+            CliError::Usage(format!("unknown detector '{d}' (ewma, cusum, page-hinkley)"))
+        })?,
+    };
+    let cfg = MonitorConfig {
+        spec,
+        detector,
+        calibration_windows: p.count_or("--calibrate", 8)?,
+        patience: p.count_or("--patience", 3)?,
+        ..MonitorConfig::default()
+    };
+
+    let profile = load_profile(&profile_path).map_err(CliError::Runtime)?;
+    let mut monitor =
+        OnlineMonitor::new(profile, cfg).map_err(|e| CliError::Usage(e.to_string()))?;
+
+    let mut tail: CsvTail<Box<dyn std::io::BufRead>> = {
+        let reader: Box<dyn std::io::BufRead> = if data_path == "-" {
+            Box::new(BufReader::new(std::io::stdin()))
+        } else {
+            let f = File::open(data_path)
+                .map_err(|e| CliError::Runtime(format!("cannot open {data_path}: {e}")))?;
+            Box::new(BufReader::new(f))
+        };
+        CsvTail::open(reader, monitor.plan().attributes()).map_err(CliError::Runtime)?
+    };
+
+    println!(
+        "monitoring {data_path}: window {window}, stride {stride}, detector {}, calibrate {}",
+        detector.name(),
+        monitor.config().calibration_windows
+    );
+    println!(
+        "{:>7} {:>8} {:>10} {:>10} {:>10}  state",
+        "window", "rows", "drift", "stat", "thresh"
+    );
+    let chunk_rows = stride.min(4096);
+    while let Some(batch) = tail.next_chunk(chunk_rows).map_err(CliError::Runtime)? {
+        let report = monitor.ingest(&batch).map_err(|e| CliError::Runtime(e.to_string()))?;
+        for w in &report.windows {
+            let state = match w.phase {
+                ccsynth::monitor::WindowPhase::Calibrating => "calibrating",
+                ccsynth::monitor::WindowPhase::Ok => "ok",
+                ccsynth::monitor::WindowPhase::Alarm => "ALARM",
+            };
+            let fmt = |x: f64| if x.is_nan() { "-".into() } else { format!("{x:.4}") };
+            println!(
+                "{:>7} {:>8} {:>10.4} {:>10} {:>10}  {state}",
+                w.index,
+                w.rows,
+                w.drift,
+                fmt(w.stat),
+                fmt(w.threshold)
+            );
+            if w.proposed {
+                let proposal = monitor.proposal().expect("just proposed");
+                println!(
+                    "        ^ proposed resynthesized profile: generation {}, {} rows from {} blocks",
+                    proposal.generation, proposal.rows, proposal.tiles
+                );
+            }
+        }
+        // Keep a tailing pipe readable line by line.
+        let _ = std::io::stdout().flush();
+    }
+
+    let status = monitor.status();
+    println!(
+        "\n{} rows, {} windows, {} alarm(s), {} proposal(s); final state: {}",
+        status.rows_ingested,
+        status.windows_closed,
+        status.alarms_total,
+        status.proposals_total,
+        if status.alarm { "ALARM" } else { "ok" }
+    );
+    if let Some(out) = p.value("--propose-out") {
+        match monitor.proposal() {
+            Some(proposal) => {
+                let json = serde_json::to_string_pretty(&proposal.profile)
+                    .map_err(|e| CliError::Runtime(e.to_string()))?;
+                std::fs::write(out, json)
+                    .map_err(|e| CliError::Runtime(format!("cannot write {out}: {e}")))?;
+                println!("wrote proposed profile (generation {}) to {out}", proposal.generation);
+            }
+            None => println!("no pending proposal; {out} not written"),
+        }
     }
     Ok(())
 }
@@ -371,6 +644,7 @@ fn main() -> ExitCode {
         "profile" => cmd_profile(rest),
         "check" => cmd_check(rest),
         "drift" => cmd_drift(rest),
+        "monitor" => cmd_monitor(rest),
         "explain" => cmd_explain(rest),
         "sql" => cmd_sql(rest),
         "serve" => cmd_serve(rest),

@@ -135,6 +135,59 @@ fn profile_out_then_check_is_bit_identical() {
     assert!(drift.contains("mean"));
     assert!(drift.contains("p95"));
 
+    // Windowed series mode: 173 rows, window 50, stride 25 ⇒ windows at
+    // 0..50, 25..75, 50..100, 75..125, 100..150 — five complete windows.
+    let series = stdout_of(&run(&[
+        "drift",
+        serve_csv.to_str().unwrap(),
+        "--profile",
+        profile_json.to_str().unwrap(),
+        "--window",
+        "50",
+        "--stride",
+        "25",
+    ]));
+    let window_lines: Vec<&str> = series
+        .lines()
+        .filter(|l| l.trim_start().chars().next().is_some_and(char::is_numeric))
+        .collect();
+    assert_eq!(window_lines.len(), 5, "{series}");
+    assert!(series.contains("0..50"), "{series}");
+    assert!(series.contains("100..150"), "{series}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn monitor_tails_csv_and_reports_windows() {
+    let dir = temp_dir("monitor");
+    let train_csv = dir.join("train.csv");
+    let stream_csv = dir.join("stream.csv");
+    let profile_json = dir.join("profile.json");
+    write_frame(&frame(600), &train_csv);
+    // A stream long enough for calibration + armed windows.
+    write_frame(&frame(400), &stream_csv);
+    run(&["profile", train_csv.to_str().unwrap(), "--out", profile_json.to_str().unwrap()]);
+
+    let out = stdout_of(&run(&[
+        "monitor",
+        stream_csv.to_str().unwrap(),
+        "--profile",
+        profile_json.to_str().unwrap(),
+        "--window",
+        "100",
+        "--calibrate",
+        "2",
+        "--detector",
+        "ewma",
+    ]));
+    // 400 rows / 100-row tumbling windows = 4 closes: 2 calibrating,
+    // then armed (in-distribution ⇒ ok, never ALARM).
+    assert_eq!(out.matches("calibrating").count(), 2, "{out}");
+    assert!(out.contains("  ok"), "{out}");
+    assert!(!out.contains("ALARM"), "in-distribution stream must stay quiet: {out}");
+    assert!(out.contains("400 rows, 4 windows, 0 alarm(s), 0 proposal(s)"), "{out}");
+
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -147,6 +200,7 @@ fn help_and_usage_exit_codes() {
         vec!["profile", "--help"],
         vec!["check", "-h"],
         vec!["drift", "--help"],
+        vec!["monitor", "--help"],
         vec!["explain", "--help"],
         vec!["sql", "--help"],
         vec!["serve", "--help"],
@@ -164,6 +218,18 @@ fn help_and_usage_exit_codes() {
         vec!["check", "a", "b", "--threads", "0"],
         vec!["check", "a", "b", "--threshold", "1.5"],
         vec!["drift", "--unknown-flag"],
+        // Windowed drift: bad geometry and stride-without-window are
+        // usage errors (exit 2), pinned here.
+        vec!["drift", "a.csv", "--profile", "p.json", "--window", "0"],
+        vec!["drift", "a.csv", "--profile", "p.json", "--window", "10", "--stride", "20"],
+        vec!["drift", "a.csv", "--profile", "p.json", "--window", "10", "--stride", "3"],
+        vec!["drift", "a.csv", "--profile", "p.json", "--stride", "4"],
+        // Monitor: missing data/profile, bad detector, bad geometry.
+        vec!["monitor"],
+        vec!["monitor", "d.csv"],
+        vec!["monitor", "d.csv", "--profile", "p.json", "--detector", "bogus"],
+        vec!["monitor", "d.csv", "--profile", "p.json", "--window", "4", "--stride", "8"],
+        vec!["monitor", "d.csv", "--profile", "p.json", "--calibrate", "0"],
         vec!["serve", "stray-positional"],
     ] {
         let out = run(&args);
