@@ -1,0 +1,174 @@
+//! Snapshot/restore cost at daemon scale: 256 online monitors, each
+//! with a full resynthesis ring, serialized into one `cc_state`
+//! snapshot and restored back — with the restore gated on bit-identity
+//! before the clock stops counting.
+//!
+//! ```text
+//! cargo run --release -p cc_bench --bin bench_state [monitors] [window_rows]
+//! ```
+//!
+//! `BENCH_state.json` reports:
+//!
+//! * **snapshot** — collect every monitor's state + atomic write
+//!   (temp + fsync + rename), wall time and bytes;
+//! * **restore** — read + checksum-verify + rebuild every monitor
+//!   (plan recompiles included), wall time;
+//! * **bit_identical** — every restored monitor's re-serialized state
+//!   equals the persisted payload, and a continued ingest on a sample
+//!   of monitors matches the uninterrupted run bit for bit (the same
+//!   invariant the `cc_state` proptests pin).
+
+use cc_frame::DataFrame;
+use cc_monitor::{MonitorConfig, OnlineMonitor, WindowSpec};
+use cc_state::{MonitorEntry, ServerState};
+use conformance::{synthesize, SynthOptions};
+use serde_json::Value;
+use std::time::Instant;
+
+/// The monitored workload (same family as `bench_monitor`): one exact
+/// invariant so every monitor carries a real calibrated profile.
+fn traffic(n: usize, offset: usize) -> DataFrame {
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    let mut z = Vec::with_capacity(n);
+    for j in 0..n {
+        let i = j + offset;
+        let t = i as f64 * 0.001;
+        let noise = (((i * 2654435761) % 1000) as f64 / 500.0) - 1.0;
+        let xv = t.sin() * 40.0 + noise;
+        let yv = (t * 0.37).cos() * 25.0;
+        x.push(xv);
+        y.push(yv);
+        z.push(xv + 2.0 * yv + 1.0);
+    }
+    let mut df = DataFrame::new();
+    df.push_numeric("x", x).unwrap();
+    df.push_numeric("y", y).unwrap();
+    df.push_numeric("z", z).unwrap();
+    df
+}
+
+fn state_json(m: &OnlineMonitor) -> String {
+    serde_json::to_string(&m.state()).expect("state serializes")
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n_monitors: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(256);
+    let window: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(256);
+
+    println!("training shared profile…");
+    let train = traffic(20_000, 0);
+    let profile = synthesize(&train, &SynthOptions::default()).expect("synthesis");
+    let cfg = MonitorConfig {
+        spec: WindowSpec::tumbling(window).expect("window positive"),
+        calibration_windows: 2,
+        ..MonitorConfig::default()
+    };
+    let tiles = cfg.resynth_tiles;
+
+    // Fill every monitor: enough closes to populate the full ring, plus
+    // a half window left open so in-flight state is exercised too.
+    let rows_per_monitor = tiles * window + window / 2;
+    println!(
+        "filling {n_monitors} monitors × {rows_per_monitor} rows \
+         (window {window}, ring {tiles} tiles + open window)…"
+    );
+    let fill = Instant::now();
+    let monitors: Vec<(String, OnlineMonitor)> = (0..n_monitors)
+        .map(|k| {
+            let mut m = OnlineMonitor::new(profile.clone(), cfg.clone()).expect("monitor");
+            // Distinct offsets so no two monitors hold identical state.
+            m.ingest(&traffic(rows_per_monitor, k * 37)).expect("ingest");
+            assert_eq!(m.status().tiles, tiles, "ring must be full");
+            assert!(m.calibrated());
+            (format!("m{k:03}"), m)
+        })
+        .collect();
+    let total_rows = n_monitors * rows_per_monitor;
+    println!("filled in {:.2}s", fill.elapsed().as_secs_f64());
+
+    // ── Snapshot: collect + serialize + atomic write.
+    let path = std::path::Path::new("BENCH_state_snapshot.json");
+    let started = Instant::now();
+    let state = ServerState {
+        registry_generation: 1,
+        rows_checked: total_rows as u64,
+        monitors: monitors
+            .iter()
+            .map(|(name, m)| MonitorEntry { name: name.clone(), state: m.state() })
+            .collect(),
+    };
+    let bytes = cc_state::write_snapshot(path, &state).expect("snapshot write");
+    let snapshot_s = started.elapsed().as_secs_f64();
+    println!(
+        "snapshot: {bytes} bytes in {:.1}ms ({:.1} MB/s)",
+        snapshot_s * 1e3,
+        bytes as f64 / 1e6 / snapshot_s
+    );
+
+    // ── Restore: read + verify + rebuild every monitor.
+    let started = Instant::now();
+    let restored: ServerState = cc_state::read_snapshot(path).expect("snapshot read");
+    let rebuilt: Vec<(String, OnlineMonitor)> = restored
+        .monitors
+        .into_iter()
+        .map(|e| {
+            let m = OnlineMonitor::from_state(e.state).expect("restore");
+            (e.name, m)
+        })
+        .collect();
+    let restore_s = started.elapsed().as_secs_f64();
+    assert_eq!(rebuilt.len(), n_monitors);
+    println!(
+        "restore: {n_monitors} monitors in {:.1}ms ({:.1} MB/s)",
+        restore_s * 1e3,
+        bytes as f64 / 1e6 / restore_s
+    );
+
+    // ── Bit-identity gate (aborts the benchmark on any divergence).
+    println!("verifying bit-identity…");
+    for ((name_a, live), (name_b, back)) in monitors.iter().zip(&rebuilt) {
+        assert_eq!(name_a, name_b);
+        assert_eq!(state_json(live), state_json(back), "state diverged for {name_a}");
+    }
+    // Continue a sample of monitors on both sides: the restored monitor
+    // must keep producing the exact same windows.
+    let mut live_sample: Vec<OnlineMonitor> =
+        monitors.iter().step_by(64).map(|(_, m)| m.clone()).collect();
+    let mut back_sample: Vec<OnlineMonitor> =
+        rebuilt.iter().step_by(64).map(|(_, m)| m.clone()).collect();
+    for (i, (live, back)) in live_sample.iter_mut().zip(&mut back_sample).enumerate() {
+        let batch = traffic(window * 2, 1_000_000 + i * 191);
+        let a = live.ingest(&batch).expect("ingest");
+        let b = back.ingest(&batch).expect("ingest");
+        assert_eq!(a.windows.len(), b.windows.len());
+        for (wa, wb) in a.windows.iter().zip(&b.windows) {
+            assert_eq!(wa.drift.to_bits(), wb.drift.to_bits(), "continued drift diverged");
+            assert_eq!(wa.stat.to_bits(), wb.stat.to_bits(), "continued stat diverged");
+        }
+        assert_eq!(state_json(live), state_json(back), "continued state diverged");
+    }
+    println!("bit-identity holds across snapshot → restore → continue");
+    let _ = std::fs::remove_file(path);
+
+    let report = Value::Object(vec![
+        ("benchmark".into(), Value::String("state_snapshot_restore".into())),
+        ("monitors".into(), Value::Number(n_monitors as f64)),
+        ("window".into(), Value::Number(window as f64)),
+        ("ring_tiles".into(), Value::Number(tiles as f64)),
+        ("rows_ingested".into(), Value::Number(total_rows as f64)),
+        ("snapshot_bytes".into(), Value::Number(bytes as f64)),
+        ("snapshot_ms".into(), Value::Number(snapshot_s * 1e3)),
+        ("restore_ms".into(), Value::Number(restore_s * 1e3)),
+        ("snapshot_mb_per_sec".into(), Value::Number(bytes as f64 / 1e6 / snapshot_s)),
+        ("restore_mb_per_sec".into(), Value::Number(bytes as f64 / 1e6 / restore_s)),
+        ("bit_identical".into(), Value::Bool(true)),
+    ]);
+    std::fs::write(
+        "BENCH_state.json",
+        serde_json::to_string_pretty(&report).expect("report serializes"),
+    )
+    .expect("write BENCH_state.json");
+    println!("wrote BENCH_state.json");
+}

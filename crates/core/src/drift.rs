@@ -9,10 +9,12 @@
 use crate::compiled::CompiledProfile;
 use crate::constraint::{ConformanceProfile, ProfileError};
 use cc_frame::DataFrame;
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// How tuple-level violations are folded into one drift magnitude.
-#[derive(Clone, Copy, Debug, PartialEq)]
+/// (Serializable so monitor configurations survive state snapshots.)
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub enum DriftAggregator {
     /// Mean violation — the paper's choice.
     Mean,

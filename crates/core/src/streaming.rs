@@ -3,7 +3,7 @@
 //! The paper notes that `XᵀX` can be accumulated one tuple at a time in
 //! O(m²) memory. This module exposes that as a true streaming surface over
 //! the same sufficient-statistics engine the batch path runs on
-//! ([`crate::engine`]): tuples arrive one at a time (never materialized),
+//! (`crate::engine`): tuples arrive one at a time (never materialized),
 //! shards can be [`merge`](StreamingSynthesizer::merge)d, and — because
 //! the engine buffers tuples into the same fixed-size blocks and folds
 //! them in the same order — a stream replaying a frame's rows produces a

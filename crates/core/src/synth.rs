@@ -1,6 +1,6 @@
 //! Constraint synthesis: Algorithm 1 (simple constraints, §4.1) and
 //! compound disjunctive constraints (§4.2), unified on the mergeable
-//! sufficient-statistics engine of [`crate::engine`] (§4.3.2).
+//! sufficient-statistics engine of `crate::engine` (§4.3.2).
 //!
 //! All entry points — [`synthesize`], [`synthesize_parallel`],
 //! [`synthesize_simple`], and the streaming path in
@@ -13,9 +13,11 @@ use crate::engine::{accumulate_blocks, simple_from_stats, BlockInput, EngineStat
 use cc_frame::{DataFrame, FrameError};
 use cc_linalg::eigen::EigenError;
 use cc_linalg::{SufficientStats, BLOCK_ROWS};
+use serde::{Deserialize, Serialize};
 
 /// Tuning knobs for synthesis. `Default` reproduces the paper's settings.
-#[derive(Clone, Debug)]
+/// (Serializable so monitor configurations survive state snapshots.)
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct SynthOptions {
     /// Bounds are `μ ± C·σ`; the paper uses C = 4 (§4.1.1).
     pub c_factor: f64,

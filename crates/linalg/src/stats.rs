@@ -51,7 +51,19 @@ pub const BLOCK_ROWS: usize = 4096;
 /// Mergeable sufficient statistics of a tuple set: count, mean vector,
 /// centered co-moment matrix (packed upper triangle, Kahan-compensated),
 /// and per-attribute min/max.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// ## Persistence
+///
+/// `Serialize`/`Deserialize` are manual so that restored accumulators
+/// are *bit-identical* to the originals for **every** `f64`, not just
+/// finite ones: finite values round-trip exactly through the shim's
+/// shortest-round-trip formatting, while non-finite values — the `±∞`
+/// min/max sentinels of an empty accumulator, infinities absorbed from
+/// the data, NaNs from missing cells — are encoded as hex bit-pattern
+/// strings (`"0x7ff0…"`) instead of JSON's lossy `null`. Field lengths
+/// are validated against `dim`, so a hand-edited snapshot can never
+/// produce an accumulator whose invariants are broken.
+#[derive(Clone, Debug)]
 pub struct SufficientStats {
     dim: usize,
     count: usize,
@@ -382,6 +394,49 @@ impl SufficientStats {
     }
 }
 
+impl Serialize for SufficientStats {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("dim".to_owned(), self.dim.to_value()),
+            ("count".to_owned(), self.count.to_value()),
+            ("mean".to_owned(), serde::lossless::vec_to_value(&self.mean)),
+            ("comoment".to_owned(), serde::lossless::vec_to_value(&self.comoment)),
+            ("comp".to_owned(), serde::lossless::vec_to_value(&self.comp)),
+            ("min".to_owned(), serde::lossless::vec_to_value(&self.min)),
+            ("max".to_owned(), serde::lossless::vec_to_value(&self.max)),
+        ])
+    }
+}
+
+impl Deserialize for SufficientStats {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let stats = SufficientStats {
+            dim: Deserialize::from_value(v.field("dim")?)?,
+            count: Deserialize::from_value(v.field("count")?)?,
+            mean: serde::lossless::vec_from_value(v.field("mean")?)?,
+            comoment: serde::lossless::vec_from_value(v.field("comoment")?)?,
+            comp: serde::lossless::vec_from_value(v.field("comp")?)?,
+            min: serde::lossless::vec_from_value(v.field("min")?)?,
+            max: serde::lossless::vec_from_value(v.field("max")?)?,
+        };
+        let (dim, packed) = (stats.dim, packed_len(stats.dim));
+        for (name, len, want) in [
+            ("mean", stats.mean.len(), dim),
+            ("comoment", stats.comoment.len(), packed),
+            ("comp", stats.comp.len(), packed),
+            ("min", stats.min.len(), dim),
+            ("max", stats.max.len(), dim),
+        ] {
+            if len != want {
+                return Err(serde::DeError::custom(format!(
+                    "SufficientStats: '{name}' has {len} entries, expected {want} for dim {dim}"
+                )));
+            }
+        }
+        Ok(stats)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -601,16 +656,78 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn serde_roundtrip_is_bit_exact() {
         let s = SufficientStats::from_rows(&sample_rows(50), 3);
         let json = serde_json::to_string(&s).unwrap();
         let back: SufficientStats = serde_json::from_str(&json).unwrap();
         assert_eq!(back.count(), s.count());
-        assert_eq!(back.mean(), s.mean());
+        for j in 0..3 {
+            assert_eq!(back.mean()[j].to_bits(), s.mean()[j].to_bits());
+            assert_eq!(back.attribute_min()[j].to_bits(), s.attribute_min()[j].to_bits());
+            assert_eq!(back.attribute_max()[j].to_bits(), s.attribute_max()[j].to_bits());
+        }
         for a in 0..3 {
             for b in a..3 {
-                assert_eq!(back.comoment(a, b), s.comoment(a, b));
+                assert_eq!(back.comoment(a, b).to_bits(), s.comoment(a, b).to_bits());
             }
         }
+        // The restored accumulator *continues* identically, not just
+        // reads identically: further updates land on the same Kahan
+        // compensation state.
+        let (mut live, mut restored) = (s, back);
+        for r in sample_rows(20) {
+            live.update(&r);
+            restored.update(&r);
+        }
+        for a in 0..3 {
+            for b in a..3 {
+                assert_eq!(live.comoment(a, b).to_bits(), restored.comoment(a, b).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn serde_roundtrips_nonfinite_values_bit_exactly() {
+        // Infinities and NaNs from the data stream (a CSV "inf" cell, a
+        // missing value) must survive persistence with their exact bit
+        // patterns — JSON null would collapse all of them to NaN.
+        let mut s = SufficientStats::new(2);
+        s.update(&[1.0, f64::INFINITY]);
+        s.update(&[f64::NAN, -3.0]);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: SufficientStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.count(), 2);
+        for j in 0..2 {
+            assert_eq!(back.mean()[j].to_bits(), s.mean()[j].to_bits());
+            assert_eq!(back.attribute_min()[j].to_bits(), s.attribute_min()[j].to_bits());
+            assert_eq!(back.attribute_max()[j].to_bits(), s.attribute_max()[j].to_bits());
+        }
+        assert_eq!(back.attribute_max()[1], f64::INFINITY, "historical +∞ max must survive");
+        for a in 0..2 {
+            for b in a..2 {
+                assert_eq!(back.comoment(a, b).to_bits(), s.comoment(a, b).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn serde_restores_empty_and_rejects_bad_shapes() {
+        // Empty stats: the ±∞ sentinels round-trip through the hex
+        // bit-pattern encoding.
+        let empty = SufficientStats::new(2);
+        let json = serde_json::to_string(&empty).unwrap();
+        let back: SufficientStats = serde_json::from_str(&json).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.attribute_min(), &[f64::INFINITY; 2]);
+        assert_eq!(back.attribute_max(), &[f64::NEG_INFINITY; 2]);
+        let mut grown = back;
+        grown.update(&[1.0, 2.0]);
+        assert_eq!(grown.attribute_min(), &[1.0, 2.0]);
+
+        // A snapshot whose vector lengths disagree with dim is an error,
+        // never a broken accumulator.
+        let full = serde_json::to_string(&SufficientStats::from_rows(&sample_rows(5), 3)).unwrap();
+        let skewed = full.replace("\"dim\":3", "\"dim\":4");
+        assert!(serde_json::from_str::<SufficientStats>(&skewed).is_err());
     }
 }

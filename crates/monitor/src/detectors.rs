@@ -17,10 +17,10 @@
 //! deviation) so their thresholds scale with the reference window's own
 //! noise instead of hard-coded magic drift values.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Which sequential detector scores the drift series.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DetectorKind {
     /// EWMA control band.
     Ewma,
@@ -55,12 +55,32 @@ impl DetectorKind {
 /// Reference statistics of the stationary drift series: mean and a
 /// floored standard deviation (a perfectly flat reference must not
 /// produce a zero-width band that alarms on the first rounding wiggle).
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Baseline {
     /// Reference mean drift.
     pub mean: f64,
     /// Floored reference standard deviation (see [`Baseline::floor`]).
     pub std: f64,
+}
+
+// Persistence impls are manual so every float survives bit-exactly
+// (see `serde::lossless`); this struct lands in state snapshots.
+impl Serialize for Baseline {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("mean".to_owned(), serde::lossless::f64_to_value(self.mean)),
+            ("std".to_owned(), serde::lossless::f64_to_value(self.std)),
+        ])
+    }
+}
+
+impl Deserialize for Baseline {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Baseline {
+            mean: serde::lossless::f64_from_value(v.field("mean")?)?,
+            std: serde::lossless::f64_from_value(v.field("std")?)?,
+        })
+    }
 }
 
 impl Baseline {
@@ -87,7 +107,7 @@ impl Baseline {
 /// Detector tuning. Defaults are the textbook settings, conservative
 /// enough that a stationary reference-like series never alarms while a
 /// sustained level shift of a few σ₀ fires within a handful of windows.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct DetectorParams {
     /// EWMA smoothing weight λ ∈ (0, 1].
     pub lambda: f64,
@@ -197,6 +217,85 @@ impl Detector {
         self.cusum = 0.0;
         self.ph_cum = 0.0;
         self.ph_min = 0.0;
+    }
+
+    /// A serializable snapshot of the full detector state (calibration
+    /// *and* sequential accumulators).
+    pub fn state(&self) -> DetectorState {
+        DetectorState {
+            kind: self.kind,
+            baseline: self.baseline,
+            params: self.params,
+            ewma: self.ewma,
+            cusum: self.cusum,
+            ph_cum: self.ph_cum,
+            ph_min: self.ph_min,
+        }
+    }
+
+    /// Rebuilds a detector from a snapshot; the restored detector's next
+    /// [`Self::observe`] is bit-identical to the original's.
+    pub fn from_state(s: DetectorState) -> Self {
+        Detector {
+            kind: s.kind,
+            baseline: s.baseline,
+            params: s.params,
+            ewma: s.ewma,
+            cusum: s.cusum,
+            ph_cum: s.ph_cum,
+            ph_min: s.ph_min,
+        }
+    }
+}
+
+/// The serializable image of a [`Detector`] — calibration plus the
+/// sequential accumulators (EWMA level, CUSUM sum, Page–Hinkley
+/// cumulative/minimum). The accumulators persist through the lossless
+/// `f64` encoding (`serde::lossless`), so a snapshot → restore
+/// round-trip is bit-exact even for non-finite values.
+#[derive(Clone, Copy, Debug)]
+pub struct DetectorState {
+    /// Detector kind.
+    pub kind: DetectorKind,
+    /// Calibrated reference statistics.
+    pub baseline: Baseline,
+    /// Tuning parameters.
+    pub params: DetectorParams,
+    /// EWMA level (maintained for every kind).
+    pub ewma: f64,
+    /// CUSUM accumulator.
+    pub cusum: f64,
+    /// Page–Hinkley cumulative sum.
+    pub ph_cum: f64,
+    /// Page–Hinkley running minimum.
+    pub ph_min: f64,
+}
+
+impl Serialize for DetectorState {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("kind".to_owned(), self.kind.to_value()),
+            ("baseline".to_owned(), self.baseline.to_value()),
+            ("params".to_owned(), self.params.to_value()),
+            ("ewma".to_owned(), serde::lossless::f64_to_value(self.ewma)),
+            ("cusum".to_owned(), serde::lossless::f64_to_value(self.cusum)),
+            ("ph_cum".to_owned(), serde::lossless::f64_to_value(self.ph_cum)),
+            ("ph_min".to_owned(), serde::lossless::f64_to_value(self.ph_min)),
+        ])
+    }
+}
+
+impl Deserialize for DetectorState {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(DetectorState {
+            kind: Deserialize::from_value(v.field("kind")?)?,
+            baseline: Deserialize::from_value(v.field("baseline")?)?,
+            params: Deserialize::from_value(v.field("params")?)?,
+            ewma: serde::lossless::f64_from_value(v.field("ewma")?)?,
+            cusum: serde::lossless::f64_from_value(v.field("cusum")?)?,
+            ph_cum: serde::lossless::f64_from_value(v.field("ph_cum")?)?,
+            ph_min: serde::lossless::f64_from_value(v.field("ph_min")?)?,
+        })
     }
 }
 

@@ -68,15 +68,17 @@ pub mod registry;
 pub mod report;
 pub mod resynth;
 pub mod ring;
+pub mod snapshot;
 pub mod windows;
 
-pub use detectors::{Baseline, Decision, Detector, DetectorKind, DetectorParams};
+pub use detectors::{Baseline, Decision, Detector, DetectorKind, DetectorParams, DetectorState};
 pub use monitor::{MonitorConfig, OnlineMonitor};
 pub use registry::{lock_monitor, MonitorSet};
 pub use report::{IngestReport, MonitorStatus, WindowPhase, WindowReport};
 pub use resynth::ProposedProfile;
-pub use ring::StatsRing;
-pub use windows::{ClosedWindow, SlidingStats, WindowSpec};
+pub use ring::{RingState, StatsRing};
+pub use snapshot::{ConfigState, MonitorState};
+pub use windows::{ClosedWindow, OpenWindowState, SlidingState, SlidingStats, WindowSpec};
 
 /// Monitoring failures.
 #[derive(Debug)]

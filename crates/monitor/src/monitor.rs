@@ -23,6 +23,7 @@ use crate::detectors::{Baseline, Detector, DetectorKind, DetectorParams};
 use crate::report::{IngestReport, MonitorStatus, WindowPhase, WindowReport};
 use crate::resynth::{self, ProposedProfile};
 use crate::ring::StatsRing;
+use crate::snapshot::{ConfigState, MonitorState};
 use crate::windows::{ClosedWindow, SlidingStats, WindowSpec};
 use crate::MonitorError;
 use cc_frame::DataFrame;
@@ -395,6 +396,74 @@ impl OnlineMonitor {
     /// Discards the pending proposal (e.g. a human rejected it).
     pub fn discard_proposal(&mut self) -> bool {
         self.proposal.take().is_some()
+    }
+
+    /// The complete serializable state image — everything needed to
+    /// resume this monitor elsewhere via [`Self::from_state`] with
+    /// bit-identical behaviour (see [`crate::snapshot`]).
+    pub fn state(&self) -> MonitorState {
+        MonitorState {
+            config: ConfigState::from_config(&self.cfg),
+            profile: self.profile.clone(),
+            sliding: self.sliding.state(),
+            tiles: self.tiles.state(),
+            history: self.history.iter().copied().collect(),
+            calibration: self.calibration.clone(),
+            detector: self.detector.as_ref().map(Detector::state),
+            rows_ingested: self.rows_ingested,
+            windows_closed: self.windows_closed,
+            last_drift: self.last_drift,
+            consecutive_alarms: self.consecutive_alarms,
+            alarms_total: self.alarms_total,
+            proposal: self.proposal.clone(),
+            proposals_total: self.proposals_total,
+            resynth_errors: self.resynth_errors,
+            generation: self.generation,
+        }
+    }
+
+    /// Rebuilds a monitor from a state image. The serving plan is
+    /// recompiled from the persisted profile (deterministic), every
+    /// accumulator restores bit-exactly, and the next `ingest` continues
+    /// exactly where the snapshot left off.
+    ///
+    /// # Errors
+    /// Rejects internally inconsistent state (invalid geometry, window
+    /// or ring shapes that disagree with the configuration, history or
+    /// calibration samples past their caps).
+    pub fn from_state(state: MonitorState) -> Result<Self, MonitorError> {
+        let cfg = state.config.into_config()?;
+        let mut monitor = OnlineMonitor::new(state.profile, cfg)?;
+        let dim = monitor.plan.attributes().len();
+        monitor.sliding = SlidingStats::from_state(monitor.cfg.spec, dim, state.sliding)?;
+        monitor.tiles = StatsRing::from_state(dim, monitor.cfg.resynth_tiles, state.tiles)?;
+        if state.history.len() > monitor.cfg.history_cap {
+            return Err(MonitorError::Config(format!(
+                "snapshot holds {} history entries, cap is {}",
+                state.history.len(),
+                monitor.cfg.history_cap
+            )));
+        }
+        monitor.history = state.history.into();
+        if state.calibration.len() >= monitor.cfg.calibration_windows {
+            return Err(MonitorError::Config(format!(
+                "snapshot holds {} calibration samples; {} would already have armed",
+                state.calibration.len(),
+                monitor.cfg.calibration_windows
+            )));
+        }
+        monitor.calibration = state.calibration;
+        monitor.detector = state.detector.map(Detector::from_state);
+        monitor.rows_ingested = state.rows_ingested;
+        monitor.windows_closed = state.windows_closed;
+        monitor.last_drift = state.last_drift;
+        monitor.consecutive_alarms = state.consecutive_alarms;
+        monitor.alarms_total = state.alarms_total;
+        monitor.proposal = state.proposal;
+        monitor.proposals_total = state.proposals_total;
+        monitor.resynth_errors = state.resynth_errors;
+        monitor.generation = state.generation;
+        Ok(monitor)
     }
 
     /// A full serializable snapshot.

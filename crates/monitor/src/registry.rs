@@ -65,9 +65,25 @@ impl MonitorSet {
         Ok((created, true))
     }
 
+    /// Inserts (or replaces) a monitor under `name` — the state-restore
+    /// path; live creation goes through [`Self::get_or_create`].
+    pub fn insert(&self, name: &str, monitor: OnlineMonitor) {
+        self.write().insert(name.to_owned(), Arc::new(Mutex::new(monitor)));
+    }
+
     /// Removes a monitor; reports whether it existed.
     pub fn remove(&self, name: &str) -> bool {
         self.write().remove(name).is_some()
+    }
+
+    /// `(name, state)` images of every monitor, sorted by name — the
+    /// snapshot-collection path (see `cc_state`).
+    pub fn states(&self) -> Vec<(String, crate::snapshot::MonitorState)> {
+        // Same locking discipline as `statuses`: clone the Arcs out, then
+        // lock each monitor briefly without holding the map lock.
+        let monitors: Vec<(String, Arc<Mutex<OnlineMonitor>>)> =
+            self.read().iter().map(|(n, m)| (n.clone(), m.clone())).collect();
+        monitors.into_iter().map(|(n, m)| (n, lock_monitor(&m).state())).collect()
     }
 
     /// Monitor names, sorted.

@@ -14,11 +14,12 @@
 
 use crate::ring::StatsRing;
 use conformance::{ConformanceProfile, StreamingSynthesizer, SynthError, SynthOptions};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// A candidate profile synthesized from the recent stream, awaiting
-/// adoption.
-#[derive(Clone, Debug, Serialize)]
+/// adoption. (`Deserialize` so a pending proposal survives a state
+/// snapshot → restore round-trip.)
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ProposedProfile {
     /// The profile generation this proposal would become if adopted.
     pub generation: u64,

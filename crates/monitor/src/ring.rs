@@ -13,6 +13,7 @@
 //! from scratch**, which is the property the proptests pin.
 
 use cc_linalg::SufficientStats;
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// A bounded FIFO of sealed statistics blocks (newest last).
@@ -89,6 +90,48 @@ impl StatsRing {
         self.retired += self.blocks.len() as u64;
         self.blocks.clear();
     }
+
+    /// A serializable snapshot of the retained blocks (oldest first)
+    /// plus the lifetime retire count.
+    pub fn state(&self) -> RingState {
+        RingState { retired: self.retired, blocks: self.blocks.iter().cloned().collect() }
+    }
+
+    /// Rebuilds a ring from a snapshot. A restored ring's merged view
+    /// and retire sequence are bit-identical to the original's (blocks
+    /// round-trip bit-exactly).
+    ///
+    /// # Errors
+    /// Rejects snapshots holding more blocks than `cap` or blocks of the
+    /// wrong dimensionality.
+    pub fn from_state(dim: usize, cap: usize, s: RingState) -> Result<Self, crate::MonitorError> {
+        if cap == 0 {
+            return Err(crate::MonitorError::Config("ring capacity must be positive".into()));
+        }
+        if s.blocks.len() > cap {
+            return Err(crate::MonitorError::Config(format!(
+                "ring snapshot holds {} blocks, capacity is {cap}",
+                s.blocks.len()
+            )));
+        }
+        if let Some(b) = s.blocks.iter().find(|b| b.dim() != dim) {
+            return Err(crate::MonitorError::Config(format!(
+                "ring block has dim {}, expected {dim}",
+                b.dim()
+            )));
+        }
+        Ok(StatsRing { dim, cap, blocks: s.blocks.into(), retired: s.retired })
+    }
+}
+
+/// Serializable image of a [`StatsRing`] (dimensionality and capacity
+/// travel separately, in the monitor's config).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RingState {
+    /// Blocks retired over the ring's lifetime.
+    pub retired: u64,
+    /// Retained blocks, oldest first.
+    pub blocks: Vec<SufficientStats>,
 }
 
 #[cfg(test)]

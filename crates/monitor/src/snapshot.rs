@@ -1,0 +1,196 @@
+//! Serializable monitor state — the crash-safe persistence surface.
+//!
+//! [`MonitorState`] is the complete image of an [`OnlineMonitor`]:
+//! configuration, monitored profile, every in-flight window's
+//! accumulators, the resynthesis ring, detector internals, drift
+//! history, pending proposal, and lifetime counters. The contract —
+//! pinned by the `state_roundtrip` proptests — is **bit-identity**:
+//! snapshot → serialize → deserialize → [`OnlineMonitor::from_state`] →
+//! continue ingesting produces exactly the window statistics, drift
+//! series, alarm decisions, and proposals the uninterrupted monitor
+//! would have produced.
+//!
+//! Two properties make that possible:
+//!
+//! * every float in the state is a finite `f64` (or NaN, which JSON
+//!   `null` round-trips) and the workspace JSON shim formats `f64`s
+//!   shortest-round-trip, so values survive persistence bit-exactly —
+//!   including [`cc_linalg::SufficientStats`]' Kahan compensation terms;
+//! * nothing derived is persisted: the compiled serving plan is
+//!   recompiled from the profile on restore
+//!   ([`conformance::CompiledProfile::compile`] is deterministic).
+//!
+//! The envelope (versioning, checksums, atomic writes) lives in the
+//! `cc_state` crate; this module only defines *what* a monitor's state
+//! is.
+//!
+//! [`OnlineMonitor`]: crate::OnlineMonitor
+//! [`OnlineMonitor::from_state`]: crate::OnlineMonitor::from_state
+
+use crate::detectors::{DetectorKind, DetectorParams, DetectorState};
+use crate::monitor::MonitorConfig;
+use crate::resynth::ProposedProfile;
+use crate::ring::RingState;
+use crate::windows::{SlidingState, WindowSpec};
+use crate::MonitorError;
+use conformance::{ConformanceProfile, DriftAggregator, SynthOptions};
+use serde::{Deserialize, Serialize};
+
+/// Serializable image of a [`MonitorConfig`] (the window geometry is
+/// stored as raw `window`/`stride` and re-validated through
+/// [`WindowSpec::new`] on restore, so a hand-edited snapshot cannot
+/// smuggle in an invalid geometry).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ConfigState {
+    /// Rows per window.
+    pub window: usize,
+    /// Rows between window closes.
+    pub stride: usize,
+    /// Change-point detector kind.
+    pub detector: DetectorKind,
+    /// Detector tuning.
+    pub params: DetectorParams,
+    /// Drift aggregator.
+    pub aggregator: DriftAggregator,
+    /// Self-calibration window count.
+    pub calibration_windows: usize,
+    /// Drift-history cap.
+    pub history_cap: usize,
+    /// Consecutive alarmed windows before proposing.
+    pub patience: usize,
+    /// Resynthesis ring capacity.
+    pub resynth_tiles: usize,
+    /// Minimum rows behind a candidate profile.
+    pub min_resynth_rows: usize,
+    /// Whether sustained alarms propose candidates.
+    pub auto_resynth: bool,
+    /// Synthesis options for candidates.
+    pub synth: SynthOptions,
+}
+
+impl ConfigState {
+    /// Captures a configuration.
+    pub fn from_config(cfg: &MonitorConfig) -> Self {
+        ConfigState {
+            window: cfg.spec.window(),
+            stride: cfg.spec.stride(),
+            detector: cfg.detector,
+            params: cfg.params,
+            aggregator: cfg.aggregator,
+            calibration_windows: cfg.calibration_windows,
+            history_cap: cfg.history_cap,
+            patience: cfg.patience,
+            resynth_tiles: cfg.resynth_tiles,
+            min_resynth_rows: cfg.min_resynth_rows,
+            auto_resynth: cfg.auto_resynth,
+            synth: cfg.synth.clone(),
+        }
+    }
+
+    /// Rebuilds the configuration, re-validating the window geometry.
+    ///
+    /// # Errors
+    /// Propagates [`WindowSpec::new`] rejections.
+    pub fn into_config(self) -> Result<MonitorConfig, MonitorError> {
+        Ok(MonitorConfig {
+            spec: WindowSpec::new(self.window, self.stride)?,
+            detector: self.detector,
+            params: self.params,
+            aggregator: self.aggregator,
+            calibration_windows: self.calibration_windows,
+            history_cap: self.history_cap,
+            patience: self.patience,
+            resynth_tiles: self.resynth_tiles,
+            min_resynth_rows: self.min_resynth_rows,
+            auto_resynth: self.auto_resynth,
+            synth: self.synth,
+        })
+    }
+}
+
+/// The complete serializable image of an [`OnlineMonitor`](crate::OnlineMonitor).
+/// The drift samples (`history`, `calibration`, `last_drift`) persist
+/// through the lossless `f64` encoding (`serde::lossless`) like every
+/// other float in the snapshot, so restore is bit-exact even for
+/// non-finite values.
+#[derive(Clone, Debug)]
+pub struct MonitorState {
+    /// Monitor configuration.
+    pub config: ConfigState,
+    /// The monitored profile (current generation).
+    pub profile: ConformanceProfile,
+    /// Stream position and in-flight window accumulators.
+    pub sliding: SlidingState,
+    /// Resynthesis ring contents.
+    pub tiles: RingState,
+    /// Retained drift history, oldest first.
+    pub history: Vec<f64>,
+    /// Self-calibration sample collected so far (empty once armed).
+    pub calibration: Vec<f64>,
+    /// Armed detector internals (absent while calibrating).
+    pub detector: Option<DetectorState>,
+    /// Rows ingested over the monitor's lifetime.
+    pub rows_ingested: u64,
+    /// Windows closed over the monitor's lifetime.
+    pub windows_closed: u64,
+    /// Most recent window drift (NaN before the first close).
+    pub last_drift: f64,
+    /// Current run of consecutive alarmed windows.
+    pub consecutive_alarms: u64,
+    /// Alarmed windows over the monitor's lifetime.
+    pub alarms_total: u64,
+    /// Pending resynthesis proposal, if any.
+    pub proposal: Option<ProposedProfile>,
+    /// Proposals over the monitor's lifetime.
+    pub proposals_total: u64,
+    /// Failed resynthesis attempts.
+    pub resynth_errors: u64,
+    /// Profile generation currently monitored.
+    pub generation: u64,
+}
+
+impl Serialize for MonitorState {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("config".to_owned(), self.config.to_value()),
+            ("profile".to_owned(), self.profile.to_value()),
+            ("sliding".to_owned(), self.sliding.to_value()),
+            ("tiles".to_owned(), self.tiles.to_value()),
+            ("history".to_owned(), serde::lossless::vec_to_value(&self.history)),
+            ("calibration".to_owned(), serde::lossless::vec_to_value(&self.calibration)),
+            ("detector".to_owned(), self.detector.to_value()),
+            ("rows_ingested".to_owned(), self.rows_ingested.to_value()),
+            ("windows_closed".to_owned(), self.windows_closed.to_value()),
+            ("last_drift".to_owned(), serde::lossless::f64_to_value(self.last_drift)),
+            ("consecutive_alarms".to_owned(), self.consecutive_alarms.to_value()),
+            ("alarms_total".to_owned(), self.alarms_total.to_value()),
+            ("proposal".to_owned(), self.proposal.to_value()),
+            ("proposals_total".to_owned(), self.proposals_total.to_value()),
+            ("resynth_errors".to_owned(), self.resynth_errors.to_value()),
+            ("generation".to_owned(), self.generation.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for MonitorState {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(MonitorState {
+            config: Deserialize::from_value(v.field("config")?)?,
+            profile: Deserialize::from_value(v.field("profile")?)?,
+            sliding: Deserialize::from_value(v.field("sliding")?)?,
+            tiles: Deserialize::from_value(v.field("tiles")?)?,
+            history: serde::lossless::vec_from_value(v.field("history")?)?,
+            calibration: serde::lossless::vec_from_value(v.field("calibration")?)?,
+            detector: Deserialize::from_value(v.field("detector")?)?,
+            rows_ingested: Deserialize::from_value(v.field("rows_ingested")?)?,
+            windows_closed: Deserialize::from_value(v.field("windows_closed")?)?,
+            last_drift: serde::lossless::f64_from_value(v.field("last_drift")?)?,
+            consecutive_alarms: Deserialize::from_value(v.field("consecutive_alarms")?)?,
+            alarms_total: Deserialize::from_value(v.field("alarms_total")?)?,
+            proposal: Deserialize::from_value(v.field("proposal")?)?,
+            proposals_total: Deserialize::from_value(v.field("proposals_total")?)?,
+            resynth_errors: Deserialize::from_value(v.field("resynth_errors")?)?,
+            generation: Deserialize::from_value(v.field("generation")?)?,
+        })
+    }
+}

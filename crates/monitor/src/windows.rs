@@ -14,6 +14,7 @@
 
 use crate::MonitorError;
 use cc_linalg::SufficientStats;
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::ops::Range;
 
@@ -219,6 +220,130 @@ impl SlidingStats {
         self.rows_seen = 0;
         self.closed = 0;
     }
+
+    /// A serializable snapshot: stream position plus every in-flight
+    /// window's accumulators, oldest first.
+    pub fn state(&self) -> SlidingState {
+        SlidingState {
+            rows_seen: self.rows_seen,
+            closed: self.closed,
+            open: self
+                .open
+                .iter()
+                .map(|w| OpenWindowState {
+                    start_row: w.start_row,
+                    rows: w.rows,
+                    stats: w.stats.clone(),
+                    score_sum: w.score_sum,
+                    score_max: w.score_max,
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds the accumulator from a snapshot. The restored
+    /// accumulator's subsequent [`Self::push`] calls are bit-identical
+    /// to the original's: open-window `SufficientStats` round-trip
+    /// bit-exactly (including Kahan compensation terms).
+    ///
+    /// # Errors
+    /// Rejects snapshots whose open windows disagree with `spec`/`dim`
+    /// (wrong arity, more windows than the geometry allows, or rows
+    /// already at/past the close threshold).
+    pub fn from_state(spec: WindowSpec, dim: usize, s: SlidingState) -> Result<Self, MonitorError> {
+        if s.open.len() > spec.overlap() {
+            return Err(MonitorError::Config(format!(
+                "sliding snapshot holds {} open windows; geometry allows {}",
+                s.open.len(),
+                spec.overlap()
+            )));
+        }
+        let mut open = VecDeque::with_capacity(s.open.len());
+        for w in s.open {
+            if w.stats.dim() != dim {
+                return Err(MonitorError::Config(format!(
+                    "open-window stats have dim {}, expected {dim}",
+                    w.stats.dim()
+                )));
+            }
+            if w.rows >= spec.window() {
+                return Err(MonitorError::Config(format!(
+                    "open window holds {} rows but closes at {}",
+                    w.rows,
+                    spec.window()
+                )));
+            }
+            if w.stats.count() != w.rows {
+                return Err(MonitorError::Config(format!(
+                    "open window claims {} rows but its stats hold {}",
+                    w.rows,
+                    w.stats.count()
+                )));
+            }
+            open.push_back(OpenWindow {
+                start_row: w.start_row,
+                rows: w.rows,
+                stats: w.stats,
+                score_sum: w.score_sum,
+                score_max: w.score_max,
+            });
+        }
+        Ok(SlidingStats { spec, dim, rows_seen: s.rows_seen, closed: s.closed, open })
+    }
+}
+
+/// Serializable image of one in-flight window. The score accumulators
+/// persist through the lossless `f64` encoding (`serde::lossless`), so
+/// restore is bit-exact even for non-finite scores.
+#[derive(Clone, Debug)]
+pub struct OpenWindowState {
+    /// First stream row of the window.
+    pub start_row: u64,
+    /// Rows accumulated so far (< the window size, or it would have
+    /// closed).
+    pub rows: usize,
+    /// The window's statistics so far.
+    pub stats: SufficientStats,
+    /// Running score sum (`DriftAggregator::Mean` numerator).
+    pub score_sum: f64,
+    /// Running score max.
+    pub score_max: f64,
+}
+
+impl Serialize for OpenWindowState {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("start_row".to_owned(), self.start_row.to_value()),
+            ("rows".to_owned(), self.rows.to_value()),
+            ("stats".to_owned(), self.stats.to_value()),
+            ("score_sum".to_owned(), serde::lossless::f64_to_value(self.score_sum)),
+            ("score_max".to_owned(), serde::lossless::f64_to_value(self.score_max)),
+        ])
+    }
+}
+
+impl Deserialize for OpenWindowState {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(OpenWindowState {
+            start_row: Deserialize::from_value(v.field("start_row")?)?,
+            rows: Deserialize::from_value(v.field("rows")?)?,
+            stats: Deserialize::from_value(v.field("stats")?)?,
+            score_sum: serde::lossless::f64_from_value(v.field("score_sum")?)?,
+            score_max: serde::lossless::f64_from_value(v.field("score_max")?)?,
+        })
+    }
+}
+
+/// Serializable image of a [`SlidingStats`] accumulator (geometry and
+/// dimensionality travel separately, in the monitor's config).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SlidingState {
+    /// Tuples absorbed so far.
+    pub rows_seen: u64,
+    /// Windows closed so far.
+    pub closed: u64,
+    /// In-flight windows, oldest first.
+    pub open: Vec<OpenWindowState>,
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@
 //! | `GET /v1/monitor` | monitor snapshots: window stats, alarm state, proposals |
 //! | `DELETE /v1/monitor` | drop a named monitor |
 //! | `POST /v1/reload` | atomically re-publish the profile registry |
+//! | `POST /v1/snapshot` | write a durable state snapshot now (needs `--state-dir`) |
 //! | `GET /metrics` | Prometheus text exposition |
 //!
 //! `POST` bodies are JSON objects carrying a columnar `"columns"` batch
@@ -24,6 +25,7 @@ use crate::http::{Request, Response};
 use crate::json::{self, frame_from_columns, num_array, obj, string};
 use crate::metrics::{Endpoint, Metrics};
 use crate::registry::{ProfileEntry, ProfileRegistry, Snapshot};
+use crate::state::Durability;
 use cc_frame::DataFrame;
 use cc_monitor::{
     lock_monitor, DetectorKind, MonitorConfig, MonitorSet, MonitorStatus, OnlineMonitor, WindowSpec,
@@ -41,9 +43,10 @@ pub fn route(
     registry: &ProfileRegistry,
     monitors: &MonitorSet,
     metrics: &Metrics,
+    durability: Option<&Durability>,
 ) -> (Endpoint, Response) {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => (Endpoint::Healthz, healthz(registry)),
+        ("GET", "/healthz") => (Endpoint::Healthz, healthz(registry, durability)),
         ("GET", "/v1/profiles") => (Endpoint::Profiles, profiles(registry)),
         ("POST", "/v1/check") => (Endpoint::Check, with_batch(req, registry, metrics, check)),
         ("POST", "/v1/explain") => (Endpoint::Explain, with_batch(req, registry, metrics, explain)),
@@ -52,6 +55,9 @@ pub fn route(
         ("GET", "/v1/monitor") => (Endpoint::Monitor, monitor_status(req, monitors)),
         ("DELETE", "/v1/monitor") => (Endpoint::Monitor, monitor_delete(req, monitors)),
         ("POST", "/v1/reload") => (Endpoint::Reload, reload(registry)),
+        ("POST", "/v1/snapshot") => {
+            (Endpoint::Snapshot, snapshot(registry, monitors, metrics, durability))
+        }
         ("GET", "/metrics") => (Endpoint::Metrics, metrics_text(registry, monitors, metrics)),
         (_, "/healthz" | "/v1/profiles" | "/metrics") => {
             (Endpoint::Other, Response::error(405, "use GET for this endpoint"))
@@ -59,9 +65,11 @@ pub fn route(
         (_, "/v1/monitor") => {
             (Endpoint::Other, Response::error(405, "use GET or DELETE for this endpoint"))
         }
-        (_, "/v1/check" | "/v1/explain" | "/v1/drift" | "/v1/reload" | "/v1/ingest") => {
-            (Endpoint::Other, Response::error(405, "use POST for this endpoint"))
-        }
+        (
+            _,
+            "/v1/check" | "/v1/explain" | "/v1/drift" | "/v1/reload" | "/v1/ingest"
+            | "/v1/snapshot",
+        ) => (Endpoint::Other, Response::error(405, "use POST for this endpoint")),
         _ => (Endpoint::Other, Response::error(404, "no such endpoint")),
     }
 }
@@ -70,13 +78,40 @@ pub fn route(
 /// not grow without bound (see `ingest`).
 pub const MAX_MONITORS: usize = 256;
 
-fn healthz(registry: &ProfileRegistry) -> Response {
+fn healthz(registry: &ProfileRegistry, durability: Option<&Durability>) -> Response {
     let snap = registry.snapshot();
     Response::json(&obj(vec![
         ("status", string("ok")),
         ("profiles", Value::Number(snap.entries().len() as f64)),
         ("generation", Value::Number(snap.generation() as f64)),
+        // Durability posture: is a state dir configured, and did this
+        // boot restore a snapshot from it?
+        ("durable", Value::Bool(durability.is_some())),
+        ("restored", Value::Bool(durability.is_some_and(Durability::restored))),
     ]))
+}
+
+/// `POST /v1/snapshot`: write a durable state snapshot immediately.
+/// `409` when the daemon was started without a state directory; `500`
+/// when the write fails (the previous snapshot file stays intact).
+fn snapshot(
+    registry: &ProfileRegistry,
+    monitors: &MonitorSet,
+    metrics: &Metrics,
+    durability: Option<&Durability>,
+) -> Response {
+    let Some(d) = durability else {
+        return Response::error(409, "no state directory configured (start with --state-dir)");
+    };
+    match d.save(registry, monitors, metrics) {
+        Ok(report) => Response::json(&obj(vec![
+            ("path", string(report.path.display().to_string())),
+            ("bytes", Value::Number(report.bytes as f64)),
+            ("monitors", Value::Number(report.monitors as f64)),
+            ("generation", Value::Number(report.generation as f64)),
+        ])),
+        Err(e) => Response::error(500, &format!("snapshot failed: {e}")),
+    }
 }
 
 fn profiles(registry: &ProfileRegistry) -> Response {

@@ -49,6 +49,7 @@ pub mod json;
 pub mod metrics;
 pub mod registry;
 pub mod server;
+pub mod state;
 
 pub use cc_monitor::MonitorSet;
 pub use client::{ClientResponse, HttpClient};
@@ -56,3 +57,4 @@ pub use http::{ParseError, Request, RequestParser, Response, MAX_HEADER_BYTES};
 pub use metrics::{Endpoint, Metrics, MonitorSeries};
 pub use registry::{ProfileEntry, ProfileRegistry, Snapshot};
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use state::{Durability, SaveReport, STATE_FILE};

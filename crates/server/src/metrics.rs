@@ -34,13 +34,15 @@ pub enum Endpoint {
     Ingest,
     /// `GET /v1/monitor`
     Monitor,
+    /// `POST /v1/snapshot`
+    Snapshot,
     /// `GET /metrics`
     Metrics,
     /// Anything else (404s, parse failures, …).
     Other,
 }
 
-const ENDPOINTS: [Endpoint; 10] = [
+const ENDPOINTS: [Endpoint; 11] = [
     Endpoint::Healthz,
     Endpoint::Profiles,
     Endpoint::Check,
@@ -49,6 +51,7 @@ const ENDPOINTS: [Endpoint; 10] = [
     Endpoint::Reload,
     Endpoint::Ingest,
     Endpoint::Monitor,
+    Endpoint::Snapshot,
     Endpoint::Metrics,
     Endpoint::Other,
 ];
@@ -64,6 +67,7 @@ impl Endpoint {
             Endpoint::Reload => "/v1/reload",
             Endpoint::Ingest => "/v1/ingest",
             Endpoint::Monitor => "/v1/monitor",
+            Endpoint::Snapshot => "/v1/snapshot",
             Endpoint::Metrics => "/metrics",
             Endpoint::Other => "other",
         }
@@ -159,6 +163,19 @@ impl Metrics {
     /// `/v1/drift` / `/v1/explain`.
     pub fn add_rows_checked(&self, rows: usize) {
         self.rows_checked.fetch_add(rows as u64, Ordering::Relaxed);
+    }
+
+    /// The cumulative rows-checked counter (persisted by state
+    /// snapshots).
+    pub fn rows_checked(&self) -> u64 {
+        self.rows_checked.load(Ordering::Relaxed)
+    }
+
+    /// Boot-time restore of the rows-checked counter from a state
+    /// snapshot (runs before the listener accepts traffic, so a plain
+    /// store cannot race live increments).
+    pub fn restore_rows_checked(&self, rows: u64) {
+        self.rows_checked.store(rows, Ordering::Relaxed);
     }
 
     /// Records one accepted connection.

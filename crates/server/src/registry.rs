@@ -176,6 +176,21 @@ impl ProfileRegistry {
         Ok(snapshot)
     }
 
+    /// Fast-forwards the reload generation to at least `floor` and
+    /// republishes the current snapshot under it — the state-restore
+    /// path, so `/healthz` generations stay monotone across daemon
+    /// restarts instead of resetting to 1. A floor at or below the
+    /// current generation is a no-op.
+    pub fn restore_generation(&self, floor: u64) {
+        let _serial = self.reload_serial.lock().unwrap_or_else(|p| p.into_inner());
+        if floor <= self.generation.load(Ordering::Relaxed) {
+            return;
+        }
+        self.generation.store(floor, Ordering::Relaxed);
+        let mut published = self.snapshot.write().expect("registry lock never poisoned");
+        *published = Arc::new(Snapshot { entries: published.entries.clone(), generation: floor });
+    }
+
     /// Cumulative `(profile, compile count)` pairs across all loads,
     /// sorted by name.
     pub fn compile_counts(&self) -> Vec<(String, u64)> {

@@ -23,11 +23,13 @@
 use crate::http::{RequestParser, Response};
 use crate::metrics::{Endpoint, Metrics};
 use crate::registry::ProfileRegistry;
+use crate::state::Durability;
 use cc_monitor::MonitorSet;
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -44,6 +46,14 @@ pub struct ServerConfig {
     pub max_body_bytes: usize,
     /// How long an idle keep-alive connection is held before closing.
     pub keep_alive: Duration,
+    /// Durable-state directory. When set, boot restores the snapshot
+    /// inside it (quarantining a corrupt file), `POST /v1/snapshot` and
+    /// graceful shutdown write one, and `autosave` may write them
+    /// periodically.
+    pub state_dir: Option<PathBuf>,
+    /// Periodic autosave interval (requires `state_dir`; `None` — the
+    /// default — saves only on demand and at shutdown).
+    pub autosave: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -53,6 +63,8 @@ impl Default for ServerConfig {
             workers: 4,
             max_body_bytes: crate::http::DEFAULT_MAX_BODY_BYTES,
             keep_alive: Duration::from_secs(5),
+            state_dir: None,
+            autosave: None,
         }
     }
 }
@@ -62,6 +74,7 @@ struct Shared {
     registry: ProfileRegistry,
     monitors: MonitorSet,
     metrics: Metrics,
+    durability: Option<Durability>,
     config: ServerConfig,
     shutdown: AtomicBool,
     queue: Mutex<VecDeque<TcpStream>>,
@@ -76,6 +89,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     acceptor: std::thread::JoinHandle<()>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    autosaver: Option<std::thread::JoinHandle<()>>,
 }
 
 /// The server: bind + spawn. All state lives in the returned handle.
@@ -83,18 +97,36 @@ pub struct Server;
 
 impl Server {
     /// Binds `config.addr` and starts the acceptor + worker threads
-    /// serving `registry`.
+    /// serving `registry`. With [`ServerConfig::state_dir`] set, the
+    /// state snapshot is restored **before** the first connection is
+    /// accepted (a corrupt snapshot is quarantined and logged, never
+    /// fatal), and an autosave thread starts when
+    /// [`ServerConfig::autosave`] is set.
     ///
     /// # Errors
-    /// Fails when the address cannot be bound.
+    /// Fails when the address cannot be bound or the state directory
+    /// cannot be created.
     pub fn start(config: ServerConfig, registry: ProfileRegistry) -> std::io::Result<ServerHandle> {
+        let monitors = MonitorSet::new();
+        let metrics = Metrics::new();
+        let durability = match &config.state_dir {
+            Some(dir) => Some(Durability::new(dir)?),
+            None => None,
+        };
+        if let Some(d) = &durability {
+            for note in d.boot(&registry, &monitors, &metrics) {
+                eprintln!("cc_server state: {note}");
+            }
+        }
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let workers = config.workers.max(1);
+        let autosave = config.autosave.filter(|_| durability.is_some());
         let shared = Arc::new(Shared {
             registry,
-            monitors: MonitorSet::new(),
-            metrics: Metrics::new(),
+            monitors,
+            metrics,
+            durability,
             config,
             shutdown: AtomicBool::new(false),
             queue: Mutex::new(VecDeque::new()),
@@ -110,7 +142,11 @@ impl Server {
                 std::thread::spawn(move || worker_loop(&shared))
             })
             .collect();
-        Ok(ServerHandle { addr, shared, acceptor, workers })
+        let autosaver = autosave.map(|interval| {
+            let shared = shared.clone();
+            std::thread::spawn(move || autosave_loop(&shared, interval))
+        });
+        Ok(ServerHandle { addr, shared, acceptor, workers, autosaver })
     }
 }
 
@@ -135,8 +171,32 @@ impl ServerHandle {
         &self.shared.metrics
     }
 
+    /// Whether a state directory is configured (durable mode).
+    pub fn durable(&self) -> bool {
+        self.shared.durability.is_some()
+    }
+
+    /// Whether boot restored a state snapshot.
+    pub fn restored(&self) -> bool {
+        self.shared.durability.as_ref().is_some_and(Durability::restored)
+    }
+
+    /// Writes a state snapshot now (same as `POST /v1/snapshot`).
+    ///
+    /// # Errors
+    /// `None` when no state directory is configured; otherwise the save
+    /// result.
+    pub fn save_state(&self) -> Option<Result<crate::state::SaveReport, cc_state::StateError>> {
+        self.shared
+            .durability
+            .as_ref()
+            .map(|d| d.save(&self.shared.registry, &self.shared.monitors, &self.shared.metrics))
+    }
+
     /// Graceful shutdown: stop accepting, let in-flight requests finish,
-    /// drain queued connections, join every thread.
+    /// drain queued connections, join every thread — then write a final
+    /// state snapshot (durable mode), after the last request has
+    /// settled, so the snapshot reflects everything the daemon served.
     pub fn shutdown(self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.work_ready.notify_all();
@@ -155,6 +215,21 @@ impl ServerHandle {
         let _ = self.acceptor.join();
         for w in self.workers {
             let _ = w.join();
+        }
+        if let Some(a) = self.autosaver {
+            let _ = a.join();
+        }
+        if let Some(d) = &self.shared.durability {
+            match d.save(&self.shared.registry, &self.shared.monitors, &self.shared.metrics) {
+                Ok(report) => eprintln!(
+                    "cc_server state: saved {} ({} bytes, {} monitor{})",
+                    report.path.display(),
+                    report.bytes,
+                    report.monitors,
+                    if report.monitors == 1 { "" } else { "s" }
+                ),
+                Err(e) => eprintln!("cc_server state: final snapshot failed: {e}"),
+            }
         }
     }
 }
@@ -217,6 +292,30 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// Periodic state saves. Sleeps in short ticks so shutdown is noticed
+/// promptly; a failed save is logged and retried next interval (the
+/// previous snapshot file stays intact — atomic replace).
+fn autosave_loop(shared: &Shared, interval: Duration) {
+    let tick = Duration::from_millis(100).min(interval);
+    let mut last_save = Instant::now();
+    loop {
+        std::thread::sleep(tick);
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // The final snapshot is shutdown's job (after workers quiesce).
+            return;
+        }
+        if last_save.elapsed() < interval {
+            continue;
+        }
+        if let Some(d) = &shared.durability {
+            if let Err(e) = d.save(&shared.registry, &shared.monitors, &shared.metrics) {
+                eprintln!("cc_server state: autosave failed: {e}");
+            }
+        }
+        last_save = Instant::now();
+    }
+}
+
 /// Read timeout on connection sockets — the cadence at which idle
 /// connections notice shutdown and the keep-alive clock.
 const READ_TICK: Duration = Duration::from_millis(200);
@@ -253,7 +352,13 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
                 // A handler panic must not kill the worker: answer 500
                 // and keep serving other connections.
                 let (endpoint, response) = catch_unwind(AssertUnwindSafe(|| {
-                    crate::api::route(&req, &shared.registry, &shared.monitors, &shared.metrics)
+                    crate::api::route(
+                        &req,
+                        &shared.registry,
+                        &shared.monitors,
+                        &shared.metrics,
+                        shared.durability.as_ref(),
+                    )
                 }))
                 .unwrap_or_else(|_| (Endpoint::Other, Response::error(500, "handler panicked")));
                 let keep_alive = !req.close && !shutting_down;

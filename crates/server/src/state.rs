@@ -1,0 +1,165 @@
+//! Daemon durability: collecting, saving, and restoring [`ServerState`].
+//!
+//! When the daemon is started with a state directory, [`Durability`]
+//! owns the snapshot file inside it and the boot/save choreography:
+//!
+//! * **boot** ([`Durability::boot`]) — `cc_state::load_or_quarantine`:
+//!   a verified snapshot repopulates the monitor registry (each
+//!   [`cc_monitor::MonitorState`] rebuilt bit-exactly, serving plans
+//!   recompiled), fast-forwards the profile-registry generation, and
+//!   restores the cumulative row counter; a corrupt file is quarantined
+//!   to `*.corrupt` and the daemon boots fresh with a warning — never a
+//!   crash loop;
+//! * **save** ([`Durability::save`]) — collect a consistent image (each
+//!   monitor locked briefly, one at a time) and write it atomically
+//!   (temp file + fsync + rename, see [`cc_state::write_snapshot`]).
+//!   Saves are triggered by the autosave timer, by `POST /v1/snapshot`,
+//!   and by graceful shutdown.
+
+use crate::metrics::Metrics;
+use crate::registry::ProfileRegistry;
+use cc_monitor::{MonitorSet, OnlineMonitor};
+use cc_state::{LoadOutcome, MonitorEntry, ServerState, StateError};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Snapshot file name inside the state directory.
+pub const STATE_FILE: &str = "cc_state.json";
+
+/// What one save wrote.
+#[derive(Clone, Debug)]
+pub struct SaveReport {
+    /// Snapshot file path.
+    pub path: PathBuf,
+    /// Snapshot size in bytes.
+    pub bytes: u64,
+    /// Monitors persisted.
+    pub monitors: usize,
+    /// Registry generation persisted.
+    pub generation: u64,
+}
+
+/// The daemon's durability handle (present only under `--state-dir`).
+#[derive(Debug)]
+pub struct Durability {
+    path: PathBuf,
+    restored: AtomicBool,
+    /// Serializes [`Self::save`] end to end (collect → write). Without
+    /// it, an autosave that collected its image *before* a concurrent
+    /// `POST /v1/snapshot` collected a newer one could rename its stale
+    /// image over the fresh file after the endpoint already reported
+    /// success — atomic replace guarantees integrity, not freshness.
+    save_serial: std::sync::Mutex<()>,
+}
+
+impl Durability {
+    /// A handle writing `STATE_FILE` inside `dir` (the directory is
+    /// created if absent).
+    ///
+    /// # Errors
+    /// Fails when the directory cannot be created.
+    pub fn new(dir: &Path) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        Ok(Durability {
+            path: dir.join(STATE_FILE),
+            restored: AtomicBool::new(false),
+            save_serial: std::sync::Mutex::new(()),
+        })
+    }
+
+    /// The snapshot file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Whether boot restored a snapshot (the `/healthz` `restored`
+    /// field).
+    pub fn restored(&self) -> bool {
+        self.restored.load(Ordering::Relaxed)
+    }
+
+    /// Boot-time restore. Returns human-readable notes (quarantine
+    /// warnings, per-monitor restore failures) for the caller to log;
+    /// never fails the boot.
+    pub fn boot(
+        &self,
+        registry: &ProfileRegistry,
+        monitors: &MonitorSet,
+        metrics: &Metrics,
+    ) -> Vec<String> {
+        let mut notes = Vec::new();
+        match cc_state::load_or_quarantine::<ServerState>(&self.path) {
+            LoadOutcome::Restored(state) => {
+                let mut restored = 0usize;
+                for entry in state.monitors {
+                    match OnlineMonitor::from_state(entry.state) {
+                        Ok(m) => {
+                            monitors.insert(&entry.name, m);
+                            restored += 1;
+                        }
+                        Err(e) => notes.push(format!(
+                            "monitor '{}' in the snapshot could not be restored ({e}); dropped",
+                            entry.name
+                        )),
+                    }
+                }
+                registry.restore_generation(state.registry_generation);
+                metrics.restore_rows_checked(state.rows_checked);
+                self.restored.store(true, Ordering::Relaxed);
+                notes.push(format!(
+                    "restored state from {} ({restored} monitor{}, generation {})",
+                    self.path.display(),
+                    if restored == 1 { "" } else { "s" },
+                    state.registry_generation
+                ));
+            }
+            LoadOutcome::Fresh(Some(warning)) => notes.push(warning),
+            LoadOutcome::Fresh(None) => {}
+        }
+        notes
+    }
+
+    /// Collects the current state and writes it atomically.
+    ///
+    /// # Errors
+    /// Propagates snapshot write failures (the previous snapshot file,
+    /// if any, is left intact).
+    pub fn save(
+        &self,
+        registry: &ProfileRegistry,
+        monitors: &MonitorSet,
+        metrics: &Metrics,
+    ) -> Result<SaveReport, StateError> {
+        // Collect-then-write as one critical section so concurrent
+        // savers (autosave timer vs /v1/snapshot vs shutdown) can never
+        // publish an older image over a newer one. Poison recovery: a
+        // panicked save wrote nothing (the write is atomic), so the
+        // next save is safe.
+        let _serial = self.save_serial.lock().unwrap_or_else(|p| p.into_inner());
+        let state = collect(registry, monitors, metrics);
+        let generation = state.registry_generation;
+        let n = state.monitors.len();
+        let bytes = cc_state::write_snapshot(&self.path, &state)?;
+        Ok(SaveReport { path: self.path.clone(), bytes, monitors: n, generation })
+    }
+}
+
+/// Assembles the daemon's persistable state: registry generation, the
+/// rows-checked counter, and every monitor's state image (each monitor
+/// locked briefly, one at a time — ingest on other monitors is never
+/// blocked).
+pub fn collect(
+    registry: &ProfileRegistry,
+    monitors: &MonitorSet,
+    metrics: &Metrics,
+) -> ServerState {
+    ServerState {
+        registry_generation: registry.snapshot().generation(),
+        rows_checked: metrics.rows_checked(),
+        monitors: monitors
+            .states()
+            .into_iter()
+            .map(|(name, state)| MonitorEntry { name, state })
+            .collect(),
+    }
+}

@@ -1,0 +1,169 @@
+//! Daemon-level durability: a server started with a state dir snapshots
+//! on demand and at shutdown, a second server over the same dir restores
+//! monitors / generation / counters exactly, `/healthz` reports the
+//! durability posture, and a corrupt snapshot quarantines into a fresh
+//! boot — all over the real HTTP loopback path.
+
+mod common;
+
+use cc_server::json::get as field;
+use cc_server::{HttpClient, ProfileRegistry, Server, ServerConfig, ServerHandle};
+use serde_json::Value;
+use std::path::Path;
+
+fn start_durable(dir: &Path, state_dir: &Path) -> ServerHandle {
+    let registry = ProfileRegistry::from_dir(dir).unwrap();
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        state_dir: Some(state_dir.to_path_buf()),
+        ..ServerConfig::default()
+    };
+    Server::start(config, registry).unwrap()
+}
+
+fn as_bool(v: &Value) -> Option<bool> {
+    match v {
+        Value::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+fn num(v: &Value, key: &str) -> f64 {
+    match field(v, key) {
+        Some(Value::Number(n)) => *n,
+        other => panic!("field {key}: {other:?}"),
+    }
+}
+
+#[test]
+fn snapshot_restart_restores_monitors_generation_and_counters() {
+    let dir = common::temp_dir("durability_profiles");
+    let state = common::temp_dir("durability_state");
+    common::write_profile(&dir, "main", &common::regime_profile(900, 0.0));
+
+    // ── First life: ingest until calibrated, reload twice, /v1/snapshot.
+    let handle = start_durable(&dir, &state);
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+    let health = client.get("/healthz").unwrap().json().unwrap();
+    assert_eq!(as_bool(field(&health, "durable").unwrap()), Some(true));
+    assert_eq!(as_bool(field(&health, "restored").unwrap()), Some(false), "fresh state dir");
+
+    let body = {
+        let Value::Object(mut pairs) = common::columns_body(&common::regime_frame(100, 0.0)) else {
+            panic!("columns_body is an object")
+        };
+        pairs.push(("monitor".into(), Value::String("orders".into())));
+        pairs.push(("window".into(), Value::Number(50.0)));
+        pairs.push(("calibrate".into(), Value::Number(2.0)));
+        Value::Object(pairs)
+    };
+    for _ in 0..3 {
+        let resp = client.post_json("/v1/ingest", &body).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+    }
+    let status = client.get("/v1/monitor?monitor=orders").unwrap().json().unwrap();
+    assert_eq!(as_bool(field(&status, "calibrated").unwrap()), Some(true));
+    let windows_before = num(&status, "windows_closed");
+    assert_eq!(windows_before, 6.0);
+
+    // Bump the registry generation past 1 so the restore floor is visible.
+    for _ in 0..2 {
+        assert_eq!(client.post_json("/v1/reload", &Value::Object(vec![])).unwrap().status, 200);
+    }
+    let snap = client.post_json("/v1/snapshot", &Value::Object(vec![])).unwrap();
+    assert_eq!(snap.status, 200, "{}", snap.text());
+    let snap = snap.json().unwrap();
+    assert_eq!(num(&snap, "monitors"), 1.0);
+    assert_eq!(num(&snap, "generation"), 3.0);
+    assert!(num(&snap, "bytes") > 0.0);
+    // Kill without graceful shutdown: drop the handle hard by leaking it
+    // (no .shutdown() call) — the /v1/snapshot file must be enough.
+    std::mem::forget(handle);
+
+    // ── Second life: same state dir.
+    let handle2 = start_durable(&dir, &state);
+    let mut client2 = HttpClient::connect(handle2.addr()).unwrap();
+    let health = client2.get("/healthz").unwrap().json().unwrap();
+    assert_eq!(as_bool(field(&health, "restored").unwrap()), Some(true));
+    assert_eq!(num(&health, "generation"), 3.0, "generation survives the restart");
+
+    let status = client2.get("/v1/monitor?monitor=orders").unwrap().json().unwrap();
+    assert_eq!(as_bool(field(&status, "calibrated").unwrap()), Some(true), "still calibrated");
+    assert_eq!(num(&status, "windows_closed"), windows_before);
+    assert_eq!(num(&status, "rows_ingested"), 300.0);
+
+    // The restored monitor keeps working: a shifted batch still alarms.
+    let shifted = {
+        let Value::Object(mut pairs) = common::columns_body(&common::regime_frame(200, 60.0))
+        else {
+            panic!("columns_body is an object")
+        };
+        pairs.push(("monitor".into(), Value::String("orders".into())));
+        Value::Object(pairs)
+    };
+    let resp = client2.post_json("/v1/ingest", &shifted).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert_eq!(as_bool(field(&resp.json().unwrap(), "alarm").unwrap()), Some(true));
+
+    // rows_checked survived and keeps accumulating (300 before + 200 now).
+    let metrics = client2.get("/metrics").unwrap();
+    assert!(
+        metrics.text().contains("cc_server_rows_checked_total 500"),
+        "rows_checked should accumulate across the restart:\n{}",
+        metrics.text()
+    );
+
+    // ── Graceful shutdown writes a final snapshot; a third life sees the
+    // alarmed monitor.
+    handle2.shutdown();
+    let handle3 = start_durable(&dir, &state);
+    let mut client3 = HttpClient::connect(handle3.addr()).unwrap();
+    let status = client3.get("/v1/monitor?monitor=orders").unwrap().json().unwrap();
+    assert_eq!(as_bool(field(&status, "alarm").unwrap()), Some(true), "alarm state persisted");
+    handle3.shutdown();
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+#[test]
+fn corrupt_state_file_quarantines_and_boots_fresh() {
+    let dir = common::temp_dir("durability_corrupt_profiles");
+    let state = common::temp_dir("durability_corrupt_state");
+    common::write_profile(&dir, "main", &common::regime_profile(600, 0.0));
+    std::fs::write(state.join(cc_server::STATE_FILE), "{definitely not a snapshot").unwrap();
+
+    let handle = start_durable(&dir, &state);
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+    let health = client.get("/healthz").unwrap().json().unwrap();
+    assert_eq!(as_bool(field(&health, "restored").unwrap()), Some(false));
+    assert_eq!(field(&health, "status"), Some(&Value::String("ok".into())), "still serving");
+    assert!(
+        state.join(format!("{}.corrupt", cc_server::STATE_FILE)).exists(),
+        "damaged snapshot must be quarantined"
+    );
+    // The quarantined file does not block new snapshots.
+    let snap = client.post_json("/v1/snapshot", &Value::Object(vec![])).unwrap();
+    assert_eq!(snap.status, 200, "{}", snap.text());
+    handle.shutdown();
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+#[test]
+fn snapshot_without_state_dir_is_a_conflict() {
+    let dir = common::temp_dir("durability_nodir");
+    common::write_profile(&dir, "main", &common::regime_profile(600, 0.0));
+    let handle = common::start_server(&dir, 1);
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+    let health = client.get("/healthz").unwrap().json().unwrap();
+    assert_eq!(as_bool(field(&health, "durable").unwrap()), Some(false));
+    let resp = client.post_json("/v1/snapshot", &Value::Object(vec![])).unwrap();
+    assert_eq!(resp.status, 409, "{}", resp.text());
+    // Method guard: GET /v1/snapshot is 405.
+    assert_eq!(client.get("/v1/snapshot").unwrap().status, 405);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

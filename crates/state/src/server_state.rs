@@ -1,0 +1,41 @@
+//! The serving daemon's snapshot payload.
+//!
+//! [`ServerState`] is what `cc_server` persists under `--state-dir`:
+//! the profile-registry generation, the serving counters worth
+//! surviving a restart, and the complete state image of every named
+//! online monitor (see [`cc_monitor::snapshot`] for the per-monitor
+//! contract). Everything else the daemon holds — compiled plans, open
+//! connections, latency histograms — is either derived (recompiled on
+//! boot) or meaningless across a restart.
+
+use cc_monitor::MonitorState;
+use serde::{Deserialize, Serialize};
+
+/// One named monitor's persisted state.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MonitorEntry {
+    /// Registry name (the `monitor` field of `/v1/ingest`).
+    pub name: String,
+    /// Complete monitor state image.
+    pub state: MonitorState,
+}
+
+/// The daemon's complete persisted state.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServerState {
+    /// Profile-registry reload generation at snapshot time. Restored as
+    /// a floor so `/healthz` generations stay monotone across restarts.
+    pub registry_generation: u64,
+    /// Cumulative rows scored through the serving endpoints
+    /// (`cc_server_rows_checked_total`).
+    pub rows_checked: u64,
+    /// Every named monitor, sorted by name.
+    pub monitors: Vec<MonitorEntry>,
+}
+
+impl ServerState {
+    /// Total rows ingested across all persisted monitors (diagnostic).
+    pub fn monitor_rows(&self) -> u64 {
+        self.monitors.iter().map(|m| m.state.rows_ingested).sum()
+    }
+}

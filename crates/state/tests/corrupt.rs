@@ -1,0 +1,132 @@
+//! Damage-tolerance tests: a snapshot file mangled in any way —
+//! truncated write, bit rot, a future format version, or plain garbage
+//! — must quarantine (renamed `*.corrupt`), boot fresh, and never
+//! panic. Plus the shared-state-dir property: concurrent writers can't
+//! clobber each other's temp files, and a reader racing the writers
+//! always sees a complete, verifiable snapshot.
+
+use cc_state::{load_or_quarantine, read_snapshot, write_snapshot, LoadOutcome, StateError};
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cc_state_it_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Writes a valid snapshot, applies `mangle` to its text, and asserts
+/// the mangled file quarantines cleanly.
+fn assert_quarantines(tag: &str, mangle: impl FnOnce(String) -> String) {
+    let dir = temp_dir(tag);
+    let path = dir.join("state.json");
+    write_snapshot(&path, &vec![1.0f64, 2.0, 3.0]).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, mangle(text)).unwrap();
+
+    let outcome: LoadOutcome<Vec<f64>> = load_or_quarantine(&path);
+    match outcome {
+        LoadOutcome::Fresh(Some(warning)) => {
+            assert!(warning.contains("corrupt"), "warning should say corrupt: {warning}");
+        }
+        other => panic!("{tag}: expected Fresh(with warning), got {other:?}"),
+    }
+    assert!(!path.exists(), "{tag}: damaged file must be moved aside");
+    let quarantined = cc_state::quarantine_path(&path);
+    assert!(quarantined.exists(), "{tag}: quarantine file must exist");
+    // Boot again: the quarantined file is out of the way, so the second
+    // boot is a clean fresh start (no warning, no crash loop).
+    match load_or_quarantine::<Vec<f64>>(&path) {
+        LoadOutcome::Fresh(None) => {}
+        other => panic!("{tag}: second boot should be clean, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_file_quarantines() {
+    assert_quarantines("truncated", |text| text[..text.len() / 2].to_owned());
+}
+
+#[test]
+fn bad_checksum_quarantines() {
+    // Corrupt the payload without touching the recorded checksum: the
+    // envelope still parses, magic and version check out, but the
+    // payload no longer hashes to the recorded value.
+    assert_quarantines("badsum", |text| {
+        assert!(text.contains("[1,2,3]"), "fixture drifted: {text}");
+        text.replace("[1,2,3]", "[7,2,3]")
+    });
+}
+
+#[test]
+fn wrong_version_quarantines() {
+    assert_quarantines("version", |text| text.replace("\"version\":1", "\"version\":99"));
+}
+
+#[test]
+fn garbage_json_quarantines() {
+    assert_quarantines("garbage", |_| "this is not json at all {{{".to_owned());
+}
+
+#[test]
+fn wrong_magic_quarantines() {
+    assert_quarantines("magic", |text| text.replace("ccstate", "ccnope"));
+}
+
+#[test]
+fn payload_type_mismatch_is_corrupt_not_panic() {
+    let dir = temp_dir("typemismatch");
+    let path = dir.join("state.json");
+    write_snapshot(&path, &vec![1.0f64]).unwrap();
+    // Valid envelope, valid checksum — but the payload is an array, and
+    // the caller asks for a bool.
+    match read_snapshot::<bool>(&path) {
+        Err(StateError::Corrupt(msg)) => assert!(msg.contains("payload"), "{msg}"),
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Two writers sharing one state directory (two daemons pointed at the
+/// same `--state-dir`, or autosave racing `POST /v1/snapshot`) never
+/// clobber each other's temp files, and every concurrent read observes
+/// a complete snapshot — the atomic-replace guarantee under contention.
+#[test]
+fn concurrent_writers_never_clobber_or_tear() {
+    let dir = temp_dir("writers");
+    let path = dir.join("state.json");
+    write_snapshot(&path, &vec![0.0f64; 4]).unwrap();
+
+    std::thread::scope(|scope| {
+        for writer in 0..2 {
+            let path = path.clone();
+            scope.spawn(move || {
+                for i in 0..60u64 {
+                    let payload = vec![(writer * 1000 + i) as f64; 4];
+                    write_snapshot(&path, &payload).unwrap();
+                }
+            });
+        }
+        let path = path.clone();
+        scope.spawn(move || {
+            for _ in 0..200 {
+                // Every read must verify: full envelope, matching
+                // checksum, 4-element payload from exactly one writer.
+                let v: Vec<f64> = read_snapshot(&path).expect("reader saw a torn snapshot");
+                assert_eq!(v.len(), 4);
+                assert!(v.iter().all(|&x| x == v[0]), "mixed-writer payload: {v:?}");
+            }
+        });
+    });
+
+    // No temp files survive the contention.
+    let stray: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n != "state.json")
+        .collect();
+    assert!(stray.is_empty(), "stray files after concurrent writes: {stray:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -23,7 +23,10 @@
 //! * [`server`] — the `cc_server` serving daemon: `std::net` HTTP/1.1,
 //!   hot-swappable profile registry, check/explain/drift endpoints,
 //!   online monitors (`/v1/ingest`, `/v1/monitor`), Prometheus metrics
-//!   (CLI: `ccsynth serve`).
+//!   (CLI: `ccsynth serve`);
+//! * [`state`] — crash-safe durability: versioned, checksummed,
+//!   atomically-replaced state snapshots for the daemon and the online
+//!   monitors (CLI: `serve --state-dir`, `monitor --resume`).
 //!
 //! ## Quickstart
 //!
@@ -54,6 +57,7 @@ pub use cc_linalg as linalg;
 pub use cc_models as models;
 pub use cc_monitor as monitor;
 pub use cc_server as server;
+pub use cc_state as state;
 pub use cc_stats as stats;
 pub use conformance;
 

@@ -39,10 +39,10 @@ const USAGE: &str = "usage:
   ccsynth profile <data.csv> --out <profile.json> [--drop <col>]... [--shards <n>]
   ccsynth check   <data.csv> --profile <profile.json> [--threshold <t>] [--threads <n>] [--top <k>] [--dump]
   ccsynth drift   <data.csv> --profile <profile.json> [--threads <n>] [--window <n> [--stride <s>]]
-  ccsynth monitor <data.csv|-> --profile <profile.json> [--window <n>] [--stride <s>] [--detector <d>] [--calibrate <k>] [--patience <p>] [--propose-out <f>]
+  ccsynth monitor <data.csv|-> (--profile <profile.json> | --resume <snapshot>) [--window <n>] [--stride <s>] [--detector <d>] [--calibrate <k>] [--patience <p>] [--propose-out <f>] [--state-out <f>]
   ccsynth explain <profile.json> <train.csv> <serve.csv> [--sample <n>]
   ccsynth sql     <profile.json> <table_name>
-  ccsynth serve   [--dir <profiles-dir>] [--profile <file>]... [--addr <host:port>] [--workers <n>] [--max-body-mb <n>]";
+  ccsynth serve   [--dir <profiles-dir>] [--profile <file>]... [--addr <host:port>] [--workers <n>] [--max-body-mb <n>] [--state-dir <d>] [--autosave-secs <n>]";
 
 /// Per-subcommand usage lines (printed on `--help` and usage errors).
 fn usage_of(cmd: &str) -> &'static str {
@@ -76,18 +76,24 @@ complete window; --stride must divide --window, default --window).
   --stride <s>    rows between window starts (requires --window)"
         }
         "monitor" => {
-            "usage: ccsynth monitor <data.csv|-> --profile <profile.json> [--window <n>] [--stride <s>] [--detector <d>] [--calibrate <k>] [--patience <p>] [--propose-out <f>]\n
+            "usage: ccsynth monitor <data.csv|-> (--profile <profile.json> | --resume <snapshot>) [--window <n>] [--stride <s>] [--detector <d>] [--calibrate <k>] [--patience <p>] [--propose-out <f>] [--state-out <f>]\n
 Online conformance monitoring: tails CSV tuples from a file or stdin
 ('-'), scores each through the compiled profile, closes tumbling or
 sliding windows, runs change-point detection on the drift series, and
 proposes a resynthesized profile on sustained alarm.
   --profile <f>     profile JSON written by `ccsynth profile --out`
+  --resume <f>      resume from a monitor state snapshot (written by
+                    --state-out); carries the profile, geometry, detector
+                    calibration, windows, and counters — so the geometry/
+                    detector flags and --profile conflict with it
   --window <n>      rows per window (default 512)
   --stride <s>      rows between closes; must divide --window (default --window)
   --detector <d>    ewma | cusum | page-hinkley (default cusum)
   --calibrate <k>   windows forming the detector baseline (default 8)
   --patience <p>    consecutive alarmed windows before proposing (default 3)
-  --propose-out <f> write the pending proposed profile JSON at exit"
+  --propose-out <f> write the pending proposed profile JSON at exit
+  --state-out <f>   write the monitor state snapshot at exit (resumable
+                    via --resume, bit-identical continuation)"
         }
         "explain" => {
             "usage: ccsynth explain <profile.json> <train.csv> <serve.csv> [--sample <n>]\n
@@ -96,17 +102,21 @@ ExTuNe: ranks attributes by responsibility for non-conformance.
         }
         "sql" => "usage: ccsynth sql <profile.json> <table_name>\n\nRenders the profile as a SQL CHECK-style guard for a table.",
         "serve" => {
-            "usage: ccsynth serve [--dir <profiles-dir>] [--profile <file>]... [--addr <host:port>] [--workers <n>] [--max-body-mb <n>]\n
+            "usage: ccsynth serve [--dir <profiles-dir>] [--profile <file>]... [--addr <host:port>] [--workers <n>] [--max-body-mb <n>] [--state-dir <d>] [--autosave-secs <n>]\n
 Starts the cc_server daemon over a directory (or explicit files) of
 profile JSON. Endpoints: POST /v1/check, /v1/explain, /v1/drift,
-/v1/ingest, /v1/reload; GET /v1/profiles, /v1/monitor, /healthz,
-/metrics; DELETE /v1/monitor. SIGINT/SIGTERM shut down gracefully
-(in-flight requests complete).
-  --dir <d>         serve every *.json in d (default: profiles/)
-  --profile <f>     serve an explicit profile file (repeatable)
-  --addr <a>        bind address (default 127.0.0.1:8642; port 0 = ephemeral)
-  --workers <n>     worker threads (default 4)
-  --max-body-mb <n> request body limit in MiB (default 32)"
+/v1/ingest, /v1/reload, /v1/snapshot; GET /v1/profiles, /v1/monitor,
+/healthz, /metrics; DELETE /v1/monitor. SIGINT/SIGTERM shut down
+gracefully (in-flight requests complete).
+  --dir <d>           serve every *.json in d (default: profiles/)
+  --profile <f>       serve an explicit profile file (repeatable)
+  --addr <a>          bind address (default 127.0.0.1:8642; port 0 = ephemeral)
+  --workers <n>       worker threads (default 4)
+  --max-body-mb <n>   request body limit in MiB (default 32)
+  --state-dir <d>     durable state: restore on boot (corrupt snapshots
+                      quarantined), snapshot on shutdown and on
+                      POST /v1/snapshot
+  --autosave-secs <n> also snapshot every n seconds (requires --state-dir)"
         }
         _ => USAGE,
     }
@@ -391,41 +401,65 @@ impl<R: std::io::BufRead> CsvTail<R> {
 fn cmd_monitor(args: &[String]) -> Result<(), CliError> {
     let flags = [
         Flag::value("--profile"),
+        Flag::value("--resume"),
         Flag::value("--window"),
         Flag::value("--stride"),
         Flag::value("--detector"),
         Flag::value("--calibrate"),
         Flag::value("--patience"),
         Flag::value("--propose-out"),
+        Flag::value("--state-out"),
     ];
     let p = parse(args, &flags)?;
     let [data_path] = p.positionals() else {
         return Err(CliError::Usage("monitor needs exactly one <data.csv> (or '-')".into()));
     };
-    let profile_path = p
-        .value("--profile")
-        .ok_or_else(|| CliError::Usage("monitor needs --profile <profile.json>".into()))?
-        .to_owned();
-    let window = p.count_or("--window", 512)?;
-    let stride = p.count_or("--stride", window)?;
-    let spec = WindowSpec::new(window, stride).map_err(|e| CliError::Usage(e.to_string()))?;
-    let detector = match p.value("--detector") {
-        None => DetectorKind::Cusum,
-        Some(d) => DetectorKind::parse(d).ok_or_else(|| {
-            CliError::Usage(format!("unknown detector '{d}' (ewma, cusum, page-hinkley)"))
-        })?,
+    let mut monitor = if let Some(resume_path) = p.value("--resume") {
+        // A snapshot carries the profile, geometry, detector calibration,
+        // and counters — flags that would silently disagree with it are
+        // usage errors, not surprises.
+        for flag in ["--profile", "--window", "--stride", "--detector", "--calibrate", "--patience"]
+        {
+            if p.value(flag).is_some() {
+                return Err(CliError::Usage(format!(
+                    "{flag} conflicts with --resume (the snapshot already carries it)"
+                )));
+            }
+        }
+        let state: ccsynth::monitor::MonitorState =
+            ccsynth::state::read_snapshot(std::path::Path::new(resume_path))
+                .map_err(|e| CliError::Runtime(format!("cannot resume from {resume_path}: {e}")))?;
+        OnlineMonitor::from_state(state).map_err(|e| {
+            CliError::Runtime(format!("snapshot {resume_path} is inconsistent: {e}"))
+        })?
+    } else {
+        let profile_path = p
+            .value("--profile")
+            .ok_or_else(|| {
+                CliError::Usage(
+                    "monitor needs --profile <profile.json> (or --resume <snapshot>)".into(),
+                )
+            })?
+            .to_owned();
+        let window = p.count_or("--window", 512)?;
+        let stride = p.count_or("--stride", window)?;
+        let spec = WindowSpec::new(window, stride).map_err(|e| CliError::Usage(e.to_string()))?;
+        let detector = match p.value("--detector") {
+            None => DetectorKind::Cusum,
+            Some(d) => DetectorKind::parse(d).ok_or_else(|| {
+                CliError::Usage(format!("unknown detector '{d}' (ewma, cusum, page-hinkley)"))
+            })?,
+        };
+        let cfg = MonitorConfig {
+            spec,
+            detector,
+            calibration_windows: p.count_or("--calibrate", 8)?,
+            patience: p.count_or("--patience", 3)?,
+            ..MonitorConfig::default()
+        };
+        let profile = load_profile(&profile_path).map_err(CliError::Runtime)?;
+        OnlineMonitor::new(profile, cfg).map_err(|e| CliError::Usage(e.to_string()))?
     };
-    let cfg = MonitorConfig {
-        spec,
-        detector,
-        calibration_windows: p.count_or("--calibrate", 8)?,
-        patience: p.count_or("--patience", 3)?,
-        ..MonitorConfig::default()
-    };
-
-    let profile = load_profile(&profile_path).map_err(CliError::Runtime)?;
-    let mut monitor =
-        OnlineMonitor::new(profile, cfg).map_err(|e| CliError::Usage(e.to_string()))?;
 
     let mut tail: CsvTail<Box<dyn std::io::BufRead>> = {
         let reader: Box<dyn std::io::BufRead> = if data_path == "-" {
@@ -438,18 +472,55 @@ fn cmd_monitor(args: &[String]) -> Result<(), CliError> {
         CsvTail::open(reader, monitor.plan().attributes()).map_err(CliError::Runtime)?
     };
 
+    let (window, stride) = (monitor.config().spec.window(), monitor.config().spec.stride());
+    let resumed = monitor.rows_ingested();
     println!(
-        "monitoring {data_path}: window {window}, stride {stride}, detector {}, calibrate {}",
-        detector.name(),
-        monitor.config().calibration_windows
+        "monitoring {data_path}: window {window}, stride {stride}, detector {}, calibrate {}{}",
+        monitor.config().detector.name(),
+        monitor.config().calibration_windows,
+        if p.value("--resume").is_some() {
+            format!(
+                " (resumed at {resumed} rows, {} windows, {})",
+                monitor.windows_closed(),
+                if monitor.calibrated() { "calibrated" } else { "calibrating" }
+            )
+        } else {
+            String::new()
+        }
     );
     println!(
         "{:>7} {:>8} {:>10} {:>10} {:>10}  state",
         "window", "rows", "drift", "stat", "thresh"
     );
+    // A long-lived tail's natural stop is SIGINT/SIGTERM — flush the
+    // --state-out / --propose-out files on the way down instead of
+    // dying with the calibration unwritten (the cold-start loss
+    // durability exists to prevent). The flag is checked between
+    // chunks; a reader blocked on a quiet stdin flushes as soon as the
+    // pipe delivers data or EOF (a killed producer closes it).
+    install_shutdown_handler();
     let chunk_rows = stride.min(4096);
-    while let Some(batch) = tail.next_chunk(chunk_rows).map_err(CliError::Runtime)? {
-        let report = monitor.ingest(&batch).map_err(|e| CliError::Runtime(e.to_string()))?;
+    // A mid-stream failure (malformed CSV line, missing column) must
+    // also reach the flush below — state accumulated over hours is
+    // worth keeping even when the stream goes bad. The error is
+    // reported (exit 1) *after* the state is written.
+    let mut stream_error: Option<String> = None;
+    while !SHUTDOWN_REQUESTED.load(Ordering::SeqCst) {
+        let batch = match tail.next_chunk(chunk_rows) {
+            Ok(Some(b)) => b,
+            Ok(None) => break,
+            Err(e) => {
+                stream_error = Some(e);
+                break;
+            }
+        };
+        let report = match monitor.ingest(&batch) {
+            Ok(r) => r,
+            Err(e) => {
+                stream_error = Some(e.to_string());
+                break;
+            }
+        };
         for w in &report.windows {
             let state = match w.phase {
                 ccsynth::monitor::WindowPhase::Calibrating => "calibrating",
@@ -476,6 +547,11 @@ fn cmd_monitor(args: &[String]) -> Result<(), CliError> {
         // Keep a tailing pipe readable line by line.
         let _ = std::io::stdout().flush();
     }
+    if SHUTDOWN_REQUESTED.load(Ordering::SeqCst) {
+        println!("\nsignal received; flushing state");
+    } else if let Some(e) = &stream_error {
+        println!("\nstream error ({e}); flushing state before exiting");
+    }
 
     let status = monitor.status();
     println!(
@@ -498,7 +574,15 @@ fn cmd_monitor(args: &[String]) -> Result<(), CliError> {
             None => println!("no pending proposal; {out} not written"),
         }
     }
-    Ok(())
+    if let Some(out) = p.value("--state-out") {
+        let bytes = ccsynth::state::write_snapshot(std::path::Path::new(out), &monitor.state())
+            .map_err(|e| CliError::Runtime(format!("cannot write state to {out}: {e}")))?;
+        println!("wrote monitor state snapshot to {out} ({bytes} bytes; resume with --resume)");
+    }
+    match stream_error {
+        Some(e) => Err(CliError::Runtime(e)),
+        None => Ok(()),
+    }
 }
 
 fn cmd_explain(args: &[String]) -> Result<(), CliError> {
@@ -532,7 +616,8 @@ fn cmd_sql(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Set by the SIGINT/SIGTERM handler; polled by `cmd_serve`'s main loop.
+/// Set by the SIGINT/SIGTERM handler; polled by `cmd_serve`'s main loop
+/// and by `cmd_monitor`'s chunk loop (both flush state on the way down).
 static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
 
 #[cfg(unix)]
@@ -561,6 +646,8 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         Flag::value("--addr"),
         Flag::value("--workers"),
         Flag::value("--max-body-mb"),
+        Flag::value("--state-dir"),
+        Flag::value("--autosave-secs"),
     ];
     let p = parse(args, &flags)?;
     if !p.positionals().is_empty() {
@@ -583,15 +670,28 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         .count_or("--max-body-mb", 32)?
         .checked_mul(1024 * 1024)
         .ok_or_else(|| CliError::Usage("--max-body-mb is too large".into()))?;
+    let state_dir = p.value("--state-dir").map(std::path::PathBuf::from);
+    let autosave = match p.value("--autosave-secs") {
+        None => None,
+        Some(_) if state_dir.is_none() => {
+            return Err(CliError::Usage("--autosave-secs requires --state-dir".into()));
+        }
+        Some(_) => match p.count_or("--autosave-secs", 0)? {
+            0 => return Err(CliError::Usage("--autosave-secs must be positive".into())),
+            secs => Some(std::time::Duration::from_secs(secs as u64)),
+        },
+    };
     let config = ServerConfig {
         addr: p.value("--addr").unwrap_or("127.0.0.1:8642").to_owned(),
         workers: p.count_or("--workers", 4)?,
         max_body_bytes,
+        state_dir,
+        autosave,
         ..ServerConfig::default()
     };
     let workers = config.workers;
     let handle = Server::start(config, registry)
-        .map_err(|e| CliError::Runtime(format!("cannot bind: {e}")))?;
+        .map_err(|e| CliError::Runtime(format!("cannot start server: {e}")))?;
     let snap = handle.registry().snapshot();
     println!(
         "cc_server listening on http://{} ({} profile{}, {workers} workers)",
@@ -599,6 +699,12 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         snap.entries().len(),
         if snap.entries().len() == 1 { "" } else { "s" },
     );
+    if handle.durable() {
+        println!(
+            "durable state: {}",
+            if handle.restored() { "restored from snapshot" } else { "starting fresh" }
+        );
+    }
     for e in snap.entries() {
         println!("  profile '{}': {} constraints", e.name, e.plan.constraint_count());
     }

@@ -244,6 +244,61 @@ impl_tuple! {
     (A: 0, B: 1, C: 2, D: 3)
 }
 
+/// Lossless `f64` encoding for state-persistence payloads: finite
+/// values stay JSON numbers (shortest-round-trip), non-finite values —
+/// which plain JSON collapses to `null`, read back as NaN — are encoded
+/// as hex bit-pattern strings (`"0x7ff0000000000000"`), so `+∞`, `−∞`,
+/// and NaN payload bits all survive a round-trip exactly. Wire-facing
+/// reports keep the plain (`null`) encoding; snapshot formats opt into
+/// this one via manual impls.
+pub mod lossless {
+    use super::{DeError, Value};
+
+    /// Encodes one `f64` losslessly.
+    pub fn f64_to_value(x: f64) -> Value {
+        if x.is_finite() {
+            Value::Number(x)
+        } else {
+            Value::String(format!("0x{:016x}", x.to_bits()))
+        }
+    }
+
+    /// Decodes an `f64` written by [`f64_to_value`].
+    ///
+    /// # Errors
+    /// Rejects malformed bit-pattern strings and non-numeric values.
+    pub fn f64_from_value(v: &Value) -> Result<f64, DeError> {
+        match v {
+            Value::Number(n) => Ok(*n),
+            Value::String(s) => {
+                let hex = s.strip_prefix("0x").ok_or_else(|| {
+                    DeError::custom(format!("expected 0x-prefixed f64 bit pattern, found {s:?}"))
+                })?;
+                u64::from_str_radix(hex, 16)
+                    .map(f64::from_bits)
+                    .map_err(|_| DeError::custom(format!("invalid f64 bit pattern {s:?}")))
+            }
+            other => Err(DeError::custom(format!("expected number, found {}", other.kind()))),
+        }
+    }
+
+    /// Encodes a slice of `f64`s losslessly.
+    pub fn vec_to_value(xs: &[f64]) -> Value {
+        Value::Array(xs.iter().copied().map(f64_to_value).collect())
+    }
+
+    /// Decodes a vector written by [`vec_to_value`].
+    ///
+    /// # Errors
+    /// Rejects non-arrays and malformed elements.
+    pub fn vec_from_value(v: &Value) -> Result<Vec<f64>, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(f64_from_value).collect(),
+            other => Err(DeError::custom(format!("expected array, found {}", other.kind()))),
+        }
+    }
+}
+
 impl Serialize for Value {
     fn to_value(&self) -> Value {
         self.clone()
