@@ -1,24 +1,35 @@
 //! HTTP serving throughput: the `cc_server` daemon driven over loopback
-//! with concurrent keep-alive connections.
+//! with concurrent keep-alive connections, on both wire encodings.
 //!
 //! ```text
-//! cargo run --release -p cc_bench --bin bench_serve [total_rows] [connections] [workers]
+//! cargo run --release -p cc_bench --bin bench_serve [total_rows] [workers] [io]
 //! ```
 //!
 //! Synthesizes a profile, writes it to a registry directory, starts the
-//! daemon in-process on an ephemeral port, then pushes `total_rows`
-//! tuples through `POST /v1/check` in fixed-size batches from
-//! `connections` concurrent keep-alive clients. The measured number is
-//! end-to-end wall-clock rows/s **through the HTTP path** — client-side
-//! JSON serialization, the daemon's parse → compiled-plan evaluation →
-//! response serialization, and client-side response parsing all
-//! included. One batch per connection is additionally checked
-//! bit-identical against the direct library call; the report lands in
-//! `BENCH_serve.json`.
+//! daemon in-process on an ephemeral port (connection core chosen by the
+//! `io` argument: `auto` | `epoll` | `threads`), then sweeps a
+//! wire × connections grid — JSON and binary columnar bodies, each from
+//! 1, 2, and 4 concurrent keep-alive clients — pushing `total_rows`
+//! tuples through `POST /v1/check` per cell. The measured number is
+//! end-to-end wall-clock rows/s **through the HTTP path**: request
+//! bytes on the socket, the daemon's decode → compiled-plan evaluation →
+//! reply encode, and the client reading the reply.
+//!
+//! Accounting is reconciled, not assumed: every request the benchmark
+//! sends is tallied as either warmup (correctness gates + connection
+//! priming, off the clock) or measured, and at the end the daemon's own
+//! `cc_server_rows_checked_total` must equal `warmup_rows +
+//! measured_rows` exactly — if the driver and the server disagree about
+//! how many rows were served, the run aborts rather than reporting a
+//! throughput built on miscounted work. One batch per connection per
+//! wire is additionally checked bit-identical against the direct library
+//! call; the worst observed delta is what lands in the report. The
+//! headline `rows_per_sec` (what CI floors) is the best columnar cell.
 
 use cc_bench::median;
 use cc_frame::DataFrame;
-use cc_server::{HttpClient, ProfileRegistry, Server, ServerConfig};
+use cc_server::wire::CONTENT_TYPE_COLUMNAR;
+use cc_server::{HttpClient, IoMode, ProfileRegistry, Server, ServerConfig};
 use conformance::{synthesize, CompiledProfile, SynthOptions};
 use serde_json::Value;
 use std::time::Instant;
@@ -26,9 +37,12 @@ use std::time::Instant;
 /// Rows per `/v1/check` request.
 const BATCH_ROWS: usize = 4096;
 
+/// Concurrent keep-alive clients, swept per wire encoding.
+const CONNECTIONS: [usize; 3] = [1, 2, 4];
+
 /// The serving workload: four numeric channels with one exact invariant
-/// (`z = x + 2y + 1`) — representative arithmetic, JSON-light enough
-/// that the wire (not synthesis) is what's being measured.
+/// (`z = x + 2y + 1`) — representative arithmetic, wire-light enough
+/// that the transport (not synthesis) is what's being measured.
 fn serve_frame(n: usize, offset: usize) -> DataFrame {
     let mut x = Vec::with_capacity(n);
     let mut y = Vec::with_capacity(n);
@@ -60,14 +74,56 @@ fn violations_of(resp: &Value) -> Vec<f64> {
     items.iter().map(|v| cc_server::json::as_f64(v).expect("numeric violation")).collect()
 }
 
+/// One wire encoding's request machinery: the prebuilt body bytes per
+/// connection and how to issue/decode a `/v1/check` round trip.
+struct Wire {
+    name: &'static str,
+    /// `(body, source frame)` per connection slot.
+    payloads: Vec<(Vec<u8>, DataFrame)>,
+}
+
+impl Wire {
+    fn post(&self, client: &mut HttpClient, body: &[u8]) -> cc_server::ClientResponse {
+        let resp = match self.name {
+            "json" => client.request("POST", "/v1/check", body).expect("check"),
+            _ => client
+                .request_with(
+                    "POST",
+                    "/v1/check",
+                    body,
+                    &[("content-type", CONTENT_TYPE_COLUMNAR), ("accept", CONTENT_TYPE_COLUMNAR)],
+                )
+                .expect("check"),
+        };
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        resp
+    }
+
+    fn violations(&self, resp: &cc_server::ClientResponse) -> Vec<f64> {
+        match self.name {
+            "json" => violations_of(&resp.json().expect("json response")),
+            _ => cc_server::wire::decode_violations(&resp.body).expect("columnar reply"),
+        }
+    }
+}
+
+fn scrape_rows_checked(addr: std::net::SocketAddr) -> f64 {
+    let metrics =
+        HttpClient::connect(addr).and_then(|mut c| c.get("/metrics")).expect("metrics scrape");
+    metrics
+        .text()
+        .lines()
+        .find_map(|l| l.strip_prefix("cc_server_rows_checked_total "))
+        .and_then(|v| v.parse::<f64>().ok())
+        .expect("rows_checked metric")
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let total_rows: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(400_000);
-    let connections: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
     let workers: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
-    let batches_total = total_rows.div_ceil(BATCH_ROWS);
-    let batches_per_conn = batches_total.div_ceil(connections);
-    let total_rows = batches_per_conn * connections * BATCH_ROWS;
+    let io = args.next().map(|s| IoMode::parse(&s).expect("io: auto|epoll|threads"));
+    let io = io.unwrap_or(IoMode::Auto);
 
     println!("profiling training frame…");
     let train = serve_frame(50_000, 0);
@@ -85,103 +141,173 @@ fn main() {
 
     let registry = ProfileRegistry::from_dir(&dir).expect("registry loads");
     let config =
-        ServerConfig { addr: "127.0.0.1:0".to_owned(), workers, ..ServerConfig::default() };
+        ServerConfig { addr: "127.0.0.1:0".to_owned(), workers, io, ..ServerConfig::default() };
     let handle = Server::start(config, registry).expect("server starts");
     let addr = handle.addr();
-    println!(
-        "daemon on http://{addr} ({workers} workers); {connections} connections × \
-         {batches_per_conn} batches × {BATCH_ROWS} rows"
-    );
+    let backend = handle.io_backend();
+    println!("daemon on http://{addr} ({workers} workers, {backend} io)");
 
     // Per-connection distinct batches (offset), serialized once up front
-    // so the timed loop measures the wire + server, not body building.
-    let t0 = Instant::now();
-    let payloads: Vec<(Vec<u8>, DataFrame)> = (0..connections)
-        .map(|c| {
-            let df = serve_frame(BATCH_ROWS, c * BATCH_ROWS);
-            let body = serde_json::to_string(&cc_server::json::columns_body(&df))
-                .expect("body serializes")
-                .into_bytes();
-            (body, df)
-        })
-        .collect();
-    println!("built {} request payloads in {:.2}s", connections, t0.elapsed().as_secs_f64());
-
-    // Correctness gate before the clock starts: every connection's batch
-    // must round-trip bit-identically to the library path. The measured
-    // (not assumed) worst delta is what lands in the report — the CI jq
-    // floor checks the same number this loop computed.
-    let mut max_abs_delta = 0.0f64;
-    for (body, df) in &payloads {
-        let mut client = HttpClient::connect(addr).expect("connect");
-        let resp = client.request("POST", "/v1/check", body).expect("check");
-        assert_eq!(resp.status, 200, "{}", resp.text());
-        let got = violations_of(&resp.json().expect("json response"));
-        let want = plan.violations(df).expect("library eval");
-        assert_eq!(got.len(), want.len());
-        let delta = got.iter().zip(&want).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
-        assert_eq!(delta, 0.0, "HTTP path diverged from the library path");
-        max_abs_delta = max_abs_delta.max(delta);
-    }
-    println!("bit-identity gate passed (HTTP ≡ library, max |Δ| = {max_abs_delta})");
-
-    let started = Instant::now();
-    let latencies: Vec<Vec<f64>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = payloads
-            .iter()
-            .map(|(body, _)| {
-                scope.spawn(move || {
-                    let mut client = HttpClient::connect(addr).expect("connect");
-                    let mut lat = Vec::with_capacity(batches_per_conn);
-                    for _ in 0..batches_per_conn {
-                        let t = Instant::now();
-                        let resp = client.request("POST", "/v1/check", body).expect("check");
-                        assert_eq!(resp.status, 200);
-                        lat.push(t.elapsed().as_secs_f64());
-                    }
-                    lat
+    // in both encodings so the timed loops measure the wire + server,
+    // not body building.
+    let max_conns = *CONNECTIONS.iter().max().expect("nonempty sweep");
+    let frames: Vec<DataFrame> =
+        (0..max_conns).map(|c| serve_frame(BATCH_ROWS, c * BATCH_ROWS)).collect();
+    let wires = [
+        Wire {
+            name: "json",
+            payloads: frames
+                .iter()
+                .map(|df| {
+                    let body = serde_json::to_string(&cc_server::json::columns_body(df))
+                        .expect("body serializes")
+                        .into_bytes();
+                    (body, df.clone())
                 })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
-    });
-    let seconds = started.elapsed().as_secs_f64();
-    let rows_per_sec = total_rows as f64 / seconds;
+                .collect(),
+        },
+        Wire {
+            name: "columnar",
+            payloads: frames
+                .iter()
+                .map(|df| (cc_server::wire::encode_frame(df), df.clone()))
+                .collect(),
+        },
+    ];
+    for w in &wires {
+        println!("{:>8} body: {} bytes / {BATCH_ROWS} rows", w.name, w.payloads[0].0.len());
+    }
 
-    let mut all_lat: Vec<f64> = latencies.into_iter().flatten().collect();
-    all_lat.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let pct = |p: f64| all_lat[((all_lat.len() - 1) as f64 * p) as usize];
+    // Every request sent is tallied into exactly one of these; the
+    // daemon's own rows_checked counter must agree at the end.
+    let mut warmup_rows = 0usize;
+    let mut measured_rows = 0usize;
+    let mut max_abs_delta = 0.0f64;
+
+    // Correctness gate before any clock starts: every connection's batch
+    // must round-trip bit-identically to the library path, per wire. The
+    // measured (not assumed) worst delta is what lands in the report —
+    // the CI jq floor checks the same number this loop computed.
+    for wire in &wires {
+        for (body, df) in &wire.payloads {
+            let mut client = HttpClient::connect(addr).expect("connect");
+            let resp = wire.post(&mut client, body);
+            warmup_rows += df.n_rows();
+            let got = wire.violations(&resp);
+            let want = plan.violations(df).expect("library eval");
+            assert_eq!(got.len(), want.len());
+            let delta = got.iter().zip(&want).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+            assert_eq!(delta, 0.0, "{} HTTP path diverged from the library path", wire.name);
+            max_abs_delta = max_abs_delta.max(delta);
+        }
+    }
+    println!("bit-identity gate passed (HTTP ≡ library on both wires, max |Δ| = {max_abs_delta})");
+
+    let mut runs: Vec<Value> = Vec::new();
+    let mut best_columnar = 0.0f64;
+    let mut best_json = 0.0f64;
+    for wire in &wires {
+        for &connections in &CONNECTIONS {
+            let batches_per_conn = total_rows.div_ceil(BATCH_ROWS).div_ceil(connections);
+            let run_rows = batches_per_conn * connections * BATCH_ROWS;
+            // Fresh keep-alive connections per cell; one off-the-clock
+            // priming request each (connection setup + warm caches).
+            let mut clients: Vec<HttpClient> = Vec::with_capacity(connections);
+            for c in 0..connections {
+                let mut client = HttpClient::connect(addr).expect("connect");
+                let (body, df) = &wire.payloads[c];
+                wire.post(&mut client, body);
+                warmup_rows += df.n_rows();
+                clients.push(client);
+            }
+
+            let started = Instant::now();
+            let latencies: Vec<Vec<f64>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = clients
+                    .into_iter()
+                    .enumerate()
+                    .map(|(c, mut client)| {
+                        let body = &wire.payloads[c].0;
+                        scope.spawn(move || {
+                            let mut lat = Vec::with_capacity(batches_per_conn);
+                            for _ in 0..batches_per_conn {
+                                let t = Instant::now();
+                                wire.post(&mut client, body);
+                                lat.push(t.elapsed().as_secs_f64());
+                            }
+                            lat
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+            });
+            let seconds = started.elapsed().as_secs_f64();
+            measured_rows += run_rows;
+            let rows_per_sec = run_rows as f64 / seconds;
+            if wire.name == "columnar" {
+                best_columnar = best_columnar.max(rows_per_sec);
+            } else {
+                best_json = best_json.max(rows_per_sec);
+            }
+
+            let mut all_lat: Vec<f64> = latencies.into_iter().flatten().collect();
+            all_lat.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let pct = |p: f64| all_lat[((all_lat.len() - 1) as f64 * p) as usize];
+            let p50 = median(all_lat.clone()) * 1e3;
+            println!(
+                "{:>8} wire × {connections} conn: {run_rows} rows in {seconds:.2}s → {rows_per_sec:.0} rows/s  \
+                 (batch p50 {p50:.1}ms, p95 {:.1}ms, p99 {:.1}ms)",
+                wire.name,
+                pct(0.95) * 1e3,
+                pct(0.99) * 1e3,
+            );
+            runs.push(Value::Object(vec![
+                ("wire".into(), Value::String(wire.name.into())),
+                ("connections".into(), Value::Number(connections as f64)),
+                ("rows".into(), Value::Number(run_rows as f64)),
+                ("seconds".into(), Value::Number(seconds)),
+                ("rows_per_sec".into(), Value::Number(rows_per_sec)),
+                ("latency_p50_ms".into(), Value::Number(p50)),
+                ("latency_p95_ms".into(), Value::Number(pct(0.95) * 1e3)),
+                ("latency_p99_ms".into(), Value::Number(pct(0.99) * 1e3)),
+            ]));
+        }
+    }
+
+    // Reconcile: the daemon's row counter must equal our tally exactly.
+    // Any drift means requests were double-counted, dropped, or retried
+    // behind the driver's back — a benchmark-invalidating bug.
+    let rows_counted = scrape_rows_checked(addr);
+    let expected = (warmup_rows + measured_rows) as f64;
+    assert_eq!(
+        rows_counted, expected,
+        "daemon counted {rows_counted} rows but the driver sent {warmup_rows} warmup + \
+         {measured_rows} measured"
+    );
     println!(
-        "{total_rows} rows in {seconds:.2}s → {:.0} rows/s  (batch p50 {:.1}ms, p95 {:.1}ms, p99 {:.1}ms)",
-        rows_per_sec,
-        median(all_lat.clone()) * 1e3,
-        pct(0.95) * 1e3,
-        pct(0.99) * 1e3,
+        "accounting reconciled: {warmup_rows} warmup + {measured_rows} measured = {rows_counted} \
+         rows_checked_total"
+    );
+    println!(
+        "best: json {best_json:.0} rows/s, columnar {best_columnar:.0} rows/s ({:.1}× binary speedup)",
+        best_columnar / best_json
     );
 
-    let metrics =
-        HttpClient::connect(addr).and_then(|mut c| c.get("/metrics")).expect("metrics scrape");
-    let rows_counted = metrics
-        .text()
-        .lines()
-        .find_map(|l| l.strip_prefix("cc_server_rows_checked_total "))
-        .and_then(|v| v.parse::<f64>().ok())
-        .expect("rows_checked metric");
-
+    // Headline numbers (what `bench_floors.json` gates) are the best
+    // columnar cell; the full grid rides along under "runs".
     let report = Value::Object(vec![
         ("benchmark".into(), Value::String("serve_http_check".into())),
-        ("total_rows".into(), Value::Number(total_rows as f64)),
         ("batch_rows".into(), Value::Number(BATCH_ROWS as f64)),
-        ("connections".into(), Value::Number(connections as f64)),
         ("workers".into(), Value::Number(workers as f64)),
+        ("io".into(), Value::String(backend.into())),
         ("constraints".into(), Value::Number(plan.constraint_count() as f64)),
-        ("seconds".into(), Value::Number(seconds)),
-        ("rows_per_sec".into(), Value::Number(rows_per_sec)),
-        ("latency_p50_ms".into(), Value::Number(median(all_lat.clone()) * 1e3)),
-        ("latency_p95_ms".into(), Value::Number(pct(0.95) * 1e3)),
-        ("latency_p99_ms".into(), Value::Number(pct(0.99) * 1e3)),
-        ("max_abs_delta".into(), Value::Number(max_abs_delta)),
+        ("warmup_rows".into(), Value::Number(warmup_rows as f64)),
+        ("measured_rows".into(), Value::Number(measured_rows as f64)),
         ("rows_checked_metric".into(), Value::Number(rows_counted)),
+        ("max_abs_delta".into(), Value::Number(max_abs_delta)),
+        ("rows_per_sec".into(), Value::Number(best_columnar)),
+        ("rows_per_sec_json".into(), Value::Number(best_json)),
+        ("runs".into(), Value::Array(runs)),
     ]);
     std::fs::write(
         "BENCH_serve.json",

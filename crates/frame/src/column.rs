@@ -44,6 +44,18 @@ impl Column {
         Column::Categorical { codes, dict }
     }
 
+    /// Builds a categorical column directly from pre-encoded parts —
+    /// the ingest path for wire formats that ship dictionary codes as-is
+    /// (no per-row label re-encoding). `None` when any code is out of
+    /// range for the dictionary.
+    pub fn categorical_from_parts(codes: Vec<u32>, dict: Vec<String>) -> Option<Column> {
+        let n = dict.len() as u32;
+        if codes.iter().any(|&c| c >= n) {
+            return None;
+        }
+        Some(Column::Categorical { codes, dict })
+    }
+
     /// Number of rows.
     pub fn len(&self) -> usize {
         match self {
@@ -151,6 +163,18 @@ mod tests {
         let (codes, dict) = sub.as_categorical().unwrap();
         assert_eq!(dict, &["y".to_string()]);
         assert_eq!(codes, &[0, 0]);
+    }
+
+    #[test]
+    fn categorical_from_parts_validates_codes() {
+        let ok = Column::categorical_from_parts(vec![0, 1, 0], vec!["a".into(), "b".into()])
+            .expect("codes in range");
+        assert_eq!(ok.as_categorical().unwrap().0, &[0, 1, 0]);
+        assert!(Column::categorical_from_parts(vec![2], vec!["a".into(), "b".into()]).is_none());
+        assert!(Column::categorical_from_parts(vec![0], Vec::new()).is_none());
+        // Zero rows with any dictionary is fine (an empty batch still
+        // carries the column's type).
+        assert!(Column::categorical_from_parts(Vec::new(), vec!["a".into()]).is_some());
     }
 
     #[test]

@@ -20,6 +20,14 @@
 //! `?profile=` query parameter takes precedence when both are present.
 //! Handlers evaluate against a pinned snapshot ([`Snapshot`]), so a
 //! concurrent reload never disturbs an in-flight request.
+//!
+//! The batch endpoints additionally speak the length-prefixed binary
+//! columnar encoding ([`crate::wire`]): a request body with
+//! `Content-Type: application/x-ccsynth-columnar` **is** the batch (no
+//! JSON envelope — `profile`, `threads`, … ride the query string), and
+//! `/v1/check` answers in the same encoding when the `Accept` header
+//! lists it (a one-column `violations` frame). Violations are
+//! bit-identical across all four request/reply encoding combinations.
 
 use crate::http::{Request, Response};
 use crate::json::{self, frame_from_columns, num_array, obj, string};
@@ -195,13 +203,9 @@ fn ingest(
     monitors: &MonitorSet,
     metrics: &Metrics,
 ) -> Response {
-    let text = match std::str::from_utf8(&req.body) {
-        Ok(t) => t,
-        Err(_) => return Response::error(400, "body is not UTF-8"),
-    };
-    let body: Value = match serde_json::from_str(text) {
-        Ok(v) => v,
-        Err(e) => return Response::error(400, &format!("body is not valid JSON: {e}")),
+    let (frame, body) = match batch_payload(req, metrics) {
+        Ok(p) => p,
+        Err(resp) => return resp,
     };
     let name = match req
         .query_param("monitor")
@@ -209,13 +213,6 @@ fn ingest(
     {
         Some(n) if !n.is_empty() => n.to_owned(),
         _ => return Response::error(400, "body needs a 'monitor' name"),
-    };
-    let Some(columns) = json::get(&body, "columns") else {
-        return Response::error(400, "body needs a 'columns' object");
-    };
-    let frame = match frame_from_columns(columns) {
-        Ok(f) => f,
-        Err(e) => return Response::error(400, &e),
     };
     let (monitor, created) = match monitors.get(&name) {
         Some(m) => (m, false),
@@ -246,7 +243,7 @@ fn ingest(
                 };
                 return Response::error(404, &msg);
             };
-            let cfg = match monitor_config_from(&body) {
+            let cfg = match monitor_config_from(req, &body) {
                 Ok(c) => c,
                 Err(e) => return Response::error(400, &e),
             };
@@ -279,41 +276,54 @@ fn ingest(
     }
 }
 
-/// Builds a [`MonitorConfig`] from the ingest request body's optional
-/// fields, on top of the crate defaults.
-fn monitor_config_from(body: &Value) -> Result<MonitorConfig, String> {
+/// An integer monitor/handler field: query parameter first (the only
+/// channel binary-columnar requests have), then the JSON body.
+fn field_usize(req: &Request, body: &Value, key: &str) -> Result<Option<usize>, String> {
+    if let Some(s) = req.query_param(key) {
+        return match s.parse() {
+            Ok(v) => Ok(Some(v)),
+            Err(_) => Err(format!("'{key}' must be a non-negative integer")),
+        };
+    }
+    match json::get(body, key) {
+        None => Ok(None),
+        Some(v) => match json::as_usize(v) {
+            Some(v) => Ok(Some(v)),
+            None => Err(format!("'{key}' must be a non-negative integer")),
+        },
+    }
+}
+
+/// A string monitor/handler field: query parameter first, then the JSON
+/// body (a present-but-non-string body value reads as `""` so it still
+/// hits the field's unknown-value error).
+fn field_str<'a>(req: &'a Request, body: &'a Value, key: &str) -> Option<&'a str> {
+    req.query_param(key).or_else(|| json::get(body, key).map(|v| json::as_str(v).unwrap_or("")))
+}
+
+/// Builds a [`MonitorConfig`] from the ingest request's optional fields
+/// (query parameters or JSON body), on top of the crate defaults.
+fn monitor_config_from(req: &Request, body: &Value) -> Result<MonitorConfig, String> {
     let mut cfg = MonitorConfig::default();
-    let window = match json::get(body, "window").map(json::as_usize) {
-        None => cfg.spec.window(),
-        Some(Some(w)) => w,
-        Some(None) => return Err("'window' must be a non-negative integer".into()),
-    };
-    let stride = match json::get(body, "stride").map(json::as_usize) {
-        None => window,
-        Some(Some(s)) => s,
-        Some(None) => return Err("'stride' must be a non-negative integer".into()),
-    };
+    let window = field_usize(req, body, "window")?.unwrap_or(cfg.spec.window());
+    let stride = field_usize(req, body, "stride")?.unwrap_or(window);
     cfg.spec = WindowSpec::new(window, stride).map_err(|e| e.to_string())?;
-    if let Some(v) = json::get(body, "detector") {
-        let spelled = json::as_str(v).unwrap_or("");
+    if let Some(spelled) = field_str(req, body, "detector") {
         cfg.detector = DetectorKind::parse(spelled)
             .ok_or_else(|| format!("unknown detector '{spelled}' (ewma, cusum, page-hinkley)"))?;
     }
-    if let Some(v) = json::get(body, "aggregator") {
-        cfg.aggregator = match json::as_str(v) {
-            Some("mean") => DriftAggregator::Mean,
-            Some("max") => DriftAggregator::Max,
-            other => {
-                return Err(format!("unknown aggregator {other:?} (mean, max)"));
-            }
+    if let Some(spelled) = field_str(req, body, "aggregator") {
+        cfg.aggregator = match spelled {
+            "mean" => DriftAggregator::Mean,
+            "max" => DriftAggregator::Max,
+            other => return Err(format!("unknown aggregator '{other}' (mean, max)")),
         };
     }
-    if let Some(v) = json::get(body, "calibrate") {
-        cfg.calibration_windows =
-            json::as_usize(v).ok_or("'calibrate' must be a non-negative integer")?;
+    if let Some(v) = field_usize(req, body, "calibrate")? {
+        cfg.calibration_windows = v;
     }
-    if let Some(v) = json::get(body, "patience") {
-        cfg.patience = json::as_usize(v).ok_or("'patience' must be a non-negative integer")?;
+    if let Some(v) = field_usize(req, body, "patience")? {
+        cfg.patience = v;
     }
     Ok(cfg)
 }
@@ -365,29 +375,44 @@ struct Batch {
     body: Value,
 }
 
-/// Shared plumbing for the three batch endpoints: parse the JSON body,
-/// build the frame, resolve the profile against a pinned snapshot, count
-/// the rows into the metrics, then hand off.
+/// Decodes a batch request body into its frame by negotiated encoding.
+///
+/// Binary columnar (`Content-Type: application/x-ccsynth-columnar`)
+/// deserializes straight into the SoA `DataFrame` layout the compiled
+/// plans gather from — zero float parsing, zero per-row allocation —
+/// and returns an empty JSON body (handler fields ride the query
+/// string). Anything else takes the JSON `"columns"` path.
+fn batch_payload(req: &Request, metrics: &Metrics) -> Result<(DataFrame, Value), Response> {
+    if req.body_is_columnar() {
+        metrics.record_wire(true);
+        let frame = crate::wire::decode_frame(&req.body)
+            .map_err(|e| Response::error(400, &format!("bad columnar frame: {e}")))?;
+        return Ok((frame, Value::Object(Vec::new())));
+    }
+    metrics.record_wire(false);
+    let text =
+        std::str::from_utf8(&req.body).map_err(|_| Response::error(400, "body is not UTF-8"))?;
+    let body: Value = serde_json::from_str(text)
+        .map_err(|e| Response::error(400, &format!("body is not valid JSON: {e}")))?;
+    let Some(columns) = json::get(&body, "columns") else {
+        return Err(Response::error(400, "body needs a 'columns' object"));
+    };
+    let frame = frame_from_columns(columns).map_err(|e| Response::error(400, &e))?;
+    Ok((frame, body))
+}
+
+/// Shared plumbing for the three batch endpoints: decode the body (JSON
+/// or binary columnar), resolve the profile against a pinned snapshot,
+/// count the rows into the metrics, then hand off.
 fn with_batch(
     req: &Request,
     registry: &ProfileRegistry,
     metrics: &Metrics,
     handler: fn(&Request, Batch) -> Response,
 ) -> Response {
-    let text = match std::str::from_utf8(&req.body) {
-        Ok(t) => t,
-        Err(_) => return Response::error(400, "body is not UTF-8"),
-    };
-    let body: Value = match serde_json::from_str(text) {
-        Ok(v) => v,
-        Err(e) => return Response::error(400, &format!("body is not valid JSON: {e}")),
-    };
-    let Some(columns) = json::get(&body, "columns") else {
-        return Response::error(400, "body needs a 'columns' object");
-    };
-    let frame = match frame_from_columns(columns) {
-        Ok(f) => f,
-        Err(e) => return Response::error(400, &e),
+    let (frame, body) = match batch_payload(req, metrics) {
+        Ok(p) => p,
+        Err(resp) => return resp,
     };
     let snap: Arc<Snapshot> = registry.snapshot();
     let name =
@@ -414,8 +439,10 @@ fn with_batch(
 /// call on the same frame (the shim's shortest-round-trip `f64` JSON
 /// keeps it exact over the wire).
 fn check(req: &Request, batch: Batch) -> Response {
-    let threads =
-        json::get(&batch.body, "threads").and_then(json::as_usize).unwrap_or(1).clamp(1, 64);
+    let threads = match field_usize(req, &batch.body, "threads") {
+        Ok(t) => t.unwrap_or(1).clamp(1, 64),
+        Err(e) => return Response::error(400, &e),
+    };
     // An empty batch conforms trivially — and carries no type information
     // for its columns, so it must not reach plan binding.
     let violations = if batch.frame.n_rows() == 0 {
@@ -426,6 +453,11 @@ fn check(req: &Request, batch: Batch) -> Response {
             Err(e) => return Response::error(400, &e.to_string()),
         }
     };
+    // Binary reply when asked for: the violations plane as a one-column
+    // columnar frame — same f64 bits as the JSON array, no formatting.
+    if req.accepts_columnar() {
+        return Response::columnar(crate::wire::encode_violations(&violations));
+    }
     let n = violations.len();
     let mean = violations.iter().sum::<f64>() / n.max(1) as f64;
     let max = violations.iter().fold(0.0f64, |m, &v| m.max(v));
@@ -437,7 +469,11 @@ fn check(req: &Request, batch: Batch) -> Response {
         ("max", Value::Number(max)),
         ("violations", num_array(&violations)),
     ];
-    if let Some(threshold) = json::get(&batch.body, "threshold").and_then(json::as_f64) {
+    let threshold = req
+        .query_param("threshold")
+        .and_then(|t| t.parse().ok())
+        .or_else(|| json::get(&batch.body, "threshold").and_then(json::as_f64));
+    if let Some(threshold) = threshold {
         let n_unsafe = violations.iter().filter(|&&v| v > threshold).count();
         fields.push(("unsafe", Value::Number(n_unsafe as f64)));
     }

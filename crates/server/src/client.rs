@@ -64,10 +64,26 @@ impl HttpClient {
         target: &str,
         body: &[u8],
     ) -> std::io::Result<ClientResponse> {
-        let head = format!(
-            "{method} {target} HTTP/1.1\r\nhost: cc\r\ncontent-length: {}\r\n\r\n",
-            body.len()
-        );
+        self.request_with(method, target, body, &[])
+    }
+
+    /// Issues one request with extra headers (`(name, value)` pairs) and
+    /// reads the full response.
+    ///
+    /// # Errors
+    /// Propagates socket failures and malformed responses.
+    pub fn request_with(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<ClientResponse> {
+        let mut head = format!("{method} {target} HTTP/1.1\r\nhost: cc\r\n");
+        for (name, value) in headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
         let mut req = Vec::with_capacity(head.len() + body.len());
         req.extend_from_slice(head.as_bytes());
         req.extend_from_slice(body);
@@ -94,6 +110,32 @@ impl HttpClient {
     ) -> std::io::Result<ClientResponse> {
         let body = serde_json::to_string(body).expect("value trees serialize");
         self.request("POST", target, body.as_bytes())
+    }
+
+    /// `POST` convenience for the binary columnar wire format: encodes
+    /// `frame` with [`crate::wire::encode_frame`], tags it with the
+    /// columnar `Content-Type`, and asks for a columnar reply via
+    /// `Accept` (the server honors that on `/v1/check`; others answer
+    /// JSON). Handler fields (`profile`, `threads`, …) go in the query
+    /// string of `target`.
+    ///
+    /// # Errors
+    /// Propagates socket failures and malformed responses.
+    pub fn post_columnar(
+        &mut self,
+        target: &str,
+        frame: &cc_frame::DataFrame,
+    ) -> std::io::Result<ClientResponse> {
+        let body = crate::wire::encode_frame(frame);
+        self.request_with(
+            "POST",
+            target,
+            &body,
+            &[
+                ("content-type", crate::wire::CONTENT_TYPE_COLUMNAR),
+                ("accept", crate::wire::CONTENT_TYPE_COLUMNAR),
+            ],
+        )
     }
 
     fn read_response(&mut self) -> std::io::Result<ClientResponse> {

@@ -105,6 +105,30 @@ impl Request {
     pub fn query_param(&self, name: &str) -> Option<&str> {
         self.query.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
     }
+
+    /// The media type of the request body: `Content-Type` with any
+    /// `;`-parameters stripped, lower-cased, whitespace-trimmed. `None`
+    /// when the header is absent.
+    pub fn media_type(&self) -> Option<String> {
+        self.header("content-type")
+            .map(|v| v.split(';').next().unwrap_or("").trim().to_ascii_lowercase())
+    }
+
+    /// Whether the body is a binary columnar batch
+    /// ([`crate::wire::CONTENT_TYPE_COLUMNAR`]).
+    pub fn body_is_columnar(&self) -> bool {
+        self.media_type().as_deref() == Some(crate::wire::CONTENT_TYPE_COLUMNAR)
+    }
+
+    /// Whether the client asked for a binary columnar reply (`Accept`
+    /// lists the columnar media type).
+    pub fn accepts_columnar(&self) -> bool {
+        self.header("accept").is_some_and(|v| {
+            v.split(',').any(|t| {
+                t.split(';').next().unwrap_or("").trim() == crate::wire::CONTENT_TYPE_COLUMNAR
+            })
+        })
+    }
 }
 
 /// Incremental HTTP/1.1 request parser.
@@ -357,6 +381,11 @@ impl Response {
             serde_json::Value::String(message.to_owned()),
         )]);
         Response { status, ..Response::json(&v) }
+    }
+
+    /// A `200 OK` binary columnar response (see [`crate::wire`]).
+    pub fn columnar(body: Vec<u8>) -> Self {
+        Response { status: 200, content_type: crate::wire::CONTENT_TYPE_COLUMNAR, body }
     }
 
     /// A plain-text response (the `/metrics` exposition format).

@@ -11,8 +11,11 @@
 //!
 //! ```text
 //!            ┌──────────────────────────────────────────────┐
-//!  TCP ──►   │ acceptor ─► queue ─► workers (keep-alive     │
-//!            │   loops: RequestParser ─► route ─► Response) │
+//!  TCP ──►   │ acceptor ─► reactors (epoll, edge-triggered  │
+//!            │   non-blocking state machines: RequestParser)│
+//!            │        ─► compute pool: route ─► Response    │
+//!            │   (or: acceptor ─► queue ─► blocking worker  │
+//!            │    pool — the portable `--io threads` core)  │
 //!            │                 │                            │
 //!            │                 ▼ pinned Arc<Snapshot>       │
 //!            │ ProfileRegistry: dir of profile JSON ─►      │
@@ -20,6 +23,11 @@
 //!            │   (compiled once, hot-swapped atomically)    │
 //!            └──────────────────────────────────────────────┘
 //! ```
+//!
+//! Two request/reply encodings ride the same endpoints: columnar JSON
+//! (the compatible default) and the length-prefixed binary columnar
+//! format ([`wire`]) negotiated via `Content-Type`/`Accept` — same
+//! `f64` bits either way, with zero float parsing on the binary path.
 //!
 //! The registry ([`registry`]) loads `ccsynth profile --out`-style JSON
 //! files, lowers each to its [`conformance::CompiledProfile`] once, and
@@ -47,14 +55,18 @@ pub mod client;
 pub mod http;
 pub mod json;
 pub mod metrics;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod registry;
 pub mod server;
 pub mod state;
+pub mod wire;
 
 pub use cc_monitor::MonitorSet;
 pub use client::{ClientResponse, HttpClient};
 pub use http::{ParseError, Request, RequestParser, Response, MAX_HEADER_BYTES};
 pub use metrics::{Endpoint, Metrics, MonitorSeries};
 pub use registry::{ProfileEntry, ProfileRegistry, Snapshot};
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use server::{IoMode, Server, ServerConfig, ServerHandle};
 pub use state::{Durability, SaveReport, STATE_FILE};
+pub use wire::{WireError, CONTENT_TYPE_COLUMNAR};

@@ -1,24 +1,35 @@
-//! The TCP layer: listener, fixed worker thread pool, connection loop,
+//! The TCP layer: listener, two interchangeable connection cores,
 //! graceful shutdown.
 //!
-//! One acceptor thread pushes accepted connections onto a bounded queue
-//! (overflow beyond [`MAX_PENDING_CONNECTIONS`] is answered `503` and
-//! closed, never buffered without limit); `workers` threads pop and
-//! drive connections through the incremental parser → router → response
-//! cycle. Keep-alive connections do not pin workers: after each
-//! response, if other connections are waiting, the connection is
-//! **requeued** behind them (unless it has pipelined bytes in flight),
-//! so N persistent clients round-robin with everyone else instead of
-//! starving the pool. Everything is `std` — threads, `Mutex` +
-//! `Condvar`, blocking sockets with read timeouts (the timeout doubles
-//! as the shutdown poll, so no connection can pin a worker forever).
+//! Two I/O backends serve the same router behind the same semantics,
+//! selected at runtime by [`ServerConfig::io`]:
 //!
-//! Shutdown ([`ServerHandle::shutdown`]) is graceful by construction:
-//! the flag flips, the acceptor is unblocked by a wake-up connection and
-//! stops accepting, workers finish the request they are writing (the
-//! response is forced `connection: close`), drain any already-accepted
-//! queued connections, and only then exit — no in-flight request is
-//! dropped.
+//! - **threads** (portable, any platform): one acceptor thread pushes
+//!   accepted connections onto a bounded queue (overflow beyond
+//!   [`MAX_PENDING_CONNECTIONS`] is answered `503` and closed, never
+//!   buffered without limit); `workers` threads pop and drive
+//!   connections through the incremental parser → router → response
+//!   cycle. Keep-alive connections do not pin workers: after each
+//!   response, if other connections are waiting, the connection is
+//!   **requeued** behind them (unless it has pipelined bytes in
+//!   flight), so N persistent clients round-robin with everyone else
+//!   instead of starving the pool. Everything is `std` — threads,
+//!   `Mutex` + `Condvar`, blocking sockets with read timeouts (the
+//!   timeout doubles as the shutdown poll, so no connection can pin a
+//!   worker forever).
+//! - **epoll** (Linux, the default there): the edge-triggered readiness
+//!   event loop in [`crate::reactor`] — non-blocking per-connection
+//!   state machines sharded across reactor threads, with request
+//!   execution handed to a compute pool so reactors never block. Same
+//!   parser, same router, same timeout/shedding/drain semantics; only
+//!   the scheduling of bytes differs.
+//!
+//! Shutdown ([`ServerHandle::shutdown`]) is graceful by construction
+//! under both cores: the flag flips, the acceptor is unblocked by a
+//! wake-up connection and stops accepting, in-flight requests finish
+//! (the response is forced `connection: close`), already-accepted idle
+//! connections are drained or dropped, and only then do the threads
+//! exit — no fully-received request is dropped.
 
 use crate::http::{RequestParser, Response};
 use crate::metrics::{Endpoint, Metrics};
@@ -34,14 +45,46 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+/// Which connection core drives the sockets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoMode {
+    /// Pick the best available backend: epoll on Linux (falling back to
+    /// threads if the event loop cannot be set up), threads elsewhere.
+    Auto,
+    /// The portable blocking worker-pool core.
+    Threads,
+    /// The edge-triggered epoll readiness core (Linux only; startup
+    /// fails elsewhere or when epoll is unavailable).
+    Epoll,
+}
+
+impl IoMode {
+    /// Parses the CLI spelling (`auto` | `threads` | `epoll`).
+    pub fn parse(s: &str) -> Option<IoMode> {
+        match s.to_ascii_lowercase().as_str() {
+            "auto" => Some(IoMode::Auto),
+            "threads" => Some(IoMode::Threads),
+            "epoll" => Some(IoMode::Epoll),
+            _ => None,
+        }
+    }
+}
+
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Bind address; port `0` picks an ephemeral port (the bound address
     /// is on [`ServerHandle::addr`]).
     pub addr: String,
-    /// Worker threads (each drives one connection at a time).
+    /// Compute threads. Under the threads core each drives one
+    /// connection at a time; under the epoll core they form the compute
+    /// pool that executes routed requests off the reactors.
     pub workers: usize,
+    /// Connection core selection (see [`IoMode`]).
+    pub io: IoMode,
+    /// Reactor threads for the epoll core (`0` = one per available
+    /// core, capped at 8). Ignored by the threads core.
+    pub reactors: usize,
     /// Per-request body ceiling in bytes.
     pub max_body_bytes: usize,
     /// How long an idle keep-alive connection is held before closing.
@@ -61,6 +104,8 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             workers: 4,
+            io: IoMode::Auto,
+            reactors: 0,
             max_body_bytes: crate::http::DEFAULT_MAX_BODY_BYTES,
             keep_alive: Duration::from_secs(5),
             state_dir: None,
@@ -69,16 +114,26 @@ impl Default for ServerConfig {
     }
 }
 
-/// State shared by the acceptor, the workers, and the handle.
-struct Shared {
-    registry: ProfileRegistry,
-    monitors: MonitorSet,
-    metrics: Metrics,
-    durability: Option<Durability>,
-    config: ServerConfig,
-    shutdown: AtomicBool,
-    queue: Mutex<VecDeque<TcpStream>>,
-    work_ready: Condvar,
+/// State shared by the connection core's threads and the handle.
+pub(crate) struct Shared {
+    pub(crate) registry: ProfileRegistry,
+    pub(crate) monitors: MonitorSet,
+    pub(crate) metrics: Metrics,
+    pub(crate) durability: Option<Durability>,
+    pub(crate) config: ServerConfig,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) queue: Mutex<VecDeque<TcpStream>>,
+    pub(crate) work_ready: Condvar,
+}
+
+/// The threads belonging to whichever connection core is running.
+enum Core {
+    Threads {
+        acceptor: std::thread::JoinHandle<()>,
+        workers: Vec<std::thread::JoinHandle<()>>,
+    },
+    #[cfg(target_os = "linux")]
+    Epoll(crate::reactor::EpollCore),
 }
 
 /// A running server. Dropping the handle does **not** stop the server;
@@ -87,8 +142,7 @@ struct Shared {
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    acceptor: std::thread::JoinHandle<()>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    core: Core,
     autosaver: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -132,6 +186,23 @@ impl Server {
             queue: Mutex::new(VecDeque::new()),
             work_ready: Condvar::new(),
         });
+        let core = start_core(listener, &shared, workers)?;
+        let autosaver = autosave.map(|interval| {
+            let shared = shared.clone();
+            std::thread::spawn(move || autosave_loop(&shared, interval))
+        });
+        Ok(ServerHandle { addr, shared, core, autosaver })
+    }
+}
+
+/// Spawns the connection core requested by `config.io`.
+fn start_core(
+    listener: TcpListener,
+    shared: &Arc<Shared>,
+    workers: usize,
+) -> std::io::Result<Core> {
+    let start_threads = |listener: TcpListener| {
+        shared.metrics.set_io_backend("threads");
         let acceptor = {
             let shared = shared.clone();
             std::thread::spawn(move || accept_loop(&listener, &shared))
@@ -142,11 +213,37 @@ impl Server {
                 std::thread::spawn(move || worker_loop(&shared))
             })
             .collect();
-        let autosaver = autosave.map(|interval| {
-            let shared = shared.clone();
-            std::thread::spawn(move || autosave_loop(&shared, interval))
-        });
-        Ok(ServerHandle { addr, shared, acceptor, workers, autosaver })
+        Core::Threads { acceptor, workers }
+    };
+    match shared.config.io {
+        IoMode::Threads => Ok(start_threads(listener)),
+        #[cfg(target_os = "linux")]
+        IoMode::Epoll => {
+            shared.metrics.set_io_backend("epoll");
+            crate::reactor::EpollCore::start(listener, shared.clone(), workers).map(Core::Epoll)
+        }
+        #[cfg(not(target_os = "linux"))]
+        IoMode::Epoll => Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "epoll backend is Linux-only; use --io threads",
+        )),
+        #[cfg(target_os = "linux")]
+        IoMode::Auto => {
+            // epoll can be unavailable under exotic sandboxes; Auto
+            // promises a running server, so keep a duplicate of the
+            // bound socket (same port) to fall back onto.
+            let backup = listener.try_clone()?;
+            shared.metrics.set_io_backend("epoll");
+            match crate::reactor::EpollCore::start(listener, shared.clone(), workers) {
+                Ok(core) => Ok(Core::Epoll(core)),
+                Err(e) => {
+                    eprintln!("cc_server: epoll unavailable ({e}); falling back to threads");
+                    Ok(start_threads(backup))
+                }
+            }
+        }
+        #[cfg(not(target_os = "linux"))]
+        IoMode::Auto => Ok(start_threads(listener)),
     }
 }
 
@@ -169,6 +266,12 @@ impl ServerHandle {
     /// The server metrics.
     pub fn metrics(&self) -> &Metrics {
         &self.shared.metrics
+    }
+
+    /// The connection core actually running (`"epoll"` or `"threads"`)
+    /// — [`IoMode::Auto`] resolves when the server starts.
+    pub fn io_backend(&self) -> &'static str {
+        self.shared.metrics.io_backend()
     }
 
     /// Whether a state directory is configured (durable mode).
@@ -200,6 +303,10 @@ impl ServerHandle {
     pub fn shutdown(self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.work_ready.notify_all();
+        #[cfg(target_os = "linux")]
+        if let Core::Epoll(core) = &self.core {
+            core.wake();
+        }
         // Unblock the acceptor's blocking `accept` with a throwaway
         // connection; harmless if the acceptor already exited. A
         // wildcard bind is not connectable on every platform — aim the
@@ -212,9 +319,15 @@ impl ServerHandle {
             });
         }
         let _ = TcpStream::connect(wake);
-        let _ = self.acceptor.join();
-        for w in self.workers {
-            let _ = w.join();
+        match self.core {
+            Core::Threads { acceptor, workers } => {
+                let _ = acceptor.join();
+                for w in workers {
+                    let _ = w.join();
+                }
+            }
+            #[cfg(target_os = "linux")]
+            Core::Epoll(core) => core.join(),
         }
         if let Some(a) = self.autosaver {
             let _ = a.join();
@@ -318,17 +431,33 @@ fn autosave_loop(shared: &Shared, interval: Duration) {
 
 /// Read timeout on connection sockets — the cadence at which idle
 /// connections notice shutdown and the keep-alive clock.
-const READ_TICK: Duration = Duration::from_millis(200);
+pub(crate) const READ_TICK: Duration = Duration::from_millis(200);
 
 /// Ceiling on how long a response write may block on a client that has
 /// stopped reading — past it, the connection is dropped so no worker is
 /// pinned by a full send buffer.
-const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+pub(crate) const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Ceiling on how long one request may take to *arrive* in full. Bounds
 /// the slow-trickle client (one byte per tick resets the idle clock but
 /// not this one): past it, `408` and close.
-const REQUEST_DEADLINE: Duration = Duration::from_secs(30);
+pub(crate) const REQUEST_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Routes one request with panic containment — a handler panic answers
+/// `500` instead of killing the calling thread. Both connection cores
+/// execute requests through here.
+pub(crate) fn execute(req: &crate::http::Request, shared: &Shared) -> (Endpoint, Response) {
+    catch_unwind(AssertUnwindSafe(|| {
+        crate::api::route(
+            req,
+            &shared.registry,
+            &shared.monitors,
+            &shared.metrics,
+            shared.durability.as_ref(),
+        )
+    }))
+    .unwrap_or_else(|_| (Endpoint::Other, Response::error(500, "handler panicked")))
+}
 
 /// Drives one connection: feed → parse → route → respond, until close /
 /// idle timeout / request deadline / terminal parse error / shutdown.
@@ -349,18 +478,7 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
                 request_started = None;
                 let started = Instant::now();
                 let shutting_down = shared.shutdown.load(Ordering::SeqCst);
-                // A handler panic must not kill the worker: answer 500
-                // and keep serving other connections.
-                let (endpoint, response) = catch_unwind(AssertUnwindSafe(|| {
-                    crate::api::route(
-                        &req,
-                        &shared.registry,
-                        &shared.monitors,
-                        &shared.metrics,
-                        shared.durability.as_ref(),
-                    )
-                }))
-                .unwrap_or_else(|_| (Endpoint::Other, Response::error(500, "handler panicked")));
+                let (endpoint, response) = execute(&req, shared);
                 let keep_alive = !req.close && !shutting_down;
                 let ok = stream.write_all(&response.serialize(keep_alive)).is_ok();
                 shared.metrics.record_request(

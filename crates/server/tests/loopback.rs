@@ -181,9 +181,15 @@ fn hot_reload_under_concurrent_traffic() {
 
 #[test]
 fn shutdown_is_not_blocked_by_a_partial_request() {
-    let dir = common::temp_dir("partial");
+    for io in common::io_modes() {
+        shutdown_is_not_blocked_by_a_partial_request_on(io);
+    }
+}
+
+fn shutdown_is_not_blocked_by_a_partial_request_on(io: cc_server::IoMode) {
+    let dir = common::temp_dir(&format!("partial_{io:?}"));
     common::write_profile(&dir, "p", &common::regime_profile(300, 0.0));
-    let handle = common::start_server(&dir, 1);
+    let handle = common::start_server_io(&dir, 1, io);
     let addr = handle.addr();
     // Half a request, never completed: the lone worker is reading it.
     use std::io::Write;
@@ -204,11 +210,19 @@ fn shutdown_is_not_blocked_by_a_partial_request() {
 
 #[test]
 fn persistent_keep_alive_client_does_not_starve_others() {
-    let dir = common::temp_dir("fairness");
+    for io in common::io_modes() {
+        persistent_keep_alive_client_does_not_starve_others_on(io);
+    }
+}
+
+fn persistent_keep_alive_client_does_not_starve_others_on(io: cc_server::IoMode) {
+    let dir = common::temp_dir(&format!("fairness_{io:?}"));
     common::write_profile(&dir, "p", &common::regime_profile(300, 0.0));
-    // One worker: without fair requeueing, a single persistent
-    // keep-alive client would pin it forever.
-    let handle = common::start_server(&dir, 1);
+    // One worker: under the threads core, without fair requeueing a
+    // single persistent keep-alive client would pin it forever; under
+    // the epoll core the lone compute worker drains jobs FIFO across
+    // connections.
+    let handle = common::start_server_io(&dir, 1, io);
     let addr = handle.addr();
     let body = common::columns_body(&common::regime_frame(64, 1.0));
 
@@ -240,9 +254,15 @@ fn persistent_keep_alive_client_does_not_starve_others() {
 
 #[test]
 fn graceful_shutdown_completes_inflight_requests() {
-    let dir = common::temp_dir("drain");
+    for io in common::io_modes() {
+        graceful_shutdown_completes_inflight_requests_on(io);
+    }
+}
+
+fn graceful_shutdown_completes_inflight_requests_on(io: cc_server::IoMode) {
+    let dir = common::temp_dir(&format!("drain_{io:?}"));
     common::write_profile(&dir, "p", &common::regime_profile(400, 0.0));
-    let handle = common::start_server(&dir, 2);
+    let handle = common::start_server_io(&dir, 2, io);
     let addr = handle.addr();
     let body = common::columns_body(&common::regime_frame(2000, 1.0));
 

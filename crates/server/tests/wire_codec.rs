@@ -1,0 +1,161 @@
+//! Property tests for the binary columnar wire codec, plus a live-server
+//! check that malformed columnar bodies come back as clean `400`s.
+//!
+//! The codec promises exact identity — `decode(encode(df))` reproduces
+//! column order, numeric bit patterns (NaNs and signed zeros included),
+//! and categorical codes + dictionaries — and total robustness: no input
+//! buffer, however mangled, may panic the decoder.
+
+mod common;
+
+use cc_frame::{Column, DataFrame};
+use cc_server::wire::{decode_frame, decode_violations, encode_frame, encode_violations};
+use proptest::prelude::*;
+
+/// Dictionary pool for generated categorical columns: includes the empty
+/// label and multi-byte UTF-8 so string framing is exercised.
+const LABELS: [&str; 5] = ["", "a", "regime-b", "µ-unit", "long-label-with-some-bytes"];
+
+/// An arbitrary frame: up to 6 columns of mixed kind over a shared row
+/// count (including the 0-row and 0-column degenerate shapes). Numeric
+/// values are raw u64 bit patterns reinterpreted as f64, so NaN payloads,
+/// infinities, subnormals, and signed zeros all occur.
+fn frame_strategy() -> impl Strategy<Value = DataFrame> {
+    (0usize..40)
+        .prop_flat_map(|n_rows| {
+            (
+                Just(n_rows),
+                proptest::collection::vec(
+                    (0u8..2, proptest::collection::vec(0u64..u64::MAX, n_rows..=n_rows)),
+                    0usize..6,
+                ),
+            )
+        })
+        .prop_map(|(_, cols)| {
+            let mut df = DataFrame::new();
+            for (i, (kind, words)) in cols.into_iter().enumerate() {
+                let name = format!("c{i}");
+                if kind == 0 {
+                    let vals: Vec<f64> = words.iter().map(|&w| f64::from_bits(w)).collect();
+                    df.push_numeric(&name, vals).unwrap();
+                } else {
+                    // A dict larger than the used code range leaves unused
+                    // entries — the layout must carry them through.
+                    let dict: Vec<String> = LABELS.iter().map(|s| (*s).to_owned()).collect();
+                    let codes: Vec<u32> =
+                        words.iter().map(|&w| (w % LABELS.len() as u64) as u32).collect();
+                    let col = Column::categorical_from_parts(codes, dict).unwrap();
+                    df.push_column(name, col).unwrap();
+                }
+            }
+            df
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip_is_exact_identity(df in frame_strategy()) {
+        let back = decode_frame(&encode_frame(&df)).unwrap();
+        prop_assert_eq!(back.names(), df.names());
+        prop_assert_eq!(back.n_rows(), df.n_rows());
+        for name in df.names() {
+            match df.column(name).unwrap() {
+                Column::Numeric(vals) => {
+                    let got = back.numeric(name).unwrap();
+                    prop_assert_eq!(got.len(), vals.len());
+                    for (g, w) in got.iter().zip(vals) {
+                        prop_assert_eq!(g.to_bits(), w.to_bits());
+                    }
+                }
+                Column::Categorical { codes, dict } => {
+                    let (got_codes, got_dict) = back.categorical(name).unwrap();
+                    prop_assert_eq!(got_codes, &codes[..]);
+                    prop_assert_eq!(got_dict, &dict[..]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn violations_reply_roundtrips_bit_exact(
+        words in proptest::collection::vec(0u64..u64::MAX, 0usize..64),
+    ) {
+        let vals: Vec<f64> = words.iter().map(|&w| f64::from_bits(w)).collect();
+        let got = decode_violations(&encode_violations(&vals)).unwrap();
+        prop_assert_eq!(got.len(), vals.len());
+        for (g, w) in got.iter().zip(&vals) {
+            prop_assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn truncated_frames_error_cleanly(df in frame_strategy(), frac in 0.0..1.0f64) {
+        let bytes = encode_frame(&df);
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        prop_assume!(cut < bytes.len());
+        // Every proper prefix must be rejected — never accepted short,
+        // never a panic.
+        prop_assert!(decode_frame(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics(
+        df in frame_strategy(),
+        pos_frac in 0.0..1.0f64,
+        delta in 1u8..=255,
+    ) {
+        let mut bytes = encode_frame(&df);
+        prop_assume!(!bytes.is_empty());
+        let pos = ((bytes.len() as f64) * pos_frac) as usize % bytes.len();
+        bytes[pos] = bytes[pos].wrapping_add(delta);
+        // Corruption in a float plane can still be a valid frame; the
+        // contract is only that decoding returns instead of panicking.
+        let _ = decode_frame(&bytes);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0usize..160)) {
+        let _ = decode_frame(&bytes);
+        let _ = decode_violations(&bytes);
+    }
+}
+
+/// Malformed columnar bodies on the live wire: the server answers a
+/// structured `400`, stays up, and keeps serving the same connection.
+#[test]
+fn live_server_rejects_malformed_columnar_with_400() {
+    let dir = common::temp_dir("wire400");
+    common::write_profile(&dir, "p", &common::regime_profile(300, 0.0));
+    let handle = common::start_server(&dir, 1);
+    let mut client = cc_server::HttpClient::connect(handle.addr()).unwrap();
+
+    let columnar = [("content-type", cc_server::wire::CONTENT_TYPE_COLUMNAR)];
+    let good = encode_frame(&common::regime_frame(8, 0.0));
+    let mut cases: Vec<Vec<u8>> = vec![
+        Vec::new(),                      // empty body
+        b"not a frame at all".to_vec(),  // bad magic
+        good[..good.len() - 3].to_vec(), // truncated plane
+    ];
+    let mut bad_version = good.clone();
+    bad_version[4] = 42;
+    cases.push(bad_version);
+    let mut huge = good.clone();
+    huge[12..20].copy_from_slice(&u64::MAX.to_le_bytes());
+    cases.push(huge);
+
+    for (i, body) in cases.iter().enumerate() {
+        let resp = client.request_with("POST", "/v1/check?profile=p", body, &columnar).unwrap();
+        assert_eq!(resp.status, 400, "case {i}: {}", resp.text());
+        assert!(resp.text().contains("columnar"), "case {i}: {}", resp.text());
+    }
+
+    // The connection and server both survived: a well-formed columnar
+    // request on the same keep-alive connection succeeds.
+    let resp = client.post_columnar("/v1/check?profile=p", &common::regime_frame(8, 0.0)).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -7,7 +7,8 @@
 //! ccsynth monitor <data.csv|-> --profile <profile.json> [--window <n>] [--stride <s>] [--detector <d>] [--calibrate <k>]
 //! ccsynth explain <profile.json> <train.csv> <serve.csv> [--sample <n>]
 //! ccsynth sql     <profile.json> <table_name>
-//! ccsynth serve   [--dir <profiles-dir>] [--profile <file>]... [--addr <host:port>] [--workers <n>]
+//! ccsynth serve   [--dir <profiles-dir>] [--profile <file>]... [--addr <host:port>] [--workers <n>] [--io auto|epoll|threads]
+//! ccsynth wire    <data.csv> --out <batch.bin>
 //! ```
 //!
 //! Profiles are stored as JSON, portable across machines, and round-trip
@@ -29,7 +30,7 @@ use ccsynth::conformance::{
 };
 use ccsynth::frame::{read_csv, DataFrame};
 use ccsynth::monitor::{DetectorKind, MonitorConfig, OnlineMonitor, WindowSpec};
-use ccsynth::server::{ProfileRegistry, Server, ServerConfig};
+use ccsynth::server::{IoMode, ProfileRegistry, Server, ServerConfig};
 use std::fs::File;
 use std::io::{BufReader, Write};
 use std::process::ExitCode;
@@ -42,7 +43,8 @@ const USAGE: &str = "usage:
   ccsynth monitor <data.csv|-> (--profile <profile.json> | --resume <snapshot>) [--window <n>] [--stride <s>] [--detector <d>] [--calibrate <k>] [--patience <p>] [--propose-out <f>] [--state-out <f>]
   ccsynth explain <profile.json> <train.csv> <serve.csv> [--sample <n>]
   ccsynth sql     <profile.json> <table_name>
-  ccsynth serve   [--dir <profiles-dir>] [--profile <file>]... [--addr <host:port>] [--workers <n>] [--max-body-mb <n>] [--state-dir <d>] [--autosave-secs <n>]";
+  ccsynth serve   [--dir <profiles-dir>] [--profile <file>]... [--addr <host:port>] [--workers <n>] [--io auto|epoll|threads] [--reactors <n>] [--max-body-mb <n>] [--state-dir <d>] [--autosave-secs <n>]
+  ccsynth wire    <data.csv> --out <batch.bin>";
 
 /// Per-subcommand usage lines (printed on `--help` and usage errors).
 fn usage_of(cmd: &str) -> &'static str {
@@ -102,21 +104,35 @@ ExTuNe: ranks attributes by responsibility for non-conformance.
         }
         "sql" => "usage: ccsynth sql <profile.json> <table_name>\n\nRenders the profile as a SQL CHECK-style guard for a table.",
         "serve" => {
-            "usage: ccsynth serve [--dir <profiles-dir>] [--profile <file>]... [--addr <host:port>] [--workers <n>] [--max-body-mb <n>] [--state-dir <d>] [--autosave-secs <n>]\n
+            "usage: ccsynth serve [--dir <profiles-dir>] [--profile <file>]... [--addr <host:port>] [--workers <n>] [--io auto|epoll|threads] [--reactors <n>] [--max-body-mb <n>] [--state-dir <d>] [--autosave-secs <n>]\n
 Starts the cc_server daemon over a directory (or explicit files) of
 profile JSON. Endpoints: POST /v1/check, /v1/explain, /v1/drift,
 /v1/ingest, /v1/reload, /v1/snapshot; GET /v1/profiles, /v1/monitor,
 /healthz, /metrics; DELETE /v1/monitor. SIGINT/SIGTERM shut down
-gracefully (in-flight requests complete).
+gracefully (in-flight requests complete). Batch endpoints also speak
+the binary columnar wire format (Content-Type/Accept:
+application/x-ccsynth-columnar; see `ccsynth wire`).
   --dir <d>           serve every *.json in d (default: profiles/)
   --profile <f>       serve an explicit profile file (repeatable)
   --addr <a>          bind address (default 127.0.0.1:8642; port 0 = ephemeral)
-  --workers <n>       worker threads (default 4)
+  --workers <n>       compute threads (default 4)
+  --io <mode>         connection core: auto (default; epoll on Linux),
+                      epoll (edge-triggered readiness loop), threads
+                      (portable blocking pool)
+  --reactors <n>      epoll reactor threads (default: one per core, max 8)
   --max-body-mb <n>   request body limit in MiB (default 32)
   --state-dir <d>     durable state: restore on boot (corrupt snapshots
                       quarantined), snapshot on shutdown and on
                       POST /v1/snapshot
   --autosave-secs <n> also snapshot every n seconds (requires --state-dir)"
+        }
+        "wire" => {
+            "usage: ccsynth wire <data.csv> --out <batch.bin>\n
+Encodes a CSV batch into the binary columnar wire format (magic 'CCOL',
+f64 LE column planes, u32 dictionary-code planes) for POSTing to the
+daemon's batch endpoints with
+  curl --data-binary @batch.bin -H 'content-type: application/x-ccsynth-columnar'
+  --out <file>    output path for the encoded batch (alias: -o)"
         }
         _ => USAGE,
     }
@@ -645,6 +661,8 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         Flag::multi("--profile"),
         Flag::value("--addr"),
         Flag::value("--workers"),
+        Flag::value("--io"),
+        Flag::value("--reactors"),
         Flag::value("--max-body-mb"),
         Flag::value("--state-dir"),
         Flag::value("--autosave-secs"),
@@ -681,9 +699,17 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             secs => Some(std::time::Duration::from_secs(secs as u64)),
         },
     };
+    let io = match p.value("--io") {
+        None => IoMode::Auto,
+        Some(spelled) => IoMode::parse(spelled).ok_or_else(|| {
+            CliError::Usage(format!("unknown --io mode '{spelled}' (auto, epoll, threads)"))
+        })?,
+    };
     let config = ServerConfig {
         addr: p.value("--addr").unwrap_or("127.0.0.1:8642").to_owned(),
         workers: p.count_or("--workers", 4)?,
+        io,
+        reactors: p.count_or("--reactors", 0)?,
         max_body_bytes,
         state_dir,
         autosave,
@@ -694,10 +720,11 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         .map_err(|e| CliError::Runtime(format!("cannot start server: {e}")))?;
     let snap = handle.registry().snapshot();
     println!(
-        "cc_server listening on http://{} ({} profile{}, {workers} workers)",
+        "cc_server listening on http://{} ({} profile{}, {workers} workers, {} io)",
         handle.addr(),
         snap.entries().len(),
         if snap.entries().len() == 1 { "" } else { "s" },
+        handle.io_backend(),
     );
     if handle.durable() {
         println!(
@@ -717,6 +744,32 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     println!("signal received, shutting down…");
     handle.shutdown();
     println!("cc_server shut down cleanly");
+    Ok(())
+}
+
+/// `ccsynth wire <data.csv> --out <batch.bin>`: encode a CSV batch into
+/// the binary columnar wire format, ready for `curl --data-binary`
+/// against the daemon's batch endpoints.
+fn cmd_wire(args: &[String]) -> Result<(), CliError> {
+    let flags = [Flag::value("--out").alias("-o")];
+    let p = parse(args, &flags)?;
+    let [data_path] = p.positionals() else {
+        return Err(CliError::Usage("wire needs exactly one <data.csv>".into()));
+    };
+    let Some(out) = p.value("--out") else {
+        return Err(CliError::Usage("wire needs --out <batch.bin>".into()));
+    };
+    let frame = load_csv(data_path).map_err(CliError::Runtime)?;
+    let bytes = ccsynth::server::wire::encode_frame(&frame);
+    std::fs::write(out, &bytes)
+        .map_err(|e| CliError::Runtime(format!("cannot write {out}: {e}")))?;
+    println!(
+        "wrote {out}: {} rows x {} columns, {} bytes (content-type: {})",
+        frame.n_rows(),
+        frame.n_cols(),
+        bytes.len(),
+        ccsynth::server::CONTENT_TYPE_COLUMNAR,
+    );
     Ok(())
 }
 
@@ -754,6 +807,7 @@ fn main() -> ExitCode {
         "explain" => cmd_explain(rest),
         "sql" => cmd_sql(rest),
         "serve" => cmd_serve(rest),
+        "wire" => cmd_wire(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
