@@ -120,6 +120,38 @@ impl SufficientStats {
         s
     }
 
+    /// Statistics of a row-major flat slice (`data.len() / dim` tuples
+    /// back to back). Bit-identical to [`SufficientStats::from_rows`]
+    /// over the same tuples — the same per-tuple [`SufficientStats::update`]
+    /// sequence from a fresh accumulator, no merges — so batch pipelines
+    /// can carry one contiguous buffer instead of a `Vec` per row.
+    ///
+    /// # Panics
+    /// Panics when `dim` is zero or does not divide `data.len()`.
+    pub fn from_flat_rows(data: &[f64], dim: usize) -> Self {
+        let mut s = SufficientStats::new(dim);
+        s.update_flat_rows(data);
+        s
+    }
+
+    /// Absorbs a row-major flat slice tuple by tuple, in slice order
+    /// (see [`SufficientStats::from_flat_rows`]).
+    ///
+    /// # Panics
+    /// Panics when `dim` is zero or does not divide `data.len()`.
+    pub fn update_flat_rows(&mut self, data: &[f64]) {
+        assert!(self.dim > 0, "SufficientStats::update_flat_rows: zero-dimensional");
+        assert!(
+            data.len().is_multiple_of(self.dim),
+            "SufficientStats::update_flat_rows: {} values do not tile dim {}",
+            data.len(),
+            self.dim
+        );
+        for tuple in data.chunks_exact(self.dim) {
+            self.update(tuple);
+        }
+    }
+
     /// Number of accumulated tuples.
     pub fn count(&self) -> usize {
         self.count
@@ -476,6 +508,48 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn flat_rows_are_bit_identical_to_from_rows() {
+        for n in [0, 1, 2, 57] {
+            let rows = sample_rows(n);
+            let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+            let nested = SufficientStats::from_rows(&rows, 3);
+            let packed = SufficientStats::from_flat_rows(&flat, 3);
+            assert_eq!(nested.count(), packed.count());
+            for j in 0..3 {
+                assert_eq!(nested.mean()[j].to_bits(), packed.mean()[j].to_bits());
+                assert_eq!(
+                    nested.attribute_min()[j].to_bits(),
+                    packed.attribute_min()[j].to_bits()
+                );
+                assert_eq!(
+                    nested.attribute_max()[j].to_bits(),
+                    packed.attribute_max()[j].to_bits()
+                );
+                for b in j..3 {
+                    assert_eq!(nested.comoment(j, b).to_bits(), packed.comoment(j, b).to_bits());
+                }
+            }
+            // Resuming an existing accumulator is the same per-tuple fold.
+            let mut resumed = SufficientStats::from_flat_rows(&flat, 3);
+            resumed.update_flat_rows(&flat);
+            let mut twice = nested.clone();
+            for r in &rows {
+                twice.update(r);
+            }
+            assert_eq!(resumed.count(), twice.count());
+            for b in 0..3 {
+                assert_eq!(resumed.comoment(0, b).to_bits(), twice.comoment(0, b).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "do not tile")]
+    fn flat_rows_reject_ragged_lengths() {
+        SufficientStats::from_flat_rows(&[1.0, 2.0, 3.0, 4.0], 3);
     }
 
     #[test]

@@ -8,10 +8,13 @@
 //! deployed trust layer watches a *live tuple stream*. This crate is that
 //! layer:
 //!
-//! * **ingest** — tuples or columnar batches stream in; every row is
-//!   scored once through the cached [`conformance::CompiledProfile`] plan
-//!   (bit-identical to the batch serving path) and folded into the open
-//!   windows; no tuple is retained;
+//! * **ingest** ([`ingest`]) — tuples or columnar batches stream in,
+//!   through a two-phase pipeline: a **lock-free score phase** evaluates
+//!   each batch through the shared `Arc<`[`conformance::CompiledProfile`]`>`
+//!   plan (bit-identical to the batch serving path, parallelizable) and
+//!   seals it into an immutable [`IngestDelta`]; a short **ordered
+//!   commit phase** merges the delta into the open windows. No tuple is
+//!   retained past the commit;
 //! * **windows** ([`windows`]) — tumbling and sliding windows over
 //!   per-window mergeable [`cc_linalg::SufficientStats`] + drift
 //!   accumulators, each built tuple-at-a-time so a closed window's
@@ -32,7 +35,11 @@
 //!   [`conformance::StreamingSynthesizer::absorb_stats`]) and surface it
 //!   as a [`ProposedProfile`] — never a silent swap;
 //! * **registry** ([`registry`]) — named monitors behind the locking
-//!   conventions a serving daemon needs;
+//!   conventions a serving daemon needs: each [`MonitorEntry`] admits
+//!   concurrent batches with tickets (commit order ≡ row order, pinned
+//!   bit-identical to serialized ingest) and publishes its latest
+//!   [`MonitorStatus`] as a swapped `Arc`, so `/metrics` never queues
+//!   behind an ingest;
 //! * **report** ([`report`]) — serializable snapshots shared by the
 //!   `cc_server` endpoints and the `ccsynth monitor` CLI.
 //!
@@ -63,6 +70,7 @@
 //! ```
 
 pub mod detectors;
+pub mod ingest;
 pub mod monitor;
 pub mod registry;
 pub mod report;
@@ -72,13 +80,16 @@ pub mod snapshot;
 pub mod windows;
 
 pub use detectors::{Baseline, Decision, Detector, DetectorKind, DetectorParams, DetectorState};
+pub use ingest::{IngestDelta, IngestScorer, ScoredBatch};
 pub use monitor::{MonitorConfig, OnlineMonitor};
-pub use registry::{lock_monitor, MonitorSet};
+pub use registry::{lock_monitor, MonitorEntry, MonitorSet};
 pub use report::{IngestReport, MonitorStatus, WindowPhase, WindowReport};
 pub use resynth::ProposedProfile;
 pub use ring::{RingState, StatsRing};
 pub use snapshot::{ConfigState, MonitorState};
-pub use windows::{ClosedWindow, OpenWindowState, SlidingState, SlidingStats, WindowSpec};
+pub use windows::{
+    ClosedWindow, OpenWindowState, PrecomputedWindow, SlidingState, SlidingStats, WindowSpec,
+};
 
 /// Monitoring failures.
 #[derive(Debug)]

@@ -20,6 +20,7 @@
 //! ```
 
 use crate::detectors::{Baseline, Detector, DetectorKind, DetectorParams};
+use crate::ingest::{IngestDelta, IngestScorer};
 use crate::report::{IngestReport, MonitorStatus, WindowPhase, WindowReport};
 use crate::resynth::{self, ProposedProfile};
 use crate::ring::StatsRing;
@@ -29,6 +30,7 @@ use crate::MonitorError;
 use cc_frame::DataFrame;
 use conformance::{CompiledProfile, ConformanceProfile, DriftAggregator, SynthOptions};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Monitor tuning. [`Default`] gives a tumbling 512-row window with a
 /// CUSUM detector calibrated from the first 8 closed windows.
@@ -122,7 +124,9 @@ impl MonitorConfig {
 pub struct OnlineMonitor {
     profile: ConformanceProfile,
     /// Compiled once per profile generation; every scored row reuses it.
-    plan: CompiledProfile,
+    /// Shared (`Arc`) so [`IngestScorer`] handles score batches without
+    /// the monitor lock.
+    plan: Arc<CompiledProfile>,
     cfg: MonitorConfig,
     sliding: SlidingStats,
     tiles: StatsRing,
@@ -150,7 +154,7 @@ impl OnlineMonitor {
     /// Rejects invalid configurations ([`MonitorError::Config`]).
     pub fn new(profile: ConformanceProfile, cfg: MonitorConfig) -> Result<Self, MonitorError> {
         cfg.validate()?;
-        let plan = CompiledProfile::compile(&profile);
+        let plan = Arc::new(CompiledProfile::compile(&profile));
         let dim = plan.attributes().len();
         let sliding = SlidingStats::new(cfg.spec, dim);
         let tiles = StatsRing::new(dim, cfg.resynth_tiles);
@@ -222,14 +226,53 @@ impl OnlineMonitor {
     /// frame) and folded into the open windows. Returns what happened —
     /// including a [`WindowReport`] for every window the batch closed.
     ///
+    /// Runs the two-phase pipeline (`crate::ingest`) inline:
+    /// [`Self::scorer`] scores and seals the batch, [`Self::commit`]
+    /// splices it in — bit-identical to the row-by-row reference path
+    /// [`Self::ingest_rowwise`] (proptest-pinned in `tests/pipeline.rs`).
+    /// For concurrent callers, score through a shared [`IngestScorer`]
+    /// and serialize only the commits (what
+    /// [`MonitorEntry`](crate::MonitorEntry) does).
+    ///
     /// # Errors
     /// Fails when the batch lacks attributes the profile needs; the
     /// monitor state is unchanged in that case.
     pub fn ingest(&mut self, batch: &DataFrame) -> Result<IngestReport, MonitorError> {
+        self.ingest_with_threads(batch, 1)
+    }
+
+    /// [`Self::ingest`] with the score phase split over `threads` scoped
+    /// threads ([`CompiledProfile::violations_parallel`]; bit-identical
+    /// for every thread count).
+    ///
+    /// # Errors
+    /// Fails when the batch lacks attributes the profile needs.
+    pub fn ingest_with_threads(
+        &mut self,
+        batch: &DataFrame,
+        threads: usize,
+    ) -> Result<IngestReport, MonitorError> {
+        let scorer = self.scorer();
+        let scored = scorer.score(batch, threads)?;
+        let delta = scorer.seal(scored, self.sliding.rows_seen());
+        self.commit(&delta)
+    }
+
+    /// The serial row-by-row reference path: exactly what `ingest` did
+    /// before the two-phase pipeline existed, kept as the oracle the
+    /// pipeline is pinned against (the same way the compiled evaluator
+    /// keeps `violations_interpreted`).
+    ///
+    /// # Errors
+    /// Fails when the batch lacks attributes the profile needs; the
+    /// monitor state is unchanged in that case.
+    pub fn ingest_rowwise(&mut self, batch: &DataFrame) -> Result<IngestReport, MonitorError> {
         let n = batch.n_rows();
+        let start_row = self.sliding.rows_seen();
         if n == 0 {
             return Ok(IngestReport {
                 rows: 0,
+                start_row,
                 windows: Vec::new(),
                 alarm: self.consecutive_alarms > 0,
             });
@@ -246,7 +289,63 @@ impl OnlineMonitor {
                 windows.push(self.close_window(closed));
             }
         }
-        Ok(IngestReport { rows: n, windows, alarm: self.consecutive_alarms > 0 })
+        Ok(IngestReport { rows: n, start_row, windows, alarm: self.consecutive_alarms > 0 })
+    }
+
+    /// A lock-free scoring handle for the current profile generation.
+    /// Clones share the compiled plan by `Arc`; the handle stays valid
+    /// (and correct for this generation) after the monitor lock is
+    /// released — that is the point.
+    pub fn scorer(&self) -> IngestScorer {
+        IngestScorer::new(self.plan.clone(), self.cfg.spec, self.generation)
+    }
+
+    /// The stream row the next admitted batch starts at (rows absorbed
+    /// by the windowing accumulator since the last reset — **not** the
+    /// lifetime [`MonitorStatus::rows_ingested`] counter, which survives
+    /// generation swaps).
+    pub fn stream_position(&self) -> u64 {
+        self.sliding.rows_seen()
+    }
+
+    /// Commit phase: splices a sealed delta into the monitor — adopts
+    /// its fully-covered windows wholesale, replays its head/tail rows
+    /// into partial windows, and runs the per-close bookkeeping (drift
+    /// series, detector, alarms, resynthesis). Bit-identical to having
+    /// ingested the delta's batch row by row at the same position.
+    ///
+    /// # Errors
+    /// Rejects deltas sealed against another generation or another
+    /// stream position, with the monitor untouched. The registry's
+    /// pipeline lock makes both impossible for entry-routed ingest.
+    pub fn commit(&mut self, delta: &IngestDelta) -> Result<IngestReport, MonitorError> {
+        if delta.generation() != self.generation {
+            return Err(MonitorError::Config(format!(
+                "delta scored against generation {}, monitor is at {}",
+                delta.generation(),
+                self.generation
+            )));
+        }
+        if delta.start_row() != self.sliding.rows_seen() {
+            return Err(MonitorError::Config(format!(
+                "delta admitted at row {}, stream is at {}",
+                delta.start_row(),
+                self.sliding.rows_seen()
+            )));
+        }
+        let n = delta.rows();
+        // The serial path bumps this per row; no close reads it, so the
+        // batch bump is equivalent.
+        self.rows_ingested += n as u64;
+        let closes =
+            self.sliding.apply_batch(delta.tuples(), delta.violations(), delta.full_windows());
+        let windows = closes.into_iter().map(|c| self.close_window(c)).collect();
+        Ok(IngestReport {
+            rows: n,
+            start_row: delta.start_row(),
+            windows,
+            alarm: self.consecutive_alarms > 0,
+        })
     }
 
     /// Ingests a single tuple (`categorical` must cover the profile's
@@ -382,7 +481,7 @@ impl OnlineMonitor {
     pub fn adopt_proposal(&mut self) -> Option<u64> {
         let p = self.proposal.take()?;
         self.profile = p.profile;
-        self.plan = CompiledProfile::compile(&self.profile);
+        self.plan = Arc::new(CompiledProfile::compile(&self.profile));
         self.generation = p.generation;
         self.sliding.reset();
         self.tiles.clear();

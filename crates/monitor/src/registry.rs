@@ -1,31 +1,216 @@
-//! Named-monitor registry glue.
+//! Named-monitor registry and the concurrent ingest entry.
 //!
 //! A serving daemon (or any embedding) runs many monitors — one per
-//! stream — keyed by name. [`MonitorSet`] is that map, with the locking
-//! conventions the rest of the workspace uses: lookups take a brief read
-//! lock and clone an `Arc`; each monitor serializes its own ingest behind
-//! its own `Mutex` so two streams never contend with each other; and
-//! poisoned locks are recovered (a panic mid-ingest on one monitor must
-//! not take down every other stream).
+//! stream — keyed by name. Two layers live here:
+//!
+//! * [`MonitorEntry`] wraps one monitor with the machinery that lets many
+//!   connections feed it concurrently without serializing the expensive
+//!   work: batches score lock-free through a published
+//!   [`IngestScorer`], admission hands out `(ticket, start_row)` pairs
+//!   atomically, and only the short commit runs under the monitor's
+//!   mutex, in ticket order. The entry also publishes the latest
+//!   [`MonitorStatus`] as a swapped `Arc`, so `/metrics` and status reads
+//!   never queue behind an ingest.
+//! * [`MonitorSet`] is the name → entry map. Lookups take a brief read
+//!   lock and clone an `Arc`; creation builds (and compiles) the monitor
+//!   **outside** every lock and inserts with a re-check, so a slow
+//!   profile compile never stalls unrelated streams.
+//!
+//! Poisoned locks are recovered throughout (a panic mid-commit on one
+//! monitor must not take down every other stream).
+//!
+//! ## Lock discipline
+//!
+//! ```text
+//! ingest(batch):
+//!   pipeline.read ─┐            (held across the whole call: excludes
+//!                  │             generation swaps, not other ingests)
+//!   scorer.read ───┤ clone Arc, drop lock
+//!   score batch    │            ── no monitor lock, parallelizable
+//!   gate.lock ─────┤ ticket + start_row, drop lock
+//!   seal delta     │            ── no monitor lock
+//!   gate.lock ─────┤ wait turn (ticket == next_commit)
+//!   monitor.lock ──┤ commit delta, take status, drop lock
+//!   status.write ──┤ publish status, still inside the turn
+//!   gate.lock ─────┘ next_commit += 1, notify
+//! ```
+//!
+//! Status readers touch only `status.read`; exclusive operations
+//! ([`MonitorEntry::with_monitor`]) take `pipeline.write`, which drains
+//! every in-flight ingest before the closure runs and republishes the
+//! scorer/status afterwards.
 
+use crate::ingest::IngestScorer;
 use crate::monitor::OnlineMonitor;
-use crate::report::MonitorStatus;
+use crate::report::{IngestReport, MonitorStatus};
 use crate::MonitorError;
+use cc_frame::DataFrame;
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+
+/// Recovers a poisoned monitor lock: the monitor's state is a collection
+/// of counters and accumulators that stay internally consistent between
+/// batch commits, so continuing after a panic is safe (at worst one
+/// batch of one window is lost).
+pub fn lock_monitor(m: &Mutex<OnlineMonitor>) -> std::sync::MutexGuard<'_, OnlineMonitor> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Admission bookkeeping: tickets order commits, `admitted_rows` is the
+/// stream row the next admitted batch starts at.
+#[derive(Debug)]
+struct GateState {
+    next_ticket: u64,
+    next_commit: u64,
+    admitted_rows: u64,
+}
+
+/// One registered monitor plus its concurrency machinery. See the module
+/// docs for the lock discipline.
+#[derive(Debug)]
+pub struct MonitorEntry {
+    monitor: Mutex<OnlineMonitor>,
+    /// The published scoring handle for the current generation.
+    scorer: RwLock<Arc<IngestScorer>>,
+    /// The last committed status — swapped atomically after every
+    /// commit, inside the commit turn, so readers observe statuses in
+    /// admission order without ever taking the monitor lock.
+    status: RwLock<Arc<MonitorStatus>>,
+    gate: Mutex<GateState>,
+    turn: Condvar,
+    /// Read side spans an ingest; write side is exclusive access
+    /// ([`Self::with_monitor`]), which may swap the generation or rewind
+    /// the stream position under the pipeline's feet.
+    pipeline: RwLock<()>,
+}
+
+/// Releases the commit turn on drop — a panicking commit must still wake
+/// its successors or every later ticket deadlocks.
+struct CommitTurn<'a> {
+    gate: &'a Mutex<GateState>,
+    turn: &'a Condvar,
+}
+
+impl Drop for CommitTurn<'_> {
+    fn drop(&mut self) {
+        let mut g = self.gate.lock().unwrap_or_else(|p| p.into_inner());
+        g.next_commit += 1;
+        drop(g);
+        self.turn.notify_all();
+    }
+}
+
+impl MonitorEntry {
+    /// Wraps a monitor, publishing its scorer and status and anchoring
+    /// admission at its current stream position.
+    pub fn new(monitor: OnlineMonitor) -> Arc<Self> {
+        let scorer = Arc::new(monitor.scorer());
+        let status = Arc::new(monitor.status());
+        let position = monitor.stream_position();
+        Arc::new(MonitorEntry {
+            monitor: Mutex::new(monitor),
+            scorer: RwLock::new(scorer),
+            status: RwLock::new(status),
+            gate: Mutex::new(GateState { next_ticket: 0, next_commit: 0, admitted_rows: position }),
+            turn: Condvar::new(),
+            pipeline: RwLock::new(()),
+        })
+    }
+
+    /// Ingests a batch through the two-phase pipeline: lock-free score,
+    /// ticketed in-order commit. Concurrent callers score in parallel
+    /// and serialize only the short commit; the interleaving is
+    /// bit-identical to having ingested the batches serially in
+    /// admission order (`tests/pipeline.rs` pins this). Returns the
+    /// report plus the status published by this very commit.
+    ///
+    /// # Errors
+    /// Fails when the batch lacks attributes the profile needs — before
+    /// admission, so a rejected batch leaves no gap in the row sequence.
+    pub fn ingest(
+        &self,
+        batch: &DataFrame,
+        threads: usize,
+    ) -> Result<(IngestReport, Arc<MonitorStatus>), MonitorError> {
+        let _pipeline = self.pipeline.read().unwrap_or_else(|p| p.into_inner());
+        let scorer = self.scorer().clone();
+        // Phase one — fallible, position-independent, fully concurrent.
+        let scored = scorer.score(batch, threads)?;
+        // Admission: the ticket (commit order) and the start row are
+        // claimed in one critical section, so commit order always equals
+        // row order.
+        let (ticket, start_row) = {
+            let mut g = self.gate.lock().unwrap_or_else(|p| p.into_inner());
+            let ticket = g.next_ticket;
+            g.next_ticket += 1;
+            let start_row = g.admitted_rows;
+            g.admitted_rows += scored.rows() as u64;
+            (ticket, start_row)
+        };
+        // Phase two — still lock-free; slow sealers only delay tickets
+        // behind them, never the scoring of other batches.
+        let delta = scorer.seal(scored, start_row);
+        {
+            let mut g = self.gate.lock().unwrap_or_else(|p| p.into_inner());
+            while g.next_commit != ticket {
+                g = self.turn.wait(g).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+        let _turn = CommitTurn { gate: &self.gate, turn: &self.turn };
+        let mut m = lock_monitor(&self.monitor);
+        // Generation and position are pinned by the pipeline read lock +
+        // admission order, so this cannot fail; if it somehow does, the
+        // turn guard still releases the commit sequence.
+        let report = m.commit(&delta)?;
+        let status = Arc::new(m.status());
+        drop(m);
+        *self.status.write().unwrap_or_else(|p| p.into_inner()) = status.clone();
+        Ok((report, status))
+    }
+
+    /// The published status of the last committed batch — never blocks
+    /// on the monitor lock, and consecutive reads observe commits in
+    /// admission order.
+    pub fn status(&self) -> Arc<MonitorStatus> {
+        self.status.read().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+
+    /// The published scoring handle for the current generation.
+    pub fn scorer(&self) -> Arc<IngestScorer> {
+        self.scorer.read().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+
+    /// Exclusive access to the monitor — the adopt/discard-proposal and
+    /// reconfiguration surface. Drains every in-flight ingest first
+    /// (pipeline write lock), then republishes the scorer and status and
+    /// re-anchors admission at the monitor's (possibly reset) stream
+    /// position, so the closure may swap generations freely.
+    pub fn with_monitor<R>(&self, f: impl FnOnce(&mut OnlineMonitor) -> R) -> R {
+        let _pipeline = self.pipeline.write().unwrap_or_else(|p| p.into_inner());
+        let mut m = lock_monitor(&self.monitor);
+        let out = f(&mut m);
+        let scorer = Arc::new(m.scorer());
+        let status = Arc::new(m.status());
+        let position = m.stream_position();
+        drop(m);
+        *self.scorer.write().unwrap_or_else(|p| p.into_inner()) = scorer;
+        *self.status.write().unwrap_or_else(|p| p.into_inner()) = status;
+        self.gate.lock().unwrap_or_else(|p| p.into_inner()).admitted_rows = position;
+        out
+    }
+
+    /// Locks the monitor directly (brief read-only uses, e.g. snapshot
+    /// collection). Commits hold this same mutex, so a guard taken here
+    /// always observes a batch boundary.
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, OnlineMonitor> {
+        lock_monitor(&self.monitor)
+    }
+}
 
 /// A shared, named set of monitors.
 #[derive(Debug, Default)]
 pub struct MonitorSet {
-    inner: RwLock<BTreeMap<String, Arc<Mutex<OnlineMonitor>>>>,
-}
-
-/// Recovers a poisoned monitor lock: the monitor's state is a collection
-/// of counters and accumulators that stay internally consistent between
-/// row updates, so continuing after a panic is safe (at worst one row of
-/// one window is lost).
-pub fn lock_monitor(m: &Mutex<OnlineMonitor>) -> std::sync::MutexGuard<'_, OnlineMonitor> {
-    m.lock().unwrap_or_else(|p| p.into_inner())
+    inner: RwLock<BTreeMap<String, Arc<MonitorEntry>>>,
 }
 
 impl MonitorSet {
@@ -34,16 +219,18 @@ impl MonitorSet {
         MonitorSet::default()
     }
 
-    /// Looks a monitor up by name.
-    pub fn get(&self, name: &str) -> Option<Arc<Mutex<OnlineMonitor>>> {
+    /// Looks a monitor entry up by name.
+    pub fn get(&self, name: &str) -> Option<Arc<MonitorEntry>> {
         self.read().get(name).cloned()
     }
 
-    /// Returns the named monitor, creating it with `init` when absent.
-    /// The boolean reports whether this call created it. `init` runs
-    /// outside any lock held by other monitors' ingest paths (it holds
-    /// only the map's write lock), and its error leaves the set
-    /// unchanged.
+    /// Returns the named entry, creating it with `init` when absent. The
+    /// boolean reports whether this call created it. `init` — profile
+    /// compilation included — runs **outside** every registry lock;
+    /// the result is inserted under the write lock with a re-check, and
+    /// a racing loser discards its build and adopts the winner's (the
+    /// single-`created`-winner semantics callers rely on). `init`'s
+    /// error leaves the set unchanged.
     ///
     /// # Errors
     /// Propagates `init`'s error when the monitor has to be created.
@@ -51,24 +238,26 @@ impl MonitorSet {
         &self,
         name: &str,
         init: impl FnOnce() -> Result<OnlineMonitor, MonitorError>,
-    ) -> Result<(Arc<Mutex<OnlineMonitor>>, bool), MonitorError> {
+    ) -> Result<(Arc<MonitorEntry>, bool), MonitorError> {
         if let Some(existing) = self.get(name) {
             return Ok((existing, false));
         }
+        let built = MonitorEntry::new(init()?);
         let mut map = self.write();
-        // Re-check under the write lock (another creator may have won).
+        // Re-check under the write lock (another creator may have won
+        // while we were compiling).
         if let Some(existing) = map.get(name) {
             return Ok((existing.clone(), false));
         }
-        let created = Arc::new(Mutex::new(init()?));
-        map.insert(name.to_owned(), created.clone());
-        Ok((created, true))
+        map.insert(name.to_owned(), built.clone());
+        Ok((built, true))
     }
 
     /// Inserts (or replaces) a monitor under `name` — the state-restore
     /// path; live creation goes through [`Self::get_or_create`].
     pub fn insert(&self, name: &str, monitor: OnlineMonitor) {
-        self.write().insert(name.to_owned(), Arc::new(Mutex::new(monitor)));
+        let entry = MonitorEntry::new(monitor);
+        self.write().insert(name.to_owned(), entry);
     }
 
     /// Removes a monitor; reports whether it existed.
@@ -77,13 +266,13 @@ impl MonitorSet {
     }
 
     /// `(name, state)` images of every monitor, sorted by name — the
-    /// snapshot-collection path (see `cc_state`).
+    /// snapshot-collection path (see `cc_state`). Each monitor is locked
+    /// briefly; the mutex is only ever held across whole commits, so
+    /// every image lands on a batch boundary.
     pub fn states(&self) -> Vec<(String, crate::snapshot::MonitorState)> {
-        // Same locking discipline as `statuses`: clone the Arcs out, then
-        // lock each monitor briefly without holding the map lock.
-        let monitors: Vec<(String, Arc<Mutex<OnlineMonitor>>)> =
-            self.read().iter().map(|(n, m)| (n.clone(), m.clone())).collect();
-        monitors.into_iter().map(|(n, m)| (n, lock_monitor(&m).state())).collect()
+        let entries: Vec<(String, Arc<MonitorEntry>)> =
+            self.read().iter().map(|(n, e)| (n.clone(), e.clone())).collect();
+        entries.into_iter().map(|(n, e)| (n, e.lock().state())).collect()
     }
 
     /// Monitor names, sorted.
@@ -91,13 +280,11 @@ impl MonitorSet {
         self.read().keys().cloned().collect()
     }
 
-    /// `(name, status)` snapshots of every monitor, sorted by name.
-    pub fn statuses(&self) -> Vec<(String, MonitorStatus)> {
-        // Clone the Arcs out first: status-taking locks each monitor
-        // briefly and must not hold the map lock while doing so.
-        let monitors: Vec<(String, Arc<Mutex<OnlineMonitor>>)> =
-            self.read().iter().map(|(n, m)| (n.clone(), m.clone())).collect();
-        monitors.into_iter().map(|(n, m)| (n, lock_monitor(&m).status())).collect()
+    /// `(name, status)` snapshots of every monitor, sorted by name —
+    /// served from each entry's published status, so this never waits on
+    /// an in-flight ingest.
+    pub fn statuses(&self) -> Vec<(String, Arc<MonitorStatus>)> {
+        self.read().iter().map(|(n, e)| (n.clone(), e.status())).collect()
     }
 
     /// Number of registered monitors.
@@ -110,13 +297,11 @@ impl MonitorSet {
         self.read().is_empty()
     }
 
-    fn read(&self) -> std::sync::RwLockReadGuard<'_, BTreeMap<String, Arc<Mutex<OnlineMonitor>>>> {
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, BTreeMap<String, Arc<MonitorEntry>>> {
         self.inner.read().unwrap_or_else(|p| p.into_inner())
     }
 
-    fn write(
-        &self,
-    ) -> std::sync::RwLockWriteGuard<'_, BTreeMap<String, Arc<Mutex<OnlineMonitor>>>> {
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, BTreeMap<String, Arc<MonitorEntry>>> {
         self.inner.write().unwrap_or_else(|p| p.into_inner())
     }
 }
@@ -178,5 +363,73 @@ mod tests {
             }
         });
         assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn init_runs_outside_the_registry_locks() {
+        // Regression guard for the old behaviour, where `init` ran under
+        // the map's write lock: a closure touching the set (as a slow
+        // compile sharing the registry would let other requests do)
+        // deadlocked. It must be free to read the registry.
+        let set = MonitorSet::new();
+        set.get_or_create("other", monitor).unwrap();
+        let (_, created) = set
+            .get_or_create("a", || {
+                assert_eq!(set.len(), 1, "registry must stay readable during init");
+                assert!(set.get("other").is_some());
+                monitor()
+            })
+            .unwrap();
+        assert!(created);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn status_reads_do_not_block_on_the_monitor_lock() {
+        let set = MonitorSet::new();
+        let (entry, _) = set.get_or_create("m", monitor).unwrap();
+        let before = entry.status();
+        // Hold the monitor mutex on another thread; published-status
+        // reads must still return immediately.
+        let guard_entry = entry.clone();
+        std::thread::scope(|scope| {
+            let (tx, rx) = std::sync::mpsc::channel();
+            scope.spawn(move || {
+                let _guard = guard_entry.lock();
+                tx.send(()).unwrap();
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            });
+            rx.recv().unwrap();
+            let during = entry.status();
+            assert_eq!(during.rows_ingested, before.rows_ingested);
+            let all = set.statuses();
+            assert_eq!(all.len(), 1);
+        });
+    }
+
+    #[test]
+    fn with_monitor_republishes_scorer_and_status() {
+        let (entry, _) = {
+            let set = MonitorSet::new();
+            set.get_or_create("m", monitor).unwrap()
+        };
+        let gen_before = entry.scorer().generation();
+        let mut df = DataFrame::new();
+        let xs: Vec<f64> = (0..512).map(|i| i as f64 / 10.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        df.push_numeric("x", xs).unwrap();
+        df.push_numeric("y", ys).unwrap();
+        let (report, status) = entry.ingest(&df, 1).unwrap();
+        assert_eq!(report.rows, 512);
+        assert_eq!(report.start_row, 0);
+        assert_eq!(status.rows_ingested, 512);
+        assert_eq!(entry.status().rows_ingested, 512);
+        // Exclusive access that rewinds the stream: admission re-anchors.
+        entry.with_monitor(|m| {
+            assert_eq!(m.stream_position(), 512);
+        });
+        assert_eq!(entry.scorer().generation(), gen_before);
+        let (report, _) = entry.ingest(&df, 2).unwrap();
+        assert_eq!(report.start_row, 512);
     }
 }

@@ -45,6 +45,11 @@ pub struct WindowReport {
 pub struct IngestReport {
     /// Rows absorbed by this call.
     pub rows: usize,
+    /// Stream row this batch was admitted at (the monitor's windowing
+    /// position before the batch; resets when a new profile generation
+    /// is adopted). Concurrent ingesters use it to learn the admission
+    /// order their batches serialized in.
+    pub start_row: u64,
     /// Windows that closed during this call, in close order.
     pub windows: Vec<WindowReport>,
     /// Whether the monitor is currently alarming (consecutive alarmed

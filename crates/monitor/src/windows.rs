@@ -123,6 +123,27 @@ struct OpenWindow {
     score_max: f64,
 }
 
+/// A window fully covered by one admitted batch, accumulated during the
+/// lock-free score phase of the ingest pipeline (see `crate::ingest`).
+///
+/// Its fields carry the exact accumulators a closed window needs, built
+/// per-tuple from a fresh accumulator over the window's row slice — so
+/// when the commit phase adopts one wholesale, the result is bit-identical
+/// to having pushed those rows through [`SlidingStats::push`] one at a
+/// time (adopting into an empty window is `SufficientStats::merge`'s
+/// empty-left case, a clone).
+#[derive(Clone, Debug)]
+pub struct PrecomputedWindow {
+    /// First stream row of the window.
+    pub start_row: u64,
+    /// Per-tuple statistics of the window slice (`window` rows).
+    pub stats: SufficientStats,
+    /// Left-fold sum of the window's scores.
+    pub score_sum: f64,
+    /// `max` fold of the window's scores from `0.0`.
+    pub score_max: f64,
+}
+
 /// The sliding accumulator: every in-flight window's statistics, updated
 /// one tuple at a time. See the module docs for the bit-identity
 /// contract.
@@ -208,6 +229,118 @@ impl SlidingStats {
             });
         }
         None
+    }
+
+    /// Applies one admitted batch in a single call — the commit half of
+    /// the two-phase ingest pipeline. `tuples` is the batch in row-major
+    /// flat layout (`scores.len() × dim`), `scores` the per-row drift
+    /// values, and `precomputed` the windows fully covered by this batch
+    /// (ascending start row), as sealed by the score phase.
+    ///
+    /// Bit-identical to pushing the batch row by row through
+    /// [`Self::push`], by construction:
+    ///
+    /// * carried open windows and the batch's tail windows replay their
+    ///   covered rows per-tuple — each accumulator sees exactly the
+    ///   update sequence the serial path produces (interleaving across
+    ///   *distinct* accumulators never affects any one of them);
+    /// * fully-covered windows are adopted wholesale from `precomputed`,
+    ///   whose accumulators were built per-tuple from fresh state over
+    ///   the same slice — the same bits again;
+    /// * closes are emitted in ascending window-start order, which *is*
+    ///   the serial close order: a window closes on row
+    ///   `start + window − 1`, monotone in `start` for equal-width
+    ///   windows, and every carried start precedes every in-batch start.
+    ///
+    /// # Panics
+    /// Panics when the flat shapes disagree with `dim`, or when
+    /// `precomputed` disagrees with the set of windows the geometry says
+    /// this batch fully covers (a scorer/accumulator mismatch — the
+    /// pipeline seals deltas against the admitted start row, so this
+    /// cannot happen through [`crate::MonitorEntry`]).
+    pub fn apply_batch(
+        &mut self,
+        tuples: &[f64],
+        scores: &[f64],
+        precomputed: &[PrecomputedWindow],
+    ) -> Vec<ClosedWindow> {
+        let n = scores.len();
+        assert_eq!(tuples.len(), n * self.dim, "SlidingStats::apply_batch: flat shape mismatch");
+        if n == 0 {
+            assert!(precomputed.is_empty(), "precomputed windows for an empty batch");
+            return Vec::new();
+        }
+        let r0 = self.rows_seen;
+        let end = r0 + n as u64;
+        let window = self.spec.window as u64;
+        let stride = self.spec.stride as u64;
+        let mut closes = Vec::new();
+        // Carried open windows replay the head rows they cover.
+        for w in self.open.iter_mut() {
+            let take = ((w.start_row + window).min(end) - r0) as usize;
+            for (i, &score) in scores[..take].iter().enumerate() {
+                w.stats.update(&tuples[i * self.dim..(i + 1) * self.dim]);
+                w.score_sum += score;
+                w.score_max = w.score_max.max(score);
+                w.rows += 1;
+            }
+        }
+        // Carried closes first: every carried start precedes every
+        // in-batch start, and the deque is ordered by start already.
+        while self.open.front().is_some_and(|w| w.rows == self.spec.window) {
+            let w = self.open.pop_front().expect("front window exists");
+            let index = self.closed;
+            self.closed += 1;
+            closes.push(ClosedWindow {
+                index,
+                start_row: w.start_row,
+                rows: w.rows,
+                stats: w.stats,
+                score_sum: w.score_sum,
+                score_max: w.score_max,
+            });
+        }
+        // Windows opening inside the batch, ascending start: adopt the
+        // fully-covered ones, replay the tail partials.
+        let mut pre = precomputed.iter();
+        let mut s = r0.next_multiple_of(stride);
+        while s < end {
+            if s + window <= end {
+                let p = pre.next().expect("apply_batch: fully-covered window not sealed");
+                assert_eq!(p.start_row, s, "apply_batch: sealed window misaligned");
+                let index = self.closed;
+                self.closed += 1;
+                closes.push(ClosedWindow {
+                    index,
+                    start_row: s,
+                    rows: self.spec.window,
+                    stats: p.stats.clone(),
+                    score_sum: p.score_sum,
+                    score_max: p.score_max,
+                });
+            } else {
+                let lo = (s - r0) as usize;
+                let mut w = OpenWindow {
+                    start_row: s,
+                    rows: 0,
+                    stats: SufficientStats::new(self.dim),
+                    score_sum: 0.0,
+                    score_max: 0.0,
+                };
+                for (i, &score) in scores[lo..].iter().enumerate() {
+                    let at = lo + i;
+                    w.stats.update(&tuples[at * self.dim..(at + 1) * self.dim]);
+                    w.score_sum += score;
+                    w.score_max = w.score_max.max(score);
+                    w.rows += 1;
+                }
+                self.open.push_back(w);
+            }
+            s += stride;
+        }
+        assert!(pre.next().is_none(), "apply_batch: sealed windows beyond the batch");
+        self.rows_seen = end;
+        closes
     }
 
     /// Drops every open window (used when the monitored profile is
@@ -409,6 +542,86 @@ mod tests {
             let max = scores[range.clone()].iter().fold(0.0f64, |m, &v| m.max(v));
             assert_eq!(c.score_sum.to_bits(), sum.to_bits());
             assert_eq!(c.score_max.to_bits(), max.to_bits());
+        }
+    }
+
+    /// Seals the fully-covered windows of a batch the way the score
+    /// phase does: per-tuple from a fresh accumulator over each slice.
+    fn seal(
+        spec: WindowSpec,
+        dim: usize,
+        r0: u64,
+        tuples: &[f64],
+        scores: &[f64],
+    ) -> Vec<PrecomputedWindow> {
+        let end = r0 + scores.len() as u64;
+        let (window, stride) = (spec.window() as u64, spec.stride() as u64);
+        let mut out = Vec::new();
+        let mut s = r0.next_multiple_of(stride);
+        while s + window <= end {
+            let lo = (s - r0) as usize;
+            let hi = lo + window as usize;
+            out.push(PrecomputedWindow {
+                start_row: s,
+                stats: SufficientStats::from_flat_rows(&tuples[lo * dim..hi * dim], dim),
+                score_sum: scores[lo..hi].iter().sum(),
+                score_max: scores[lo..hi].iter().fold(0.0f64, |m, &v| m.max(v)),
+            });
+            s += stride;
+        }
+        out
+    }
+
+    #[test]
+    fn apply_batch_matches_push_bitwise() {
+        let dim = 2;
+        let rows: Vec<Vec<f64>> =
+            (0..43).map(|i| vec![(i as f64 * 0.83).sin() * 5.0, i as f64 - 20.0]).collect();
+        let scores: Vec<f64> = (0..43).map(|i| (i as f64 * 0.57).cos().abs()).collect();
+        for (window, stride) in [(6, 2), (4, 4), (5, 1), (1, 1), (8, 4)] {
+            let spec = WindowSpec::new(window, stride).unwrap();
+            // Chunkings exercising the edge sizes 0, 1, B−1, B, B+1.
+            for chunks in
+                [vec![43], vec![0, 1, window - 1, window, window + 1, 40 - 2 * window], vec![7; 6]]
+            {
+                let mut serial = SlidingStats::new(spec, dim);
+                let mut serial_closes = Vec::new();
+                let mut batched = SlidingStats::new(spec, dim);
+                let mut batched_closes = Vec::new();
+                let mut at = 0usize;
+                for len in chunks {
+                    let hi = (at + len).min(rows.len());
+                    let flat: Vec<f64> = rows[at..hi].iter().flatten().copied().collect();
+                    let sealed = seal(spec, dim, at as u64, &flat, &scores[at..hi]);
+                    batched_closes.extend(batched.apply_batch(&flat, &scores[at..hi], &sealed));
+                    for i in at..hi {
+                        serial_closes.extend(serial.push(&rows[i], scores[i]));
+                    }
+                    at = hi;
+                }
+                assert_eq!(serial.rows_seen(), batched.rows_seen());
+                assert_eq!(serial.closed(), batched.closed());
+                assert_eq!(serial.lag(), batched.lag());
+                assert_eq!(serial_closes.len(), batched_closes.len());
+                for (a, b) in serial_closes.iter().zip(&batched_closes) {
+                    assert_eq!((a.index, a.start_row, a.rows), (b.index, b.start_row, b.rows));
+                    assert_eq!(a.score_sum.to_bits(), b.score_sum.to_bits());
+                    assert_eq!(a.score_max.to_bits(), b.score_max.to_bits());
+                    for x in 0..dim {
+                        assert_eq!(a.stats.mean()[x].to_bits(), b.stats.mean()[x].to_bits());
+                        for y in x..dim {
+                            assert_eq!(
+                                a.stats.comoment(x, y).to_bits(),
+                                b.stats.comoment(x, y).to_bits()
+                            );
+                        }
+                    }
+                }
+                // Open (partial) windows must also agree, via the snapshot.
+                let a = serde_json::to_string(&serial.state()).unwrap();
+                let b = serde_json::to_string(&batched.state()).unwrap();
+                assert_eq!(a, b, "open-window state diverged for ({window}, {stride})");
+            }
         }
     }
 

@@ -36,7 +36,7 @@ use crate::registry::{ProfileEntry, ProfileRegistry, Snapshot};
 use crate::state::Durability;
 use cc_frame::DataFrame;
 use cc_monitor::{
-    lock_monitor, DetectorKind, MonitorConfig, MonitorSet, MonitorStatus, OnlineMonitor, WindowSpec,
+    DetectorKind, MonitorConfig, MonitorSet, MonitorStatus, OnlineMonitor, WindowSpec,
 };
 use conformance::{mean_responsibility_from_plan, DriftAggregator};
 use serde::Serialize;
@@ -194,9 +194,13 @@ fn metrics_text(registry: &ProfileRegistry, monitors: &MonitorSet, metrics: &Met
 /// ```
 ///
 /// Geometry/detector fields only matter on the creating call; later
-/// calls ingest into the existing monitor as-is. The response carries a
-/// report for every window the batch closed plus the full status
-/// snapshot (alarm state, proposed-profile generation, …).
+/// calls ingest into the existing monitor as-is (`threads` is per-call:
+/// it sizes the lock-free score phase, clamped to 1..=64). The response
+/// carries a report for every window the batch closed plus the status
+/// snapshot this commit published (alarm state, proposed-profile
+/// generation, …). Concurrent connections may feed one monitor: batches
+/// score in parallel and commit in admission order (`start_row` reports
+/// where each batch landed), bit-identical to serialized ingest.
 fn ingest(
     req: &Request,
     registry: &ProfileRegistry,
@@ -257,16 +261,23 @@ fn ingest(
             }
         }
     };
-    let mut guard = lock_monitor(&monitor);
-    match guard.ingest(&frame) {
-        Ok(report) => {
+    let threads = match field_usize(req, &body, "threads") {
+        Ok(t) => t.unwrap_or(1).clamp(1, 64),
+        Err(e) => return Response::error(400, &e),
+    };
+    // Two-phase pipeline: the batch scores lock-free through the entry's
+    // published plan (optionally in parallel), then commits in admission
+    // order under the short monitor lock. Concurrent connections feeding
+    // one monitor serialize only the commit, and the interleaving is
+    // bit-identical to serialized ingest.
+    match monitor.ingest(&frame, threads) {
+        Ok((report, status)) => {
             metrics.add_rows_checked(report.rows);
-            let status = guard.status();
-            drop(guard);
             Response::json(&obj(vec![
                 ("monitor", string(&name)),
                 ("created", Value::Bool(created)),
                 ("rows", Value::Number(report.rows as f64)),
+                ("start_row", Value::Number(report.start_row as f64)),
                 ("windows", report.windows.to_value()),
                 ("alarm", Value::Bool(report.alarm)),
                 ("status", status.to_value()),
@@ -357,8 +368,8 @@ fn monitor_status(req: &Request, monitors: &MonitorSet) -> Response {
         let Some(m) = monitors.get(name) else {
             return Response::error(404, &format!("no monitor named '{name}'"));
         };
-        let status = lock_monitor(&m).status();
-        return Response::json(&entry(name, &status));
+        // Published status — never waits behind an in-flight ingest.
+        return Response::json(&entry(name, &m.status()));
     }
     let list: Vec<Value> = monitors.statuses().iter().map(|(n, s)| entry(n, s)).collect();
     Response::json(&obj(vec![

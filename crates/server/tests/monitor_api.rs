@@ -109,6 +109,89 @@ fn ingest_monitor_alarm_roundtrip() {
 }
 
 #[test]
+fn concurrent_connections_ingest_one_monitor_exactly() {
+    // Four live connections race columnar batches into one monitor; the
+    // ticketed commit path must admit every batch exactly once: the
+    // reported start rows tile the stream with no gap or overlap, and
+    // the lifetime counters reconcile to the exact row total.
+    let dir = common::temp_dir("monitor_api_conc");
+    common::write_profile(&dir, "main", &common::regime_profile(900, 0.0));
+    let handle = common::start_server(&dir, 4);
+    let params = [
+        ("monitor", Value::String("conc".into())),
+        ("window", Value::Number(100.0)),
+        ("detector", Value::String("cusum".into())),
+        ("calibrate", Value::Number(2.0)),
+        ("patience", Value::Number(2.0)),
+        ("threads", Value::Number(2.0)),
+    ];
+
+    // Create with one serial ingest so `created` is checked race-free.
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+    let frame = common::regime_frame(100, 0.0);
+    let resp = client.post_json("/v1/ingest", &ingest_body(&frame, &params)).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let v = resp.json().unwrap();
+    assert_eq!(as_bool(field(&v, "created").unwrap()), Some(true));
+    assert_eq!(as_f64(field(&v, "start_row").unwrap()), Some(0.0));
+
+    // 4 connections × 5 batches × 100 rows, all stationary.
+    let start_rows = std::sync::Mutex::new(vec![0u64]);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                let mut conn = HttpClient::connect(handle.addr()).unwrap();
+                for _ in 0..5 {
+                    let frame = common::regime_frame(100, 0.0);
+                    let resp = conn.post_json("/v1/ingest", &ingest_body(&frame, &params)).unwrap();
+                    assert_eq!(resp.status, 200, "{}", resp.text());
+                    let v = resp.json().unwrap();
+                    assert_eq!(as_f64(field(&v, "rows").unwrap()), Some(100.0));
+                    assert_eq!(as_bool(field(&v, "alarm").unwrap()), Some(false));
+                    let row = as_f64(field(&v, "start_row").unwrap()).unwrap() as u64;
+                    start_rows.lock().unwrap().push(row);
+                }
+            });
+        }
+    });
+
+    // Admission tiles the stream: start rows are exactly {0, 100, …, 2000}.
+    let mut rows = start_rows.into_inner().unwrap();
+    rows.sort_unstable();
+    let want: Vec<u64> = (0..21).map(|i| i * 100).collect();
+    assert_eq!(rows, want, "admitted spans must tile with no gap or double-count");
+
+    // Exact reconciliation through both read paths.
+    let resp = client.get("/v1/monitor?monitor=conc").unwrap();
+    let s = resp.json().unwrap();
+    assert_eq!(as_f64(field(&s, "rows_ingested").unwrap()), Some(2100.0));
+    assert_eq!(as_f64(field(&s, "windows_closed").unwrap()), Some(21.0));
+    assert_eq!(as_f64(field(&s, "alarms_total").unwrap()), Some(0.0));
+    let text = client.get("/metrics").unwrap().text().to_owned();
+    assert!(
+        text.contains("cc_server_monitor_rows_ingested_total{monitor=\"conc\"} 2100"),
+        "{text}"
+    );
+
+    // The monitor is still a working detector after the race: a
+    // sustained shift on the same connection must alarm.
+    let mut alarmed = false;
+    for _ in 0..6 {
+        let frame = common::regime_frame(100, 60.0);
+        let resp = client.post_json("/v1/ingest", &ingest_body(&frame, &params)).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        if as_bool(field(&resp.json().unwrap(), "alarm").unwrap()) == Some(true) {
+            alarmed = true;
+            break;
+        }
+    }
+    assert!(alarmed, "sustained shift must alarm after concurrent ingest");
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn ingest_rejects_bad_requests() {
     let dir = common::temp_dir("monitor_api_bad");
     common::write_profile(&dir, "main", &common::regime_profile(600, 0.0));

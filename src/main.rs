@@ -4,7 +4,7 @@
 //! ccsynth profile <data.csv> --out <profile.json> [--drop <col>]... [--shards <n>]
 //! ccsynth check   <data.csv> --profile <profile.json> [--threshold <t>] [--threads <n>] [--top <k>] [--dump]
 //! ccsynth drift   <data.csv> --profile <profile.json> [--threads <n>] [--window <n> [--stride <s>]]
-//! ccsynth monitor <data.csv|-> --profile <profile.json> [--window <n>] [--stride <s>] [--detector <d>] [--calibrate <k>]
+//! ccsynth monitor <data.csv|-> --profile <profile.json> [--window <n>] [--stride <s>] [--detector <d>] [--calibrate <k>] [--threads <t>]
 //! ccsynth explain <profile.json> <train.csv> <serve.csv> [--sample <n>]
 //! ccsynth sql     <profile.json> <table_name>
 //! ccsynth serve   [--dir <profiles-dir>] [--profile <file>]... [--addr <host:port>] [--workers <n>] [--io auto|epoll|threads]
@@ -40,7 +40,7 @@ const USAGE: &str = "usage:
   ccsynth profile <data.csv> --out <profile.json> [--drop <col>]... [--shards <n>]
   ccsynth check   <data.csv> --profile <profile.json> [--threshold <t>] [--threads <n>] [--top <k>] [--dump]
   ccsynth drift   <data.csv> --profile <profile.json> [--threads <n>] [--window <n> [--stride <s>]]
-  ccsynth monitor <data.csv|-> (--profile <profile.json> | --resume <snapshot>) [--window <n>] [--stride <s>] [--detector <d>] [--calibrate <k>] [--patience <p>] [--propose-out <f>] [--state-out <f>]
+  ccsynth monitor <data.csv|-> (--profile <profile.json> | --resume <snapshot>) [--window <n>] [--stride <s>] [--detector <d>] [--calibrate <k>] [--patience <p>] [--threads <t>] [--propose-out <f>] [--state-out <f>]
   ccsynth explain <profile.json> <train.csv> <serve.csv> [--sample <n>]
   ccsynth sql     <profile.json> <table_name>
   ccsynth serve   [--dir <profiles-dir>] [--profile <file>]... [--addr <host:port>] [--workers <n>] [--io auto|epoll|threads] [--reactors <n>] [--max-body-mb <n>] [--state-dir <d>] [--autosave-secs <n>]
@@ -78,7 +78,7 @@ complete window; --stride must divide --window, default --window).
   --stride <s>    rows between window starts (requires --window)"
         }
         "monitor" => {
-            "usage: ccsynth monitor <data.csv|-> (--profile <profile.json> | --resume <snapshot>) [--window <n>] [--stride <s>] [--detector <d>] [--calibrate <k>] [--patience <p>] [--propose-out <f>] [--state-out <f>]\n
+            "usage: ccsynth monitor <data.csv|-> (--profile <profile.json> | --resume <snapshot>) [--window <n>] [--stride <s>] [--detector <d>] [--calibrate <k>] [--patience <p>] [--threads <t>] [--propose-out <f>] [--state-out <f>]\n
 Online conformance monitoring: tails CSV tuples from a file or stdin
 ('-'), scores each through the compiled profile, closes tumbling or
 sliding windows, runs change-point detection on the drift series, and
@@ -93,6 +93,8 @@ proposes a resynthesized profile on sustained alarm.
   --detector <d>    ewma | cusum | page-hinkley (default cusum)
   --calibrate <k>   windows forming the detector baseline (default 8)
   --patience <p>    consecutive alarmed windows before proposing (default 3)
+  --threads <t>     score-phase threads per chunk (default 1; results are
+                    bit-identical for every value)
   --propose-out <f> write the pending proposed profile JSON at exit
   --state-out <f>   write the monitor state snapshot at exit (resumable
                     via --resume, bit-identical continuation)"
@@ -425,8 +427,13 @@ fn cmd_monitor(args: &[String]) -> Result<(), CliError> {
         Flag::value("--patience"),
         Flag::value("--propose-out"),
         Flag::value("--state-out"),
+        Flag::value("--threads"),
     ];
     let p = parse(args, &flags)?;
+    // Runtime-only knob (never part of the monitor's state): how many
+    // threads the lock-free score phase may use per chunk. Results are
+    // bit-identical for every value.
+    let threads = p.count_or("--threads", 1)?.clamp(1, 64);
     let [data_path] = p.positionals() else {
         return Err(CliError::Usage("monitor needs exactly one <data.csv> (or '-')".into()));
     };
@@ -530,7 +537,7 @@ fn cmd_monitor(args: &[String]) -> Result<(), CliError> {
                 break;
             }
         };
-        let report = match monitor.ingest(&batch) {
+        let report = match monitor.ingest_with_threads(&batch, threads) {
             Ok(r) => r,
             Err(e) => {
                 stream_error = Some(e.to_string());
