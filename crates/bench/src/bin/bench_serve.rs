@@ -293,6 +293,66 @@ fn main() {
         best_columnar / best_json
     );
 
+    // Trace-overhead leg: the same single-connection columnar workload
+    // against two fresh daemons — one with the flight recorder disabled
+    // (`trace_buffer: 0`), one with the default ring — so the main
+    // server's row reconciliation above stays untouched. Legs are
+    // interleaved and each side keeps its best-of-N (scheduler noise
+    // shows up as slow outliers, never fast ones). `bench_floors.json`
+    // gates the resulting `trace_overhead_frac` at ≤ 5%.
+    let wire = &wires[1];
+    assert_eq!(wire.name, "columnar");
+    let overhead_batches = (total_rows / 4).div_ceil(BATCH_ROWS).max(8);
+    let start_server = |trace_buffer: usize| {
+        let registry = ProfileRegistry::from_dir(&dir).expect("registry loads");
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers,
+            io,
+            trace_buffer,
+            ..ServerConfig::default()
+        };
+        Server::start(config, registry).expect("server starts")
+    };
+    let untraced = start_server(0);
+    let traced = start_server(cc_trace::DEFAULT_BUFFER);
+    // The gate the overhead numbers rest on: the disabled daemon must
+    // answer without any trace header, the traced one with it.
+    for (handle, want) in [(&untraced, false), (&traced, true)] {
+        let mut client = HttpClient::connect(handle.addr()).expect("connect");
+        let resp = wire.post(&mut client, &wire.payloads[0].0);
+        assert_eq!(
+            resp.headers.iter().any(|(n, _)| n == "x-ccsynth-trace"),
+            want,
+            "trace header presence must follow trace_buffer"
+        );
+    }
+    let time_leg = |handle: &cc_server::ServerHandle| -> f64 {
+        let body = &wire.payloads[0].0;
+        let mut client = HttpClient::connect(handle.addr()).expect("connect");
+        wire.post(&mut client, body); // prime the connection, off the clock
+        let started = Instant::now();
+        for _ in 0..overhead_batches {
+            wire.post(&mut client, body);
+        }
+        (overhead_batches * BATCH_ROWS) as f64 / started.elapsed().as_secs_f64()
+    };
+    const OVERHEAD_REPS: usize = 5;
+    let mut untraced_best = 0.0f64;
+    let mut traced_best = 0.0f64;
+    for _ in 0..OVERHEAD_REPS {
+        untraced_best = untraced_best.max(time_leg(&untraced));
+        traced_best = traced_best.max(time_leg(&traced));
+    }
+    untraced.shutdown();
+    traced.shutdown();
+    let trace_overhead_frac = (1.0 - traced_best / untraced_best).max(0.0);
+    println!(
+        "trace overhead: untraced {untraced_best:.0} rows/s vs traced {traced_best:.0} rows/s → \
+         {:.2}% ({overhead_batches} batches × {OVERHEAD_REPS} reps, best-of)",
+        trace_overhead_frac * 100.0
+    );
+
     // Headline numbers (what `bench_floors.json` gates) are the best
     // columnar cell; the full grid rides along under "runs".
     let report = Value::Object(vec![
@@ -307,6 +367,9 @@ fn main() {
         ("max_abs_delta".into(), Value::Number(max_abs_delta)),
         ("rows_per_sec".into(), Value::Number(best_columnar)),
         ("rows_per_sec_json".into(), Value::Number(best_json)),
+        ("rows_per_sec_traced".into(), Value::Number(traced_best)),
+        ("rows_per_sec_untraced".into(), Value::Number(untraced_best)),
+        ("trace_overhead_frac".into(), Value::Number(trace_overhead_frac)),
         ("runs".into(), Value::Array(runs)),
     ]);
     std::fs::write(

@@ -47,6 +47,7 @@ use crate::MonitorError;
 use cc_frame::DataFrame;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Instant;
 
 /// Recovers a poisoned monitor lock: the monitor's state is a collection
 /// of counters and accumulators that stay internally consistent between
@@ -69,6 +70,8 @@ struct GateState {
 /// docs for the lock discipline.
 #[derive(Debug)]
 pub struct MonitorEntry {
+    /// Registry name, used to tag trace spans ("" for anonymous entries).
+    name: String,
     monitor: Mutex<OnlineMonitor>,
     /// The published scoring handle for the current generation.
     scorer: RwLock<Arc<IngestScorer>>,
@@ -104,10 +107,17 @@ impl MonitorEntry {
     /// Wraps a monitor, publishing its scorer and status and anchoring
     /// admission at its current stream position.
     pub fn new(monitor: OnlineMonitor) -> Arc<Self> {
+        Self::named("", monitor)
+    }
+
+    /// Like [`Self::new`], but tags the entry with its registry name so
+    /// ingest-pipeline trace spans are attributable to the monitor.
+    pub fn named(name: &str, monitor: OnlineMonitor) -> Arc<Self> {
         let scorer = Arc::new(monitor.scorer());
         let status = Arc::new(monitor.status());
         let position = monitor.stream_position();
         Arc::new(MonitorEntry {
+            name: name.to_owned(),
             monitor: Mutex::new(monitor),
             scorer: RwLock::new(scorer),
             status: RwLock::new(status),
@@ -115,6 +125,11 @@ impl MonitorEntry {
             turn: Condvar::new(),
             pipeline: RwLock::new(()),
         })
+    }
+
+    /// The registry name this entry was created under ("" if anonymous).
+    pub fn name(&self) -> &str {
+        &self.name
     }
 
     /// Ingests a batch through the two-phase pipeline: lock-free score,
@@ -132,13 +147,36 @@ impl MonitorEntry {
         batch: &DataFrame,
         threads: usize,
     ) -> Result<(IngestReport, Arc<MonitorStatus>), MonitorError> {
+        self.ingest_traced(batch, threads, cc_trace::gen_id())
+    }
+
+    /// [`Self::ingest`] with a caller-supplied trace id, so the pipeline
+    /// phase spans (`score`, `admission_wait`, `turn_wait`, `commit`) and
+    /// per-window-close events correlate with the request that carried
+    /// the batch.
+    pub fn ingest_traced(
+        &self,
+        batch: &DataFrame,
+        threads: usize,
+        trace_id: u64,
+    ) -> Result<(IngestReport, Arc<MonitorStatus>), MonitorError> {
         let _pipeline = self.pipeline.read().unwrap_or_else(|p| p.into_inner());
         let scorer = self.scorer().clone();
         // Phase one — fallible, position-independent, fully concurrent.
+        let score_started = Instant::now();
         let scored = scorer.score(batch, threads)?;
+        cc_trace::record(
+            cc_trace::Phase::Score,
+            trace_id,
+            &self.name,
+            scored.rows() as u64,
+            score_started,
+            score_started.elapsed(),
+        );
         // Admission: the ticket (commit order) and the start row are
         // claimed in one critical section, so commit order always equals
         // row order.
+        let admission_started = Instant::now();
         let (ticket, start_row) = {
             let mut g = self.gate.lock().unwrap_or_else(|p| p.into_inner());
             let ticket = g.next_ticket;
@@ -147,16 +185,34 @@ impl MonitorEntry {
             g.admitted_rows += scored.rows() as u64;
             (ticket, start_row)
         };
+        cc_trace::record(
+            cc_trace::Phase::AdmissionWait,
+            trace_id,
+            &self.name,
+            ticket,
+            admission_started,
+            admission_started.elapsed(),
+        );
         // Phase two — still lock-free; slow sealers only delay tickets
         // behind them, never the scoring of other batches.
         let delta = scorer.seal(scored, start_row);
+        let turn_started = Instant::now();
         {
             let mut g = self.gate.lock().unwrap_or_else(|p| p.into_inner());
             while g.next_commit != ticket {
                 g = self.turn.wait(g).unwrap_or_else(|p| p.into_inner());
             }
         }
+        cc_trace::record(
+            cc_trace::Phase::TurnWait,
+            trace_id,
+            &self.name,
+            ticket,
+            turn_started,
+            turn_started.elapsed(),
+        );
         let _turn = CommitTurn { gate: &self.gate, turn: &self.turn };
+        let commit_started = Instant::now();
         let mut m = lock_monitor(&self.monitor);
         // Generation and position are pinned by the pipeline read lock +
         // admission order, so this cannot fail; if it somehow does, the
@@ -165,6 +221,17 @@ impl MonitorEntry {
         let status = Arc::new(m.status());
         drop(m);
         *self.status.write().unwrap_or_else(|p| p.into_inner()) = status.clone();
+        cc_trace::record(
+            cc_trace::Phase::Commit,
+            trace_id,
+            &self.name,
+            report.windows.len() as u64,
+            commit_started,
+            commit_started.elapsed(),
+        );
+        for window in &report.windows {
+            cc_trace::event(cc_trace::Phase::WindowClose, trace_id, &self.name, window.index);
+        }
         Ok((report, status))
     }
 
@@ -242,7 +309,7 @@ impl MonitorSet {
         if let Some(existing) = self.get(name) {
             return Ok((existing, false));
         }
-        let built = MonitorEntry::new(init()?);
+        let built = MonitorEntry::named(name, init()?);
         let mut map = self.write();
         // Re-check under the write lock (another creator may have won
         // while we were compiling).
@@ -256,7 +323,7 @@ impl MonitorSet {
     /// Inserts (or replaces) a monitor under `name` — the state-restore
     /// path; live creation goes through [`Self::get_or_create`].
     pub fn insert(&self, name: &str, monitor: OnlineMonitor) {
-        let entry = MonitorEntry::new(monitor);
+        let entry = MonitorEntry::named(name, monitor);
         self.write().insert(name.to_owned(), entry);
     }
 

@@ -1,0 +1,18 @@
+use std::process::Command;
+
+// Stamp the build with the git commit for `cc_server_build_info{git=...}`.
+// Best effort: outside a git checkout (vendored source, tarball) the
+// gauge reports "unknown" rather than failing the build.
+fn main() {
+    let sha = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned());
+    println!("cargo:rustc-env=CCSYNTH_GIT_SHA={sha}");
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

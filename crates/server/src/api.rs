@@ -45,29 +45,36 @@ use std::sync::Arc;
 
 /// Routes one request. Never panics outward on bad input — every failure
 /// maps to a 4xx/5xx response (the connection loop additionally catches
-/// panics and answers 500).
+/// panics and answers 500). `trace_id` is the per-request flight-recorder
+/// id resolved by the connection core (0 when tracing is off); handlers
+/// that spawn deeper pipeline work (ingest) tag their spans with it.
 pub fn route(
     req: &Request,
     registry: &ProfileRegistry,
     monitors: &MonitorSet,
     metrics: &Metrics,
     durability: Option<&Durability>,
+    trace_id: u64,
+    trace_buffer: usize,
 ) -> (Endpoint, Response) {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => (Endpoint::Healthz, healthz(registry, durability)),
+        ("GET", "/healthz") => (Endpoint::Healthz, healthz(registry, metrics, durability)),
         ("GET", "/v1/profiles") => (Endpoint::Profiles, profiles(registry)),
         ("POST", "/v1/check") => (Endpoint::Check, with_batch(req, registry, metrics, check)),
         ("POST", "/v1/explain") => (Endpoint::Explain, with_batch(req, registry, metrics, explain)),
         ("POST", "/v1/drift") => (Endpoint::Drift, with_batch(req, registry, metrics, drift)),
-        ("POST", "/v1/ingest") => (Endpoint::Ingest, ingest(req, registry, monitors, metrics)),
+        ("POST", "/v1/ingest") => {
+            (Endpoint::Ingest, ingest(req, registry, monitors, metrics, trace_id))
+        }
         ("GET", "/v1/monitor") => (Endpoint::Monitor, monitor_status(req, monitors)),
         ("DELETE", "/v1/monitor") => (Endpoint::Monitor, monitor_delete(req, monitors)),
         ("POST", "/v1/reload") => (Endpoint::Reload, reload(registry)),
         ("POST", "/v1/snapshot") => {
             (Endpoint::Snapshot, snapshot(registry, monitors, metrics, durability))
         }
+        ("GET", "/v1/trace") => (Endpoint::Trace, trace(req, trace_buffer)),
         ("GET", "/metrics") => (Endpoint::Metrics, metrics_text(registry, monitors, metrics)),
-        (_, "/healthz" | "/v1/profiles" | "/metrics") => {
+        (_, "/healthz" | "/v1/profiles" | "/v1/trace" | "/metrics") => {
             (Endpoint::Other, Response::error(405, "use GET for this endpoint"))
         }
         (_, "/v1/monitor") => {
@@ -86,12 +93,17 @@ pub fn route(
 /// not grow without bound (see `ingest`).
 pub const MAX_MONITORS: usize = 256;
 
-fn healthz(registry: &ProfileRegistry, durability: Option<&Durability>) -> Response {
+fn healthz(
+    registry: &ProfileRegistry,
+    metrics: &Metrics,
+    durability: Option<&Durability>,
+) -> Response {
     let snap = registry.snapshot();
     Response::json(&obj(vec![
         ("status", string("ok")),
         ("profiles", Value::Number(snap.entries().len() as f64)),
         ("generation", Value::Number(snap.generation() as f64)),
+        ("uptime_seconds", Value::Number(metrics.uptime_seconds())),
         // Durability posture: is a state dir configured, and did this
         // boot restore a snapshot from it?
         ("durable", Value::Bool(durability.is_some())),
@@ -206,6 +218,7 @@ fn ingest(
     registry: &ProfileRegistry,
     monitors: &MonitorSet,
     metrics: &Metrics,
+    trace_id: u64,
 ) -> Response {
     let (frame, body) = match batch_payload(req, metrics) {
         Ok(p) => p,
@@ -270,12 +283,16 @@ fn ingest(
     // order under the short monitor lock. Concurrent connections feeding
     // one monitor serialize only the commit, and the interleaving is
     // bit-identical to serialized ingest.
-    match monitor.ingest(&frame, threads) {
+    match monitor.ingest_traced(&frame, threads, trace_id) {
         Ok((report, status)) => {
             metrics.add_rows_checked(report.rows);
             Response::json(&obj(vec![
                 ("monitor", string(&name)),
                 ("created", Value::Bool(created)),
+                // The committed profile generation, surfaced alongside the
+                // nested status so clients can correlate trace events with
+                // scorer swaps without digging into the status object.
+                ("generation", Value::Number(status.generation as f64)),
                 ("rows", Value::Number(report.rows as f64)),
                 ("start_row", Value::Number(report.start_row as f64)),
                 ("windows", report.windows.to_value()),
@@ -375,6 +392,135 @@ fn monitor_status(req: &Request, monitors: &MonitorSet) -> Response {
     Response::json(&obj(vec![
         ("monitors", Value::Array(list)),
         ("count", Value::Number(monitors.len() as f64)),
+    ]))
+}
+
+/// `GET /v1/trace`: the flight recorder's recent spans plus a top-K
+/// slowest-requests table with full phase breakdown.
+///
+/// Query parameters: `endpoint=` keeps only request-lifecycle spans for
+/// that endpoint (and scopes the slow table to it), `monitor=` keeps only
+/// ingest-pipeline spans for that monitor, `min_us=` drops spans shorter
+/// than the threshold, `limit=` bounds the span list (default 256), and
+/// `top=` sizes the slow-request table (default 10).
+fn trace(req: &Request, trace_buffer: usize) -> Response {
+    // Per-server gate AND process-global recorder: both must be on for
+    // this daemon's requests to have recorded anything.
+    let enabled = trace_buffer > 0 && cc_trace::enabled();
+    let endpoint = req.query_param("endpoint");
+    let monitor = req.query_param("monitor");
+    let min_us: u64 = req.query_param("min_us").and_then(|s| s.parse().ok()).unwrap_or(0);
+    let limit: usize =
+        req.query_param("limit").and_then(|s| s.parse().ok()).unwrap_or(256).clamp(1, 4096);
+    let top: usize =
+        req.query_param("top").and_then(|s| s.parse().ok()).unwrap_or(10).clamp(1, 256);
+
+    let all = cc_trace::snapshot(4096);
+
+    // The slow-request table groups request-lifecycle spans by trace id;
+    // a request qualifies once its `handle` span is recorded. Phases are
+    // sequential, so their sum is the request's total in-server time.
+    struct Slow {
+        endpoint: String,
+        start_us: u64,
+        phases: [u64; 4],
+        seen_handle: bool,
+    }
+    let mut by_trace: Vec<(u64, Slow)> = Vec::new();
+    for s in &all {
+        let Some(idx) = cc_trace::Phase::SERVER.iter().position(|&p| p == s.phase) else {
+            continue;
+        };
+        if endpoint.is_some_and(|e| e != s.tag) {
+            continue;
+        }
+        let slot = match by_trace.iter_mut().find(|(id, _)| *id == s.trace_id) {
+            Some((_, slot)) => slot,
+            None => {
+                by_trace.push((
+                    s.trace_id,
+                    Slow {
+                        endpoint: String::new(),
+                        start_us: s.start_us,
+                        phases: [0; 4],
+                        seen_handle: false,
+                    },
+                ));
+                &mut by_trace.last_mut().expect("just pushed").1
+            }
+        };
+        slot.phases[idx] += s.dur_us;
+        slot.start_us = slot.start_us.min(s.start_us);
+        if s.phase == cc_trace::Phase::Handle {
+            slot.seen_handle = true;
+            slot.endpoint = s.tag.clone();
+        }
+    }
+    let mut slow: Vec<(u64, Slow)> = by_trace.into_iter().filter(|(_, s)| s.seen_handle).collect();
+    slow.sort_by_key(|(_, s)| std::cmp::Reverse(s.phases.iter().sum::<u64>()));
+    slow.truncate(top);
+    let slowest: Vec<Value> = slow
+        .into_iter()
+        .map(|(id, s)| {
+            let breakdown: Vec<(&str, Value)> = cc_trace::Phase::SERVER
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.name(), Value::Number(s.phases[i] as f64)))
+                .collect();
+            obj(vec![
+                ("trace", string(cc_trace::id_hex(id))),
+                ("endpoint", string(&s.endpoint)),
+                ("start_us", Value::Number(s.start_us as f64)),
+                ("total_us", Value::Number(s.phases.iter().sum::<u64>() as f64)),
+                ("phases", obj(breakdown)),
+            ])
+        })
+        .collect();
+
+    let filtered: Vec<&cc_trace::SpanRecord> = all
+        .iter()
+        .filter(|s| {
+            if s.dur_us < min_us {
+                return false;
+            }
+            if let Some(e) = endpoint {
+                if !(cc_trace::Phase::SERVER.contains(&s.phase) && s.tag == e) {
+                    return false;
+                }
+            }
+            if let Some(m) = monitor {
+                let monitor_phase = cc_trace::Phase::MONITOR.contains(&s.phase)
+                    || s.phase == cc_trace::Phase::WindowClose;
+                if !(monitor_phase && s.tag == m) {
+                    return false;
+                }
+            }
+            true
+        })
+        .collect();
+    let spans: Vec<Value> = filtered
+        .iter()
+        .rev()
+        .take(limit)
+        .rev()
+        .map(|s| {
+            obj(vec![
+                ("phase", string(s.phase.name())),
+                ("trace", string(cc_trace::id_hex(s.trace_id))),
+                ("tag", string(&s.tag)),
+                ("extra", Value::Number(s.extra as f64)),
+                ("start_us", Value::Number(s.start_us as f64)),
+                ("dur_us", Value::Number(s.dur_us as f64)),
+            ])
+        })
+        .collect();
+
+    Response::json(&obj(vec![
+        ("buffer", Value::Number(if enabled { cc_trace::buffer_capacity() } else { 0 } as f64)),
+        ("enabled", Value::Bool(enabled)),
+        ("matched", Value::Number(filtered.len() as f64)),
+        ("spans", Value::Array(spans)),
+        ("slowest", Value::Array(slowest)),
     ]))
 }
 

@@ -362,6 +362,10 @@ pub struct Response {
     pub content_type: &'static str,
     /// Response body.
     pub body: Vec<u8>,
+    /// Additional headers (name, value), written after the fixed set.
+    /// Empty for almost every response, so serialization is byte-for-byte
+    /// unchanged unless a header is explicitly attached.
+    pub extra_headers: Vec<(&'static str, String)>,
 }
 
 impl Response {
@@ -371,6 +375,7 @@ impl Response {
             status: 200,
             content_type: "application/json",
             body: serde_json::to_string(value).expect("value trees serialize").into_bytes(),
+            extra_headers: Vec::new(),
         }
     }
 
@@ -385,7 +390,12 @@ impl Response {
 
     /// A `200 OK` binary columnar response (see [`crate::wire`]).
     pub fn columnar(body: Vec<u8>) -> Self {
-        Response { status: 200, content_type: crate::wire::CONTENT_TYPE_COLUMNAR, body }
+        Response {
+            status: 200,
+            content_type: crate::wire::CONTENT_TYPE_COLUMNAR,
+            body,
+            extra_headers: Vec::new(),
+        }
     }
 
     /// A plain-text response (the `/metrics` exposition format).
@@ -394,20 +404,33 @@ impl Response {
             status,
             content_type: "text/plain; version=0.0.4; charset=utf-8",
             body: body.into_bytes(),
+            extra_headers: Vec::new(),
         }
+    }
+
+    /// Attaches an extra response header.
+    pub fn set_header(&mut self, name: &'static str, value: String) {
+        self.extra_headers.push((name, value));
     }
 
     /// Serializes the response head + body into one buffer (a single
     /// write per response keeps small responses in one TCP segment).
     pub fn serialize(&self, keep_alive: bool) -> Vec<u8> {
-        let head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
             self.status,
             status_reason(self.status),
             self.content_type,
             self.body.len(),
             if keep_alive { "keep-alive" } else { "close" },
         );
+        for (name, value) in &self.extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
         let mut out = Vec::with_capacity(head.len() + self.body.len());
         out.extend_from_slice(head.as_bytes());
         out.extend_from_slice(&self.body);

@@ -36,13 +36,15 @@ pub enum Endpoint {
     Monitor,
     /// `POST /v1/snapshot`
     Snapshot,
+    /// `GET /v1/trace`
+    Trace,
     /// `GET /metrics`
     Metrics,
     /// Anything else (404s, parse failures, …).
     Other,
 }
 
-const ENDPOINTS: [Endpoint; 11] = [
+const ENDPOINTS: [Endpoint; 12] = [
     Endpoint::Healthz,
     Endpoint::Profiles,
     Endpoint::Check,
@@ -52,12 +54,14 @@ const ENDPOINTS: [Endpoint; 11] = [
     Endpoint::Ingest,
     Endpoint::Monitor,
     Endpoint::Snapshot,
+    Endpoint::Trace,
     Endpoint::Metrics,
     Endpoint::Other,
 ];
 
 impl Endpoint {
-    fn label(self) -> &'static str {
+    /// The stable label used in metric series and trace span tags.
+    pub fn label(self) -> &'static str {
         match self {
             Endpoint::Healthz => "/healthz",
             Endpoint::Profiles => "/v1/profiles",
@@ -68,6 +72,7 @@ impl Endpoint {
             Endpoint::Ingest => "/v1/ingest",
             Endpoint::Monitor => "/v1/monitor",
             Endpoint::Snapshot => "/v1/snapshot",
+            Endpoint::Trace => "/v1/trace",
             Endpoint::Metrics => "/metrics",
             Endpoint::Other => "other",
         }
@@ -227,6 +232,11 @@ impl Metrics {
         self.reactor_ready_events.fetch_add(ready, Ordering::Relaxed);
     }
 
+    /// Seconds since this metrics object (i.e. the server) was created.
+    pub fn uptime_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
     /// Renders the Prometheus text exposition. Registry-scoped series
     /// (profile count, generation, per-profile compile counts) are passed
     /// in by the caller, which owns the registry.
@@ -323,6 +333,25 @@ impl Metrics {
                 self.reactor_ready_events.load(Ordering::Relaxed) as f64 / wakes as f64
             ));
         }
+        render_phase_family(
+            &mut out,
+            "cc_server_phase_seconds",
+            "Request lifecycle time by phase (flight-recorder aggregates).",
+            &cc_trace::Phase::SERVER,
+        );
+        render_phase_family(
+            &mut out,
+            "cc_monitor_phase_seconds",
+            "Ingest pipeline time by phase (flight-recorder aggregates).",
+            &cc_trace::Phase::MONITOR,
+        );
+        out.push_str("# HELP cc_server_build_info Build metadata (constant 1).\n");
+        out.push_str("# TYPE cc_server_build_info gauge\n");
+        out.push_str(&format!(
+            "cc_server_build_info{{version=\"{}\",git=\"{}\"}} 1\n",
+            env!("CARGO_PKG_VERSION"),
+            option_env!("CCSYNTH_GIT_SHA").unwrap_or("unknown"),
+        ));
         out.push_str("# HELP cc_server_profile_compiles_total Plan compilations per profile, across all (re)loads.\n");
         out.push_str("# TYPE cc_server_profile_compiles_total counter\n");
         for (name, n) in compile_counts {
@@ -368,6 +397,35 @@ impl Metrics {
             self.started.elapsed().as_secs_f64()
         ));
         out
+    }
+}
+
+/// Renders one phase-labelled histogram family from the flight
+/// recorder's cumulative per-phase aggregates. These are process-global
+/// (the recorder is), deterministic, and mergeable across scrapes.
+fn render_phase_family(out: &mut String, metric: &str, help: &str, phases: &[cc_trace::Phase]) {
+    out.push_str(&format!("# HELP {metric} {help}\n"));
+    out.push_str(&format!("# TYPE {metric} histogram\n"));
+    for &phase in phases {
+        let total = cc_trace::phase_total(phase);
+        let label = phase.name();
+        let mut cumulative = 0u64;
+        for (i, &edge_us) in cc_trace::BUCKET_EDGES_US.iter().enumerate() {
+            cumulative += total.buckets[i];
+            out.push_str(&format!(
+                "{metric}_bucket{{phase=\"{label}\",le=\"{:.6}\"}} {cumulative}\n",
+                edge_us as f64 / 1e6
+            ));
+        }
+        out.push_str(&format!(
+            "{metric}_bucket{{phase=\"{label}\",le=\"+Inf\"}} {}\n",
+            total.count
+        ));
+        out.push_str(&format!(
+            "{metric}_sum{{phase=\"{label}\"}} {:.6}\n",
+            total.sum_us as f64 / 1e6
+        ));
+        out.push_str(&format!("{metric}_count{{phase=\"{label}\"}} {}\n", total.count));
     }
 }
 
@@ -447,6 +505,34 @@ mod tests {
         assert!(text.contains("cc_server_wire_requests_total{wire=\"json\"} 1"));
         assert!(text.contains("cc_server_wire_requests_total{wire=\"columnar\"} 2"));
         assert!(text.contains("cc_server_reactor_ready_per_wake 2.0000"), "{text}");
+    }
+
+    #[test]
+    fn build_info_and_phase_families_present() {
+        let m = Metrics::new();
+        let text = m.render_prometheus(0, 0, &[], &[]);
+        assert!(text.contains("# TYPE cc_server_build_info gauge"));
+        assert!(text.contains("cc_server_build_info{version=\""), "{text}");
+        assert!(text.contains("# TYPE cc_server_phase_seconds histogram"));
+        assert!(text.contains("# TYPE cc_monitor_phase_seconds histogram"));
+        for phase in ["parse", "queue_wait", "handle", "write"] {
+            assert!(
+                text.contains(&format!("cc_server_phase_seconds_count{{phase=\"{phase}\"}}")),
+                "{text}"
+            );
+            assert!(text.contains(&format!(
+                "cc_server_phase_seconds_bucket{{phase=\"{phase}\",le=\"+Inf\"}}"
+            )));
+        }
+        for phase in ["score", "admission_wait", "turn_wait", "commit"] {
+            assert!(
+                text.contains(&format!("cc_monitor_phase_seconds_count{{phase=\"{phase}\"}}")),
+                "{text}"
+            );
+        }
+        // Bucket edges render in seconds with fixed precision.
+        assert!(text.contains("le=\"0.000010\""), "{text}");
+        assert!(text.contains("le=\"10.000000\""), "{text}");
     }
 
     #[test]

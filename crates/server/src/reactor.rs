@@ -40,7 +40,8 @@
 use crate::http::{Request, RequestParser, Response};
 use crate::metrics::Endpoint;
 use crate::server::{
-    execute, Shared, MAX_PENDING_CONNECTIONS, READ_TICK, REQUEST_DEADLINE, WRITE_TIMEOUT,
+    execute, trace_ctx, Shared, TraceCtx, MAX_PENDING_CONNECTIONS, READ_TICK, REQUEST_DEADLINE,
+    TRACE_HEADER, WRITE_TIMEOUT,
 };
 use std::collections::{HashMap, VecDeque};
 use std::fs::File;
@@ -176,8 +177,10 @@ impl EventFd {
 enum Msg {
     /// A freshly accepted connection from the acceptor.
     Conn(TcpStream),
-    /// A finished response from the compute pool.
-    Done { token: u64, bytes: Vec<u8>, close: bool },
+    /// A finished response from the compute pool. `trace` carries the
+    /// request's trace id + endpoint label so the reactor can record
+    /// the `write` phase span against the right trace.
+    Done { token: u64, bytes: Vec<u8>, close: bool, trace: Option<(u64, &'static str)> },
 }
 
 /// One reactor's inbox plus the eventfd that wakes it.
@@ -198,6 +201,13 @@ struct Job {
     reactor: usize,
     token: u64,
     req: Request,
+    /// When the job entered the compute queue — the `queue_wait` span.
+    queued: Instant,
+    /// First parser activity toward this request + CPU spent parsing,
+    /// recorded as the `parse` span once the endpoint label is known.
+    parse_start: Instant,
+    parse_spent: Duration,
+    trace: Option<TraceCtx>,
 }
 
 struct ComputeState {
@@ -261,11 +271,42 @@ fn compute_loop(shared: &Shared, queue: &ComputeQueue, mailboxes: &[Mailbox]) {
         };
         let Some(job) = job else { return };
         let started = Instant::now();
-        let (endpoint, response) = execute(&job.req, shared);
+        let trace_id = job.trace.as_ref().map_or(0, |t| t.id);
+        let (endpoint, mut response) = execute(&job.req, shared, trace_id);
+        let handle_dur = started.elapsed();
+        if let Some(ctx) = &job.trace {
+            response.set_header(TRACE_HEADER, ctx.echo.clone());
+        }
         let keep_alive = !job.req.close && !shared.shutdown.load(Ordering::SeqCst);
         let bytes = response.serialize(keep_alive);
         shared.metrics.record_request(endpoint, response.status, started.elapsed().as_secs_f64());
-        mailboxes[job.reactor].send(Msg::Done { token: job.token, bytes, close: !keep_alive });
+        let trace = job.trace.as_ref().map(|ctx| {
+            let tag = endpoint.label();
+            cc_trace::record(
+                cc_trace::Phase::Parse,
+                ctx.id,
+                tag,
+                job.req.body.len() as u64,
+                job.parse_start,
+                job.parse_spent,
+            );
+            cc_trace::record(
+                cc_trace::Phase::QueueWait,
+                ctx.id,
+                tag,
+                0,
+                job.queued,
+                started.duration_since(job.queued),
+            );
+            cc_trace::record(cc_trace::Phase::Handle, ctx.id, tag, 0, started, handle_dur);
+            (ctx.id, tag)
+        });
+        mailboxes[job.reactor].send(Msg::Done {
+            token: job.token,
+            bytes,
+            close: !keep_alive,
+            trace,
+        });
     }
 }
 
@@ -293,6 +334,10 @@ struct Conn {
     /// Set while a write is blocked on the client — the write-timeout
     /// clock.
     write_started: Option<Instant>,
+    /// First parser activity toward the next request (trace `parse`
+    /// span anchor) + parser CPU accumulated toward it.
+    parse_anchor: Option<Instant>,
+    parse_spent: Duration,
 }
 
 impl Conn {
@@ -309,6 +354,8 @@ impl Conn {
             last_activity: Instant::now(),
             request_started: None,
             write_started: None,
+            parse_anchor: None,
+            parse_spent: Duration::ZERO,
         }
     }
 
@@ -337,6 +384,10 @@ impl Reactor {
         loop {
             let n = self.epoll.wait(&mut events, 100);
             self.shared.metrics.record_reactor_wake(n as u64);
+            if n > 0 && self.shared.tracing() {
+                // Wake→ready fan-in: how many fds each epoll return serviced.
+                cc_trace::event(cc_trace::Phase::ReactorWake, 0, "", n as u64);
+            }
             for ev in events.iter().take(n).copied() {
                 let (token, bits) = (ev.data, ev.events);
                 if token == WAKE_TOKEN {
@@ -382,10 +433,17 @@ impl Reactor {
         let msgs = std::mem::take(
             &mut *self.mailboxes[self.id].inbox.lock().expect("reactor lock never poisoned"),
         );
+        if !msgs.is_empty() && self.shared.tracing() {
+            // Backlog depth at each drain — a growing depth means the
+            // reactor is falling behind its compute pool.
+            cc_trace::event(cc_trace::Phase::MailboxDepth, 0, "", msgs.len() as u64);
+        }
         for msg in msgs {
             match msg {
                 Msg::Conn(stream) => self.register(stream),
-                Msg::Done { token, bytes, close } => self.on_done(token, bytes, close),
+                Msg::Done { token, bytes, close, trace } => {
+                    self.on_done(token, bytes, close, trace)
+                }
             }
         }
     }
@@ -428,8 +486,13 @@ impl Reactor {
                     break;
                 }
                 Ok(n) => {
+                    let fed_at = Instant::now();
                     conn.parser.feed(&buf[..n]);
-                    conn.last_activity = Instant::now();
+                    conn.parse_spent += fed_at.elapsed();
+                    if conn.parse_anchor.is_none() {
+                        conn.parse_anchor = Some(fed_at);
+                    }
+                    conn.last_activity = fed_at;
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -449,7 +512,10 @@ impl Reactor {
         if conn.executing {
             return;
         }
-        match conn.parser.try_next() {
+        let parse_started = Instant::now();
+        let parsed = conn.parser.try_next();
+        conn.parse_spent += parse_started.elapsed();
+        match parsed {
             Ok(Some(req)) => {
                 conn.request_started = None;
                 if self.shared.shutdown.load(Ordering::SeqCst) {
@@ -459,7 +525,16 @@ impl Reactor {
                     return;
                 }
                 conn.executing = true;
-                let job = Job { reactor: self.id, token, req };
+                let trace = self.shared.tracing().then(|| trace_ctx(&req));
+                let job = Job {
+                    reactor: self.id,
+                    token,
+                    req,
+                    queued: Instant::now(),
+                    parse_start: conn.parse_anchor.take().unwrap_or(parse_started),
+                    parse_spent: std::mem::take(&mut conn.parse_spent),
+                    trace,
+                };
                 if !self.compute.push(job) {
                     self.close(token);
                 }
@@ -488,7 +563,13 @@ impl Reactor {
     }
 
     /// A response came back from the compute pool.
-    fn on_done(&mut self, token: u64, bytes: Vec<u8>, close: bool) {
+    fn on_done(
+        &mut self,
+        token: u64,
+        bytes: Vec<u8>,
+        close: bool,
+        trace: Option<(u64, &'static str)>,
+    ) {
         let Some(conn) = self.conns.get_mut(&token) else { return };
         conn.executing = false;
         conn.out.extend_from_slice(&bytes);
@@ -496,7 +577,21 @@ impl Reactor {
             conn.close_after_flush = true;
         }
         conn.last_activity = Instant::now();
+        let write_started = Instant::now();
         self.flush(token);
+        if let Some((id, tag)) = trace {
+            // Covers the first write attempt; a `WouldBlock` continuation
+            // via EPOLLOUT lands outside the span (the slow-client tail
+            // is visible in `write_timeout` metrics instead).
+            cc_trace::record(
+                cc_trace::Phase::Write,
+                id,
+                tag,
+                bytes.len() as u64,
+                write_started,
+                write_started.elapsed(),
+            );
+        }
         let Some(conn) = self.conns.get_mut(&token) else { return };
         if conn.close_after_flush {
             return;

@@ -97,6 +97,12 @@ pub struct ServerConfig {
     /// Periodic autosave interval (requires `state_dir`; `None` — the
     /// default — saves only on demand and at shutdown).
     pub autosave: Option<Duration>,
+    /// Flight-recorder ring capacity per thread (`--trace-buffer`).
+    /// `0` disables request tracing for this server: no spans, no trace
+    /// id generation, and responses are byte-identical to a build without
+    /// the recorder. The recorder itself is process-global; this knob
+    /// gates whether *this server's* request path feeds it.
+    pub trace_buffer: usize,
 }
 
 impl Default for ServerConfig {
@@ -110,6 +116,7 @@ impl Default for ServerConfig {
             keep_alive: Duration::from_secs(5),
             state_dir: None,
             autosave: None,
+            trace_buffer: cc_trace::DEFAULT_BUFFER,
         }
     }
 }
@@ -122,8 +129,46 @@ pub(crate) struct Shared {
     pub(crate) durability: Option<Durability>,
     pub(crate) config: ServerConfig,
     pub(crate) shutdown: AtomicBool,
-    pub(crate) queue: Mutex<VecDeque<TcpStream>>,
+    /// Accepted connections awaiting a worker, with their enqueue
+    /// instant — the dwell time becomes the first request's `queue_wait`
+    /// trace phase.
+    pub(crate) queue: Mutex<VecDeque<(TcpStream, Instant)>>,
     pub(crate) work_ready: Condvar,
+}
+
+impl Shared {
+    /// Whether this server's request path records trace spans.
+    pub(crate) fn tracing(&self) -> bool {
+        self.config.trace_buffer > 0 && cc_trace::enabled()
+    }
+}
+
+/// Per-request trace identity: the numeric span id plus the exact token
+/// echoed back on the `x-ccsynth-trace` response header (the client's
+/// own token when supplied, the generated id's hex otherwise).
+pub(crate) struct TraceCtx {
+    pub(crate) id: u64,
+    pub(crate) echo: String,
+}
+
+/// Response header carrying the trace id.
+pub(crate) const TRACE_HEADER: &str = "x-ccsynth-trace";
+
+/// Resolves a request's trace identity: accept `X-Ccsynth-Trace` when
+/// present (hex tokens round-trip exactly; other tokens are hashed for
+/// span tagging but echoed verbatim), generate otherwise.
+pub(crate) fn trace_ctx(req: &crate::http::Request) -> TraceCtx {
+    match req.header(TRACE_HEADER).map(str::trim).filter(|v| !v.is_empty()) {
+        Some(v) => {
+            let mut echo = v.to_owned();
+            echo.truncate(64);
+            TraceCtx { id: cc_trace::parse_id(&echo), echo }
+        }
+        None => {
+            let id = cc_trace::gen_id();
+            TraceCtx { id, echo: cc_trace::id_hex(id) }
+        }
+    }
 }
 
 /// The threads belonging to whichever connection core is running.
@@ -369,7 +414,7 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
                     shared.metrics.record_request(Endpoint::Other, 503, 0.0);
                     continue;
                 }
-                queue.push_back(stream);
+                queue.push_back((stream, Instant::now()));
                 drop(queue);
                 shared.work_ready.notify_one();
             }
@@ -399,7 +444,7 @@ fn worker_loop(shared: &Shared) {
             }
         };
         match stream {
-            Some(s) => serve_connection(s, shared),
+            Some((s, queued_at)) => serve_connection(s, queued_at, shared),
             None => return,
         }
     }
@@ -445,8 +490,13 @@ pub(crate) const REQUEST_DEADLINE: Duration = Duration::from_secs(30);
 
 /// Routes one request with panic containment — a handler panic answers
 /// `500` instead of killing the calling thread. Both connection cores
-/// execute requests through here.
-pub(crate) fn execute(req: &crate::http::Request, shared: &Shared) -> (Endpoint, Response) {
+/// execute requests through here. `trace_id` tags any pipeline spans the
+/// handler records (0 when tracing is off).
+pub(crate) fn execute(
+    req: &crate::http::Request,
+    shared: &Shared,
+    trace_id: u64,
+) -> (Endpoint, Response) {
     catch_unwind(AssertUnwindSafe(|| {
         crate::api::route(
             req,
@@ -454,6 +504,8 @@ pub(crate) fn execute(req: &crate::http::Request, shared: &Shared) -> (Endpoint,
             &shared.monitors,
             &shared.metrics,
             shared.durability.as_ref(),
+            trace_id,
+            shared.config.trace_buffer,
         )
     }))
     .unwrap_or_else(|_| (Endpoint::Other, Response::error(500, "handler panicked")))
@@ -461,31 +513,73 @@ pub(crate) fn execute(req: &crate::http::Request, shared: &Shared) -> (Endpoint,
 
 /// Drives one connection: feed → parse → route → respond, until close /
 /// idle timeout / request deadline / terminal parse error / shutdown.
-fn serve_connection(mut stream: TcpStream, shared: &Shared) {
+/// `queued_at` is when the acceptor parked the connection — its dwell is
+/// the first request's `queue_wait` phase (later keep-alive requests on
+/// the same pickup report 0: they never waited in the accept queue).
+fn serve_connection(mut stream: TcpStream, queued_at: Instant, shared: &Shared) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(READ_TICK));
     let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let tracing = shared.tracing();
     let mut parser = RequestParser::new(shared.config.max_body_bytes);
     let mut read_buf = [0u8; 16 * 1024];
     let mut last_activity = Instant::now();
     // Set while a request is partially buffered; enforces REQUEST_DEADLINE.
     let mut request_started: Option<Instant> = None;
+    // Accept-queue dwell, attributed to the first request only.
+    let mut queue_wait: Option<(Instant, Duration)> = Some((queued_at, queued_at.elapsed()));
+    // Parser CPU time accumulated toward the next completed request.
+    let mut parse_spent = Duration::ZERO;
     loop {
         // Drain every already-buffered request first (pipelining), then
         // read more.
-        match parser.try_next() {
+        let parse_started = Instant::now();
+        let parsed = parser.try_next();
+        parse_spent += parse_started.elapsed();
+        match parsed {
             Ok(Some(req)) => {
                 request_started = None;
+                let trace = tracing.then(|| trace_ctx(&req));
                 let started = Instant::now();
                 let shutting_down = shared.shutdown.load(Ordering::SeqCst);
-                let (endpoint, response) = execute(&req, shared);
+                let trace_id = trace.as_ref().map_or(0, |t| t.id);
+                let (endpoint, mut response) = execute(&req, shared, trace_id);
+                let handle_dur = started.elapsed();
+                if let Some(ctx) = &trace {
+                    response.set_header(TRACE_HEADER, ctx.echo.clone());
+                }
                 let keep_alive = !req.close && !shutting_down;
-                let ok = stream.write_all(&response.serialize(keep_alive)).is_ok();
+                let payload = response.serialize(keep_alive);
+                let write_started = Instant::now();
+                let ok = stream.write_all(&payload).is_ok();
                 shared.metrics.record_request(
                     endpoint,
                     response.status,
                     started.elapsed().as_secs_f64(),
                 );
+                if let Some(ctx) = &trace {
+                    let tag = endpoint.label();
+                    let (qw_start, qw_dur) = queue_wait.take().unwrap_or((started, Duration::ZERO));
+                    cc_trace::record(
+                        cc_trace::Phase::Parse,
+                        ctx.id,
+                        tag,
+                        req.body.len() as u64,
+                        parse_started,
+                        parse_spent,
+                    );
+                    cc_trace::record(cc_trace::Phase::QueueWait, ctx.id, tag, 0, qw_start, qw_dur);
+                    cc_trace::record(cc_trace::Phase::Handle, ctx.id, tag, 0, started, handle_dur);
+                    cc_trace::record(
+                        cc_trace::Phase::Write,
+                        ctx.id,
+                        tag,
+                        payload.len() as u64,
+                        write_started,
+                        write_started.elapsed(),
+                    );
+                }
+                parse_spent = Duration::ZERO;
                 if !keep_alive || !ok {
                     return;
                 }
@@ -496,7 +590,7 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
                 if parser.is_empty() {
                     let mut queue = shared.queue.lock().expect("server lock never poisoned");
                     if !queue.is_empty() {
-                        queue.push_back(stream);
+                        queue.push_back((stream, Instant::now()));
                         drop(queue);
                         shared.work_ready.notify_one();
                         return;

@@ -58,6 +58,7 @@ pub use server_state::{MonitorEntry, ServerState};
 use serde::{Deserialize, Serialize, Value};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Snapshot format version this build writes and reads.
 pub const FORMAT_VERSION: u64 = 1;
@@ -119,6 +120,11 @@ static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
 /// Propagates filesystem failures; the destination is left untouched on
 /// any error.
 pub fn write_snapshot<T: Serialize>(path: &Path, payload: &T) -> Result<u64, StateError> {
+    // One trace id ties the serialize/fsync/rename spans of this write
+    // together in the flight recorder; the tag is the snapshot file name.
+    let trace_id = cc_trace::gen_id();
+    let trace_tag = path.file_name().and_then(|n| n.to_str()).unwrap_or("snapshot").to_owned();
+    let serialize_started = Instant::now();
     let payload_value = payload.to_value();
     let payload_json = serde_json::to_string(&payload_value)
         .map_err(|e| StateError::Corrupt(format!("payload does not serialize: {e}")))?;
@@ -133,6 +139,14 @@ pub fn write_snapshot<T: Serialize>(path: &Path, payload: &T) -> Result<u64, Sta
     ]);
     let text = serde_json::to_string(&envelope)
         .map_err(|e| StateError::Corrupt(format!("envelope does not serialize: {e}")))?;
+    cc_trace::record(
+        cc_trace::Phase::Serialize,
+        trace_id,
+        &trace_tag,
+        text.len() as u64,
+        serialize_started,
+        serialize_started.elapsed(),
+    );
 
     let dir = path.parent().filter(|d| !d.as_os_str().is_empty()).map(Path::to_path_buf);
     let file_name = path
@@ -145,11 +159,21 @@ pub fn write_snapshot<T: Serialize>(path: &Path, payload: &T) -> Result<u64, Sta
         TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
     ));
     let result = (|| -> Result<u64, StateError> {
+        let fsync_started = Instant::now();
         {
             let mut f = std::fs::File::create(&temp)?;
             std::io::Write::write_all(&mut f, text.as_bytes())?;
             f.sync_all()?;
         }
+        cc_trace::record(
+            cc_trace::Phase::Fsync,
+            trace_id,
+            &trace_tag,
+            text.len() as u64,
+            fsync_started,
+            fsync_started.elapsed(),
+        );
+        let rename_started = Instant::now();
         std::fs::rename(&temp, path)?;
         // Make the rename itself durable. Directories cannot be opened
         // for syncing on every platform; best effort there, but never
@@ -159,6 +183,14 @@ pub fn write_snapshot<T: Serialize>(path: &Path, payload: &T) -> Result<u64, Sta
                 let _ = d.sync_all();
             }
         }
+        cc_trace::record(
+            cc_trace::Phase::Rename,
+            trace_id,
+            &trace_tag,
+            0,
+            rename_started,
+            rename_started.elapsed(),
+        );
         Ok(text.len() as u64)
     })();
     if result.is_err() {

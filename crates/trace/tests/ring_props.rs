@@ -1,0 +1,55 @@
+//! Property tests for the flight-recorder ring: pushing N spans into a
+//! capacity-C ring always yields exactly the last `min(N, C)` spans, in
+//! push order, and never panics — for any N/C combination, including
+//! wraparound many times over.
+
+use cc_trace::{Phase, SpanRing};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn wraparound_keeps_last_c_in_order(cap in 1usize..64, n in 0usize..300) {
+        let ring = SpanRing::new(cap);
+        for i in 0..n as u64 {
+            ring.push(Phase::Handle, i + 1, "prop", i, i, i % 7);
+        }
+        let got = ring.drain();
+        prop_assert_eq!(got.len(), n.min(cap));
+        let first = (n - got.len()) as u64;
+        for (k, span) in got.iter().enumerate() {
+            let i = first + k as u64;
+            prop_assert_eq!(span.extra, i);
+            prop_assert_eq!(span.start_us, i);
+            prop_assert_eq!(span.trace_id, i + 1);
+            prop_assert_eq!(span.dur_us, i % 7);
+        }
+    }
+
+    #[test]
+    fn capacity_zero_is_clamped_not_panicking(n in 0usize..50) {
+        let ring = SpanRing::new(0);
+        prop_assert_eq!(ring.capacity(), 1);
+        for i in 0..n as u64 {
+            ring.push(Phase::Parse, 1, "", 0, i, 0);
+        }
+        let got = ring.drain();
+        prop_assert_eq!(got.len(), n.min(1));
+        if let Some(last) = got.last() {
+            prop_assert_eq!(last.start_us, n as u64 - 1);
+        }
+    }
+
+    #[test]
+    fn arbitrary_tags_never_corrupt_slots(tag in "[ -~]{0,40}", n in 1usize..20) {
+        let ring = SpanRing::new(8);
+        for i in 0..n as u64 {
+            ring.push(Phase::Score, 9, &tag, i, i, 1);
+        }
+        let got = ring.drain();
+        prop_assert_eq!(got.len(), n.min(8));
+        let want: String = tag.chars().take(cc_trace::TAG_CAP).collect();
+        for span in &got {
+            prop_assert_eq!(span.tag.as_str(), want.as_str());
+        }
+    }
+}

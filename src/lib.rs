@@ -59,6 +59,7 @@ pub use cc_monitor as monitor;
 pub use cc_server as server;
 pub use cc_state as state;
 pub use cc_stats as stats;
+pub use cc_trace as trace;
 pub use conformance;
 
 /// One-stop imports for typical use.

@@ -8,6 +8,7 @@
 //! ccsynth explain <profile.json> <train.csv> <serve.csv> [--sample <n>]
 //! ccsynth sql     <profile.json> <table_name>
 //! ccsynth serve   [--dir <profiles-dir>] [--profile <file>]... [--addr <host:port>] [--workers <n>] [--io auto|epoll|threads]
+//! ccsynth trace   <host:port> [--top <k>] [--min-us <n>] [--endpoint <e>] [--monitor <m>] [--json]
 //! ccsynth wire    <data.csv> --out <batch.bin>
 //! ```
 //!
@@ -43,7 +44,8 @@ const USAGE: &str = "usage:
   ccsynth monitor <data.csv|-> (--profile <profile.json> | --resume <snapshot>) [--window <n>] [--stride <s>] [--detector <d>] [--calibrate <k>] [--patience <p>] [--threads <t>] [--propose-out <f>] [--state-out <f>]
   ccsynth explain <profile.json> <train.csv> <serve.csv> [--sample <n>]
   ccsynth sql     <profile.json> <table_name>
-  ccsynth serve   [--dir <profiles-dir>] [--profile <file>]... [--addr <host:port>] [--workers <n>] [--io auto|epoll|threads] [--reactors <n>] [--max-body-mb <n>] [--state-dir <d>] [--autosave-secs <n>]
+  ccsynth serve   [--dir <profiles-dir>] [--profile <file>]... [--addr <host:port>] [--workers <n>] [--io auto|epoll|threads] [--reactors <n>] [--max-body-mb <n>] [--state-dir <d>] [--autosave-secs <n>] [--trace-buffer <n>]
+  ccsynth trace   <host:port> [--top <k>] [--min-us <n>] [--endpoint <e>] [--monitor <m>] [--limit <n>] [--json]
   ccsynth wire    <data.csv> --out <batch.bin>";
 
 /// Per-subcommand usage lines (printed on `--help` and usage errors).
@@ -106,7 +108,7 @@ ExTuNe: ranks attributes by responsibility for non-conformance.
         }
         "sql" => "usage: ccsynth sql <profile.json> <table_name>\n\nRenders the profile as a SQL CHECK-style guard for a table.",
         "serve" => {
-            "usage: ccsynth serve [--dir <profiles-dir>] [--profile <file>]... [--addr <host:port>] [--workers <n>] [--io auto|epoll|threads] [--reactors <n>] [--max-body-mb <n>] [--state-dir <d>] [--autosave-secs <n>]\n
+            "usage: ccsynth serve [--dir <profiles-dir>] [--profile <file>]... [--addr <host:port>] [--workers <n>] [--io auto|epoll|threads] [--reactors <n>] [--max-body-mb <n>] [--state-dir <d>] [--autosave-secs <n>] [--trace-buffer <n>]\n
 Starts the cc_server daemon over a directory (or explicit files) of
 profile JSON. Endpoints: POST /v1/check, /v1/explain, /v1/drift,
 /v1/ingest, /v1/reload, /v1/snapshot; GET /v1/profiles, /v1/monitor,
@@ -126,7 +128,22 @@ application/x-ccsynth-columnar; see `ccsynth wire`).
   --state-dir <d>     durable state: restore on boot (corrupt snapshots
                       quarantined), snapshot on shutdown and on
                       POST /v1/snapshot
-  --autosave-secs <n> also snapshot every n seconds (requires --state-dir)"
+  --autosave-secs <n> also snapshot every n seconds (requires --state-dir)
+  --trace-buffer <n>  per-thread flight-recorder capacity in spans
+                      (default 4096; 0 disables tracing entirely)"
+        }
+        "trace" => {
+            "usage: ccsynth trace <host:port> [--top <k>] [--min-us <n>] [--endpoint <e>] [--monitor <m>] [--limit <n>] [--json]\n
+Fetches GET /v1/trace from a running daemon and prints the slowest
+requests (with per-phase breakdown) plus a summary of recent spans.
+Trace ids propagate via the X-Ccsynth-Trace request header and are
+echoed on every traced response.
+  --top <k>       slowest-request rows to show (default 10)
+  --min-us <n>    only spans at least n microseconds long
+  --endpoint <e>  only server spans for one endpoint (e.g. /v1/check)
+  --monitor <m>   only ingest-pipeline spans for one monitor
+  --limit <n>     span-list length to request (default 256)
+  --json          dump the raw /v1/trace JSON instead of tables"
         }
         "wire" => {
             "usage: ccsynth wire <data.csv> --out <batch.bin>\n
@@ -673,6 +690,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         Flag::value("--max-body-mb"),
         Flag::value("--state-dir"),
         Flag::value("--autosave-secs"),
+        Flag::value("--trace-buffer"),
     ];
     let p = parse(args, &flags)?;
     if !p.positionals().is_empty() {
@@ -712,6 +730,16 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             CliError::Usage(format!("unknown --io mode '{spelled}' (auto, epoll, threads)"))
         })?,
     };
+    // `0` is meaningful here (tracing off), so no `count_or`.
+    let trace_buffer = match p.value("--trace-buffer") {
+        None => ccsynth::trace::DEFAULT_BUFFER,
+        Some(v) => v.parse::<usize>().map_err(|_| {
+            CliError::Usage(format!("--trace-buffer needs a non-negative integer, got '{v}'"))
+        })?,
+    };
+    // The process-global flight recorder: sized once, before any request
+    // thread can lazily create its ring.
+    ccsynth::trace::set_buffer(trace_buffer);
     let config = ServerConfig {
         addr: p.value("--addr").unwrap_or("127.0.0.1:8642").to_owned(),
         workers: p.count_or("--workers", 4)?,
@@ -720,6 +748,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         max_body_bytes,
         state_dir,
         autosave,
+        trace_buffer,
         ..ServerConfig::default()
     };
     let workers = config.workers;
@@ -739,6 +768,11 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             if handle.restored() { "restored from snapshot" } else { "starting fresh" }
         );
     }
+    if trace_buffer == 0 {
+        println!("tracing: disabled (--trace-buffer 0)");
+    } else {
+        println!("tracing: {trace_buffer}-span rings (GET /v1/trace, `ccsynth trace`)");
+    }
     for e in snap.entries() {
         println!("  profile '{}': {} constraints", e.name, e.plan.constraint_count());
     }
@@ -751,6 +785,144 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     println!("signal received, shutting down…");
     handle.shutdown();
     println!("cc_server shut down cleanly");
+    Ok(())
+}
+
+/// `ccsynth trace <host:port>`: fetch `GET /v1/trace` from a running
+/// daemon and render the slowest-requests table (per-phase breakdown)
+/// plus a per-phase summary of the recent spans.
+fn cmd_trace(args: &[String]) -> Result<(), CliError> {
+    let flags = [
+        Flag::value("--top"),
+        Flag::value("--min-us"),
+        Flag::value("--endpoint"),
+        Flag::value("--monitor"),
+        Flag::value("--limit"),
+        Flag::switch("--json"),
+    ];
+    let p = parse(args, &flags)?;
+    let [url] = p.positionals() else {
+        return Err(CliError::Usage("trace needs exactly one <host:port> (or http:// url)".into()));
+    };
+    let hostport = url.strip_prefix("http://").unwrap_or(url).trim_end_matches('/');
+    use std::net::ToSocketAddrs;
+    let addr = hostport
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut a| a.next())
+        .ok_or_else(|| CliError::Runtime(format!("cannot resolve '{hostport}'")))?;
+    let mut query: Vec<String> = Vec::new();
+    if let Some(v) = p.value("--endpoint") {
+        query.push(format!("endpoint={v}"));
+    }
+    if let Some(v) = p.value("--monitor") {
+        query.push(format!("monitor={v}"));
+    }
+    if let Some(v) = p.value("--min-us") {
+        // 0 is a valid threshold, so no `count_or`.
+        let n: u64 = v.parse().map_err(|_| {
+            CliError::Usage(format!("--min-us needs a non-negative integer, got '{v}'"))
+        })?;
+        query.push(format!("min_us={n}"));
+    }
+    if p.value("--top").is_some() {
+        query.push(format!("top={}", p.count_or("--top", 10)?));
+    }
+    if p.value("--limit").is_some() {
+        query.push(format!("limit={}", p.count_or("--limit", 256)?));
+    }
+    let target = if query.is_empty() {
+        "/v1/trace".to_owned()
+    } else {
+        format!("/v1/trace?{}", query.join("&"))
+    };
+    let mut client = ccsynth::server::HttpClient::connect(addr)
+        .map_err(|e| CliError::Runtime(format!("cannot connect to {hostport}: {e}")))?;
+    let resp = client
+        .get(&target)
+        .map_err(|e| CliError::Runtime(format!("request to {hostport} failed: {e}")))?;
+    if resp.status != 200 {
+        return Err(CliError::Runtime(format!(
+            "GET {target} answered {}: {}",
+            resp.status,
+            resp.text().trim()
+        )));
+    }
+    let v = resp.json().map_err(|e| CliError::Runtime(format!("malformed /v1/trace body: {e}")))?;
+    if p.has("--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&v).map_err(|e| CliError::Runtime(e.to_string()))?
+        );
+        return Ok(());
+    }
+    use ccsynth::server::json::{as_f64, as_str, get};
+    let buffer = get(&v, "buffer").and_then(as_f64).unwrap_or(0.0) as usize;
+    let enabled = matches!(get(&v, "enabled"), Some(serde_json::Value::Bool(true)));
+    let matched = get(&v, "matched").and_then(as_f64).unwrap_or(0.0) as usize;
+    println!(
+        "trace buffer: {buffer} spans/thread ({}); {matched} span(s) matched",
+        if enabled { "enabled" } else { "disabled" }
+    );
+    if !enabled {
+        println!("(daemon runs with --trace-buffer 0; restart without it to record spans)");
+        return Ok(());
+    }
+    let empty = Vec::new();
+    let slowest = match get(&v, "slowest") {
+        Some(serde_json::Value::Array(rows)) => rows,
+        _ => &empty,
+    };
+    if slowest.is_empty() {
+        println!("\nno completed requests in the buffer yet");
+    } else {
+        println!("\nslowest requests (µs):");
+        println!(
+            "{:<18} {:<14} {:>9} {:>8} {:>10} {:>8} {:>8}",
+            "trace", "endpoint", "total", "parse", "queue", "handle", "write"
+        );
+        for row in slowest {
+            let phase = |name: &str| {
+                get(row, "phases").and_then(|ps| get(ps, name)).and_then(as_f64).unwrap_or(0.0)
+                    as u64
+            };
+            println!(
+                "{:<18} {:<14} {:>9} {:>8} {:>10} {:>8} {:>8}",
+                get(row, "trace").and_then(as_str).unwrap_or("-"),
+                get(row, "endpoint").and_then(as_str).unwrap_or("-"),
+                get(row, "total_us").and_then(as_f64).unwrap_or(0.0) as u64,
+                phase("parse"),
+                phase("queue_wait"),
+                phase("handle"),
+                phase("write"),
+            );
+        }
+    }
+    // Per-phase rollup of the span list the server returned.
+    let spans = match get(&v, "spans") {
+        Some(serde_json::Value::Array(spans)) => spans,
+        _ => &empty,
+    };
+    if !spans.is_empty() {
+        let mut agg: Vec<(&str, u64, u64, u64)> = Vec::new(); // (phase, n, total, max)
+        for s in spans {
+            let Some(phase) = get(s, "phase").and_then(as_str) else { continue };
+            let dur = get(s, "dur_us").and_then(as_f64).unwrap_or(0.0) as u64;
+            match agg.iter_mut().find(|(p, ..)| *p == phase) {
+                Some(row) => {
+                    row.1 += 1;
+                    row.2 += dur;
+                    row.3 = row.3.max(dur);
+                }
+                None => agg.push((phase, 1, dur, dur)),
+            }
+        }
+        println!("\nrecent spans by phase (µs):");
+        println!("{:<16} {:>7} {:>11} {:>9}", "phase", "count", "total", "max");
+        for (phase, n, total, max) in agg {
+            println!("{phase:<16} {n:>7} {total:>11} {max:>9}");
+        }
+    }
     Ok(())
 }
 
@@ -814,6 +986,7 @@ fn main() -> ExitCode {
         "explain" => cmd_explain(rest),
         "sql" => cmd_sql(rest),
         "serve" => cmd_serve(rest),
+        "trace" => cmd_trace(rest),
         "wire" => cmd_wire(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
