@@ -28,8 +28,9 @@
 
 use cc_bench::median;
 use cc_frame::DataFrame;
+use cc_server::obs::Level;
 use cc_server::wire::CONTENT_TYPE_COLUMNAR;
-use cc_server::{HttpClient, IoMode, ProfileRegistry, Server, ServerConfig};
+use cc_server::{HttpClient, IoMode, ProfileRegistry, SelfWatchConfig, Server, ServerConfig};
 use conformance::{synthesize, CompiledProfile, SynthOptions};
 use serde_json::Value;
 use std::time::Instant;
@@ -303,16 +304,18 @@ fn main() {
     let wire = &wires[1];
     assert_eq!(wire.name, "columnar");
     let overhead_batches = (total_rows / 4).div_ceil(BATCH_ROWS).max(8);
-    let start_server = |trace_buffer: usize| {
+    let start_with = |config: ServerConfig| {
         let registry = ProfileRegistry::from_dir(&dir).expect("registry loads");
-        let config = ServerConfig {
+        Server::start(config, registry).expect("server starts")
+    };
+    let start_server = |trace_buffer: usize| {
+        start_with(ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             workers,
             io,
             trace_buffer,
             ..ServerConfig::default()
-        };
-        Server::start(config, registry).expect("server starts")
+        })
     };
     let untraced = start_server(0);
     let traced = start_server(cc_trace::DEFAULT_BUFFER);
@@ -353,6 +356,105 @@ fn main() {
         trace_overhead_frac * 100.0
     );
 
+    // Log-overhead leg, same interleaved best-of-N shape: one daemon
+    // with the structured logger off entirely, one at the `info`
+    // default (per-request completions log at debug, so the steady-
+    // state cost is one atomic level check per request plus the boot
+    // lines). `bench_floors.json` gates `log_overhead_frac` at ≤ 2%.
+    let start_logged = |level: Level| {
+        start_with(ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers,
+            io,
+            log_level: level,
+            ..ServerConfig::default()
+        })
+    };
+    let unlogged = start_logged(Level::Off);
+    let logged = start_logged(Level::Info);
+    // Gate: the info daemon's ring holds its boot lines, the off
+    // daemon's ring stays empty — the legs really differ only in level.
+    for (handle, want_logs) in [(&unlogged, false), (&logged, true)] {
+        let logs = HttpClient::connect(handle.addr())
+            .and_then(|mut c| c.get("/v1/logs"))
+            .expect("logs scrape");
+        let v = logs.json().expect("logs body");
+        let emitted =
+            cc_server::json::get(&v, "emitted").and_then(cc_server::json::as_f64).expect("emitted");
+        assert_eq!(emitted > 0.0, want_logs, "log emission must follow the configured level");
+    }
+    let mut unlogged_best = 0.0f64;
+    let mut logged_best = 0.0f64;
+    for _ in 0..OVERHEAD_REPS {
+        unlogged_best = unlogged_best.max(time_leg(&unlogged));
+        logged_best = logged_best.max(time_leg(&logged));
+    }
+    unlogged.shutdown();
+    logged.shutdown();
+    let log_overhead_frac = (1.0 - logged_best / unlogged_best).max(0.0);
+    println!(
+        "log overhead: off {unlogged_best:.0} rows/s vs info {logged_best:.0} rows/s → \
+         {:.2}% ({overhead_batches} batches × {OVERHEAD_REPS} reps, best-of)",
+        log_overhead_frac * 100.0
+    );
+
+    // Self-watch stationary leg: a daemon metering itself on a fast
+    // cadence under perfectly steady columnar load must never alarm —
+    // the meta-monitor's false-positive gate (`self_alarms == 0` in
+    // `bench_floors.json`). The load runs until the `__self` detector
+    // calibrates, then for the full measured stretch.
+    let selfwatched = start_with(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers,
+        io,
+        self_watch: Some(SelfWatchConfig {
+            interval: std::time::Duration::from_millis(25),
+            warmup: 8,
+            window: 4,
+            calibration_windows: 2,
+            patience: 3,
+        }),
+        ..ServerConfig::default()
+    });
+    let self_scrape = |field: &str| -> f64 {
+        let resp = HttpClient::connect(selfwatched.addr())
+            .and_then(|mut c| c.get("/v1/self"))
+            .expect("self scrape");
+        let v = resp.json().expect("self body");
+        match cc_server::json::get(&v, field) {
+            Some(Value::Bool(b)) => f64::from(u8::from(*b)),
+            other => other.and_then(cc_server::json::as_f64).unwrap_or(0.0),
+        }
+    };
+    let body = &wire.payloads[0].0;
+    let mut client = HttpClient::connect(selfwatched.addr()).expect("connect");
+    let calibrate_deadline = Instant::now() + std::time::Duration::from_secs(60);
+    while self_scrape("calibrated") == 0.0 {
+        wire.post(&mut client, body);
+        assert!(Instant::now() < calibrate_deadline, "self-watch never calibrated under load");
+    }
+    let started = Instant::now();
+    for _ in 0..overhead_batches {
+        wire.post(&mut client, body);
+    }
+    let selfwatch_rows_per_sec =
+        (overhead_batches * BATCH_ROWS) as f64 / started.elapsed().as_secs_f64();
+    let self_alarms = {
+        let resp = HttpClient::connect(selfwatched.addr())
+            .and_then(|mut c| c.get("/v1/self"))
+            .expect("self scrape");
+        let v = resp.json().expect("self body");
+        cc_server::json::get(&v, "status")
+            .and_then(|s| cc_server::json::get(s, "alarms_total"))
+            .and_then(cc_server::json::as_f64)
+            .expect("alarms_total")
+    };
+    selfwatched.shutdown();
+    println!(
+        "self-watch stationary leg: {selfwatch_rows_per_sec:.0} rows/s, {self_alarms} self \
+         alarm(s) across the run"
+    );
+
     // Headline numbers (what `bench_floors.json` gates) are the best
     // columnar cell; the full grid rides along under "runs".
     let report = Value::Object(vec![
@@ -370,6 +472,11 @@ fn main() {
         ("rows_per_sec_traced".into(), Value::Number(traced_best)),
         ("rows_per_sec_untraced".into(), Value::Number(untraced_best)),
         ("trace_overhead_frac".into(), Value::Number(trace_overhead_frac)),
+        ("rows_per_sec_logged".into(), Value::Number(logged_best)),
+        ("rows_per_sec_unlogged".into(), Value::Number(unlogged_best)),
+        ("log_overhead_frac".into(), Value::Number(log_overhead_frac)),
+        ("rows_per_sec_selfwatch".into(), Value::Number(selfwatch_rows_per_sec)),
+        ("self_alarms".into(), Value::Number(self_alarms)),
         ("runs".into(), Value::Array(runs)),
     ]);
     std::fs::write(

@@ -82,7 +82,9 @@ pub mod windows;
 pub use detectors::{Baseline, Decision, Detector, DetectorKind, DetectorParams, DetectorState};
 pub use ingest::{IngestDelta, IngestScorer, ScoredBatch};
 pub use monitor::{MonitorConfig, OnlineMonitor};
-pub use registry::{lock_monitor, MonitorEntry, MonitorSet};
+pub use registry::{
+    lock_monitor, validate_monitor_name, MonitorEntry, MonitorSet, RESERVED_NAME_PREFIX,
+};
 pub use report::{IngestReport, MonitorStatus, WindowPhase, WindowReport};
 pub use resynth::ProposedProfile;
 pub use ring::{RingState, StatsRing};

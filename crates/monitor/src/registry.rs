@@ -49,6 +49,36 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::Instant;
 
+/// Name prefix reserved for internal monitors (e.g. the server's
+/// self-watch stream `__self`). [`validate_monitor_name`] rejects it for
+/// externally supplied names; internal code registers such monitors via
+/// [`MonitorSet::insert`], which performs no validation.
+pub const RESERVED_NAME_PREFIX: &str = "__";
+
+/// Validates an externally supplied monitor name against the registry
+/// grammar `[a-zA-Z0-9_.-]{1,128}`, with the leading [`RESERVED_NAME_PREFIX`]
+/// rejected so client streams can never collide with internal namespaces.
+///
+/// # Errors
+/// A human-readable reason, suitable for a 400 response body.
+pub fn validate_monitor_name(name: &str) -> Result<(), String> {
+    if name.is_empty() {
+        return Err("monitor name must not be empty".to_owned());
+    }
+    if name.len() > 128 {
+        return Err(format!("monitor name exceeds 128 bytes ({} given)", name.len()));
+    }
+    if let Some(bad) = name.chars().find(|c| !c.is_ascii_alphanumeric() && !"_.-".contains(*c)) {
+        return Err(format!("monitor name may only contain [a-zA-Z0-9_.-] (found {bad:?})"));
+    }
+    if name.starts_with(RESERVED_NAME_PREFIX) {
+        return Err(format!(
+            "monitor names starting with '{RESERVED_NAME_PREFIX}' are reserved for internal use"
+        ));
+    }
+    Ok(())
+}
+
 /// Recovers a poisoned monitor lock: the monitor's state is a collection
 /// of counters and accumulators that stay internally consistent between
 /// batch commits, so continuing after a panic is safe (at worst one
@@ -408,6 +438,27 @@ mod tests {
         assert!(set.remove("a"));
         assert!(!set.remove("a"));
         assert!(set.is_empty());
+    }
+
+    #[test]
+    fn name_grammar_accepts_and_rejects() {
+        for good in ["a", "flights", "a.b-c_d", "A9", &"x".repeat(128), "x__y", "_x"] {
+            assert!(validate_monitor_name(good).is_ok(), "{good:?} should be valid");
+        }
+        for bad in
+            ["", "a b", "a/b", "name!", "héllo", &"x".repeat(129), "__self", "__anything", "__"]
+        {
+            assert!(validate_monitor_name(bad).is_err(), "{bad:?} should be rejected");
+        }
+        assert!(validate_monitor_name("__self").unwrap_err().contains("reserved"));
+    }
+
+    #[test]
+    fn reserved_names_still_insertable_internally() {
+        let set = MonitorSet::new();
+        set.insert("__self", monitor().unwrap());
+        assert!(set.get("__self").is_some());
+        assert_eq!(set.names(), vec!["__self".to_owned()]);
     }
 
     #[test]

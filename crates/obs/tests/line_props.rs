@@ -1,0 +1,37 @@
+//! Property test: any printable message/endpoint survives the JSON-lines
+//! round trip exactly — downstream `jq` pipelines can rely on the encoding.
+
+use cc_obs::{Level, LogRecord, LEVELS};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn any_record_round_trips(
+        msg in "[ -~]{0,80}",
+        endpoint in "[ -~]{0,24}",
+        trace in 0u64..u64::MAX,
+        ts in 0u64..(1u64 << 50),
+        level_ix in 0usize..4,
+    ) {
+        let rec = LogRecord { ts, level: LEVELS[level_ix], trace, endpoint, msg };
+        let line = rec.to_line();
+        prop_assert!(!line.contains('\n'), "log lines must be single-line: {line}");
+        let back: LogRecord = serde_json::from_str(&line).unwrap();
+        prop_assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn control_chars_stay_single_line(c in 0u32..0x20) {
+        let rec = LogRecord {
+            ts: 1,
+            level: Level::Info,
+            trace: 0,
+            endpoint: String::new(),
+            msg: format!("x{}y", char::from_u32(c).unwrap()),
+        };
+        let line = rec.to_line();
+        prop_assert!(!line.contains('\n'));
+        let back: LogRecord = serde_json::from_str(&line).unwrap();
+        prop_assert_eq!(back, rec);
+    }
+}

@@ -12,6 +12,8 @@
 //! | `DELETE /v1/monitor` | drop a named monitor |
 //! | `POST /v1/reload` | atomically re-publish the profile registry |
 //! | `POST /v1/snapshot` | write a durable state snapshot now (needs `--state-dir`) |
+//! | `GET /v1/logs` | recent structured log lines (level/endpoint/trace filters) |
+//! | `GET /v1/self` | self-watch report: sampler state, `__self` detector, drift history |
 //! | `GET /metrics` | Prometheus text exposition |
 //!
 //! `POST` bodies are JSON objects carrying a columnar `"columns"` batch
@@ -33,32 +35,47 @@ use crate::http::{Request, Response};
 use crate::json::{self, frame_from_columns, num_array, obj, string};
 use crate::metrics::{Endpoint, Metrics};
 use crate::registry::{ProfileEntry, ProfileRegistry, Snapshot};
+use crate::selfwatch::{SelfWatchConfig, SelfWatchState, SELF_FEATURES, SELF_MONITOR};
 use crate::state::Durability;
 use cc_frame::DataFrame;
 use cc_monitor::{
-    DetectorKind, MonitorConfig, MonitorSet, MonitorStatus, OnlineMonitor, WindowSpec,
+    validate_monitor_name, DetectorKind, MonitorConfig, MonitorSet, MonitorStatus, OnlineMonitor,
+    WindowSpec, RESERVED_NAME_PREFIX,
 };
+use cc_obs::{Level, LogFilter, Logger};
 use conformance::{mean_responsibility_from_plan, DriftAggregator};
 use serde::Serialize;
 use serde_json::Value;
 use std::sync::Arc;
+
+/// Everything a handler may need, borrowed from the server's shared
+/// state. One struct instead of a parameter per subsystem: the router
+/// fans a request out to handlers that each use a different slice.
+pub struct RouteCtx<'a> {
+    pub registry: &'a ProfileRegistry,
+    pub monitors: &'a MonitorSet,
+    pub metrics: &'a Metrics,
+    pub durability: Option<&'a Durability>,
+    /// The structured logger (`GET /v1/logs` reads its ring).
+    pub logger: &'a Logger,
+    /// The self-watch sampler config (`None` when self-watch is off).
+    pub self_watch: Option<&'a SelfWatchConfig>,
+    /// The self-watch sampler's runtime counters.
+    pub self_state: &'a SelfWatchState,
+    pub trace_buffer: usize,
+}
 
 /// Routes one request. Never panics outward on bad input — every failure
 /// maps to a 4xx/5xx response (the connection loop additionally catches
 /// panics and answers 500). `trace_id` is the per-request flight-recorder
 /// id resolved by the connection core (0 when tracing is off); handlers
 /// that spawn deeper pipeline work (ingest) tag their spans with it.
-pub fn route(
-    req: &Request,
-    registry: &ProfileRegistry,
-    monitors: &MonitorSet,
-    metrics: &Metrics,
-    durability: Option<&Durability>,
-    trace_id: u64,
-    trace_buffer: usize,
-) -> (Endpoint, Response) {
+pub fn route(req: &Request, ctx: &RouteCtx<'_>, trace_id: u64) -> (Endpoint, Response) {
+    let RouteCtx { registry, monitors, metrics, durability, .. } = *ctx;
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => (Endpoint::Healthz, healthz(registry, metrics, durability)),
+        ("GET", "/healthz") => {
+            (Endpoint::Healthz, healthz(registry, monitors, metrics, durability))
+        }
         ("GET", "/v1/profiles") => (Endpoint::Profiles, profiles(registry)),
         ("POST", "/v1/check") => (Endpoint::Check, with_batch(req, registry, metrics, check)),
         ("POST", "/v1/explain") => (Endpoint::Explain, with_batch(req, registry, metrics, explain)),
@@ -72,9 +89,11 @@ pub fn route(
         ("POST", "/v1/snapshot") => {
             (Endpoint::Snapshot, snapshot(registry, monitors, metrics, durability))
         }
-        ("GET", "/v1/trace") => (Endpoint::Trace, trace(req, trace_buffer)),
+        ("GET", "/v1/trace") => (Endpoint::Trace, trace(req, ctx.trace_buffer)),
+        ("GET", "/v1/logs") => (Endpoint::Logs, logs(req, ctx.logger)),
+        ("GET", "/v1/self") => (Endpoint::SelfReport, self_report(req, ctx)),
         ("GET", "/metrics") => (Endpoint::Metrics, metrics_text(registry, monitors, metrics)),
-        (_, "/healthz" | "/v1/profiles" | "/v1/trace" | "/metrics") => {
+        (_, "/healthz" | "/v1/profiles" | "/v1/trace" | "/v1/logs" | "/v1/self" | "/metrics") => {
             (Endpoint::Other, Response::error(405, "use GET for this endpoint"))
         }
         (_, "/v1/monitor") => {
@@ -95,12 +114,18 @@ pub const MAX_MONITORS: usize = 256;
 
 fn healthz(
     registry: &ProfileRegistry,
+    monitors: &MonitorSet,
     metrics: &Metrics,
     durability: Option<&Durability>,
 ) -> Response {
     let snap = registry.snapshot();
+    // The liveness answer stays 200 even when degraded — the process is
+    // up and serving; `degraded` reports the self-watch detector's alarm
+    // (always false when self-watch never synthesized a `__self` monitor).
+    let degraded = monitors.get(SELF_MONITOR).is_some_and(|e| e.status().alarm);
     Response::json(&obj(vec![
-        ("status", string("ok")),
+        ("status", string(if degraded { "degraded" } else { "ok" })),
+        ("degraded", Value::Bool(degraded)),
         ("profiles", Value::Number(snap.entries().len() as f64)),
         ("generation", Value::Number(snap.generation() as f64)),
         ("uptime_seconds", Value::Number(metrics.uptime_seconds())),
@@ -231,6 +256,11 @@ fn ingest(
         Some(n) if !n.is_empty() => n.to_owned(),
         _ => return Response::error(400, "body needs a 'monitor' name"),
     };
+    // Grammar + reserved-prefix check up front: it also shields the
+    // server's own `__self` stream from external writes.
+    if let Err(e) = validate_monitor_name(&name) {
+        return Response::error(400, &format!("bad monitor name: {e}"));
+    }
     let (monitor, created) = match monitors.get(&name) {
         Some(m) => (m, false),
         None => {
@@ -357,11 +387,18 @@ fn monitor_config_from(req: &Request, body: &Value) -> Result<MonitorConfig, Str
 }
 
 /// `DELETE /v1/monitor?monitor=name`: drops a monitor (and frees its
-/// slot under [`MAX_MONITORS`]). 404 when absent.
+/// slot under [`MAX_MONITORS`]). 404 when absent; reserved (`__`-prefixed)
+/// monitors belong to the server and cannot be deleted externally.
 fn monitor_delete(req: &Request, monitors: &MonitorSet) -> Response {
     let Some(name) = req.query_param("monitor") else {
         return Response::error(400, "name the monitor via ?monitor=");
     };
+    if name.starts_with(RESERVED_NAME_PREFIX) {
+        return Response::error(
+            400,
+            &format!("'{name}' is reserved for the server's own monitors"),
+        );
+    }
     if !monitors.remove(name) {
         return Response::error(404, &format!("no monitor named '{name}'"));
     }
@@ -522,6 +559,99 @@ fn trace(req: &Request, trace_buffer: usize) -> Response {
         ("spans", Value::Array(spans)),
         ("slowest", Value::Array(slowest)),
     ]))
+}
+
+/// `GET /v1/logs`: the structured log ring, oldest-first.
+///
+/// Query parameters: `level=` keeps records at or above a level
+/// (`debug`/`info`/`warn`/`error`), `endpoint=` matches the record's
+/// endpoint label exactly, `trace=` matches a hex trace id, `limit=`
+/// bounds the answer (default 256, newest kept).
+fn logs(req: &Request, logger: &Logger) -> Response {
+    let mut filter = LogFilter::default();
+    if let Some(s) = req.query_param("level") {
+        match Level::parse(s) {
+            Some(l) => filter.min_level = Some(l),
+            None => {
+                return Response::error(
+                    400,
+                    &format!("unknown level '{s}' (debug, info, warn, error)"),
+                )
+            }
+        }
+    }
+    if let Some(e) = req.query_param("endpoint") {
+        filter.endpoint = Some(e.to_owned());
+    }
+    if let Some(t) = req.query_param("trace") {
+        match u64::from_str_radix(t, 16) {
+            Ok(v) => filter.trace = Some(v),
+            Err(_) => return Response::error(400, "'trace' must be a hex trace id"),
+        }
+    }
+    filter.limit =
+        req.query_param("limit").and_then(|s| s.parse().ok()).unwrap_or(256).clamp(1, 4096);
+    let records = logger.recent(&filter);
+    Response::json(&obj(vec![
+        ("level", string(logger.level().name())),
+        ("capacity", Value::Number(logger.capacity() as f64)),
+        ("emitted", Value::Number(logger.emitted() as f64)),
+        ("evicted", Value::Number(logger.evicted() as f64)),
+        ("count", Value::Number(records.len() as f64)),
+        ("logs", Value::Array(records.iter().map(|r| r.to_value()).collect())),
+    ]))
+}
+
+/// `GET /v1/self`: the self-watch report — sampler configuration and
+/// counters, the latest folded sample, the `__self` detector's status,
+/// and a tail of its drift history (`?history=` entries, default 64).
+fn self_report(req: &Request, ctx: &RouteCtx<'_>) -> Response {
+    let entry = ctx.monitors.get(SELF_MONITOR);
+    let (synthesized, calibrated, degraded, status) = match &entry {
+        Some(e) => {
+            let s = e.status();
+            (true, s.calibrated, s.alarm, s.to_value())
+        }
+        None => (false, false, false, Value::Null),
+    };
+    let mut fields = vec![
+        ("monitor", string(SELF_MONITOR)),
+        ("enabled", Value::Bool(ctx.self_watch.is_some())),
+        ("ticks", Value::Number(ctx.self_state.ticks() as f64)),
+        ("synthesized", Value::Bool(synthesized)),
+        ("calibrated", Value::Bool(calibrated)),
+        ("degraded", Value::Bool(degraded)),
+        ("synth_errors", Value::Number(ctx.self_state.synth_errors() as f64)),
+        ("ingest_errors", Value::Number(ctx.self_state.ingest_errors() as f64)),
+        ("features", Value::Array(SELF_FEATURES.iter().copied().map(string).collect())),
+    ];
+    if let Some(cfg) = ctx.self_watch {
+        fields.push(("interval_ms", Value::Number(cfg.interval.as_secs_f64() * 1e3)));
+        fields.push(("warmup", Value::Number(cfg.warmup as f64)));
+        fields.push(("window", Value::Number(cfg.window as f64)));
+        fields.push(("calibrate", Value::Number(cfg.calibration_windows as f64)));
+        fields.push(("patience", Value::Number(cfg.patience as f64)));
+    }
+    if let Some(sample) = ctx.self_state.last_sample() {
+        fields.push((
+            "sample",
+            obj(SELF_FEATURES
+                .iter()
+                .copied()
+                .zip(sample)
+                .map(|(n, v)| (n, Value::Number(v)))
+                .collect()),
+        ));
+    }
+    fields.push(("status", status));
+    if let Some(e) = &entry {
+        let keep: usize =
+            req.query_param("history").and_then(|s| s.parse().ok()).unwrap_or(64).clamp(1, 4096);
+        let drifts: Vec<f64> = e.lock().history().collect();
+        let tail = &drifts[drifts.len().saturating_sub(keep)..];
+        fields.push(("history", num_array(tail)));
+    }
+    Response::json(&obj(fields))
 }
 
 /// A parsed batch request: the resolved profile entry, the batch frame,

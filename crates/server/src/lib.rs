@@ -58,15 +58,18 @@ pub mod metrics;
 #[cfg(target_os = "linux")]
 pub mod reactor;
 pub mod registry;
+pub mod selfwatch;
 pub mod server;
 pub mod state;
 pub mod wire;
 
 pub use cc_monitor::MonitorSet;
+pub use cc_obs as obs;
 pub use client::{ClientResponse, HttpClient};
 pub use http::{ParseError, Request, RequestParser, Response, MAX_HEADER_BYTES};
 pub use metrics::{Endpoint, Metrics, MonitorSeries};
 pub use registry::{ProfileEntry, ProfileRegistry, Snapshot};
-pub use server::{IoMode, Server, ServerConfig, ServerHandle};
+pub use selfwatch::{SelfWatchConfig, SelfWatchState, SELF_FEATURES, SELF_MONITOR};
+pub use server::{IoMode, LogSink, Server, ServerConfig, ServerHandle};
 pub use state::{Durability, SaveReport, STATE_FILE};
 pub use wire::{WireError, CONTENT_TYPE_COLUMNAR};

@@ -38,13 +38,17 @@ pub enum Endpoint {
     Snapshot,
     /// `GET /v1/trace`
     Trace,
+    /// `GET /v1/logs`
+    Logs,
+    /// `GET /v1/self`
+    SelfReport,
     /// `GET /metrics`
     Metrics,
     /// Anything else (404s, parse failures, …).
     Other,
 }
 
-const ENDPOINTS: [Endpoint; 12] = [
+const ENDPOINTS: [Endpoint; 14] = [
     Endpoint::Healthz,
     Endpoint::Profiles,
     Endpoint::Check,
@@ -55,6 +59,8 @@ const ENDPOINTS: [Endpoint; 12] = [
     Endpoint::Monitor,
     Endpoint::Snapshot,
     Endpoint::Trace,
+    Endpoint::Logs,
+    Endpoint::SelfReport,
     Endpoint::Metrics,
     Endpoint::Other,
 ];
@@ -73,6 +79,8 @@ impl Endpoint {
             Endpoint::Monitor => "/v1/monitor",
             Endpoint::Snapshot => "/v1/snapshot",
             Endpoint::Trace => "/v1/trace",
+            Endpoint::Logs => "/v1/logs",
+            Endpoint::SelfReport => "/v1/self",
             Endpoint::Metrics => "/metrics",
             Endpoint::Other => "other",
         }
@@ -134,6 +142,11 @@ pub struct Metrics {
     /// gauge.
     reactor_wakes: AtomicU64,
     reactor_ready_events: AtomicU64,
+    /// Connections currently registered with a connection core.
+    open_connections: AtomicU64,
+    /// Jobs parked in the compute queue (epoll core) or connections
+    /// waiting for a worker (threads core).
+    compute_queue_depth: AtomicU64,
     latency: Mutex<Latency>,
 }
 
@@ -155,6 +168,8 @@ impl Metrics {
             wire_requests: [AtomicU64::new(0), AtomicU64::new(0)],
             reactor_wakes: AtomicU64::new(0),
             reactor_ready_events: AtomicU64::new(0),
+            open_connections: AtomicU64::new(0),
+            compute_queue_depth: AtomicU64::new(0),
             latency: Mutex::new(Latency {
                 hist: Histogram::new(LAT_LOG_LO, LAT_LOG_HI, LAT_BINS),
                 sum_seconds: 0.0,
@@ -230,6 +245,48 @@ impl Metrics {
     pub fn record_reactor_wake(&self, ready: u64) {
         self.reactor_wakes.fetch_add(1, Ordering::Relaxed);
         self.reactor_ready_events.fetch_add(ready, Ordering::Relaxed);
+    }
+
+    /// Tracks one connection entering a connection core.
+    pub fn connection_opened(&self) {
+        self.open_connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Tracks one connection leaving a connection core.
+    pub fn connection_closed(&self) {
+        // Saturating: a spurious extra close must not wrap the gauge.
+        let _ = self
+            .open_connections
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| Some(n.saturating_sub(1)));
+    }
+
+    /// Connections currently open (the `cc_server_open_connections` gauge).
+    pub fn open_connections(&self) -> u64 {
+        self.open_connections.load(Ordering::Relaxed)
+    }
+
+    /// Publishes the instantaneous compute-queue depth.
+    pub fn set_compute_queue_depth(&self, depth: usize) {
+        self.compute_queue_depth.store(depth as u64, Ordering::Relaxed);
+    }
+
+    /// Last published compute-queue depth (the
+    /// `cc_server_compute_queue_depth` gauge).
+    pub fn compute_queue_depth(&self) -> u64 {
+        self.compute_queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime request totals by status class `(2xx, 4xx, 5xx)` — the
+    /// self-watch sampler differences successive reads to get
+    /// per-interval error rates.
+    pub fn request_class_totals(&self) -> (u64, u64, u64) {
+        let mut classes = [0u64; 3];
+        for by_class in &self.requests {
+            for (slot, counter) in classes.iter_mut().zip(by_class) {
+                *slot += counter.load(Ordering::Relaxed);
+            }
+        }
+        (classes[0], classes[1], classes[2])
     }
 
     /// Seconds since this metrics object (i.e. the server) was created.
@@ -322,6 +379,18 @@ impl Metrics {
                 self.wire_requests[i].load(Ordering::Relaxed)
             ));
         }
+        out.push_str("# HELP cc_server_open_connections Connections currently registered with a connection core.\n");
+        out.push_str("# TYPE cc_server_open_connections gauge\n");
+        out.push_str(&format!(
+            "cc_server_open_connections {}\n",
+            self.open_connections.load(Ordering::Relaxed)
+        ));
+        out.push_str("# HELP cc_server_compute_queue_depth Jobs waiting for a compute worker.\n");
+        out.push_str("# TYPE cc_server_compute_queue_depth gauge\n");
+        out.push_str(&format!(
+            "cc_server_compute_queue_depth {}\n",
+            self.compute_queue_depth.load(Ordering::Relaxed)
+        ));
         let wakes = self.reactor_wakes.load(Ordering::Relaxed);
         if wakes > 0 {
             out.push_str(
@@ -383,6 +452,18 @@ impl Metrics {
                     ));
                 }
             }
+        }
+        if let Some(own) = monitors.iter().find(|m| m.name == crate::selfwatch::SELF_MONITOR) {
+            out.push_str(
+                "# HELP cc_server_self_alarm Self-watch meta-monitor alarm state (1 = degraded).\n",
+            );
+            out.push_str("# TYPE cc_server_self_alarm gauge\n");
+            out.push_str(&format!("cc_server_self_alarm {}\n", u64::from(own.alarm)));
+            out.push_str(
+                "# HELP cc_server_self_alarms_total Self-watch alarmed windows, lifetime.\n",
+            );
+            out.push_str("# TYPE cc_server_self_alarms_total counter\n");
+            out.push_str(&format!("cc_server_self_alarms_total {}\n", own.alarms_total));
         }
         out.push_str("# HELP cc_server_profiles Profiles in the published registry snapshot.\n");
         out.push_str("# TYPE cc_server_profiles gauge\n");
@@ -533,6 +614,58 @@ mod tests {
         // Bucket edges render in seconds with fixed precision.
         assert!(text.contains("le=\"0.000010\""), "{text}");
         assert!(text.contains("le=\"10.000000\""), "{text}");
+    }
+
+    #[test]
+    fn connection_and_queue_gauges() {
+        let m = Metrics::new();
+        let text = m.render_prometheus(0, 0, &[], &[]);
+        assert!(text.contains("cc_server_open_connections 0"), "{text}");
+        assert!(text.contains("cc_server_compute_queue_depth 0"), "{text}");
+        m.connection_opened();
+        m.connection_opened();
+        m.connection_closed();
+        m.set_compute_queue_depth(5);
+        let text = m.render_prometheus(0, 0, &[], &[]);
+        assert!(text.contains("cc_server_open_connections 1"), "{text}");
+        assert!(text.contains("cc_server_compute_queue_depth 5"), "{text}");
+        // Saturating close: never wraps below zero.
+        m.connection_closed();
+        m.connection_closed();
+        assert_eq!(m.open_connections(), 0);
+    }
+
+    #[test]
+    fn self_alarm_gauge_requires_self_monitor() {
+        let m = Metrics::new();
+        let user = MonitorSeries {
+            name: "flights".into(),
+            rows_ingested: 1,
+            windows_closed: 1,
+            window_lag: 0,
+            alarms_total: 2,
+            proposals_total: 0,
+            alarm: true,
+        };
+        let text = m.render_prometheus(0, 0, &[], std::slice::from_ref(&user));
+        assert!(!text.contains("cc_server_self_alarm"), "{text}");
+        let own = MonitorSeries { name: crate::selfwatch::SELF_MONITOR.into(), ..user };
+        let text = m.render_prometheus(0, 0, &[], &[own]);
+        assert!(text.contains("cc_server_self_alarm 1"), "{text}");
+        assert!(text.contains("cc_server_self_alarms_total 2"), "{text}");
+    }
+
+    #[test]
+    fn request_class_totals_sum_across_endpoints() {
+        let m = Metrics::new();
+        m.record_request(Endpoint::Check, 200, 0.001);
+        m.record_request(Endpoint::Logs, 200, 0.001);
+        m.record_request(Endpoint::SelfReport, 404, 0.001);
+        m.record_request(Endpoint::Ingest, 500, 0.001);
+        assert_eq!(m.request_class_totals(), (2, 1, 1));
+        let text = m.render_prometheus(0, 0, &[], &[]);
+        assert!(text.contains("cc_server_requests_total{endpoint=\"/v1/logs\",code=\"2xx\"} 1"));
+        assert!(text.contains("cc_server_requests_total{endpoint=\"/v1/self\",code=\"4xx\"} 1"));
     }
 
     #[test]

@@ -234,12 +234,13 @@ impl ComputeQueue {
     }
 
     /// Enqueues a job; `false` when every worker has already exited.
-    fn push(&self, job: Job) -> bool {
+    fn push(&self, job: Job, metrics: &crate::metrics::Metrics) -> bool {
         let mut st = self.state.lock().expect("reactor lock never poisoned");
         if st.alive == 0 {
             return false;
         }
         st.jobs.push_back(job);
+        metrics.set_compute_queue_depth(st.jobs.len());
         drop(st);
         self.ready.notify_one();
         true
@@ -256,6 +257,7 @@ fn compute_loop(shared: &Shared, queue: &ComputeQueue, mailboxes: &[Mailbox]) {
             let mut st = queue.state.lock().expect("reactor lock never poisoned");
             loop {
                 if let Some(j) = st.jobs.pop_front() {
+                    shared.metrics.set_compute_queue_depth(st.jobs.len());
                     break Some(j);
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
@@ -280,6 +282,14 @@ fn compute_loop(shared: &Shared, queue: &ComputeQueue, mailboxes: &[Mailbox]) {
         let keep_alive = !job.req.close && !shared.shutdown.load(Ordering::SeqCst);
         let bytes = response.serialize(keep_alive);
         shared.metrics.record_request(endpoint, response.status, started.elapsed().as_secs_f64());
+        shared.log_request(
+            trace_id,
+            endpoint,
+            &job.req.method,
+            &job.req.path,
+            response.status,
+            started.elapsed(),
+        );
         let trace = job.trace.as_ref().map(|ctx| {
             let tag = endpoint.label();
             cc_trace::record(
@@ -451,10 +461,12 @@ impl Reactor {
     fn register(&mut self, stream: TcpStream) {
         if self.shared.shutdown.load(Ordering::SeqCst) {
             self.live.fetch_sub(1, Ordering::SeqCst);
+            self.shared.metrics.connection_closed();
             return;
         }
         if stream.set_nonblocking(true).is_err() {
             self.live.fetch_sub(1, Ordering::SeqCst);
+            self.shared.metrics.connection_closed();
             return;
         }
         let _ = stream.set_nodelay(true);
@@ -463,6 +475,7 @@ impl Reactor {
         let fd = stream.as_raw_fd();
         if self.epoll.add(fd, token, EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET).is_err() {
             self.live.fetch_sub(1, Ordering::SeqCst);
+            self.shared.metrics.connection_closed();
             return;
         }
         self.conns.insert(token, Conn::new(stream, self.shared.config.max_body_bytes));
@@ -535,7 +548,7 @@ impl Reactor {
                     parse_spent: std::mem::take(&mut conn.parse_spent),
                     trace,
                 };
-                if !self.compute.push(job) {
+                if !self.compute.push(job, &self.shared.metrics) {
                     self.close(token);
                 }
             }
@@ -554,6 +567,11 @@ impl Reactor {
             Err(e) => {
                 let reply = Response::error(e.status(), e.reason()).serialize(false);
                 self.shared.metrics.record_request(Endpoint::Other, e.status(), 0.0);
+                self.shared.logger.warn(
+                    0,
+                    "",
+                    format!("request rejected: {} ({})", e.reason(), e.status()),
+                );
                 conn.out.extend_from_slice(&reply);
                 conn.close_after_flush = true;
                 conn.read_closed = true;
@@ -666,6 +684,7 @@ impl Reactor {
             let Some(conn) = self.conns.get_mut(&token) else { continue };
             let reply = Response::error(408, "request took too long to arrive").serialize(false);
             self.shared.metrics.record_request(Endpoint::Other, 408, 0.0);
+            self.shared.logger.warn(0, "", "request deadline exceeded; answered 408");
             conn.out.extend_from_slice(&reply);
             conn.close_after_flush = true;
             conn.read_closed = true;
@@ -677,6 +696,7 @@ impl Reactor {
         if let Some(conn) = self.conns.remove(&token) {
             self.epoll.del(conn.stream.as_raw_fd());
             self.live.fetch_sub(1, Ordering::SeqCst);
+            self.shared.metrics.connection_closed();
         }
     }
 }
@@ -795,11 +815,14 @@ fn accept_loop(listener: &TcpListener, shared: &Shared, mailboxes: &[Mailbox], l
         match accepted {
             Ok((mut stream, _)) => {
                 shared.metrics.record_connection();
+                shared.metrics.connection_opened();
                 if live.load(Ordering::SeqCst) >= MAX_PENDING_CONNECTIONS {
                     // Shed load with an answer, not a silent hang.
                     let _ = stream
                         .write_all(&Response::error(503, "server is at capacity").serialize(false));
                     shared.metrics.record_request(Endpoint::Other, 503, 0.0);
+                    shared.metrics.connection_closed();
+                    shared.logger.warn(0, "", "connection limit reached; connection shed with 503");
                     continue;
                 }
                 live.fetch_add(1, Ordering::SeqCst);

@@ -1,0 +1,383 @@
+//! Self-watch: the daemon monitors itself with its own detectors.
+//!
+//! The paper's thesis — conformance constraints quantify trust in a
+//! data-driven system — applies to this very server. A background
+//! sampler folds the flight recorder's per-phase latency cells, the
+//! request error counters, the connection/queue gauges, and rows/s into
+//! one numeric row per tick and streams those rows into an ordinary
+//! [`OnlineMonitor`] registered under the reserved name [`SELF_MONITOR`]:
+//!
+//! 1. **Warmup** — the first [`SelfWatchConfig::warmup`] samples are
+//!    buffered, then a conformance profile is synthesized from them (the
+//!    same PCA synthesis user data gets). A degenerate warmup (synthesis
+//!    failure) is retried on subsequent ticks with a growing buffer.
+//! 2. **Calibration** — the monitor self-calibrates its drift detector
+//!    over the first `calibration_windows` window closes, exactly like a
+//!    user stream; `/v1/self` reports `calibrated` flipping true.
+//! 3. **Watch** — sustained latency drift or error-rate shifts raise the
+//!    ordinary alarm machinery, surfaced as the `cc_server_self_alarm`
+//!    gauge, the `degraded` field in `/healthz`, and `GET /v1/self`.
+//!
+//! The `__self` monitor lives in the shared [`cc_monitor::MonitorSet`],
+//! so state snapshots persist and restore it like any user monitor; the
+//! reserved `__` prefix (rejected for external `/v1/ingest` names) keeps
+//! clients out of the namespace.
+
+use crate::metrics::Metrics;
+use crate::server::Shared;
+use cc_frame::DataFrame;
+use cc_monitor::{MonitorConfig, MonitorError, OnlineMonitor, WindowSpec};
+use cc_trace::{Phase, PhaseTotal};
+use conformance::{synthesize, SynthOptions};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Reserved registry name of the meta-monitor watching this server.
+pub const SELF_MONITOR: &str = "__self";
+
+/// Feature columns of the self-watch stream, in sample order.
+pub const SELF_FEATURES: [&str; 9] = [
+    "tick_ms",
+    "parse_ms",
+    "queue_ms",
+    "handle_ms",
+    "write_ms",
+    "error_ratio",
+    "rows_per_sec",
+    "open_conns",
+    "queue_depth",
+];
+
+/// Sampler tuning. Defaults favour a long-running daemon: 1s cadence,
+/// ~16s of warmup, tumbling 8-sample windows, two calibration windows,
+/// three consecutive alarmed windows before the detector latches.
+#[derive(Clone, Debug)]
+pub struct SelfWatchConfig {
+    /// Sampling cadence.
+    pub interval: Duration,
+    /// Samples buffered before the self-profile is synthesized.
+    pub warmup: usize,
+    /// Samples per detector window (tumbling).
+    pub window: usize,
+    /// Windows used to self-calibrate the drift detector.
+    pub calibration_windows: usize,
+    /// Consecutive alarmed windows before the alarm latches.
+    pub patience: usize,
+}
+
+impl Default for SelfWatchConfig {
+    fn default() -> Self {
+        SelfWatchConfig {
+            interval: Duration::from_secs(1),
+            warmup: 16,
+            window: 8,
+            calibration_windows: 2,
+            patience: 3,
+        }
+    }
+}
+
+/// Sampler runtime state, surfaced by `GET /v1/self`.
+pub struct SelfWatchState {
+    /// Samples folded since boot.
+    pub(crate) ticks: AtomicU64,
+    /// Failed self-profile synthesis attempts (degenerate warmup data).
+    pub(crate) synth_errors: AtomicU64,
+    /// Failed self-sample ingests.
+    pub(crate) ingest_errors: AtomicU64,
+    /// The most recent sample, in [`SELF_FEATURES`] order.
+    pub(crate) last_sample: Mutex<Option<Vec<f64>>>,
+}
+
+impl SelfWatchState {
+    pub(crate) fn new() -> Self {
+        SelfWatchState {
+            ticks: AtomicU64::new(0),
+            synth_errors: AtomicU64::new(0),
+            ingest_errors: AtomicU64::new(0),
+            last_sample: Mutex::new(None),
+        }
+    }
+
+    /// Samples folded since boot.
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+
+    /// Failed self-profile synthesis attempts.
+    pub fn synth_errors(&self) -> u64 {
+        self.synth_errors.load(Ordering::Relaxed)
+    }
+
+    /// Failed self-sample ingests.
+    pub fn ingest_errors(&self) -> u64 {
+        self.ingest_errors.load(Ordering::Relaxed)
+    }
+
+    /// The most recent sample, in [`SELF_FEATURES`] order.
+    pub fn last_sample(&self) -> Option<Vec<f64>> {
+        self.last_sample.lock().unwrap_or_else(|p| p.into_inner()).clone()
+    }
+}
+
+/// One read of every cumulative counter the sampler differences.
+struct Counters {
+    at: Instant,
+    phases: Vec<PhaseTotal>,
+    /// Request totals by status class `(2xx, 4xx, 5xx)`.
+    classes: (u64, u64, u64),
+    rows_checked: u64,
+}
+
+fn read_counters(metrics: &Metrics) -> Counters {
+    Counters {
+        at: Instant::now(),
+        phases: cc_trace::phase_totals(),
+        classes: metrics.request_class_totals(),
+        rows_checked: metrics.rows_checked(),
+    }
+}
+
+fn phase_mean_ms(deltas: &[PhaseTotal], phase: Phase) -> f64 {
+    deltas.iter().find(|t| t.phase == phase).map_or(0.0, |t| t.mean_us() / 1000.0)
+}
+
+/// Folds the interval between two counter reads into one feature row,
+/// in [`SELF_FEATURES`] order.
+fn fold_sample(now: &Counters, prev: &Counters, metrics: &Metrics) -> Vec<f64> {
+    let dt = now.at.duration_since(prev.at).as_secs_f64().max(1e-9);
+    let deltas = cc_trace::phase_deltas(&now.phases, &prev.phases);
+    let (d2, d4, d5) = (
+        now.classes.0.saturating_sub(prev.classes.0),
+        now.classes.1.saturating_sub(prev.classes.1),
+        now.classes.2.saturating_sub(prev.classes.2),
+    );
+    let total = d2 + d4 + d5;
+    let error_ratio = if total == 0 { 0.0 } else { (d4 + d5) as f64 / total as f64 };
+    let rows = now.rows_checked.saturating_sub(prev.rows_checked);
+    vec![
+        dt * 1000.0,
+        phase_mean_ms(&deltas, Phase::Parse),
+        phase_mean_ms(&deltas, Phase::QueueWait),
+        phase_mean_ms(&deltas, Phase::Handle),
+        phase_mean_ms(&deltas, Phase::Write),
+        error_ratio,
+        rows as f64 / dt,
+        metrics.open_connections() as f64,
+        metrics.compute_queue_depth() as f64,
+    ]
+}
+
+/// Builds a one-row ingest batch from a sample.
+fn sample_frame(sample: &[f64]) -> DataFrame {
+    let mut df = DataFrame::new();
+    for (name, &v) in SELF_FEATURES.iter().copied().zip(sample) {
+        df.push_numeric(name, vec![v]).expect("fresh frame accepts distinct columns");
+    }
+    df
+}
+
+/// Synthesizes the self-profile from buffered warmup samples and wraps
+/// it in a monitor configured per `cfg`.
+fn build_self_monitor(
+    warmup: &[Vec<f64>],
+    cfg: &SelfWatchConfig,
+) -> Result<OnlineMonitor, MonitorError> {
+    let mut df = DataFrame::new();
+    for (j, name) in SELF_FEATURES.iter().copied().enumerate() {
+        let column: Vec<f64> = warmup.iter().map(|row| row[j]).collect();
+        df.push_numeric(name, column).expect("fresh frame accepts distinct columns");
+    }
+    let profile = synthesize(&df, &SynthOptions::default())
+        .map_err(|e| MonitorError::Config(format!("self-profile synthesis: {e}")))?;
+    let mc = MonitorConfig {
+        spec: WindowSpec::new(cfg.window.max(1), cfg.window.max(1))?,
+        calibration_windows: cfg.calibration_windows.max(2),
+        patience: cfg.patience.max(1),
+        // The self-stream's job is alarming, not adapting: auto-resynthesis
+        // would re-learn a degraded baseline as the new normal.
+        auto_resynth: false,
+        ..MonitorConfig::default()
+    };
+    OnlineMonitor::new(profile, mc)
+}
+
+/// The sampler thread body: ticks until shutdown, building the warmup
+/// buffer, synthesizing the self-profile, then streaming one sample per
+/// tick into the `__self` monitor.
+pub(crate) fn sampler_loop(shared: &Shared) {
+    let Some(cfg) = shared.config.self_watch.clone() else {
+        return;
+    };
+    let logger = &shared.logger;
+    let interval = cfg.interval.max(Duration::from_millis(1));
+    let nap = interval.min(Duration::from_millis(50));
+    let mut prev = read_counters(&shared.metrics);
+    let mut warmup: Vec<Vec<f64>> = Vec::new();
+    let mut was_alarm =
+        shared.monitors.get(SELF_MONITOR).map(|e| e.status().alarm).unwrap_or(false);
+    let mut next_tick = Instant::now() + interval;
+    loop {
+        while Instant::now() < next_tick {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(nap);
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        next_tick += interval;
+        let now = read_counters(&shared.metrics);
+        let sample = fold_sample(&now, &prev, &shared.metrics);
+        prev = now;
+        shared.selfwatch.ticks.fetch_add(1, Ordering::Relaxed);
+        *shared.selfwatch.last_sample.lock().unwrap_or_else(|p| p.into_inner()) =
+            Some(sample.clone());
+
+        // A restored snapshot may already hold `__self`; warmup is then
+        // skipped and sampling resumes against the restored baseline.
+        match shared.monitors.get(SELF_MONITOR) {
+            Some(entry) => match entry.ingest(&sample_frame(&sample), 1) {
+                Ok((_, status)) => {
+                    if status.alarm && !was_alarm {
+                        logger.warn(
+                                0,
+                                "",
+                                format!(
+                                    "self-watch alarm raised (drift {:.4}, baseline {:.4}±{:.4}, {} alarmed windows)",
+                                    status.last_drift,
+                                    status.baseline_mean,
+                                    status.baseline_std,
+                                    status.alarms_total
+                                ),
+                            );
+                    } else if !status.alarm && was_alarm {
+                        logger.info(0, "", "self-watch alarm cleared");
+                    }
+                    was_alarm = status.alarm;
+                }
+                Err(e) => {
+                    shared.selfwatch.ingest_errors.fetch_add(1, Ordering::Relaxed);
+                    logger.warn(0, "", format!("self-watch sample rejected: {e}"));
+                }
+            },
+            None => {
+                warmup.push(sample);
+                if warmup.len() >= cfg.warmup.max(2) {
+                    match build_self_monitor(&warmup, &cfg) {
+                        Ok(monitor) => {
+                            shared.monitors.insert(SELF_MONITOR, monitor);
+                            logger.info(
+                                0,
+                                "",
+                                format!(
+                                    "self-watch profile synthesized from {} samples; calibrating over {} windows",
+                                    warmup.len(),
+                                    cfg.calibration_windows.max(2)
+                                ),
+                            );
+                            warmup.clear();
+                        }
+                        Err(e) => {
+                            // Degenerate warmup (e.g. a fully idle server):
+                            // keep sampling and retry with more data, but
+                            // bound the buffer.
+                            let first_failure =
+                                shared.selfwatch.synth_errors.fetch_add(1, Ordering::Relaxed) == 0;
+                            if first_failure {
+                                logger.warn(0, "", format!("self-watch synthesis deferred: {e}"));
+                            }
+                            let cap = cfg.warmup.max(2) * 4;
+                            if warmup.len() > cap {
+                                let excess = warmup.len() - cap;
+                                warmup.drain(..excess);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn steady_rows(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let j = i as f64;
+                vec![
+                    100.0 + (j % 3.0) * 0.5, // tick_ms jitter
+                    0.02,
+                    0.01,
+                    1.5 + (j % 5.0) * 0.01,
+                    0.05,
+                    0.0,
+                    50_000.0 + (j % 7.0) * 100.0,
+                    4.0,
+                    0.0,
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn features_and_samples_stay_aligned() {
+        let rows = steady_rows(4);
+        assert!(rows.iter().all(|r| r.len() == SELF_FEATURES.len()));
+        let df = sample_frame(&rows[0]);
+        assert_eq!(df.n_rows(), 1);
+        assert_eq!(df.n_cols(), SELF_FEATURES.len());
+    }
+
+    #[test]
+    fn self_monitor_calibrates_then_alarms_on_error_burst() {
+        let cfg = SelfWatchConfig {
+            interval: Duration::from_millis(10),
+            warmup: 16,
+            window: 4,
+            calibration_windows: 2,
+            patience: 2,
+        };
+        let mut monitor = build_self_monitor(&steady_rows(16), &cfg).unwrap();
+        // Stationary samples: calibrates, never alarms.
+        for row in steady_rows(16) {
+            monitor.ingest(&sample_frame(&row)).unwrap();
+        }
+        assert!(monitor.calibrated());
+        assert_eq!(monitor.alarms_total(), 0);
+        // Injected error burst + latency regression: alarms within
+        // patience (2 windows × 4 samples).
+        let mut status_alarm = false;
+        for i in 0..8 {
+            let mut row = steady_rows(1)[0].clone();
+            row[3] = 250.0; // handle_ms regression
+            row[5] = 0.9; // error_ratio burst
+            row[6] = 100.0; // throughput collapse
+            monitor.ingest(&sample_frame(&row)).unwrap();
+            status_alarm = monitor.status().alarm;
+            if status_alarm {
+                assert!(i >= 3, "patience must gate the alarm (alarmed after {} samples)", i + 1);
+                break;
+            }
+        }
+        assert!(status_alarm, "induced degradation must raise the self alarm");
+    }
+
+    #[test]
+    fn constant_warmup_defers_gracefully() {
+        // A fully idle server produces all-constant warmup rows; whether
+        // synthesis succeeds or defers, it must not panic, and a success
+        // must yield a usable monitor.
+        let rows: Vec<Vec<f64>> =
+            (0..16).map(|_| vec![100.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]).collect();
+        let cfg = SelfWatchConfig::default();
+        if let Ok(mut m) = build_self_monitor(&rows, &cfg) {
+            m.ingest(&sample_frame(&rows[0])).unwrap();
+        }
+    }
+}

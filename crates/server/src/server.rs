@@ -34,8 +34,10 @@
 use crate::http::{RequestParser, Response};
 use crate::metrics::{Endpoint, Metrics};
 use crate::registry::ProfileRegistry;
+use crate::selfwatch::{SelfWatchConfig, SelfWatchState};
 use crate::state::Durability;
 use cc_monitor::MonitorSet;
+use cc_obs::{Level, Logger};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -68,6 +70,20 @@ impl IoMode {
             _ => None,
         }
     }
+}
+
+/// Where structured log lines are streamed (they are always ring-
+/// buffered for `GET /v1/logs` regardless).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum LogSink {
+    /// Ring buffer only — the embedding/test default: nothing written
+    /// to the process streams.
+    #[default]
+    None,
+    /// One JSON line per record to stderr (the CLI `serve` default).
+    Stderr,
+    /// One JSON line per record appended to a file (`--log-file`).
+    File(PathBuf),
 }
 
 /// Server tuning knobs.
@@ -103,6 +119,20 @@ pub struct ServerConfig {
     /// the recorder. The recorder itself is process-global; this knob
     /// gates whether *this server's* request path feeds it.
     pub trace_buffer: usize,
+    /// Minimum structured-log level. [`Level::Off`] silences the logger
+    /// entirely (ring included); request completions log at `debug`
+    /// (2xx) / `warn` (4xx) / `error` (5xx), lifecycle lines at `info`.
+    pub log_level: Level,
+    /// Log ring capacity — the last N records answer `GET /v1/logs`.
+    pub log_buffer: usize,
+    /// Optional stream for log lines beyond the ring (see [`LogSink`]).
+    pub log_sink: LogSink,
+    /// Self-watch sampler: when set, a background thread folds the
+    /// flight recorder, error counters, and gauges into one numeric row
+    /// per tick and streams it into the reserved `__self` monitor so the
+    /// server's own detectors watch the server (see [`crate::selfwatch`]).
+    /// `None` (the embedding default) spawns nothing.
+    pub self_watch: Option<SelfWatchConfig>,
 }
 
 impl Default for ServerConfig {
@@ -117,6 +147,10 @@ impl Default for ServerConfig {
             state_dir: None,
             autosave: None,
             trace_buffer: cc_trace::DEFAULT_BUFFER,
+            log_level: Level::Info,
+            log_buffer: cc_obs::DEFAULT_BUFFER,
+            log_sink: LogSink::None,
+            self_watch: None,
         }
     }
 }
@@ -134,12 +168,47 @@ pub(crate) struct Shared {
     /// trace phase.
     pub(crate) queue: Mutex<VecDeque<(TcpStream, Instant)>>,
     pub(crate) work_ready: Condvar,
+    /// The structured logger: ring-buffered for `GET /v1/logs`, with an
+    /// optional stderr/file stream.
+    pub(crate) logger: Logger,
+    /// Self-watch sampler runtime state (ticks even when the sampler is
+    /// disabled only in the trivial sense: everything stays zero).
+    pub(crate) selfwatch: SelfWatchState,
 }
 
 impl Shared {
     /// Whether this server's request path records trace spans.
     pub(crate) fn tracing(&self) -> bool {
         self.config.trace_buffer > 0 && cc_trace::enabled()
+    }
+
+    /// Logs one completed request, leveled by status class: `debug` for
+    /// success (so the default `info` level pays one atomic load per
+    /// request on the hot path), `warn` for client errors, `error` for
+    /// server errors. The level check precedes the format so silenced
+    /// lines cost no allocation.
+    pub(crate) fn log_request(
+        &self,
+        trace: u64,
+        endpoint: Endpoint,
+        method: &str,
+        path: &str,
+        status: u16,
+        elapsed: Duration,
+    ) {
+        let level = match status {
+            s if s >= 500 => Level::Error,
+            s if s >= 400 => Level::Warn,
+            _ => Level::Debug,
+        };
+        if self.logger.enabled(level) {
+            self.logger.log(
+                level,
+                trace,
+                endpoint.label(),
+                format!("{method} {path} -> {status} in {:.3}ms", elapsed.as_secs_f64() * 1e3),
+            );
+        }
     }
 }
 
@@ -189,6 +258,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     core: Core,
     autosaver: Option<std::thread::JoinHandle<()>>,
+    sampler: Option<std::thread::JoinHandle<()>>,
 }
 
 /// The server: bind + spawn. All state lives in the returned handle.
@@ -206,6 +276,14 @@ impl Server {
     /// Fails when the address cannot be bound or the state directory
     /// cannot be created.
     pub fn start(config: ServerConfig, registry: ProfileRegistry) -> std::io::Result<ServerHandle> {
+        let logger = Logger::new(config.log_level, config.log_buffer);
+        match &config.log_sink {
+            LogSink::None => {}
+            LogSink::Stderr => logger.stream_to_stderr(),
+            LogSink::File(path) => logger.stream_to_file(path)?,
+        }
+        // One trace id ties every boot-lifecycle log line together.
+        let boot_trace = cc_trace::gen_id();
         let monitors = MonitorSet::new();
         let metrics = Metrics::new();
         let durability = match &config.state_dir {
@@ -214,13 +292,14 @@ impl Server {
         };
         if let Some(d) = &durability {
             for note in d.boot(&registry, &monitors, &metrics) {
-                eprintln!("cc_server state: {note}");
+                logger.info(boot_trace, "", format!("cc_server state: {note}"));
             }
         }
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let workers = config.workers.max(1);
         let autosave = config.autosave.filter(|_| durability.is_some());
+        let self_watch = config.self_watch.clone();
         let shared = Arc::new(Shared {
             registry,
             monitors,
@@ -230,13 +309,36 @@ impl Server {
             shutdown: AtomicBool::new(false),
             queue: Mutex::new(VecDeque::new()),
             work_ready: Condvar::new(),
+            logger,
+            selfwatch: SelfWatchState::new(),
         });
         let core = start_core(listener, &shared, workers)?;
+        shared.logger.info(
+            boot_trace,
+            "",
+            format!(
+                "cc_server listening on http://{addr} (io {}, {workers} worker{})",
+                shared.metrics.io_backend(),
+                if workers == 1 { "" } else { "s" }
+            ),
+        );
         let autosaver = autosave.map(|interval| {
             let shared = shared.clone();
             std::thread::spawn(move || autosave_loop(&shared, interval))
         });
-        Ok(ServerHandle { addr, shared, core, autosaver })
+        let sampler = self_watch.map(|cfg| {
+            shared.logger.info(
+                boot_trace,
+                "",
+                format!(
+                    "self-watch sampling every {:?} (warmup {}, window {}, patience {})",
+                    cfg.interval, cfg.warmup, cfg.window, cfg.patience
+                ),
+            );
+            let shared = shared.clone();
+            std::thread::spawn(move || crate::selfwatch::sampler_loop(&shared))
+        });
+        Ok(ServerHandle { addr, shared, core, autosaver, sampler })
     }
 }
 
@@ -282,7 +384,11 @@ fn start_core(
             match crate::reactor::EpollCore::start(listener, shared.clone(), workers) {
                 Ok(core) => Ok(Core::Epoll(core)),
                 Err(e) => {
-                    eprintln!("cc_server: epoll unavailable ({e}); falling back to threads");
+                    shared.logger.warn(
+                        0,
+                        "",
+                        format!("epoll unavailable ({e}); falling back to threads"),
+                    );
                     Ok(start_threads(backup))
                 }
             }
@@ -311,6 +417,16 @@ impl ServerHandle {
     /// The server metrics.
     pub fn metrics(&self) -> &Metrics {
         &self.shared.metrics
+    }
+
+    /// The structured logger (ring + optional stream).
+    pub fn logger(&self) -> &Logger {
+        &self.shared.logger
+    }
+
+    /// Self-watch sampler state (all zeros when self-watch is off).
+    pub fn self_watch(&self) -> &SelfWatchState {
+        &self.shared.selfwatch
     }
 
     /// The connection core actually running (`"epoll"` or `"threads"`)
@@ -377,16 +493,29 @@ impl ServerHandle {
         if let Some(a) = self.autosaver {
             let _ = a.join();
         }
+        if let Some(s) = self.sampler {
+            let _ = s.join();
+        }
         if let Some(d) = &self.shared.durability {
             match d.save(&self.shared.registry, &self.shared.monitors, &self.shared.metrics) {
-                Ok(report) => eprintln!(
-                    "cc_server state: saved {} ({} bytes, {} monitor{})",
-                    report.path.display(),
-                    report.bytes,
-                    report.monitors,
-                    if report.monitors == 1 { "" } else { "s" }
+                Ok(report) => self.shared.logger.info(
+                    0,
+                    "",
+                    format!(
+                        "cc_server state: saved {} ({} bytes, {} monitor{})",
+                        report.path.display(),
+                        report.bytes,
+                        report.monitors,
+                        if report.monitors == 1 { "" } else { "s" }
+                    ),
                 ),
-                Err(e) => eprintln!("cc_server state: final snapshot failed: {e}"),
+                Err(e) => {
+                    self.shared.logger.error(
+                        0,
+                        "",
+                        format!("cc_server state: final snapshot failed: {e}"),
+                    );
+                }
             }
         }
     }
@@ -405,6 +534,7 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
         match accepted {
             Ok((mut stream, _)) => {
                 shared.metrics.record_connection();
+                shared.metrics.connection_opened();
                 let mut queue = shared.queue.lock().expect("server lock never poisoned");
                 if queue.len() >= MAX_PENDING_CONNECTIONS {
                     drop(queue);
@@ -412,9 +542,12 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
                     let _ = stream
                         .write_all(&Response::error(503, "server is at capacity").serialize(false));
                     shared.metrics.record_request(Endpoint::Other, 503, 0.0);
+                    shared.metrics.connection_closed();
+                    shared.logger.warn(0, "", "accept queue full; connection shed with 503");
                     continue;
                 }
                 queue.push_back((stream, Instant::now()));
+                shared.metrics.set_compute_queue_depth(queue.len());
                 drop(queue);
                 shared.work_ready.notify_one();
             }
@@ -431,6 +564,7 @@ fn worker_loop(shared: &Shared) {
             let mut queue = shared.queue.lock().expect("server lock never poisoned");
             loop {
                 if let Some(s) = queue.pop_front() {
+                    shared.metrics.set_compute_queue_depth(queue.len());
                     break Some(s);
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
@@ -467,7 +601,7 @@ fn autosave_loop(shared: &Shared, interval: Duration) {
         }
         if let Some(d) = &shared.durability {
             if let Err(e) = d.save(&shared.registry, &shared.monitors, &shared.metrics) {
-                eprintln!("cc_server state: autosave failed: {e}");
+                shared.logger.error(0, "", format!("cc_server state: autosave failed: {e}"));
             }
         }
         last_save = Instant::now();
@@ -500,12 +634,17 @@ pub(crate) fn execute(
     catch_unwind(AssertUnwindSafe(|| {
         crate::api::route(
             req,
-            &shared.registry,
-            &shared.monitors,
-            &shared.metrics,
-            shared.durability.as_ref(),
+            &crate::api::RouteCtx {
+                registry: &shared.registry,
+                monitors: &shared.monitors,
+                metrics: &shared.metrics,
+                durability: shared.durability.as_ref(),
+                logger: &shared.logger,
+                self_watch: shared.config.self_watch.as_ref(),
+                self_state: &shared.selfwatch,
+                trace_buffer: shared.config.trace_buffer,
+            },
             trace_id,
-            shared.config.trace_buffer,
         )
     }))
     .unwrap_or_else(|_| (Endpoint::Other, Response::error(500, "handler panicked")))
@@ -516,7 +655,16 @@ pub(crate) fn execute(
 /// `queued_at` is when the acceptor parked the connection — its dwell is
 /// the first request's `queue_wait` phase (later keep-alive requests on
 /// the same pickup report 0: they never waited in the accept queue).
-fn serve_connection(mut stream: TcpStream, queued_at: Instant, shared: &Shared) {
+fn serve_connection(stream: TcpStream, queued_at: Instant, shared: &Shared) {
+    if drive_connection(stream, queued_at, shared) {
+        shared.metrics.connection_closed();
+    }
+}
+
+/// [`serve_connection`]'s body. Returns whether the connection is done
+/// (`false` only on the keep-alive requeue path, where the stream moved
+/// back into the accept queue and stays open).
+fn drive_connection(mut stream: TcpStream, queued_at: Instant, shared: &Shared) -> bool {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(READ_TICK));
     let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
@@ -557,6 +705,14 @@ fn serve_connection(mut stream: TcpStream, queued_at: Instant, shared: &Shared) 
                     response.status,
                     started.elapsed().as_secs_f64(),
                 );
+                shared.log_request(
+                    trace_id,
+                    endpoint,
+                    &req.method,
+                    &req.path,
+                    response.status,
+                    started.elapsed(),
+                );
                 if let Some(ctx) = &trace {
                     let tag = endpoint.label();
                     let (qw_start, qw_dur) = queue_wait.take().unwrap_or((started, Duration::ZERO));
@@ -581,7 +737,7 @@ fn serve_connection(mut stream: TcpStream, queued_at: Instant, shared: &Shared) 
                 }
                 parse_spent = Duration::ZERO;
                 if !keep_alive || !ok {
-                    return;
+                    return true;
                 }
                 // Fairness: a persistent keep-alive client must not pin
                 // this worker while other connections wait. With no
@@ -591,9 +747,10 @@ fn serve_connection(mut stream: TcpStream, queued_at: Instant, shared: &Shared) 
                     let mut queue = shared.queue.lock().expect("server lock never poisoned");
                     if !queue.is_empty() {
                         queue.push_back((stream, Instant::now()));
+                        shared.metrics.set_compute_queue_depth(queue.len());
                         drop(queue);
                         shared.work_ready.notify_one();
-                        return;
+                        return false;
                     }
                 }
                 last_activity = Instant::now();
@@ -607,7 +764,7 @@ fn serve_connection(mut stream: TcpStream, queued_at: Instant, shared: &Shared) 
                 // the client trickles bytes (each read resets the idle
                 // clock, but never this one).
                 if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
+                    return true;
                 }
                 match (&mut request_started, parser.is_empty()) {
                     (slot @ None, false) => *slot = Some(Instant::now()),
@@ -617,7 +774,8 @@ fn serve_connection(mut stream: TcpStream, queued_at: Instant, shared: &Shared) 
                                 .serialize(false),
                         );
                         shared.metrics.record_request(Endpoint::Other, 408, 0.0);
-                        return;
+                        shared.logger.warn(0, "", "request deadline exceeded; answered 408");
+                        return true;
                     }
                     _ => {}
                 }
@@ -626,13 +784,18 @@ fn serve_connection(mut stream: TcpStream, queued_at: Instant, shared: &Shared) 
                 // Terminal framing error: report and close.
                 let _ = stream.write_all(&Response::error(e.status(), e.reason()).serialize(false));
                 shared.metrics.record_request(Endpoint::Other, e.status(), 0.0);
-                return;
+                shared.logger.warn(
+                    0,
+                    "",
+                    format!("request rejected: {} ({})", e.reason(), e.status()),
+                );
+                return true;
             }
         }
         match stream.read(&mut read_buf) {
             // EOF: clean close between requests, abrupt disconnect
             // mid-request — either way the connection is done.
-            Ok(0) => return,
+            Ok(0) => return true,
             Ok(n) => {
                 parser.feed(&read_buf[..n]);
                 last_activity = Instant::now();
@@ -642,10 +805,10 @@ fn serve_connection(mut stream: TcpStream, queued_at: Instant, shared: &Shared) 
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
                 if last_activity.elapsed() >= shared.config.keep_alive {
-                    return;
+                    return true;
                 }
             }
-            Err(_) => return,
+            Err(_) => return true,
         }
     }
 }

@@ -135,6 +135,55 @@ pub struct PhaseTotal {
     pub buckets: [u64; BUCKETS],
 }
 
+impl PhaseTotal {
+    /// A zeroed total for `phase`.
+    pub fn empty(phase: Phase) -> PhaseTotal {
+        PhaseTotal { phase, count: 0, sum_us: 0, buckets: [0; BUCKETS] }
+    }
+
+    /// Mean span duration in microseconds (`0.0` when no spans recorded).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// What accumulated between `earlier` and `self` — the interval
+    /// aggregate a periodic sampler needs from two cumulative snapshots.
+    /// Saturating, so a cell observed mid-update (count and sum are
+    /// independent atomics) can never produce wrapped garbage.
+    ///
+    /// # Panics
+    /// If the two totals describe different phases.
+    pub fn delta_since(&self, earlier: &PhaseTotal) -> PhaseTotal {
+        assert_eq!(self.phase, earlier.phase, "delta_since across different phases");
+        let mut buckets = [0u64; BUCKETS];
+        for (b, (now, then)) in buckets.iter_mut().zip(self.buckets.iter().zip(&earlier.buckets)) {
+            *b = now.saturating_sub(*then);
+        }
+        PhaseTotal {
+            phase: self.phase,
+            count: self.count.saturating_sub(earlier.count),
+            sum_us: self.sum_us.saturating_sub(earlier.sum_us),
+            buckets,
+        }
+    }
+}
+
+/// Pairwise [`PhaseTotal::delta_since`] over two [`phase_totals`]-shaped
+/// snapshots (matched by phase; phases absent from `earlier` pass through
+/// unchanged).
+pub fn phase_deltas(now: &[PhaseTotal], earlier: &[PhaseTotal]) -> Vec<PhaseTotal> {
+    now.iter()
+        .map(|t| match earlier.iter().find(|e| e.phase == t.phase) {
+            Some(e) => t.delta_since(e),
+            None => t.clone(),
+        })
+        .collect()
+}
+
 // ---------------------------------------------------------------------------
 // Ring storage: per-slot seqlock over plain atomic words.
 // ---------------------------------------------------------------------------
@@ -558,6 +607,41 @@ mod tests {
         assert_eq!(after.sum_us, before.sum_us + 50_005);
         assert_eq!(after.buckets[0], before.buckets[0] + 1);
         assert_eq!(after.buckets[4], before.buckets[4] + 1);
+    }
+
+    #[test]
+    fn delta_since_isolates_the_interval() {
+        let before = phase_total(Phase::Fsync);
+        tally(Phase::Fsync, 7);
+        tally(Phase::Fsync, 200);
+        let after = phase_total(Phase::Fsync);
+        let delta = after.delta_since(&before);
+        assert_eq!(delta.phase, Phase::Fsync);
+        assert_eq!(delta.count, 2);
+        assert_eq!(delta.sum_us, 207);
+        assert_eq!(delta.buckets.iter().sum::<u64>(), 2);
+        assert!((delta.mean_us() - 103.5).abs() < 1e-9);
+        // Same snapshot twice: empty interval, mean well-defined.
+        let zero = after.delta_since(&after);
+        assert_eq!(zero.count, 0);
+        assert_eq!(zero.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn phase_deltas_match_by_phase() {
+        let e1 = PhaseTotal::empty(Phase::Parse);
+        let mut now = vec![PhaseTotal::empty(Phase::Parse), PhaseTotal::empty(Phase::Handle)];
+        now[0].count = 5;
+        now[0].sum_us = 50;
+        now[1].count = 3;
+        let mut earlier = vec![e1];
+        earlier[0].count = 2;
+        earlier[0].sum_us = 30;
+        let d = phase_deltas(&now, &earlier);
+        assert_eq!(d[0].count, 3);
+        assert_eq!(d[0].sum_us, 20);
+        // Handle had no earlier entry: passes through.
+        assert_eq!(d[1].count, 3);
     }
 
     #[test]

@@ -31,7 +31,7 @@ use ccsynth::conformance::{
 };
 use ccsynth::frame::{read_csv, DataFrame};
 use ccsynth::monitor::{DetectorKind, MonitorConfig, OnlineMonitor, WindowSpec};
-use ccsynth::server::{IoMode, ProfileRegistry, Server, ServerConfig};
+use ccsynth::server::{IoMode, LogSink, ProfileRegistry, SelfWatchConfig, Server, ServerConfig};
 use std::fs::File;
 use std::io::{BufReader, Write};
 use std::process::ExitCode;
@@ -44,8 +44,9 @@ const USAGE: &str = "usage:
   ccsynth monitor <data.csv|-> (--profile <profile.json> | --resume <snapshot>) [--window <n>] [--stride <s>] [--detector <d>] [--calibrate <k>] [--patience <p>] [--threads <t>] [--propose-out <f>] [--state-out <f>]
   ccsynth explain <profile.json> <train.csv> <serve.csv> [--sample <n>]
   ccsynth sql     <profile.json> <table_name>
-  ccsynth serve   [--dir <profiles-dir>] [--profile <file>]... [--addr <host:port>] [--workers <n>] [--io auto|epoll|threads] [--reactors <n>] [--max-body-mb <n>] [--state-dir <d>] [--autosave-secs <n>] [--trace-buffer <n>]
+  ccsynth serve   [--dir <profiles-dir>] [--profile <file>]... [--addr <host:port>] [--workers <n>] [--io auto|epoll|threads] [--reactors <n>] [--max-body-mb <n>] [--state-dir <d>] [--autosave-secs <n>] [--trace-buffer <n>] [--log-level <l>] [--log-file <f>] [--self-watch <ms|off>]
   ccsynth trace   <host:port> [--top <k>] [--min-us <n>] [--endpoint <e>] [--monitor <m>] [--limit <n>] [--json]
+  ccsynth ops     <host:port> [--json]
   ccsynth wire    <data.csv> --out <batch.bin>";
 
 /// Per-subcommand usage lines (printed on `--help` and usage errors).
@@ -108,14 +109,15 @@ ExTuNe: ranks attributes by responsibility for non-conformance.
         }
         "sql" => "usage: ccsynth sql <profile.json> <table_name>\n\nRenders the profile as a SQL CHECK-style guard for a table.",
         "serve" => {
-            "usage: ccsynth serve [--dir <profiles-dir>] [--profile <file>]... [--addr <host:port>] [--workers <n>] [--io auto|epoll|threads] [--reactors <n>] [--max-body-mb <n>] [--state-dir <d>] [--autosave-secs <n>] [--trace-buffer <n>]\n
+            "usage: ccsynth serve [--dir <profiles-dir>] [--profile <file>]... [--addr <host:port>] [--workers <n>] [--io auto|epoll|threads] [--reactors <n>] [--max-body-mb <n>] [--state-dir <d>] [--autosave-secs <n>] [--trace-buffer <n>] [--log-level <l>] [--log-file <f>] [--self-watch <ms|off>]\n
 Starts the cc_server daemon over a directory (or explicit files) of
 profile JSON. Endpoints: POST /v1/check, /v1/explain, /v1/drift,
 /v1/ingest, /v1/reload, /v1/snapshot; GET /v1/profiles, /v1/monitor,
-/healthz, /metrics; DELETE /v1/monitor. SIGINT/SIGTERM shut down
-gracefully (in-flight requests complete). Batch endpoints also speak
-the binary columnar wire format (Content-Type/Accept:
-application/x-ccsynth-columnar; see `ccsynth wire`).
+/v1/logs, /v1/self, /healthz, /metrics; DELETE /v1/monitor.
+SIGINT/SIGTERM shut down gracefully (in-flight requests complete).
+Batch endpoints also speak the binary columnar wire format
+(Content-Type/Accept: application/x-ccsynth-columnar; see
+`ccsynth wire`).
   --dir <d>           serve every *.json in d (default: profiles/)
   --profile <f>       serve an explicit profile file (repeatable)
   --addr <a>          bind address (default 127.0.0.1:8642; port 0 = ephemeral)
@@ -130,7 +132,14 @@ application/x-ccsynth-columnar; see `ccsynth wire`).
                       POST /v1/snapshot
   --autosave-secs <n> also snapshot every n seconds (requires --state-dir)
   --trace-buffer <n>  per-thread flight-recorder capacity in spans
-                      (default 4096; 0 disables tracing entirely)"
+                      (default 4096; 0 disables tracing entirely)
+  --log-level <l>     structured-log threshold: debug, info (default),
+                      warn, error, off; queryable via GET /v1/logs
+  --log-file <f>      append JSON log lines to f instead of stderr
+  --self-watch <m>    meta-monitor sampling interval in ms (default
+                      1000), or 'off'; the server folds its own
+                      latency/error/queue telemetry into the reserved
+                      '__self' monitor and reports via GET /v1/self"
         }
         "trace" => {
             "usage: ccsynth trace <host:port> [--top <k>] [--min-us <n>] [--endpoint <e>] [--monitor <m>] [--limit <n>] [--json]\n
@@ -144,6 +153,13 @@ echoed on every traced response.
   --monitor <m>   only ingest-pipeline spans for one monitor
   --limit <n>     span-list length to request (default 256)
   --json          dump the raw /v1/trace JSON instead of tables"
+        }
+        "ops" => {
+            "usage: ccsynth ops <host:port> [--json]\n
+One-stop operational report for a running daemon: joins GET /healthz,
+/v1/self, /metrics, and /v1/trace into a single health + self-watch +
+throughput + latency summary.
+  --json          dump the joined JSON instead of the report"
         }
         "wire" => {
             "usage: ccsynth wire <data.csv> --out <batch.bin>\n
@@ -691,6 +707,9 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         Flag::value("--state-dir"),
         Flag::value("--autosave-secs"),
         Flag::value("--trace-buffer"),
+        Flag::value("--log-level"),
+        Flag::value("--log-file"),
+        Flag::value("--self-watch"),
     ];
     let p = parse(args, &flags)?;
     if !p.positionals().is_empty() {
@@ -740,6 +759,39 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     // The process-global flight recorder: sized once, before any request
     // thread can lazily create its ring.
     ccsynth::trace::set_buffer(trace_buffer);
+    let log_level = match p.value("--log-level") {
+        None => ccsynth::server::obs::Level::Info,
+        Some(spelled) => ccsynth::server::obs::Level::parse(spelled).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown --log-level '{spelled}' (debug, info, warn, error, off)"
+            ))
+        })?,
+    };
+    let log_sink = match p.value("--log-file") {
+        None => LogSink::Stderr,
+        Some(path) => LogSink::File(std::path::PathBuf::from(path)),
+    };
+    let self_watch = match p.value("--self-watch") {
+        Some(spelled) if spelled.eq_ignore_ascii_case("off") => None,
+        spelled => {
+            let ms = match spelled {
+                None => 1000,
+                Some(v) => match v.parse::<u64>() {
+                    Ok(ms) if ms > 0 => ms,
+                    _ => {
+                        return Err(CliError::Usage(format!(
+                            "--self-watch needs a positive interval in ms or 'off', got '{v}'"
+                        )));
+                    }
+                },
+            };
+            Some(SelfWatchConfig {
+                interval: std::time::Duration::from_millis(ms),
+                ..SelfWatchConfig::default()
+            })
+        }
+    };
+    let self_watch_ms = self_watch.as_ref().map(|sw| sw.interval.as_millis());
     let config = ServerConfig {
         addr: p.value("--addr").unwrap_or("127.0.0.1:8642").to_owned(),
         workers: p.count_or("--workers", 4)?,
@@ -749,6 +801,9 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         state_dir,
         autosave,
         trace_buffer,
+        log_level,
+        log_sink,
+        self_watch,
         ..ServerConfig::default()
     };
     let workers = config.workers;
@@ -772,6 +827,15 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         println!("tracing: disabled (--trace-buffer 0)");
     } else {
         println!("tracing: {trace_buffer}-span rings (GET /v1/trace, `ccsynth trace`)");
+    }
+    println!(
+        "logging: level {} -> {} (GET /v1/logs)",
+        log_level.name(),
+        p.value("--log-file").unwrap_or("stderr")
+    );
+    match self_watch_ms {
+        Some(ms) => println!("self-watch: sampling every {ms}ms into '__self' (GET /v1/self)"),
+        None => println!("self-watch: disabled (--self-watch off)"),
     }
     for e in snap.entries() {
         println!("  profile '{}': {} constraints", e.name, e.plan.constraint_count());
@@ -926,6 +990,163 @@ fn cmd_trace(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `ccsynth ops <host:port>`: one-stop operational report — joins
+/// `GET /healthz`, `/v1/self`, `/metrics`, and `/v1/trace` from a
+/// running daemon into a single health + self-watch + throughput +
+/// latency summary.
+fn cmd_ops(args: &[String]) -> Result<(), CliError> {
+    let flags = [Flag::switch("--json")];
+    let p = parse(args, &flags)?;
+    let [url] = p.positionals() else {
+        return Err(CliError::Usage("ops needs exactly one <host:port> (or http:// url)".into()));
+    };
+    let hostport = url.strip_prefix("http://").unwrap_or(url).trim_end_matches('/');
+    use std::net::ToSocketAddrs;
+    let addr = hostport
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut a| a.next())
+        .ok_or_else(|| CliError::Runtime(format!("cannot resolve '{hostport}'")))?;
+    let mut client = ccsynth::server::HttpClient::connect(addr)
+        .map_err(|e| CliError::Runtime(format!("cannot connect to {hostport}: {e}")))?;
+    let mut fetch = |target: &str| -> Result<serde_json::Value, CliError> {
+        let resp = client
+            .get(target)
+            .map_err(|e| CliError::Runtime(format!("request to {hostport} failed: {e}")))?;
+        if resp.status != 200 {
+            return Err(CliError::Runtime(format!(
+                "GET {target} answered {}: {}",
+                resp.status,
+                resp.text().trim()
+            )));
+        }
+        resp.json().map_err(|e| CliError::Runtime(format!("malformed {target} body: {e}")))
+    };
+    let health = fetch("/healthz")?;
+    let selfv = fetch("/v1/self")?;
+    let trace = fetch("/v1/trace?top=5")?;
+    let metrics_resp = client
+        .get("/metrics")
+        .map_err(|e| CliError::Runtime(format!("request to {hostport} failed: {e}")))?;
+    let metrics_text = metrics_resp.text();
+    // Single-value series we surface from the Prometheus exposition.
+    let gauge = |name: &str| -> Option<f64> {
+        metrics_text.lines().find_map(|l| {
+            l.strip_prefix(name)
+                .and_then(|rest| rest.strip_prefix(' '))
+                .and_then(|v| v.trim().parse().ok())
+        })
+    };
+    let gauges: Vec<(&str, Option<f64>)> = vec![
+        ("cc_server_open_connections", gauge("cc_server_open_connections")),
+        ("cc_server_compute_queue_depth", gauge("cc_server_compute_queue_depth")),
+        ("cc_server_self_alarm", gauge("cc_server_self_alarm")),
+        ("cc_server_self_alarms_total", gauge("cc_server_self_alarms_total")),
+    ];
+    if p.has("--json") {
+        let joined = ccsynth::server::json::obj(vec![
+            ("health", health),
+            ("self", selfv),
+            (
+                "gauges",
+                ccsynth::server::json::obj(
+                    gauges
+                        .iter()
+                        .map(|(n, v)| {
+                            (
+                                *n,
+                                v.map(serde_json::Value::Number).unwrap_or(serde_json::Value::Null),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            ("trace", trace),
+        ]);
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&joined).map_err(|e| CliError::Runtime(e.to_string()))?
+        );
+        return Ok(());
+    }
+    use ccsynth::server::json::{as_f64, as_str, get};
+    let b =
+        |v: &serde_json::Value, k: &str| matches!(get(v, k), Some(serde_json::Value::Bool(true)));
+    let n = |v: &serde_json::Value, k: &str| get(v, k).and_then(as_f64).unwrap_or(0.0);
+    println!(
+        "health: {} (degraded {}), {} profile(s) gen {}, up {:.0}s, durable {}",
+        get(&health, "status").and_then(as_str).unwrap_or("?"),
+        b(&health, "degraded"),
+        n(&health, "profiles") as u64,
+        n(&health, "generation") as u64,
+        n(&health, "uptime_seconds"),
+        b(&health, "durable"),
+    );
+    if b(&selfv, "enabled") {
+        println!(
+            "self-watch: {} ticks, synthesized {}, calibrated {}, degraded {}, {} synth / {} ingest error(s)",
+            n(&selfv, "ticks") as u64,
+            b(&selfv, "synthesized"),
+            b(&selfv, "calibrated"),
+            b(&selfv, "degraded"),
+            n(&selfv, "synth_errors") as u64,
+            n(&selfv, "ingest_errors") as u64,
+        );
+        if let Some(sample) = get(&selfv, "sample") {
+            let ms = |k: &str| n(sample, k);
+            println!(
+                "  last sample: handle {:.3}ms, queue {:.3}ms, {:.1} rows/s, error ratio {:.3}, {} conn(s), queue depth {}",
+                ms("handle_ms"),
+                ms("queue_ms"),
+                ms("rows_per_sec"),
+                ms("error_ratio"),
+                ms("open_conns") as u64,
+                ms("queue_depth") as u64,
+            );
+        }
+        if let Some(status) =
+            get(&selfv, "status").filter(|s| !matches!(s, serde_json::Value::Null))
+        {
+            println!(
+                "  detector: drift {:.4} (smoothed {:.4}), baseline {:.4}±{:.4}, {} alarm(s) total",
+                n(status, "last_drift"),
+                n(status, "smoothed_drift"),
+                n(status, "baseline_mean"),
+                n(status, "baseline_std"),
+                n(status, "alarms_total") as u64,
+            );
+        }
+    } else {
+        println!("self-watch: disabled (--self-watch off)");
+    }
+    println!("gauges:");
+    for (name, v) in &gauges {
+        match v {
+            Some(v) => println!("  {name} = {v}"),
+            None => println!("  {name} (absent)"),
+        }
+    }
+    let empty = Vec::new();
+    let slowest = match get(&trace, "slowest") {
+        Some(serde_json::Value::Array(rows)) => rows,
+        _ => &empty,
+    };
+    if slowest.is_empty() {
+        println!("trace: no completed requests in the buffer");
+    } else {
+        println!("slowest requests (µs):");
+        for row in slowest {
+            println!(
+                "  {:<18} {:<14} {:>9}",
+                get(row, "trace").and_then(as_str).unwrap_or("-"),
+                get(row, "endpoint").and_then(as_str).unwrap_or("-"),
+                n(row, "total_us") as u64,
+            );
+        }
+    }
+    Ok(())
+}
+
 /// `ccsynth wire <data.csv> --out <batch.bin>`: encode a CSV batch into
 /// the binary columnar wire format, ready for `curl --data-binary`
 /// against the daemon's batch endpoints.
@@ -987,6 +1208,7 @@ fn main() -> ExitCode {
         "sql" => cmd_sql(rest),
         "serve" => cmd_serve(rest),
         "trace" => cmd_trace(rest),
+        "ops" => cmd_ops(rest),
         "wire" => cmd_wire(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
