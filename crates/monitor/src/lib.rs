@@ -41,7 +41,11 @@
 //!   [`MonitorStatus`] as a swapped `Arc`, so `/metrics` never queues
 //!   behind an ingest;
 //! * **report** ([`report`]) — serializable snapshots shared by the
-//!   `cc_server` endpoints and the `ccsynth monitor` CLI.
+//!   `cc_server` endpoints and the `ccsynth monitor` CLI;
+//! * **fleet** ([`fleet`]) — scale-out: shards export closed windows as
+//!   epoch-tagged [`WindowDelta`]s and a coordinator's [`MergedMonitor`]
+//!   absorbs them in global epoch order, bit-identical to a single node
+//!   ingesting the same interleaved stream.
 //!
 //! ## Quick example
 //!
@@ -70,6 +74,7 @@
 //! ```
 
 pub mod detectors;
+pub mod fleet;
 pub mod ingest;
 pub mod monitor;
 pub mod registry;
@@ -80,10 +85,12 @@ pub mod snapshot;
 pub mod windows;
 
 pub use detectors::{Baseline, Decision, Detector, DetectorKind, DetectorParams, DetectorState};
+pub use fleet::{MergedMonitor, ShardDeltaBatch, WindowDelta};
 pub use ingest::{IngestDelta, IngestScorer, ScoredBatch};
 pub use monitor::{MonitorConfig, OnlineMonitor};
 pub use registry::{
-    lock_monitor, validate_monitor_name, MonitorEntry, MonitorSet, RESERVED_NAME_PREFIX,
+    lock_monitor, validate_monitor_name, validate_monitor_name_grammar, MonitorEntry, MonitorSet,
+    RESERVED_NAME_PREFIX,
 };
 pub use report::{IngestReport, MonitorStatus, WindowPhase, WindowReport};
 pub use resynth::ProposedProfile;

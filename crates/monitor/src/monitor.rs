@@ -20,6 +20,7 @@
 //! ```
 
 use crate::detectors::{Baseline, Detector, DetectorKind, DetectorParams};
+use crate::fleet::WindowDelta;
 use crate::ingest::{IngestDelta, IngestScorer};
 use crate::report::{IngestReport, MonitorStatus, WindowPhase, WindowReport};
 use crate::resynth::{self, ProposedProfile};
@@ -142,6 +143,12 @@ pub struct OnlineMonitor {
     proposals_total: u64,
     resynth_errors: u64,
     generation: u64,
+    /// Epoch-tagged closed-window deltas retained for fleet export,
+    /// newest last. Empty (and free) unless a shard role enables it via
+    /// [`Self::set_export_cap`].
+    export_log: VecDeque<WindowDelta>,
+    /// Retained export entries (0 = export disabled).
+    export_cap: usize,
 }
 
 impl OnlineMonitor {
@@ -175,6 +182,8 @@ impl OnlineMonitor {
             proposals_total: 0,
             resynth_errors: 0,
             generation: 1,
+            export_log: VecDeque::new(),
+            export_cap: 0,
             cfg,
         })
     }
@@ -377,6 +386,19 @@ impl OnlineMonitor {
     /// Everything that happens when a window closes: drift point, history
     /// ring, tile ring, detector verdict, alarm bookkeeping, resynthesis.
     fn close_window(&mut self, closed: ClosedWindow) -> WindowReport {
+        if self.export_cap > 0 {
+            if self.export_log.len() == self.export_cap {
+                self.export_log.pop_front();
+            }
+            self.export_log.push_back(WindowDelta {
+                epoch: closed.index,
+                start_row: closed.start_row,
+                rows: closed.rows,
+                stats: closed.stats.clone(),
+                score_sum: closed.score_sum,
+                score_max: closed.score_max,
+            });
+        }
         let drift = match self.cfg.aggregator {
             DriftAggregator::Mean => closed.score_sum / closed.rows.max(1) as f64,
             _ => closed.score_max,
@@ -484,6 +506,9 @@ impl OnlineMonitor {
         self.plan = Arc::new(CompiledProfile::compile(&self.profile));
         self.generation = p.generation;
         self.sliding.reset();
+        // Epoch numbering restarts with the windowing accumulator; stale
+        // export entries from the old generation must not be re-served.
+        self.export_log.clear();
         self.tiles.clear();
         self.calibration.clear();
         self.detector = None;
@@ -495,6 +520,84 @@ impl OnlineMonitor {
     /// Discards the pending proposal (e.g. a human rejected it).
     pub fn discard_proposal(&mut self) -> bool {
         self.proposal.take().is_some()
+    }
+
+    /// Enables (cap > 0) or disables (cap = 0) the fleet export log:
+    /// every window close appends one epoch-tagged [`WindowDelta`],
+    /// retaining the newest `cap`. Shrinking drops the oldest entries;
+    /// disabling clears the log.
+    pub fn set_export_cap(&mut self, cap: usize) {
+        self.export_cap = cap;
+        while self.export_log.len() > cap {
+            self.export_log.pop_front();
+        }
+    }
+
+    /// Retained export entries (0 = export disabled).
+    pub fn export_cap(&self) -> usize {
+        self.export_cap
+    }
+
+    /// Closed-window deltas with epoch ≥ `since`, oldest first — the
+    /// shard half of the fleet catch-up protocol. A coordinator advances
+    /// its cursor past what it absorbed and asks again.
+    ///
+    /// # Errors
+    /// Fails when `since` predates the log's oldest retained epoch (the
+    /// bounded log already dropped windows the caller still needs): the
+    /// coordinator cannot catch up incrementally and must mark the shard
+    /// stale.
+    pub fn deltas_since(&self, since: u64) -> Result<Vec<WindowDelta>, MonitorError> {
+        let Some(front) = self.export_log.front() else {
+            // An empty log is only a gap when windows were already closed
+            // past the cursor (cap 0, or everything aged out).
+            if since < self.windows_exported() {
+                return Err(MonitorError::Config(format!(
+                    "export log is empty but {} window(s) closed past epoch {since}",
+                    self.windows_exported() - since
+                )));
+            }
+            return Ok(Vec::new());
+        };
+        if since < front.epoch {
+            return Err(MonitorError::Config(format!(
+                "epoch {since} already aged out of the export log (oldest retained: {})",
+                front.epoch
+            )));
+        }
+        let skip = (since - front.epoch) as usize;
+        Ok(self.export_log.iter().skip(skip).cloned().collect())
+    }
+
+    /// Windows closed in the current generation — the epoch the export
+    /// log has reached (one past the newest exportable delta).
+    pub fn windows_exported(&self) -> u64 {
+        self.sliding.closed()
+    }
+
+    /// Absorbs a window another monitor (a fleet shard) closed, without
+    /// replaying its rows: the windowing accumulator adopts the close
+    /// ([`SlidingStats::adopt_close`] — tumbling geometry, in-epoch-order
+    /// arrival) and the full per-close bookkeeping runs — drift series,
+    /// detector, alarms, resynthesis — exactly as if this monitor had
+    /// ingested the window's rows itself. That is the coordinator's merge
+    /// path, and the source of the fleet's bit-identity invariant.
+    ///
+    /// # Errors
+    /// Rejects stats of the wrong arity and everything
+    /// [`SlidingStats::adopt_close`] rejects; the monitor is unchanged on
+    /// error.
+    pub fn absorb_close(&mut self, w: ClosedWindow) -> Result<WindowReport, MonitorError> {
+        let dim = self.plan.attributes().len();
+        if w.stats.dim() != dim {
+            return Err(MonitorError::Config(format!(
+                "absorbed window has dim {}, monitor expects {dim}",
+                w.stats.dim()
+            )));
+        }
+        self.sliding.adopt_close(&w)?;
+        self.rows_ingested += w.rows as u64;
+        Ok(self.close_window(w))
     }
 
     /// The complete serializable state image — everything needed to
@@ -518,6 +621,7 @@ impl OnlineMonitor {
             proposals_total: self.proposals_total,
             resynth_errors: self.resynth_errors,
             generation: self.generation,
+            export: self.export_log.iter().cloned().collect(),
         }
     }
 
@@ -562,6 +666,9 @@ impl OnlineMonitor {
         monitor.proposals_total = state.proposals_total;
         monitor.resynth_errors = state.resynth_errors;
         monitor.generation = state.generation;
+        // The log restores with export disabled; a shard role re-arms it
+        // via `set_export_cap`, which trims to the new cap.
+        monitor.export_log = state.export.into();
         Ok(monitor)
     }
 

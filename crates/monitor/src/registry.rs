@@ -62,6 +62,25 @@ pub const RESERVED_NAME_PREFIX: &str = "__";
 /// # Errors
 /// A human-readable reason, suitable for a 400 response body.
 pub fn validate_monitor_name(name: &str) -> Result<(), String> {
+    validate_monitor_name_grammar(name)?;
+    if name.starts_with(RESERVED_NAME_PREFIX) {
+        return Err(format!(
+            "monitor names starting with '{RESERVED_NAME_PREFIX}' are reserved for internal use"
+        ));
+    }
+    Ok(())
+}
+
+/// The grammar-only half of [`validate_monitor_name`]: charset and
+/// length, without the reserved-prefix policy. Read paths use this so
+/// internal (`__`-prefixed) monitors stay addressable for status reads,
+/// while a name outside the grammar is a `400` everywhere — never a
+/// lookup that "happens" to miss (the 400-vs-404 distinction the HTTP
+/// surface documents).
+///
+/// # Errors
+/// A human-readable reason, suitable for a 400 response body.
+pub fn validate_monitor_name_grammar(name: &str) -> Result<(), String> {
     if name.is_empty() {
         return Err("monitor name must not be empty".to_owned());
     }
@@ -70,11 +89,6 @@ pub fn validate_monitor_name(name: &str) -> Result<(), String> {
     }
     if let Some(bad) = name.chars().find(|c| !c.is_ascii_alphanumeric() && !"_.-".contains(*c)) {
         return Err(format!("monitor name may only contain [a-zA-Z0-9_.-] (found {bad:?})"));
-    }
-    if name.starts_with(RESERVED_NAME_PREFIX) {
-        return Err(format!(
-            "monitor names starting with '{RESERVED_NAME_PREFIX}' are reserved for internal use"
-        ));
     }
     Ok(())
 }

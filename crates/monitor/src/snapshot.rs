@@ -28,6 +28,7 @@
 //! [`OnlineMonitor::from_state`]: crate::OnlineMonitor::from_state
 
 use crate::detectors::{DetectorKind, DetectorParams, DetectorState};
+use crate::fleet::WindowDelta;
 use crate::monitor::MonitorConfig;
 use crate::resynth::ProposedProfile;
 use crate::ring::RingState;
@@ -147,11 +148,15 @@ pub struct MonitorState {
     pub resynth_errors: u64,
     /// Profile generation currently monitored.
     pub generation: u64,
+    /// Retained fleet-export deltas, oldest first (empty unless the
+    /// monitor runs as a fleet shard). Serialized only when non-empty,
+    /// and absent in older snapshots — both read back as empty.
+    pub export: Vec<WindowDelta>,
 }
 
 impl Serialize for MonitorState {
     fn to_value(&self) -> serde::Value {
-        serde::Value::Object(vec![
+        let mut fields = vec![
             ("config".to_owned(), self.config.to_value()),
             ("profile".to_owned(), self.profile.to_value()),
             ("sliding".to_owned(), self.sliding.to_value()),
@@ -168,7 +173,11 @@ impl Serialize for MonitorState {
             ("proposals_total".to_owned(), self.proposals_total.to_value()),
             ("resynth_errors".to_owned(), self.resynth_errors.to_value()),
             ("generation".to_owned(), self.generation.to_value()),
-        ])
+        ];
+        if !self.export.is_empty() {
+            fields.push(("export".to_owned(), self.export.to_value()));
+        }
+        serde::Value::Object(fields)
     }
 }
 
@@ -191,6 +200,12 @@ impl Deserialize for MonitorState {
             proposals_total: Deserialize::from_value(v.field("proposals_total")?)?,
             resynth_errors: Deserialize::from_value(v.field("resynth_errors")?)?,
             generation: Deserialize::from_value(v.field("generation")?)?,
+            // Absent in pre-fleet snapshots; treat missing (or null) as
+            // an empty log rather than rejecting the file.
+            export: match v.field("export") {
+                Ok(serde::Value::Null) | Err(_) => Vec::new(),
+                Ok(val) => Deserialize::from_value(val)?,
+            },
         })
     }
 }

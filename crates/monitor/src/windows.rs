@@ -343,6 +343,54 @@ impl SlidingStats {
         closes
     }
 
+    /// Advances the accumulator past one already-closed window without
+    /// replaying its rows — the adoption path a fleet coordinator uses to
+    /// absorb a window a shard closed. Tumbling geometry only
+    /// (`overlap() == 1`): with no overlapping windows, a close leaves no
+    /// open accumulators behind, so adopting the close is equivalent to
+    /// having pushed the window's rows (the adopted `ClosedWindow` carries
+    /// the per-tuple-accumulated statistics).
+    ///
+    /// # Errors
+    /// Rejects non-tumbling geometry, a close that is not the next one in
+    /// sequence (`w.index != closed`), a misaligned start row, a wrong
+    /// row count, or a call while rows are buffered toward an open
+    /// window.
+    pub fn adopt_close(&mut self, w: &ClosedWindow) -> Result<(), MonitorError> {
+        if self.spec.overlap() != 1 {
+            return Err(MonitorError::Config(
+                "adopt_close requires tumbling geometry (stride == window)".into(),
+            ));
+        }
+        if !self.open.is_empty() {
+            return Err(MonitorError::Config(format!(
+                "adopt_close with {} open window(s): rows are buffered mid-window",
+                self.open.len()
+            )));
+        }
+        if w.index != self.closed {
+            return Err(MonitorError::Config(format!(
+                "adopt_close out of order: got epoch {}, expected {}",
+                w.index, self.closed
+            )));
+        }
+        if w.start_row != self.rows_seen {
+            return Err(MonitorError::Config(format!(
+                "adopt_close misaligned: window starts at row {}, stream is at {}",
+                w.start_row, self.rows_seen
+            )));
+        }
+        if w.rows != self.spec.window {
+            return Err(MonitorError::Config(format!(
+                "adopt_close: window holds {} rows, geometry closes at {}",
+                w.rows, self.spec.window
+            )));
+        }
+        self.rows_seen += w.rows as u64;
+        self.closed += 1;
+        Ok(())
+    }
+
     /// Drops every open window (used when the monitored profile is
     /// swapped: half-filled windows scored by the old plan must not leak
     /// into the new one's drift series).

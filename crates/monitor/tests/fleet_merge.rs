@@ -1,0 +1,177 @@
+//! Property tests for the fleet merge's bit-identity contract.
+//!
+//! The headline invariant: deal a global stream's tumbling windows
+//! round-robin across N shards (epoch `g` to shard `g mod N`), export
+//! each shard's closed windows as deltas, absorb them into a
+//! [`MergedMonitor`] in an arbitrary ragged interleaving — and the
+//! merged monitor's **full state** (windows, detector, ring, counters,
+//! proposals) is bit-identical, via JSON equality, to a single node that
+//! ingested the undealt stream. Covers N ∈ {1..4}, streams short enough
+//! to leave shards empty, a drift shift at a random tail position (so
+//! alarms and resynthesis proposals cross the merge), and arbitrary
+//! delivery schedules (per-shard lag, chunked batches, replays).
+
+use cc_frame::DataFrame;
+use cc_monitor::{MergedMonitor, MonitorConfig, OnlineMonitor, WindowSpec};
+use conformance::{synthesize, SynthOptions};
+use proptest::prelude::*;
+
+const WINDOW: usize = 20;
+
+fn line_frame(slope: f64, n: usize, at: usize) -> DataFrame {
+    let xs: Vec<f64> = (0..n).map(|i| (at + i) as f64 / 10.0).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .enumerate()
+        .map(|(i, x)| slope * x + 1.0 + 0.02 * ((((at + i) * 31) % 13) as f64 - 6.0))
+        .collect();
+    let mut df = DataFrame::new();
+    df.push_numeric("x", xs).unwrap();
+    df.push_numeric("y", ys).unwrap();
+    df
+}
+
+fn cfg() -> MonitorConfig {
+    MonitorConfig {
+        spec: WindowSpec::tumbling(WINDOW).unwrap(),
+        calibration_windows: 3,
+        patience: 2,
+        min_resynth_rows: 8,
+        ..MonitorConfig::default()
+    }
+}
+
+/// Strategy: shard count, stream length in whole windows (short streams
+/// leave trailing shards empty), where the drift shift starts, and a
+/// raw schedule of `(shard, chunk, replay)` delivery instructions
+/// (`replay` odd means re-offer an already-delivered suffix).
+fn fleet_strategy() -> impl Strategy<Value = (usize, usize, usize, Vec<(usize, usize, usize)>)> {
+    (1usize..=4, 0usize..=10).prop_flat_map(|(shards, blocks)| {
+        (
+            Just(shards),
+            Just(blocks),
+            0..=blocks,
+            proptest::collection::vec((0usize..4, 1usize..=4, 0usize..2), 0..=24),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// N-shard merged detection ≡ single-node detection on the same
+    /// interleaved stream — full-state JSON equality, any delivery order.
+    #[test]
+    fn sharded_merge_bit_identical_to_single_node(
+        (shards, blocks, shift_at, schedule) in fleet_strategy()
+    ) {
+        let profile = synthesize(&line_frame(2.0, 200, 0), &SynthOptions::default()).unwrap();
+        let frames: Vec<DataFrame> = (0..blocks)
+            .map(|g| {
+                let slope = if g >= shift_at { 6.0 } else { 2.0 };
+                line_frame(slope, WINDOW, g * WINDOW)
+            })
+            .collect();
+
+        // The oracle: one node, the whole stream, in order.
+        let mut single = OnlineMonitor::new(profile.clone(), cfg()).unwrap();
+        for f in &frames {
+            single.ingest(f).unwrap();
+        }
+
+        // Shards ingest their round-robin deal of the same stream.
+        let mut shard_monitors: Vec<OnlineMonitor> = (0..shards)
+            .map(|_| {
+                let mut m = OnlineMonitor::new(profile.clone(), cfg()).unwrap();
+                m.set_export_cap(64);
+                m
+            })
+            .collect();
+        for (g, f) in frames.iter().enumerate() {
+            shard_monitors[g % shards].ingest(f).unwrap();
+        }
+        let exports: Vec<Vec<cc_monitor::WindowDelta>> =
+            shard_monitors.iter().map(|m| m.deltas_since(0).unwrap()).collect();
+
+        // Deliver per the generated schedule: shards lag each other by
+        // arbitrary amounts, batches arrive in chunks, and some chunks
+        // replay (at-least-once delivery must be a no-op).
+        let mut merged = MergedMonitor::new(profile, cfg(), shards).unwrap();
+        let mut sent = vec![0usize; shards];
+        for &(pick, chunk, replay) in &schedule {
+            let s = pick % shards;
+            let replay = replay == 1;
+            let from = if replay { sent[s].saturating_sub(chunk) } else { sent[s] };
+            let to = (sent[s] + if replay { 0 } else { chunk }).min(exports[s].len());
+            merged.offer(s, &exports[s][from..to]).unwrap();
+            sent[s] = sent[s].max(to);
+            prop_assert_eq!(merged.cursor(s), sent[s] as u64);
+        }
+        prop_assert!(merged.epochs_merged() <= blocks as u64);
+        // Drain the rest so every shard is fully caught up.
+        for s in 0..shards {
+            merged.offer(s, &exports[s][sent[s]..]).unwrap();
+        }
+
+        prop_assert_eq!(merged.epochs_merged(), blocks as u64);
+        let want = serde_json::to_string(&single.state()).unwrap();
+        let got = serde_json::to_string(&merged.monitor().state()).unwrap();
+        prop_assert_eq!(got, want);
+    }
+}
+
+/// Pinned corners the strategy covers only probabilistically: more
+/// shards than windows (trailing shards stay empty), and a 4-shard run
+/// long enough that the shifted tail must alarm identically.
+#[test]
+fn empty_shards_and_alarming_tail() {
+    let profile = synthesize(&line_frame(2.0, 200, 0), &SynthOptions::default()).unwrap();
+
+    // 2 windows over 4 shards: shards 2 and 3 never see a row.
+    let frames: Vec<DataFrame> = (0..2).map(|g| line_frame(2.0, WINDOW, g * WINDOW)).collect();
+    let mut single = OnlineMonitor::new(profile.clone(), cfg()).unwrap();
+    let mut merged = MergedMonitor::new(profile.clone(), cfg(), 4).unwrap();
+    for (g, f) in frames.iter().enumerate() {
+        single.ingest(f).unwrap();
+        let mut shard = OnlineMonitor::new(profile.clone(), cfg()).unwrap();
+        shard.set_export_cap(8);
+        shard.ingest(f).unwrap();
+        merged.offer(g % 4, &shard.deltas_since(0).unwrap()).unwrap();
+    }
+    assert_eq!(merged.epochs_merged(), 2);
+    assert_eq!(
+        serde_json::to_string(&merged.monitor().state()).unwrap(),
+        serde_json::to_string(&single.state()).unwrap(),
+    );
+
+    // 12 windows over 4 shards, shift from window 8 on: the merged
+    // detector must alarm exactly like the single node.
+    let frames: Vec<DataFrame> =
+        (0..12).map(|g| line_frame(if g >= 8 { 6.0 } else { 2.0 }, WINDOW, g * WINDOW)).collect();
+    let mut single = OnlineMonitor::new(profile.clone(), cfg()).unwrap();
+    for f in &frames {
+        single.ingest(f).unwrap();
+    }
+    let mut shard_monitors: Vec<OnlineMonitor> = (0..4)
+        .map(|_| {
+            let mut m = OnlineMonitor::new(profile.clone(), cfg()).unwrap();
+            m.set_export_cap(8);
+            m
+        })
+        .collect();
+    for (g, f) in frames.iter().enumerate() {
+        shard_monitors[g % 4].ingest(f).unwrap();
+    }
+    let mut merged = MergedMonitor::new(profile, cfg(), 4).unwrap();
+    // Reverse shard order: later epochs buffer until earlier ones land.
+    for s in (0..4).rev() {
+        merged.offer(s, &shard_monitors[s].deltas_since(0).unwrap()).unwrap();
+    }
+    assert_eq!(merged.epochs_merged(), 12);
+    assert!(merged.monitor().alarms_total() > 0, "the shifted tail should alarm");
+    assert_eq!(merged.monitor().alarms_total(), single.alarms_total());
+    assert_eq!(
+        serde_json::to_string(&merged.monitor().state()).unwrap(),
+        serde_json::to_string(&single.state()).unwrap(),
+    );
+}

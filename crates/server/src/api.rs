@@ -1,20 +1,59 @@
 //! Endpoint routing and handlers.
 //!
+//! Routing is **table-driven**: one static `ROUTES` table of
+//! `(method, pattern, handler)` rows, where a pattern is a sequence of
+//! literal and `{param}` segments. The router matches the split request
+//! path against the table — no per-endpoint string matching — answering
+//! `405` (with an `Allow` header) when a path matches under another
+//! method and `404` when nothing matches.
+//!
+//! ## `/v2` resource routes (current)
+//!
 //! | Route | Semantics |
 //! |---|---|
-//! | `GET /healthz` | liveness + profile count + registry generation |
-//! | `GET /v1/profiles` | the published snapshot's profiles |
-//! | `POST /v1/check` | batch violations (`?top=K` offenders) |
-//! | `POST /v1/explain` | per-constraint breakdown + ExTuNe responsibility |
-//! | `POST /v1/drift` | mean / p95 / max drift of a batch |
-//! | `POST /v1/ingest` | route a columnar batch into a named online monitor |
-//! | `GET /v1/monitor` | monitor snapshots: window stats, alarm state, proposals |
-//! | `DELETE /v1/monitor` | drop a named monitor |
-//! | `POST /v1/reload` | atomically re-publish the profile registry |
-//! | `POST /v1/snapshot` | write a durable state snapshot now (needs `--state-dir`) |
-//! | `GET /v1/logs` | recent structured log lines (level/endpoint/trace filters) |
-//! | `GET /v1/self` | self-watch report: sampler state, `__self` detector, drift history |
-//! | `GET /metrics` | Prometheus text exposition |
+//! | `GET /healthz` | liveness + profile count + registry generation + fleet role |
+//! | `GET /metrics` | Prometheus text exposition (fleet series included) |
+//! | `GET /v2/profiles` | the published snapshot's profiles |
+//! | `GET /v2/profiles/{name}` | one profile, including its constraint document |
+//! | `POST /v2/profiles/reload` | atomically re-publish the profile registry |
+//! | `POST /v2/check` | batch violations (`?top=K` offenders) |
+//! | `POST /v2/explain` | per-constraint breakdown + ExTuNe responsibility |
+//! | `POST /v2/drift` | mean / p95 / max drift of a batch |
+//! | `GET /v2/monitors` | every monitor's status snapshot |
+//! | `GET /v2/monitors/{name}` | one monitor's status (`400` bad name, `404` absent) |
+//! | `DELETE /v2/monitors/{name}` | drop a monitor (`400` reserved names) |
+//! | `POST /v2/monitors/{name}/ingest` | route a columnar batch into the monitor |
+//! | `GET /v2/monitors/{name}/proposal` | the pending resynthesis proposal |
+//! | `POST /v2/monitors/{name}/proposal` | `?action=adopt` \| `discard` the proposal |
+//! | `GET /v2/monitors/{name}/deltas` | fleet export: closed windows since `?since=` |
+//! | `GET /v2/fleet/shards` | fleet role + shard membership/health |
+//! | `POST /v2/fleet/shards/{index}/deltas` | push one shard's delta batch |
+//! | `POST /v2/snapshot` | write a durable state snapshot now (needs `--state-dir`) |
+//! | `GET /v2/trace` | flight-recorder spans + slowest-request table |
+//! | `GET /v2/logs` | recent structured log lines |
+//! | `GET /v2/self` | self-watch report |
+//!
+//! ## `/v1` aliases (deprecated, kept byte-compatible)
+//!
+//! Every `/v1` route still works and produces the same success bodies it
+//! always did — they share handlers with `/v2` — but each response
+//! carries `Deprecation: true` plus a `Link: <successor>;
+//! rel="successor-version"` header naming its `/v2` replacement:
+//! `/v1/monitor` → `/v2/monitors[/{name}]` (resource addressing instead
+//! of `?monitor=`), `/v1/ingest` → `/v2/monitors/{name}/ingest`,
+//! `/v1/reload` → `/v2/profiles/reload`, and the rest map 1:1.
+//!
+//! **Name semantics (shared by both versions):** a monitor name that
+//! violates the grammar (empty, > 128 bytes, characters outside
+//! `[a-zA-Z0-9_.-]`) is `400` everywhere; a well-formed name with no
+//! monitor behind it is `404`; writes (ingest, delete) to reserved
+//! `__`-prefixed names are `400`, while reads of them stay allowed (the
+//! self-watch monitor is observable but not externally writable).
+//!
+//! Every non-2xx JSON response across both connection cores carries one
+//! structured error envelope:
+//! `{"error": {"code": "<slug>", "message": "<text>"}}` (see
+//! [`Response::error`]).
 //!
 //! `POST` bodies are JSON objects carrying a columnar `"columns"` batch
 //! (see [`crate::json`]) and an optional `"profile"` name — optional
@@ -27,10 +66,11 @@
 //! columnar encoding ([`crate::wire`]): a request body with
 //! `Content-Type: application/x-ccsynth-columnar` **is** the batch (no
 //! JSON envelope — `profile`, `threads`, … ride the query string), and
-//! `/v1/check` answers in the same encoding when the `Accept` header
+//! `/v2/check` answers in the same encoding when the `Accept` header
 //! lists it (a one-column `violations` frame). Violations are
 //! bit-identical across all four request/reply encoding combinations.
 
+use crate::fleet::{FleetState, Role};
 use crate::http::{Request, Response};
 use crate::json::{self, frame_from_columns, num_array, obj, string};
 use crate::metrics::{Endpoint, Metrics};
@@ -39,8 +79,8 @@ use crate::selfwatch::{SelfWatchConfig, SelfWatchState, SELF_FEATURES, SELF_MONI
 use crate::state::Durability;
 use cc_frame::DataFrame;
 use cc_monitor::{
-    validate_monitor_name, DetectorKind, MonitorConfig, MonitorSet, MonitorStatus, OnlineMonitor,
-    WindowSpec, RESERVED_NAME_PREFIX,
+    validate_monitor_name, validate_monitor_name_grammar, ConfigState, DetectorKind, MonitorConfig,
+    MonitorSet, MonitorStatus, OnlineMonitor, ShardDeltaBatch, WindowSpec, RESERVED_NAME_PREFIX,
 };
 use cc_obs::{Level, LogFilter, Logger};
 use conformance::{mean_responsibility_from_plan, DriftAggregator};
@@ -56,87 +96,337 @@ pub struct RouteCtx<'a> {
     pub monitors: &'a MonitorSet,
     pub metrics: &'a Metrics,
     pub durability: Option<&'a Durability>,
-    /// The structured logger (`GET /v1/logs` reads its ring).
+    /// The structured logger (`GET /v2/logs` reads its ring).
     pub logger: &'a Logger,
     /// The self-watch sampler config (`None` when self-watch is off).
     pub self_watch: Option<&'a SelfWatchConfig>,
     /// The self-watch sampler's runtime counters.
     pub self_state: &'a SelfWatchState,
     pub trace_buffer: usize,
+    /// The fleet role/membership state (standalone unless configured).
+    pub fleet: &'a FleetState,
 }
 
-/// Routes one request. Never panics outward on bad input — every failure
-/// maps to a 4xx/5xx response (the connection loop additionally catches
-/// panics and answers 500). `trace_id` is the per-request flight-recorder
-/// id resolved by the connection core (0 when tracing is off); handlers
-/// that spawn deeper pipeline work (ingest) tag their spans with it.
-pub fn route(req: &Request, ctx: &RouteCtx<'_>, trace_id: u64) -> (Endpoint, Response) {
-    let RouteCtx { registry, monitors, metrics, durability, .. } = *ctx;
-    match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => {
-            (Endpoint::Healthz, healthz(registry, monitors, metrics, durability))
-        }
-        ("GET", "/v1/profiles") => (Endpoint::Profiles, profiles(registry)),
-        ("POST", "/v1/check") => (Endpoint::Check, with_batch(req, registry, metrics, check)),
-        ("POST", "/v1/explain") => (Endpoint::Explain, with_batch(req, registry, metrics, explain)),
-        ("POST", "/v1/drift") => (Endpoint::Drift, with_batch(req, registry, metrics, drift)),
-        ("POST", "/v1/ingest") => {
-            (Endpoint::Ingest, ingest(req, registry, monitors, metrics, trace_id))
-        }
-        ("GET", "/v1/monitor") => (Endpoint::Monitor, monitor_status(req, monitors)),
-        ("DELETE", "/v1/monitor") => (Endpoint::Monitor, monitor_delete(req, monitors)),
-        ("POST", "/v1/reload") => (Endpoint::Reload, reload(registry)),
-        ("POST", "/v1/snapshot") => {
-            (Endpoint::Snapshot, snapshot(registry, monitors, metrics, durability))
-        }
-        ("GET", "/v1/trace") => (Endpoint::Trace, trace(req, ctx.trace_buffer)),
-        ("GET", "/v1/logs") => (Endpoint::Logs, logs(req, ctx.logger)),
-        ("GET", "/v1/self") => (Endpoint::SelfReport, self_report(req, ctx)),
-        ("GET", "/metrics") => (Endpoint::Metrics, metrics_text(registry, monitors, metrics)),
-        (_, "/healthz" | "/v1/profiles" | "/v1/trace" | "/v1/logs" | "/v1/self" | "/metrics") => {
-            (Endpoint::Other, Response::error(405, "use GET for this endpoint"))
-        }
-        (_, "/v1/monitor") => {
-            (Endpoint::Other, Response::error(405, "use GET or DELETE for this endpoint"))
-        }
-        (
-            _,
-            "/v1/check" | "/v1/explain" | "/v1/drift" | "/v1/reload" | "/v1/ingest"
-            | "/v1/snapshot",
-        ) => (Endpoint::Other, Response::error(405, "use POST for this endpoint")),
-        _ => (Endpoint::Other, Response::error(404, "no such endpoint")),
+/// One path segment of a route pattern.
+enum Seg {
+    /// Matches this literal segment exactly.
+    Lit(&'static str),
+    /// Matches any single segment and captures it.
+    Param,
+}
+
+use Seg::{Lit, Param};
+
+/// A handler: uniform signature so the table can hold plain fn pointers.
+/// `params` are the captured `{…}` segments, in pattern order.
+type Handler = fn(&Request, &RouteCtx<'_>, &[&str], u64) -> Response;
+
+/// One row of the routing table.
+struct RouteDef {
+    method: &'static str,
+    pattern: &'static [Seg],
+    endpoint: Endpoint,
+    handler: Handler,
+    /// Set on `/v1` aliases: the `/v2` route advertised by the
+    /// `Deprecation` + `Link: …; rel="successor-version"` headers.
+    successor: Option<&'static str>,
+}
+
+const fn route_def(
+    method: &'static str,
+    pattern: &'static [Seg],
+    endpoint: Endpoint,
+    handler: Handler,
+) -> RouteDef {
+    RouteDef { method, pattern, endpoint, handler, successor: None }
+}
+
+const fn alias(
+    method: &'static str,
+    pattern: &'static [Seg],
+    endpoint: Endpoint,
+    handler: Handler,
+    successor: &'static str,
+) -> RouteDef {
+    RouteDef { method, pattern, endpoint, handler, successor: Some(successor) }
+}
+
+/// The routing table. Literal rows precede parameter rows for the same
+/// prefix (`/v2/profiles/reload` before `/v2/profiles/{name}`), so the
+/// match is first-row-wins without any ambiguity.
+const ROUTES: &[RouteDef] = &[
+    // Unversioned operational endpoints.
+    route_def("GET", &[Lit("healthz")], Endpoint::Healthz, h_healthz),
+    route_def("GET", &[Lit("metrics")], Endpoint::Metrics, h_metrics),
+    // /v2 resource routes.
+    route_def("GET", &[Lit("v2"), Lit("profiles")], Endpoint::Profiles, h_profiles),
+    route_def("POST", &[Lit("v2"), Lit("profiles"), Lit("reload")], Endpoint::Reload, h_reload),
+    route_def("GET", &[Lit("v2"), Lit("profiles"), Param], Endpoint::Profiles, h_profile_detail),
+    route_def("POST", &[Lit("v2"), Lit("check")], Endpoint::Check, h_check),
+    route_def("POST", &[Lit("v2"), Lit("explain")], Endpoint::Explain, h_explain),
+    route_def("POST", &[Lit("v2"), Lit("drift")], Endpoint::Drift, h_drift),
+    route_def("GET", &[Lit("v2"), Lit("monitors")], Endpoint::Monitor, h_monitors_list),
+    route_def("GET", &[Lit("v2"), Lit("monitors"), Param], Endpoint::Monitor, h_monitor_get),
+    route_def("DELETE", &[Lit("v2"), Lit("monitors"), Param], Endpoint::Monitor, h_monitor_delete),
+    route_def(
+        "POST",
+        &[Lit("v2"), Lit("monitors"), Param, Lit("ingest")],
+        Endpoint::Ingest,
+        h_monitor_ingest,
+    ),
+    route_def(
+        "GET",
+        &[Lit("v2"), Lit("monitors"), Param, Lit("proposal")],
+        Endpoint::Proposal,
+        h_proposal_get,
+    ),
+    route_def(
+        "POST",
+        &[Lit("v2"), Lit("monitors"), Param, Lit("proposal")],
+        Endpoint::Proposal,
+        h_proposal_post,
+    ),
+    route_def(
+        "GET",
+        &[Lit("v2"), Lit("monitors"), Param, Lit("deltas")],
+        Endpoint::Deltas,
+        h_deltas,
+    ),
+    route_def("GET", &[Lit("v2"), Lit("fleet"), Lit("shards")], Endpoint::Fleet, h_fleet_shards),
+    route_def(
+        "POST",
+        &[Lit("v2"), Lit("fleet"), Lit("shards"), Param, Lit("deltas")],
+        Endpoint::Fleet,
+        h_fleet_push,
+    ),
+    route_def("POST", &[Lit("v2"), Lit("snapshot")], Endpoint::Snapshot, h_snapshot),
+    route_def("GET", &[Lit("v2"), Lit("trace")], Endpoint::Trace, h_trace),
+    route_def("GET", &[Lit("v2"), Lit("logs")], Endpoint::Logs, h_logs),
+    route_def("GET", &[Lit("v2"), Lit("self")], Endpoint::SelfReport, h_self),
+    // /v1 aliases: same handlers (byte-identical success bodies), plus
+    // Deprecation/Link headers naming the successor route.
+    alias("GET", &[Lit("v1"), Lit("profiles")], Endpoint::Profiles, h_profiles, "/v2/profiles"),
+    alias("POST", &[Lit("v1"), Lit("check")], Endpoint::Check, h_check, "/v2/check"),
+    alias("POST", &[Lit("v1"), Lit("explain")], Endpoint::Explain, h_explain, "/v2/explain"),
+    alias("POST", &[Lit("v1"), Lit("drift")], Endpoint::Drift, h_drift, "/v2/drift"),
+    alias(
+        "POST",
+        &[Lit("v1"), Lit("ingest")],
+        Endpoint::Ingest,
+        h_ingest_legacy,
+        "/v2/monitors/{name}/ingest",
+    ),
+    alias(
+        "GET",
+        &[Lit("v1"), Lit("monitor")],
+        Endpoint::Monitor,
+        h_monitor_legacy_get,
+        "/v2/monitors",
+    ),
+    alias(
+        "DELETE",
+        &[Lit("v1"), Lit("monitor")],
+        Endpoint::Monitor,
+        h_monitor_legacy_delete,
+        "/v2/monitors/{name}",
+    ),
+    alias("POST", &[Lit("v1"), Lit("reload")], Endpoint::Reload, h_reload, "/v2/profiles/reload"),
+    alias("POST", &[Lit("v1"), Lit("snapshot")], Endpoint::Snapshot, h_snapshot, "/v2/snapshot"),
+    alias("GET", &[Lit("v1"), Lit("trace")], Endpoint::Trace, h_trace, "/v2/trace"),
+    alias("GET", &[Lit("v1"), Lit("logs")], Endpoint::Logs, h_logs, "/v2/logs"),
+    alias("GET", &[Lit("v1"), Lit("self")], Endpoint::SelfReport, h_self, "/v2/self"),
+];
+
+/// Matches one pattern against the split path, capturing `{…}` segments.
+fn match_pattern<'a>(pattern: &[Seg], segs: &[&'a str]) -> Option<Vec<&'a str>> {
+    if pattern.len() != segs.len() {
+        return None;
     }
+    let mut params = Vec::new();
+    for (p, s) in pattern.iter().zip(segs) {
+        match p {
+            Seg::Lit(l) => {
+                if l != s {
+                    return None;
+                }
+            }
+            Seg::Param => params.push(*s),
+        }
+    }
+    Some(params)
+}
+
+/// Routes one request through the table. Never panics outward on bad
+/// input — every failure maps to a 4xx/5xx response (the connection loop
+/// additionally catches panics and answers 500). `trace_id` is the
+/// per-request flight-recorder id resolved by the connection core (0
+/// when tracing is off); handlers that spawn deeper pipeline work
+/// (ingest) tag their spans with it.
+pub fn route(req: &Request, ctx: &RouteCtx<'_>, trace_id: u64) -> (Endpoint, Response) {
+    let segs: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    // Methods that DO serve this path, collected while scanning — they
+    // become the 405's message and `Allow` header when no row matches
+    // the request's own method.
+    let mut allowed: Vec<&'static str> = Vec::new();
+    for r in ROUTES {
+        let Some(params) = match_pattern(r.pattern, &segs) else { continue };
+        if r.method != req.method {
+            if !allowed.contains(&r.method) {
+                allowed.push(r.method);
+            }
+            continue;
+        }
+        let mut resp = (r.handler)(req, ctx, &params, trace_id);
+        if let Some(successor) = r.successor {
+            resp.set_header("deprecation", "true".to_owned());
+            resp.set_header("link", format!("<{successor}>; rel=\"successor-version\""));
+        }
+        return (r.endpoint, resp);
+    }
+    if !allowed.is_empty() {
+        let mut resp =
+            Response::error(405, &format!("use {} for this endpoint", allowed.join(" or ")));
+        resp.set_header("allow", allowed.join(", "));
+        return (Endpoint::Other, resp);
+    }
+    (Endpoint::Other, Response::error(404, "no such endpoint"))
 }
 
 /// Ceiling on concurrently registered monitors — client-named state must
 /// not grow without bound (see `ingest`).
 pub const MAX_MONITORS: usize = 256;
 
-fn healthz(
-    registry: &ProfileRegistry,
-    monitors: &MonitorSet,
-    metrics: &Metrics,
-    durability: Option<&Durability>,
-) -> Response {
-    let snap = registry.snapshot();
+// ---------------------------------------------------------------------
+// Table adapters: uniform-signature wrappers over the handlers below.
+// ---------------------------------------------------------------------
+
+fn h_healthz(_req: &Request, ctx: &RouteCtx<'_>, _p: &[&str], _t: u64) -> Response {
+    healthz(ctx)
+}
+
+fn h_metrics(_req: &Request, ctx: &RouteCtx<'_>, _p: &[&str], _t: u64) -> Response {
+    metrics_text(ctx)
+}
+
+fn h_profiles(_req: &Request, ctx: &RouteCtx<'_>, _p: &[&str], _t: u64) -> Response {
+    profiles(ctx.registry)
+}
+
+fn h_profile_detail(_req: &Request, ctx: &RouteCtx<'_>, p: &[&str], _t: u64) -> Response {
+    profile_detail(ctx.registry, p[0])
+}
+
+fn h_reload(_req: &Request, ctx: &RouteCtx<'_>, _p: &[&str], _t: u64) -> Response {
+    reload(ctx.registry)
+}
+
+fn h_check(req: &Request, ctx: &RouteCtx<'_>, _p: &[&str], _t: u64) -> Response {
+    with_batch(req, ctx.registry, ctx.metrics, check)
+}
+
+fn h_explain(req: &Request, ctx: &RouteCtx<'_>, _p: &[&str], _t: u64) -> Response {
+    with_batch(req, ctx.registry, ctx.metrics, explain)
+}
+
+fn h_drift(req: &Request, ctx: &RouteCtx<'_>, _p: &[&str], _t: u64) -> Response {
+    with_batch(req, ctx.registry, ctx.metrics, drift)
+}
+
+fn h_ingest_legacy(req: &Request, ctx: &RouteCtx<'_>, _p: &[&str], trace_id: u64) -> Response {
+    ingest(req, ctx, trace_id, None)
+}
+
+fn h_monitor_ingest(req: &Request, ctx: &RouteCtx<'_>, p: &[&str], trace_id: u64) -> Response {
+    ingest(req, ctx, trace_id, Some(p[0]))
+}
+
+fn h_monitors_list(_req: &Request, ctx: &RouteCtx<'_>, _p: &[&str], _t: u64) -> Response {
+    monitors_list(ctx)
+}
+
+fn h_monitor_legacy_get(req: &Request, ctx: &RouteCtx<'_>, _p: &[&str], _t: u64) -> Response {
+    match req.query_param("monitor") {
+        Some(name) => monitor_get(ctx, name),
+        None => monitors_list(ctx),
+    }
+}
+
+fn h_monitor_get(_req: &Request, ctx: &RouteCtx<'_>, p: &[&str], _t: u64) -> Response {
+    monitor_get(ctx, p[0])
+}
+
+fn h_monitor_legacy_delete(req: &Request, ctx: &RouteCtx<'_>, _p: &[&str], _t: u64) -> Response {
+    let Some(name) = req.query_param("monitor") else {
+        return Response::error(400, "name the monitor via ?monitor=");
+    };
+    monitor_delete(ctx.monitors, name)
+}
+
+fn h_monitor_delete(_req: &Request, ctx: &RouteCtx<'_>, p: &[&str], _t: u64) -> Response {
+    monitor_delete(ctx.monitors, p[0])
+}
+
+fn h_proposal_get(_req: &Request, ctx: &RouteCtx<'_>, p: &[&str], _t: u64) -> Response {
+    proposal_get(ctx, p[0])
+}
+
+fn h_proposal_post(req: &Request, ctx: &RouteCtx<'_>, p: &[&str], _t: u64) -> Response {
+    proposal_post(req, ctx, p[0])
+}
+
+fn h_deltas(req: &Request, ctx: &RouteCtx<'_>, p: &[&str], _t: u64) -> Response {
+    deltas_export(req, ctx, p[0])
+}
+
+fn h_fleet_shards(_req: &Request, ctx: &RouteCtx<'_>, _p: &[&str], _t: u64) -> Response {
+    Response::json(&ctx.fleet.describe())
+}
+
+fn h_fleet_push(req: &Request, ctx: &RouteCtx<'_>, p: &[&str], _t: u64) -> Response {
+    fleet_push(req, ctx, p[0])
+}
+
+fn h_snapshot(_req: &Request, ctx: &RouteCtx<'_>, _p: &[&str], _t: u64) -> Response {
+    snapshot(ctx.registry, ctx.monitors, ctx.metrics, ctx.durability)
+}
+
+fn h_trace(req: &Request, ctx: &RouteCtx<'_>, _p: &[&str], _t: u64) -> Response {
+    trace(req, ctx.trace_buffer)
+}
+
+fn h_logs(req: &Request, ctx: &RouteCtx<'_>, _p: &[&str], _t: u64) -> Response {
+    logs(req, ctx.logger)
+}
+
+fn h_self(req: &Request, ctx: &RouteCtx<'_>, _p: &[&str], _t: u64) -> Response {
+    self_report(req, ctx)
+}
+
+// ---------------------------------------------------------------------
+// Handlers.
+// ---------------------------------------------------------------------
+
+fn healthz(ctx: &RouteCtx<'_>) -> Response {
+    let snap = ctx.registry.snapshot();
     // The liveness answer stays 200 even when degraded — the process is
     // up and serving; `degraded` reports the self-watch detector's alarm
     // (always false when self-watch never synthesized a `__self` monitor).
-    let degraded = monitors.get(SELF_MONITOR).is_some_and(|e| e.status().alarm);
+    let degraded = ctx.monitors.get(SELF_MONITOR).is_some_and(|e| e.status().alarm);
     Response::json(&obj(vec![
         ("status", string(if degraded { "degraded" } else { "ok" })),
         ("degraded", Value::Bool(degraded)),
+        ("role", string(ctx.fleet.role().name())),
         ("profiles", Value::Number(snap.entries().len() as f64)),
         ("generation", Value::Number(snap.generation() as f64)),
-        ("uptime_seconds", Value::Number(metrics.uptime_seconds())),
+        ("uptime_seconds", Value::Number(ctx.metrics.uptime_seconds())),
         // Durability posture: is a state dir configured, and did this
         // boot restore a snapshot from it?
-        ("durable", Value::Bool(durability.is_some())),
-        ("restored", Value::Bool(durability.is_some_and(Durability::restored))),
+        ("durable", Value::Bool(ctx.durability.is_some())),
+        ("restored", Value::Bool(ctx.durability.is_some_and(Durability::restored))),
     ]))
 }
 
-/// `POST /v1/snapshot`: write a durable state snapshot immediately.
+/// `POST /v2/snapshot`: write a durable state snapshot immediately.
 /// `409` when the daemon was started without a state directory; `500`
 /// when the write fails (the previous snapshot file stays intact).
 fn snapshot(
@@ -159,27 +449,39 @@ fn snapshot(
     }
 }
 
+/// One profile's listing entry (shared by the list and detail routes so
+/// the shapes agree).
+fn profile_entry_value(e: &ProfileEntry) -> Value {
+    obj(vec![
+        ("name", string(&e.name)),
+        ("attributes", Value::Array(e.profile.numeric_attributes.iter().map(string).collect())),
+        ("constraints", Value::Number(e.plan.constraint_count() as f64)),
+        ("partitions", Value::Number(e.profile.disjunctive.len() as f64)),
+    ])
+}
+
 fn profiles(registry: &ProfileRegistry) -> Response {
     let snap = registry.snapshot();
-    let list: Vec<Value> = snap
-        .entries()
-        .iter()
-        .map(|e| {
-            obj(vec![
-                ("name", string(&e.name)),
-                (
-                    "attributes",
-                    Value::Array(e.profile.numeric_attributes.iter().map(string).collect()),
-                ),
-                ("constraints", Value::Number(e.plan.constraint_count() as f64)),
-                ("partitions", Value::Number(e.profile.disjunctive.len() as f64)),
-            ])
-        })
-        .collect();
+    let list: Vec<Value> = snap.entries().iter().map(|e| profile_entry_value(e)).collect();
     Response::json(&obj(vec![
         ("generation", Value::Number(snap.generation() as f64)),
         ("profiles", Value::Array(list)),
     ]))
+}
+
+/// `GET /v2/profiles/{name}`: one profile's listing entry plus the full
+/// constraint document (what `ccsynth profile --out` wrote).
+fn profile_detail(registry: &ProfileRegistry, name: &str) -> Response {
+    let snap = registry.snapshot();
+    let Some(e) = snap.entries().iter().find(|e| e.name == name) else {
+        return Response::error(404, &format!("no profile named '{name}'"));
+    };
+    let mut v = profile_entry_value(e);
+    if let Value::Object(pairs) = &mut v {
+        pairs.push(("generation".to_owned(), Value::Number(snap.generation() as f64)));
+        pairs.push(("profile".to_owned(), e.profile.to_value()));
+    }
+    Response::json(&v)
 }
 
 fn reload(registry: &ProfileRegistry) -> Response {
@@ -193,39 +495,41 @@ fn reload(registry: &ProfileRegistry) -> Response {
     }
 }
 
-fn metrics_text(registry: &ProfileRegistry, monitors: &MonitorSet, metrics: &Metrics) -> Response {
-    let snap = registry.snapshot();
-    let monitor_series: Vec<crate::metrics::MonitorSeries> = monitors
-        .statuses()
-        .into_iter()
-        .map(|(name, s)| crate::metrics::MonitorSeries {
-            name,
-            rows_ingested: s.rows_ingested,
-            windows_closed: s.windows_closed,
-            window_lag: s.window_lag,
-            alarms_total: s.alarms_total,
-            proposals_total: s.proposals_total,
-            alarm: s.alarm,
-        })
-        .collect();
-    Response::text(
-        200,
-        metrics.render_prometheus(
-            snap.entries().len(),
-            snap.generation(),
-            &registry.compile_counts(),
-            &monitor_series,
-        ),
-    )
+fn metrics_text(ctx: &RouteCtx<'_>) -> Response {
+    let snap = ctx.registry.snapshot();
+    let as_series = |(name, s): (String, Arc<MonitorStatus>)| crate::metrics::MonitorSeries {
+        name,
+        rows_ingested: s.rows_ingested,
+        windows_closed: s.windows_closed,
+        window_lag: s.window_lag,
+        alarms_total: s.alarms_total,
+        proposals_total: s.proposals_total,
+        alarm: s.alarm,
+    };
+    let mut monitor_series: Vec<crate::metrics::MonitorSeries> =
+        ctx.monitors.statuses().into_iter().map(as_series).collect();
+    // A coordinator's merged monitors live in the fleet state, not the
+    // local registry — same series family either way.
+    monitor_series
+        .extend(ctx.fleet.monitor_statuses().into_iter().map(|(n, s)| as_series((n, Arc::new(s)))));
+    let mut text = ctx.metrics.render_prometheus(
+        snap.entries().len(),
+        snap.generation(),
+        &ctx.registry.compile_counts(),
+        &monitor_series,
+    );
+    ctx.fleet.render_prometheus(&mut text);
+    Response::text(200, text)
 }
 
-/// `POST /v1/ingest`: routes a columnar batch into a named online
-/// monitor. The monitor is created on first use, bound to the resolved
-/// profile (the `profile` query/body field, or the snapshot's single
-/// profile) with the requested window geometry:
+/// `POST /v2/monitors/{name}/ingest` (and the `/v1/ingest` alias, where
+/// the name rides `?monitor=` or the body): routes a columnar batch into
+/// a named online monitor. The monitor is created on first use, bound to
+/// the resolved profile (the `profile` query/body field, or the
+/// snapshot's single profile) with the requested window geometry:
 ///
 /// ```json
-/// {"monitor": "orders", "columns": {…}, "profile": "alpha",
+/// {"columns": {…}, "profile": "alpha",
 ///  "window": 512, "stride": 256, "detector": "cusum",
 ///  "calibrate": 8, "patience": 3, "aggregator": "mean"}
 /// ```
@@ -238,23 +542,29 @@ fn metrics_text(registry: &ProfileRegistry, monitors: &MonitorSet, metrics: &Met
 /// generation, …). Concurrent connections may feed one monitor: batches
 /// score in parallel and commit in admission order (`start_row` reports
 /// where each batch landed), bit-identical to serialized ingest.
-fn ingest(
-    req: &Request,
-    registry: &ProfileRegistry,
-    monitors: &MonitorSet,
-    metrics: &Metrics,
-    trace_id: u64,
-) -> Response {
+///
+/// On a fleet shard, a created monitor's export log is armed so a
+/// coordinator can pull its closed windows. On a coordinator, ingest is
+/// `409`: the coordinator's monitors are merged views, fed by shard
+/// deltas, never by direct rows.
+fn ingest(req: &Request, ctx: &RouteCtx<'_>, trace_id: u64, path_name: Option<&str>) -> Response {
+    if ctx.fleet.role() == Role::Coordinator {
+        return Response::error(409, "this node is a coordinator; ingest into its shards instead");
+    }
+    let (registry, monitors, metrics) = (ctx.registry, ctx.monitors, ctx.metrics);
     let (frame, body) = match batch_payload(req, metrics) {
         Ok(p) => p,
         Err(resp) => return resp,
     };
-    let name = match req
-        .query_param("monitor")
-        .or_else(|| json::get(&body, "monitor").and_then(json::as_str))
-    {
-        Some(n) if !n.is_empty() => n.to_owned(),
-        _ => return Response::error(400, "body needs a 'monitor' name"),
+    let name = match path_name {
+        Some(n) => n.to_owned(),
+        None => match req
+            .query_param("monitor")
+            .or_else(|| json::get(&body, "monitor").and_then(json::as_str))
+        {
+            Some(n) if !n.is_empty() => n.to_owned(),
+            _ => return Response::error(400, "body needs a 'monitor' name"),
+        },
     };
     // Grammar + reserved-prefix check up front: it also shields the
     // server's own `__self` stream from external writes.
@@ -273,7 +583,7 @@ fn ingest(
                 return Response::error(
                     409,
                     &format!(
-                        "monitor registry is full ({MAX_MONITORS}); DELETE /v1/monitor?monitor=… to free one"
+                        "monitor registry is full ({MAX_MONITORS}); DELETE /v2/monitors/{{name}} to free one"
                     ),
                 );
             }
@@ -304,6 +614,13 @@ fn ingest(
             }
         }
     };
+    if created && ctx.fleet.role() == Role::Shard {
+        // Arm the fleet export log so the coordinator can pull this
+        // monitor's closed windows (idempotent; losers of the creation
+        // race skip it — the winner armed the cap already).
+        let cap = ctx.fleet.export_cap();
+        monitor.with_monitor(|m| m.set_export_cap(cap));
+    }
     let threads = match field_usize(req, &body, "threads") {
         Ok(t) => t.unwrap_or(1).clamp(1, 64),
         Err(e) => return Response::error(400, &e),
@@ -386,13 +703,15 @@ fn monitor_config_from(req: &Request, body: &Value) -> Result<MonitorConfig, Str
     Ok(cfg)
 }
 
-/// `DELETE /v1/monitor?monitor=name`: drops a monitor (and frees its
-/// slot under [`MAX_MONITORS`]). 404 when absent; reserved (`__`-prefixed)
-/// monitors belong to the server and cannot be deleted externally.
-fn monitor_delete(req: &Request, monitors: &MonitorSet) -> Response {
-    let Some(name) = req.query_param("monitor") else {
-        return Response::error(400, "name the monitor via ?monitor=");
-    };
+/// `DELETE /v2/monitors/{name}` (and the `?monitor=` alias): drops a
+/// monitor (and frees its slot under [`MAX_MONITORS`]). A name outside
+/// the grammar is `400`, a well-formed absent name `404`; reserved
+/// (`__`-prefixed) monitors belong to the server and cannot be deleted
+/// externally (`400`).
+fn monitor_delete(monitors: &MonitorSet, name: &str) -> Response {
+    if let Err(e) = validate_monitor_name_grammar(name) {
+        return Response::error(400, &format!("bad monitor name: {e}"));
+    }
     if name.starts_with(RESERVED_NAME_PREFIX) {
         return Response::error(
             400,
@@ -408,31 +727,238 @@ fn monitor_delete(req: &Request, monitors: &MonitorSet) -> Response {
     ]))
 }
 
-/// `GET /v1/monitor`: status snapshots. `?monitor=name` selects one
-/// (404 when absent); otherwise every monitor is listed.
-fn monitor_status(req: &Request, monitors: &MonitorSet) -> Response {
-    let entry = |name: &str, status: &MonitorStatus| {
-        let mut v = status.to_value();
-        if let Value::Object(pairs) = &mut v {
-            pairs.insert(0, ("monitor".to_owned(), string(name)));
-        }
-        v
-    };
-    if let Some(name) = req.query_param("monitor") {
-        let Some(m) = monitors.get(name) else {
-            return Response::error(404, &format!("no monitor named '{name}'"));
-        };
-        // Published status — never waits behind an in-flight ingest.
-        return Response::json(&entry(name, &m.status()));
+/// A monitor status entry: the status snapshot with the name spliced in
+/// front (shared by the single and list routes so the shapes agree).
+fn status_entry(name: &str, status: &MonitorStatus) -> Value {
+    let mut v = status.to_value();
+    if let Value::Object(pairs) = &mut v {
+        pairs.insert(0, ("monitor".to_owned(), string(name)));
     }
-    let list: Vec<Value> = monitors.statuses().iter().map(|(n, s)| entry(n, s)).collect();
+    v
+}
+
+/// `GET /v2/monitors/{name}` (and `GET /v1/monitor?monitor=`): one
+/// monitor's status. Grammar violations are `400`; a well-formed name
+/// with no monitor behind it is `404`. Reserved `__`-prefixed names stay
+/// **readable** — observability of the server's own monitors is the
+/// point — only writes to them are rejected.
+fn monitor_get(ctx: &RouteCtx<'_>, name: &str) -> Response {
+    if let Err(e) = validate_monitor_name_grammar(name) {
+        return Response::error(400, &format!("bad monitor name: {e}"));
+    }
+    // Published status — never waits behind an in-flight ingest.
+    if let Some(m) = ctx.monitors.get(name) {
+        return Response::json(&status_entry(name, &m.status()));
+    }
+    // A coordinator's merged monitors live in the fleet state.
+    if let Some(s) = ctx.fleet.monitor_status(name) {
+        return Response::json(&status_entry(name, &s));
+    }
+    Response::error(404, &format!("no monitor named '{name}'"))
+}
+
+/// `GET /v2/monitors` (and bare `GET /v1/monitor`): every monitor's
+/// status — local ones plus, on a coordinator, the fleet-merged views.
+fn monitors_list(ctx: &RouteCtx<'_>) -> Response {
+    let mut list: Vec<Value> =
+        ctx.monitors.statuses().iter().map(|(n, s)| status_entry(n, s)).collect();
+    let fleet_statuses = ctx.fleet.monitor_statuses();
+    let count = ctx.monitors.len() + fleet_statuses.len();
+    list.extend(fleet_statuses.iter().map(|(n, s)| status_entry(n, s)));
     Response::json(&obj(vec![
         ("monitors", Value::Array(list)),
-        ("count", Value::Number(monitors.len() as f64)),
+        ("count", Value::Number(count as f64)),
     ]))
 }
 
-/// `GET /v1/trace`: the flight recorder's recent spans plus a top-K
+/// The proposal resource body shared by GET and the POST outcomes.
+fn proposal_body(name: &str, p: Option<&cc_monitor::ProposedProfile>) -> Response {
+    let mut fields = vec![("monitor", string(name)), ("pending", Value::Bool(p.is_some()))];
+    if let Some(p) = p {
+        fields.push(("proposal", p.to_value()));
+    }
+    Response::json(&obj(fields))
+}
+
+/// `GET /v2/monitors/{name}/proposal`: the pending resynthesis proposal
+/// (`pending: false` with no proposal — the resource exists whenever the
+/// monitor does).
+fn proposal_get(ctx: &RouteCtx<'_>, name: &str) -> Response {
+    if let Err(e) = validate_monitor_name_grammar(name) {
+        return Response::error(400, &format!("bad monitor name: {e}"));
+    }
+    if let Some(e) = ctx.monitors.get(name) {
+        let guard = e.lock();
+        return proposal_body(name, guard.proposal());
+    }
+    if let Some(resp) =
+        ctx.fleet.with_merged(name, |mm| proposal_body(name, mm.monitor().proposal()))
+    {
+        return resp;
+    }
+    Response::error(404, &format!("no monitor named '{name}'"))
+}
+
+/// `POST /v2/monitors/{name}/proposal?action=adopt|discard`: resolve the
+/// pending proposal. Adoption swaps the monitored profile (generation
+/// bump, detector re-calibration) through the entry's pipeline lock so
+/// concurrent ingest serializes cleanly around the swap; `409` when no
+/// proposal is pending. On a coordinator, adoption is rejected (`409`) —
+/// the merged series re-derives from shard deltas, so the profile swap
+/// must happen on the shards — while `discard` works anywhere.
+fn proposal_post(req: &Request, ctx: &RouteCtx<'_>, name: &str) -> Response {
+    if let Err(e) = validate_monitor_name_grammar(name) {
+        return Response::error(400, &format!("bad monitor name: {e}"));
+    }
+    let action = match req.query_param("action") {
+        Some(a) => a.to_owned(),
+        None => {
+            let from_body = if req.body.is_empty() {
+                None
+            } else {
+                std::str::from_utf8(&req.body)
+                    .ok()
+                    .and_then(|t| serde_json::from_str::<Value>(t).ok())
+                    .and_then(|b| json::get(&b, "action").and_then(json::as_str).map(str::to_owned))
+            };
+            match from_body {
+                Some(a) => a,
+                None => {
+                    return Response::error(
+                        400,
+                        "name an action via ?action= or a JSON body ('adopt' or 'discard')",
+                    )
+                }
+            }
+        }
+    };
+    if action != "adopt" && action != "discard" {
+        return Response::error(400, &format!("unknown action '{action}' (adopt, discard)"));
+    }
+    if let Some(e) = ctx.monitors.get(name) {
+        return if action == "adopt" {
+            // with_monitor drains the entry's score pipeline and
+            // republishes the scorer/status after the closure — exactly
+            // what a generation swap needs.
+            match e.with_monitor(|m| m.adopt_proposal()) {
+                Some(generation) => Response::json(&obj(vec![
+                    ("monitor", string(name)),
+                    ("adopted", Value::Bool(true)),
+                    ("generation", Value::Number(generation as f64)),
+                ])),
+                None => Response::error(409, "no pending proposal"),
+            }
+        } else if e.with_monitor(|m| m.discard_proposal()) {
+            Response::json(&obj(vec![("monitor", string(name)), ("discarded", Value::Bool(true))]))
+        } else {
+            Response::error(409, "no pending proposal")
+        };
+    }
+    if let Some(resp) = ctx.fleet.with_merged(name, |mm| {
+        if action == "adopt" {
+            return Response::error(
+                409,
+                "adopt proposals on the shards; the coordinator's merged series re-derives \
+                 from their deltas",
+            );
+        }
+        if mm.monitor_mut().discard_proposal() {
+            Response::json(&obj(vec![("monitor", string(name)), ("discarded", Value::Bool(true))]))
+        } else {
+            Response::error(409, "no pending proposal")
+        }
+    }) {
+        return resp;
+    }
+    Response::error(404, &format!("no monitor named '{name}'"))
+}
+
+/// `GET /v2/monitors/{name}/deltas?since=N`: the shard half of the fleet
+/// catch-up protocol — closed windows from epoch `N` on, wrapped in the
+/// `cc_state` envelope ([`cc_state::encode_envelope`]) so the payload
+/// carries the snapshot format's magic/version/checksum. `409` when the
+/// node is not a shard or the bounded export log no longer covers the
+/// cursor (the coordinator marks the shard stale).
+fn deltas_export(req: &Request, ctx: &RouteCtx<'_>, name: &str) -> Response {
+    if let Err(e) = validate_monitor_name_grammar(name) {
+        return Response::error(400, &format!("bad monitor name: {e}"));
+    }
+    if ctx.fleet.role() != Role::Shard {
+        return Response::error(409, "this node does not export deltas (start with --role shard)");
+    }
+    let since: u64 = match req.query_param("since") {
+        None => 0,
+        Some(s) => match s.parse() {
+            Ok(v) => v,
+            Err(_) => return Response::error(400, "'since' must be a non-negative integer"),
+        },
+    };
+    let Some(entry) = ctx.monitors.get(name) else {
+        return Response::error(404, &format!("no monitor named '{name}'"));
+    };
+    // Read under the monitor lock (serialized with commits, never with
+    // lock-free scoring) so the cursor arithmetic sees a settled log.
+    let batch = {
+        let m = entry.lock();
+        m.deltas_since(since).map(|deltas| ShardDeltaBatch {
+            monitor: name.to_owned(),
+            generation: m.generation(),
+            config: ConfigState::from_config(m.config()),
+            profile: m.profile().clone(),
+            since,
+            next: since + deltas.len() as u64,
+            windows_closed: m.windows_exported(),
+            rows_ingested: m.rows_ingested(),
+            deltas,
+        })
+    };
+    match batch {
+        Ok(batch) => match cc_state::encode_envelope(&batch) {
+            Ok(text) => Response::json_text(text),
+            Err(e) => Response::error(500, &format!("delta encoding failed: {e}")),
+        },
+        Err(e) => Response::error(409, &format!("delta export failed: {e}")),
+    }
+}
+
+/// `POST /v2/fleet/shards/{index}/deltas`: push-path ingestion of one
+/// shard's delta batch into the coordinator's merged monitors — the same
+/// absorption the pull loop runs, for shards that prefer to push.
+fn fleet_push(req: &Request, ctx: &RouteCtx<'_>, index: &str) -> Response {
+    if ctx.fleet.role() != Role::Coordinator {
+        return Response::error(
+            409,
+            "this node is not a coordinator (start with --role coordinator)",
+        );
+    }
+    let Ok(shard): Result<usize, _> = index.parse() else {
+        return Response::error(400, "shard index must be a non-negative integer");
+    };
+    if shard >= ctx.fleet.shard_count() {
+        return Response::error(
+            404,
+            &format!("no shard {shard} (fleet has {} shard(s))", ctx.fleet.shard_count()),
+        );
+    }
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return Response::error(400, "body is not UTF-8");
+    };
+    let batch: ShardDeltaBatch = match cc_state::decode_envelope(text) {
+        Ok(b) => b,
+        Err(e) => return Response::error(400, &format!("bad delta envelope: {e}")),
+    };
+    match ctx.fleet.absorb(shard, &batch) {
+        Ok(report) => Response::json(&obj(vec![
+            ("monitor", string(&report.monitor)),
+            ("absorbed", Value::Number(report.absorbed as f64)),
+            ("epochs_merged", Value::Number(report.epochs_merged as f64)),
+            ("cursor", Value::Number(report.cursor as f64)),
+        ])),
+        Err(e) => Response::error(409, &e),
+    }
+}
+
+/// `GET /v2/trace`: the flight recorder's recent spans plus a top-K
 /// slowest-requests table with full phase breakdown.
 ///
 /// Query parameters: `endpoint=` keeps only request-lifecycle spans for
@@ -561,7 +1087,7 @@ fn trace(req: &Request, trace_buffer: usize) -> Response {
     ]))
 }
 
-/// `GET /v1/logs`: the structured log ring, oldest-first.
+/// `GET /v2/logs`: the structured log ring, oldest-first.
 ///
 /// Query parameters: `level=` keeps records at or above a level
 /// (`debug`/`info`/`warn`/`error`), `endpoint=` matches the record's
@@ -602,7 +1128,7 @@ fn logs(req: &Request, logger: &Logger) -> Response {
     ]))
 }
 
-/// `GET /v1/self`: the self-watch report — sampler configuration and
+/// `GET /v2/self`: the self-watch report — sampler configuration and
 /// counters, the latest folded sample, the `__self` detector's status,
 /// and a tail of its drift history (`?history=` entries, default 64).
 fn self_report(req: &Request, ctx: &RouteCtx<'_>) -> Response {
@@ -721,7 +1247,7 @@ fn with_batch(
     response
 }
 
-/// `POST /v1/check`: per-tuple violations through the compiled plan —
+/// `POST /v2/check`: per-tuple violations through the compiled plan —
 /// bit-identical to a direct [`conformance::CompiledProfile::violations`]
 /// call on the same frame (the shim's shortest-round-trip `f64` JSON
 /// keeps it exact over the wire).
@@ -791,7 +1317,7 @@ fn top_offenders(violations: &[f64], k: usize) -> Value {
     )
 }
 
-/// `POST /v1/explain`: per-constraint mean contributions, plus ExTuNe
+/// `POST /v2/explain`: per-constraint mean contributions, plus ExTuNe
 /// attribute responsibility when the request supplies training means
 /// (`"means": {"attr": value, …}` — the daemon holds compiled plans, not
 /// training frames).
@@ -852,7 +1378,7 @@ fn explain(_req: &Request, batch: Batch) -> Response {
     Response::json(&obj(fields))
 }
 
-/// `POST /v1/drift`: the CLI's three aggregators over one batch, against
+/// `POST /v2/drift`: the CLI's three aggregators over one batch, against
 /// the cached plan (no recompilation per request).
 fn drift(_req: &Request, batch: Batch) -> Response {
     let plan = &batch.entry.plan;

@@ -1,0 +1,448 @@
+//! Fleet roles: shard delta export and coordinator-side merged detection.
+//!
+//! Scale-out splits a tuple stream across N `cc_server` **shards** by
+//! tumbling window: the stream's global window sequence ("epochs") is
+//! dealt round-robin, epoch `g` to shard `g mod N`, so each shard ingests
+//! whole windows through the ordinary ingest path. A shard arms its
+//! monitors' bounded export logs ([`cc_monitor::OnlineMonitor::
+//! set_export_cap`]) and answers `GET /v2/monitors/{name}/deltas?since=`
+//! with the closed windows a coordinator has not merged yet.
+//!
+//! The **coordinator** holds a [`cc_monitor::MergedMonitor`] per monitor
+//! name. Its pull loop ([`pull_loop`]) polls every shard, absorbs their
+//! delta batches in arrival order, and the merged monitor re-interleaves
+//! them into global epoch order before driving the *same* detection and
+//! resynthesis code a single node runs — bit-identical to one node
+//! ingesting the undealt stream (the invariant
+//! `crates/monitor/tests/fleet_merge.rs` pins). Shards may also *push*
+//! batches at `POST /v2/fleet/shards/{index}/deltas`; push and pull
+//! absorb through the same [`FleetState::absorb`].
+//!
+//! [`FleetState`] is the role object the router consults: `Standalone`
+//! nodes carry an empty one (every fleet branch is a no-op), shards gate
+//! the delta-export route, coordinators gate ingest (`409` — merged
+//! monitors are fed by deltas, not rows) and surface merged statuses
+//! through `/v2/monitors` and `/metrics`.
+
+use crate::client::HttpClient;
+use cc_monitor::{MergedMonitor, MonitorStatus, ShardDeltaBatch, RESERVED_NAME_PREFIX};
+use serde_json::Value;
+use std::net::ToSocketAddrs;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Default bound on a shard monitor's export log: how many closed
+/// windows a shard retains for coordinators that fall behind.
+pub const DEFAULT_EXPORT_CAP: usize = 1024;
+
+/// Default coordinator poll cadence.
+pub const DEFAULT_PULL_INTERVAL: Duration = Duration::from_millis(500);
+
+/// What this node is in the fleet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Not in a fleet: ingest locally, no delta export (the default).
+    Standalone,
+    /// Owns every `g ≡ s (mod N)` epoch of the stream; exports closed
+    /// windows as deltas.
+    Shard,
+    /// Ingests no rows; merges shard deltas into fleet-wide monitors.
+    Coordinator,
+}
+
+impl Role {
+    /// Parses a `--role` spelling.
+    pub fn parse(s: &str) -> Option<Role> {
+        match s {
+            "standalone" => Some(Role::Standalone),
+            "shard" => Some(Role::Shard),
+            "coordinator" => Some(Role::Coordinator),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling (what `parse` accepts, what `/healthz`
+    /// reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Role::Standalone => "standalone",
+            Role::Shard => "shard",
+            Role::Coordinator => "coordinator",
+        }
+    }
+}
+
+/// One merged monitor plus per-shard bookkeeping.
+struct MergedEntry {
+    name: String,
+    merged: MergedMonitor,
+    /// Each shard's self-reported closed-window count (its export
+    /// high-water mark) — `reported[s] - merged.cursor(s)` is how far
+    /// the coordinator trails that shard.
+    reported: Vec<u64>,
+    /// Each shard's self-reported ingested-row count.
+    reported_rows: Vec<u64>,
+}
+
+/// Poll-health counters for one shard.
+#[derive(Clone, Default)]
+struct ShardHealth {
+    polls: u64,
+    errors: u64,
+    last_error: Option<String>,
+}
+
+struct FleetInner {
+    monitors: Vec<MergedEntry>,
+    health: Vec<ShardHealth>,
+}
+
+/// What one absorbed delta batch did (the push endpoint's answer).
+pub struct AbsorbReport {
+    /// Monitor name.
+    pub monitor: String,
+    /// Deltas accepted from this batch (replays skip silently).
+    pub absorbed: usize,
+    /// Global epochs merged so far across all shards.
+    pub epochs_merged: u64,
+    /// This shard's next expected local epoch.
+    pub cursor: u64,
+}
+
+/// The node's fleet role, membership, and (on a coordinator) the merged
+/// monitors. One per server, shared by the router and the pull loop.
+pub struct FleetState {
+    role: Role,
+    shards: Vec<String>,
+    export_cap: usize,
+    pull_interval: Duration,
+    inner: Mutex<FleetInner>,
+}
+
+impl FleetState {
+    /// A standalone node: no shards, no merged monitors, every fleet
+    /// branch in the router a no-op.
+    pub fn standalone() -> FleetState {
+        FleetState::new(Role::Standalone, Vec::new(), DEFAULT_EXPORT_CAP, DEFAULT_PULL_INTERVAL)
+    }
+
+    /// A fleet node. `shards` are the coordinator's poll targets
+    /// (`host:port`), empty for shard/standalone roles.
+    pub fn new(
+        role: Role,
+        shards: Vec<String>,
+        export_cap: usize,
+        pull_interval: Duration,
+    ) -> FleetState {
+        let health = vec![ShardHealth::default(); shards.len()];
+        FleetState {
+            role,
+            shards,
+            export_cap,
+            pull_interval,
+            inner: Mutex::new(FleetInner { monitors: Vec::new(), health }),
+        }
+    }
+
+    /// This node's role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// The coordinator's shard addresses (empty on other roles).
+    pub fn shards(&self) -> &[String] {
+        &self.shards
+    }
+
+    /// Number of shards in the fleet.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The export-log bound shards arm their monitors with.
+    pub fn export_cap(&self) -> usize {
+        self.export_cap
+    }
+
+    /// The coordinator poll cadence.
+    pub fn pull_interval(&self) -> Duration {
+        self.pull_interval
+    }
+
+    fn inner(&self) -> std::sync::MutexGuard<'_, FleetInner> {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Absorbs one shard's delta batch into the named merged monitor,
+    /// creating it (from the batch's own profile + config) on first
+    /// sight. Both the push endpoint and the pull loop land here.
+    ///
+    /// # Errors
+    /// Rejects generation skew (the shard adopted a proposal the merged
+    /// monitor has not), geometry/stat mismatches, and delta gaps.
+    pub fn absorb(&self, shard: usize, batch: &ShardDeltaBatch) -> Result<AbsorbReport, String> {
+        let n = self.shards.len();
+        if shard >= n {
+            return Err(format!("no shard {shard} (fleet has {n} shard(s))"));
+        }
+        let mut inner = self.inner();
+        if !inner.monitors.iter().any(|e| e.name == batch.monitor) {
+            let cfg = batch
+                .config
+                .clone()
+                .into_config()
+                .map_err(|e| format!("bad monitor config in delta batch: {e}"))?;
+            let merged = MergedMonitor::new(batch.profile.clone(), cfg, n)
+                .map_err(|e| format!("cannot build merged monitor: {e}"))?;
+            inner.monitors.push(MergedEntry {
+                name: batch.monitor.clone(),
+                merged,
+                reported: vec![0; n],
+                reported_rows: vec![0; n],
+            });
+        }
+        let entry = inner
+            .monitors
+            .iter_mut()
+            .find(|e| e.name == batch.monitor)
+            .expect("entry exists or was just created");
+        let local = entry.merged.monitor().generation();
+        if batch.generation != local {
+            return Err(format!(
+                "shard {shard} is at profile generation {} but the merged monitor is at {local}; \
+                 adopt proposals consistently across the fleet",
+                batch.generation
+            ));
+        }
+        entry
+            .merged
+            .offer(shard, &batch.deltas)
+            .map_err(|e| format!("delta absorption failed: {e}"))?;
+        entry.reported[shard] = entry.reported[shard].max(batch.windows_closed);
+        entry.reported_rows[shard] = entry.reported_rows[shard].max(batch.rows_ingested);
+        Ok(AbsorbReport {
+            monitor: batch.monitor.clone(),
+            absorbed: batch.deltas.len(),
+            epochs_merged: entry.merged.epochs_merged(),
+            cursor: entry.merged.cursor(shard),
+        })
+    }
+
+    /// The next local epoch to request from `shard` for `monitor` — the
+    /// pull loop's `?since=` cursor. 0 for monitors not yet seen.
+    pub fn cursor(&self, monitor: &str, shard: usize) -> u64 {
+        self.inner()
+            .monitors
+            .iter()
+            .find(|e| e.name == monitor)
+            .map_or(0, |e| e.merged.cursor(shard))
+    }
+
+    /// One merged monitor's published status.
+    pub fn monitor_status(&self, name: &str) -> Option<MonitorStatus> {
+        self.inner().monitors.iter().find(|e| e.name == name).map(|e| e.merged.monitor().status())
+    }
+
+    /// Every merged monitor's status, in creation order.
+    pub fn monitor_statuses(&self) -> Vec<(String, MonitorStatus)> {
+        self.inner()
+            .monitors
+            .iter()
+            .map(|e| (e.name.clone(), e.merged.monitor().status()))
+            .collect()
+    }
+
+    /// Runs `f` against the named merged monitor under the fleet lock.
+    /// `None` when no such merged monitor exists.
+    pub fn with_merged<R>(&self, name: &str, f: impl FnOnce(&mut MergedMonitor) -> R) -> Option<R> {
+        let mut inner = self.inner();
+        inner.monitors.iter_mut().find(|e| e.name == name).map(|e| f(&mut e.merged))
+    }
+
+    /// Records one poll attempt's outcome for a shard.
+    pub fn record_poll(&self, shard: usize, error: Option<String>) {
+        let mut inner = self.inner();
+        let Some(h) = inner.health.get_mut(shard) else { return };
+        h.polls += 1;
+        if let Some(e) = error {
+            h.errors += 1;
+            h.last_error = Some(e);
+        } else {
+            h.last_error = None;
+        }
+    }
+
+    /// `GET /v2/fleet/shards`: role, membership, poll health, and how
+    /// far the merge trails each shard's own close count.
+    pub fn describe(&self) -> Value {
+        use crate::json::{obj, string};
+        let inner = self.inner();
+        let shards: Vec<Value> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(s, url)| {
+                let h = &inner.health[s];
+                let windows: u64 = inner.monitors.iter().map(|e| e.reported[s]).sum();
+                let rows: u64 = inner.monitors.iter().map(|e| e.reported_rows[s]).sum();
+                let lag: u64 = inner
+                    .monitors
+                    .iter()
+                    .map(|e| e.reported[s].saturating_sub(e.merged.cursor(s)))
+                    .sum();
+                let mut fields = vec![
+                    ("index", Value::Number(s as f64)),
+                    ("url", string(url)),
+                    ("polls", Value::Number(h.polls as f64)),
+                    ("errors", Value::Number(h.errors as f64)),
+                    ("windows_closed", Value::Number(windows as f64)),
+                    ("rows_ingested", Value::Number(rows as f64)),
+                    ("lag_windows", Value::Number(lag as f64)),
+                ];
+                if let Some(e) = &h.last_error {
+                    fields.push(("last_error", string(e)));
+                }
+                obj(fields)
+            })
+            .collect();
+        let monitors: Vec<Value> = inner
+            .monitors
+            .iter()
+            .map(|e| {
+                let cursors: Vec<Value> = (0..self.shards.len())
+                    .map(|s| Value::Number(e.merged.cursor(s) as f64))
+                    .collect();
+                obj(vec![
+                    ("monitor", string(&e.name)),
+                    ("epochs_merged", Value::Number(e.merged.epochs_merged() as f64)),
+                    ("cursors", Value::Array(cursors)),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("role", string(self.role.name())),
+            ("export_cap", Value::Number(self.export_cap as f64)),
+            ("pull_interval_ms", Value::Number(self.pull_interval.as_secs_f64() * 1e3)),
+            ("shards", Value::Array(shards)),
+            ("monitors", Value::Array(monitors)),
+        ])
+    }
+
+    /// Appends the fleet's Prometheus series to a `/metrics` exposition
+    /// (no-op off the coordinator role).
+    pub fn render_prometheus(&self, out: &mut String) {
+        if self.shards.is_empty() {
+            return;
+        }
+        let inner = self.inner();
+        out.push_str("# HELP ccsynth_fleet_shard_polls_total Poll attempts per shard.\n");
+        out.push_str("# TYPE ccsynth_fleet_shard_polls_total counter\n");
+        for (s, h) in inner.health.iter().enumerate() {
+            out.push_str(&format!(
+                "ccsynth_fleet_shard_polls_total{{shard=\"{s}\"}} {}\n",
+                h.polls
+            ));
+        }
+        out.push_str("# HELP ccsynth_fleet_shard_errors_total Failed polls per shard.\n");
+        out.push_str("# TYPE ccsynth_fleet_shard_errors_total counter\n");
+        for (s, h) in inner.health.iter().enumerate() {
+            out.push_str(&format!(
+                "ccsynth_fleet_shard_errors_total{{shard=\"{s}\"}} {}\n",
+                h.errors
+            ));
+        }
+        out.push_str(
+            "# HELP ccsynth_fleet_shard_lag_windows Closed windows a shard reports that the \
+             coordinator has not merged.\n",
+        );
+        out.push_str("# TYPE ccsynth_fleet_shard_lag_windows gauge\n");
+        for s in 0..self.shards.len() {
+            let lag: u64 = inner
+                .monitors
+                .iter()
+                .map(|e| e.reported[s].saturating_sub(e.merged.cursor(s)))
+                .sum();
+            out.push_str(&format!("ccsynth_fleet_shard_lag_windows{{shard=\"{s}\"}} {lag}\n"));
+        }
+        out.push_str(
+            "# HELP ccsynth_fleet_epochs_merged_total Global epochs merged per monitor.\n",
+        );
+        out.push_str("# TYPE ccsynth_fleet_epochs_merged_total counter\n");
+        for e in &inner.monitors {
+            out.push_str(&format!(
+                "ccsynth_fleet_epochs_merged_total{{monitor=\"{}\"}} {}\n",
+                e.name,
+                e.merged.epochs_merged()
+            ));
+        }
+    }
+}
+
+/// The coordinator's poll thread body: every `pull_interval`, pull each
+/// shard's monitors and absorb their deltas, until `shutdown` flips. The
+/// tick stays short so shutdown is prompt regardless of the interval.
+pub fn pull_loop(fleet: &FleetState, shutdown: &AtomicBool) {
+    let interval = fleet.pull_interval();
+    let tick = interval.min(Duration::from_millis(100));
+    // Fire immediately on boot: the first merge shouldn't wait a full
+    // interval behind catch-up-hungry tests and CLIs.
+    let mut last_pull = Instant::now().checked_sub(interval).unwrap_or_else(Instant::now);
+    while !shutdown.load(Ordering::Acquire) {
+        if last_pull.elapsed() >= interval {
+            pull_once(fleet);
+            last_pull = Instant::now();
+        }
+        std::thread::sleep(tick);
+    }
+}
+
+/// One poll round over every shard. Failures are recorded per shard and
+/// never abort the round — a down shard stalls only its own epochs (the
+/// merged monitor buffers the others' deltas until it returns).
+pub fn pull_once(fleet: &FleetState) {
+    for (s, url) in fleet.shards().iter().enumerate() {
+        let outcome = pull_shard(fleet, s, url);
+        fleet.record_poll(s, outcome.err());
+    }
+}
+
+/// Polls one shard: discover its monitors, then fetch + absorb each
+/// one's deltas from this coordinator's cursor.
+fn pull_shard(fleet: &FleetState, shard: usize, url: &str) -> Result<(), String> {
+    let addr = url
+        .to_socket_addrs()
+        .map_err(|e| format!("resolve {url}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("resolve {url}: no address"))?;
+    let mut client = HttpClient::connect(addr).map_err(|e| format!("connect {url}: {e}"))?;
+    let resp = client.get("/v2/monitors").map_err(|e| format!("GET /v2/monitors: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("GET /v2/monitors: HTTP {}", resp.status));
+    }
+    let body = resp.json().map_err(|e| format!("GET /v2/monitors: bad JSON: {e}"))?;
+    let mut names: Vec<String> = Vec::new();
+    if let Some(Value::Array(list)) = crate::json::get(&body, "monitors") {
+        for entry in list {
+            if let Some(name) = crate::json::get(entry, "monitor").and_then(crate::json::as_str) {
+                // The shard's own self-watch stream is per-node state,
+                // not a deal of the fleet's stream — never merged.
+                if !name.starts_with(RESERVED_NAME_PREFIX) {
+                    names.push(name.to_owned());
+                }
+            }
+        }
+    }
+    for name in names {
+        let since = fleet.cursor(&name, shard);
+        let target = format!("/v2/monitors/{name}/deltas?since={since}");
+        let resp = client.get(&target).map_err(|e| format!("GET {target}: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!("GET {target}: HTTP {}: {}", resp.status, resp.text()));
+        }
+        let batch: ShardDeltaBatch = cc_state::decode_envelope(resp.text())
+            .map_err(|e| format!("GET {target}: bad envelope: {e}"))?;
+        fleet.absorb(shard, &batch).map_err(|e| format!("absorb from shard {shard}: {e}"))?;
+    }
+    Ok(())
+}

@@ -333,6 +333,26 @@ fn connection_close(headers: &[(String, String)], version: Version) -> bool {
     }
 }
 
+/// Stable machine-readable error-code slug for the status codes this
+/// daemon emits — the `error.code` field of the structured error
+/// envelope (see [`Response::error`]).
+pub fn error_code(status: u16) -> &'static str {
+    match status {
+        400 => "bad_request",
+        404 => "not_found",
+        405 => "method_not_allowed",
+        408 => "request_timeout",
+        409 => "conflict",
+        413 => "payload_too_large",
+        431 => "headers_too_large",
+        500 => "internal",
+        501 => "not_implemented",
+        503 => "unavailable",
+        505 => "http_version",
+        _ => "error",
+    }
+}
+
 /// Canonical reason phrase for the status codes this daemon emits.
 pub fn status_reason(status: u16) -> &'static str {
     match status {
@@ -379,13 +399,40 @@ impl Response {
         }
     }
 
-    /// An error response with a JSON `{"error": …}` body.
+    /// An error response carrying the structured envelope every non-2xx
+    /// JSON body uses:
+    /// `{"error": {"code": "<slug>", "message": "<human text>"}}`.
+    /// The `code` is derived from the status ([`error_code`]); the
+    /// message is free-form human-readable text.
     pub fn error(status: u16, message: &str) -> Self {
-        let v = serde_json::Value::Object(vec![(
-            "error".to_owned(),
-            serde_json::Value::String(message.to_owned()),
-        )]);
+        Response::error_detail(status, message, None)
+    }
+
+    /// [`Self::error`] with an optional machine-readable `detail` value
+    /// attached inside the envelope.
+    pub fn error_detail(status: u16, message: &str, detail: Option<serde_json::Value>) -> Self {
+        let mut inner = vec![
+            ("code".to_owned(), serde_json::Value::String(error_code(status).to_owned())),
+            ("message".to_owned(), serde_json::Value::String(message.to_owned())),
+        ];
+        if let Some(d) = detail {
+            inner.push(("detail".to_owned(), d));
+        }
+        let v =
+            serde_json::Value::Object(vec![("error".to_owned(), serde_json::Value::Object(inner))]);
         Response { status, ..Response::json(&v) }
+    }
+
+    /// A `200 OK` response whose body is already-serialized JSON — the
+    /// `cc_state`-enveloped fleet payloads, which arrive pre-encoded so
+    /// their checksum covers the exact bytes on the wire.
+    pub fn json_text(body: String) -> Self {
+        Response {
+            status: 200,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            extra_headers: Vec::new(),
+        }
     }
 
     /// A `200 OK` binary columnar response (see [`crate::wire`]).
@@ -514,7 +561,10 @@ mod tests {
         let s = String::from_utf8(bytes).unwrap();
         assert!(s.starts_with("HTTP/1.1 404 Not Found\r\n"), "{s}");
         assert!(s.contains("connection: keep-alive"));
-        assert!(s.ends_with("{\"error\":\"no such profile\"}"));
+        assert!(
+            s.ends_with("{\"error\":{\"code\":\"not_found\",\"message\":\"no such profile\"}}"),
+            "{s}"
+        );
         let s = String::from_utf8(Response::text(200, "ok".into()).serialize(false)).unwrap();
         assert!(s.contains("connection: close"));
     }

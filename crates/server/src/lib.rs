@@ -52,6 +52,7 @@
 
 pub mod api;
 pub mod client;
+pub mod fleet;
 pub mod http;
 pub mod json;
 pub mod metrics;
@@ -66,6 +67,7 @@ pub mod wire;
 pub use cc_monitor::MonitorSet;
 pub use cc_obs as obs;
 pub use client::{ClientResponse, HttpClient};
+pub use fleet::{FleetState, Role, DEFAULT_EXPORT_CAP, DEFAULT_PULL_INTERVAL};
 pub use http::{ParseError, Request, RequestParser, Response, MAX_HEADER_BYTES};
 pub use metrics::{Endpoint, Metrics, MonitorSeries};
 pub use registry::{ProfileEntry, ProfileRegistry, Snapshot};

@@ -44,11 +44,17 @@ pub enum Endpoint {
     SelfReport,
     /// `GET /metrics`
     Metrics,
+    /// `GET`/`POST /v2/monitors/{name}/proposal`
+    Proposal,
+    /// `GET /v2/monitors/{name}/deltas` (shard export).
+    Deltas,
+    /// `GET /v2/fleet/shards` and `POST /v2/fleet/shards/{index}/deltas`.
+    Fleet,
     /// Anything else (404s, parse failures, …).
     Other,
 }
 
-const ENDPOINTS: [Endpoint; 14] = [
+const ENDPOINTS: [Endpoint; 17] = [
     Endpoint::Healthz,
     Endpoint::Profiles,
     Endpoint::Check,
@@ -62,6 +68,9 @@ const ENDPOINTS: [Endpoint; 14] = [
     Endpoint::Logs,
     Endpoint::SelfReport,
     Endpoint::Metrics,
+    Endpoint::Proposal,
+    Endpoint::Deltas,
+    Endpoint::Fleet,
     Endpoint::Other,
 ];
 
@@ -82,6 +91,9 @@ impl Endpoint {
             Endpoint::Logs => "/v1/logs",
             Endpoint::SelfReport => "/v1/self",
             Endpoint::Metrics => "/metrics",
+            Endpoint::Proposal => "/v2/monitors/{name}/proposal",
+            Endpoint::Deltas => "/v2/monitors/{name}/deltas",
+            Endpoint::Fleet => "/v2/fleet",
             Endpoint::Other => "other",
         }
     }

@@ -133,6 +133,18 @@ pub struct ServerConfig {
     /// server's own detectors watch the server (see [`crate::selfwatch`]).
     /// `None` (the embedding default) spawns nothing.
     pub self_watch: Option<SelfWatchConfig>,
+    /// Fleet role (see [`crate::fleet`]): `Shard` arms monitors' export
+    /// logs for delta export, `Coordinator` merges shard deltas instead
+    /// of ingesting rows. `Standalone` (the default) does neither.
+    pub role: crate::fleet::Role,
+    /// Shard addresses (`host:port`) the coordinator's pull loop polls.
+    /// Order matters: shard `s` owns epochs `g ≡ s (mod N)`.
+    pub shard_addrs: Vec<String>,
+    /// Coordinator poll cadence (`--pull-ms`).
+    pub pull_interval: Duration,
+    /// Export-log bound a shard arms its monitors with (`--export-cap`):
+    /// how many closed windows are retained for lagging coordinators.
+    pub export_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -151,6 +163,10 @@ impl Default for ServerConfig {
             log_buffer: cc_obs::DEFAULT_BUFFER,
             log_sink: LogSink::None,
             self_watch: None,
+            role: crate::fleet::Role::Standalone,
+            shard_addrs: Vec::new(),
+            pull_interval: crate::fleet::DEFAULT_PULL_INTERVAL,
+            export_cap: crate::fleet::DEFAULT_EXPORT_CAP,
         }
     }
 }
@@ -174,6 +190,9 @@ pub(crate) struct Shared {
     /// Self-watch sampler runtime state (ticks even when the sampler is
     /// disabled only in the trivial sense: everything stays zero).
     pub(crate) selfwatch: SelfWatchState,
+    /// Fleet role + membership (standalone unless configured); the
+    /// router's `/v2/fleet` branches and the pull loop both read it.
+    pub(crate) fleet: crate::fleet::FleetState,
 }
 
 impl Shared {
@@ -259,6 +278,7 @@ pub struct ServerHandle {
     core: Core,
     autosaver: Option<std::thread::JoinHandle<()>>,
     sampler: Option<std::thread::JoinHandle<()>>,
+    puller: Option<std::thread::JoinHandle<()>>,
 }
 
 /// The server: bind + spawn. All state lives in the returned handle.
@@ -300,6 +320,23 @@ impl Server {
         let workers = config.workers.max(1);
         let autosave = config.autosave.filter(|_| durability.is_some());
         let self_watch = config.self_watch.clone();
+        let role = config.role;
+        let fleet = crate::fleet::FleetState::new(
+            role,
+            config.shard_addrs.clone(),
+            config.export_cap,
+            config.pull_interval,
+        );
+        if role == crate::fleet::Role::Shard {
+            // Boot-restored monitors must export too — arm their logs
+            // before the first connection can pull deltas.
+            let cap = fleet.export_cap();
+            for name in monitors.names() {
+                if let Some(entry) = monitors.get(&name) {
+                    entry.with_monitor(|m| m.set_export_cap(cap));
+                }
+            }
+        }
         let shared = Arc::new(Shared {
             registry,
             monitors,
@@ -311,6 +348,7 @@ impl Server {
             work_ready: Condvar::new(),
             logger,
             selfwatch: SelfWatchState::new(),
+            fleet,
         });
         let core = start_core(listener, &shared, workers)?;
         shared.logger.info(
@@ -338,7 +376,21 @@ impl Server {
             let shared = shared.clone();
             std::thread::spawn(move || crate::selfwatch::sampler_loop(&shared))
         });
-        Ok(ServerHandle { addr, shared, core, autosaver, sampler })
+        let puller = (role == crate::fleet::Role::Coordinator && !shared.fleet.shards().is_empty())
+            .then(|| {
+                shared.logger.info(
+                    boot_trace,
+                    "",
+                    format!(
+                        "fleet coordinator polling {} shard(s) every {:?}",
+                        shared.fleet.shard_count(),
+                        shared.fleet.pull_interval()
+                    ),
+                );
+                let shared = shared.clone();
+                std::thread::spawn(move || crate::fleet::pull_loop(&shared.fleet, &shared.shutdown))
+            });
+        Ok(ServerHandle { addr, shared, core, autosaver, sampler, puller })
     }
 }
 
@@ -429,6 +481,11 @@ impl ServerHandle {
         &self.shared.selfwatch
     }
 
+    /// The fleet role/membership state (standalone unless configured).
+    pub fn fleet(&self) -> &crate::fleet::FleetState {
+        &self.shared.fleet
+    }
+
     /// The connection core actually running (`"epoll"` or `"threads"`)
     /// — [`IoMode::Auto`] resolves when the server starts.
     pub fn io_backend(&self) -> &'static str {
@@ -495,6 +552,9 @@ impl ServerHandle {
         }
         if let Some(s) = self.sampler {
             let _ = s.join();
+        }
+        if let Some(p) = self.puller {
+            let _ = p.join();
         }
         if let Some(d) = &self.shared.durability {
             match d.save(&self.shared.registry, &self.shared.monitors, &self.shared.metrics) {
@@ -643,6 +703,7 @@ pub(crate) fn execute(
                 self_watch: shared.config.self_watch.as_ref(),
                 self_state: &shared.selfwatch,
                 trace_buffer: shared.config.trace_buffer,
+                fleet: &shared.fleet,
             },
             trace_id,
         )

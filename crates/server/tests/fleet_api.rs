@@ -1,0 +1,302 @@
+//! Fleet + /v2 API integration over real sockets: a 2-shard fleet whose
+//! coordinator serves a merged monitor byte-identical to a single node
+//! fed the same interleaved stream; `/v1` aliases that stay
+//! byte-compatible while wearing `Deprecation`/`Link` headers; the
+//! structured error envelope on every non-2xx JSON response; and
+//! monitor-name semantics (400 grammar / 404 absent / reserved writes)
+//! consistent across both API versions.
+
+mod common;
+
+use cc_server::http::error_code;
+use cc_server::json::{as_f64, as_str, get as field};
+use cc_server::{HttpClient, ProfileRegistry, Role, Server, ServerConfig, ServerHandle};
+use serde_json::Value;
+use std::time::{Duration, Instant};
+
+fn as_bool(v: &Value) -> Option<bool> {
+    match v {
+        Value::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+fn header<'a>(resp: &'a cc_server::ClientResponse, name: &str) -> Option<&'a str> {
+    resp.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+}
+
+/// An ingest body: the frame's columns plus monitor parameters.
+fn ingest_body(frame: &cc_frame::DataFrame, extra: &[(&str, Value)]) -> Value {
+    let Value::Object(mut pairs) = common::columns_body(frame) else {
+        panic!("columns_body is an object")
+    };
+    for (k, v) in extra {
+        pairs.push(((*k).to_owned(), v.clone()));
+    }
+    Value::Object(pairs)
+}
+
+fn start_with_role(dir: &std::path::Path, role: Role, shards: Vec<String>) -> ServerHandle {
+    let registry = ProfileRegistry::from_dir(dir).unwrap();
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        role,
+        shard_addrs: shards,
+        pull_interval: Duration::from_millis(50),
+        ..ServerConfig::default()
+    };
+    Server::start(config, registry).unwrap()
+}
+
+/// Tumbling-window parameters shared by every node in a test fleet: one
+/// epoch per 100-row batch, so epoch `g` is owned by shard `g mod N`.
+fn monitor_params() -> [(&'static str, Value); 4] {
+    [
+        ("window", Value::Number(100.0)),
+        ("detector", Value::String("cusum".into())),
+        ("calibrate", Value::Number(3.0)),
+        ("patience", Value::Number(2.0)),
+    ]
+}
+
+#[test]
+fn two_shard_coordinator_merges_bit_identical_to_single_node() {
+    let dir = common::temp_dir("fleet_api");
+    common::write_profile(&dir, "main", &common::regime_profile(900, 0.0));
+    let shard_a = start_with_role(&dir, Role::Shard, vec![]);
+    let shard_b = start_with_role(&dir, Role::Shard, vec![]);
+    let single = start_with_role(&dir, Role::Standalone, vec![]);
+    let coord = start_with_role(
+        &dir,
+        Role::Coordinator,
+        vec![shard_a.addr().to_string(), shard_b.addr().to_string()],
+    );
+
+    let mut shard_clients = [
+        HttpClient::connect(shard_a.addr()).unwrap(),
+        HttpClient::connect(shard_b.addr()).unwrap(),
+    ];
+    let mut single_client = HttpClient::connect(single.addr()).unwrap();
+    let mut coord_client = HttpClient::connect(coord.addr()).unwrap();
+
+    // 7 stationary epochs, then a sustained shift: epoch g to shard
+    // g mod 2 over the /v2 resource route, the whole stream to the
+    // single-node oracle in order.
+    let params = monitor_params();
+    for g in 0..13 {
+        let frame = common::regime_frame(100, if g < 7 { 0.0 } else { 60.0 });
+        let body = ingest_body(&frame, &params);
+        let resp = shard_clients[g % 2].post_json("/v2/monitors/orders/ingest", &body).unwrap();
+        assert_eq!(resp.status, 200, "shard ingest {g}: {}", resp.text());
+        let resp = single_client.post_json("/v2/monitors/orders/ingest", &body).unwrap();
+        assert_eq!(resp.status, 200, "single ingest {g}: {}", resp.text());
+    }
+
+    let want = single_client.get("/v2/monitors/orders").unwrap();
+    assert_eq!(want.status, 200);
+    let w = want.json().unwrap();
+    assert_eq!(as_f64(field(&w, "windows_closed").unwrap()), Some(13.0));
+    assert_eq!(as_bool(field(&w, "alarm").unwrap()), Some(true), "{}", want.text());
+
+    // The coordinator pulls shard deltas on its own clock: poll until
+    // the merged monitor has absorbed all 13 epochs.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let got = loop {
+        let resp = coord_client.get("/v2/monitors/orders").unwrap();
+        if resp.status == 200 {
+            let v = resp.json().unwrap();
+            if as_f64(field(&v, "windows_closed").unwrap()) == Some(13.0) {
+                break resp;
+            }
+        }
+        assert!(Instant::now() < deadline, "coordinator never caught up: {}", resp.text());
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    // The headline invariant, end to end over HTTP: the merged status is
+    // byte-identical to the single node's.
+    assert_eq!(got.text(), want.text(), "merged status must match the single node byte-for-byte");
+
+    // The merged monitor also rides the listing, and healthz names the role.
+    let list = coord_client.get("/v2/monitors").unwrap().json().unwrap();
+    assert_eq!(as_f64(field(&list, "count").unwrap()), Some(1.0));
+    let health = coord_client.get("/healthz").unwrap().json().unwrap();
+    assert_eq!(field(&health, "role").and_then(as_str), Some("coordinator"));
+
+    // /v2/fleet/shards: both shards polled without error, fully caught up.
+    let fleet = coord_client.get("/v2/fleet/shards").unwrap().json().unwrap();
+    assert_eq!(field(&fleet, "role").and_then(as_str), Some("coordinator"));
+    let Some(Value::Array(shards)) = field(&fleet, "shards") else { panic!("shards") };
+    assert_eq!(shards.len(), 2);
+    for s in shards {
+        assert!(as_f64(field(s, "polls").unwrap()).unwrap() >= 1.0);
+        assert_eq!(
+            as_f64(field(s, "errors").unwrap()),
+            Some(0.0),
+            "{}",
+            serde_json::to_string(s).unwrap()
+        );
+        assert_eq!(as_f64(field(s, "lag_windows").unwrap()), Some(0.0));
+    }
+    let Some(Value::Array(monitors)) = field(&fleet, "monitors") else { panic!("monitors") };
+    assert_eq!(field(&monitors[0], "monitor").and_then(as_str), Some("orders"));
+    assert_eq!(as_f64(field(&monitors[0], "epochs_merged").unwrap()), Some(13.0));
+
+    // Fleet series ride the coordinator's Prometheus exposition.
+    let text = coord_client.get("/metrics").unwrap().text().to_owned();
+    assert!(text.contains("ccsynth_fleet_shard_polls_total{shard=\"0\"}"), "{text}");
+    assert!(text.contains("ccsynth_fleet_epochs_merged_total{monitor=\"orders\"} 13"), "{text}");
+
+    // Role gating: coordinators don't ingest; only shards export deltas;
+    // only coordinators absorb pushes.
+    let frame = common::regime_frame(100, 0.0);
+    let resp = coord_client
+        .post_json("/v2/monitors/orders/ingest", &ingest_body(&frame, &params))
+        .unwrap();
+    assert_eq!(resp.status, 409, "{}", resp.text());
+    assert_eq!(coord_client.get("/v2/monitors/orders/deltas?since=0").unwrap().status, 409);
+    let resp = shard_clients[0].get("/v2/monitors/orders/deltas?since=0").unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    assert!(!resp.body.is_empty(), "delta export carries the cc_state envelope");
+    assert_eq!(
+        shard_clients[0].request("POST", "/v2/fleet/shards/0/deltas", &resp.body).unwrap().status,
+        409,
+        "shards must not absorb pushes"
+    );
+
+    coord.shutdown();
+    single.shutdown();
+    shard_a.shutdown();
+    shard_b.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn v1_aliases_stay_byte_compatible_and_advertise_their_successors() {
+    let dir = common::temp_dir("fleet_api_alias");
+    common::write_profile(&dir, "main", &common::regime_profile(600, 0.0));
+    let handle = common::start_server(&dir, 1);
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+
+    let frame = common::regime_frame(100, 0.0);
+    let resp = client
+        .post_json(
+            "/v1/ingest",
+            &ingest_body(&frame, &[("monitor", Value::String("orders".into()))]),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+
+    // Each alias answers with the exact bytes of its /v2 successor —
+    // plus Deprecation and a Link naming the replacement.
+    let pairs = [
+        ("/v1/monitor", "/v2/monitors"),
+        ("/v1/monitor?monitor=orders", "/v2/monitors/orders"),
+        ("/v1/profiles", "/v2/profiles"),
+    ];
+    for (v1, v2) in pairs {
+        let old = client.get(v1).unwrap();
+        let new = client.get(v2).unwrap();
+        assert_eq!(old.status, new.status, "{v1} vs {v2}");
+        assert_eq!(old.text(), new.text(), "{v1} must stay byte-compatible with {v2}");
+        assert_eq!(header(&old, "deprecation"), Some("true"), "{v1}");
+        let link = header(&old, "link").unwrap_or_default();
+        assert!(link.contains("rel=\"successor-version\""), "{v1}: {link}");
+        assert!(link.contains("/v2/"), "{v1}: {link}");
+        assert_eq!(header(&new, "deprecation"), None, "{v2} is not deprecated");
+    }
+
+    // The same holds for a POST alias with a body.
+    let check = common::columns_body(&common::regime_frame(50, 0.0));
+    let old = client.post_json("/v1/check", &check).unwrap();
+    let new = client.post_json("/v2/check", &check).unwrap();
+    assert_eq!(old.status, 200, "{}", old.text());
+    assert_eq!(old.text(), new.text());
+    assert_eq!(header(&old, "deprecation"), Some("true"));
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_non_2xx_wears_the_error_envelope() {
+    let dir = common::temp_dir("fleet_api_err");
+    common::write_profile(&dir, "main", &common::regime_profile(600, 0.0));
+    let handle = common::start_server(&dir, 1);
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+    let empty = Value::Object(vec![]);
+
+    let cases: Vec<(u16, cc_server::ClientResponse)> = vec![
+        (404, client.get("/v1/nope").unwrap()),
+        (404, client.get("/v2/monitors/ghost").unwrap()),
+        (404, client.get("/v2/profiles/ghost").unwrap()),
+        (404, client.request("DELETE", "/v2/monitors/ghost", b"").unwrap()),
+        (405, client.get("/v1/ingest").unwrap()),
+        (405, client.post_json("/v2/monitors", &empty).unwrap()),
+        (400, client.get("/v2/monitors/bad%20name").unwrap()),
+        (400, client.request("DELETE", "/v1/monitor", b"").unwrap()),
+        (400, client.post_json("/v2/monitors/orders/ingest", &empty).unwrap()),
+        (
+            400,
+            client
+                .post_json("/v1/ingest", &common::columns_body(&common::regime_frame(10, 0.0)))
+                .unwrap(),
+        ),
+        (400, client.request("POST", "/v1/check", b"{not json").unwrap()),
+        (409, client.get("/v2/monitors/orders/deltas?since=0").unwrap()),
+        (409, client.request("POST", "/v2/fleet/shards/0/deltas", b"").unwrap()),
+    ];
+    for (want, resp) in cases {
+        assert_eq!(resp.status, want, "{}", resp.text());
+        let v = resp
+            .json()
+            .unwrap_or_else(|e| panic!("{want}: non-JSON error body {e:?}: {}", resp.text()));
+        let err = field(&v, "error")
+            .unwrap_or_else(|| panic!("{want}: no error envelope: {}", resp.text()));
+        assert_eq!(field(err, "code").and_then(as_str), Some(error_code(want)), "{}", resp.text());
+        let msg = field(err, "message").and_then(as_str).unwrap_or_default();
+        assert!(!msg.is_empty(), "{want}: empty error message: {}", resp.text());
+    }
+
+    // 405s also say which methods would work.
+    let resp = client.post_json("/v2/monitors", &empty).unwrap();
+    assert!(header(&resp, "allow").unwrap_or_default().contains("GET"), "{:?}", resp.headers);
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn name_semantics_agree_across_api_versions() {
+    let dir = common::temp_dir("fleet_api_names");
+    common::write_profile(&dir, "main", &common::regime_profile(600, 0.0));
+    let handle = common::start_server(&dir, 1);
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+
+    // Grammar violations are 400 on both versions, reads and writes
+    // alike, with identical bodies through the shared core.
+    for method in ["GET", "DELETE"] {
+        let old = client.request(method, "/v1/monitor?monitor=bad%20name", b"").unwrap();
+        let new = client.request(method, "/v2/monitors/bad%20name", b"").unwrap();
+        assert_eq!(old.status, 400, "{method}: {}", old.text());
+        assert_eq!(new.status, 400, "{method}: {}", new.text());
+        assert_eq!(old.text(), new.text(), "{method}");
+    }
+
+    // Valid-but-absent names are 404s: the grammar is fine, the
+    // resource just isn't there.
+    assert_eq!(client.get("/v1/monitor?monitor=ghost").unwrap().status, 404);
+    assert_eq!(client.get("/v2/monitors/ghost").unwrap().status, 404);
+
+    // Reserved `__`-prefixed names reject writes (the server owns
+    // them) but allow reads — never a grammar 400.
+    let resp = client.request("DELETE", "/v2/monitors/__self", b"").unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.text());
+    assert!(resp.text().contains("reserved"), "{}", resp.text());
+    assert_eq!(client.request("DELETE", "/v1/monitor?monitor=__self", b"").unwrap().status, 400);
+    let read = client.get("/v2/monitors/__self").unwrap();
+    assert_ne!(read.status, 400, "reserved reads pass the name gate: {}", read.text());
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -112,6 +112,83 @@ pub fn checksum(bytes: &[u8]) -> u64 {
 /// across processes sharing a state directory).
 static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
+/// Serializes `payload` into the envelope as a JSON string — the same
+/// magic/version/checksum framing [`write_snapshot`] persists, minus the
+/// file. This is the fleet wire format: shard delta batches travel
+/// between daemons inside the envelope, so a truncated or corrupted
+/// transfer fails the same checks a torn snapshot would.
+///
+/// # Errors
+/// [`StateError::Corrupt`] when the payload does not serialize.
+pub fn encode_envelope<T: Serialize>(payload: &T) -> Result<String, StateError> {
+    let payload_value = payload.to_value();
+    let payload_json = serde_json::to_string(&payload_value)
+        .map_err(|e| StateError::Corrupt(format!("payload does not serialize: {e}")))?;
+    let envelope = Value::Object(vec![
+        ("magic".to_owned(), Value::String(MAGIC.to_owned())),
+        ("version".to_owned(), Value::Number(FORMAT_VERSION as f64)),
+        (
+            "checksum".to_owned(),
+            Value::String(format!("{:016x}", checksum(payload_json.as_bytes()))),
+        ),
+        ("payload".to_owned(), payload_value),
+    ]);
+    serde_json::to_string(&envelope)
+        .map_err(|e| StateError::Corrupt(format!("envelope does not serialize: {e}")))
+}
+
+/// Verifies an in-memory envelope (magic, version, checksum) and
+/// deserializes its payload — [`read_snapshot`] without the file.
+///
+/// # Errors
+/// [`StateError::Corrupt`] when the envelope or payload fails any check.
+pub fn decode_envelope<T: Deserialize>(text: &str) -> Result<T, StateError> {
+    let envelope: Value = serde_json::from_str(text)
+        .map_err(|e| StateError::Corrupt(format!("not valid JSON: {e}")))?;
+    decode_envelope_value(&envelope)
+}
+
+/// [`decode_envelope`] for an already-parsed envelope value.
+///
+/// # Errors
+/// [`StateError::Corrupt`] when the envelope or payload fails any check.
+pub fn decode_envelope_value<T: Deserialize>(envelope: &Value) -> Result<T, StateError> {
+    let field = |name: &str| {
+        envelope.field(name).map_err(|e| StateError::Corrupt(e.to_string())).and_then(|v| match v {
+            Value::Null => Err(StateError::Corrupt(format!("missing '{name}' field"))),
+            v => Ok(v),
+        })
+    };
+    match field("magic")? {
+        Value::String(m) if m == MAGIC => {}
+        other => {
+            return Err(StateError::Corrupt(format!("bad magic {other:?}")));
+        }
+    }
+    match field("version")? {
+        Value::Number(v) if *v == FORMAT_VERSION as f64 => {}
+        Value::Number(v) => {
+            return Err(StateError::Corrupt(format!(
+                "unsupported format version {v} (this build reads {FORMAT_VERSION})"
+            )));
+        }
+        other => return Err(StateError::Corrupt(format!("bad version field: {}", other.kind()))),
+    }
+    let Value::String(expected) = field("checksum")? else {
+        return Err(StateError::Corrupt("checksum is not a string".into()));
+    };
+    let payload = field("payload")?;
+    let payload_json = serde_json::to_string(payload)
+        .map_err(|e| StateError::Corrupt(format!("payload does not re-serialize: {e}")))?;
+    let actual = format!("{:016x}", checksum(payload_json.as_bytes()));
+    if actual != *expected {
+        return Err(StateError::Corrupt(format!(
+            "checksum mismatch: envelope says {expected}, payload hashes to {actual}"
+        )));
+    }
+    T::from_value(payload).map_err(|e| StateError::Corrupt(format!("payload rejected: {e}")))
+}
+
 /// Serializes `payload` into the envelope and atomically replaces
 /// `path` with it (temp file in the same directory → fsync → rename →
 /// directory fsync). Returns the snapshot size in bytes.
@@ -125,20 +202,7 @@ pub fn write_snapshot<T: Serialize>(path: &Path, payload: &T) -> Result<u64, Sta
     let trace_id = cc_trace::gen_id();
     let trace_tag = path.file_name().and_then(|n| n.to_str()).unwrap_or("snapshot").to_owned();
     let serialize_started = Instant::now();
-    let payload_value = payload.to_value();
-    let payload_json = serde_json::to_string(&payload_value)
-        .map_err(|e| StateError::Corrupt(format!("payload does not serialize: {e}")))?;
-    let envelope = Value::Object(vec![
-        ("magic".to_owned(), Value::String(MAGIC.to_owned())),
-        ("version".to_owned(), Value::Number(FORMAT_VERSION as f64)),
-        (
-            "checksum".to_owned(),
-            Value::String(format!("{:016x}", checksum(payload_json.as_bytes()))),
-        ),
-        ("payload".to_owned(), payload_value),
-    ]);
-    let text = serde_json::to_string(&envelope)
-        .map_err(|e| StateError::Corrupt(format!("envelope does not serialize: {e}")))?;
+    let text = encode_envelope(payload)?;
     cc_trace::record(
         cc_trace::Phase::Serialize,
         trace_id,
@@ -207,42 +271,7 @@ pub fn write_snapshot<T: Serialize>(path: &Path, payload: &T) -> Result<u64, Sta
 /// [`StateError::Corrupt`] when the envelope or payload fails any check.
 pub fn read_snapshot<T: Deserialize>(path: &Path) -> Result<T, StateError> {
     let text = std::fs::read_to_string(path)?;
-    let envelope: Value = serde_json::from_str(&text)
-        .map_err(|e| StateError::Corrupt(format!("not valid JSON: {e}")))?;
-    let field = |name: &str| {
-        envelope.field(name).map_err(|e| StateError::Corrupt(e.to_string())).and_then(|v| match v {
-            Value::Null => Err(StateError::Corrupt(format!("missing '{name}' field"))),
-            v => Ok(v),
-        })
-    };
-    match field("magic")? {
-        Value::String(m) if m == MAGIC => {}
-        other => {
-            return Err(StateError::Corrupt(format!("bad magic {other:?}")));
-        }
-    }
-    match field("version")? {
-        Value::Number(v) if *v == FORMAT_VERSION as f64 => {}
-        Value::Number(v) => {
-            return Err(StateError::Corrupt(format!(
-                "unsupported format version {v} (this build reads {FORMAT_VERSION})"
-            )));
-        }
-        other => return Err(StateError::Corrupt(format!("bad version field: {}", other.kind()))),
-    }
-    let Value::String(expected) = field("checksum")? else {
-        return Err(StateError::Corrupt("checksum is not a string".into()));
-    };
-    let payload = field("payload")?;
-    let payload_json = serde_json::to_string(payload)
-        .map_err(|e| StateError::Corrupt(format!("payload does not re-serialize: {e}")))?;
-    let actual = format!("{:016x}", checksum(payload_json.as_bytes()));
-    if actual != *expected {
-        return Err(StateError::Corrupt(format!(
-            "checksum mismatch: file says {expected}, payload hashes to {actual}"
-        )));
-    }
-    T::from_value(payload).map_err(|e| StateError::Corrupt(format!("payload rejected: {e}")))
+    decode_envelope(&text)
 }
 
 /// What booting from a state file produced.
@@ -347,6 +376,19 @@ mod tests {
             other => panic!("expected Fresh(None), got {other:?}"),
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn envelope_roundtrip_and_tamper_detection() {
+        let payload: Vec<f64> = vec![0.5, -1.25];
+        let text = encode_envelope(&payload).unwrap();
+        let back: Vec<f64> = decode_envelope(&text).unwrap();
+        assert_eq!(back, payload);
+        // Flipping a payload byte without recomputing the checksum fails
+        // verification — the property the fleet wire path relies on.
+        let tampered = text.replace("0.5", "0.625");
+        assert!(matches!(decode_envelope::<Vec<f64>>(&tampered), Err(StateError::Corrupt(_))));
+        assert!(matches!(decode_envelope::<Vec<f64>>("not json"), Err(StateError::Corrupt(_))));
     }
 
     #[test]

@@ -44,9 +44,10 @@ const USAGE: &str = "usage:
   ccsynth monitor <data.csv|-> (--profile <profile.json> | --resume <snapshot>) [--window <n>] [--stride <s>] [--detector <d>] [--calibrate <k>] [--patience <p>] [--threads <t>] [--propose-out <f>] [--state-out <f>]
   ccsynth explain <profile.json> <train.csv> <serve.csv> [--sample <n>]
   ccsynth sql     <profile.json> <table_name>
-  ccsynth serve   [--dir <profiles-dir>] [--profile <file>]... [--addr <host:port>] [--workers <n>] [--io auto|epoll|threads] [--reactors <n>] [--max-body-mb <n>] [--state-dir <d>] [--autosave-secs <n>] [--trace-buffer <n>] [--log-level <l>] [--log-file <f>] [--self-watch <ms|off>]
+  ccsynth serve   [--dir <profiles-dir>] [--profile <file>]... [--addr <host:port>] [--workers <n>] [--io auto|epoll|threads] [--reactors <n>] [--max-body-mb <n>] [--state-dir <d>] [--autosave-secs <n>] [--trace-buffer <n>] [--log-level <l>] [--log-file <f>] [--self-watch <ms|off>] [--role standalone|shard|coordinator] [--shard <host:port>]... [--pull-ms <n>] [--export-cap <n>]
   ccsynth trace   <host:port> [--top <k>] [--min-us <n>] [--endpoint <e>] [--monitor <m>] [--limit <n>] [--json]
   ccsynth ops     <host:port> [--json]
+  ccsynth fleet   <host:port> [--json]
   ccsynth wire    <data.csv> --out <batch.bin>";
 
 /// Per-subcommand usage lines (printed on `--help` and usage errors).
@@ -109,11 +110,13 @@ ExTuNe: ranks attributes by responsibility for non-conformance.
         }
         "sql" => "usage: ccsynth sql <profile.json> <table_name>\n\nRenders the profile as a SQL CHECK-style guard for a table.",
         "serve" => {
-            "usage: ccsynth serve [--dir <profiles-dir>] [--profile <file>]... [--addr <host:port>] [--workers <n>] [--io auto|epoll|threads] [--reactors <n>] [--max-body-mb <n>] [--state-dir <d>] [--autosave-secs <n>] [--trace-buffer <n>] [--log-level <l>] [--log-file <f>] [--self-watch <ms|off>]\n
+            "usage: ccsynth serve [--dir <profiles-dir>] [--profile <file>]... [--addr <host:port>] [--workers <n>] [--io auto|epoll|threads] [--reactors <n>] [--max-body-mb <n>] [--state-dir <d>] [--autosave-secs <n>] [--trace-buffer <n>] [--log-level <l>] [--log-file <f>] [--self-watch <ms|off>] [--role standalone|shard|coordinator] [--shard <host:port>]... [--pull-ms <n>] [--export-cap <n>]\n
 Starts the cc_server daemon over a directory (or explicit files) of
-profile JSON. Endpoints: POST /v1/check, /v1/explain, /v1/drift,
-/v1/ingest, /v1/reload, /v1/snapshot; GET /v1/profiles, /v1/monitor,
-/v1/logs, /v1/self, /healthz, /metrics; DELETE /v1/monitor.
+profile JSON. Resource routes under /v2: GET/POST /v2/monitors/…,
+/v2/profiles/…, /v2/check, /v2/explain, /v2/drift, /v2/snapshot,
+/v2/trace, /v2/logs, /v2/self, /v2/fleet/shards; plus GET /healthz and
+/metrics. The /v1 routes remain as deprecated aliases (byte-compatible
+bodies, Deprecation + successor Link headers).
 SIGINT/SIGTERM shut down gracefully (in-flight requests complete).
 Batch endpoints also speak the binary columnar wire format
 (Content-Type/Accept: application/x-ccsynth-columnar; see
@@ -139,7 +142,17 @@ Batch endpoints also speak the binary columnar wire format
   --self-watch <m>    meta-monitor sampling interval in ms (default
                       1000), or 'off'; the server folds its own
                       latency/error/queue telemetry into the reserved
-                      '__self' monitor and reports via GET /v1/self"
+                      '__self' monitor and reports via GET /v1/self
+  --role <r>          fleet role: standalone (default), shard (export
+                      closed windows as deltas via
+                      GET /v2/monitors/{name}/deltas), or coordinator
+                      (merge shard deltas; rejects direct ingest)
+  --shard <a>         a shard address to poll (coordinator only;
+                      repeatable — order fixes epoch ownership:
+                      shard s owns global windows g ≡ s mod N)
+  --pull-ms <n>       coordinator poll interval in ms (default 500)
+  --export-cap <n>    closed windows a shard retains for lagging
+                      coordinators (default 1024)"
         }
         "trace" => {
             "usage: ccsynth trace <host:port> [--top <k>] [--min-us <n>] [--endpoint <e>] [--monitor <m>] [--limit <n>] [--json]\n
@@ -160,6 +173,13 @@ One-stop operational report for a running daemon: joins GET /healthz,
 /v1/self, /metrics, and /v1/trace into a single health + self-watch +
 throughput + latency summary.
   --json          dump the joined JSON instead of the report"
+        }
+        "fleet" => {
+            "usage: ccsynth fleet <host:port> [--json]\n
+Fetches GET /v2/fleet/shards from a running daemon and prints the
+node's fleet role, shard membership with poll health and merge lag,
+and the merged monitors' epoch cursors.
+  --json          dump the raw /v2/fleet/shards JSON instead of tables"
         }
         "wire" => {
             "usage: ccsynth wire <data.csv> --out <batch.bin>\n
@@ -710,6 +730,10 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         Flag::value("--log-level"),
         Flag::value("--log-file"),
         Flag::value("--self-watch"),
+        Flag::value("--role"),
+        Flag::multi("--shard"),
+        Flag::value("--pull-ms"),
+        Flag::value("--export-cap"),
     ];
     let p = parse(args, &flags)?;
     if !p.positionals().is_empty() {
@@ -792,6 +816,23 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         }
     };
     let self_watch_ms = self_watch.as_ref().map(|sw| sw.interval.as_millis());
+    let role = match p.value("--role") {
+        None => ccsynth::server::Role::Standalone,
+        Some(spelled) => ccsynth::server::Role::parse(spelled).ok_or_else(|| {
+            CliError::Usage(format!("unknown --role '{spelled}' (standalone, shard, coordinator)"))
+        })?,
+    };
+    let shard_addrs = p.values("--shard");
+    if role == ccsynth::server::Role::Coordinator && shard_addrs.is_empty() {
+        return Err(CliError::Usage(
+            "--role coordinator needs at least one --shard <host:port>".into(),
+        ));
+    }
+    if role != ccsynth::server::Role::Coordinator && !shard_addrs.is_empty() {
+        return Err(CliError::Usage("--shard requires --role coordinator".into()));
+    }
+    let pull_interval = std::time::Duration::from_millis(p.count_or("--pull-ms", 500)? as u64);
+    let export_cap = p.count_or("--export-cap", ccsynth::server::DEFAULT_EXPORT_CAP)?;
     let config = ServerConfig {
         addr: p.value("--addr").unwrap_or("127.0.0.1:8642").to_owned(),
         workers: p.count_or("--workers", 4)?,
@@ -804,6 +845,10 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         log_level,
         log_sink,
         self_watch,
+        role,
+        shard_addrs,
+        pull_interval,
+        export_cap,
         ..ServerConfig::default()
     };
     let workers = config.workers;
@@ -836,6 +881,18 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     match self_watch_ms {
         Some(ms) => println!("self-watch: sampling every {ms}ms into '__self' (GET /v1/self)"),
         None => println!("self-watch: disabled (--self-watch off)"),
+    }
+    match handle.fleet().role() {
+        ccsynth::server::Role::Standalone => {}
+        ccsynth::server::Role::Shard => println!(
+            "fleet: shard role, exporting up to {} closed windows per monitor",
+            handle.fleet().export_cap()
+        ),
+        ccsynth::server::Role::Coordinator => println!(
+            "fleet: coordinator over {} shard(s), polling every {:?} (GET /v2/fleet/shards)",
+            handle.fleet().shard_count(),
+            handle.fleet().pull_interval()
+        ),
     }
     for e in snap.entries() {
         println!("  profile '{}': {} constraints", e.name, e.plan.constraint_count());
@@ -1147,6 +1204,104 @@ fn cmd_ops(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `ccsynth fleet <host:port>`: fetch `GET /v2/fleet/shards` from a
+/// running daemon and render the node's role, shard membership (poll
+/// health, merge lag), and merged-monitor epoch cursors.
+fn cmd_fleet(args: &[String]) -> Result<(), CliError> {
+    let flags = [Flag::switch("--json")];
+    let p = parse(args, &flags)?;
+    let [url] = p.positionals() else {
+        return Err(CliError::Usage("fleet needs exactly one <host:port> (or http:// url)".into()));
+    };
+    let hostport = url.strip_prefix("http://").unwrap_or(url).trim_end_matches('/');
+    use std::net::ToSocketAddrs;
+    let addr = hostport
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut a| a.next())
+        .ok_or_else(|| CliError::Runtime(format!("cannot resolve '{hostport}'")))?;
+    let mut client = ccsynth::server::HttpClient::connect(addr)
+        .map_err(|e| CliError::Runtime(format!("cannot connect to {hostport}: {e}")))?;
+    let resp = client
+        .get("/v2/fleet/shards")
+        .map_err(|e| CliError::Runtime(format!("request to {hostport} failed: {e}")))?;
+    if resp.status != 200 {
+        return Err(CliError::Runtime(format!(
+            "GET /v2/fleet/shards answered {}: {}",
+            resp.status,
+            resp.text().trim()
+        )));
+    }
+    let v = resp
+        .json()
+        .map_err(|e| CliError::Runtime(format!("malformed /v2/fleet/shards body: {e}")))?;
+    if p.has("--json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&v).map_err(|e| CliError::Runtime(e.to_string()))?
+        );
+        return Ok(());
+    }
+    use ccsynth::server::json::{as_f64, as_str, get};
+    let n = |v: &serde_json::Value, k: &str| get(v, k).and_then(as_f64).unwrap_or(0.0);
+    println!(
+        "role: {} (export cap {}, pull every {}ms)",
+        get(&v, "role").and_then(as_str).unwrap_or("?"),
+        n(&v, "export_cap") as u64,
+        n(&v, "pull_interval_ms") as u64,
+    );
+    let empty = Vec::new();
+    let shards = match get(&v, "shards") {
+        Some(serde_json::Value::Array(rows)) => rows,
+        _ => &empty,
+    };
+    if shards.is_empty() {
+        println!("no shards (not a coordinator)");
+    } else {
+        println!("\nshards:");
+        println!(
+            "{:<6} {:<22} {:>7} {:>7} {:>9} {:>11} {:>5}  last error",
+            "index", "url", "polls", "errors", "windows", "rows", "lag"
+        );
+        for row in shards {
+            println!(
+                "{:<6} {:<22} {:>7} {:>7} {:>9} {:>11} {:>5}  {}",
+                n(row, "index") as u64,
+                get(row, "url").and_then(as_str).unwrap_or("-"),
+                n(row, "polls") as u64,
+                n(row, "errors") as u64,
+                n(row, "windows_closed") as u64,
+                n(row, "rows_ingested") as u64,
+                n(row, "lag_windows") as u64,
+                get(row, "last_error").and_then(as_str).unwrap_or("-"),
+            );
+        }
+    }
+    let monitors = match get(&v, "monitors") {
+        Some(serde_json::Value::Array(rows)) => rows,
+        _ => &empty,
+    };
+    if !monitors.is_empty() {
+        println!("\nmerged monitors:");
+        for row in monitors {
+            let cursors = match get(row, "cursors") {
+                Some(serde_json::Value::Array(cs)) => cs
+                    .iter()
+                    .map(|c| format!("{}", as_f64(c).unwrap_or(0.0) as u64))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                _ => String::new(),
+            };
+            println!(
+                "  {}: {} epoch(s) merged (per-shard cursors: [{cursors}])",
+                get(row, "monitor").and_then(as_str).unwrap_or("-"),
+                n(row, "epochs_merged") as u64,
+            );
+        }
+    }
+    Ok(())
+}
+
 /// `ccsynth wire <data.csv> --out <batch.bin>`: encode a CSV batch into
 /// the binary columnar wire format, ready for `curl --data-binary`
 /// against the daemon's batch endpoints.
@@ -1209,6 +1364,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(rest),
         "trace" => cmd_trace(rest),
         "ops" => cmd_ops(rest),
+        "fleet" => cmd_fleet(rest),
         "wire" => cmd_wire(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
